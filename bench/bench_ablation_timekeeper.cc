@@ -1,0 +1,47 @@
+// Ablation: persistent-timekeeper resolution vs Timely effectiveness.
+//
+// Timely semantics need wall-clock time across power failures; the paper relies on a
+// dedicated timekeeping circuit [18]. Real remanence-based timekeepers quantise time
+// coarsely, which makes freshness decisions conservative or wrong. This sweep runs the
+// Timely temperature workload with the timekeeper tick ranging from 1 us (ideal) to
+// 8 ms (coarse) and reports how many re-reads EaseIO still avoids.
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+void Main() {
+  const uint32_t runs = SweepRuns(500);
+  PrintHeader("Ablation: timekeeper resolution",
+              "Timely temperature app vs persistent-timekeeper tick");
+  std::printf("(%u runs per row; 10 ms freshness window)\n\n", runs);
+
+  report::TextTable table({"Tick", "Total (ms)", "Re-executions", "Skipped reads"});
+  for (uint64_t tick_us : {1ull, 100ull, 1000ull, 4000ull, 8000ull}) {
+    report::ExperimentConfig config;
+    config.runtime = apps::RuntimeKind::kEaseio;
+    config.app = report::AppKind::kTemp;
+    config.timekeeper_tick_us = tick_us;
+    const report::Aggregate agg = report::RunSweep(config, runs);
+    table.AddRow({report::Fmt(static_cast<double>(tick_us) / 1000.0, 3) + " ms",
+                  report::Fmt(agg.total_us / 1e3, 2), std::to_string(agg.io_reexecutions),
+                  std::to_string(agg.io_skipped)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nCoarser ticks quantise both 'now' and the completion stamps to the same grid,\n"
+      "so expiry is detected only after ~2 ticks: near the 10 ms window the runtime\n"
+      "*under*-detects staleness and serves expired readings as fresh (more skips,\n"
+      "fewer re-reads — but violated freshness). Timekeeper resolution is therefore a\n"
+      "correctness parameter for Timely, not a mere overhead knob.\n");
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

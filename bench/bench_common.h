@@ -1,0 +1,47 @@
+// Shared helpers for the per-table / per-figure benchmark harnesses.
+//
+// Every binary in this directory regenerates one artifact of the paper's evaluation
+// section (Section 5): it sweeps the relevant {application x runtime} grid with the
+// paper's failure emulation, prints the corresponding table or figure as text, and is
+// runnable standalone (`build/bench/bench_<artifact>`). Sweep sizes default to the
+// paper's 1000 runs; set EASEIO_BENCH_RUNS to override (e.g. 50 for a quick pass).
+
+#ifndef EASEIO_BENCH_BENCH_COMMON_H_
+#define EASEIO_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "report/experiment.h"
+#include "report/table.h"
+
+namespace easeio::bench {
+
+inline uint32_t SweepRuns(uint32_t fallback = 1000) {
+  const char* env = std::getenv("EASEIO_BENCH_RUNS");
+  if (env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return fallback;
+}
+
+inline void PrintHeader(const char* artifact, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("================================================================\n");
+}
+
+inline constexpr apps::RuntimeKind kBaselinePlusEaseio[] = {
+    apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio};
+
+inline constexpr apps::RuntimeKind kAllFour[] = {
+    apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio,
+    apps::RuntimeKind::kEaseioOp};
+
+}  // namespace easeio::bench
+
+#endif  // EASEIO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,45 @@
+// Figure 10: execution time of the multi-task applications (FIR filter and the
+// DNN-based weather classifier), decomposed into App + Overhead + Wasted work, for
+// Alpaca, InK, EaseIO, and EaseIO/Op. (the Exclude annotation on constant-data DMAs).
+//
+// Expected shape (paper): EaseIO carries higher overhead than the baselines (Private
+// DMA privatization) but less wasted work, for a lower total; EaseIO/Op. trims the
+// privatization of constant coefficients and lands near Alpaca's total.
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+void RunOne(const char* title, report::AppKind app, uint32_t runs) {
+  std::printf("\n--- %s ---\n", title);
+  std::vector<std::pair<std::string, std::vector<report::BarSegment>>> bars;
+  for (apps::RuntimeKind rt : kAllFour) {
+    report::ExperimentConfig config;
+    config.runtime = rt;
+    config.app = app;
+    config.app_options.single_buffer = false;  // the standard (double-buffered) pipeline
+    const report::Aggregate agg = report::RunSweep(config, runs);
+    bars.push_back({ToString(rt),
+                    {{"App", agg.app_us / 1e3},
+                     {"Overhead", agg.overhead_us / 1e3},
+                     {"Wasted", agg.wasted_us / 1e3}}});
+  }
+  PrintStackedBars(bars, "ms");
+}
+
+void Main() {
+  const uint32_t runs = SweepRuns();
+  PrintHeader("Figure 10", "multi-task execution time: App + Overhead + Wasted work");
+  std::printf("(%u runs per bar)\n", runs);
+  RunOne("FIR Filter", report::AppKind::kFir, runs);
+  RunOne("Weather App.", report::AppKind::kWeather, runs);
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 11: average energy consumption of the multi-task applications under
+// controlled power failures, for all four runtime configurations.
+//
+// Expected shape (paper): EaseIO reduces FIR energy by a few percent and weather-app
+// energy by roughly 15-20%; EaseIO/Op. sits at or below EaseIO.
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+void Main() {
+  const uint32_t runs = SweepRuns();
+  PrintHeader("Figure 11", "average energy of multi-task applications (controlled failures)");
+  std::printf("(%u runs per cell)\n\n", runs);
+
+  report::TextTable table({"Runtime", "FIR Filter (mJ)", "Weather App. (mJ)"});
+  for (apps::RuntimeKind rt : kAllFour) {
+    std::vector<std::string> row{ToString(rt)};
+    for (report::AppKind app : {report::AppKind::kFir, report::AppKind::kWeather}) {
+      report::ExperimentConfig config;
+      config.runtime = rt;
+      config.app = app;
+      config.app_options.single_buffer = false;
+      const report::Aggregate agg = report::RunSweep(config, runs);
+      row.push_back(report::Fmt(agg.energy_mj, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 13: execution-time difference relative to EaseIO/Op. when powered by a real
+// RF energy harvester, across transmitter-to-device distances of 52-64 inches.
+//
+// Substitution note (DESIGN.md): the Powercast transmitter/receiver pair is modelled
+// as a free-space path-loss harvester charging the storage capacitor; failures are
+// energy-driven (brown-out at v_off, reboot at v_on). The capacitor and harvest
+// calibration are scaled so the harvest rate crosses the application's mean draw
+// inside the measured distance window — close distances run failure-free, far
+// distances brown out repeatedly, the shape the paper reports.
+//
+// Expected shape (paper): near the transmitter all systems tie (no failures); as the
+// distance grows, the baselines fall behind EaseIO/Op. by an increasing margin, and
+// full EaseIO tracks EaseIO/Op. closely.
+
+#include "sim/failure.h"
+#include "sim/harvester.h"
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+// Wall time (on + off) is what matters under real harvesting: recharging is the
+// dominant cost once failures start.
+double MeanWallMs(apps::RuntimeKind rt, double distance_in, uint32_t runs) {
+  report::ExperimentConfig config;
+  config.runtime = rt;
+  // The flat power profile of the DMA workload lets brown-outs land anywhere in the
+  // task (burst-heavy workloads die *inside* the expensive operation, where no runtime
+  // can save work). Several back-to-back jobs emulate a short duty-cycled deployment.
+  config.app = report::AppKind::kDma;
+  config.app_options.jobs = 10;
+  config.rf_distance_in = distance_in;
+  const report::Aggregate agg = report::RunSweep(config, runs);
+  return agg.wall_us / 1e3;
+}
+
+void Main() {
+  const uint32_t runs = SweepRuns(200);
+  PrintHeader("Figure 13", "execution time vs EaseIO/Op. under a real RF harvester");
+  std::printf("(multi-job DMA app, %u runs per point; wall time includes recharge time)\n\n", runs);
+
+  const double distances[] = {52, 55, 58, 61, 64};
+  report::TextTable table({"Distance (in)", "Alpaca diff (ms)", "InK diff (ms)",
+                           "EaseIO diff (ms)", "EaseIO/Op. (ms)"});
+  for (double d : distances) {
+    const double op = MeanWallMs(apps::RuntimeKind::kEaseioOp, d, runs);
+    const double alpaca = MeanWallMs(apps::RuntimeKind::kAlpaca, d, runs);
+    const double ink = MeanWallMs(apps::RuntimeKind::kInk, d, runs);
+    const double easeio = MeanWallMs(apps::RuntimeKind::kEaseio, d, runs);
+    table.AddRow({report::Fmt(d, 0), report::Fmt(alpaca - op, 2), report::Fmt(ink - op, 2),
+                  report::Fmt(easeio - op, 2), report::Fmt(op, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 8: average energy consumed to complete each uni-task application under
+// controlled power failures, per runtime.
+//
+// Expected shape (paper): energy tracks the Figure 7 time decomposition — roughly
+// halved for the Single workload under EaseIO, moderately reduced for Timely, and a
+// wash for Always.
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+void Main() {
+  const uint32_t runs = SweepRuns();
+  PrintHeader("Figure 8", "average energy per uni-task application (controlled failures)");
+  std::printf("(%u runs per cell)\n\n", runs);
+
+  const report::AppKind apps_order[] = {report::AppKind::kDma, report::AppKind::kTemp,
+                                        report::AppKind::kLea};
+  const char* labels[] = {"Single", "Timely", "Always"};
+
+  report::TextTable table({"Runtime", "Single (mJ)", "Timely (mJ)", "Always (mJ)"});
+  for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
+    std::vector<std::string> row{ToString(rt)};
+    for (report::AppKind app : apps_order) {
+      report::ExperimentConfig config;
+      config.runtime = rt;
+      config.app = app;
+      const report::Aggregate agg = report::RunSweep(config, runs);
+      row.push_back(report::Fmt(agg.energy_mj, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  (void)labels;
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

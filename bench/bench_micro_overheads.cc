@@ -1,0 +1,163 @@
+// Micro-benchmarks of the EaseIO runtime primitives (google-benchmark).
+//
+// Two kinds of numbers per operation:
+//   * host wall time per call — how fast the simulator executes (throughput of the
+//     harness itself);
+//   * sim_cycles — the *simulated* device cycles one call charges, i.e. the runtime
+//     overhead a real MSP430 deployment would pay. These are the microscopic inputs
+//     behind the Overhead segments of Figures 7 and 10.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/runtime_factory.h"
+#include "core/easeio_runtime.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio {
+namespace {
+
+namespace k = easeio::kernel;
+
+// Shared fixture: a never-failing device with an EaseIO runtime and one registered
+// site per semantic.
+struct Fixture {
+  sim::NeverFailScheduler never;
+  sim::DeviceConfig config;
+  sim::Device dev;
+  k::NvManager nv;
+  rt::EaseioRuntime runtime;
+  k::TaskCtx ctx;
+  k::IoSiteId single, timely, always;
+  k::DmaSiteId dma;
+  uint32_t nv_a, nv_b, sram;
+
+  Fixture()
+      : dev(config, never), nv(dev.mem()), ctx(dev, runtime, nv) {
+    runtime.Bind(dev, nv);
+    single = runtime.RegisterIoSite({0, "m.single", 1, k::IoSemantic::kSingle});
+    timely = runtime.RegisterIoSite({0, "m.timely", 1, k::IoSemantic::kTimely, 10'000});
+    always = runtime.RegisterIoSite({0, "m.always", 1, k::IoSemantic::kAlways});
+    dma = runtime.RegisterDmaSite({0, "m.dma"});
+    nv_a = dev.mem().AllocFram("m.a", 256);
+    nv_b = dev.mem().AllocFram("m.b", 256);
+    sram = dev.mem().AllocSram("m.s", 256);
+    ctx.SetCurrentTaskForTest(0);
+    dev.Begin();
+  }
+};
+
+int16_t NoopIo(k::TaskCtx& ctx) {
+  ctx.dev().Cpu(1);
+  return 42;
+}
+
+void ReportSimCycles(benchmark::State& state, sim::Device& dev, uint64_t start_us) {
+  state.counters["sim_cycles"] = benchmark::Counter(
+      static_cast<double>(dev.clock().on_us() - start_us) /
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kDefaults);
+}
+
+void BM_CallIoSingleFirstExecution(benchmark::State& state) {
+  Fixture f;
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    // Reset the lock flag so every iteration takes the execute path.
+    f.runtime.OnTaskCommit(f.ctx);
+    benchmark::DoNotOptimize(f.runtime.CallIo(f.ctx, f.single, 0, NoopIo));
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_CallIoSingleFirstExecution);
+
+void BM_CallIoSingleSkip(benchmark::State& state) {
+  Fixture f;
+  f.runtime.CallIo(f.ctx, f.single, 0, NoopIo);  // complete once; the loop always skips
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.runtime.CallIo(f.ctx, f.single, 0, NoopIo));
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_CallIoSingleSkip);
+
+void BM_CallIoTimelyFreshSkip(benchmark::State& state) {
+  Fixture f;
+  f.runtime.CallIo(f.ctx, f.timely, 0, NoopIo);
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.runtime.CallIo(f.ctx, f.timely, 0, NoopIo));
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_CallIoTimelyFreshSkip);
+
+void BM_CallIoAlways(benchmark::State& state) {
+  Fixture f;
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.runtime.CallIo(f.ctx, f.always, 0, NoopIo));
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_CallIoAlways);
+
+void BM_DmaCopyNvToNvFirst(benchmark::State& state) {
+  Fixture f;
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    f.runtime.OnTaskCommit(f.ctx);  // clear the done flag
+    f.runtime.DmaCopy(f.ctx, f.dma, f.nv_b, f.nv_a, 256);
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_DmaCopyNvToNvFirst);
+
+void BM_DmaCopyNvToNvSkipped(benchmark::State& state) {
+  Fixture f;
+  f.runtime.DmaCopy(f.ctx, f.dma, f.nv_b, f.nv_a, 256);  // completes; loop skips
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    f.runtime.DmaCopy(f.ctx, f.dma, f.nv_b, f.nv_a, 256);
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_DmaCopyNvToNvSkipped);
+
+void BM_DmaCopyPrivateTwoPhase(benchmark::State& state) {
+  Fixture f;
+  const uint64_t start = f.dev.clock().on_us();
+  for (auto _ : state) {
+    f.runtime.OnTaskCommit(f.ctx);
+    f.runtime.DmaCopy(f.ctx, f.dma, f.sram, f.nv_a, 256);  // NV -> V: Private
+  }
+  ReportSimCycles(state, f.dev, start);
+}
+BENCHMARK(BM_DmaCopyPrivateTwoPhase);
+
+void BM_RegionalSnapshotRestore(benchmark::State& state) {
+  sim::NeverFailScheduler never;
+  sim::DeviceConfig config;
+  sim::Device dev(config, never);
+  k::NvManager nv(dev.mem());
+  rt::EaseioRuntime runtime;
+  runtime.Bind(dev, nv);
+  const k::NvSlotId a = nv.Define("r.a", static_cast<uint32_t>(state.range(0)));
+  runtime.SetTaskRegions(0, {{a}});
+  k::TaskCtx ctx(dev, runtime, nv);
+  ctx.SetCurrentTaskForTest(0);
+  dev.Begin();
+  runtime.OnTaskBegin(ctx);  // first entry: snapshot
+  const uint64_t start = dev.clock().on_us();
+  for (auto _ : state) {
+    runtime.OnTaskBegin(ctx);  // re-entry: restore
+  }
+  ReportSimCycles(state, dev, start);
+}
+BENCHMARK(BM_RegionalSnapshotRestore)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace easeio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1: qualitative comparison of the I/O-handling features of the implemented
+// runtimes. Each cell states the behaviour of *this repository's* implementation and
+// names the mechanism (verified by the test suite; see tests/).
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+void Main() {
+  PrintHeader("Table 1", "qualitative feature comparison of the implemented runtimes");
+  std::printf("\n");
+
+  report::TextTable table({"Feature", "Alpaca", "InK", "Samoyed", "EaseIO"});
+  table.AddRow({"Repeated I/O due to power failure", "Yes", "Yes", "Yes (atomic fns)",
+                "No/Low (lock flags)"});
+  table.AddRow({"Wasted I/O due to power failure", "High", "High", "Medium",
+                "No (Single/Timely skip)"});
+  table.AddRow({"Memory inconsistency due to repeated I/O", "Yes", "Yes",
+                "Yes (atomic fns only)", "No (priv. copies + regions)"});
+  table.AddRow({"Safe DMA operation", "No", "No", "No", "Yes (runtime classification)"});
+  table.AddRow({"Timely I/O operation", "No", "No", "No", "Yes (persistent timekeeper)"});
+  table.AddRow({"Semantic-aware I/O re-execution", "No", "No", "No",
+                "Yes (Single/Timely/Always)"});
+  table.Print();
+
+  std::printf(
+      "\nEvidence: Correctness.* and Semantics.* tests exercise every claim above;\n"
+      "bench_fig12_correctness and bench_table4_reexec quantify the Yes/No cells.\n");
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 4: number of power failures (PF) and redundant I/O re-executions (Re-exe) per
+// uni-task application, summed over the sweep, for Alpaca, InK, and EaseIO; EaseIO's
+// row also shows its reduction relative to Alpaca.
+//
+// Expected shape (paper): EaseIO cuts DMA re-executions ~76% and Timely re-reads ~43%,
+// with 0% change for Always (LEA); fewer redundant operations also mean fewer power
+// failures before the workload completes.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+struct Row {
+  uint64_t pf = 0;
+  uint64_t reexe = 0;
+};
+
+void Main() {
+  const uint32_t runs = SweepRuns();
+  PrintHeader("Table 4", "power failures and redundant I/O re-executions per application");
+  std::printf("(summed over %u runs per cell)\n\n", runs);
+
+  const report::AppKind apps_order[] = {report::AppKind::kDma, report::AppKind::kTemp,
+                                        report::AppKind::kLea};
+  const char* app_names[] = {"Single (DMA)", "Timely (Temp.)", "Always (LEA)"};
+
+  Row rows[3][3];
+  for (int a = 0; a < 3; ++a) {
+    for (int r = 0; r < 3; ++r) {
+      report::ExperimentConfig config;
+      config.runtime = kBaselinePlusEaseio[r];
+      config.app = apps_order[a];
+      const report::Aggregate agg = report::RunSweep(config, runs);
+      rows[a][r] = {agg.power_failures, agg.io_reexecutions};
+    }
+  }
+
+  report::TextTable table({"Runtime", "Single(DMA) PF", "Re-exe", "Timely(Temp) PF", "Re-exe",
+                           "Always(LEA) PF", "Re-exe"});
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::string> row{ToString(kBaselinePlusEaseio[r])};
+    for (int a = 0; a < 3; ++a) {
+      row.push_back(std::to_string(rows[a][r].pf));
+      std::string reexe = std::to_string(rows[a][r].reexe);
+      if (r == 2) {  // EaseIO: show the reduction vs Alpaca
+        const double base = static_cast<double>(rows[a][0].reexe);
+        const double pct = base > 0 ? 100.0 * (base - static_cast<double>(rows[a][r].reexe)) /
+                                          base
+                                    : 0.0;
+        reexe += " (" + std::string(pct >= 0 ? "-" : "+") + report::Fmt(std::abs(pct), 0) +
+                 "%)";
+      }
+      row.push_back(reexe);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  (void)app_names;
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main() {
+  easeio::bench::Main();
+  return 0;
+}

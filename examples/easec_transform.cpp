@@ -1,0 +1,100 @@
+// EaseC compiler front-end demo: compile an annotated source file, print the
+// source-to-source transformation (the Figure 5 artifact), then execute the compiled
+// program on the EaseIO runtime under emulated power failures.
+//
+//   $ build/examples/easec_transform            # uses the built-in sample program
+//   $ build/examples/easec_transform prog.ec    # compiles your own EaseC source
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/easeio_runtime.h"
+#include "easec/program.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace {
+
+constexpr const char* kSampleProgram = R"(/* Figure 3: timely temperature + humidity
+   under a Single block, with a data-dependent send. */
+__nv int16 temp_out;
+__nv int16 humd_out;
+__nv int16 payload[4];
+
+task sense() {
+  int16 temp;
+  int16 humd;
+  _IO_block_begin("Single");
+  temp = _call_IO(Temp(), "Timely", 10);
+  humd = _call_IO(Humd(), "Always");
+  _IO_block_end;
+  temp_out = temp;
+  humd_out = humd;
+  delay(2500);
+  next_task(report);
+}
+
+task report() {
+  payload[0] = temp_out;
+  payload[1] = humd_out;
+  _call_IO(Send(payload, 8), "Single");
+  delay(1500);
+  end_task;
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace easeio;
+
+  std::string source = kSampleProgram;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  std::printf("=== Input program ===\n%s\n", source.c_str());
+
+  const easec::CompileResult compiled = easec::Compile(source);
+  if (!compiled.ok) {
+    std::fprintf(stderr, "compile errors:\n%s", compiled.errors.c_str());
+    return 1;
+  }
+
+  std::printf("=== Source-to-source transformation (compiler front-end output) ===\n%s\n",
+              compiled.transformed_source.c_str());
+
+  // Execute on the EaseIO runtime under emulated failures.
+  sim::UniformTimerScheduler failures(5000, 20000, 200, 1000);
+  sim::DeviceConfig config;
+  config.seed = 11;
+  sim::Device dev(config, failures);
+  kernel::NvManager nv(dev.mem());
+  rt::EaseioRuntime runtime;
+  runtime.Bind(dev, nv);
+  easec::InstantiatedProgram prog = easec::Instantiate(compiled, dev, runtime, nv);
+
+  kernel::Engine engine;
+  const kernel::RunResult result = engine.Run(dev, runtime, nv, prog.graph, prog.entry);
+
+  std::printf("=== Execution on EaseIO (seed 11, failures ~ U[5,20] ms) ===\n");
+  std::printf("completed: %s, power failures: %llu, I/O executed: %llu, skipped: %llu,\n"
+              "radio packets: %llu, time: %.2f ms (app %.2f + overhead %.2f + wasted %.2f)\n",
+              result.completed ? "yes" : "no",
+              static_cast<unsigned long long>(result.stats.power_failures),
+              static_cast<unsigned long long>(result.stats.io_executions),
+              static_cast<unsigned long long>(result.stats.io_skipped),
+              static_cast<unsigned long long>(dev.radio().sends()),
+              result.stats.TotalUs() / 1e3, result.stats.app_us / 1e3,
+              result.stats.overhead_us / 1e3, result.stats.wasted_us / 1e3);
+  return result.completed ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+/* Section 6, "Re-execution Semantics in Loops": a repeat loop over a Timely sensor
+ * read gets a lane of lock flags per iteration, so after a reboot only the samples
+ * whose freshness window expired are re-read.
+ *
+ *   build/tools/easec --emit-analysis examples/programs/sample_loop.ec
+ *   build/tools/easec --run=easeio --seed=3 examples/programs/sample_loop.ec
+ */
+
+__nv int16 samples[16];
+__nv int16 average;
+
+task collect() {
+  int16 acc = 0;
+  repeat (i, 16) {
+    int16 v = _call_IO(Temp(), "Timely", 10);
+    samples[i] = v;
+    acc = acc + v;
+    delay(120);
+  }
+  average = acc / 16;
+  end_task;
+}

@@ -1,0 +1,29 @@
+/* Figure 2c: the unsafe-branch bug. The sensed temperature decides which persistent
+ * flag is set; without EaseIO's recorded-result restore, a re-executed read can take
+ * the other branch and leave BOTH flags set.
+ *
+ *   build/tools/easec --run=alpaca --seed=5 examples/programs/unsafe_branch.ec
+ *   build/tools/easec --run=easeio --seed=5 examples/programs/unsafe_branch.ec
+ *
+ * Compare the final __nv state (stdy/alarm) across seeds and runtimes.
+ */
+
+__nv int16 stdy;
+__nv int16 alarm;
+
+task init() {
+  stdy = 0;
+  alarm = 0;
+  next_task(sense);
+}
+
+task sense() {
+  int16 temp = _call_IO(Temp(), "Single");
+  if (temp < 100) {      /* 10.0 degrees, in tenths */
+    stdy = 1;
+  } else {
+    alarm = 1;
+  }
+  delay(7000);           /* the actuation window a failure can land in */
+  end_task;
+}

@@ -1,0 +1,58 @@
+/* Weather station in EaseC — the paper's Figure 3/9 pattern.
+ *
+ * Compile and inspect the front-end's transformation:
+ *   build/tools/easec --emit-transform examples/programs/weather.ec
+ * Run under emulated power failures on each runtime:
+ *   build/tools/easec --run=easeio examples/programs/weather.ec
+ *   build/tools/easec --run=alpaca examples/programs/weather.ec
+ */
+
+__nv int16 temp_out;
+__nv int16 humd_out;
+__nv int16 image[64];
+__nv int16 feature;
+__nv int16 payload[4];
+__sram int16 stage[64];
+
+task sense() {
+  int16 temp;
+  int16 humd;
+  /* Humidity must follow temperature promptly; the pair is captured once. */
+  _IO_block_begin("Single");
+  temp = _call_IO(Temp(), "Timely", 10);
+  humd = _call_IO(Humd(), "Always");
+  _IO_block_end;
+  temp_out = temp;
+  humd_out = humd;
+  delay(2000);          /* dew-point smoothing */
+  next_task(capture);
+}
+
+task capture() {
+  _call_IO(Capture(image, 128), "Single");
+  delay(3000);          /* exposure statistics */
+  next_task(classify);
+}
+
+task classify() {
+  /* Stage the frame into LEA RAM; the runtime classifies this NV->V transfer as
+   * Private and keeps a pristine copy for re-execution. */
+  _DMA_copy(&stage[0], &image[0], 128);
+  int16 acc = 0;
+  int16 i = 0;
+  while (i < 64) {
+    acc = acc + stage[i];
+    i = i + 1;
+  }
+  feature = acc;
+  next_task(send_report);
+}
+
+task send_report() {
+  payload[0] = temp_out;
+  payload[1] = humd_out;
+  payload[2] = feature;
+  _call_IO(Send(payload, 8), "Single");
+  delay(1500);          /* transmission log */
+  end_task;
+}

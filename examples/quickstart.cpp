@@ -1,0 +1,89 @@
+// Quickstart: run a Timely-annotated sensing application on the EaseIO runtime under
+// emulated power failures, and read the run statistics.
+//
+//   $ build/examples/quickstart
+//
+// Walkthrough:
+//   1. build a simulated intermittent device (MSP430-class: FRAM + SRAM + sensors);
+//   2. bind the EaseIO runtime and declare an application: one task that samples the
+//      temperature sensor 16 times through _call_IO with Timely(10 ms) semantics;
+//   3. run it under the paper's failure emulation (soft reset every U[5,20] ms);
+//   4. print what EaseIO did: how many reads were skipped after reboots because their
+//      freshness window still held, and the app/overhead/wasted-work decomposition.
+
+#include <cstdio>
+
+#include "core/easeio_runtime.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace k = easeio::kernel;
+namespace sim = easeio::sim;
+
+int main() {
+  // 1. The device: default MSP430FR5994-flavoured configuration, failures from a timer
+  //    firing uniformly in [5, 20] ms (Section 5.1 of the paper).
+  sim::UniformTimerScheduler failures(5000, 20000, 200, 1000);
+  sim::DeviceConfig config;
+  config.seed = 3;
+  sim::Device dev(config, failures);
+
+  // 2. The runtime and the application.
+  k::NvManager nv(dev.mem());
+  easeio::rt::EaseioRuntime runtime;
+  runtime.Bind(dev, nv);
+
+  constexpr uint32_t kSamples = 16;
+  const k::NvSlotId readings = nv.Define("readings", kSamples * 2);
+  const k::NvSlotId average = nv.Define("average", 2);
+
+  k::TaskGraph graph;
+  k::TaskId t_sense = 0;
+
+  // The sensing task: each loop iteration is a _call_IO lane with Timely semantics —
+  // after a power failure, only samples older than 10 ms are re-read.
+  const k::IoSiteId temp_site = [&] {
+    k::IoSiteDesc desc;
+    desc.task = 0;  // the id Add() below will return
+    desc.name = "quickstart.temp";
+    desc.lanes = kSamples;
+    desc.sem = k::IoSemantic::kTimely;
+    desc.window_us = 10'000;
+    return runtime.RegisterIoSite(desc);
+  }();
+
+  t_sense = graph.Add("sense", [&](k::TaskCtx& ctx) {
+    int32_t acc = 0;
+    for (uint32_t i = 0; i < kSamples; ++i) {
+      const int16_t v = ctx.CallIo(temp_site, i, [](k::TaskCtx& c) {
+        return c.dev().temp().Read(c.dev());
+      });
+      ctx.NvStoreI16(readings, v, 2 * i);
+      acc += v;
+      ctx.Cpu(50);  // filtering work per sample
+    }
+    ctx.NvStoreI16(average, static_cast<int16_t>(acc / kSamples));
+    return k::kTaskDone;
+  });
+  runtime.DeclareTaskRegions(t_sense, {{}});
+
+  // 3. Run.
+  k::Engine engine;
+  const k::RunResult result = engine.Run(dev, runtime, nv, graph, t_sense);
+
+  // 4. Report.
+  std::printf("completed:        %s\n", result.completed ? "yes" : "no");
+  std::printf("power failures:   %llu\n",
+              static_cast<unsigned long long>(result.stats.power_failures));
+  std::printf("sensor reads:     %llu (skipped by Timely semantics: %llu, redundant: %llu)\n",
+              static_cast<unsigned long long>(result.stats.io_executions),
+              static_cast<unsigned long long>(result.stats.io_skipped),
+              static_cast<unsigned long long>(result.stats.io_redundant));
+  std::printf("time:             app %.2f ms + overhead %.2f ms + wasted %.2f ms\n",
+              result.stats.app_us / 1e3, result.stats.overhead_us / 1e3,
+              result.stats.wasted_us / 1e3);
+  std::printf("energy:           %.1f uJ\n", result.energy_j * 1e6);
+  std::printf("average reading:  %.1f (tenths of a degree)\n",
+              static_cast<double>(dev.mem().ReadI16(nv.slot(average).addr)));
+  return result.completed ? 0 : 1;
+}

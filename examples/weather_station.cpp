@@ -1,0 +1,49 @@
+// Weather station: the paper's flagship multi-task application (Figure 9) — sense
+// (I/O block) -> capture -> 5-layer DNN -> send — executed on all four runtime
+// configurations under the same emulated failure schedule, with an end-to-end
+// consistency check (the stored classification must match a reference evaluation of
+// the stored image through the stored weights).
+//
+//   $ build/examples/weather_station [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "report/experiment.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace easeio;
+
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  std::printf("Weather classification, seed %llu, failures ~ U[5,20] ms\n\n",
+              static_cast<unsigned long long>(seed));
+
+  report::TextTable table({"Runtime", "Time (ms)", "App", "Overhead", "Wasted", "Failures",
+                           "I/O skipped", "Sends", "Consistent"});
+  for (apps::RuntimeKind kind :
+       {apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio,
+        apps::RuntimeKind::kEaseioOp}) {
+    report::ExperimentConfig config;
+    config.runtime = kind;
+    config.app = report::AppKind::kWeather;
+    config.seed = seed;
+    config.app_options.single_buffer = false;
+    const report::ExperimentResult r = report::RunExperiment(config);
+    table.AddRow({ToString(kind), report::Fmt(r.run.stats.TotalUs() / 1e3, 2),
+                  report::Fmt(r.run.stats.app_us / 1e3, 2),
+                  report::Fmt(r.run.stats.overhead_us / 1e3, 2),
+                  report::Fmt(r.run.stats.wasted_us / 1e3, 2),
+                  std::to_string(r.run.stats.power_failures),
+                  std::to_string(r.run.stats.io_skipped + r.run.stats.dma_skipped),
+                  std::to_string(r.radio_sends), r.consistent ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nNotes: the baselines re-execute interrupted peripheral work (including the\n"
+      "radio send — watch the Sends column exceed 1 on failure-heavy seeds), while\n"
+      "EaseIO's Single/Timely semantics skip completed operations and restore their\n"
+      "recorded results.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's evaluation applications (Table 3), written once against the
+// runtime-agnostic kernel API. Building an app registers its tasks, I/O sites, blocks,
+// DMA sites, and compiler-analysis facts with whatever runtime is active, so the same
+// application runs unmodified on Alpaca, InK, and EaseIO — the paper's methodology.
+//
+//   * DMA   — uni-task, Single semantics: one large FRAM->FRAM block copy + checksum.
+//   * Temp  — uni-task, Timely semantics: a loop of temperature samples with a 10 ms
+//             freshness window (the artifact's Timely_Temp benchmark).
+//   * LEA   — uni-task, Always semantics: staged FIR on the accelerator.
+//   * FIR   — multi-task: 3 DMA + looped LEA with a WAR dependency through the shared
+//             input/output buffer (the Figure 12 correctness workload).
+//   * Weather — 11 tasks: sense (I/O block) -> capture -> 5-layer DNN -> send
+//             (the Figure 9 / Table 5 workload).
+//   * Branch — the Figure 2c unsafe-branch micro-app (used by tests and examples).
+
+#ifndef EASEIO_APPS_APPS_H_
+#define EASEIO_APPS_APPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/engine.h"
+#include "kernel/runtime.h"
+
+namespace easeio::apps {
+
+struct AppOptions {
+  // FIR: annotate the constant-coefficient DMA with Exclude (the "EaseIO /Op."
+  // configuration). Ignored by baselines.
+  bool exclude_const_dma = false;
+  // Weather: route every DNN layer through one shared buffer (true) or ping-pong
+  // between two buffers (false) — Table 5's single/double buffer configurations.
+  bool single_buffer = true;
+  // Weather/DMA: number of back-to-back jobs. The harvester experiment (Figure 13)
+  // runs several so brown-outs land at diverse points.
+  uint32_t jobs = 1;
+};
+
+// A built application, bound to one device + runtime pair.
+struct AppHandle {
+  kernel::TaskGraph graph;
+  kernel::TaskId entry = 0;
+
+  // Reads the application's declared output state (raw, uncharged) for correctness
+  // comparison across runs.
+  std::function<std::vector<uint8_t>(sim::Device&)> collect_output;
+
+  // True when the finished run is internally consistent (e.g. the stored DNN result
+  // matches a host-side reference evaluation of the stored image). Apps without a
+  // stronger invariant fall back to `true`.
+  std::function<bool(sim::Device&)> check_consistent;
+
+  // Table 3 bookkeeping.
+  uint32_t num_tasks = 0;
+  uint32_t num_io_funcs = 0;
+
+  // Keeps the lambdas' shared state alive.
+  std::shared_ptr<void> state;
+};
+
+// Builders. Each allocates NV state on `dev`, registers everything with `rt` (which
+// must already be bound to `dev` and `nv`), and returns the runnable handle.
+AppHandle BuildDmaApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                      const AppOptions& options = {});
+AppHandle BuildTempApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv);
+AppHandle BuildLeaApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv);
+AppHandle BuildFirApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                      const AppOptions& options = {});
+AppHandle BuildWeatherApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                          const AppOptions& options = {});
+AppHandle BuildBranchApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv);
+
+// Registry used by the benchmark harnesses.
+using AppBuilder = AppHandle (*)(sim::Device&, kernel::Runtime&, kernel::NvManager&);
+
+}  // namespace easeio::apps
+
+#endif  // EASEIO_APPS_APPS_H_

@@ -1,0 +1,232 @@
+// FIR filter application (Section 5.4.1) and the unsafe-branch micro-app (Figure 2c).
+//
+// The FIR pipeline deliberately reuses one non-volatile buffer for both the input
+// signal and the filtered output — the write-after-read dependency through DMA that
+// task-based privatization cannot see. Under Alpaca/InK a power failure landing after
+// the output DMA makes the re-executed input DMA read filtered data instead of the
+// signal, corrupting the final result (Figure 12). EaseIO classifies the input DMA as
+// Private (two-phase copy through the privatization buffer) and the output DMA as
+// Single, which removes the hazard.
+
+#include <memory>
+
+#include "apps/apps.h"
+#include "apps/reference.h"
+#include "core/easeio_runtime.h"
+
+namespace easeio::apps {
+
+namespace k = easeio::kernel;
+
+namespace {
+
+constexpr uint32_t kOut = 1024;
+constexpr uint32_t kTaps = 32;
+constexpr uint32_t kIn = kOut + kTaps - 1;
+constexpr uint32_t kLeaCalls = 4;
+constexpr uint32_t kBlock = kOut / kLeaCalls;
+
+// The deterministic input signal and coefficients task `init` writes.
+int16_t SignalAt(uint32_t i) { return static_cast<int16_t>((i % 113) * 31 - 1700); }
+int16_t CoefAt(uint32_t i) { return static_cast<int16_t>(1800 - 90 * static_cast<int32_t>(i)); }
+
+struct FirAppState {
+  k::NvSlotId io_buf = k::kNoSlot;  // input signal, later overwritten by the output
+  k::NvSlotId coef = k::kNoSlot;
+  k::NvSlotId sum = k::kNoSlot;
+  k::NvSlotId done = k::kNoSlot;
+  uint32_t sram_in = 0, sram_coef = 0, sram_out = 0;
+  k::IoSiteId lea = k::kNoSite;
+  k::DmaSiteId dma_in = k::kNoSite, dma_coef = k::kNoSite, dma_out = k::kNoSite;
+  k::TaskId t_init = 0, t_prepare = 0, t_process = 0, t_verify = 0, t_report = 0;
+};
+
+}  // namespace
+
+AppHandle BuildFirApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                      const AppOptions& options) {
+  auto st = std::make_shared<FirAppState>();
+  st->io_buf = nv.Define("fir.io_buf", kIn * 2);
+  st->coef = nv.Define("fir.coef", kTaps * 2);
+  st->sum = nv.Define("fir.sum", 4);
+  st->done = nv.Define("fir.done", 2);
+  st->sram_in = dev.mem().AllocSram("fir.sram.in", kIn * 2);
+  st->sram_coef = dev.mem().AllocSram("fir.sram.coef", kTaps * 2);
+  st->sram_out = dev.mem().AllocSram("fir.sram.out", kOut * 2);
+
+  AppHandle app;
+  st->t_init = app.graph.Add("init", [st](k::TaskCtx& ctx) {
+    for (uint32_t i = 0; i < kIn; ++i) {
+      ctx.NvStoreI16(st->io_buf, SignalAt(i), 2 * i);
+    }
+    for (uint32_t i = 0; i < kTaps; ++i) {
+      ctx.NvStoreI16(st->coef, CoefAt(i), 2 * i);
+    }
+    return st->t_prepare;
+  });
+  st->t_prepare = app.graph.Add("prepare", [st](k::TaskCtx& ctx) {
+    ctx.Cpu(300);  // gain calibration
+    return st->t_process;
+  });
+  st->t_process = app.graph.Add("process", [st](k::TaskCtx& ctx) {
+    const k::NvSlot& io = ctx.nv().slot(st->io_buf);
+    const k::NvSlot& coef = ctx.nv().slot(st->coef);
+    // Stage the signal and coefficients into LEA RAM.
+    ctx.DmaCopy(st->dma_in, st->sram_in, io.addr, kIn * 2);
+    ctx.DmaCopy(st->dma_coef, st->sram_coef, coef.addr, kTaps * 2);
+    // Four LEA calls filter the four sample blocks (the paper's loop).
+    for (uint32_t b = 0; b < kLeaCalls; ++b) {
+      ctx.CallIo(st->lea, b, [st, b](k::TaskCtx& c) {
+        c.dev().lea().Fir(c.dev(), st->sram_in + 2 * b * kBlock, st->sram_coef,
+                          st->sram_out + 2 * b * kBlock, kBlock, kTaps);
+        return static_cast<int16_t>(0);
+      });
+    }
+    // Write the result back over the input signal — the WAR hazard under study.
+    ctx.DmaCopy(st->dma_out, io.addr, st->sram_out, kOut * 2);
+    // Post-processing after the output DMA keeps the task alive long enough for
+    // failures to land in the hazardous window.
+    uint32_t sum = 0;
+    for (uint32_t i = 0; i < kOut; ++i) {
+      sum += ctx.NvLoad16(st->io_buf, 2 * i);
+    }
+    ctx.Cpu(kOut);
+    ctx.NvStore32(st->sum, sum);
+    return st->t_verify;
+  });
+  st->t_verify = app.graph.Add("verify", [st](k::TaskCtx& ctx) {
+    ctx.Cpu(200);
+    return st->t_report;
+  });
+  st->t_report = app.graph.Add("report", [st](k::TaskCtx& ctx) {
+    ctx.NvStore16(st->done, 1);
+    return k::kTaskDone;
+  });
+  app.entry = st->t_init;
+
+  st->lea = rt.RegisterIoSite({st->t_process, "fir.lea", kLeaCalls, k::IoSemantic::kAlways});
+  st->dma_in = rt.RegisterDmaSite({st->t_process, "fir.dma_in", false, k::kNoSite});
+  // The coefficients are constant: the "EaseIO /Op." configuration excludes their DMA
+  // from privatization.
+  st->dma_coef =
+      rt.RegisterDmaSite({st->t_process, "fir.dma_coef", options.exclude_const_dma, k::kNoSite});
+  st->dma_out = rt.RegisterDmaSite({st->t_process, "fir.dma_out", false, k::kNoSite});
+  rt.DeclareTaskShared(st->t_process, {st->sum}, {});
+  rt.DeclareTaskRegions(st->t_process, {{}, {}, {}, {}});
+
+  const uint32_t io_addr = nv.slot(st->io_buf).addr;
+  const uint32_t sum_addr = nv.slot(st->sum).addr;
+  app.collect_output = [io_addr, sum_addr](sim::Device& d) {
+    std::vector<uint8_t> out;
+    out.reserve(kOut * 2 + 4);
+    for (uint32_t i = 0; i < kOut * 2; ++i) {
+      out.push_back(d.mem().Read8(io_addr + i));
+    }
+    for (uint32_t i = 0; i < 4; ++i) {
+      out.push_back(d.mem().Read8(sum_addr + i));
+    }
+    return out;
+  };
+  app.check_consistent = [io_addr](sim::Device& d) {
+    // The final buffer must hold FIR(original signal) — computed from first principles.
+    std::vector<int16_t> signal(kIn);
+    std::vector<int16_t> coef(kTaps);
+    for (uint32_t i = 0; i < kIn; ++i) {
+      signal[i] = SignalAt(i);
+    }
+    for (uint32_t i = 0; i < kTaps; ++i) {
+      coef[i] = CoefAt(i);
+    }
+    const std::vector<int16_t> expect = ref::Fir(signal, coef, kOut);
+    for (uint32_t i = 0; i < kOut; ++i) {
+      if (d.mem().ReadI16(io_addr + 2 * i) != expect[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  app.num_tasks = 5;
+  app.num_io_funcs = 2;  // LEA + DMA
+  app.state = st;
+  return app;
+}
+
+// ---------------------------------------------------------------------------------------
+// Unsafe-branch micro-app (Figure 2c): the sensed temperature decides which of two
+// persistent flags is set. Re-executing the read after a power failure can flip the
+// branch, leaving both flags set under the baselines; EaseIO restores the first
+// successful reading and always takes the same branch.
+// ---------------------------------------------------------------------------------------
+
+namespace {
+
+struct BranchAppState {
+  k::NvSlotId stdy = k::kNoSlot;
+  k::NvSlotId alarm = k::kNoSlot;
+  k::NvSlotId temp = k::kNoSlot;
+  k::IoSiteId read = k::kNoSite;
+  k::TaskId t_init = 0, t_sense = 0, t_done = 0;
+};
+
+}  // namespace
+
+AppHandle BuildBranchApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv) {
+  (void)dev;
+  auto st = std::make_shared<BranchAppState>();
+  st->stdy = nv.Define("branch.stdy", 2);
+  st->alarm = nv.Define("branch.alarm", 2);
+  st->temp = nv.Define("branch.temp", 2);
+
+  AppHandle app;
+  st->t_init = app.graph.Add("init", [st](k::TaskCtx& ctx) {
+    ctx.NvStore16(st->stdy, 0);
+    ctx.NvStore16(st->alarm, 0);
+    return st->t_sense;
+  });
+  st->t_sense = app.graph.Add("sense", [st](k::TaskCtx& ctx) {
+    const int16_t temp = ctx.CallIo(st->read, [](k::TaskCtx& c) {
+      return c.dev().temp().Read(c.dev());
+    });
+    ctx.NvStoreI16(st->temp, temp);
+    if (temp < 100) {  // 10.0 degrees, in tenths
+      ctx.NvStore16(st->stdy, 1);
+    } else {
+      ctx.NvStore16(st->alarm, 1);
+    }
+    // The alarm actuation path — long enough for failures to land after the store.
+    ctx.Cpu(7000);
+    return st->t_done;
+  });
+  st->t_done = app.graph.Add("done", [](k::TaskCtx& ctx) {
+    ctx.Cpu(20);
+    return k::kTaskDone;
+  });
+  app.entry = st->t_init;
+
+  st->read = rt.RegisterIoSite({st->t_sense, "branch.temp", 1, k::IoSemantic::kSingle});
+  // The flags are plain __nv variables written directly, as in the paper's listing —
+  // no baseline privatization covers them.
+  rt.DeclareTaskShared(st->t_sense, {}, {});
+  rt.DeclareTaskRegions(st->t_sense, {{st->stdy, st->alarm}});
+
+  const uint32_t stdy_addr = nv.slot(st->stdy).addr;
+  const uint32_t alarm_addr = nv.slot(st->alarm).addr;
+  const uint32_t temp_addr = nv.slot(st->temp).addr;
+  app.collect_output = [stdy_addr, alarm_addr, temp_addr](sim::Device& d) {
+    return std::vector<uint8_t>{
+        d.mem().Read8(stdy_addr),  d.mem().Read8(stdy_addr + 1),
+        d.mem().Read8(alarm_addr), d.mem().Read8(alarm_addr + 1),
+        d.mem().Read8(temp_addr),  d.mem().Read8(temp_addr + 1),
+    };
+  };
+  app.check_consistent = [stdy_addr, alarm_addr](sim::Device& d) {
+    // Exactly one of the two flags may be set.
+    return d.mem().Read16(stdy_addr) + d.mem().Read16(alarm_addr) == 1;
+  };
+  app.num_tasks = 3;
+  app.num_io_funcs = 1;
+  app.state = st;
+  return app;
+}
+
+}  // namespace easeio::apps

@@ -1,0 +1,87 @@
+// Host-side reference implementations of the accelerator math (uncharged, operating on
+// plain vectors). The consistency checkers compare what an application left in
+// simulated NVM against these golden computations — bit-exact with the LEA's Q15
+// saturating arithmetic.
+
+#ifndef EASEIO_APPS_REFERENCE_H_
+#define EASEIO_APPS_REFERENCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace easeio::apps::ref {
+
+inline int16_t Saturate(int32_t v) {
+  return static_cast<int16_t>(std::clamp<int32_t>(v, INT16_MIN, INT16_MAX));
+}
+
+inline std::vector<int16_t> Fir(const std::vector<int16_t>& src,
+                                const std::vector<int16_t>& coef, uint32_t out_len) {
+  std::vector<int16_t> out(out_len);
+  for (uint32_t i = 0; i < out_len; ++i) {
+    int32_t acc = 0;
+    for (uint32_t k = 0; k < coef.size(); ++k) {
+      acc += static_cast<int32_t>(coef[k]) * static_cast<int32_t>(src[i + k]);
+    }
+    out[i] = Saturate(acc >> 15);
+  }
+  return out;
+}
+
+inline std::vector<int16_t> Conv2dValid(const std::vector<int16_t>& src,
+                                        const std::vector<int16_t>& kernel, uint32_t in_h,
+                                        uint32_t in_w, uint32_t k) {
+  const uint32_t out_h = in_h - k + 1;
+  const uint32_t out_w = in_w - k + 1;
+  std::vector<int16_t> out(out_h * out_w);
+  for (uint32_t y = 0; y < out_h; ++y) {
+    for (uint32_t x = 0; x < out_w; ++x) {
+      int32_t acc = 0;
+      for (uint32_t ky = 0; ky < k; ++ky) {
+        for (uint32_t kx = 0; kx < k; ++kx) {
+          acc += static_cast<int32_t>(kernel[ky * k + kx]) *
+                 static_cast<int32_t>(src[(y + ky) * in_w + (x + kx)]);
+        }
+      }
+      out[y * out_w + x] = Saturate(acc >> 15);
+    }
+  }
+  return out;
+}
+
+inline std::vector<int16_t> Relu(std::vector<int16_t> v) {
+  for (int16_t& x : v) {
+    x = std::max<int16_t>(x, 0);
+  }
+  return v;
+}
+
+inline std::vector<int16_t> FullyConnected(const std::vector<int16_t>& src,
+                                           const std::vector<int16_t>& weights,
+                                           uint32_t out_len) {
+  const uint32_t in_len = static_cast<uint32_t>(src.size());
+  std::vector<int16_t> out(out_len);
+  for (uint32_t o = 0; o < out_len; ++o) {
+    int32_t acc = 0;
+    for (uint32_t i = 0; i < in_len; ++i) {
+      acc += static_cast<int32_t>(weights[o * in_len + i]) * static_cast<int32_t>(src[i]);
+    }
+    out[o] = Saturate(acc >> 15);
+  }
+  return out;
+}
+
+inline uint32_t ArgMax(const std::vector<int16_t>& v) {
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace easeio::apps::ref
+
+#endif  // EASEIO_APPS_REFERENCE_H_

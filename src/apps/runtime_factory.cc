@@ -1,0 +1,43 @@
+#include "apps/runtime_factory.h"
+
+#include "baselines/alpaca.h"
+#include "baselines/ink.h"
+#include "baselines/samoyed.h"
+#include "core/easeio_runtime.h"
+#include "platform/check.h"
+
+namespace easeio::apps {
+
+const char* ToString(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kAlpaca:
+      return "Alpaca";
+    case RuntimeKind::kInk:
+      return "InK";
+    case RuntimeKind::kSamoyed:
+      return "Samoyed";
+    case RuntimeKind::kEaseio:
+      return "EaseIO";
+    case RuntimeKind::kEaseioOp:
+      return "EaseIO/Op.";
+  }
+  return "?";
+}
+
+std::unique_ptr<kernel::Runtime> MakeRuntime(RuntimeKind kind,
+                                             const rt::EaseioConfig& easeio_config) {
+  switch (kind) {
+    case RuntimeKind::kAlpaca:
+      return std::make_unique<baseline::AlpacaRuntime>();
+    case RuntimeKind::kInk:
+      return std::make_unique<baseline::InkRuntime>();
+    case RuntimeKind::kSamoyed:
+      return std::make_unique<baseline::SamoyedRuntime>();
+    case RuntimeKind::kEaseio:
+    case RuntimeKind::kEaseioOp:
+      return std::make_unique<rt::EaseioRuntime>(easeio_config);
+  }
+  EASEIO_CHECK(false, "unknown runtime kind");
+}
+
+}  // namespace easeio::apps

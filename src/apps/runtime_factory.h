@@ -1,0 +1,35 @@
+// Constructs the runtime under test by name — the harness's way of sweeping
+// {Alpaca, InK, EaseIO, EaseIO/Op} over the same application.
+
+#ifndef EASEIO_APPS_RUNTIME_FACTORY_H_
+#define EASEIO_APPS_RUNTIME_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/easeio_runtime.h"
+#include "kernel/runtime.h"
+
+namespace easeio::apps {
+
+enum class RuntimeKind {
+  kAlpaca,
+  kInk,
+  kSamoyed,   // extension: atomic-function baseline (Table 1's third comparator)
+  kEaseio,
+  kEaseioOp,  // EaseIO with the Exclude annotation applied to constant-data DMAs
+};
+
+const char* ToString(RuntimeKind kind);
+
+// Creates an unbound runtime instance of the given kind. `easeio_config` customises
+// the EaseIO variants (ignored for the baselines).
+std::unique_ptr<kernel::Runtime> MakeRuntime(RuntimeKind kind,
+                                             const rt::EaseioConfig& easeio_config = {});
+
+// True when `kind` is an EaseIO variant (used to set AppOptions::exclude_const_dma).
+inline bool IsEaseioOp(RuntimeKind kind) { return kind == RuntimeKind::kEaseioOp; }
+
+}  // namespace easeio::apps
+
+#endif  // EASEIO_APPS_RUNTIME_FACTORY_H_

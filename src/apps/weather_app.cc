@@ -1,0 +1,337 @@
+// DNN-based weather classification application (Figure 9, Table 5).
+//
+// Eleven tasks: init -> calibrate -> sense (I/O block: Timely temperature + Always
+// humidity under a Single block) -> capture (Single) -> conv1 -> relu -> conv2 -> fc ->
+// infer -> send (Single) -> done. The convolution and fully-connected layers stage
+// operands into LEA SRAM with DMA, exactly as TAILS-style firmware does.
+//
+// With `single_buffer` every layer reads and writes the same non-volatile activation
+// buffer — safe only under EaseIO's Private DMA + regional privatization (Table 5).
+// With double buffering the layers ping-pong between two activation buffers, which is
+// the workaround the paper says programmers use today.
+
+#include <memory>
+
+#include "apps/apps.h"
+#include "apps/reference.h"
+#include "core/easeio_runtime.h"
+
+namespace easeio::apps {
+
+namespace k = easeio::kernel;
+
+namespace {
+
+constexpr uint32_t kImgH = 16, kImgW = 16;               // input image (int16)
+constexpr uint32_t kK = 3;                               // conv kernel size
+constexpr uint32_t kC1H = kImgH - kK + 1, kC1W = kImgW - kK + 1;  // 14x14
+constexpr uint32_t kC2H = kC1H - kK + 1, kC2W = kC1W - kK + 1;    // 12x12
+constexpr uint32_t kFcIn = kC2H * kC2W;                  // 144
+constexpr uint32_t kClasses = 4;
+
+int16_t Conv1WeightAt(uint32_t i) { return static_cast<int16_t>(900 - 210 * static_cast<int32_t>(i)); }
+int16_t Conv2WeightAt(uint32_t i) { return static_cast<int16_t>(-700 + 180 * static_cast<int32_t>(i)); }
+int16_t FcWeightAt(uint32_t i) {
+  return static_cast<int16_t>(((i * 37) % 257) - 128);
+}
+
+struct WeatherAppState {
+  AppOptions options;
+
+  // Non-volatile state.
+  k::NvSlotId image = k::kNoSlot;
+  k::NvSlotId k1 = k::kNoSlot, k2 = k::kNoSlot, fcw = k::kNoSlot;
+  k::NvSlotId buf1 = k::kNoSlot, buf2 = k::kNoSlot;
+  k::NvSlotId scores = k::kNoSlot, result = k::kNoSlot;
+  k::NvSlotId temp = k::kNoSlot, humd = k::kNoSlot, payload = k::kNoSlot;
+  k::NvSlotId done = k::kNoSlot;
+
+  // LEA SRAM staging.
+  uint32_t sram_in = 0, sram_k = 0, sram_out = 0, sram_w = 0;
+
+  // Sites.
+  k::IoBlockId sense_blk = k::kNoBlock;
+  k::IoSiteId io_temp = k::kNoSite, io_humd = k::kNoSite, io_cam = k::kNoSite,
+              io_send = k::kNoSite;
+  k::IoSiteId lea_c1 = k::kNoSite, lea_relu = k::kNoSite, lea_c2 = k::kNoSite,
+              lea_fc = k::kNoSite;
+  k::DmaSiteId d_c1_in = k::kNoSite, d_c1_k = k::kNoSite, d_c1_out = k::kNoSite;
+  k::DmaSiteId d_relu_in = k::kNoSite, d_relu_out = k::kNoSite;
+  k::DmaSiteId d_c2_in = k::kNoSite, d_c2_k = k::kNoSite, d_c2_out = k::kNoSite;
+  k::DmaSiteId d_fc_in = k::kNoSite, d_fc_w = k::kNoSite, d_fc_out = k::kNoSite;
+
+  // Tasks.
+  k::TaskId t_init = 0, t_cal = 0, t_sense = 0, t_capture = 0, t_conv1 = 0, t_relu = 0,
+            t_conv2 = 0, t_fc = 0, t_infer = 0, t_send = 0, t_done = 0;
+};
+
+std::vector<int16_t> ReadWords(sim::Device& d, uint32_t addr, uint32_t words) {
+  std::vector<int16_t> out(words);
+  for (uint32_t i = 0; i < words; ++i) {
+    out[i] = d.mem().ReadI16(addr + 2 * i);
+  }
+  return out;
+}
+
+}  // namespace
+
+AppHandle BuildWeatherApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                          const AppOptions& options) {
+  auto st = std::make_shared<WeatherAppState>();
+  st->options = options;
+
+  st->image = nv.Define("wx.image", kImgH * kImgW * 2);
+  st->k1 = nv.Define("wx.k1", kK * kK * 2);
+  st->k2 = nv.Define("wx.k2", kK * kK * 2);
+  st->fcw = nv.Define("wx.fcw", kFcIn * kClasses * 2);
+  st->buf1 = nv.Define("wx.buf1", kC1H * kC1W * 2);
+  st->buf2 = nv.Define("wx.buf2", kC1H * kC1W * 2);
+  st->scores = nv.Define("wx.scores", kClasses * 2);
+  st->result = nv.Define("wx.result", 2);
+  st->temp = nv.Define("wx.temp", 2);
+  st->humd = nv.Define("wx.humd", 2);
+  st->payload = nv.Define("wx.payload", 6);
+  st->done = nv.Define("wx.done", 2);
+  const k::NvSlotId job_count = nv.Define("wx.jobs", 2);
+
+  st->sram_in = dev.mem().AllocSram("wx.sram.in", kImgH * kImgW * 2);
+  st->sram_k = dev.mem().AllocSram("wx.sram.k", kK * kK * 2);
+  st->sram_out = dev.mem().AllocSram("wx.sram.out", kC1H * kC1W * 2);
+  st->sram_w = dev.mem().AllocSram("wx.sram.w", kFcIn * kClasses * 2);
+
+  // In the single-buffer configuration every layer flows through buf1.
+  const auto act_in = [st](uint32_t layer) {
+    // layer: 1=relu input, 2=conv2 input, 3=fc input
+    if (st->options.single_buffer) {
+      return st->buf1;
+    }
+    return layer == 2 ? st->buf2 : st->buf1;
+  };
+
+  AppHandle app;
+  st->t_init = app.graph.Add("init", [st](k::TaskCtx& ctx) {
+    for (uint32_t i = 0; i < kK * kK; ++i) {
+      ctx.NvStoreI16(st->k1, Conv1WeightAt(i), 2 * i);
+      ctx.NvStoreI16(st->k2, Conv2WeightAt(i), 2 * i);
+    }
+    for (uint32_t i = 0; i < kFcIn * kClasses; ++i) {
+      ctx.NvStoreI16(st->fcw, FcWeightAt(i), 2 * i);
+    }
+    ctx.NvStore16(st->done, 0);
+    return st->t_cal;
+  });
+  st->t_cal = app.graph.Add("calibrate", [st](k::TaskCtx& ctx) {
+    ctx.Cpu(400);
+    return st->t_sense;
+  });
+  st->t_sense = app.graph.Add("sense", [st](k::TaskCtx& ctx) {
+    // Humidity must follow temperature within the block's constraints; the whole pair
+    // has Single semantics (Figure 3).
+    ctx.IoBlockBegin(st->sense_blk);
+    const int16_t temp = ctx.CallIo(st->io_temp, [](k::TaskCtx& c) {
+      return c.dev().temp().Read(c.dev());
+    });
+    const int16_t humd = ctx.CallIo(st->io_humd, [](k::TaskCtx& c) {
+      return c.dev().humidity().Read(c.dev());
+    });
+    ctx.IoBlockEnd(st->sense_blk);
+    ctx.NvStoreI16(st->temp, temp);
+    ctx.NvStoreI16(st->humd, humd);
+    // Dew-point estimation and smoothing on the fresh readings. A failure here makes
+    // the baselines re-sample both sensors; EaseIO's completed block skips them.
+    ctx.Cpu(2000);
+    return st->t_capture;
+  });
+  st->t_capture = app.graph.Add("capture", [st](k::TaskCtx& ctx) {
+    ctx.CallIo(st->io_cam, [st](k::TaskCtx& c) {
+      const uint32_t addr = c.nv().slot(st->image).addr;
+      c.dev().camera().Capture(c.dev(), addr, kImgH * kImgW * 2);
+      return static_cast<int16_t>(c.dev().mem().Read16(addr));
+    });
+    // Exposure/white-balance statistics over the captured frame. A failure here makes
+    // the baselines re-capture (5 ms); EaseIO's Single capture is skipped.
+    for (uint32_t i = 0; i < 64; ++i) {
+      ctx.NvLoad16(st->image, 8 * i);
+    }
+    ctx.Cpu(5000);
+    return st->t_conv1;
+  });
+  st->t_conv1 = app.graph.Add("conv1", [st](k::TaskCtx& ctx) {
+    ctx.DmaCopy(st->d_c1_in, st->sram_in, ctx.nv().slot(st->image).addr, kImgH * kImgW * 2);
+    ctx.DmaCopy(st->d_c1_k, st->sram_k, ctx.nv().slot(st->k1).addr, kK * kK * 2);
+    ctx.CallIo(st->lea_c1, [st](k::TaskCtx& c) {
+      c.dev().lea().Conv2dValid(c.dev(), st->sram_in, st->sram_k, st->sram_out, kImgH, kImgW,
+                                kK);
+      return static_cast<int16_t>(0);
+    });
+    ctx.DmaCopy(st->d_c1_out, ctx.nv().slot(st->buf1).addr, st->sram_out, kC1H * kC1W * 2);
+    ctx.Cpu(800);  // feature statistics
+    return st->t_relu;
+  });
+  st->t_relu = app.graph.Add("relu", [st, act_in](k::TaskCtx& ctx) {
+    const uint32_t in_slot = act_in(1);
+    ctx.DmaCopy(st->d_relu_in, st->sram_in, ctx.nv().slot(in_slot).addr, kC1H * kC1W * 2);
+    ctx.CallIo(st->lea_relu, [st](k::TaskCtx& c) {
+      c.dev().lea().Relu(c.dev(), st->sram_in, kC1H * kC1W);
+      return static_cast<int16_t>(0);
+    });
+    const uint32_t out_slot = st->options.single_buffer ? st->buf1 : st->buf2;
+    ctx.DmaCopy(st->d_relu_out, ctx.nv().slot(out_slot).addr, st->sram_in, kC1H * kC1W * 2);
+    ctx.Cpu(600);
+    return st->t_conv2;
+  });
+  st->t_conv2 = app.graph.Add("conv2", [st, act_in](k::TaskCtx& ctx) {
+    const uint32_t in_slot = act_in(2);
+    ctx.DmaCopy(st->d_c2_in, st->sram_in, ctx.nv().slot(in_slot).addr, kC1H * kC1W * 2);
+    ctx.DmaCopy(st->d_c2_k, st->sram_k, ctx.nv().slot(st->k2).addr, kK * kK * 2);
+    ctx.CallIo(st->lea_c2, [st](k::TaskCtx& c) {
+      c.dev().lea().Conv2dValid(c.dev(), st->sram_in, st->sram_k, st->sram_out, kC1H, kC1W,
+                                kK);
+      return static_cast<int16_t>(0);
+    });
+    // Writes back into buf1 — with a single buffer this is the WAR hazard: the input
+    // this task just consumed lived in the very same words.
+    ctx.DmaCopy(st->d_c2_out, ctx.nv().slot(st->buf1).addr, st->sram_out, kC2H * kC2W * 2);
+    ctx.Cpu(1500);  // post-layer bookkeeping keeps the hazard window open
+    return st->t_fc;
+  });
+  st->t_fc = app.graph.Add("fc", [st](k::TaskCtx& ctx) {
+    ctx.DmaCopy(st->d_fc_in, st->sram_in, ctx.nv().slot(st->buf1).addr, kFcIn * 2);
+    ctx.DmaCopy(st->d_fc_w, st->sram_w, ctx.nv().slot(st->fcw).addr, kFcIn * kClasses * 2);
+    ctx.CallIo(st->lea_fc, [st](k::TaskCtx& c) {
+      c.dev().lea().FullyConnected(c.dev(), st->sram_in, st->sram_w, st->sram_out, kFcIn,
+                                   kClasses);
+      return static_cast<int16_t>(0);
+    });
+    ctx.DmaCopy(st->d_fc_out, ctx.nv().slot(st->scores).addr, st->sram_out, kClasses * 2);
+    ctx.Cpu(300);
+    return st->t_infer;
+  });
+  st->t_infer = app.graph.Add("infer", [st](k::TaskCtx& ctx) {
+    int16_t best = ctx.NvLoadI16(st->scores, 0);
+    uint16_t best_i = 0;
+    for (uint32_t i = 1; i < kClasses; ++i) {
+      const int16_t v = ctx.NvLoadI16(st->scores, 2 * i);
+      if (v > best) {
+        best = v;
+        best_i = static_cast<uint16_t>(i);
+      }
+    }
+    ctx.NvStore16(st->result, best_i);
+    ctx.NvStore16(st->payload, static_cast<uint16_t>(ctx.NvLoadI16(st->temp)), 0);
+    ctx.NvStore16(st->payload, static_cast<uint16_t>(ctx.NvLoadI16(st->humd)), 2);
+    ctx.NvStore16(st->payload, best_i, 4);
+    ctx.Cpu(200);
+    return st->t_send;
+  });
+  st->t_send = app.graph.Add("send", [st](k::TaskCtx& ctx) {
+    ctx.CallIo(st->io_send, [st](k::TaskCtx& c) {
+      c.dev().radio().Send(c.dev(), c.nv().slot(st->payload).addr, 6);
+      return static_cast<int16_t>(0);
+    });
+    // Transmission log + next-wakeup scheduling. A failure here makes the baselines
+    // retransmit the packet; EaseIO's Single send is skipped.
+    ctx.Cpu(1500);
+    return st->t_done;
+  });
+  const uint32_t jobs = options.jobs == 0 ? 1 : options.jobs;
+  st->t_done = app.graph.Add("done", [st, job_count, jobs](k::TaskCtx& ctx) {
+    const uint16_t completed = static_cast<uint16_t>(ctx.NvLoad16(job_count) + 1);
+    ctx.NvStore16(job_count, completed);
+    ctx.Cpu(1500);  // job epilogue: rotate logs, schedule the next wakeup
+    if (completed < jobs) {
+      return st->t_sense;  // next sensing job
+    }
+    ctx.NvStore16(st->done, 1);
+    return k::kTaskDone;
+  });
+  app.entry = st->t_init;
+
+  // --- Sites and compiler-analysis facts -------------------------------------------------
+  st->sense_blk = rt.RegisterIoBlock({st->t_sense, "wx.sense", k::IoSemantic::kSingle});
+  st->io_temp = rt.RegisterIoSite({st->t_sense, "wx.temp", 1, k::IoSemantic::kTimely, 10'000,
+                                   {}, st->sense_blk});
+  st->io_humd = rt.RegisterIoSite({st->t_sense, "wx.humd", 1, k::IoSemantic::kAlways, 0, {},
+                                   st->sense_blk});
+  st->io_cam = rt.RegisterIoSite({st->t_capture, "wx.capture", 1, k::IoSemantic::kSingle});
+  st->lea_c1 = rt.RegisterIoSite({st->t_conv1, "wx.lea.c1", 1, k::IoSemantic::kAlways});
+  st->lea_relu = rt.RegisterIoSite({st->t_relu, "wx.lea.relu", 1, k::IoSemantic::kAlways});
+  st->lea_c2 = rt.RegisterIoSite({st->t_conv2, "wx.lea.c2", 1, k::IoSemantic::kAlways});
+  st->lea_fc = rt.RegisterIoSite({st->t_fc, "wx.lea.fc", 1, k::IoSemantic::kAlways});
+  st->io_send = rt.RegisterIoSite({st->t_send, "wx.send", 1, k::IoSemantic::kSingle});
+
+  st->d_c1_in = rt.RegisterDmaSite({st->t_conv1, "wx.d.c1_in", false, k::kNoSite});
+  st->d_c1_k = rt.RegisterDmaSite({st->t_conv1, "wx.d.c1_k", options.exclude_const_dma,
+                                   k::kNoSite});
+  st->d_c1_out = rt.RegisterDmaSite({st->t_conv1, "wx.d.c1_out", false, k::kNoSite});
+  st->d_relu_in = rt.RegisterDmaSite({st->t_relu, "wx.d.relu_in", false, k::kNoSite});
+  st->d_relu_out = rt.RegisterDmaSite({st->t_relu, "wx.d.relu_out", false, k::kNoSite});
+  st->d_c2_in = rt.RegisterDmaSite({st->t_conv2, "wx.d.c2_in", false, k::kNoSite});
+  st->d_c2_k = rt.RegisterDmaSite({st->t_conv2, "wx.d.c2_k", options.exclude_const_dma,
+                                   k::kNoSite});
+  st->d_c2_out = rt.RegisterDmaSite({st->t_conv2, "wx.d.c2_out", false, k::kNoSite});
+  st->d_fc_in = rt.RegisterDmaSite({st->t_fc, "wx.d.fc_in", false, k::kNoSite});
+  st->d_fc_w = rt.RegisterDmaSite({st->t_fc, "wx.d.fc_w", options.exclude_const_dma,
+                                   k::kNoSite});
+  st->d_fc_out = rt.RegisterDmaSite({st->t_fc, "wx.d.fc_out", false, k::kNoSite});
+
+  // The job counter is read-modify-write across attempts: every runtime must privatize
+  // it (WAR) or the increment would double on re-execution.
+  rt.DeclareTaskShared(st->t_done, {job_count}, {job_count});
+  rt.DeclareTaskRegions(st->t_done, {{job_count}});
+  rt.DeclareTaskShared(st->t_sense, {st->temp, st->humd}, {});
+  rt.DeclareTaskShared(st->t_infer, {st->scores, st->result, st->payload}, {});
+  rt.DeclareTaskRegions(st->t_conv1, {{}, {}, {}, {}});
+  rt.DeclareTaskRegions(st->t_relu, {{}, {}, {}});
+  rt.DeclareTaskRegions(st->t_conv2, {{}, {}, {}, {}});
+  rt.DeclareTaskRegions(st->t_fc, {{}, {}, {}, {}});
+
+  // --- Output collection and the end-to-end consistency invariant -------------------------
+  const uint32_t image_addr = nv.slot(st->image).addr;
+  const uint32_t k1_addr = nv.slot(st->k1).addr;
+  const uint32_t k2_addr = nv.slot(st->k2).addr;
+  const uint32_t fcw_addr = nv.slot(st->fcw).addr;
+  const uint32_t scores_addr = nv.slot(st->scores).addr;
+  const uint32_t result_addr = nv.slot(st->result).addr;
+  const uint32_t jobs_addr = nv.slot(job_count).addr;
+
+  app.collect_output = [scores_addr, result_addr](sim::Device& d) {
+    std::vector<uint8_t> out;
+    for (uint32_t i = 0; i < kClasses * 2 + 2; ++i) {
+      out.push_back(d.mem().Read8(scores_addr + i));
+    }
+    (void)result_addr;
+    return out;
+  };
+  app.check_consistent = [image_addr, k1_addr, k2_addr, fcw_addr, scores_addr,
+                          result_addr, jobs_addr, jobs](sim::Device& d) {
+    // Every requested job must have run exactly once — the counter is a WAR variable
+    // whose double-increment is precisely what task privatization exists to stop.
+    if (d.mem().Read16(jobs_addr) != jobs) {
+      return false;
+    }
+    // The stored classification must equal a reference evaluation of the stored image
+    // through the stored weights — any lost/duplicated layer or clobbered activation
+    // breaks this.
+    const auto image = ReadWords(d, image_addr, kImgH * kImgW);
+    const auto k1 = ReadWords(d, k1_addr, kK * kK);
+    const auto k2 = ReadWords(d, k2_addr, kK * kK);
+    const auto fcw = ReadWords(d, fcw_addr, kFcIn * kClasses);
+    const auto c1 = ref::Conv2dValid(image, k1, kImgH, kImgW, kK);
+    const auto r = ref::Relu(c1);
+    const auto c2 = ref::Conv2dValid(r, k2, kC1H, kC1W, kK);
+    const auto scores = ref::FullyConnected(c2, fcw, kClasses);
+    for (uint32_t i = 0; i < kClasses; ++i) {
+      if (d.mem().ReadI16(scores_addr + 2 * i) != scores[i]) {
+        return false;
+      }
+    }
+    return d.mem().Read16(result_addr) == ref::ArgMax(scores);
+  };
+  app.num_tasks = 11;
+  app.num_io_funcs = 5;  // Temp, Humd, Camera, LEA, Send
+  app.state = st;
+  return app;
+}
+
+}  // namespace easeio::apps

@@ -1,0 +1,69 @@
+// Alpaca-style baseline runtime (Maeng, Colin, Lucia — OOPSLA '17).
+//
+// Alpaca's compiler statically detects task-shared variables with write-after-read
+// (WAR) dependencies and *privatizes* them: at task entry each such variable is copied
+// into a private (non-volatile) copy, the task body operates on the copy, and a
+// two-phase commit writes the copies back atomically when the task ends. Re-executing
+// an interrupted task therefore re-reads unmodified originals — idempotent for CPU
+// code.
+//
+// Two properties make it a faithful baseline for the paper's experiments:
+//   * it has no notion of I/O re-execution semantics — every peripheral operation in a
+//     re-executed task runs again (wasted work, duplicated sends, unsafe branches);
+//   * DMA bypasses the CPU, so DMA-touched buffers are invisible to its WAR analysis —
+//     privatization cannot protect them (the Figure 2b / Figure 12 bug).
+
+#ifndef EASEIO_BASELINES_ALPACA_H_
+#define EASEIO_BASELINES_ALPACA_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernel/runtime.h"
+
+namespace easeio::baseline {
+
+class AlpacaRuntime : public kernel::Runtime {
+ public:
+  const char* name() const override { return "Alpaca"; }
+
+  void Bind(sim::Device& dev, kernel::NvManager& nv) override;
+
+  // Declares the WAR-dependent task-shared variables of `task` — the result of
+  // Alpaca's static analysis, which application setup code supplies here. DMA-touched
+  // buffers must not be listed: the real analysis cannot see them.
+  void SetTaskWarVars(kernel::TaskId task, std::vector<kernel::NvSlotId> slots);
+
+  // Alpaca's compiler privatizes exactly the WAR subset.
+  void DeclareTaskShared(kernel::TaskId task, const std::vector<kernel::NvSlotId>& shared,
+                         const std::vector<kernel::NvSlotId>& war) override {
+    (void)shared;
+    SetTaskWarVars(task, war);
+  }
+
+  void OnTaskBegin(kernel::TaskCtx& ctx) override;
+  void OnTaskCommit(kernel::TaskCtx& ctx) override;
+
+  uint32_t TranslateNv(kernel::TaskCtx& ctx, const kernel::NvSlot& slot,
+                       uint32_t offset) override;
+
+  // Modelled .text: task dispatch + privatization/commit code per WAR variable, scaled
+  // to land near Alpaca's Table 6 measurements.
+  uint32_t CodeSizeBytes() const override;
+
+ private:
+  struct PrivVar {
+    kernel::NvSlotId slot;
+    uint32_t priv_addr;  // FRAM private copy
+  };
+
+  const std::vector<PrivVar>* VarsFor(kernel::TaskId task) const;
+
+  std::map<kernel::TaskId, std::vector<PrivVar>> war_;
+  uint32_t war_var_count_ = 0;
+};
+
+}  // namespace easeio::baseline
+
+#endif  // EASEIO_BASELINES_ALPACA_H_

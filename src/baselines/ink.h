@@ -1,0 +1,65 @@
+// InK-style baseline runtime (Yildirim et al. — SenSys '18).
+//
+// InK is a reactive task kernel: tasks run inside a scheduler with event queues, and
+// *all* task-shared state is kept consistent with double buffering — every task works
+// on a fresh working copy of the shared variables it uses and commits by publishing
+// the copy. Compared to Alpaca this protects all shared variables (not just WAR ones)
+// at the price of copying more data per task and paying scheduler dispatch on every
+// task boundary — which is why InK's overhead and footprint run higher in the paper's
+// Table 6.
+//
+// Like Alpaca it has no I/O re-execution semantics and no visibility into DMA, so it
+// exhibits the same wasted-I/O and DMA-inconsistency behaviour EaseIO fixes.
+
+#ifndef EASEIO_BASELINES_INK_H_
+#define EASEIO_BASELINES_INK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernel/runtime.h"
+
+namespace easeio::baseline {
+
+class InkRuntime : public kernel::Runtime {
+ public:
+  const char* name() const override { return "InK"; }
+
+  void Bind(sim::Device& dev, kernel::NvManager& nv) override;
+
+  // Declares the task-shared variables of `task`: everything the task reads or writes
+  // that outlives it. InK double-buffers all of them. DMA-touched buffers must not be
+  // listed (the kernel cannot see DMA traffic).
+  void SetTaskSharedVars(kernel::TaskId task, std::vector<kernel::NvSlotId> slots);
+
+  // InK double-buffers every task-shared variable.
+  void DeclareTaskShared(kernel::TaskId task, const std::vector<kernel::NvSlotId>& shared,
+                         const std::vector<kernel::NvSlotId>& war) override {
+    (void)war;
+    SetTaskSharedVars(task, shared);
+  }
+
+  void OnTaskBegin(kernel::TaskCtx& ctx) override;
+  void OnTaskCommit(kernel::TaskCtx& ctx) override;
+
+  uint32_t TranslateNv(kernel::TaskCtx& ctx, const kernel::NvSlot& slot,
+                       uint32_t offset) override;
+
+  uint32_t CodeSizeBytes() const override;
+
+ private:
+  struct SharedVar {
+    kernel::NvSlotId slot;
+    uint32_t working_addr;  // FRAM working copy (the task's write target)
+  };
+
+  const std::vector<SharedVar>* VarsFor(kernel::TaskId task) const;
+
+  std::map<kernel::TaskId, std::vector<SharedVar>> shared_;
+  uint32_t shared_var_count_ = 0;
+};
+
+}  // namespace easeio::baseline
+
+#endif  // EASEIO_BASELINES_INK_H_

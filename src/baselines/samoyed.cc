@@ -1,0 +1,101 @@
+#include "baselines/samoyed.h"
+
+namespace easeio::baseline {
+
+void SamoyedRuntime::Bind(sim::Device& dev, kernel::NvManager& nv) {
+  kernel::Runtime::Bind(dev, nv);
+  // JIT checkpoint area (registers + stack snapshot) and the undo-log head.
+  dev.mem().AllocFram("samoyed.checkpoint", 256, sim::AllocPurpose::kRuntimeMeta);
+  dev.mem().AllocFram("samoyed.loghead", 4, sim::AllocPurpose::kRuntimeMeta);
+}
+
+void SamoyedRuntime::IoBlockBegin(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
+  (void)block;
+  sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kOverhead);
+  // Just-in-time checkpoint right before the atomic function: registers plus a small
+  // stack snapshot into FRAM.
+  ctx.dev().Spend(200, 200 * sim::kCpuEnergyPerCycleJ + 64 * sim::kFramWriteEnergyJ);
+  ++open_blocks_;
+}
+
+void SamoyedRuntime::IoBlockEnd(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
+  (void)block;
+  EASEIO_CHECK(open_blocks_ > 0, "atomic function end without begin");
+  sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kOverhead);
+  ctx.dev().Cpu(20);  // atomic commit: reset the log head
+  --open_blocks_;
+  if (open_blocks_ == 0) {
+    log_.clear();
+  }
+}
+
+uint32_t SamoyedRuntime::ShadowFor(const kernel::NvSlot& slot) {
+  auto it = shadows_.find(slot.id);
+  if (it != shadows_.end()) {
+    return it->second;
+  }
+  const uint32_t addr = dev_->mem().AllocFram("samoyed.shadow." + slot.name, slot.size,
+                                              sim::AllocPurpose::kRuntimeMeta);
+  shadows_[slot.id] = addr;
+  return addr;
+}
+
+void SamoyedRuntime::OnNvWrite(kernel::TaskCtx& ctx, const kernel::NvSlot& slot) {
+  if (open_blocks_ == 0) {
+    return;  // outside atomic functions Samoyed leaves NV writes alone
+  }
+  for (const LogEntry& e : log_) {
+    if (e.slot == slot.id) {
+      return;  // already logged this function
+    }
+  }
+  sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kOverhead);
+  const uint32_t shadow = ShadowFor(slot);
+  const uint32_t words = (slot.size + 1) / 2;
+  // Charge, then copy atomically (a torn log entry would be worse than none).
+  ctx.dev().Spend(words * (sim::kFramReadCycles + sim::kFramWriteCycles),
+                  words * (sim::kFramReadEnergyJ + sim::kFramWriteEnergyJ));
+  ctx.dev().mem().Copy(shadow, slot.addr, slot.size);
+  log_.push_back({slot.id, shadow, slot.size});
+}
+
+void SamoyedRuntime::Rollback() {
+  // Charged as a lump: boot firmware walking the log.
+  sim::Device::PhaseScope scope(*dev_, sim::Phase::kOverhead);
+  uint32_t words = 0;
+  for (const LogEntry& e : log_) {
+    words += (e.size + 1) / 2;
+  }
+  dev_->Spend(words * (sim::kFramReadCycles + sim::kFramWriteCycles) + 30,
+              words * (sim::kFramReadEnergyJ + sim::kFramWriteEnergyJ));
+  for (const LogEntry& e : log_) {
+    dev_->mem().Copy(nv_->slot(e.slot).addr, e.shadow_addr, e.size);
+  }
+  log_.clear();
+  ++rollbacks_;
+}
+
+void SamoyedRuntime::OnReboot() {
+  open_blocks_ = 0;
+  if (!log_.empty()) {
+    // The device died inside an atomic function: undo its partial NV writes before the
+    // task re-executes. A failure mid-rollback re-runs it (shadows are untouched until
+    // the log clears).
+    Rollback();
+  }
+}
+
+void SamoyedRuntime::OnTaskCommit(kernel::TaskCtx& ctx) {
+  EASEIO_CHECK(open_blocks_ == 0, "task committed with an open atomic function");
+  kernel::Runtime::OnTaskCommit(ctx);
+}
+
+uint32_t SamoyedRuntime::CodeSizeBytes() const {
+  // Checkpoint/restore core, atomic-function prologue/epilogue per block, undo-log
+  // write barrier.
+  return 1240 + 44 * static_cast<uint32_t>(blocks_.size()) +
+         16 * static_cast<uint32_t>(io_sites_.size()) +
+         24 * static_cast<uint32_t>(dma_sites_.size());
+}
+
+}  // namespace easeio::baseline

@@ -1,0 +1,464 @@
+#include "core/easeio_runtime.h"
+
+#include <string>
+
+namespace easeio::rt {
+
+using kernel::IoSemantic;
+
+namespace {
+
+// FRAM layout offsets for I/O lane metadata.
+constexpr uint32_t kLaneFlag = 0;
+constexpr uint32_t kLaneTs = 2;
+constexpr uint32_t kLanePriv = 6;
+constexpr uint32_t kLaneSeq = 8;
+constexpr uint32_t kLaneBytes = 10;
+
+// Block metadata.
+constexpr uint32_t kBlockFlag = 0;
+constexpr uint32_t kBlockTs = 2;
+constexpr uint32_t kBlockBytes = 6;
+
+// DMA metadata.
+constexpr uint32_t kDmaDone = 0;
+constexpr uint32_t kDmaPhase1 = 2;
+constexpr uint32_t kDmaPrivOff = 4;  // offset + 1; 0 means unassigned
+constexpr uint32_t kDmaSeq = 8;
+constexpr uint32_t kDmaBytes = 10;
+
+}  // namespace
+
+void EaseioRuntime::Bind(sim::Device& dev, kernel::NvManager& nv) {
+  kernel::Runtime::Bind(dev, nv);
+  regional_.Bind(dev, nv);
+  // Fixed runtime state: current-task pointer and the I/O semantic dispatch word the
+  // paper reports as the 6-byte no-DMA footprint.
+  dev.mem().AllocFram("easeio.kernel", 6, sim::AllocPurpose::kRuntimeMeta);
+}
+
+kernel::IoSiteId EaseioRuntime::RegisterIoSite(kernel::IoSiteDesc desc) {
+  for (kernel::IoSiteId p : desc.depends_on) {
+    EASEIO_CHECK(p < io_sites_.size(), "dependence on unregistered site");
+  }
+  const kernel::IoSiteId id = kernel::Runtime::RegisterIoSite(desc);
+  const kernel::IoSiteDesc& d = io_sites_[id];
+
+  SiteMeta meta;
+  meta.lanes.reserve(d.lanes);
+  for (uint32_t l = 0; l < d.lanes; ++l) {
+    // One lock_##fn##task##num record per lane (Section 4.5; loops get a lane array).
+    const uint32_t base = dev_->mem().AllocFram(
+        "easeio.io." + d.name + "." + std::to_string(l), kLaneBytes,
+        sim::AllocPurpose::kRuntimeMeta);
+    meta.lanes.push_back({base});
+  }
+  meta.site_seq_addr = dev_->mem().AllocFram("easeio.io." + d.name + ".seq", 2,
+                                             sim::AllocPurpose::kRuntimeMeta);
+  io_meta_.push_back(std::move(meta));
+  TaskSeqAddr(d.task);  // ensure the per-task sequence counter exists
+  return id;
+}
+
+kernel::IoBlockId EaseioRuntime::RegisterIoBlock(kernel::IoBlockDesc desc) {
+  const kernel::IoBlockId id = kernel::Runtime::RegisterIoBlock(desc);
+  const uint32_t base = dev_->mem().AllocFram("easeio.block." + blocks_[id].name, kBlockBytes,
+                                              sim::AllocPurpose::kRuntimeMeta);
+  block_meta_.push_back({base});
+  return id;
+}
+
+kernel::DmaSiteId EaseioRuntime::RegisterDmaSite(kernel::DmaSiteDesc desc) {
+  EASEIO_CHECK(desc.related_io == kernel::kNoSite || desc.related_io < io_sites_.size(),
+               "DMA related to unregistered I/O site");
+  const kernel::DmaSiteId id = kernel::Runtime::RegisterDmaSite(desc);
+  const kernel::DmaSiteDesc& d = dma_sites_[id];
+
+  if (priv_buf_addr_ == 0 && config_.dma_priv_buffer_bytes > 0) {
+    // Lazy: applications without DMA never pay for the privatization buffer.
+    priv_buf_addr_ = dev_->mem().AllocFram("easeio.dma.privbuf", config_.dma_priv_buffer_bytes,
+                                           sim::AllocPurpose::kPrivBuffer);
+    priv_cursor_addr_ =
+        dev_->mem().AllocFram("easeio.dma.cursor", 4, sim::AllocPurpose::kRuntimeMeta);
+  }
+
+  const uint32_t base = dev_->mem().AllocFram("easeio.dma." + d.name, kDmaBytes,
+                                              sim::AllocPurpose::kRuntimeMeta);
+  const uint32_t region = task_dma_count_[d.task]++;
+  dma_meta_.push_back({base, region});
+  TaskSeqAddr(d.task);
+  return id;
+}
+
+void EaseioRuntime::SetTaskRegions(kernel::TaskId task,
+                                   std::vector<std::vector<kernel::NvSlotId>> regions) {
+  if (!config_.enable_regional_privatization) {
+    return;  // ablation: run without the regional machinery
+  }
+  auto it = task_dma_count_.find(task);
+  const uint32_t dma_count = it == task_dma_count_.end() ? 0 : it->second;
+  EASEIO_CHECK(regions.size() == dma_count + 1,
+               "a task with N DMA sites needs N+1 regions (register DMA sites first)");
+  regional_.SetTaskRegions(task, std::move(regions));
+}
+
+uint32_t EaseioRuntime::TaskSeqAddr(kernel::TaskId task) {
+  auto it = task_seq_addr_.find(task);
+  if (it != task_seq_addr_.end()) {
+    return it->second;
+  }
+  const uint32_t addr = dev_->mem().AllocFram("easeio.taskseq." + std::to_string(task), 2,
+                                              sim::AllocPurpose::kRuntimeMeta);
+  task_seq_addr_[task] = addr;
+  return addr;
+}
+
+uint16_t EaseioRuntime::NextSeq(kernel::TaskCtx& ctx, kernel::TaskId task) {
+  const uint32_t addr = TaskSeqAddr(task);
+  const uint16_t next = static_cast<uint16_t>(ctx.dev().LoadWord(addr) + 1);
+  ctx.dev().StoreWord(addr, next);
+  return next;
+}
+
+EaseioRuntime::BlockMode EaseioRuntime::EffectiveBlockMode() const {
+  // Scope precedence (Section 3.3.1): the outermost decisive block wins.
+  for (const BlockEntry& e : block_stack_) {
+    if (e.mode != BlockMode::kNormal) {
+      return e.mode;
+    }
+  }
+  return BlockMode::kNormal;
+}
+
+bool EaseioRuntime::NeedExecute(kernel::TaskCtx& ctx, const kernel::IoSiteDesc& desc,
+                                const LaneMeta& lane) {
+  sim::Device& dev = ctx.dev();
+  switch (desc.sem) {
+    case IoSemantic::kAlways:
+      return true;
+    case IoSemantic::kSingle:
+      if (dev.LoadWord(lane.base + kLaneFlag) == 0) {
+        return true;
+      }
+      break;
+    case IoSemantic::kTimely: {
+      if (dev.LoadWord(lane.base + kLaneFlag) == 0) {
+        return true;
+      }
+      const uint32_t ts = dev.LoadWord32(lane.base + kLaneTs);
+      const uint32_t now = static_cast<uint32_t>(ctx.NowUs());
+      if (now - ts > desc.window_us) {
+        return true;  // reading expired
+      }
+      break;
+    }
+  }
+  // Completed and still valid. Re-execute anyway if a producer we depend on has run
+  // more recently than we have (Section 3.3.2).
+  const uint16_t my_seq = dev.LoadWord(lane.base + kLaneSeq);
+  for (kernel::IoSiteId p : desc.depends_on) {
+    if (dev.LoadWord(io_meta_[p].site_seq_addr) > my_seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int16_t EaseioRuntime::CallIo(kernel::TaskCtx& ctx, kernel::IoSiteId site, uint32_t lane,
+                              const kernel::IoOp& op) {
+  EASEIO_CHECK(site < io_sites_.size(), "unknown io site");
+  const kernel::IoSiteDesc& desc = io_sites_[site];
+  EASEIO_CHECK(lane < desc.lanes, "io lane out of range");
+  const LaneMeta& meta = io_meta_[site].lanes[lane];
+  sim::Device& dev = ctx.dev();
+
+  bool exec = false;
+  int16_t value = 0;
+  {
+    sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+    dev.Cpu(3);  // the generated guard branch
+    const BlockMode bm = EffectiveBlockMode();
+    if (bm == BlockMode::kSkip) {
+      exec = false;
+    } else if (bm == BlockMode::kForce) {
+      exec = true;
+    } else {
+      exec = NeedExecute(ctx, desc, meta);
+    }
+    if (!exec) {
+      // Restore the private copy of the last successful result so the program takes
+      // the same branches it would under continuous power.
+      ++dev.stats().io_skipped;
+      value = static_cast<int16_t>(dev.LoadWord(meta.base + kLanePriv));
+    }
+  }
+
+  if (exec) {
+    value = ExecuteIo(ctx, site, lane, op);
+    sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+    // Record completion: value, timestamp, sequence — lock flag last, as the commit
+    // point (a failure before it simply re-executes the operation).
+    dev.StoreWord(meta.base + kLanePriv, static_cast<uint16_t>(value));
+    dev.StoreWord32(meta.base + kLaneTs, static_cast<uint32_t>(ctx.NowUs()));
+    const uint16_t seq = NextSeq(ctx, desc.task);
+    dev.StoreWord(meta.base + kLaneSeq, seq);
+    dev.StoreWord(io_meta_[site].site_seq_addr, seq);
+    dev.StoreWord(meta.base + kLaneFlag, 1);
+  }
+  return value;
+}
+
+void EaseioRuntime::IoBlockBegin(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
+  EASEIO_CHECK(block < blocks_.size(), "unknown io block");
+  const kernel::IoBlockDesc& desc = blocks_[block];
+  const BlockMeta& meta = block_meta_[block];
+  sim::Device& dev = ctx.dev();
+
+  if (block_stack_.empty()) {
+    EASEIO_CHECK(desc.parent == kernel::kNoBlock, "nested block entered without its parent");
+  } else {
+    EASEIO_CHECK(desc.parent == block_stack_.back().id, "block nesting mismatch");
+  }
+
+  sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+  dev.Cpu(3);
+  BlockMode mode = BlockMode::kNormal;
+  switch (desc.sem) {
+    case IoSemantic::kSingle:
+      mode = dev.LoadWord(meta.base + kBlockFlag) != 0 ? BlockMode::kSkip : BlockMode::kNormal;
+      break;
+    case IoSemantic::kTimely: {
+      if (dev.LoadWord(meta.base + kBlockFlag) == 0) {
+        mode = BlockMode::kNormal;
+      } else {
+        const uint32_t ts = dev.LoadWord32(meta.base + kBlockTs);
+        const uint32_t now = static_cast<uint32_t>(ctx.NowUs());
+        // An expired block forces everything inside to re-execute, overriding inner
+        // Single annotations (scope precedence).
+        mode = (now - ts <= desc.window_us) ? BlockMode::kSkip : BlockMode::kForce;
+      }
+      break;
+    }
+    case IoSemantic::kAlways:
+      mode = BlockMode::kForce;
+      break;
+  }
+  block_stack_.push_back({block, mode});
+}
+
+void EaseioRuntime::IoBlockEnd(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
+  EASEIO_CHECK(!block_stack_.empty() && block_stack_.back().id == block,
+               "unbalanced io block end");
+  const BlockMode mode = block_stack_.back().mode;
+  block_stack_.pop_back();
+
+  sim::Device& dev = ctx.dev();
+  sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+  dev.Cpu(3);
+  if (mode != BlockMode::kSkip) {
+    const BlockMeta& meta = block_meta_[block];
+    dev.StoreWord32(meta.base + kBlockTs, static_cast<uint32_t>(ctx.NowUs()));
+    dev.StoreWord(meta.base + kBlockFlag, 1);
+  }
+}
+
+void EaseioRuntime::DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32_t dst,
+                            uint32_t src, uint32_t nbytes) {
+  EASEIO_CHECK(site < dma_sites_.size(), "unknown dma site");
+  const kernel::DmaSiteDesc& desc = dma_sites_[site];
+  const DmaMeta& meta = dma_meta_[site];
+  sim::Device& dev = ctx.dev();
+
+  enum class DmaType { kSingle, kPrivate, kAlways };
+
+  // --- Resolve semantics and the re-execution decision (charged overhead) --------------
+  DmaType type = DmaType::kAlways;
+  bool force_dep = false;
+  bool skip = false;
+  bool was_completed = false;  // a full transfer has completed before (redundancy tag)
+  uint32_t priv_addr = 0;
+  bool phase1_needed = false;
+  {
+    sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+    dev.Cpu(6);  // address classification + dispatch
+    const sim::MemKind sk = dev.mem().Classify(src);
+    const sim::MemKind dk = dev.mem().Classify(dst);
+    if (desc.exclude) {
+      // Programmer vouches the source is constant: plain re-executable copy, no
+      // privatization (Section 4.3, the "EaseIO /Op." configuration).
+      type = DmaType::kAlways;
+    } else if (dk == sim::MemKind::kFram) {
+      type = DmaType::kSingle;
+    } else if (sk == sim::MemKind::kFram) {
+      type = DmaType::kPrivate;
+    } else {
+      type = DmaType::kAlways;
+    }
+
+    if (desc.related_io != kernel::kNoSite) {
+      // The transfer moves an I/O operation's output: it must re-run whenever that
+      // operation has executed since our last transfer (Section 4.3.1).
+      const uint16_t producer_seq = dev.LoadWord(io_meta_[desc.related_io].site_seq_addr);
+      force_dep = producer_seq > dev.LoadWord(meta.base + kDmaSeq);
+    }
+
+    was_completed = dev.LoadWord(meta.base + kDmaSeq) != 0;
+
+    switch (type) {
+      case DmaType::kSingle:
+        skip = dev.LoadWord(meta.base + kDmaDone) != 0 && !force_dep;
+        break;
+      case DmaType::kPrivate: {
+        // Two-phase copy through the privatization buffer. Assign this site's slice of
+        // the shared buffer on first use.
+        EASEIO_CHECK(priv_buf_addr_ != 0, "Private DMA with no privatization buffer");
+        uint32_t off_plus1 = dev.LoadWord32(meta.base + kDmaPrivOff);
+        if (off_plus1 == 0) {
+          const uint32_t cursor = dev.LoadWord32(priv_cursor_addr_);
+          EASEIO_CHECK(cursor + nbytes <= config_.dma_priv_buffer_bytes,
+                       "DMA privatization buffer exhausted (raise dma_priv_buffer_bytes)");
+          dev.StoreWord32(meta.base + kDmaPrivOff, cursor + 1);
+          dev.StoreWord32(priv_cursor_addr_, cursor + nbytes);
+          off_plus1 = cursor + 1;
+        }
+        priv_addr = priv_buf_addr_ + (off_plus1 - 1);
+        // Phase 1 (source -> buffer) runs once — or again when the source data itself
+        // was regenerated by a dependent I/O operation.
+        phase1_needed = dev.LoadWord(meta.base + kDmaPhase1) == 0 || force_dep;
+        break;
+      }
+      case DmaType::kAlways:
+        break;
+    }
+  }
+
+  // --- Perform the transfer(s) -------------------------------------------------------------
+  bool executed = false;
+  switch (type) {
+    case DmaType::kSingle:
+      if (skip) {
+        ++dev.stats().dma_skipped;
+      } else {
+        ExecuteDmaTagged(ctx, site, dst, src, nbytes, was_completed);
+        executed = true;
+      }
+      break;
+    case DmaType::kPrivate:
+      if (phase1_needed) {
+        // The copy into the privatization buffer is pure runtime machinery — charged
+        // as overhead, like the baselines' privatize-in copies.
+        sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+        ExecuteDmaTagged(ctx, site, priv_addr, src, nbytes, /*redundant=*/false);
+        dev.StoreWord(meta.base + kDmaPhase1, 1);
+      }
+      // Phase 2 re-runs on every attempt: the destination is volatile, but it reads the
+      // pristine private copy, so later writes to the source cannot corrupt it.
+      ExecuteDmaTagged(ctx, site, dst, priv_addr, nbytes, was_completed);
+      executed = true;
+      break;
+    case DmaType::kAlways:
+      ExecuteDmaTagged(ctx, site, dst, src, nbytes, was_completed);
+      executed = true;
+      break;
+  }
+
+  // --- Region boundary (Section 4.4) ---------------------------------------------------------
+  const uint32_t next_region = meta.region_index + 1;
+  if (executed) {
+    regional_.EnterRegionAfterDmaExec(ctx, ctx.current_task(), next_region, dst, nbytes);
+    sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+    const uint16_t seq = NextSeq(ctx, ctx.current_task());
+    dev.StoreWord(meta.base + kDmaSeq, seq);
+    if (type == DmaType::kSingle) {
+      // Completion flag only after privatization succeeded: DMA + snapshot are atomic.
+      dev.StoreWord(meta.base + kDmaDone, 1);
+    }
+  } else {
+    regional_.EnterRegion(ctx, ctx.current_task(), next_region);
+  }
+}
+
+void EaseioRuntime::OnTaskBegin(kernel::TaskCtx& ctx) {
+  EASEIO_CHECK(block_stack_.empty(), "task entered with open io blocks");
+  {
+    sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kOverhead);
+    ctx.dev().Cpu(12);  // task prologue + region dispatch
+  }
+  regional_.EnterRegion(ctx, ctx.current_task(), 0);
+}
+
+void EaseioRuntime::OnTaskCommit(kernel::TaskCtx& ctx) {
+  const kernel::TaskId task = ctx.current_task();
+  {
+    sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kOverhead);
+    sim::Device& dev = ctx.dev();
+    dev.Cpu(10);
+    // Invalidate all re-execution state: the next incarnation of this task is new work
+    // and must perform its I/O afresh. The invalidation commits *atomically with the
+    // task transition* — a power failure that tears it would otherwise re-run the task
+    // with some flags cleared, re-executing Single DMAs against already-overwritten
+    // sources. The cost is charged first; the words clear only if power holds.
+    std::vector<uint32_t> words;
+    for (kernel::IoSiteId s = 0; s < io_sites_.size(); ++s) {
+      if (io_sites_[s].task != task) {
+        continue;
+      }
+      for (const LaneMeta& lane : io_meta_[s].lanes) {
+        words.push_back(lane.base + kLaneFlag);
+        words.push_back(lane.base + kLaneSeq);
+      }
+      words.push_back(io_meta_[s].site_seq_addr);
+    }
+    for (kernel::IoBlockId b = 0; b < blocks_.size(); ++b) {
+      if (blocks_[b].task == task) {
+        words.push_back(block_meta_[b].base + kBlockFlag);
+      }
+    }
+    for (kernel::DmaSiteId d = 0; d < dma_sites_.size(); ++d) {
+      if (dma_sites_[d].task == task) {
+        words.push_back(dma_meta_[d].base + kDmaDone);
+        words.push_back(dma_meta_[d].base + kDmaPhase1);
+        words.push_back(dma_meta_[d].base + kDmaSeq);
+      }
+    }
+    regional_.CollectFlagAddrs(task, &words);
+    auto it = task_seq_addr_.find(task);
+    if (it != task_seq_addr_.end()) {
+      words.push_back(it->second);
+    }
+    dev.Spend(static_cast<uint64_t>(words.size()) * sim::kFramWriteCycles,
+              static_cast<double>(words.size()) * sim::kFramWriteEnergyJ);
+    for (uint32_t addr : words) {
+      dev.mem().Write16(addr, 0);
+    }
+  }
+  kernel::Runtime::OnTaskCommit(ctx);
+}
+
+void EaseioRuntime::OnReboot() { block_stack_.clear(); }
+
+uint32_t EaseioRuntime::CodeSizeBytes() const {
+  uint32_t lanes = 0;
+  for (const kernel::IoSiteDesc& d : io_sites_) {
+    lanes += d.lanes > 1 ? 1 : 0;  // loop sites share one generated guard
+  }
+  // Runtime core (semantic dispatch, DMA classifier, regional machinery) plus the
+  // generated guard code per construct.
+  return 1650 + 42 * static_cast<uint32_t>(io_sites_.size()) + 12 * lanes +
+         28 * static_cast<uint32_t>(blocks_.size()) +
+         68 * static_cast<uint32_t>(dma_sites_.size()) + 30 * regional_.TotalRegions();
+}
+
+bool EaseioRuntime::SiteDone(kernel::IoSiteId site, uint32_t lane) const {
+  return dev_->mem().Read16(io_meta_[site].lanes[lane].base + kLaneFlag) != 0;
+}
+
+bool EaseioRuntime::BlockDone(kernel::IoBlockId block) const {
+  return dev_->mem().Read16(block_meta_[block].base + kBlockFlag) != 0;
+}
+
+bool EaseioRuntime::DmaDone(kernel::DmaSiteId site) const {
+  return dev_->mem().Read16(dma_meta_[site].base + kDmaDone) != 0;
+}
+
+}  // namespace easeio::rt

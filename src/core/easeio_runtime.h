@@ -1,0 +1,150 @@
+// The EaseIO runtime — the paper's primary contribution.
+//
+// EaseIO extends the task model with programmer-annotated *re-execution semantics* for
+// peripheral operations and makes repeated I/O safe:
+//
+//   * _call_IO  (CallIo override): each site lane owns non-volatile metadata — a lock
+//     flag, a completion timestamp, a private copy of the returned value, and a
+//     sequence number. Single sites never re-execute after completing; Timely sites
+//     re-execute only when their freshness window expired; Always sites re-execute on
+//     every attempt. Skipped calls restore the private value, so control flow follows
+//     the same branches continuous execution would take (Section 3.5).
+//
+//   * _IO_block_begin/_end (IoBlockBegin/End overrides): a block carries its own
+//     semantics with *scope precedence* — a satisfied block skips everything inside
+//     regardless of inner annotations; a violated (expired) block forces everything
+//     inside to re-execute (Section 3.3.1).
+//
+//   * data dependence (Section 3.3.2): a consumer site re-executes whenever a producer
+//     it depends on has executed more recently, tracked with per-task sequence numbers.
+//
+//   * _DMA_copy (DmaCopy override): semantics are resolved at run time from the source
+//     and destination memory kinds — NV-destination transfers are Single;
+//     NV-source/volatile-destination transfers are Private (a two-phase copy through a
+//     non-volatile privatization buffer so re-execution reads pristine source data);
+//     volatile-to-volatile transfers are Always. The programmer's Exclude annotation
+//     opts constant data out of privatization, and I/O-dependent DMAs inherit their
+//     producer's re-execution (Section 4.3).
+//
+//   * regional privatization (Section 4.4): see core/regional.h. Every DMA site is a
+//     region boundary; the DMA completion flag is set only after the next region's
+//     privatization finishes.
+//
+// All bookkeeping lives in simulated FRAM and every check/update is charged to the
+// device under Phase::kOverhead — the runtime's cost is measured, not assumed.
+
+#ifndef EASEIO_CORE_EASEIO_RUNTIME_H_
+#define EASEIO_CORE_EASEIO_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/regional.h"
+#include "kernel/runtime.h"
+
+namespace easeio::rt {
+
+struct EaseioConfig {
+  // Size of the shared DMA privatization buffer. The paper uses 4 KB; applications
+  // without DMA allocate none (the buffer is created lazily).
+  uint32_t dma_priv_buffer_bytes = 4096;
+
+  // Ablation switch: when false, declared task regions are ignored — no snapshots, no
+  // recovery. Used by bench_ablation_regional to quantify what regional privatization
+  // costs and what it prevents. Production configuration is `true`.
+  bool enable_regional_privatization = true;
+};
+
+class EaseioRuntime : public kernel::Runtime {
+ public:
+  explicit EaseioRuntime(EaseioConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "EaseIO"; }
+
+  void Bind(sim::Device& dev, kernel::NvManager& nv) override;
+
+  kernel::IoSiteId RegisterIoSite(kernel::IoSiteDesc desc) override;
+  kernel::IoBlockId RegisterIoBlock(kernel::IoBlockDesc desc) override;
+  kernel::DmaSiteId RegisterDmaSite(kernel::DmaSiteDesc desc) override;
+
+  // Declares the compiler-extracted region structure for a task (see
+  // RegionalPrivatizer::SetTaskRegions). A task with N registered DMA sites needs
+  // N + 1 regions.
+  void SetTaskRegions(kernel::TaskId task,
+                      std::vector<std::vector<kernel::NvSlotId>> regions);
+
+  void DeclareTaskRegions(kernel::TaskId task,
+                          std::vector<std::vector<kernel::NvSlotId>> regions) override {
+    SetTaskRegions(task, std::move(regions));
+  }
+
+  void OnTaskBegin(kernel::TaskCtx& ctx) override;
+  void OnTaskCommit(kernel::TaskCtx& ctx) override;
+  void OnReboot() override;
+
+  int16_t CallIo(kernel::TaskCtx& ctx, kernel::IoSiteId site, uint32_t lane,
+                 const kernel::IoOp& op) override;
+  void IoBlockBegin(kernel::TaskCtx& ctx, kernel::IoBlockId block) override;
+  void IoBlockEnd(kernel::TaskCtx& ctx, kernel::IoBlockId block) override;
+  void DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32_t dst, uint32_t src,
+               uint32_t nbytes) override;
+
+  uint32_t CodeSizeBytes() const override;
+
+  // --- Introspection (tests / harness) --------------------------------------------------
+  // True when the site lane's lock flag is set (operation completed and not yet
+  // invalidated by commit).
+  bool SiteDone(kernel::IoSiteId site, uint32_t lane = 0) const;
+  bool BlockDone(kernel::IoBlockId block) const;
+  bool DmaDone(kernel::DmaSiteId site) const;
+
+ private:
+  enum class BlockMode : uint8_t { kNormal, kSkip, kForce };
+
+  // FRAM layout of one I/O site lane.
+  struct LaneMeta {
+    uint32_t base;  // +0 flag(2) +2 ts_us(4) +6 priv(2) +8 seq(2)
+  };
+  struct SiteMeta {
+    std::vector<LaneMeta> lanes;
+    uint32_t site_seq_addr;  // most recent execution seq across lanes (dependence)
+  };
+  struct BlockMeta {
+    uint32_t base;  // +0 flag(2) +2 ts_us(4)
+  };
+  struct DmaMeta {
+    uint32_t base;          // +0 done(2) +2 phase1(2) +4 priv_off_plus1(4) +8 seq(2)
+    uint32_t region_index;  // ordinal among the task's DMA sites
+  };
+
+  uint32_t TaskSeqAddr(kernel::TaskId task);
+  uint16_t NextSeq(kernel::TaskCtx& ctx, kernel::TaskId task);
+  BlockMode EffectiveBlockMode() const;
+  // Resolves the re-execution decision for a site lane outside of block overrides.
+  bool NeedExecute(kernel::TaskCtx& ctx, const kernel::IoSiteDesc& desc, const LaneMeta& lane);
+
+  EaseioConfig config_;
+  RegionalPrivatizer regional_;
+
+  std::vector<SiteMeta> io_meta_;
+  std::vector<BlockMeta> block_meta_;
+  std::vector<DmaMeta> dma_meta_;
+  std::map<kernel::TaskId, uint32_t> task_seq_addr_;
+  std::map<kernel::TaskId, uint32_t> task_dma_count_;
+
+  // Shared DMA privatization buffer (lazy).
+  uint32_t priv_buf_addr_ = 0;
+  uint32_t priv_cursor_addr_ = 0;  // FRAM u32: next free offset
+
+  // Volatile (SRAM-resident) state, cleared on reboot.
+  struct BlockEntry {
+    kernel::IoBlockId id;
+    BlockMode mode;
+  };
+  std::vector<BlockEntry> block_stack_;
+};
+
+}  // namespace easeio::rt
+
+#endif  // EASEIO_CORE_EASEIO_RUNTIME_H_

@@ -1,0 +1,151 @@
+#include "core/regional.h"
+
+namespace easeio::rt {
+
+namespace {
+
+// Spend the bus cost, then move the bytes atomically (see baselines/alpaca.cc for the
+// rationale; the same torn-copy argument applies to snapshots and restores).
+void ChargedAtomicCopy(sim::Device& dev, uint32_t dst, uint32_t src, uint32_t nbytes) {
+  const uint32_t words = (nbytes + 1) / 2;
+  dev.Spend(static_cast<uint64_t>(words) * (sim::kFramReadCycles + sim::kFramWriteCycles),
+            static_cast<double>(words) * (sim::kFramReadEnergyJ + sim::kFramWriteEnergyJ));
+  dev.mem().Copy(dst, src, nbytes);
+}
+
+}  // namespace
+
+void RegionalPrivatizer::SetTaskRegions(kernel::TaskId task,
+                                        std::vector<std::vector<kernel::NvSlotId>> regions) {
+  EASEIO_CHECK(dev_ != nullptr, "SetTaskRegions before Bind");
+  EASEIO_CHECK(!regions.empty(), "a task has at least one region");
+  EASEIO_CHECK(tasks_.find(task) == tasks_.end(), "task regions already declared");
+
+  std::vector<Region> out;
+  out.reserve(regions.size());
+  for (size_t r = 0; r < regions.size(); ++r) {
+    Region region;
+    region.slots = regions[r];
+    uint32_t snap_size = 0;
+    for (kernel::NvSlotId id : region.slots) {
+      snap_size += nv_->slot(id).size;
+    }
+    const std::string tag =
+        "easeio.region." + std::to_string(task) + "." + std::to_string(r);
+    region.flag_addr =
+        dev_->mem().AllocFram(tag + ".flag", 2, sim::AllocPurpose::kRuntimeMeta);
+    if (snap_size > 0) {
+      region.snap_addr =
+          dev_->mem().AllocFram(tag + ".snap", snap_size, sim::AllocPurpose::kRuntimeMeta);
+    }
+    region.snap_size = snap_size;
+    out.push_back(std::move(region));
+    ++total_regions_;
+  }
+  tasks_[task] = std::move(out);
+}
+
+uint32_t RegionalPrivatizer::RegionCount(kernel::TaskId task) const {
+  auto it = tasks_.find(task);
+  return it == tasks_.end() ? 0 : static_cast<uint32_t>(it->second.size());
+}
+
+void RegionalPrivatizer::EnterRegion(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) {
+    return;  // undeclared task: single implicit region, nothing privatized
+  }
+  EASEIO_CHECK(r < it->second.size(), "region index out of range");
+  Region& region = it->second[r];
+
+  sim::Device& dev = ctx.dev();
+  sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+
+  const bool priv_done = dev.LoadWord(region.flag_addr) != 0;
+  if (!priv_done) {
+    // First arrival in this incarnation: snapshot the region's variables, then set the
+    // flag last so a torn snapshot is simply re-taken from (still unmodified)
+    // originals.
+    uint32_t off = 0;
+    for (kernel::NvSlotId id : region.slots) {
+      const kernel::NvSlot& s = nv_->slot(id);
+      ChargedAtomicCopy(dev, region.snap_addr + off, s.addr, s.size);
+      off += s.size;
+    }
+    dev.StoreWord(region.flag_addr, 1);
+  } else {
+    // Re-arrival after a power failure: recover the region's variables. Restoring is
+    // idempotent, so a failure mid-restore is harmless.
+    uint32_t off = 0;
+    for (kernel::NvSlotId id : region.slots) {
+      const kernel::NvSlot& s = nv_->slot(id);
+      ChargedAtomicCopy(dev, s.addr, region.snap_addr + off, s.size);
+      off += s.size;
+    }
+  }
+}
+
+void RegionalPrivatizer::EnterRegionAfterDmaExec(kernel::TaskCtx& ctx, kernel::TaskId task,
+                                                 uint32_t r, uint32_t dst, uint32_t dst_size) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) {
+    return;
+  }
+  EASEIO_CHECK(r < it->second.size(), "region index out of range");
+  Region& region = it->second[r];
+
+  sim::Device& dev = ctx.dev();
+  sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+
+  const bool priv_done = dev.LoadWord(region.flag_addr) != 0;
+  uint32_t off = 0;
+  if (priv_done) {
+    // Undo partial CPU writes from the failed attempt, except where the fresh DMA
+    // output now lives.
+    for (kernel::NvSlotId id : region.slots) {
+      const kernel::NvSlot& s = nv_->slot(id);
+      const bool overlaps = s.addr < dst + dst_size && dst < s.addr + s.size;
+      if (!overlaps) {
+        ChargedAtomicCopy(dev, s.addr, region.snap_addr + off, s.size);
+      }
+      off += s.size;
+    }
+  }
+  // (Re-)snapshot: later recoveries must reproduce the post-DMA state.
+  off = 0;
+  for (kernel::NvSlotId id : region.slots) {
+    const kernel::NvSlot& s = nv_->slot(id);
+    ChargedAtomicCopy(dev, region.snap_addr + off, s.addr, s.size);
+    off += s.size;
+  }
+  dev.StoreWord(region.flag_addr, 1);
+}
+
+void RegionalPrivatizer::InvalidateFrom(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r) {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) {
+    return;
+  }
+  sim::Device& dev = ctx.dev();
+  sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
+  for (uint32_t k = r; k < it->second.size(); ++k) {
+    dev.StoreWord(it->second[k].flag_addr, 0);
+  }
+}
+
+void RegionalPrivatizer::OnTaskCommit(kernel::TaskCtx& ctx, kernel::TaskId task) {
+  InvalidateFrom(ctx, task, 0);
+}
+
+void RegionalPrivatizer::CollectFlagAddrs(kernel::TaskId task,
+                                          std::vector<uint32_t>* out) const {
+  auto it = tasks_.find(task);
+  if (it == tasks_.end()) {
+    return;
+  }
+  for (const Region& r : it->second) {
+    out->push_back(r.flag_addr);
+  }
+}
+
+}  // namespace easeio::rt

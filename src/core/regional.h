@@ -1,0 +1,91 @@
+// Regional privatization (Sections 3.4 and 4.4).
+//
+// EaseIO cannot use Alpaca-style whole-task privatization: a Single-annotated DMA that
+// completed before a power failure is *skipped* on re-execution, so restoring all
+// non-volatile variables to their task-entry values would erase the DMA's effects.
+// Instead, a task containing N DMA sites is split into N+1 regions at the DMA
+// positions, and each region snapshots the non-volatile variables it accesses at its
+// entry:
+//   * first arrival at a region (per task incarnation): snapshot the variables and set
+//     the region's privatization flag;
+//   * re-arrival after a power failure (flag already set): restore the snapshot —
+//     undoing any partial writes the interrupted attempt made in this region, while
+//     preserving everything the preceding (now skipped) DMAs established.
+// A DMA that *does* execute again (Always / Private / dependence-forced) changes the
+// state later snapshots captured, so executing a DMA invalidates the snapshots of all
+// downstream regions; they are re-taken on arrival.
+//
+// The DMA-completion flag is set only after the following region's privatization
+// finishes, making "DMA + snapshot" atomic (Figure 6).
+
+#ifndef EASEIO_CORE_REGIONAL_H_
+#define EASEIO_CORE_REGIONAL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernel/nv.h"
+#include "kernel/task.h"
+#include "sim/device.h"
+
+namespace easeio::rt {
+
+class RegionalPrivatizer {
+ public:
+  void Bind(sim::Device& dev, kernel::NvManager& nv) {
+    dev_ = &dev;
+    nv_ = &nv;
+  }
+
+  // Declares the region structure of `task`: regions[k] lists the non-volatile slots
+  // the CPU accesses in region k (what the compiler front-end extracts, Section 4.5.1).
+  // A task with N DMA sites must declare N+1 regions. Tasks never declared here are
+  // treated as a single region with no privatized variables.
+  void SetTaskRegions(kernel::TaskId task, std::vector<std::vector<kernel::NvSlotId>> regions);
+
+  // Number of declared regions for `task` (0 when undeclared).
+  uint32_t RegionCount(kernel::TaskId task) const;
+
+  // Enters region `r` of `task`: snapshot on first arrival, restore on re-arrival.
+  // Charged as runtime overhead.
+  void EnterRegion(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r);
+
+  // Enters region `r` right after the DMA guarding it *executed* (rather than being
+  // skipped). The DMA may have rewritten [dst, dst+size): restore every slot that does
+  // not overlap that range (undoing any partial CPU writes from a failed attempt),
+  // keep the fresh DMA output, and re-take the snapshot so later recoveries see the
+  // new data.
+  void EnterRegionAfterDmaExec(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r,
+                               uint32_t dst, uint32_t dst_size);
+
+  // Invalidates the snapshots of regions >= r (a DMA before them just re-executed).
+  void InvalidateFrom(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r);
+
+  // Clears all privatization flags of `task` (task committed).
+  void OnTaskCommit(kernel::TaskCtx& ctx, kernel::TaskId task);
+
+  // Appends the FRAM addresses of all of `task`'s region flags — the EaseIO runtime
+  // folds them into its atomic commit-time invalidation.
+  void CollectFlagAddrs(kernel::TaskId task, std::vector<uint32_t>* out) const;
+
+  // Total regions across all tasks (code-size model input).
+  uint32_t TotalRegions() const { return total_regions_; }
+
+ private:
+  struct Region {
+    std::vector<kernel::NvSlotId> slots;
+    uint32_t flag_addr = 0;  // FRAM: privatization-complete flag
+    uint32_t snap_addr = 0;  // FRAM: concatenated snapshot storage
+    uint32_t snap_size = 0;
+  };
+
+  sim::Device* dev_ = nullptr;
+  kernel::NvManager* nv_ = nullptr;
+  std::map<kernel::TaskId, std::vector<Region>> tasks_;
+  uint32_t total_regions_ = 0;
+};
+
+}  // namespace easeio::rt
+
+#endif  // EASEIO_CORE_REGIONAL_H_

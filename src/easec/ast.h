@@ -1,0 +1,154 @@
+// Abstract syntax tree for EaseC.
+//
+// The tree is deliberately close to the paper's surface syntax: tasks over statements,
+// with _call_IO / _IO_block_begin / _IO_block_end / _DMA_copy as first-class nodes so
+// the semantic passes (precedence, dependence, regions) and the source-to-source
+// transform can reason about them directly — the same information Clang AST matchers
+// extract in the original implementation.
+
+#ifndef EASEIO_EASEC_AST_H_
+#define EASEIO_EASEC_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/io.h"
+
+namespace easeio::easec {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// --- Expressions -------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kVarRef,     // local or __nv scalar
+  kIndex,      // nv_array[expr]
+  kUnary,      // -x, !x
+  kBinary,     // arithmetic / comparison / logical
+  kCallIo,     // _call_IO(Fn(args...), "Sem"[, window_ms])
+  kBuiltin,    // GetTime(), etc. — non-peripheral builtins
+  kAddrOf,     // &name or &name[expr]: address argument for _DMA_copy
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp : uint8_t { kNeg, kNot };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kIntLit
+  int64_t int_value = 0;
+
+  // kVarRef / kIndex / kAddrOf / kBuiltin / kCallIo (io function name)
+  std::string name;
+
+  // kIndex / kAddrOf: subscript (may be null for &name)
+  ExprPtr index;
+
+  // kUnary / kBinary
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kCallIo / kBuiltin: peripheral-call arguments (e.g. Send(buf, 6)).
+  std::vector<ExprPtr> args;
+
+  // kCallIo: annotation.
+  kernel::IoSemantic sem = kernel::IoSemantic::kAlways;
+  uint64_t window_ms = 0;
+
+  // Filled by sema: site id for kCallIo; symbol binding for names.
+  uint32_t site_id = UINT32_MAX;
+  int32_t local_slot = -1;   // >= 0 when the name is a task-local variable
+  int32_t nv_index = -1;     // >= 0 when the name is a __nv global
+};
+
+// --- Statements ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kDeclLocal,   // int16 x; / int16 x = expr;
+  kAssign,      // lvalue = expr;
+  kIf,
+  kWhile,
+  kRepeat,      // repeat (N) { ... } — fixed-trip loop (lane arrays, Section 6)
+  kIoBlock,     // _IO_block_begin(...) ... _IO_block_end  (brace-matched by the parser)
+  kDma,         // _DMA_copy(dst, src, bytes[, Exclude]);
+  kNextTask,    // next_task(name);
+  kEndTask,     // end_task;
+  kExprStmt,    // expression evaluated for effect (a bare _call_IO)
+  kDelay,       // delay(cycles); — models compute
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kDeclLocal / kAssign target
+  std::string name;
+  ExprPtr index;  // non-null for nv_array[i] = ...
+  ExprPtr value;  // initialiser / RHS / condition / repeat count / delay cycles / expr
+
+  // kIf
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+
+  // kWhile / kRepeat / kIoBlock bodies
+  std::vector<StmtPtr> body;
+
+  // kIoBlock annotation
+  kernel::IoSemantic sem = kernel::IoSemantic::kSingle;
+  uint64_t window_ms = 0;
+  uint32_t block_id = UINT32_MAX;  // filled by sema
+
+  // kDma operands
+  ExprPtr dma_dst;
+  ExprPtr dma_src;
+  ExprPtr dma_bytes;
+  bool dma_exclude = false;
+  uint32_t dma_id = UINT32_MAX;  // filled by sema
+
+  // kNextTask
+  std::string target_task;
+
+  // kAssign / kDeclLocal symbol binding (filled by sema)
+  int32_t local_slot = -1;
+  int32_t nv_index = -1;
+};
+
+// --- Declarations --------------------------------------------------------------------------
+
+struct NvDecl {
+  std::string name;
+  uint32_t elements = 1;  // 1 for scalars; N for int16 name[N]
+  bool sram = false;      // __sram: volatile staging buffer (LEA RAM), lost on failure
+  int line = 0;
+};
+
+struct TaskDecl {
+  std::string name;
+  std::vector<StmtPtr> body;
+  int line = 0;
+  uint32_t local_count = 0;  // filled by sema: number of int16 locals
+};
+
+struct Program {
+  std::vector<NvDecl> nv_decls;
+  std::vector<TaskDecl> tasks;
+};
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_AST_H_

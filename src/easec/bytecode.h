@@ -1,0 +1,56 @@
+// Bytecode for the EaseC virtual machine.
+//
+// Compiled tasks run as ordinary kernel tasks: every instruction charges simulated CPU
+// time, locals are re-initialised on task (re-)entry — the volatile-SRAM semantics —
+// and all persistent effects flow through the active Runtime's services (NvLoad/Store
+// interposition, CallIo, IoBlockBegin/End, DmaCopy), so a compiled EaseC program runs
+// identically under Alpaca, InK, or EaseIO.
+
+#ifndef EASEIO_EASEC_BYTECODE_H_
+#define EASEIO_EASEC_BYTECODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace easeio::easec {
+
+enum class Op : uint8_t {
+  kPushImm,     // push a
+  kLoadLocal,   // push locals[a]
+  kStoreLocal,  // locals[a] = pop
+  kLoadNv,      // idx = pop; push nv[a][idx]  (idx in elements)
+  kStoreNv,     // val = pop; idx = pop; nv[a][idx] = val
+
+  // Binary ops: rhs = pop, lhs = pop, push result.
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAnd, kOr,
+  kNeg, kNot,   // unary: operand = pop
+
+  kJmp,         // pc = a
+  kJz,          // if pop == 0: pc = a
+
+  kCallIo,      // a = easec site index; lane from site.lane_slot; push result
+  kBlockBegin,  // a = easec block index
+  kBlockEnd,    // a = easec block index
+  kDma,         // a = easec dma index; b = dst nv; c = src nv;
+                // stack (top last): dst_idx, src_idx, bytes
+  kGetTimeMs,   // push wall-clock milliseconds (persistent timekeeper)
+  kDelay,       // n = pop; n cycles of compute
+  kPop,         // discard the top of the stack (expression statements)
+  kNextTask,    // return task a
+  kEndTask,     // return kTaskDone
+};
+
+struct Insn {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+};
+
+using TaskCode = std::vector<Insn>;
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_BYTECODE_H_

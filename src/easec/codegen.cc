@@ -1,0 +1,216 @@
+#include "easec/codegen.h"
+
+#include <map>
+
+namespace easeio::easec {
+
+namespace {
+
+class TaskCodegen {
+ public:
+  TaskCodegen(const Program& program, const Analysis& analysis, Diagnostics& diags)
+      : program_(program), analysis_(analysis), diags_(diags) {
+    for (uint32_t i = 0; i < program.tasks.size(); ++i) {
+      task_index_[program.tasks[i].name] = static_cast<int32_t>(i);
+    }
+  }
+
+  TaskCode Generate(const TaskDecl& task) {
+    code_.clear();
+    GenStmts(task.body);
+    // A task body that falls off the end restarts itself — diagnose instead.
+    Emit(Op::kEndTask);
+    return std::move(code_);
+  }
+
+ private:
+  size_t Emit(Op op, int32_t a = 0, int32_t b = 0, int32_t c = 0) {
+    code_.push_back({op, a, b, c});
+    return code_.size() - 1;
+  }
+
+  void Patch(size_t at, int32_t target) { code_[at].a = target; }
+
+  void GenExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        Emit(Op::kPushImm, static_cast<int32_t>(expr.int_value));
+        break;
+      case ExprKind::kVarRef:
+        if (expr.local_slot >= 0) {
+          Emit(Op::kLoadLocal, expr.local_slot);
+        } else if (expr.nv_index >= 0) {
+          Emit(Op::kPushImm, 0);
+          Emit(Op::kLoadNv, expr.nv_index);
+        } else {
+          Emit(Op::kPushImm, 0);  // unresolved (already diagnosed)
+        }
+        break;
+      case ExprKind::kIndex:
+        GenExpr(*expr.index);
+        Emit(Op::kLoadNv, expr.nv_index >= 0 ? expr.nv_index : 0);
+        break;
+      case ExprKind::kAddrOf:
+        // Evaluates to the element index (the base is carried in the instruction that
+        // consumes the address — only _DMA_copy accepts these).
+        if (expr.index != nullptr) {
+          GenExpr(*expr.index);
+        } else {
+          Emit(Op::kPushImm, 0);
+        }
+        break;
+      case ExprKind::kUnary:
+        GenExpr(*expr.lhs);
+        Emit(expr.un_op == UnOp::kNeg ? Op::kNeg : Op::kNot);
+        break;
+      case ExprKind::kBinary: {
+        GenExpr(*expr.lhs);
+        GenExpr(*expr.rhs);
+        switch (expr.bin_op) {
+          case BinOp::kAdd: Emit(Op::kAdd); break;
+          case BinOp::kSub: Emit(Op::kSub); break;
+          case BinOp::kMul: Emit(Op::kMul); break;
+          case BinOp::kDiv: Emit(Op::kDiv); break;
+          case BinOp::kMod: Emit(Op::kMod); break;
+          case BinOp::kEq: Emit(Op::kEq); break;
+          case BinOp::kNe: Emit(Op::kNe); break;
+          case BinOp::kLt: Emit(Op::kLt); break;
+          case BinOp::kGt: Emit(Op::kGt); break;
+          case BinOp::kLe: Emit(Op::kLe); break;
+          case BinOp::kGe: Emit(Op::kGe); break;
+          case BinOp::kAnd: Emit(Op::kAnd); break;
+          case BinOp::kOr: Emit(Op::kOr); break;
+        }
+        break;
+      }
+      case ExprKind::kBuiltin:
+        Emit(Op::kGetTimeMs);
+        break;
+      case ExprKind::kCallIo:
+        Emit(Op::kCallIo, static_cast<int32_t>(expr.site_id));
+        break;
+    }
+  }
+
+  void GenStmts(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& stmt : stmts) {
+      GenStmt(*stmt);
+    }
+  }
+
+  void GenStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kDeclLocal:
+        if (stmt.value != nullptr) {
+          GenExpr(*stmt.value);
+          Emit(Op::kStoreLocal, stmt.local_slot);
+        }
+        break;
+      case StmtKind::kAssign:
+        if (stmt.nv_index >= 0) {
+          if (stmt.index != nullptr) {
+            GenExpr(*stmt.index);
+          } else {
+            Emit(Op::kPushImm, 0);
+          }
+          GenExpr(*stmt.value);
+          Emit(Op::kStoreNv, stmt.nv_index);
+        } else {
+          GenExpr(*stmt.value);
+          Emit(Op::kStoreLocal, stmt.local_slot >= 0 ? stmt.local_slot : 0);
+        }
+        break;
+      case StmtKind::kIf: {
+        GenExpr(*stmt.value);
+        const size_t jz = Emit(Op::kJz);
+        GenStmts(stmt.then_body);
+        if (stmt.else_body.empty()) {
+          Patch(jz, static_cast<int32_t>(code_.size()));
+        } else {
+          const size_t jmp = Emit(Op::kJmp);
+          Patch(jz, static_cast<int32_t>(code_.size()));
+          GenStmts(stmt.else_body);
+          Patch(jmp, static_cast<int32_t>(code_.size()));
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        const int32_t top = static_cast<int32_t>(code_.size());
+        GenExpr(*stmt.value);
+        const size_t jz = Emit(Op::kJz);
+        GenStmts(stmt.body);
+        Emit(Op::kJmp, top);
+        Patch(jz, static_cast<int32_t>(code_.size()));
+        break;
+      }
+      case StmtKind::kRepeat: {
+        // counter = 0; while (counter < N) { body; counter = counter + 1; }
+        Emit(Op::kPushImm, 0);
+        Emit(Op::kStoreLocal, stmt.local_slot);
+        const int32_t top = static_cast<int32_t>(code_.size());
+        Emit(Op::kLoadLocal, stmt.local_slot);
+        Emit(Op::kPushImm, static_cast<int32_t>(stmt.value->int_value));
+        Emit(Op::kLt);
+        const size_t jz = Emit(Op::kJz);
+        GenStmts(stmt.body);
+        Emit(Op::kLoadLocal, stmt.local_slot);
+        Emit(Op::kPushImm, 1);
+        Emit(Op::kAdd);
+        Emit(Op::kStoreLocal, stmt.local_slot);
+        Emit(Op::kJmp, top);
+        Patch(jz, static_cast<int32_t>(code_.size()));
+        break;
+      }
+      case StmtKind::kIoBlock:
+        Emit(Op::kBlockBegin, static_cast<int32_t>(stmt.block_id));
+        GenStmts(stmt.body);
+        Emit(Op::kBlockEnd, static_cast<int32_t>(stmt.block_id));
+        break;
+      case StmtKind::kDma: {
+        GenExpr(*stmt.dma_dst);    // element index of the destination
+        GenExpr(*stmt.dma_src);    // element index of the source
+        GenExpr(*stmt.dma_bytes);  // byte count
+        Emit(Op::kDma, static_cast<int32_t>(stmt.dma_id), stmt.dma_dst->nv_index,
+             stmt.dma_src->nv_index);
+        break;
+      }
+      case StmtKind::kNextTask: {
+        auto it = task_index_.find(stmt.target_task);
+        Emit(Op::kNextTask, it != task_index_.end() ? it->second : 0);
+        break;
+      }
+      case StmtKind::kEndTask:
+        Emit(Op::kEndTask);
+        break;
+      case StmtKind::kExprStmt:
+        GenExpr(*stmt.value);
+        Emit(Op::kPop);
+        break;
+      case StmtKind::kDelay:
+        GenExpr(*stmt.value);
+        Emit(Op::kDelay);
+        break;
+    }
+  }
+
+  const Program& program_;
+  const Analysis& analysis_;
+  Diagnostics& diags_;
+  std::map<std::string, int32_t> task_index_;
+  TaskCode code_;
+};
+
+}  // namespace
+
+std::vector<TaskCode> GenerateCode(const Program& program, const Analysis& analysis,
+                                   Diagnostics& diags) {
+  std::vector<TaskCode> out;
+  out.reserve(program.tasks.size());
+  TaskCodegen gen(program, analysis, diags);
+  for (const TaskDecl& task : program.tasks) {
+    out.push_back(gen.Generate(task));
+  }
+  return out;
+}
+
+}  // namespace easeio::easec

@@ -1,0 +1,22 @@
+// Bytecode generation from the analysed EaseC AST.
+
+#ifndef EASEIO_EASEC_CODEGEN_H_
+#define EASEIO_EASEC_CODEGEN_H_
+
+#include <vector>
+
+#include "easec/ast.h"
+#include "easec/bytecode.h"
+#include "easec/diag.h"
+#include "easec/sema.h"
+
+namespace easeio::easec {
+
+// Compiles every task body to bytecode (one TaskCode per task, in program order).
+// Sema must have run first (nodes carry slot/site/block/dma bindings).
+std::vector<TaskCode> GenerateCode(const Program& program, const Analysis& analysis,
+                                   Diagnostics& diags);
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_CODEGEN_H_

@@ -1,0 +1,43 @@
+// Diagnostics collection for the EaseC front-end. Compilation never aborts the host
+// process on user errors: every pass records diagnostics here and the driver checks
+// HasErrors() between passes.
+
+#ifndef EASEIO_EASEC_DIAG_H_
+#define EASEIO_EASEC_DIAG_H_
+
+#include <string>
+#include <vector>
+
+namespace easeio::easec {
+
+struct Diagnostic {
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+class Diagnostics {
+ public:
+  void Error(int line, int col, std::string message) {
+    errors_.push_back({line, col, std::move(message)});
+  }
+
+  bool HasErrors() const { return !errors_.empty(); }
+  const std::vector<Diagnostic>& errors() const { return errors_; }
+
+  // All errors as one printable string ("line:col: message" per line).
+  std::string ToString() const {
+    std::string out;
+    for (const Diagnostic& d : errors_) {
+      out += std::to_string(d.line) + ":" + std::to_string(d.col) + ": " + d.message + "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Diagnostic> errors_;
+};
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_DIAG_H_

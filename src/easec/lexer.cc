@@ -1,0 +1,262 @@
+#include "easec/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace easeio::easec {
+
+const char* ToString(Tok tok) {
+  switch (tok) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kNv: return "__nv";
+    case Tok::kSram: return "__sram";
+    case Tok::kTask: return "task";
+    case Tok::kInt16: return "int16";
+    case Tok::kIf: return "if";
+    case Tok::kElse: return "else";
+    case Tok::kWhile: return "while";
+    case Tok::kRepeat: return "repeat";
+    case Tok::kCallIo: return "_call_IO";
+    case Tok::kIoBlockBegin: return "_IO_block_begin";
+    case Tok::kIoBlockEnd: return "_IO_block_end";
+    case Tok::kDmaCopy: return "_DMA_copy";
+    case Tok::kNextTask: return "next_task";
+    case Tok::kEndTask: return "end_task";
+    case Tok::kExclude: return "Exclude";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kBang: return "!";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& Keywords() {
+  static const auto* map = new std::unordered_map<std::string_view, Tok>{
+      {"__nv", Tok::kNv},
+      {"__sram", Tok::kSram},
+      {"task", Tok::kTask},
+      {"int16", Tok::kInt16},
+      {"int", Tok::kInt16},  // alias: plain C sources use int
+      {"if", Tok::kIf},
+      {"else", Tok::kElse},
+      {"while", Tok::kWhile},
+      {"repeat", Tok::kRepeat},
+      {"_call_IO", Tok::kCallIo},
+      {"_IO_block_begin", Tok::kIoBlockBegin},
+      {"_IO_block_end", Tok::kIoBlockEnd},
+      {"_DMA_copy", Tok::kDmaCopy},
+      {"next_task", Tok::kNextTask},
+      {"end_task", Tok::kEndTask},
+      {"Exclude", Tok::kExclude},
+  };
+  return *map;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, Diagnostics& diags) : src_(source), diags_(diags) {}
+
+char Lexer::Peek(int ahead) const {
+  const size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = Peek();
+  if (c == '\0') {
+    return c;
+  }
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (Peek() != expected) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (Peek() != '\n' && Peek() != '\0') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!(Peek() == '*' && Peek(1) == '/')) {
+        if (Peek() == '\0') {
+          diags_.Error(line_, col_, "unterminated block comment");
+          return;
+        }
+        Advance();
+      }
+      Advance();
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::Make(Tok kind) {
+  Token t;
+  t.kind = kind;
+  t.line = tok_line_;
+  t.col = tok_col_;
+  return t;
+}
+
+Token Lexer::LexNumber() {
+  int64_t value = 0;
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    Advance();
+    Advance();
+    while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+      const char c = Advance();
+      value = value * 16 + (std::isdigit(static_cast<unsigned char>(c))
+                                ? c - '0'
+                                : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + (Advance() - '0');
+    }
+  }
+  Token t = Make(Tok::kIntLit);
+  t.int_value = value;
+  return t;
+}
+
+Token Lexer::LexIdentOrKeyword() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+    text += Advance();
+  }
+  auto it = Keywords().find(text);
+  if (it != Keywords().end()) {
+    return Make(it->second);
+  }
+  Token t = Make(Tok::kIdent);
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::LexString() {
+  Advance();  // opening quote
+  std::string text;
+  while (Peek() != '"') {
+    if (Peek() == '\0' || Peek() == '\n') {
+      diags_.Error(tok_line_, tok_col_, "unterminated string literal");
+      break;
+    }
+    text += Advance();
+  }
+  Match('"');
+  Token t = Make(Tok::kStringLit);
+  t.text = std::move(text);
+  return t;
+}
+
+std::vector<Token> Lexer::Lex() {
+  std::vector<Token> out;
+  for (;;) {
+    SkipWhitespaceAndComments();
+    tok_line_ = line_;
+    tok_col_ = col_;
+    const char c = Peek();
+    if (c == '\0') {
+      out.push_back(Make(Tok::kEof));
+      return out;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(LexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(LexIdentOrKeyword());
+      continue;
+    }
+    if (c == '"') {
+      out.push_back(LexString());
+      continue;
+    }
+    Advance();
+    switch (c) {
+      case '(': out.push_back(Make(Tok::kLParen)); break;
+      case ')': out.push_back(Make(Tok::kRParen)); break;
+      case '{': out.push_back(Make(Tok::kLBrace)); break;
+      case '}': out.push_back(Make(Tok::kRBrace)); break;
+      case '[': out.push_back(Make(Tok::kLBracket)); break;
+      case ']': out.push_back(Make(Tok::kRBracket)); break;
+      case ',': out.push_back(Make(Tok::kComma)); break;
+      case ';': out.push_back(Make(Tok::kSemi)); break;
+      case '+': out.push_back(Make(Tok::kPlus)); break;
+      case '-': out.push_back(Make(Tok::kMinus)); break;
+      case '*': out.push_back(Make(Tok::kStar)); break;
+      case '/': out.push_back(Make(Tok::kSlash)); break;
+      case '%': out.push_back(Make(Tok::kPercent)); break;
+      case '=': out.push_back(Make(Match('=') ? Tok::kEq : Tok::kAssign)); break;
+      case '!': out.push_back(Make(Match('=') ? Tok::kNe : Tok::kBang)); break;
+      case '<': out.push_back(Make(Match('=') ? Tok::kLe : Tok::kLt)); break;
+      case '>': out.push_back(Make(Match('=') ? Tok::kGe : Tok::kGt)); break;
+      case '&':
+        if (Match('&')) {
+          out.push_back(Make(Tok::kAndAnd));
+        } else {
+          out.push_back(Make(Tok::kAmp));
+        }
+        break;
+      case '|':
+        if (Match('|')) {
+          out.push_back(Make(Tok::kOrOr));
+        } else {
+          diags_.Error(tok_line_, tok_col_, "unexpected character '|'");
+        }
+        break;
+      default:
+        diags_.Error(tok_line_, tok_col_, std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+}
+
+}  // namespace easeio::easec

@@ -1,0 +1,46 @@
+// Hand-written lexer for EaseC. Supports // and /* */ comments, decimal and hex
+// integer literals, string literals (for semantic annotations), and the keyword set in
+// token.h. Errors are reported through Diagnostics with line/column positions.
+
+#ifndef EASEIO_EASEC_LEXER_H_
+#define EASEIO_EASEC_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easec/diag.h"
+#include "easec/token.h"
+
+namespace easeio::easec {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, Diagnostics& diags);
+
+  // Tokenises the whole input; the final token is always kEof. On error, diagnostics
+  // are recorded and lexing continues at the next character (best-effort recovery).
+  std::vector<Token> Lex();
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  void SkipWhitespaceAndComments();
+  Token LexNumber();
+  Token LexIdentOrKeyword();
+  Token LexString();
+  Token Make(Tok kind);
+
+  std::string_view src_;
+  Diagnostics& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_LEXER_H_

@@ -1,0 +1,479 @@
+#include "easec/parser.h"
+
+#include <utility>
+
+namespace easeio::easec {
+
+namespace {
+
+ExprPtr MakeExpr(ExprKind kind, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = line;
+  return e;
+}
+
+StmtPtr MakeStmt(StmtKind kind, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  return s;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, Diagnostics& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {}
+
+const Token& Parser::Peek(int ahead) const {
+  const size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) {
+    ++pos_;
+  }
+  return t;
+}
+
+bool Parser::Match(Tok kind) {
+  if (!Check(kind)) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+const Token& Parser::Expect(Tok kind, const char* what) {
+  if (Check(kind)) {
+    return Advance();
+  }
+  diags_.Error(Peek().line, Peek().col,
+               std::string("expected ") + ToString(kind) + " " + what + ", found '" +
+                   ToString(Peek().kind) + "'");
+  return Peek();
+}
+
+void Parser::SyncToStmtBoundary() {
+  while (!Check(Tok::kEof) && !Check(Tok::kSemi) && !Check(Tok::kRBrace)) {
+    Advance();
+  }
+  Match(Tok::kSemi);
+}
+
+Program Parser::ParseProgram() {
+  Program program;
+  while (!Check(Tok::kEof)) {
+    if (Check(Tok::kNv) || Check(Tok::kSram)) {
+      program.nv_decls.push_back(ParseNvDecl());
+    } else if (Check(Tok::kTask)) {
+      program.tasks.push_back(ParseTask());
+    } else {
+      diags_.Error(Peek().line, Peek().col, "expected __nv declaration or task definition");
+      Advance();
+    }
+  }
+  return program;
+}
+
+NvDecl Parser::ParseNvDecl() {
+  NvDecl decl;
+  decl.line = Peek().line;
+  if (Check(Tok::kSram)) {
+    decl.sram = true;
+    Advance();
+  } else {
+    Expect(Tok::kNv, "to start a global declaration");
+  }
+  Expect(Tok::kInt16, "as the element type");
+  decl.name = Expect(Tok::kIdent, "as the variable name").text;
+  if (Match(Tok::kLBracket)) {
+    const Token& n = Expect(Tok::kIntLit, "as the array length");
+    decl.elements = static_cast<uint32_t>(n.int_value);
+    Expect(Tok::kRBracket, "to close the array length");
+  }
+  Expect(Tok::kSemi, "after the declaration");
+  return decl;
+}
+
+TaskDecl Parser::ParseTask() {
+  TaskDecl task;
+  task.line = Peek().line;
+  Expect(Tok::kTask, "to start a task");
+  task.name = Expect(Tok::kIdent, "as the task name").text;
+  Expect(Tok::kLParen, "after the task name");
+  Expect(Tok::kRParen, "after the task name");
+  task.body = ParseBlock();
+  return task;
+}
+
+std::vector<StmtPtr> Parser::ParseBlock() {
+  Expect(Tok::kLBrace, "to open a block");
+  std::vector<StmtPtr> body = ParseStmtsUntil(Tok::kRBrace);
+  Expect(Tok::kRBrace, "to close the block");
+  return body;
+}
+
+std::vector<StmtPtr> Parser::ParseStmtsUntil(Tok terminator) {
+  std::vector<StmtPtr> out;
+  while (!Check(terminator) && !Check(Tok::kEof)) {
+    // An _IO_block_end that is not our terminator indicates unbalanced blocks.
+    if (Check(Tok::kIoBlockEnd) && terminator != Tok::kIoBlockEnd) {
+      diags_.Error(Peek().line, Peek().col, "_IO_block_end without a matching begin");
+      Advance();
+      Match(Tok::kSemi);
+      continue;
+    }
+    StmtPtr stmt = ParseStmt();
+    if (stmt != nullptr) {
+      out.push_back(std::move(stmt));
+    }
+  }
+  return out;
+}
+
+void Parser::ParseSemantic(kernel::IoSemantic* sem, uint64_t* window_ms) {
+  const Token& annot = Expect(Tok::kStringLit, "as the re-execution semantic");
+  *window_ms = 0;
+  if (annot.text == "Single") {
+    *sem = kernel::IoSemantic::kSingle;
+  } else if (annot.text == "Timely") {
+    *sem = kernel::IoSemantic::kTimely;
+    Expect(Tok::kComma, "before the Timely window");
+    const Token& w = Expect(Tok::kIntLit, "as the Timely window (ms)");
+    *window_ms = static_cast<uint64_t>(w.int_value);
+  } else if (annot.text == "Always") {
+    *sem = kernel::IoSemantic::kAlways;
+  } else {
+    diags_.Error(annot.line, annot.col,
+                 "unknown re-execution semantic \"" + annot.text +
+                     "\" (expected Single, Timely, or Always)");
+    *sem = kernel::IoSemantic::kAlways;
+  }
+}
+
+StmtPtr Parser::ParseIoBlock() {
+  auto stmt = MakeStmt(StmtKind::kIoBlock, Peek().line);
+  Expect(Tok::kIoBlockBegin, "");
+  Expect(Tok::kLParen, "after _IO_block_begin");
+  ParseSemantic(&stmt->sem, &stmt->window_ms);
+  Expect(Tok::kRParen, "to close _IO_block_begin");
+  Match(Tok::kSemi);  // the paper writes the begin with and without a semicolon
+  stmt->body = ParseStmtsUntil(Tok::kIoBlockEnd);
+  Expect(Tok::kIoBlockEnd, "to close the I/O block");
+  Match(Tok::kSemi);
+  return stmt;
+}
+
+StmtPtr Parser::ParseDma() {
+  auto stmt = MakeStmt(StmtKind::kDma, Peek().line);
+  Expect(Tok::kDmaCopy, "");
+  Expect(Tok::kLParen, "after _DMA_copy");
+  stmt->dma_dst = ParseExpr();
+  Expect(Tok::kComma, "between _DMA_copy arguments");
+  stmt->dma_src = ParseExpr();
+  Expect(Tok::kComma, "between _DMA_copy arguments");
+  stmt->dma_bytes = ParseExpr();
+  if (Match(Tok::kComma)) {
+    Expect(Tok::kExclude, "as the optional _DMA_copy annotation");
+    stmt->dma_exclude = true;
+  }
+  Expect(Tok::kRParen, "to close _DMA_copy");
+  Expect(Tok::kSemi, "after _DMA_copy");
+  return stmt;
+}
+
+StmtPtr Parser::ParseStmt() {
+  const int line = Peek().line;
+  switch (Peek().kind) {
+    case Tok::kInt16: {
+      Advance();
+      auto stmt = MakeStmt(StmtKind::kDeclLocal, line);
+      stmt->name = Expect(Tok::kIdent, "as the local variable name").text;
+      if (Match(Tok::kAssign)) {
+        stmt->value = ParseExpr();
+      }
+      Expect(Tok::kSemi, "after the declaration");
+      return stmt;
+    }
+    case Tok::kIf: {
+      Advance();
+      auto stmt = MakeStmt(StmtKind::kIf, line);
+      Expect(Tok::kLParen, "after if");
+      stmt->value = ParseExpr();
+      Expect(Tok::kRParen, "after the if condition");
+      stmt->then_body = ParseBlock();
+      if (Match(Tok::kElse)) {
+        stmt->else_body = ParseBlock();
+      }
+      return stmt;
+    }
+    case Tok::kWhile: {
+      Advance();
+      auto stmt = MakeStmt(StmtKind::kWhile, line);
+      Expect(Tok::kLParen, "after while");
+      stmt->value = ParseExpr();
+      Expect(Tok::kRParen, "after the while condition");
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    case Tok::kRepeat: {
+      // repeat (N) { ... }  or  repeat (i, N) { ... } — the named form binds the
+      // iteration counter as a local (and as the _call_IO lane index).
+      Advance();
+      auto stmt = MakeStmt(StmtKind::kRepeat, line);
+      Expect(Tok::kLParen, "after repeat");
+      if (Check(Tok::kIdent) && Peek(1).kind == Tok::kComma) {
+        stmt->name = Advance().text;
+        Advance();  // ','
+      }
+      const Token& n = Expect(Tok::kIntLit, "as the repeat count");
+      stmt->value = MakeExpr(ExprKind::kIntLit, n.line);
+      stmt->value->int_value = n.int_value;
+      Expect(Tok::kRParen, "after the repeat count");
+      stmt->body = ParseBlock();
+      return stmt;
+    }
+    case Tok::kIoBlockBegin:
+      return ParseIoBlock();
+    case Tok::kDmaCopy:
+      return ParseDma();
+    case Tok::kNextTask: {
+      Advance();
+      auto stmt = MakeStmt(StmtKind::kNextTask, line);
+      Expect(Tok::kLParen, "after next_task");
+      stmt->target_task = Expect(Tok::kIdent, "as the next task name").text;
+      Expect(Tok::kRParen, "after the next task name");
+      Expect(Tok::kSemi, "after next_task(...)");
+      return stmt;
+    }
+    case Tok::kEndTask: {
+      Advance();
+      Expect(Tok::kSemi, "after end_task");
+      return MakeStmt(StmtKind::kEndTask, line);
+    }
+    case Tok::kIdent: {
+      // `delay(n);` compute model, assignment, or a bare expression statement.
+      if (Peek().text == "delay" && Peek(1).kind == Tok::kLParen) {
+        Advance();
+        Advance();
+        auto stmt = MakeStmt(StmtKind::kDelay, line);
+        stmt->value = ParseExpr();
+        Expect(Tok::kRParen, "after delay(...)");
+        Expect(Tok::kSemi, "after delay(...)");
+        return stmt;
+      }
+      if (Peek(1).kind == Tok::kAssign ||
+          (Peek(1).kind == Tok::kLBracket)) {
+        auto stmt = MakeStmt(StmtKind::kAssign, line);
+        stmt->name = Advance().text;
+        if (Match(Tok::kLBracket)) {
+          stmt->index = ParseExpr();
+          Expect(Tok::kRBracket, "to close the subscript");
+        }
+        Expect(Tok::kAssign, "in the assignment");
+        stmt->value = ParseExpr();
+        Expect(Tok::kSemi, "after the assignment");
+        return stmt;
+      }
+      auto stmt = MakeStmt(StmtKind::kExprStmt, line);
+      stmt->value = ParseExpr();
+      Expect(Tok::kSemi, "after the expression");
+      return stmt;
+    }
+    case Tok::kCallIo: {
+      auto stmt = MakeStmt(StmtKind::kExprStmt, line);
+      stmt->value = ParseCallIo();
+      Expect(Tok::kSemi, "after _call_IO");
+      return stmt;
+    }
+    default:
+      diags_.Error(line, Peek().col,
+                   std::string("unexpected token '") + ToString(Peek().kind) +
+                       "' at start of statement");
+      SyncToStmtBoundary();
+      return nullptr;
+  }
+}
+
+ExprPtr Parser::ParseCallIo() {
+  const int line = Peek().line;
+  Expect(Tok::kCallIo, "");
+  Expect(Tok::kLParen, "after _call_IO");
+  auto expr = MakeExpr(ExprKind::kCallIo, line);
+  expr->name = Expect(Tok::kIdent, "as the I/O function name").text;
+  Expect(Tok::kLParen, "after the I/O function name");
+  if (!Check(Tok::kRParen)) {
+    do {
+      expr->args.push_back(ParseExpr());
+    } while (Match(Tok::kComma));
+  }
+  Expect(Tok::kRParen, "to close the I/O function arguments");
+  Expect(Tok::kComma, "before the re-execution semantic");
+  uint64_t window_ms = 0;
+  ParseSemantic(&expr->sem, &window_ms);
+  expr->window_ms = window_ms;
+  Expect(Tok::kRParen, "to close _call_IO");
+  return expr;
+}
+
+ExprPtr Parser::ParseOr() {
+  ExprPtr lhs = ParseAnd();
+  while (Check(Tok::kOrOr)) {
+    const int line = Advance().line;
+    auto e = MakeExpr(ExprKind::kBinary, line);
+    e->bin_op = BinOp::kOr;
+    e->lhs = std::move(lhs);
+    e->rhs = ParseAnd();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseAnd() {
+  ExprPtr lhs = ParseEquality();
+  while (Check(Tok::kAndAnd)) {
+    const int line = Advance().line;
+    auto e = MakeExpr(ExprKind::kBinary, line);
+    e->bin_op = BinOp::kAnd;
+    e->lhs = std::move(lhs);
+    e->rhs = ParseEquality();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseEquality() {
+  ExprPtr lhs = ParseRelational();
+  while (Check(Tok::kEq) || Check(Tok::kNe)) {
+    const Tok op = Advance().kind;
+    auto e = MakeExpr(ExprKind::kBinary, Peek().line);
+    e->bin_op = op == Tok::kEq ? BinOp::kEq : BinOp::kNe;
+    e->lhs = std::move(lhs);
+    e->rhs = ParseRelational();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseRelational() {
+  ExprPtr lhs = ParseAdditive();
+  while (Check(Tok::kLt) || Check(Tok::kGt) || Check(Tok::kLe) || Check(Tok::kGe)) {
+    const Tok op = Advance().kind;
+    auto e = MakeExpr(ExprKind::kBinary, Peek().line);
+    switch (op) {
+      case Tok::kLt: e->bin_op = BinOp::kLt; break;
+      case Tok::kGt: e->bin_op = BinOp::kGt; break;
+      case Tok::kLe: e->bin_op = BinOp::kLe; break;
+      default: e->bin_op = BinOp::kGe; break;
+    }
+    e->lhs = std::move(lhs);
+    e->rhs = ParseAdditive();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseAdditive() {
+  ExprPtr lhs = ParseMultiplicative();
+  while (Check(Tok::kPlus) || Check(Tok::kMinus)) {
+    const Tok op = Advance().kind;
+    auto e = MakeExpr(ExprKind::kBinary, Peek().line);
+    e->bin_op = op == Tok::kPlus ? BinOp::kAdd : BinOp::kSub;
+    e->lhs = std::move(lhs);
+    e->rhs = ParseMultiplicative();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseMultiplicative() {
+  ExprPtr lhs = ParseUnary();
+  while (Check(Tok::kStar) || Check(Tok::kSlash) || Check(Tok::kPercent)) {
+    const Tok op = Advance().kind;
+    auto e = MakeExpr(ExprKind::kBinary, Peek().line);
+    e->bin_op = op == Tok::kStar ? BinOp::kMul
+                                 : (op == Tok::kSlash ? BinOp::kDiv : BinOp::kMod);
+    e->lhs = std::move(lhs);
+    e->rhs = ParseUnary();
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::ParseUnary() {
+  if (Check(Tok::kMinus) || Check(Tok::kBang)) {
+    const Token& t = Advance();
+    auto e = MakeExpr(ExprKind::kUnary, t.line);
+    e->un_op = t.kind == Tok::kMinus ? UnOp::kNeg : UnOp::kNot;
+    e->lhs = ParseUnary();
+    return e;
+  }
+  return ParsePrimary();
+}
+
+ExprPtr Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case Tok::kIntLit: {
+      Advance();
+      auto e = MakeExpr(ExprKind::kIntLit, t.line);
+      e->int_value = t.int_value;
+      return e;
+    }
+    case Tok::kLParen: {
+      Advance();
+      ExprPtr e = ParseExpr();
+      Expect(Tok::kRParen, "to close the parenthesised expression");
+      return e;
+    }
+    case Tok::kAmp: {
+      Advance();
+      auto e = MakeExpr(ExprKind::kAddrOf, t.line);
+      e->name = Expect(Tok::kIdent, "after '&'").text;
+      if (Match(Tok::kLBracket)) {
+        e->index = ParseExpr();
+        Expect(Tok::kRBracket, "to close the subscript");
+      }
+      return e;
+    }
+    case Tok::kCallIo:
+      return ParseCallIo();
+    case Tok::kIdent: {
+      Advance();
+      if (Match(Tok::kLParen)) {
+        // Builtin call, e.g. GetTime().
+        auto e = MakeExpr(ExprKind::kBuiltin, t.line);
+        e->name = t.text;
+        if (!Check(Tok::kRParen)) {
+          do {
+            e->args.push_back(ParseExpr());
+          } while (Match(Tok::kComma));
+        }
+        Expect(Tok::kRParen, "to close the call");
+        return e;
+      }
+      if (Match(Tok::kLBracket)) {
+        auto e = MakeExpr(ExprKind::kIndex, t.line);
+        e->name = t.text;
+        e->index = ParseExpr();
+        Expect(Tok::kRBracket, "to close the subscript");
+        return e;
+      }
+      auto e = MakeExpr(ExprKind::kVarRef, t.line);
+      e->name = t.text;
+      return e;
+    }
+    default:
+      diags_.Error(t.line, t.col,
+                   std::string("unexpected token '") + ToString(t.kind) + "' in expression");
+      Advance();
+      auto e = MakeExpr(ExprKind::kIntLit, t.line);
+      e->int_value = 0;
+      return e;
+  }
+}
+
+}  // namespace easeio::easec

@@ -1,0 +1,62 @@
+// Recursive-descent parser for EaseC. Produces the Program AST; syntax errors are
+// recorded in Diagnostics and the parser recovers at statement boundaries, so a single
+// compile reports multiple errors.
+
+#ifndef EASEIO_EASEC_PARSER_H_
+#define EASEIO_EASEC_PARSER_H_
+
+#include <vector>
+
+#include "easec/ast.h"
+#include "easec/diag.h"
+#include "easec/token.h"
+
+namespace easeio::easec {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Diagnostics& diags);
+
+  // Parses a whole translation unit.
+  Program ParseProgram();
+
+ private:
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind);
+  const Token& Expect(Tok kind, const char* what);
+  void SyncToStmtBoundary();
+
+  NvDecl ParseNvDecl();
+  TaskDecl ParseTask();
+  std::vector<StmtPtr> ParseBlock();  // '{' stmt* '}'
+  // Parses statements until one of the terminators (kRBrace or kIoBlockEnd) is seen;
+  // the terminator is not consumed.
+  std::vector<StmtPtr> ParseStmtsUntil(Tok terminator);
+  StmtPtr ParseStmt();
+  StmtPtr ParseIoBlock();
+  StmtPtr ParseDma();
+
+  // Annotation helper: parses `"Sem"[, window_ms]` (already inside the parens).
+  void ParseSemantic(kernel::IoSemantic* sem, uint64_t* window_ms);
+
+  ExprPtr ParseExpr() { return ParseOr(); }
+  ExprPtr ParseOr();
+  ExprPtr ParseAnd();
+  ExprPtr ParseEquality();
+  ExprPtr ParseRelational();
+  ExprPtr ParseAdditive();
+  ExprPtr ParseMultiplicative();
+  ExprPtr ParseUnary();
+  ExprPtr ParsePrimary();
+  ExprPtr ParseCallIo();
+
+  std::vector<Token> tokens_;
+  Diagnostics& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_PARSER_H_

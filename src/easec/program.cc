@@ -1,0 +1,339 @@
+#include "easec/program.h"
+
+#include <utility>
+
+#include "easec/codegen.h"
+#include "easec/lexer.h"
+#include "easec/parser.h"
+#include "easec/transform.h"
+#include "platform/check.h"
+
+namespace easeio::easec {
+
+CompileResult Compile(std::string_view source, const CompileOptions& options) {
+  CompileResult result;
+  Diagnostics diags;
+
+  Lexer lexer(source, diags);
+  std::vector<Token> tokens = lexer.Lex();
+  if (diags.HasErrors()) {
+    result.errors = diags.ToString();
+    return result;
+  }
+
+  Parser parser(std::move(tokens), diags);
+  result.ast = parser.ParseProgram();
+  if (diags.HasErrors()) {
+    result.errors = diags.ToString();
+    return result;
+  }
+  if (result.ast.tasks.empty()) {
+    result.errors = "1:1: program defines no tasks\n";
+    return result;
+  }
+
+  result.analysis = Analyze(result.ast, diags, options.dma_priv_buffer_bytes);
+  if (diags.HasErrors()) {
+    result.errors = diags.ToString();
+    return result;
+  }
+
+  result.transformed_source = TransformToSource(result.ast, result.analysis);
+  result.code = GenerateCode(result.ast, result.analysis, diags);
+  if (diags.HasErrors()) {
+    result.errors = diags.ToString();
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+// Shared immutable state the VM task bodies close over.
+struct VmState {
+  std::vector<TaskCode> code;
+  Analysis analysis;
+  std::vector<kernel::NvSlotId> nv_slots;     // kNoSlot for __sram declarations
+  std::vector<uint32_t> global_addr;          // simulated address of every declaration
+  std::vector<uint8_t> global_is_sram;
+  std::vector<kernel::IoSiteId> site_ids;
+  std::vector<kernel::IoBlockId> block_ids;
+  std::vector<kernel::DmaSiteId> dma_ids;
+  std::vector<uint32_t> local_counts;  // per task
+};
+
+// Builds the peripheral thunk for one easec I/O site.
+kernel::IoOp MakeThunk(const std::shared_ptr<VmState>& state, uint32_t easec_site) {
+  const IoSiteInfo& site = state->analysis.sites[easec_site];
+  switch (site.fn) {
+    case IoFn::kTemp:
+      return [](kernel::TaskCtx& ctx) { return ctx.dev().temp().Read(ctx.dev()); };
+    case IoFn::kHumd:
+      return [](kernel::TaskCtx& ctx) { return ctx.dev().humidity().Read(ctx.dev()); };
+    case IoFn::kPres:
+      return [](kernel::TaskCtx& ctx) { return ctx.dev().pressure().Read(ctx.dev()); };
+    case IoFn::kSend: {
+      const int32_t nv = site.buffer_nv;
+      const uint32_t bytes = site.buffer_bytes;
+      return [state, nv, bytes](kernel::TaskCtx& ctx) {
+        ctx.dev().radio().Send(ctx.dev(), state->global_addr[nv], bytes);
+        return static_cast<int16_t>(0);
+      };
+    }
+    case IoFn::kCapture: {
+      const int32_t nv = site.buffer_nv;
+      const uint32_t bytes = site.buffer_bytes;
+      return [state, nv, bytes](kernel::TaskCtx& ctx) {
+        const uint32_t addr = state->global_addr[nv];
+        ctx.dev().camera().Capture(ctx.dev(), addr, bytes);
+        return static_cast<int16_t>(ctx.dev().mem().Read16(addr));
+      };
+    }
+  }
+  EASEIO_CHECK(false, "unknown io function");
+}
+
+// Executes one task's bytecode. Locals are fresh per invocation — exactly the volatile
+// semantics of task re-execution.
+kernel::TaskId RunTask(const std::shared_ptr<VmState>& state, uint32_t task,
+                       kernel::TaskCtx& ctx) {
+  const TaskCode& code = state->code[task];
+  std::vector<int32_t> locals(state->local_counts[task], 0);
+  std::vector<int32_t> stack;
+  stack.reserve(16);
+
+  auto pop = [&stack]() {
+    EASEIO_CHECK(!stack.empty(), "VM stack underflow");
+    const int32_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  size_t pc = 0;
+  for (;;) {
+    EASEIO_CHECK(pc < code.size(), "VM fell off the end of task code");
+    const Insn& insn = code[pc++];
+    ctx.Cpu(1);  // one simulated cycle per instruction, plus memory costs below
+    switch (insn.op) {
+      case Op::kPushImm:
+        stack.push_back(insn.a);
+        break;
+      case Op::kLoadLocal:
+        stack.push_back(locals[static_cast<size_t>(insn.a)]);
+        break;
+      case Op::kStoreLocal:
+        locals[static_cast<size_t>(insn.a)] = pop();
+        break;
+      case Op::kLoadNv: {
+        const int32_t idx = pop();
+        const size_t g = static_cast<size_t>(insn.a);
+        if (state->global_is_sram[g] != 0) {
+          // Volatile staging buffer: a plain charged access, no runtime interposition.
+          stack.push_back(static_cast<int16_t>(
+              ctx.dev().LoadWord(state->global_addr[g] + static_cast<uint32_t>(idx) * 2)));
+        } else {
+          stack.push_back(ctx.NvLoadI16(state->nv_slots[g], static_cast<uint32_t>(idx) * 2));
+        }
+        break;
+      }
+      case Op::kStoreNv: {
+        const int32_t val = pop();
+        const int32_t idx = pop();
+        const size_t g = static_cast<size_t>(insn.a);
+        if (state->global_is_sram[g] != 0) {
+          ctx.dev().StoreWord(state->global_addr[g] + static_cast<uint32_t>(idx) * 2,
+                              static_cast<uint16_t>(val));
+        } else {
+          ctx.NvStoreI16(state->nv_slots[g], static_cast<int16_t>(val),
+                         static_cast<uint32_t>(idx) * 2);
+        }
+        break;
+      }
+      case Op::kAdd: { const int32_t r = pop(); stack.push_back(pop() + r); break; }
+      case Op::kSub: { const int32_t r = pop(); stack.push_back(pop() - r); break; }
+      case Op::kMul: { const int32_t r = pop(); stack.push_back(pop() * r); break; }
+      case Op::kDiv: { const int32_t r = pop(); const int32_t l = pop(); stack.push_back(r == 0 ? 0 : l / r); break; }
+      case Op::kMod: { const int32_t r = pop(); const int32_t l = pop(); stack.push_back(r == 0 ? 0 : l % r); break; }
+      case Op::kEq: { const int32_t r = pop(); stack.push_back(pop() == r ? 1 : 0); break; }
+      case Op::kNe: { const int32_t r = pop(); stack.push_back(pop() != r ? 1 : 0); break; }
+      case Op::kLt: { const int32_t r = pop(); stack.push_back(pop() < r ? 1 : 0); break; }
+      case Op::kGt: { const int32_t r = pop(); stack.push_back(pop() > r ? 1 : 0); break; }
+      case Op::kLe: { const int32_t r = pop(); stack.push_back(pop() <= r ? 1 : 0); break; }
+      case Op::kGe: { const int32_t r = pop(); stack.push_back(pop() >= r ? 1 : 0); break; }
+      case Op::kAnd: { const int32_t r = pop(); stack.push_back((pop() != 0 && r != 0) ? 1 : 0); break; }
+      case Op::kOr: { const int32_t r = pop(); stack.push_back((pop() != 0 || r != 0) ? 1 : 0); break; }
+      case Op::kNeg:
+        stack.push_back(-pop());
+        break;
+      case Op::kNot:
+        stack.push_back(pop() == 0 ? 1 : 0);
+        break;
+      case Op::kJmp:
+        pc = static_cast<size_t>(insn.a);
+        break;
+      case Op::kJz:
+        if (pop() == 0) {
+          pc = static_cast<size_t>(insn.a);
+        }
+        break;
+      case Op::kCallIo: {
+        const uint32_t easec_site = static_cast<uint32_t>(insn.a);
+        const IoSiteInfo& site = state->analysis.sites[easec_site];
+        const uint32_t lane =
+            site.lane_slot >= 0
+                ? static_cast<uint32_t>(locals[static_cast<size_t>(site.lane_slot)])
+                : 0;
+        const int16_t v = ctx.rt().CallIo(ctx, state->site_ids[easec_site], lane,
+                                          MakeThunk(state, easec_site));
+        stack.push_back(v);
+        break;
+      }
+      case Op::kBlockBegin:
+        ctx.IoBlockBegin(state->block_ids[static_cast<size_t>(insn.a)]);
+        break;
+      case Op::kBlockEnd:
+        ctx.IoBlockEnd(state->block_ids[static_cast<size_t>(insn.a)]);
+        break;
+      case Op::kDma: {
+        const int32_t bytes = pop();
+        const int32_t src_idx = pop();
+        const int32_t dst_idx = pop();
+        const uint32_t dst = state->global_addr[static_cast<size_t>(insn.b)];
+        const uint32_t src = state->global_addr[static_cast<size_t>(insn.c)];
+        ctx.DmaCopy(state->dma_ids[static_cast<size_t>(insn.a)],
+                    dst + static_cast<uint32_t>(dst_idx) * 2,
+                    src + static_cast<uint32_t>(src_idx) * 2,
+                    static_cast<uint32_t>(bytes));
+        break;
+      }
+      case Op::kGetTimeMs:
+        stack.push_back(static_cast<int32_t>(ctx.NowUs() / 1000));
+        break;
+      case Op::kDelay:
+        ctx.Cpu(static_cast<uint64_t>(std::max<int32_t>(pop(), 0)));
+        break;
+      case Op::kPop:
+        pop();
+        break;
+      case Op::kNextTask:
+        return static_cast<kernel::TaskId>(insn.a);
+      case Op::kEndTask:
+        return kernel::kTaskDone;
+    }
+  }
+}
+
+}  // namespace
+
+InstantiatedProgram Instantiate(const CompileResult& compiled, sim::Device& dev,
+                                kernel::Runtime& rt, kernel::NvManager& nv) {
+  (void)dev;
+  EASEIO_CHECK(compiled.ok, "cannot instantiate a failed compile");
+
+  auto state = std::make_shared<VmState>();
+  state->code = compiled.code;
+  state->analysis = compiled.analysis;
+
+  InstantiatedProgram out;
+
+  // Globals: __nv variables through the NV manager (runtime-interposed), __sram
+  // staging buffers straight from the volatile arena.
+  for (const NvDecl& decl : compiled.ast.nv_decls) {
+    if (decl.sram) {
+      state->nv_slots.push_back(kernel::kNoSlot);
+      state->global_addr.push_back(dev.mem().AllocSram("easec." + decl.name,
+                                                       decl.elements * 2));
+      state->global_is_sram.push_back(1);
+    } else {
+      const kernel::NvSlotId slot = nv.Define("easec." + decl.name, decl.elements * 2);
+      state->nv_slots.push_back(slot);
+      state->global_addr.push_back(nv.slot(slot).addr);
+      state->global_is_sram.push_back(0);
+    }
+  }
+  out.nv_slots = state->nv_slots;
+
+  // Blocks first (parents are created before children by construction).
+  for (const BlockInfo& block : compiled.analysis.blocks) {
+    kernel::IoBlockDesc desc;
+    desc.task = static_cast<kernel::TaskId>(block.task);
+    desc.name = "easec." + block.name;
+    desc.sem = block.sem;
+    desc.window_us = block.window_us;
+    desc.parent = block.parent == UINT32_MAX ? kernel::kNoBlock
+                                             : state->block_ids[block.parent];
+    state->block_ids.push_back(rt.RegisterIoBlock(std::move(desc)));
+  }
+
+  // I/O sites (dependences reference earlier sites only).
+  for (uint32_t i = 0; i < compiled.analysis.sites.size(); ++i) {
+    const IoSiteInfo& site = compiled.analysis.sites[i];
+    kernel::IoSiteDesc desc;
+    desc.task = static_cast<kernel::TaskId>(site.task);
+    desc.name = "easec." + compiled.analysis.tasks[site.task].name + "." + site.fn_name +
+                std::to_string(i);
+    desc.lanes = site.lanes;
+    desc.sem = site.sem;
+    desc.window_us = site.window_us;
+    for (uint32_t dep : site.depends_on) {
+      desc.depends_on.push_back(state->site_ids[dep]);
+    }
+    desc.block = site.block == UINT32_MAX ? kernel::kNoBlock : state->block_ids[site.block];
+    state->site_ids.push_back(rt.RegisterIoSite(std::move(desc)));
+  }
+
+  // DMA sites.
+  for (uint32_t i = 0; i < compiled.analysis.dmas.size(); ++i) {
+    const DmaInfo& dma = compiled.analysis.dmas[i];
+    kernel::DmaSiteDesc desc;
+    desc.task = static_cast<kernel::TaskId>(dma.task);
+    desc.name = "easec." + compiled.analysis.tasks[dma.task].name + ".dma" + std::to_string(i);
+    desc.exclude = dma.exclude;
+    desc.related_io = dma.related_io == UINT32_MAX ? kernel::kNoSite
+                                                   : state->site_ids[dma.related_io];
+    state->dma_ids.push_back(rt.RegisterDmaSite(std::move(desc)));
+  }
+
+  // Compiler facts: regions for EaseIO, shared/WAR sets for the baselines.
+  for (uint32_t t = 0; t < compiled.analysis.tasks.size(); ++t) {
+    const TaskInfo& info = compiled.analysis.tasks[t];
+    std::vector<std::vector<kernel::NvSlotId>> regions;
+    for (const auto& region : info.regions) {
+      std::vector<kernel::NvSlotId> slots;
+      for (uint32_t nv_idx : region) {
+        slots.push_back(state->nv_slots[nv_idx]);
+      }
+      regions.push_back(std::move(slots));
+    }
+    rt.DeclareTaskRegions(static_cast<kernel::TaskId>(t), std::move(regions));
+
+    std::vector<kernel::NvSlotId> shared;
+    for (uint32_t nv_idx : info.shared) {
+      shared.push_back(state->nv_slots[nv_idx]);
+    }
+    std::vector<kernel::NvSlotId> war;
+    for (uint32_t nv_idx : info.war) {
+      war.push_back(state->nv_slots[nv_idx]);
+    }
+    rt.DeclareTaskShared(static_cast<kernel::TaskId>(t), shared, war);
+
+    state->local_counts.push_back(info.local_count);
+  }
+
+  // Task bodies.
+  for (uint32_t t = 0; t < compiled.analysis.tasks.size(); ++t) {
+    out.graph.Add(compiled.analysis.tasks[t].name, [state, t](kernel::TaskCtx& ctx) {
+      return RunTask(state, t, ctx);
+    });
+  }
+  out.entry = 0;
+  out.site_ids = state->site_ids;
+  out.block_ids = state->block_ids;
+  out.dma_ids = state->dma_ids;
+  out.state = state;
+  return out;
+}
+
+}  // namespace easeio::easec

@@ -1,0 +1,69 @@
+// EaseC driver: compile source -> (AST, analysis, bytecode, transformed source), then
+// instantiate the compiled program on a device + runtime pair as a runnable task graph.
+//
+// Instantiation performs what deployment does on the real system: it allocates the
+// __nv variables, registers every I/O site / block / DMA site with the annotations the
+// analysis extracted, declares the compiler facts (shared/WAR variables for the
+// baselines, regions for EaseIO), and wraps each task's bytecode in a kernel TaskBody
+// executed by the VM. The same CompileResult can be instantiated on any runtime —
+// which is how the differential tests check that a DSL program behaves identically to
+// its hand-written counterpart.
+
+#ifndef EASEIO_EASEC_PROGRAM_H_
+#define EASEIO_EASEC_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "easec/ast.h"
+#include "easec/bytecode.h"
+#include "easec/sema.h"
+#include "kernel/engine.h"
+
+namespace easeio::easec {
+
+struct CompileOptions {
+  // Budget for the compile-time privatization-buffer check (0 disables it). Must match
+  // the EaseioConfig::dma_priv_buffer_bytes the program will run with.
+  uint32_t dma_priv_buffer_bytes = 4096;
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string errors;  // diagnostics, one per line ("line:col: message")
+
+  Program ast;
+  Analysis analysis;
+  std::vector<TaskCode> code;
+  std::string transformed_source;  // the Figure-5 style source-to-source output
+};
+
+// Runs the full front-end: lex -> parse -> sema -> transform -> codegen.
+CompileResult Compile(std::string_view source, const CompileOptions& options = {});
+
+// A compiled program bound to one device/runtime/NV-manager triple.
+struct InstantiatedProgram {
+  kernel::TaskGraph graph;
+  kernel::TaskId entry = 0;
+
+  // __nv declaration index -> allocated slot.
+  std::vector<kernel::NvSlotId> nv_slots;
+
+  // easec index -> runtime registration id.
+  std::vector<kernel::IoSiteId> site_ids;
+  std::vector<kernel::IoBlockId> block_ids;
+  std::vector<kernel::DmaSiteId> dma_ids;
+
+  std::shared_ptr<void> state;  // keeps the VM's shared state alive
+};
+
+// Instantiates `compiled` (which must have ok == true) on the given runtime. The
+// runtime must already be bound to `dev` and `nv`.
+InstantiatedProgram Instantiate(const CompileResult& compiled, sim::Device& dev,
+                                kernel::Runtime& rt, kernel::NvManager& nv);
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_PROGRAM_H_

@@ -1,0 +1,474 @@
+#include "easec/sema.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace easeio::easec {
+
+namespace {
+
+struct FnSig {
+  IoFn fn;
+  size_t arity;
+};
+
+const std::map<std::string, FnSig>& IoFunctions() {
+  static const auto* map = new std::map<std::string, FnSig>{
+      {"Temp", {IoFn::kTemp, 0}},    {"Humd", {IoFn::kHumd, 0}},
+      {"Pres", {IoFn::kPres, 0}},    {"Send", {IoFn::kSend, 2}},
+      {"Capture", {IoFn::kCapture, 2}},
+  };
+  return *map;
+}
+
+// Per-task analysis state.
+class TaskAnalyzer {
+ public:
+  TaskAnalyzer(Program& program, uint32_t task_index, Analysis& analysis, Diagnostics& diags)
+      : program_(program), task_index_(task_index), analysis_(analysis), diags_(diags) {
+    for (uint32_t i = 0; i < program.nv_decls.size(); ++i) {
+      nv_index_[program.nv_decls[i].name] = static_cast<int32_t>(i);
+    }
+  }
+
+  void Run() {
+    TaskDecl& task = program_.tasks[task_index_];
+    regions_.emplace_back();  // region 0
+    AnalyzeStmts(task.body, /*top_level=*/true);
+    task.local_count = static_cast<uint32_t>(locals_.size());
+
+    TaskInfo& info = analysis_.tasks[task_index_];
+    info.local_count = task.local_count;
+    for (auto& region : regions_) {
+      info.regions.push_back(std::vector<uint32_t>(region.begin(), region.end()));
+    }
+    info.shared.assign(cpu_accessed_.begin(), cpu_accessed_.end());
+    info.war.assign(war_.begin(), war_.end());
+  }
+
+ private:
+  int32_t DefineLocal(const std::string& name, int line) {
+    if (locals_.count(name) != 0) {
+      diags_.Error(line, 0, "redefinition of local '" + name + "'");
+      return locals_[name];
+    }
+    const int32_t slot = static_cast<int32_t>(locals_.size());
+    locals_[name] = slot;
+    return slot;
+  }
+
+  // Resolves `name` to a local slot or nv index; returns false when unknown.
+  bool Resolve(const std::string& name, int line, int32_t* local, int32_t* nv) {
+    *local = -1;
+    *nv = -1;
+    auto lit = locals_.find(name);
+    if (lit != locals_.end()) {
+      *local = lit->second;
+      return true;
+    }
+    auto nit = nv_index_.find(name);
+    if (nit != nv_index_.end()) {
+      *nv = nit->second;
+      return true;
+    }
+    diags_.Error(line, 0, "use of undeclared identifier '" + name + "'");
+    return false;
+  }
+
+  void NoteNvRead(int32_t nv) {
+    if (program_.nv_decls[nv].sram) {
+      return;  // volatile staging buffers need no privatization analysis
+    }
+    cpu_accessed_.insert(static_cast<uint32_t>(nv));
+    if (written_.count(static_cast<uint32_t>(nv)) == 0) {
+      read_before_write_.insert(static_cast<uint32_t>(nv));
+    }
+  }
+
+  void NoteNvWrite(int32_t nv) {
+    if (program_.nv_decls[nv].sram) {
+      return;
+    }
+    cpu_accessed_.insert(static_cast<uint32_t>(nv));
+    written_.insert(static_cast<uint32_t>(nv));
+    if (read_before_write_.count(static_cast<uint32_t>(nv)) != 0) {
+      war_.insert(static_cast<uint32_t>(nv));
+    }
+    regions_.back().insert(static_cast<uint32_t>(nv));
+  }
+
+  // Analyzes an expression; returns the site index that (transitively) produced its
+  // value, or UINT32_MAX. `allow_call_io` is false inside _call_IO arguments.
+  uint32_t AnalyzeExpr(Expr& expr, bool allow_call_io) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return UINT32_MAX;
+      case ExprKind::kVarRef: {
+        if (!Resolve(expr.name, expr.line, &expr.local_slot, &expr.nv_index)) {
+          return UINT32_MAX;
+        }
+        if (expr.nv_index >= 0) {
+          NoteNvRead(expr.nv_index);
+          auto it = nv_producer_.find(expr.nv_index);
+          return it == nv_producer_.end() ? UINT32_MAX : it->second;
+        }
+        auto it = local_producer_.find(expr.local_slot);
+        return it == local_producer_.end() ? UINT32_MAX : it->second;
+      }
+      case ExprKind::kIndex: {
+        if (!Resolve(expr.name, expr.line, &expr.local_slot, &expr.nv_index)) {
+          return UINT32_MAX;
+        }
+        if (expr.nv_index < 0) {
+          diags_.Error(expr.line, 0, "'" + expr.name + "' is not an __nv array");
+          return UINT32_MAX;
+        }
+        if (program_.nv_decls[expr.nv_index].elements == 1) {
+          diags_.Error(expr.line, 0, "'" + expr.name + "' is not an __nv array");
+          return UINT32_MAX;
+        }
+        AnalyzeExpr(*expr.index, allow_call_io);
+        NoteNvRead(expr.nv_index);
+        auto it = nv_producer_.find(expr.nv_index);
+        return it == nv_producer_.end() ? UINT32_MAX : it->second;
+      }
+      case ExprKind::kAddrOf: {
+        if (!Resolve(expr.name, expr.line, &expr.local_slot, &expr.nv_index)) {
+          return UINT32_MAX;
+        }
+        if (expr.nv_index < 0) {
+          diags_.Error(expr.line, 0, "'&" + expr.name + "' must name an __nv variable");
+          return UINT32_MAX;
+        }
+        if (expr.index != nullptr) {
+          AnalyzeExpr(*expr.index, allow_call_io);
+        }
+        // Taking the address is not a CPU data access; DMA operands are invisible to
+        // baseline privatization.
+        auto it = nv_producer_.find(expr.nv_index);
+        return it == nv_producer_.end() ? UINT32_MAX : it->second;
+      }
+      case ExprKind::kUnary:
+        return AnalyzeExpr(*expr.lhs, allow_call_io);
+      case ExprKind::kBinary: {
+        const uint32_t a = AnalyzeExpr(*expr.lhs, allow_call_io);
+        const uint32_t b = AnalyzeExpr(*expr.rhs, allow_call_io);
+        return a != UINT32_MAX ? a : b;
+      }
+      case ExprKind::kBuiltin: {
+        if (expr.name != "GetTime") {
+          diags_.Error(expr.line, 0, "unknown builtin '" + expr.name + "'");
+        } else if (!expr.args.empty()) {
+          diags_.Error(expr.line, 0, "GetTime() takes no arguments");
+        }
+        return UINT32_MAX;
+      }
+      case ExprKind::kCallIo:
+        if (!allow_call_io) {
+          diags_.Error(expr.line, 0, "_call_IO may not nest inside another _call_IO");
+          return UINT32_MAX;
+        }
+        return AnalyzeCallIo(expr);
+    }
+    return UINT32_MAX;
+  }
+
+  uint32_t AnalyzeCallIo(Expr& expr) {
+    auto fit = IoFunctions().find(expr.name);
+    if (fit == IoFunctions().end()) {
+      diags_.Error(expr.line, 0, "unknown I/O function '" + expr.name + "'");
+      return UINT32_MAX;
+    }
+    if (expr.args.size() != fit->second.arity) {
+      diags_.Error(expr.line, 0,
+                   "'" + expr.name + "' expects " + std::to_string(fit->second.arity) +
+                       " argument(s)");
+    }
+
+    IoSiteInfo site;
+    site.task = task_index_;
+    site.fn_name = expr.name;
+    site.fn = fit->second.fn;
+    site.sem = expr.sem;
+    site.window_us = expr.window_ms * 1000;
+    site.block = block_stack_.empty() ? UINT32_MAX : block_stack_.back();
+
+    // Lanes: a call inside `repeat (N)` gets an N-entry lock-flag array.
+    if (!repeat_stack_.empty()) {
+      if (repeat_stack_.size() > 1) {
+        diags_.Error(expr.line, 0, "_call_IO inside nested repeat loops is not supported");
+      }
+      site.lanes = repeat_stack_.back().count;
+      site.lane_slot = repeat_stack_.back().counter_slot;
+    }
+
+    // Dependence: arguments produced by earlier I/O results.
+    std::set<uint32_t> deps;
+    for (ExprPtr& arg : expr.args) {
+      const uint32_t producer = AnalyzeExpr(*arg, /*allow_call_io=*/false);
+      if (producer != UINT32_MAX) {
+        deps.insert(producer);
+      }
+    }
+    site.depends_on.assign(deps.begin(), deps.end());
+
+    // Send/Capture operate on an __nv buffer with a literal byte count.
+    if ((site.fn == IoFn::kSend || site.fn == IoFn::kCapture) && expr.args.size() == 2) {
+      Expr& buf = *expr.args[0];
+      if ((buf.kind == ExprKind::kVarRef || buf.kind == ExprKind::kAddrOf) &&
+          buf.nv_index >= 0) {
+        site.buffer_nv = buf.nv_index;
+      } else {
+        diags_.Error(expr.line, 0,
+                     "'" + expr.name + "' needs an __nv buffer as its first argument");
+      }
+      if (expr.args[1]->kind == ExprKind::kIntLit) {
+        site.buffer_bytes = static_cast<uint32_t>(expr.args[1]->int_value);
+      } else {
+        diags_.Error(expr.line, 0,
+                     "'" + expr.name + "' needs a literal byte count as its second argument");
+      }
+    }
+
+    const uint32_t id = static_cast<uint32_t>(analysis_.sites.size());
+    analysis_.sites.push_back(std::move(site));
+    expr.site_id = id;
+    return id;
+  }
+
+  void AnalyzeStmts(std::vector<StmtPtr>& stmts, bool top_level) {
+    for (StmtPtr& stmt : stmts) {
+      AnalyzeStmt(*stmt, top_level);
+    }
+  }
+
+  void AnalyzeStmt(Stmt& stmt, bool top_level) {
+    switch (stmt.kind) {
+      case StmtKind::kDeclLocal: {
+        uint32_t producer = UINT32_MAX;
+        if (stmt.value != nullptr) {
+          producer = AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
+        }
+        stmt.local_slot = DefineLocal(stmt.name, stmt.line);
+        if (producer != UINT32_MAX) {
+          local_producer_[stmt.local_slot] = producer;
+        }
+        break;
+      }
+      case StmtKind::kAssign: {
+        const uint32_t producer = AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
+        if (stmt.index != nullptr) {
+          AnalyzeExpr(*stmt.index, /*allow_call_io=*/false);
+        }
+        if (!Resolve(stmt.name, stmt.line, &stmt.local_slot, &stmt.nv_index)) {
+          break;
+        }
+        if (stmt.nv_index >= 0) {
+          const bool is_array = program_.nv_decls[stmt.nv_index].elements > 1;
+          if (stmt.index == nullptr && is_array) {
+            diags_.Error(stmt.line, 0, "assignment to whole array '" + stmt.name + "'");
+          }
+          NoteNvWrite(stmt.nv_index);
+          if (producer != UINT32_MAX) {
+            nv_producer_[stmt.nv_index] = producer;
+          } else if (!is_array) {
+            // Scalars track their last writer exactly; arrays keep any recorded I/O
+            // producer (element granularity is not tracked, so dropping it on an
+            // unrelated element's write would lose real dependences).
+            nv_producer_.erase(stmt.nv_index);
+          }
+        } else {
+          if (stmt.index != nullptr) {
+            diags_.Error(stmt.line, 0, "cannot subscript local '" + stmt.name + "'");
+          }
+          if (producer != UINT32_MAX) {
+            local_producer_[stmt.local_slot] = producer;
+          } else {
+            local_producer_.erase(stmt.local_slot);
+          }
+        }
+        break;
+      }
+      case StmtKind::kIf:
+        AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
+        AnalyzeStmts(stmt.then_body, /*top_level=*/false);
+        AnalyzeStmts(stmt.else_body, /*top_level=*/false);
+        break;
+      case StmtKind::kWhile:
+        AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
+        AnalyzeStmts(stmt.body, /*top_level=*/false);
+        break;
+      case StmtKind::kRepeat: {
+        // The repeat counter is a local (named by the programmer in the
+        // `repeat (i, N)` form, hidden otherwise); _call_IO lanes index with it.
+        const std::string counter_name =
+            stmt.name.empty() ? "$repeat" + std::to_string(repeat_counter_id_++) : stmt.name;
+        const int32_t counter = DefineLocal(counter_name, stmt.line);
+        stmt.local_slot = counter;
+        repeat_stack_.push_back({static_cast<uint32_t>(stmt.value->int_value), counter});
+        AnalyzeStmts(stmt.body, /*top_level=*/false);
+        repeat_stack_.pop_back();
+        break;
+      }
+      case StmtKind::kIoBlock: {
+        BlockInfo block;
+        block.task = task_index_;
+        block.sem = stmt.sem;
+        block.window_us = stmt.window_ms * 1000;
+        block.parent = block_stack_.empty() ? UINT32_MAX : block_stack_.back();
+        block.name = program_.tasks[task_index_].name + ".block" +
+                     std::to_string(analysis_.blocks.size());
+        const uint32_t id = static_cast<uint32_t>(analysis_.blocks.size());
+        analysis_.blocks.push_back(std::move(block));
+        stmt.block_id = id;
+        block_stack_.push_back(id);
+        AnalyzeStmts(stmt.body, /*top_level=*/false);
+        block_stack_.pop_back();
+        break;
+      }
+      case StmtKind::kDma: {
+        if (!top_level) {
+          diags_.Error(stmt.line, 0,
+                       "_DMA_copy must appear at the top level of a task body "
+                       "(region boundaries are static)");
+        }
+        AnalyzeExpr(*stmt.dma_dst, /*allow_call_io=*/false);
+        const uint32_t src_producer = AnalyzeExpr(*stmt.dma_src, /*allow_call_io=*/false);
+        AnalyzeExpr(*stmt.dma_bytes, /*allow_call_io=*/false);
+        if (stmt.dma_dst->kind != ExprKind::kAddrOf ||
+            stmt.dma_src->kind != ExprKind::kAddrOf) {
+          diags_.Error(stmt.line, 0, "_DMA_copy operands must be '&nv_var[...]' addresses");
+        }
+        DmaInfo dma;
+        dma.task = task_index_;
+        dma.exclude = stmt.dma_exclude;
+        dma.related_io = src_producer;
+        dma.region_index = static_cast<uint32_t>(regions_.size()) - 1;
+        if (stmt.dma_bytes->kind == ExprKind::kIntLit) {
+          dma.bytes = static_cast<uint32_t>(stmt.dma_bytes->int_value);
+        }
+        if (stmt.dma_src->nv_index >= 0) {
+          dma.src_sram = program_.nv_decls[stmt.dma_src->nv_index].sram;
+        }
+        if (stmt.dma_dst->nv_index >= 0) {
+          dma.dst_sram = program_.nv_decls[stmt.dma_dst->nv_index].sram;
+        }
+        const uint32_t id = static_cast<uint32_t>(analysis_.dmas.size());
+        analysis_.dmas.push_back(dma);
+        stmt.dma_id = id;
+        regions_.emplace_back();  // a DMA opens the next region
+        break;
+      }
+      case StmtKind::kNextTask:
+        ++analysis_.tasks[task_index_].next_candidates;
+        break;
+      case StmtKind::kEndTask:
+        break;
+      case StmtKind::kExprStmt:
+        AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
+        break;
+      case StmtKind::kDelay:
+        AnalyzeExpr(*stmt.value, /*allow_call_io=*/false);
+        break;
+    }
+  }
+
+  struct RepeatFrame {
+    uint32_t count;
+    int32_t counter_slot;
+  };
+
+  Program& program_;
+  uint32_t task_index_;
+  Analysis& analysis_;
+  Diagnostics& diags_;
+
+  std::map<std::string, int32_t> locals_;
+  std::map<std::string, int32_t> nv_index_;
+  std::map<int32_t, uint32_t> local_producer_;  // local slot -> io site
+  std::map<int32_t, uint32_t> nv_producer_;     // nv index -> io site
+  std::vector<uint32_t> block_stack_;
+  std::vector<RepeatFrame> repeat_stack_;
+  std::vector<std::set<uint32_t>> regions_;  // nv writes per region
+  std::set<uint32_t> cpu_accessed_;
+  std::set<uint32_t> written_;
+  std::set<uint32_t> read_before_write_;
+  std::set<uint32_t> war_;
+  int repeat_counter_id_ = 0;
+};
+
+}  // namespace
+
+Analysis Analyze(Program& program, Diagnostics& diags, uint32_t dma_priv_buffer_bytes) {
+  Analysis analysis;
+  analysis.tasks.resize(program.tasks.size());
+
+  // Validate task names and next_task targets up front.
+  std::set<std::string> names;
+  for (uint32_t i = 0; i < program.tasks.size(); ++i) {
+    analysis.tasks[i].name = program.tasks[i].name;
+    if (!names.insert(program.tasks[i].name).second) {
+      diags.Error(program.tasks[i].line, 0,
+                  "duplicate task name '" + program.tasks[i].name + "'");
+    }
+  }
+  std::set<std::string> nv_names;
+  for (const NvDecl& decl : program.nv_decls) {
+    if (!nv_names.insert(decl.name).second) {
+      diags.Error(decl.line, 0, "duplicate __nv declaration '" + decl.name + "'");
+    }
+    if (decl.elements == 0) {
+      diags.Error(decl.line, 0, "zero-length __nv array '" + decl.name + "'");
+    }
+  }
+
+  for (uint32_t i = 0; i < program.tasks.size(); ++i) {
+    TaskAnalyzer(program, i, analysis, diags).Run();
+  }
+
+  // next_task targets must exist.
+  struct TargetChecker {
+    const std::set<std::string>& names;
+    Diagnostics& diags;
+    void Check(const std::vector<StmtPtr>& stmts) {
+      for (const StmtPtr& s : stmts) {
+        if (s->kind == StmtKind::kNextTask && names.count(s->target_task) == 0) {
+          diags.Error(s->line, 0, "next_task target '" + s->target_task + "' is not a task");
+        }
+        Check(s->then_body);
+        Check(s->else_body);
+        Check(s->body);
+      }
+    }
+  } checker{names, diags};
+  for (const TaskDecl& task : program.tasks) {
+    checker.Check(task.body);
+  }
+
+  // Compile-time privatization-buffer check (the paper's Section 6 future work): an
+  // NV -> volatile transfer is classified Private at run time and carves a persistent
+  // slice of the shared buffer; overflow is better rejected here than at run time.
+  for (const DmaInfo& dma : analysis.dmas) {
+    if (!dma.exclude && !dma.src_sram && dma.dst_sram) {
+      if (dma.bytes == 0) {
+        diags.Error(0, 0,
+                    "_DMA_copy into volatile memory needs a literal byte count so the "
+                    "privatization buffer check can run");
+      }
+      analysis.private_dma_bytes += dma.bytes;
+    }
+  }
+  if (dma_priv_buffer_bytes > 0 && analysis.private_dma_bytes > dma_priv_buffer_bytes) {
+    diags.Error(0, 0,
+                "Private DMA transfers need " + std::to_string(analysis.private_dma_bytes) +
+                    " bytes of privatization buffer, but only " +
+                    std::to_string(dma_priv_buffer_bytes) +
+                    " are configured (annotate constant data with Exclude or raise "
+                    "dma_priv_buffer_bytes)");
+  }
+
+  return analysis;
+}
+
+}  // namespace easeio::easec

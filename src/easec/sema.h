@@ -1,0 +1,104 @@
+// Semantic analysis for EaseC — the pass that extracts everything the EaseIO runtime
+// (and the baselines) need from an annotated program:
+//
+//   * symbol resolution: __nv globals vs task locals, with slot assignment;
+//   * I/O call sites: one site per static _call_IO, with lane counts for calls inside
+//     `repeat` loops (Section 6), enclosing-block links, and Timely windows;
+//   * I/O blocks: lexical nesting (scope precedence, Section 3.3.1);
+//   * data dependence: a _call_IO whose arguments are (transitively) produced by
+//     another _call_IO's result depends on that site (Section 3.3.2); a _DMA_copy whose
+//     source was last written from an I/O result inherits that producer (Section 4.3.1);
+//   * region splitting: a task with N _DMA_copy statements is divided into N+1 regions
+//     at the DMA positions, and the non-volatile variables the CPU *writes* in each
+//     region are collected for regional privatization (Section 4.5.1);
+//   * baseline facts: per-task shared and WAR variable sets, as Alpaca's and InK's
+//     compilers would compute them — DMA operands are excluded (invisible to them).
+//
+// Restrictions enforced here (compile errors): _DMA_copy must be at the top level of a
+// task body (region boundaries are static), _call_IO may not nest inside another
+// _call_IO's arguments, and `repeat` loops containing _call_IO must not be nested.
+
+#ifndef EASEIO_EASEC_SEMA_H_
+#define EASEIO_EASEC_SEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "easec/ast.h"
+#include "easec/diag.h"
+
+namespace easeio::easec {
+
+// Peripheral functions callable through _call_IO, with their argument arity.
+// Temp/Humd/Pres read the corresponding sensor; Send transmits `bytes` from an __nv
+// buffer; Capture fills an __nv buffer from the camera.
+enum class IoFn : uint8_t { kTemp, kHumd, kPres, kSend, kCapture };
+
+struct IoSiteInfo {
+  uint32_t task = 0;         // index into Program.tasks
+  std::string fn_name;
+  IoFn fn = IoFn::kTemp;
+  uint32_t lanes = 1;
+  kernel::IoSemantic sem = kernel::IoSemantic::kAlways;
+  uint64_t window_us = 0;
+  uint32_t block = UINT32_MAX;          // enclosing easec block index
+  std::vector<uint32_t> depends_on;     // producer site indices
+  int32_t lane_slot = -1;               // local slot holding the repeat counter
+
+  // Send/Capture operands: the __nv buffer and the (literal) byte count.
+  int32_t buffer_nv = -1;
+  uint32_t buffer_bytes = 0;
+};
+
+struct BlockInfo {
+  uint32_t task = 0;
+  kernel::IoSemantic sem = kernel::IoSemantic::kSingle;
+  uint64_t window_us = 0;
+  uint32_t parent = UINT32_MAX;
+  std::string name;  // generated: task.block<N>
+};
+
+struct DmaInfo {
+  uint32_t task = 0;
+  bool exclude = false;
+  uint32_t related_io = UINT32_MAX;  // producer site index
+  uint32_t region_index = 0;         // ordinal among the task's DMA statements
+  uint32_t bytes = 0;                // literal byte count (0 when not a literal)
+  bool src_sram = false;
+  bool dst_sram = false;
+};
+
+struct TaskInfo {
+  std::string name;
+  uint32_t local_count = 0;
+  // regions[k] = __nv indices the CPU writes in region k (N_dma + 1 entries).
+  std::vector<std::vector<uint32_t>> regions;
+  std::vector<uint32_t> shared;  // __nv indices CPU-accessed by the task
+  std::vector<uint32_t> war;     // subset read (by the CPU) before written
+  uint32_t next_candidates = 0;  // number of next_task statements (for validation)
+};
+
+struct Analysis {
+  std::vector<IoSiteInfo> sites;
+  std::vector<BlockInfo> blocks;
+  std::vector<DmaInfo> dmas;
+  std::vector<TaskInfo> tasks;
+  // Worst-case bytes the runtime will carve from the DMA privatization buffer
+  // (the sum of all non-excluded NV -> volatile transfer sizes).
+  uint32_t private_dma_bytes = 0;
+};
+
+// Runs semantic analysis over `program`, annotating AST nodes in place (slot/site/block
+// ids) and returning the extracted facts. Errors go to `diags`.
+//
+// `dma_priv_buffer_bytes` enables the compile-time privatization-buffer check the
+// paper lists as future work (Section 6): when the worst-case Private DMA footprint
+// exceeds the configured buffer, compilation fails instead of the runtime aborting
+// mid-deployment. Pass 0 to disable the check.
+Analysis Analyze(Program& program, Diagnostics& diags,
+                 uint32_t dma_priv_buffer_bytes = 4096);
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_SEMA_H_

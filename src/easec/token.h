@@ -1,0 +1,78 @@
+// Token model for EaseC, the C-like task language the EaseIO compiler front-end
+// consumes. The original system implements this stage with Clang LibTooling; this
+// repository ships a self-contained front-end with the same surface constructs:
+// __nv declarations, task definitions, _call_IO / _IO_block_begin / _IO_block_end /
+// _DMA_copy, plus enough of C's expression and statement grammar to write the paper's
+// applications.
+
+#ifndef EASEIO_EASEC_TOKEN_H_
+#define EASEIO_EASEC_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace easeio::easec {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kStringLit,
+
+  // Keywords.
+  kNv,         // __nv
+  kSram,       // __sram (volatile staging buffers, e.g. LEA RAM)
+  kTask,       // task
+  kInt16,      // int16
+  kIf,         // if
+  kElse,       // else
+  kWhile,      // while
+  kRepeat,     // repeat (N) { ... }  — the Section 6 loop construct
+  kCallIo,     // _call_IO
+  kIoBlockBegin,  // _IO_block_begin
+  kIoBlockEnd,    // _IO_block_end
+  kDmaCopy,    // _DMA_copy
+  kNextTask,   // next_task
+  kEndTask,    // end_task
+  kExclude,    // Exclude (DMA annotation)
+
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+};
+
+const char* ToString(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier / string contents
+  int64_t int_value = 0;
+  int line = 0;
+  int col = 0;
+};
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_TOKEN_H_

@@ -1,0 +1,33 @@
+// Source-to-source transformation output (Figure 5).
+//
+// The original EaseIO front-end rewrites the programmer's annotated C into plain C
+// whose control blocks consult generated lock flags, timestamps, and private copies.
+// This module renders the same transformation over the EaseC AST: every _call_IO
+// becomes a flag-guarded `if` (with a `lock_<fn>_<task>_<n>` flag, a timestamp for
+// Timely, a private return-value copy, and a block-dependence flag where scope
+// precedence applies); every _IO_block becomes its own guard; every _DMA_copy is
+// followed by the regional-privatization entry for the next region.
+//
+// The output is the *presentation* of the transformation — golden-tested against
+// hand-checked expectations — while the executable semantics live in the runtime and
+// the bytecode VM (codegen.h), which implement exactly the logic printed here.
+
+#ifndef EASEIO_EASEC_TRANSFORM_H_
+#define EASEIO_EASEC_TRANSFORM_H_
+
+#include <string>
+
+#include "easec/ast.h"
+#include "easec/sema.h"
+
+namespace easeio::easec {
+
+// Renders the transformed program as C-like source text.
+std::string TransformToSource(const Program& program, const Analysis& analysis);
+
+// Renders one expression (used by the transform and by tests).
+std::string ExprToSource(const Expr& expr);
+
+}  // namespace easeio::easec
+
+#endif  // EASEIO_EASEC_TRANSFORM_H_

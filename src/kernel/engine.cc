@@ -1,0 +1,53 @@
+#include "kernel/engine.h"
+
+namespace easeio::kernel {
+
+RunResult Engine::Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                      TaskId entry) {
+  dev.Begin();
+  rt.OnRunStart();
+
+  TaskCtx ctx(dev, rt, nv);
+  // The current-task pointer lives in non-volatile memory on a real system; here it is
+  // only updated at commit, which gives the same recovery semantics.
+  TaskId cur = entry;
+  bool completed = true;
+
+  while (cur != kTaskDone) {
+    ctx.current_task_ = cur;
+    try {
+      rt.OnTaskBegin(ctx);
+      const TaskId next = graph.task(cur).body(ctx);
+      rt.OnTaskCommit(ctx);
+      dev.FoldAttemptCommitted();
+      ++dev.stats().tasks_committed;
+      cur = next;
+    } catch (const sim::PowerFailure&) {
+      // Recovery work (e.g. an undo-log rollback) is itself charged and can be
+      // interrupted again; retry until the runtime comes up clean.
+      for (;;) {
+        dev.Reboot();
+        try {
+          rt.OnReboot();
+          break;
+        } catch (const sim::PowerFailure&) {
+        }
+      }
+      if (dev.clock().on_us() > config_.max_on_us) {
+        completed = false;
+        break;
+      }
+    }
+  }
+
+  RunResult result;
+  result.completed = completed;
+  result.stats = dev.stats();
+  result.on_us = dev.clock().on_us();
+  result.off_us = dev.clock().off_us();
+  result.wall_us = dev.clock().wall_us();
+  result.energy_j = dev.meter().TotalJ();
+  return result;
+}
+
+}  // namespace easeio::kernel

@@ -1,0 +1,51 @@
+// The intermittent execution engine.
+//
+// Runs a task graph on a device under a failure schedule: each task attempt either
+// commits (its effects and the control transfer become durable together) or dies in a
+// PowerFailure, after which the device reboots and the *same* task re-enters — the
+// all-or-nothing semantics all three runtimes build on. The engine also guards against
+// non-termination (a task whose energy cost exceeds what one power cycle can deliver,
+// Section 3.5).
+
+#ifndef EASEIO_KERNEL_ENGINE_H_
+#define EASEIO_KERNEL_ENGINE_H_
+
+#include <cstdint>
+
+#include "kernel/runtime.h"
+#include "kernel/task.h"
+#include "sim/device.h"
+
+namespace easeio::kernel {
+
+struct RunConfig {
+  // Abort the run (completed = false) once this much on-time has elapsed. Catches
+  // non-terminating workloads instead of hanging the harness.
+  uint64_t max_on_us = 60'000'000;
+};
+
+struct RunResult {
+  bool completed = false;
+  sim::RunStats stats;       // counters + app/overhead/wasted decomposition
+  uint64_t on_us = 0;        // powered execution time
+  uint64_t off_us = 0;       // time spent dark, recharging
+  uint64_t wall_us = 0;      // on + off
+  double energy_j = 0;       // total energy drawn
+};
+
+class Engine {
+ public:
+  explicit Engine(RunConfig config = {}) : config_(config) {}
+
+  // Executes the graph from `entry` until a task returns kTaskDone. The device must
+  // be freshly constructed; the runtime must already be bound and registered.
+  RunResult Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                TaskId entry);
+
+ private:
+  RunConfig config_;
+};
+
+}  // namespace easeio::kernel
+
+#endif  // EASEIO_KERNEL_ENGINE_H_

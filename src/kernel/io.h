@@ -1,0 +1,78 @@
+// I/O site model shared by all runtimes.
+//
+// A *site* is one static I/O call location in the program — the compiler front-end in
+// the paper mints one lock flag per (function, task, occurrence). Loops over an I/O
+// call get a *lane* per iteration (Section 6, "Re-execution Semantics in Loops"). The
+// same identity scheme serves two purposes here:
+//   * EaseIO keys its re-execution decisions (flags, timestamps, private values) on it;
+//   * all runtimes, including the baselines, count executions per site, which is how
+//     the harness measures redundant re-execution (Table 4).
+
+#ifndef EASEIO_KERNEL_IO_H_
+#define EASEIO_KERNEL_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easeio::kernel {
+
+using TaskId = uint16_t;
+inline constexpr TaskId kNoTask = 0xFFFF;
+
+using IoSiteId = uint32_t;
+using IoBlockId = uint32_t;
+using DmaSiteId = uint32_t;
+inline constexpr uint32_t kNoSite = UINT32_MAX;
+inline constexpr uint32_t kNoBlock = UINT32_MAX;
+
+// Re-execution semantics (Section 3.1). Always is the default of task-based systems;
+// Single and Timely are the annotations EaseIO adds.
+enum class IoSemantic : uint8_t {
+  kAlways,
+  kSingle,
+  kTimely,
+};
+
+const char* ToString(IoSemantic sem);
+
+// Static description of an I/O call site. Baseline runtimes ignore the annotation
+// fields — they cannot express re-execution semantics, which is the paper's point.
+struct IoSiteDesc {
+  TaskId task = kNoTask;
+  std::string name;
+  uint32_t lanes = 1;  // >1 when the call sits in a loop
+  IoSemantic sem = IoSemantic::kAlways;
+  uint64_t window_us = 0;  // Timely freshness window
+  std::vector<IoSiteId> depends_on;  // producer sites whose re-execution forces ours
+  IoBlockId block = kNoBlock;        // innermost enclosing I/O block
+};
+
+// Static description of an _IO_block_begin/_IO_block_end region.
+struct IoBlockDesc {
+  TaskId task = kNoTask;
+  std::string name;
+  IoSemantic sem = IoSemantic::kSingle;
+  uint64_t window_us = 0;
+  IoBlockId parent = kNoBlock;  // lexical nesting
+};
+
+// Static description of a _DMA_copy site. Registration order within a task defines the
+// region boundaries for EaseIO's regional privatization.
+struct DmaSiteDesc {
+  TaskId task = kNoTask;
+  std::string name;
+  bool exclude = false;           // programmer's Exclude annotation (constant data)
+  IoSiteId related_io = kNoSite;  // I/O op whose output this DMA moves (Section 4.3.1)
+};
+
+// Runtime-agnostic execution bookkeeping for one site lane. This is *instrumentation*
+// (host-side), not device state: baselines do not spend device cycles maintaining it.
+struct LaneStats {
+  uint32_t executions_this_task = 0;  // since the owning task last committed
+  uint32_t total_executions = 0;
+};
+
+}  // namespace easeio::kernel
+
+#endif  // EASEIO_KERNEL_IO_H_

@@ -1,0 +1,64 @@
+// Non-volatile application variables.
+//
+// Task-based intermittent runtimes revolve around *task-shared* state in FRAM. Every
+// runtime in this repository interposes on access to these variables (Alpaca redirects
+// WAR variables to private copies, InK to its double buffer, EaseIO restores regional
+// snapshots), so application code never touches raw addresses directly: it declares
+// NvSlots through the NvManager and reads/writes them through NvVar/NvArray, which
+// route each access through Runtime::TranslateNv.
+
+#ifndef EASEIO_KERNEL_NV_H_
+#define EASEIO_KERNEL_NV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/check.h"
+#include "sim/memory.h"
+
+namespace easeio::kernel {
+
+using NvSlotId = uint32_t;
+inline constexpr NvSlotId kNoSlot = UINT32_MAX;
+
+// One named non-volatile variable or buffer.
+struct NvSlot {
+  NvSlotId id = kNoSlot;
+  std::string name;
+  uint32_t addr = 0;  // FRAM address
+  uint32_t size = 0;  // bytes
+};
+
+// Owns the application's non-volatile layout. Slots are allocated once at app setup
+// and live for the whole run (power failures never move them).
+class NvManager {
+ public:
+  explicit NvManager(sim::Memory& mem) : mem_(mem) {}
+
+  NvManager(const NvManager&) = delete;
+  NvManager& operator=(const NvManager&) = delete;
+
+  // Defines a non-volatile variable of `size` bytes, zero-initialised.
+  NvSlotId Define(std::string name, uint32_t size) {
+    const uint32_t addr = mem_.AllocFram(name, size, sim::AllocPurpose::kAppData);
+    slots_.push_back({static_cast<NvSlotId>(slots_.size()), std::move(name), addr, size});
+    return slots_.back().id;
+  }
+
+  const NvSlot& slot(NvSlotId id) const {
+    EASEIO_CHECK(id < slots_.size(), "unknown NvSlot");
+    return slots_[id];
+  }
+
+  const std::vector<NvSlot>& slots() const { return slots_; }
+  sim::Memory& mem() { return mem_; }
+
+ private:
+  sim::Memory& mem_;
+  std::vector<NvSlot> slots_;
+};
+
+}  // namespace easeio::kernel
+
+#endif  // EASEIO_KERNEL_NV_H_

@@ -1,0 +1,169 @@
+#include "kernel/runtime.h"
+
+namespace easeio::kernel {
+
+const char* ToString(IoSemantic sem) {
+  switch (sem) {
+    case IoSemantic::kAlways:
+      return "Always";
+    case IoSemantic::kSingle:
+      return "Single";
+    case IoSemantic::kTimely:
+      return "Timely";
+  }
+  return "?";
+}
+
+void Runtime::Bind(sim::Device& dev, NvManager& nv) {
+  dev_ = &dev;
+  nv_ = &nv;
+}
+
+IoSiteId Runtime::RegisterIoSite(IoSiteDesc desc) {
+  EASEIO_CHECK(dev_ != nullptr, "RegisterIoSite before Bind");
+  EASEIO_CHECK(desc.lanes >= 1, "site needs at least one lane");
+  const IoSiteId id = static_cast<IoSiteId>(io_sites_.size());
+  io_stats_.emplace_back(desc.lanes);
+  io_sites_.push_back(std::move(desc));
+  return id;
+}
+
+IoBlockId Runtime::RegisterIoBlock(IoBlockDesc desc) {
+  EASEIO_CHECK(dev_ != nullptr, "RegisterIoBlock before Bind");
+  const IoBlockId id = static_cast<IoBlockId>(blocks_.size());
+  blocks_.push_back(std::move(desc));
+  return id;
+}
+
+DmaSiteId Runtime::RegisterDmaSite(DmaSiteDesc desc) {
+  EASEIO_CHECK(dev_ != nullptr, "RegisterDmaSite before Bind");
+  const DmaSiteId id = static_cast<DmaSiteId>(dma_sites_.size());
+  dma_stats_.emplace_back();
+  dma_sites_.push_back(std::move(desc));
+  return id;
+}
+
+int16_t Runtime::ExecuteIo(TaskCtx& ctx, IoSiteId site, uint32_t lane, const IoOp& op) {
+  EASEIO_CHECK(site < io_sites_.size() && lane < io_sites_[site].lanes, "bad io site/lane");
+  LaneStats& ls = io_stats_[site][lane];
+  const bool redundant = ls.executions_this_task > 0;
+  int16_t value = 0;
+  if (redundant) {
+    sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kRedundant);
+    value = op(ctx);
+    ++ctx.dev().stats().io_redundant;
+  } else {
+    value = op(ctx);
+  }
+  // Counters move only after the operation completed; an operation cut short by a
+  // power failure produced no effect and is not an execution.
+  ++ls.executions_this_task;
+  ++ls.total_executions;
+  ++ctx.dev().stats().io_executions;
+  return value;
+}
+
+sim::DmaEngine::TransferInfo Runtime::ExecuteDma(TaskCtx& ctx, DmaSiteId site, uint32_t dst,
+                                                 uint32_t src, uint32_t nbytes) {
+  EASEIO_CHECK(site < dma_sites_.size(), "bad dma site");
+  return ExecuteDmaTagged(ctx, site, dst, src, nbytes,
+                          dma_stats_[site].executions_this_task > 0);
+}
+
+sim::DmaEngine::TransferInfo Runtime::ExecuteDmaTagged(TaskCtx& ctx, DmaSiteId site,
+                                                       uint32_t dst, uint32_t src,
+                                                       uint32_t nbytes, bool redundant) {
+  EASEIO_CHECK(site < dma_sites_.size(), "bad dma site");
+  LaneStats& ls = dma_stats_[site];
+  sim::DmaEngine::TransferInfo info{};
+  if (redundant) {
+    sim::Device::PhaseScope scope(ctx.dev(), sim::Phase::kRedundant);
+    info = ctx.dev().dma().Copy(ctx.dev(), dst, src, nbytes);
+    ++ctx.dev().stats().dma_redundant;
+  } else {
+    info = ctx.dev().dma().Copy(ctx.dev(), dst, src, nbytes);
+  }
+  ++ls.executions_this_task;
+  ++ls.total_executions;
+  return info;
+}
+
+void Runtime::ResetTaskCounters(TaskId task) {
+  for (IoSiteId s = 0; s < io_sites_.size(); ++s) {
+    if (io_sites_[s].task != task) {
+      continue;
+    }
+    for (LaneStats& ls : io_stats_[s]) {
+      ls.executions_this_task = 0;
+    }
+  }
+  for (DmaSiteId s = 0; s < dma_sites_.size(); ++s) {
+    if (dma_sites_[s].task == task) {
+      dma_stats_[s].executions_this_task = 0;
+    }
+  }
+}
+
+int16_t Runtime::CallIo(TaskCtx& ctx, IoSiteId site, uint32_t lane, const IoOp& op) {
+  return ExecuteIo(ctx, site, lane, op);
+}
+
+void Runtime::DmaCopy(TaskCtx& ctx, DmaSiteId site, uint32_t dst, uint32_t src,
+                      uint32_t nbytes) {
+  ExecuteDma(ctx, site, dst, src, nbytes);
+}
+
+void Runtime::OnTaskCommit(TaskCtx& ctx) { ResetTaskCounters(ctx.current_task()); }
+
+uint32_t Runtime::CodeSizeBytes() const {
+  // Plain task-model code: task dispatch plus a call per site.
+  return 700 + 16 * static_cast<uint32_t>(io_sites_.size()) +
+         24 * static_cast<uint32_t>(dma_sites_.size());
+}
+
+// --- TaskCtx forwarding (declared in task.h) -------------------------------------------
+
+int16_t TaskCtx::CallIo(IoSiteId site, const std::function<int16_t(TaskCtx&)>& op) {
+  return rt_.CallIo(*this, site, 0, op);
+}
+
+int16_t TaskCtx::CallIo(IoSiteId site, uint32_t lane,
+                        const std::function<int16_t(TaskCtx&)>& op) {
+  return rt_.CallIo(*this, site, lane, op);
+}
+
+void TaskCtx::IoBlockBegin(IoBlockId block) { rt_.IoBlockBegin(*this, block); }
+
+void TaskCtx::IoBlockEnd(IoBlockId block) { rt_.IoBlockEnd(*this, block); }
+
+void TaskCtx::DmaCopy(DmaSiteId site, uint32_t dst, uint32_t src, uint32_t nbytes) {
+  rt_.DmaCopy(*this, site, dst, src, nbytes);
+}
+
+uint16_t TaskCtx::NvLoad16(NvSlotId slot, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 2 <= s.size, "NV load out of slot bounds");
+  return dev_.LoadWord(rt_.TranslateNv(*this, s, offset));
+}
+
+void TaskCtx::NvStore16(NvSlotId slot, uint16_t value, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 2 <= s.size, "NV store out of slot bounds");
+  rt_.OnNvWrite(*this, s);
+  dev_.StoreWord(rt_.TranslateNv(*this, s, offset), value);
+}
+
+uint32_t TaskCtx::NvLoad32(NvSlotId slot, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 4 <= s.size, "NV load out of slot bounds");
+  return dev_.LoadWord32(rt_.TranslateNv(*this, s, offset));
+}
+
+void TaskCtx::NvStore32(NvSlotId slot, uint32_t value, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 4 <= s.size, "NV store out of slot bounds");
+  rt_.OnNvWrite(*this, s);
+  dev_.StoreWord32(rt_.TranslateNv(*this, s, offset), value);
+}
+
+}  // namespace easeio::kernel

@@ -1,0 +1,144 @@
+// The runtime interface every intermittent system in this repository implements.
+//
+// The base class provides the classic task-based behaviour the baselines share:
+//   * every I/O operation reached by control flow executes (no re-execution semantics);
+//   * I/O blocks are inert annotations;
+//   * DMA copies go straight to the engine, invisible to privatization;
+//   * NV accesses are identity-translated (no protection).
+// plus the registration tables and execution counters every runtime needs. Alpaca and
+// InK override the task lifecycle hooks to add their privatization; EaseIO overrides
+// the I/O services as well — that is the paper's contribution.
+
+#ifndef EASEIO_KERNEL_RUNTIME_H_
+#define EASEIO_KERNEL_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "kernel/io.h"
+#include "kernel/nv.h"
+#include "kernel/task.h"
+#include "sim/device.h"
+
+namespace easeio::kernel {
+
+using IoOp = std::function<int16_t(TaskCtx&)>;
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual const char* name() const = 0;
+
+  // Attaches the runtime to a device and NV table. Called once, before registration.
+  virtual void Bind(sim::Device& dev, NvManager& nv);
+
+  // --- Static registration (mimics what each system's compiler emits) -----------------
+  virtual IoSiteId RegisterIoSite(IoSiteDesc desc);
+  virtual IoBlockId RegisterIoBlock(IoBlockDesc desc);
+  virtual DmaSiteId RegisterDmaSite(DmaSiteDesc desc);
+
+  // --- Compiler-analysis facts -----------------------------------------------------------
+  // Applications declare, per task, what each system's compiler would have derived:
+  //   * `shared` — every non-volatile variable the task reads or writes through the CPU
+  //     (InK double-buffers all of these);
+  //   * `war` — the subset with write-after-read dependencies (all Alpaca privatizes).
+  // DMA-touched buffers are never listed: no baseline compiler can see DMA traffic.
+  virtual void DeclareTaskShared(TaskId task, const std::vector<NvSlotId>& shared,
+                                 const std::vector<NvSlotId>& war) {
+    (void)task;
+    (void)shared;
+    (void)war;
+  }
+
+  // Declares the region structure EaseIO's front-end derives (regions[k] lists the NV
+  // slots CPU-accessed in region k; a task with N DMA sites has N+1 regions). Ignored
+  // by runtimes without regional privatization.
+  virtual void DeclareTaskRegions(TaskId task,
+                                  std::vector<std::vector<NvSlotId>> regions) {
+    (void)task;
+    (void)regions;
+  }
+
+  // --- Lifecycle -----------------------------------------------------------------------
+  virtual void OnRunStart() {}
+  virtual void OnTaskBegin(TaskCtx& ctx) { (void)ctx; }
+  virtual void OnTaskCommit(TaskCtx& ctx);
+  virtual void OnReboot() {}
+
+  // --- NV interposition ------------------------------------------------------------------
+  // Returns the address a CPU access to `slot` at `offset` should really touch.
+  virtual uint32_t TranslateNv(TaskCtx& ctx, const NvSlot& slot, uint32_t offset) {
+    (void)ctx;
+    return slot.addr + offset;
+  }
+
+  // Invoked before every CPU store to a non-volatile variable (after translation).
+  // Undo-logging runtimes (Samoyed's atomic functions) interpose here; the default is
+  // free.
+  virtual void OnNvWrite(TaskCtx& ctx, const NvSlot& slot) {
+    (void)ctx;
+    (void)slot;
+  }
+
+  // --- I/O services ------------------------------------------------------------------------
+  // Base behaviour: the operation always executes (the all-or-nothing task model).
+  virtual int16_t CallIo(TaskCtx& ctx, IoSiteId site, uint32_t lane, const IoOp& op);
+  virtual void IoBlockBegin(TaskCtx& ctx, IoBlockId block) {
+    (void)ctx;
+    (void)block;
+  }
+  virtual void IoBlockEnd(TaskCtx& ctx, IoBlockId block) {
+    (void)ctx;
+    (void)block;
+  }
+  virtual void DmaCopy(TaskCtx& ctx, DmaSiteId site, uint32_t dst, uint32_t src,
+                       uint32_t nbytes);
+
+  // --- Footprint model (Table 6) ------------------------------------------------------------
+  // Modelled .text bytes: a per-runtime base plus per-construct increments, documented
+  // at each override. FRAM/RAM footprints are *measured* from simulated allocations.
+  virtual uint32_t CodeSizeBytes() const;
+
+  // --- Introspection --------------------------------------------------------------------------
+  const std::vector<IoSiteDesc>& io_sites() const { return io_sites_; }
+  const std::vector<IoBlockDesc>& io_blocks() const { return blocks_; }
+  const std::vector<DmaSiteDesc>& dma_sites() const { return dma_sites_; }
+  const LaneStats& io_lane_stats(IoSiteId site, uint32_t lane) const {
+    return io_stats_[site][lane];
+  }
+  const LaneStats& dma_stats(DmaSiteId site) const { return dma_stats_[site]; }
+
+ protected:
+  // Runs the operation with redundancy accounting: executions beyond the first for a
+  // site lane (within one task incarnation) count as redundant I/O and are charged to
+  // the kRedundant phase so they land in "wasted work".
+  int16_t ExecuteIo(TaskCtx& ctx, IoSiteId site, uint32_t lane, const IoOp& op);
+
+  // Performs the raw DMA transfer with the same redundancy accounting.
+  sim::DmaEngine::TransferInfo ExecuteDma(TaskCtx& ctx, DmaSiteId site, uint32_t dst,
+                                          uint32_t src, uint32_t nbytes);
+
+  // Like ExecuteDma, but the caller states whether this transfer repeats an already
+  // completed one (EaseIO knows this precisely from its flags; the lane heuristic would
+  // mislabel the two phases of a Private transfer).
+  sim::DmaEngine::TransferInfo ExecuteDmaTagged(TaskCtx& ctx, DmaSiteId site, uint32_t dst,
+                                                uint32_t src, uint32_t nbytes, bool redundant);
+
+  // Clears the per-incarnation execution counters of all sites owned by `task`.
+  void ResetTaskCounters(TaskId task);
+
+  sim::Device* dev_ = nullptr;
+  NvManager* nv_ = nullptr;
+
+  std::vector<IoSiteDesc> io_sites_;
+  std::vector<std::vector<LaneStats>> io_stats_;
+  std::vector<IoBlockDesc> blocks_;
+  std::vector<DmaSiteDesc> dma_sites_;
+  std::vector<LaneStats> dma_stats_;
+};
+
+}  // namespace easeio::kernel
+
+#endif  // EASEIO_KERNEL_RUNTIME_H_

@@ -1,0 +1,108 @@
+// Tasks and the task graph.
+//
+// A task is an atomic, restartable unit: its body runs from the top on every attempt,
+// volatile locals are ordinary C++ locals (re-initialised on re-entry, exactly like
+// SRAM after a reboot), and all persistent effects go through NvVar/I-O services. The
+// body returns the id of the next task; control transfer commits together with the
+// task (all-or-nothing semantics).
+
+#ifndef EASEIO_KERNEL_TASK_H_
+#define EASEIO_KERNEL_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/io.h"
+#include "kernel/nv.h"
+#include "platform/check.h"
+#include "sim/device.h"
+
+namespace easeio::kernel {
+
+inline constexpr TaskId kTaskDone = 0xFFFE;
+
+class Runtime;
+class TaskCtx;
+
+using TaskBody = std::function<TaskId(TaskCtx&)>;
+
+struct Task {
+  TaskId id = kNoTask;
+  std::string name;
+  TaskBody body;
+};
+
+// The static task graph of an application.
+class TaskGraph {
+ public:
+  TaskId Add(std::string name, TaskBody body) {
+    const TaskId id = static_cast<TaskId>(tasks_.size());
+    tasks_.push_back({id, std::move(name), std::move(body)});
+    return id;
+  }
+
+  const Task& task(TaskId id) const {
+    EASEIO_CHECK(id < tasks_.size(), "unknown task");
+    return tasks_[id];
+  }
+
+  size_t size() const { return tasks_.size(); }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+// Execution context handed to task bodies: the device, the active runtime's services,
+// and the non-volatile variable table.
+class TaskCtx {
+ public:
+  TaskCtx(sim::Device& dev, Runtime& rt, NvManager& nv) : dev_(dev), rt_(rt), nv_(nv) {}
+
+  sim::Device& dev() { return dev_; }
+  Runtime& rt() { return rt_; }
+  NvManager& nv() { return nv_; }
+  TaskId current_task() const { return current_task_; }
+
+  // Unit tests and micro-benchmarks drive runtime services without the engine; they
+  // use this to stand in for the engine's task dispatch.
+  void SetCurrentTaskForTest(TaskId task) { current_task_ = task; }
+
+  // Models `n` cycles of pure computation.
+  void Cpu(uint64_t n) { dev_.Cpu(n); }
+
+  // Wall-clock time as seen through the persistent timekeeper.
+  uint64_t NowUs() const { return dev_.timekeeper().NowUs(); }
+
+  // --- I/O services (forwarded to the active runtime; declared in runtime.h) ----------
+  int16_t CallIo(IoSiteId site, const std::function<int16_t(TaskCtx&)>& op);
+  int16_t CallIo(IoSiteId site, uint32_t lane, const std::function<int16_t(TaskCtx&)>& op);
+  void IoBlockBegin(IoBlockId block);
+  void IoBlockEnd(IoBlockId block);
+  void DmaCopy(DmaSiteId site, uint32_t dst, uint32_t src, uint32_t nbytes);
+
+  // --- Typed NV access (routed through Runtime::TranslateNv; declared in runtime.h) ---
+  uint16_t NvLoad16(NvSlotId slot, uint32_t offset = 0);
+  void NvStore16(NvSlotId slot, uint16_t value, uint32_t offset = 0);
+  int16_t NvLoadI16(NvSlotId slot, uint32_t offset = 0) {
+    return static_cast<int16_t>(NvLoad16(slot, offset));
+  }
+  void NvStoreI16(NvSlotId slot, int16_t value, uint32_t offset = 0) {
+    NvStore16(slot, static_cast<uint16_t>(value), offset);
+  }
+  uint32_t NvLoad32(NvSlotId slot, uint32_t offset = 0);
+  void NvStore32(NvSlotId slot, uint32_t value, uint32_t offset = 0);
+
+ private:
+  friend class Engine;
+
+  sim::Device& dev_;
+  Runtime& rt_;
+  NvManager& nv_;
+  TaskId current_task_ = kNoTask;
+};
+
+}  // namespace easeio::kernel
+
+#endif  // EASEIO_KERNEL_TASK_H_

@@ -1,0 +1,14 @@
+#include "platform/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace easeio {
+
+void CheckFailed(const char* file, int line, const char* condition, std::string_view message) {
+  std::fprintf(stderr, "EASEIO_CHECK failed at %s:%d: %s\n  %.*s\n", file, line, condition,
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace easeio

@@ -1,0 +1,32 @@
+// Lightweight invariant checking for the EaseIO codebase.
+//
+// EASEIO_CHECK is always on (release builds included): the simulator's value comes
+// from catching modelling bugs, so the cost of a predictable branch is acceptable.
+// Violations abort with a source location and message; they indicate a programming
+// error in this library or its caller, never a recoverable runtime condition.
+
+#ifndef EASEIO_PLATFORM_CHECK_H_
+#define EASEIO_PLATFORM_CHECK_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace easeio {
+
+// Prints a fatal-check diagnostic and aborts. Used by the EASEIO_CHECK macro; call
+// directly only when a custom condition string is needed.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              std::string_view message);
+
+}  // namespace easeio
+
+// Aborts with a diagnostic when `cond` is false. `msg` is a std::string_view-convertible
+// description of the violated invariant.
+#define EASEIO_CHECK(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::easeio::CheckFailed(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                           \
+  } while (false)
+
+#endif  // EASEIO_PLATFORM_CHECK_H_

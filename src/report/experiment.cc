@@ -1,0 +1,146 @@
+#include "report/experiment.h"
+
+#include "platform/check.h"
+#include "sim/failure.h"
+#include "sim/harvester.h"
+
+namespace easeio::report {
+
+const char* ToString(AppKind kind) {
+  switch (kind) {
+    case AppKind::kDma:
+      return "DMA";
+    case AppKind::kTemp:
+      return "Temp.";
+    case AppKind::kLea:
+      return "LEA";
+    case AppKind::kFir:
+      return "FIR Filter";
+    case AppKind::kWeather:
+      return "Weather App.";
+    case AppKind::kBranch:
+      return "Branch";
+  }
+  return "?";
+}
+
+namespace {
+
+apps::AppHandle BuildApp(AppKind kind, sim::Device& dev, kernel::Runtime& rt,
+                         kernel::NvManager& nv, const apps::AppOptions& options) {
+  switch (kind) {
+    case AppKind::kDma:
+      return apps::BuildDmaApp(dev, rt, nv, options);
+    case AppKind::kTemp:
+      return apps::BuildTempApp(dev, rt, nv);
+    case AppKind::kLea:
+      return apps::BuildLeaApp(dev, rt, nv);
+    case AppKind::kFir:
+      return apps::BuildFirApp(dev, rt, nv, options);
+    case AppKind::kWeather:
+      return apps::BuildWeatherApp(dev, rt, nv, options);
+    case AppKind::kBranch:
+      return apps::BuildBranchApp(dev, rt, nv);
+  }
+  EASEIO_CHECK(false, "unknown app kind");
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  // Assemble the failure source.
+  sim::NeverFailScheduler never;
+  sim::UniformTimerScheduler timer(config.on_min_us, config.on_max_us, config.off_min_us,
+                                   config.off_max_us);
+  sim::CapacitorScheduler cap_sched;
+  sim::RfHarvester harvester(config.rf_distance_in > 0 ? config.rf_distance_in : 52.0,
+                             config.rf_reference_power_w,
+                             /*reference_distance_in=*/52.0, /*jitter=*/0.35,
+                             DeriveSeed(config.seed, 9));
+
+  sim::DeviceConfig dev_config;
+  dev_config.seed = config.seed;
+  dev_config.timekeeper_tick_us = config.timekeeper_tick_us;
+
+  sim::FailureScheduler* scheduler = &timer;
+  const sim::Harvester* harv = nullptr;
+  if (config.continuous) {
+    scheduler = &never;
+  } else if (config.rf_distance_in > 0) {
+    scheduler = &cap_sched;
+    dev_config.use_capacitor = true;
+    dev_config.capacitance_f = config.capacitance_f;
+    // Boot near the turn-on threshold with little headroom above it: the run is powered
+    // by ongoing harvest, not by a pre-charged reservoir.
+    dev_config.v_max = 3.2;
+    harv = &harvester;
+  }
+
+  sim::Device dev(dev_config, *scheduler, harv);
+  kernel::NvManager nv(dev.mem());
+  rt::EaseioConfig easeio_config;
+  easeio_config.dma_priv_buffer_bytes = config.easeio_priv_buffer_bytes;
+  easeio_config.enable_regional_privatization = config.easeio_regional_privatization;
+  auto runtime = apps::MakeRuntime(config.runtime, easeio_config);
+  runtime->Bind(dev, nv);
+
+  apps::AppOptions options = config.app_options;
+  if (apps::IsEaseioOp(config.runtime)) {
+    options.exclude_const_dma = true;
+  }
+  apps::AppHandle app = BuildApp(config.app, dev, *runtime, nv, options);
+
+  kernel::Engine engine;
+  ExperimentResult result;
+  result.run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+  result.consistent = result.run.completed && app.check_consistent(dev);
+  result.radio_sends = dev.radio().sends();
+  result.output = app.collect_output(dev);
+
+  result.fram_app_bytes = dev.mem().AllocatedBytes(sim::MemKind::kFram,
+                                                   sim::AllocPurpose::kAppData);
+  result.fram_meta_bytes =
+      dev.mem().AllocatedBytes(sim::MemKind::kFram, sim::AllocPurpose::kRuntimeMeta) +
+      dev.mem().AllocatedBytes(sim::MemKind::kFram, sim::AllocPurpose::kPrivBuffer);
+  result.sram_bytes = dev.mem().AllocatedBytes(sim::MemKind::kSram);
+  result.code_bytes = runtime->CodeSizeBytes();
+  return result;
+}
+
+Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs) {
+  Aggregate agg;
+  agg.runs = runs;
+  for (uint32_t i = 0; i < runs; ++i) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + i;
+    const ExperimentResult r = RunExperiment(config);
+    agg.total_us += r.run.stats.TotalUs();
+    agg.app_us += r.run.stats.app_us;
+    agg.overhead_us += r.run.stats.overhead_us;
+    agg.wasted_us += r.run.stats.wasted_us;
+    agg.energy_mj += r.run.energy_j * 1e3;
+    agg.wall_us += static_cast<double>(r.run.wall_us);
+    agg.power_failures += r.run.stats.power_failures;
+    agg.io_reexecutions += r.run.stats.io_redundant + r.run.stats.dma_redundant;
+    agg.io_skipped += r.run.stats.io_skipped + r.run.stats.dma_skipped;
+    if (r.run.completed) {
+      ++agg.completed;
+    }
+    if (r.consistent) {
+      ++agg.correct;
+    } else {
+      ++agg.incorrect;
+    }
+  }
+  if (runs > 0) {
+    agg.total_us /= runs;
+    agg.app_us /= runs;
+    agg.overhead_us /= runs;
+    agg.wasted_us /= runs;
+    agg.energy_mj /= runs;
+    agg.wall_us /= runs;
+  }
+  return agg;
+}
+
+}  // namespace easeio::report

@@ -1,0 +1,99 @@
+// Experiment harness: builds (device, runtime, app) triples from a declarative config,
+// runs them under the paper's failure emulation (or a real-harvester capacitor model),
+// and aggregates the metrics the evaluation section reports — wasted work, overhead,
+// energy, power failures, redundant I/O, and execution correctness.
+
+#ifndef EASEIO_REPORT_EXPERIMENT_H_
+#define EASEIO_REPORT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "apps/runtime_factory.h"
+#include "kernel/engine.h"
+
+namespace easeio::report {
+
+enum class AppKind { kDma, kTemp, kLea, kFir, kWeather, kBranch };
+
+const char* ToString(AppKind kind);
+
+struct ExperimentConfig {
+  apps::RuntimeKind runtime = apps::RuntimeKind::kEaseio;
+  AppKind app = AppKind::kTemp;
+  uint64_t seed = 1;
+  apps::AppOptions app_options;
+
+  // Continuous power (golden runs for correctness baselines and Table 5).
+  bool continuous = false;
+
+  // EaseIO runtime configuration (ablations): privatization buffer size and the
+  // regional-privatization switch.
+  uint32_t easeio_priv_buffer_bytes = 4096;
+  bool easeio_regional_privatization = true;
+
+  // Persistent-timekeeper tick (Timely granularity ablation).
+  uint64_t timekeeper_tick_us = 100;
+
+  // The paper's failure emulation: an MCU timer fires after a uniform [5, 20] ms
+  // on-interval and soft-resets the (externally powered) board, so the dark gap is just
+  // the reset/reboot latency — short relative to the 10 ms Timely windows. Freshness
+  // then expires from elapsed *execution* time, not recharge time, which is what makes
+  // Timely skip some but not all re-reads (Table 4's 43%).
+  uint64_t on_min_us = 5'000;
+  uint64_t on_max_us = 20'000;
+  uint64_t off_min_us = 200;
+  uint64_t off_max_us = 1'000;
+
+  // Real-harvester mode (Figure 13): capacitor-driven failures fed by an RF harvester
+  // at this distance. Zero keeps timer emulation.
+  double rf_distance_in = 0.0;
+  // Harvest received at 52 inches; falls off with the square of distance. Calibrated so
+  // the harvest rate crosses the weather app's mean draw inside the 52-64 in window.
+  double rf_reference_power_w = 0.30e-3;
+  // Storage capacitor used in harvester mode. Scaled below the paper's 1 mF so that a
+  // single application run actually exercises brown-outs (see DESIGN.md).
+  double capacitance_f = 6e-6;
+};
+
+struct ExperimentResult {
+  kernel::RunResult run;
+  bool consistent = true;
+  uint64_t radio_sends = 0;
+
+  // Footprint snapshot (Table 6).
+  uint32_t fram_app_bytes = 0;
+  uint32_t fram_meta_bytes = 0;  // runtime metadata + privatization buffers
+  uint32_t sram_bytes = 0;
+  uint32_t code_bytes = 0;
+
+  std::vector<uint8_t> output;
+};
+
+// Builds and runs a single experiment.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Averages over `runs` experiments with seeds base.seed + {0 .. runs-1}.
+struct Aggregate {
+  uint32_t runs = 0;
+  double total_us = 0;     // mean on-time
+  double app_us = 0;       // mean useful app time
+  double overhead_us = 0;  // mean runtime overhead
+  double wasted_us = 0;    // mean wasted work
+  double energy_mj = 0;    // mean energy (millijoules)
+  double wall_us = 0;      // mean wall time (on + off)
+  uint64_t power_failures = 0;   // summed over all runs (Table 4 style)
+  uint64_t io_reexecutions = 0;  // summed redundant I/O + DMA transfers
+  uint64_t io_skipped = 0;       // summed operations elided by semantics
+  uint32_t correct = 0;
+  uint32_t incorrect = 0;
+  uint32_t completed = 0;  // runs that finished before the non-termination guard
+};
+
+Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs);
+
+}  // namespace easeio::report
+
+#endif  // EASEIO_REPORT_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace easeio::report {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%c %-*s", c == 0 ? '|' : ' ', static_cast<int>(width[c]), row[c].c_str());
+      std::printf(" |");
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = 1;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    total += width[c] + 3;
+  }
+  for (size_t i = 0; i < total; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintStackedBars(const std::vector<std::pair<std::string, std::vector<BarSegment>>>& bars,
+                      const std::string& unit, int width) {
+  static const char kFill[] = {'#', '=', '.', '+', '~'};
+  double max_total = 0;
+  size_t label_w = 0;
+  for (const auto& [label, segs] : bars) {
+    double total = 0;
+    for (const auto& s : segs) {
+      total += s.value;
+    }
+    max_total = std::max(max_total, total);
+    label_w = std::max(label_w, label.size());
+  }
+  if (max_total <= 0) {
+    max_total = 1;
+  }
+  for (const auto& [label, segs] : bars) {
+    std::printf("  %-*s |", static_cast<int>(label_w), label.c_str());
+    double total = 0;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      const int chars =
+          static_cast<int>(segs[i].value / max_total * static_cast<double>(width) + 0.5);
+      for (int c = 0; c < chars; ++c) {
+        std::printf("%c", kFill[i % sizeof(kFill)]);
+      }
+      total += segs[i].value;
+    }
+    std::printf("  %s %s  (", Fmt(total).c_str(), unit.c_str());
+    for (size_t i = 0; i < segs.size(); ++i) {
+      std::printf("%s%s %s", i == 0 ? "" : ", ", segs[i].label.c_str(),
+                  Fmt(segs[i].value).c_str());
+    }
+    std::printf(")\n");
+  }
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace easeio::report

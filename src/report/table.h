@@ -1,0 +1,44 @@
+// Plain-text table and bar rendering for the benchmark harnesses — the figures are
+// printed as labelled stacked bars, the tables as aligned columns, mirroring the
+// paper's layout closely enough to compare side by side.
+
+#ifndef EASEIO_REPORT_TABLE_H_
+#define EASEIO_REPORT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easeio::report {
+
+// Columnar table with a header row; widths auto-fit.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders to stdout with a rule under the header.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// One stacked horizontal bar: segments are (label, value) pairs rendered with distinct
+// fill characters plus a numeric legend.
+struct BarSegment {
+  std::string label;
+  double value;
+};
+
+// Prints `bars` (one per row label) on a shared scale of `width` characters.
+void PrintStackedBars(const std::vector<std::pair<std::string, std::vector<BarSegment>>>& bars,
+                      const std::string& unit, int width = 60);
+
+// Formats a double with fixed precision.
+std::string Fmt(double v, int precision = 1);
+
+}  // namespace easeio::report
+
+#endif  // EASEIO_REPORT_TABLE_H_

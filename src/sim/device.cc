@@ -1,0 +1,141 @@
+#include "sim/device.h"
+
+#include <algorithm>
+
+#include "platform/check.h"
+
+namespace easeio::sim {
+
+Device::Device(const DeviceConfig& config, FailureScheduler& scheduler,
+               const Harvester* harvester)
+    : config_(config),
+      scheduler_(scheduler),
+      harvester_(harvester),
+      mem_(config.sram_bytes, config.fram_bytes),
+      timekeeper_(clock_, config.timekeeper_tick_us),
+      cap_(config.capacitance_f, config.v_on, config.v_off, config.v_max),
+      failure_rng_(DeriveSeed(config.seed, 0)),
+      temp_(MakeTempSensor(DeriveSeed(config.seed, 1))),
+      humidity_(MakeHumiditySensor(DeriveSeed(config.seed, 2))),
+      pressure_(MakePressureSensor(DeriveSeed(config.seed, 3))),
+      camera_(DeriveSeed(config.seed, 4)) {
+  EASEIO_CHECK(!config.use_capacitor || harvester != nullptr,
+               "capacitor mode requires a harvester");
+}
+
+void Device::Begin() {
+  cap_.Reset();
+  scheduler_.OnPowerOn(clock_, failure_rng_);
+}
+
+void Device::Spend(uint64_t cycles, double energy_j) {
+  if (cycles == 0) {
+    return;
+  }
+  if (scheduler_.FailNow(clock_, cap_)) {
+    throw PowerFailure{};
+  }
+  const double energy_per_cycle = energy_j / static_cast<double>(cycles);
+  uint64_t remaining = cycles;
+  while (remaining > 0) {
+    const uint64_t budget = scheduler_.OnTimeBudgetUs(clock_);
+    EASEIO_CHECK(budget > 0, "scheduler returned zero budget without failing");
+    const uint64_t step = std::min(remaining, budget);
+    const double step_s = static_cast<double>(step) * 1e-6;
+    double draw_j = energy_per_cycle * static_cast<double>(step);
+    if (config_.use_capacitor) {
+      draw_j += config_.idle_power_w * step_s;
+      cap_.Charge(harvester_->PowerW(clock_.wall_us()) * step_s);
+      cap_.Draw(draw_j);
+    }
+    clock_.AdvanceOn(step);
+    stats_.ChargeAttempt(phase_, static_cast<double>(step), draw_j);
+    meter_.Add(phase_, draw_j);
+    remaining -= step;
+    if (scheduler_.FailNow(clock_, cap_)) {
+      throw PowerFailure{};
+    }
+  }
+}
+
+namespace {
+
+// Per-word access cost for a simulated address.
+void WordCost(const Memory& mem, uint32_t addr, bool write, uint64_t* cycles, double* energy) {
+  if (mem.Classify(addr) == MemKind::kSram) {
+    *cycles = kSramAccessCycles;
+    *energy = kSramAccessEnergyJ;
+  } else if (write) {
+    *cycles = kFramWriteCycles;
+    *energy = kFramWriteEnergyJ;
+  } else {
+    *cycles = kFramReadCycles;
+    *energy = kFramReadEnergyJ;
+  }
+}
+
+}  // namespace
+
+uint16_t Device::LoadWord(uint32_t addr) {
+  uint64_t cycles = 0;
+  double energy = 0;
+  WordCost(mem_, addr, /*write=*/false, &cycles, &energy);
+  Spend(cycles, energy + static_cast<double>(cycles) * kCpuEnergyPerCycleJ);
+  return mem_.Read16(addr);
+}
+
+void Device::StoreWord(uint32_t addr, uint16_t value) {
+  uint64_t cycles = 0;
+  double energy = 0;
+  WordCost(mem_, addr, /*write=*/true, &cycles, &energy);
+  Spend(cycles, energy + static_cast<double>(cycles) * kCpuEnergyPerCycleJ);
+  mem_.Write16(addr, value);
+}
+
+uint32_t Device::LoadWord32(uint32_t addr) {
+  const uint32_t lo = LoadWord(addr);
+  const uint32_t hi = LoadWord(addr + 2);
+  return lo | (hi << 16);
+}
+
+void Device::StoreWord32(uint32_t addr, uint32_t value) {
+  StoreWord(addr, static_cast<uint16_t>(value & 0xFFFF));
+  StoreWord(addr + 2, static_cast<uint16_t>(value >> 16));
+}
+
+void Device::CpuCopy(uint32_t dst, uint32_t src, uint32_t nbytes) {
+  const uint32_t words = (nbytes + 1) / 2;
+  for (uint32_t i = 0; i < words; ++i) {
+    const uint16_t v = LoadWord(src + 2 * i);
+    StoreWord(dst + 2 * i, v);
+  }
+}
+
+void Device::Reboot() {
+  stats_.FoldFailed();
+  ++stats_.power_failures;
+
+  if (config_.use_capacitor) {
+    // Dark until the harvester refills the capacitor to the boot threshold. With zero
+    // harvest the device would stay dark forever; surface that as a modelling error.
+    const double deficit = cap_.DeficitToOnJ();
+    if (deficit > 0) {
+      const double p = harvester_->PowerW(clock_.wall_us());
+      EASEIO_CHECK(p > 1e-12, "device browned out with no harvest income");
+      const double seconds = deficit / p;
+      clock_.AdvanceOff(static_cast<uint64_t>(seconds * 1e6) + 1);
+      cap_.Charge(deficit);
+    }
+  } else {
+    clock_.AdvanceOff(scheduler_.OffTimeUs(failure_rng_));
+  }
+
+  mem_.OnReboot();
+  phase_ = Phase::kApp;
+  for (const auto& fn : reboot_listeners_) {
+    fn();
+  }
+  scheduler_.OnPowerOn(clock_, failure_rng_);
+}
+
+}  // namespace easeio::sim

@@ -1,0 +1,163 @@
+// The simulated intermittent device: memory + capacitor + clock + peripherals +
+// failure injection, with phase-tagged charging of every operation.
+//
+// Usage pattern (the task engine drives this):
+//   Device dev(config, scheduler, harvester);
+//   dev.Begin();
+//   try { ... dev.Cpu(n); dev.LoadWord(a); dev.temp().Read(dev); ... }
+//   catch (const PowerFailure&) { dev.Reboot(); /* re-enter current task */ }
+
+#ifndef EASEIO_SIM_DEVICE_H_
+#define EASEIO_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "platform/rng.h"
+#include "sim/clock.h"
+#include "sim/costs.h"
+#include "sim/dma.h"
+#include "sim/energy.h"
+#include "sim/failure.h"
+#include "sim/harvester.h"
+#include "sim/lea.h"
+#include "sim/memory.h"
+#include "sim/peripherals.h"
+#include "sim/stats.h"
+
+namespace easeio::sim {
+
+struct DeviceConfig {
+  uint32_t sram_bytes = 8 * 1024;
+  uint32_t fram_bytes = 256 * 1024;
+  uint64_t seed = 1;
+
+  // When true the device draws every operation from the capacitor, harvests while on
+  // and off, and browns out when the capacitor crosses v_off (Figure 13 mode). When
+  // false, energy is metered but unconstrained and failures come purely from the
+  // scheduler (the paper's emulated-failure mode).
+  bool use_capacitor = false;
+  double capacitance_f = kDefaultCapacitanceF;
+  double v_on = kDefaultVOn;
+  double v_off = kDefaultVOff;
+  double v_max = kDefaultVMax;
+
+  // Quiescent draw of the platform while powered (regulator + always-on logic); only
+  // charged in capacitor mode, alongside per-operation energy.
+  double idle_power_w = 0.25e-3;
+
+  uint64_t timekeeper_tick_us = 100;
+};
+
+class Device {
+ public:
+  // `scheduler` decides power failures; `harvester` may be null when use_capacitor is
+  // false. Both must outlive the device.
+  Device(const DeviceConfig& config, FailureScheduler& scheduler,
+         const Harvester* harvester = nullptr);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // Powers the device on at the start of a run (full capacitor, scheduler armed).
+  void Begin();
+
+  // --- Charged execution primitives -----------------------------------------------------
+  // Spends `cycles` of CPU/bus time with the given total energy, advancing the clock and
+  // drawing from the capacitor. Throws PowerFailure at the exact failure instant.
+  void Spend(uint64_t cycles, double energy_j);
+
+  // Pure compute for `cycles` cycles.
+  void Cpu(uint64_t cycles) { Spend(cycles, static_cast<double>(cycles) * kCpuEnergyPerCycleJ); }
+
+  // Charged 16-bit memory accesses (cost depends on SRAM vs FRAM).
+  uint16_t LoadWord(uint32_t addr);
+  void StoreWord(uint32_t addr, uint16_t value);
+  uint32_t LoadWord32(uint32_t addr);
+  void StoreWord32(uint32_t addr, uint32_t value);
+
+  // Charged bulk copy performed by the CPU (word loop). DMA copies go through dma().
+  void CpuCopy(uint32_t dst, uint32_t src, uint32_t nbytes);
+
+  // --- Phase attribution ----------------------------------------------------------------
+  Phase phase() const { return phase_; }
+  void set_phase(Phase phase) { phase_ = phase; }
+
+  // RAII phase switch: runtimes wrap their bookkeeping in PhaseScope(dev, kOverhead).
+  class PhaseScope {
+   public:
+    PhaseScope(Device& dev, Phase phase) : dev_(dev), saved_(dev.phase_) {
+      dev_.phase_ = phase;
+    }
+    ~PhaseScope() { dev_.phase_ = saved_; }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Device& dev_;
+    Phase saved_;
+  };
+
+  // --- Power failure handling -------------------------------------------------------------
+  // Reboots after a PowerFailure: folds the in-flight attempt into wasted work, spends
+  // the off-time (timer mode: scheduler-provided; capacitor mode: harvester recharge to
+  // v_on), clears SRAM, notifies reboot listeners, re-arms the scheduler.
+  void Reboot();
+
+  // Marks the current attempt committed (called by the engine at task commit).
+  void FoldAttemptCommitted() { stats_.FoldCommitted(); }
+
+  // Registers a callback run on every reboot (runtimes clear volatile state here).
+  void AddRebootListener(std::function<void()> fn) { reboot_listeners_.push_back(std::move(fn)); }
+
+  // --- Components --------------------------------------------------------------------------
+  Memory& mem() { return mem_; }
+  const Memory& mem() const { return mem_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const PersistentTimekeeper& timekeeper() const { return timekeeper_; }
+  Capacitor& capacitor() { return cap_; }
+  RunStats& stats() { return stats_; }
+  const RunStats& stats() const { return stats_; }
+  EnergyMeter& meter() { return meter_; }
+
+  AnalogSensor& temp() { return temp_; }
+  AnalogSensor& humidity() { return humidity_; }
+  AnalogSensor& pressure() { return pressure_; }
+  Radio& radio() { return radio_; }
+  Camera& camera() { return camera_; }
+  DmaEngine& dma() { return dma_; }
+  LeaAccelerator& lea() { return lea_; }
+
+  const DeviceConfig& config() const { return config_; }
+
+ private:
+  DeviceConfig config_;
+  FailureScheduler& scheduler_;
+  const Harvester* harvester_;
+
+  Memory mem_;
+  SimClock clock_;
+  PersistentTimekeeper timekeeper_;
+  Capacitor cap_;
+  EnergyMeter meter_;
+  RunStats stats_;
+  Phase phase_ = Phase::kApp;
+
+  Xorshift64Star failure_rng_;
+
+  AnalogSensor temp_;
+  AnalogSensor humidity_;
+  AnalogSensor pressure_;
+  Radio radio_;
+  Camera camera_;
+  DmaEngine dma_;
+  LeaAccelerator lea_;
+
+  std::vector<std::function<void()>> reboot_listeners_;
+};
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_DEVICE_H_

@@ -1,0 +1,31 @@
+#include "sim/dma.h"
+
+#include "platform/check.h"
+#include "sim/costs.h"
+#include "sim/device.h"
+
+namespace easeio::sim {
+
+DmaEngine::TransferInfo DmaEngine::Copy(Device& dev, uint32_t dst, uint32_t src,
+                                        uint32_t nbytes) {
+  Memory& mem = dev.mem();
+  EASEIO_CHECK(nbytes > 0, "zero-length DMA transfer");
+  EASEIO_CHECK(mem.RangeValid(src, nbytes), "DMA source out of range");
+  EASEIO_CHECK(mem.RangeValid(dst, nbytes), "DMA destination out of range");
+
+  const TransferInfo info{mem.Classify(src), mem.Classify(dst), nbytes};
+  const uint32_t words = (nbytes + 1) / 2;
+
+  // Charge the whole transfer up front; bytes move only if power holds.
+  dev.Spend(kDmaSetupCycles, kDmaSetupEnergyJ);
+  dev.Spend(static_cast<uint64_t>(words) * kDmaCyclesPerWord,
+            static_cast<double>(words) * kDmaEnergyPerWordJ);
+
+  mem.Copy(dst, src, nbytes);
+  ++transfers_;
+  bytes_moved_ += nbytes;
+  ++dev.stats().dma_executions;
+  return info;
+}
+
+}  // namespace easeio::sim

@@ -1,0 +1,123 @@
+#include "sim/lea.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "platform/check.h"
+#include "sim/costs.h"
+#include "sim/device.h"
+
+namespace easeio::sim {
+
+namespace {
+
+int16_t Saturate(int32_t v) {
+  return static_cast<int16_t>(std::clamp<int32_t>(v, INT16_MIN, INT16_MAX));
+}
+
+}  // namespace
+
+void LeaAccelerator::Begin(Device& dev, uint64_t mac_count,
+                           std::initializer_list<uint32_t> operand_addrs,
+                           std::initializer_list<uint32_t> operand_sizes) {
+  auto size_it = operand_sizes.begin();
+  for (uint32_t addr : operand_addrs) {
+    EASEIO_CHECK(size_it != operand_sizes.end(), "operand addr/size mismatch");
+    EASEIO_CHECK(dev.mem().RangeValid(addr, *size_it), "LEA operand out of range");
+    EASEIO_CHECK(dev.mem().Classify(addr) == MemKind::kSram,
+                 "LEA operands must reside in SRAM (stage them with DMA)");
+    ++size_it;
+  }
+  const uint64_t mac_cycles =
+      (mac_count * kLeaCyclesPerMacNumerator + kLeaCyclesPerMacDenominator - 1) /
+      kLeaCyclesPerMacDenominator;
+  dev.Spend(kLeaSetupCycles, kLeaSetupEnergyJ);
+  dev.Spend(std::max<uint64_t>(mac_cycles, 1),
+            static_cast<double>(mac_count) * kLeaEnergyPerMacJ);
+  ++invocations_;
+  macs_ += mac_count;
+}
+
+void LeaAccelerator::Fir(Device& dev, uint32_t src, uint32_t coef, uint32_t dst,
+                         uint32_t out_len, uint32_t taps) {
+  EASEIO_CHECK(out_len > 0 && taps > 0, "empty FIR");
+  const uint32_t in_len = out_len + taps - 1;
+  Begin(dev, static_cast<uint64_t>(out_len) * taps, {src, coef, dst},
+        {in_len * 2, taps * 2, out_len * 2});
+  Memory& mem = dev.mem();
+  for (uint32_t i = 0; i < out_len; ++i) {
+    int32_t acc = 0;
+    for (uint32_t k = 0; k < taps; ++k) {
+      acc += static_cast<int32_t>(mem.ReadI16(coef + 2 * k)) *
+             static_cast<int32_t>(mem.ReadI16(src + 2 * (i + k)));
+    }
+    mem.WriteI16(dst + 2 * i, Saturate(acc >> 15));
+  }
+}
+
+void LeaAccelerator::Relu(Device& dev, uint32_t addr, uint32_t len) {
+  EASEIO_CHECK(len > 0, "empty ReLU");
+  Begin(dev, len, {addr}, {len * 2});
+  Memory& mem = dev.mem();
+  for (uint32_t i = 0; i < len; ++i) {
+    if (mem.ReadI16(addr + 2 * i) < 0) {
+      mem.WriteI16(addr + 2 * i, 0);
+    }
+  }
+}
+
+void LeaAccelerator::Conv2dValid(Device& dev, uint32_t src, uint32_t kernel, uint32_t dst,
+                                 uint32_t in_h, uint32_t in_w, uint32_t k) {
+  EASEIO_CHECK(k > 0 && in_h >= k && in_w >= k, "kernel larger than input");
+  const uint32_t out_h = in_h - k + 1;
+  const uint32_t out_w = in_w - k + 1;
+  Begin(dev, static_cast<uint64_t>(out_h) * out_w * k * k, {src, kernel, dst},
+        {in_h * in_w * 2, k * k * 2, out_h * out_w * 2});
+  Memory& mem = dev.mem();
+  for (uint32_t y = 0; y < out_h; ++y) {
+    for (uint32_t x = 0; x < out_w; ++x) {
+      int32_t acc = 0;
+      for (uint32_t ky = 0; ky < k; ++ky) {
+        for (uint32_t kx = 0; kx < k; ++kx) {
+          acc += static_cast<int32_t>(mem.ReadI16(kernel + 2 * (ky * k + kx))) *
+                 static_cast<int32_t>(mem.ReadI16(src + 2 * ((y + ky) * in_w + (x + kx))));
+        }
+      }
+      mem.WriteI16(dst + 2 * (y * out_w + x), Saturate(acc >> 15));
+    }
+  }
+}
+
+void LeaAccelerator::FullyConnected(Device& dev, uint32_t src, uint32_t weights, uint32_t dst,
+                                    uint32_t in_len, uint32_t out_len) {
+  EASEIO_CHECK(in_len > 0 && out_len > 0, "empty fully-connected layer");
+  Begin(dev, static_cast<uint64_t>(in_len) * out_len, {src, weights, dst},
+        {in_len * 2, in_len * out_len * 2, out_len * 2});
+  Memory& mem = dev.mem();
+  for (uint32_t o = 0; o < out_len; ++o) {
+    int32_t acc = 0;
+    for (uint32_t i = 0; i < in_len; ++i) {
+      acc += static_cast<int32_t>(mem.ReadI16(weights + 2 * (o * in_len + i))) *
+             static_cast<int32_t>(mem.ReadI16(src + 2 * i));
+    }
+    mem.WriteI16(dst + 2 * o, Saturate(acc >> 15));
+  }
+}
+
+void LeaAccelerator::MaxIndex(Device& dev, uint32_t src, uint32_t len, uint32_t dst) {
+  EASEIO_CHECK(len > 0, "empty argmax");
+  Begin(dev, len, {src, dst}, {len * 2, 2});
+  Memory& mem = dev.mem();
+  int16_t best = mem.ReadI16(src);
+  uint32_t best_i = 0;
+  for (uint32_t i = 1; i < len; ++i) {
+    const int16_t v = mem.ReadI16(src + 2 * i);
+    if (v > best) {
+      best = v;
+      best_i = i;
+    }
+  }
+  mem.WriteI16(dst, static_cast<int16_t>(best_i));
+}
+
+}  // namespace easeio::sim

@@ -1,0 +1,134 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+namespace easeio::sim {
+
+Memory::Memory(uint32_t sram_bytes, uint32_t fram_bytes)
+    : sram_(sram_bytes, 0), fram_(fram_bytes, 0) {
+  EASEIO_CHECK(sram_bytes > 0 && fram_bytes > 0, "memories must be non-empty");
+  EASEIO_CHECK(kSramBase + sram_bytes <= kFramBase, "SRAM must not overlap FRAM window");
+}
+
+MemKind Memory::Classify(uint32_t addr) const {
+  if (InSram(addr)) {
+    return MemKind::kSram;
+  }
+  EASEIO_CHECK(InFram(addr), "address outside simulated memory");
+  return MemKind::kFram;
+}
+
+bool Memory::RangeValid(uint32_t addr, uint32_t size) const {
+  if (size == 0) {
+    return false;
+  }
+  const uint32_t end = addr + size;  // allocation sizes keep this far from wrapping
+  if (InSram(addr)) {
+    return end <= kSramBase + sram_.size();
+  }
+  if (InFram(addr)) {
+    return end <= kFramBase + fram_.size();
+  }
+  return false;
+}
+
+uint8_t* Memory::Resolve(uint32_t addr, uint32_t size) {
+  EASEIO_CHECK(RangeValid(addr, size), "simulated memory access out of range");
+  if (InSram(addr)) {
+    return sram_.data() + (addr - kSramBase);
+  }
+  return fram_.data() + (addr - kFramBase);
+}
+
+const uint8_t* Memory::Resolve(uint32_t addr, uint32_t size) const {
+  return const_cast<Memory*>(this)->Resolve(addr, size);
+}
+
+uint8_t Memory::Read8(uint32_t addr) const { return *Resolve(addr, 1); }
+
+void Memory::Write8(uint32_t addr, uint8_t value) { *Resolve(addr, 1) = value; }
+
+uint16_t Memory::Read16(uint32_t addr) const {
+  const uint8_t* p = Resolve(addr, 2);
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+void Memory::Write16(uint32_t addr, uint16_t value) {
+  uint8_t* p = Resolve(addr, 2);
+  p[0] = static_cast<uint8_t>(value & 0xFF);
+  p[1] = static_cast<uint8_t>(value >> 8);
+}
+
+uint32_t Memory::Read32(uint32_t addr) const {
+  return static_cast<uint32_t>(Read16(addr)) | (static_cast<uint32_t>(Read16(addr + 2)) << 16);
+}
+
+void Memory::Write32(uint32_t addr, uint32_t value) {
+  Write16(addr, static_cast<uint16_t>(value & 0xFFFF));
+  Write16(addr + 2, static_cast<uint16_t>(value >> 16));
+}
+
+void Memory::Copy(uint32_t dst, uint32_t src, uint32_t size) {
+  if (size == 0 || dst == src) {
+    return;
+  }
+  const uint8_t* s = Resolve(src, size);
+  uint8_t* d = Resolve(dst, size);
+  std::memmove(d, s, size);
+}
+
+void Memory::Fill(uint32_t addr, uint32_t size, uint8_t value) {
+  if (size == 0) {
+    return;
+  }
+  std::memset(Resolve(addr, size), value, size);
+}
+
+namespace {
+uint32_t Align2(uint32_t v) { return (v + 1u) & ~1u; }
+}  // namespace
+
+uint32_t Memory::AllocSram(std::string name, uint32_t size, AllocPurpose purpose) {
+  const uint32_t need = Align2(size);
+  EASEIO_CHECK(need <= sram_size() - sram_used_, "SRAM arena exhausted: " + name);
+  const uint32_t addr = kSramBase + sram_used_;
+  sram_used_ += need;
+  allocations_.push_back({std::move(name), addr, size, MemKind::kSram, purpose});
+  return addr;
+}
+
+uint32_t Memory::AllocFram(std::string name, uint32_t size, AllocPurpose purpose) {
+  const uint32_t need = Align2(size);
+  EASEIO_CHECK(need <= fram_size() - fram_used_, "FRAM arena exhausted: " + name);
+  const uint32_t addr = kFramBase + fram_used_;
+  fram_used_ += need;
+  allocations_.push_back({std::move(name), addr, size, MemKind::kFram, purpose});
+  return addr;
+}
+
+uint32_t Memory::AllocatedBytes(MemKind kind, AllocPurpose purpose) const {
+  uint32_t total = 0;
+  for (const Allocation& a : allocations_) {
+    if (a.kind == kind && a.purpose == purpose) {
+      total += a.size;
+    }
+  }
+  return total;
+}
+
+uint32_t Memory::AllocatedBytes(MemKind kind) const {
+  uint32_t total = 0;
+  for (const Allocation& a : allocations_) {
+    if (a.kind == kind) {
+      total += a.size;
+    }
+  }
+  return total;
+}
+
+void Memory::OnReboot() {
+  std::memset(sram_.data(), 0, sram_.size());
+  ++reboot_epoch_;
+}
+
+}  // namespace easeio::sim

@@ -1,0 +1,128 @@
+// Simulated memory: volatile SRAM plus non-volatile FRAM in one flat address space.
+//
+// The MSP430FR5994 maps SRAM at 0x1C00 and FRAM at 0x4000/0x10000; we keep the same
+// flavour with configurable sizes. Everything the paper's bugs hinge on lives here:
+//   * SRAM contents are destroyed by a power failure (Memory::OnReboot clears them);
+//   * FRAM contents persist, which is what makes completed-but-re-executed DMA
+//     transfers able to corrupt program state;
+//   * the EaseIO runtime classifies DMA transfers by querying Classify() on the source
+//     and destination addresses, exactly as Section 4.3 describes.
+//
+// Access to simulated memory is *uncharged* at this layer; the Device wraps it with
+// cycle/energy charging. DMA and test checkers use the raw accessors directly.
+
+#ifndef EASEIO_SIM_MEMORY_H_
+#define EASEIO_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/check.h"
+
+namespace easeio::sim {
+
+// Which physical memory an address belongs to.
+enum class MemKind : uint8_t {
+  kSram,  // volatile: lost on power failure
+  kFram,  // non-volatile: survives power failure
+};
+
+// What an allocation is for — used by the Table 6 footprint accounting to separate
+// application data from runtime metadata (flags, private copies, privatization
+// buffers).
+enum class AllocPurpose : uint8_t {
+  kAppData,      // application buffers and variables
+  kRuntimeMeta,  // per-site flags, timestamps, private return copies, region tables
+  kPrivBuffer,   // DMA privatization buffers
+};
+
+// A named region handed out by the bump allocators. Addresses are stable for the
+// lifetime of the Memory object (layouts are fixed at app setup, as on a real MCU).
+struct Allocation {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+  MemKind kind = MemKind::kSram;
+  AllocPurpose purpose = AllocPurpose::kAppData;
+};
+
+// Byte-addressable simulated memory.
+class Memory {
+ public:
+  static constexpr uint32_t kSramBase = 0x1C00;
+  static constexpr uint32_t kFramBase = 0x10000;
+
+  Memory(uint32_t sram_bytes = 8 * 1024, uint32_t fram_bytes = 256 * 1024);
+
+  // --- Address classification ---------------------------------------------------------
+  MemKind Classify(uint32_t addr) const;
+  bool InSram(uint32_t addr) const {
+    return addr >= kSramBase && addr < kSramBase + sram_.size();
+  }
+  bool InFram(uint32_t addr) const {
+    return addr >= kFramBase && addr < kFramBase + fram_.size();
+  }
+  // True when [addr, addr+size) lies entirely inside one memory.
+  bool RangeValid(uint32_t addr, uint32_t size) const;
+
+  // --- Raw (uncharged) access ----------------------------------------------------------
+  uint8_t Read8(uint32_t addr) const;
+  void Write8(uint32_t addr, uint8_t value);
+  uint16_t Read16(uint32_t addr) const;
+  void Write16(uint32_t addr, uint16_t value);
+  uint32_t Read32(uint32_t addr) const;
+  void Write32(uint32_t addr, uint32_t value);
+  int16_t ReadI16(uint32_t addr) const { return static_cast<int16_t>(Read16(addr)); }
+  void WriteI16(uint32_t addr, int16_t value) { Write16(addr, static_cast<uint16_t>(value)); }
+
+  // Bulk copy between simulated addresses (used by the DMA engine). Ranges must not
+  // overlap partially; full overlap (src == dst) is a no-op.
+  void Copy(uint32_t dst, uint32_t src, uint32_t size);
+
+  // Fills a range with a byte value.
+  void Fill(uint32_t addr, uint32_t size, uint8_t value);
+
+  // --- Allocation -----------------------------------------------------------------------
+  // Bump-allocates `size` bytes (2-byte aligned) and records the allocation for the
+  // footprint report. Aborts when the arena is exhausted — sizing mistakes are
+  // programming errors in this simulator.
+  uint32_t AllocSram(std::string name, uint32_t size,
+                     AllocPurpose purpose = AllocPurpose::kAppData);
+  uint32_t AllocFram(std::string name, uint32_t size,
+                     AllocPurpose purpose = AllocPurpose::kAppData);
+
+  const std::vector<Allocation>& allocations() const { return allocations_; }
+
+  // Total bytes allocated in `kind` for `purpose`.
+  uint32_t AllocatedBytes(MemKind kind, AllocPurpose purpose) const;
+  // Total bytes allocated in `kind` across all purposes.
+  uint32_t AllocatedBytes(MemKind kind) const;
+
+  uint32_t sram_size() const { return static_cast<uint32_t>(sram_.size()); }
+  uint32_t fram_size() const { return static_cast<uint32_t>(fram_.size()); }
+  uint32_t sram_free() const { return sram_size() - sram_used_; }
+  uint32_t fram_free() const { return fram_size() - fram_used_; }
+
+  // --- Power failure --------------------------------------------------------------------
+  // Destroys volatile contents. FRAM and the allocation layout persist.
+  void OnReboot();
+
+  // Number of reboots observed; useful to tests asserting volatility.
+  uint64_t reboot_epoch() const { return reboot_epoch_; }
+
+ private:
+  uint8_t* Resolve(uint32_t addr, uint32_t size);
+  const uint8_t* Resolve(uint32_t addr, uint32_t size) const;
+
+  std::vector<uint8_t> sram_;
+  std::vector<uint8_t> fram_;
+  uint32_t sram_used_ = 0;
+  uint32_t fram_used_ = 0;
+  uint64_t reboot_epoch_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_MEMORY_H_

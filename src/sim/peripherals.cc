@@ -1,0 +1,73 @@
+#include "sim/peripherals.h"
+
+#include <cmath>
+
+#include "platform/check.h"
+#include "sim/device.h"
+
+namespace easeio::sim {
+
+AnalogSensor::AnalogSensor(uint64_t seed, Profile profile, PeripheralCost cost)
+    : rng_(seed), profile_(profile), cost_(cost) {}
+
+double AnalogSensor::SignalAt(uint64_t wall_us) const {
+  const double phase = 2.0 * M_PI * static_cast<double>(wall_us) / profile_.period_us;
+  return profile_.mean + profile_.amplitude * std::sin(phase);
+}
+
+int16_t AnalogSensor::Read(Device& dev) {
+  // Charge first: a power failure mid-read produces no value.
+  dev.Spend(cost_.latency_cycles, cost_.energy_j);
+  const double noise = rng_.NextDoubleInRange(-profile_.noise, profile_.noise);
+  const double value = SignalAt(dev.clock().wall_us()) + noise;
+  ++reads_;
+  return static_cast<int16_t>(std::lround(value * 10.0));  // tenths of the unit
+}
+
+AnalogSensor MakeTempSensor(uint64_t seed) {
+  // Mean 12 C with +/-5 C swing: crosses the 10 C branch threshold of Figure 2c.
+  return AnalogSensor(seed, {12.0, 5.0, 3.0e6, 0.4}, kTempSensorCost);
+}
+
+AnalogSensor MakeHumiditySensor(uint64_t seed) {
+  return AnalogSensor(seed, {55.0, 20.0, 5.0e6, 1.0}, kHumiditySensorCost);
+}
+
+AnalogSensor MakePressureSensor(uint64_t seed) {
+  return AnalogSensor(seed, {1013.0, 5.0, 8.0e6, 0.5}, kPressureSensorCost);
+}
+
+namespace {
+
+uint32_t Fnv1a(const Device& dev, uint32_t addr, uint32_t nbytes) {
+  uint32_t h = 2166136261u;
+  for (uint32_t i = 0; i < nbytes; ++i) {
+    h ^= dev.mem().Read8(addr + i);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void Radio::Send(Device& dev, uint32_t addr, uint32_t nbytes) {
+  EASEIO_CHECK(dev.mem().RangeValid(addr, nbytes), "radio payload out of range");
+  dev.Spend(kRadioWakeCost.latency_cycles, kRadioWakeCost.energy_j);
+  dev.Spend(static_cast<uint64_t>(nbytes) * kRadioCyclesPerByte,
+            static_cast<double>(nbytes) * kRadioEnergyPerByteJ);
+  log_.push_back({dev.clock().wall_us(), nbytes, Fnv1a(dev, addr, nbytes)});
+}
+
+void Camera::Capture(Device& dev, uint32_t dst_addr, uint32_t nbytes) {
+  EASEIO_CHECK(dev.mem().RangeValid(dst_addr, nbytes), "camera buffer out of range");
+  dev.Spend(kCameraCaptureCost.latency_cycles, kCameraCaptureCost.energy_j);
+  // Deterministic pseudo-image derived from capture time: a re-capture after a power
+  // failure sees a (slightly) different scene.
+  Xorshift64Star frame(DeriveSeed(seed_, dev.clock().wall_us() / 1000 + 1));
+  for (uint32_t i = 0; i < nbytes; ++i) {
+    dev.mem().Write8(dst_addr + i, static_cast<uint8_t>(frame.Next() & 0xFF));
+  }
+  ++captures_;
+}
+
+}  // namespace easeio::sim

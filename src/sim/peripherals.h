@@ -1,0 +1,100 @@
+// Simulated external peripherals: sensors, radio, camera.
+//
+// Sensor values drift over wall time (slow sinusoid + per-read noise from a seeded
+// stream), so re-executing a read after a power failure generally returns a *different*
+// value — the property behind the paper's unsafe-program-execution bug (Figure 2c) and
+// behind Timely semantics (a reading goes stale). All operations charge the device and
+// may therefore be interrupted by a power failure before producing any effect.
+
+#ifndef EASEIO_SIM_PERIPHERALS_H_
+#define EASEIO_SIM_PERIPHERALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.h"
+#include "sim/costs.h"
+
+namespace easeio::sim {
+
+class Device;
+
+// Common analog-sensor model: value(t) = mean + amplitude * sin(2*pi*t/period) + noise.
+// Readings are returned in tenths of the physical unit as int16 (e.g. 12.3 C -> 123),
+// matching the fixed-point style of MCU firmware.
+class AnalogSensor {
+ public:
+  struct Profile {
+    double mean;
+    double amplitude;
+    double period_us;
+    double noise;  // uniform per-read noise in +/- physical units
+  };
+
+  AnalogSensor(uint64_t seed, Profile profile, PeripheralCost cost);
+
+  // Performs a charged read. Throws PowerFailure if energy runs out mid-read; in that
+  // case no value is produced.
+  int16_t Read(Device& dev);
+
+  // Uncharged evaluation of the underlying signal (no noise) — used by tests.
+  double SignalAt(uint64_t wall_us) const;
+
+  void set_profile(Profile profile) { profile_ = profile; }
+  const Profile& profile() const { return profile_; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  Xorshift64Star rng_;
+  Profile profile_;
+  PeripheralCost cost_;
+  uint64_t reads_ = 0;
+};
+
+// Factory helpers with paper-appropriate default profiles. The temperature default
+// crosses the 10-degree threshold used by the unsafe-branch example.
+AnalogSensor MakeTempSensor(uint64_t seed);
+AnalogSensor MakeHumiditySensor(uint64_t seed);
+AnalogSensor MakePressureSensor(uint64_t seed);
+
+// Packet radio. A send is observable to the outside world the moment it completes, so
+// the log below is *not* rolled back on power failure — that is precisely why repeated
+// sends waste energy and duplicate traffic (Figure 2a).
+class Radio {
+ public:
+  struct SendRecord {
+    uint64_t wall_us;
+    uint32_t bytes;
+    uint32_t checksum;  // FNV-1a over the payload at send time
+  };
+
+  // Transmits `nbytes` starting at simulated address `addr`. Charges wake + per-byte
+  // costs first; the packet "leaves the antenna" only if the charge completes.
+  void Send(Device& dev, uint32_t addr, uint32_t nbytes);
+
+  const std::vector<SendRecord>& log() const { return log_; }
+  uint64_t sends() const { return log_.size(); }
+
+ private:
+  std::vector<SendRecord> log_;
+};
+
+// Image sensor. The paper simulates capture with a delay loop; we do the same but also
+// deposit a deterministic "image" derived from (seed, wall time) into the destination
+// buffer so that a re-capture after a power failure yields different pixels.
+class Camera {
+ public:
+  explicit Camera(uint64_t seed) : seed_(seed) {}
+
+  void Capture(Device& dev, uint32_t dst_addr, uint32_t nbytes);
+
+  uint64_t captures() const { return captures_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t captures_ = 0;
+};
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_PERIPHERALS_H_

@@ -1,0 +1,86 @@
+// Per-run statistics: power failures, I/O execution counts, and the
+// app / overhead / wasted-work decomposition the paper's figures report.
+//
+// Attribution model. Execution proceeds in task *attempts*. Charged operations
+// accumulate into a per-attempt buffer, bucketed by the device's active Phase:
+//   * a failed attempt folds its entire buffer into "wasted work" — everything done in
+//     it is redone (all-or-nothing task semantics);
+//   * a committed attempt folds kApp time into useful app work, kOverhead into runtime
+//     overhead, and kRedundant (re-executed I/O inside the eventually-successful
+//     attempt) into wasted work.
+// This reproduces the decomposition in Figures 7 and 10: App + Overhead + Wasted ==
+// total on-time.
+
+#ifndef EASEIO_SIM_STATS_H_
+#define EASEIO_SIM_STATS_H_
+
+#include <cstdint>
+
+#include "sim/energy.h"
+
+namespace easeio::sim {
+
+struct RunStats {
+  // --- event counters -----------------------------------------------------------------
+  uint64_t power_failures = 0;
+  uint64_t tasks_committed = 0;
+  uint64_t io_executions = 0;    // peripheral I/O operations actually performed
+  uint64_t io_redundant = 0;     // of those, repeats of an already-completed operation
+  uint64_t io_skipped = 0;       // operations elided by re-execution semantics
+  uint64_t dma_executions = 0;   // DMA transfers actually performed
+  uint64_t dma_redundant = 0;    // repeats of an already-completed transfer
+  uint64_t dma_skipped = 0;      // transfers elided by re-execution semantics
+
+  // --- committed time (microseconds of on-time) ---------------------------------------
+  double app_us = 0;
+  double overhead_us = 0;
+  double wasted_us = 0;
+
+  // --- committed energy (joules) -------------------------------------------------------
+  double app_j = 0;
+  double overhead_j = 0;
+  double wasted_j = 0;
+
+  double TotalUs() const { return app_us + overhead_us + wasted_us; }
+  double TotalJ() const { return app_j + overhead_j + wasted_j; }
+
+  // --- attempt buffer -------------------------------------------------------------------
+  double attempt_us[kNumPhases] = {0, 0, 0};
+  double attempt_j[kNumPhases] = {0, 0, 0};
+
+  // Charges `us`/`j` against the in-flight attempt under `phase`.
+  void ChargeAttempt(Phase phase, double us, double j) {
+    attempt_us[static_cast<int>(phase)] += us;
+    attempt_j[static_cast<int>(phase)] += j;
+  }
+
+  // The current attempt committed: app and overhead become useful; redundant I/O within
+  // the successful attempt is still wasted work.
+  void FoldCommitted() {
+    app_us += attempt_us[0];
+    overhead_us += attempt_us[1];
+    wasted_us += attempt_us[2];
+    app_j += attempt_j[0];
+    overhead_j += attempt_j[1];
+    wasted_j += attempt_j[2];
+    ClearAttempt();
+  }
+
+  // The current attempt died in a power failure: everything it did is wasted.
+  void FoldFailed() {
+    wasted_us += attempt_us[0] + attempt_us[1] + attempt_us[2];
+    wasted_j += attempt_j[0] + attempt_j[1] + attempt_j[2];
+    ClearAttempt();
+  }
+
+  void ClearAttempt() {
+    for (int i = 0; i < kNumPhases; ++i) {
+      attempt_us[i] = 0;
+      attempt_j[i] = 0;
+    }
+  }
+};
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_STATS_H_

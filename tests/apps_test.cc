@@ -1,0 +1,173 @@
+// Unit tests for the evaluation applications: registration shape (Table 3), option
+// handling, and the sensitivity of the consistency checkers (a checker that cannot
+// detect corruption would silently validate broken runtimes).
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "apps/runtime_factory.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio::apps {
+namespace {
+
+namespace k = easeio::kernel;
+
+struct Built {
+  std::unique_ptr<sim::Device> dev;
+  std::unique_ptr<k::NvManager> nv;
+  std::unique_ptr<k::Runtime> rt;
+  AppHandle app;
+  sim::NeverFailScheduler* sched;
+};
+
+Built BuildOn(RuntimeKind kind, AppHandle (*builder)(sim::Device&, k::Runtime&,
+                                                     k::NvManager&, const AppOptions&),
+              const AppOptions& options = {}) {
+  static sim::NeverFailScheduler never;
+  Built b;
+  b.sched = &never;
+  sim::DeviceConfig config;
+  config.seed = 3;
+  b.dev = std::make_unique<sim::Device>(config, never);
+  b.nv = std::make_unique<k::NvManager>(b.dev->mem());
+  b.rt = MakeRuntime(kind);
+  b.rt->Bind(*b.dev, *b.nv);
+  b.app = builder(*b.dev, *b.rt, *b.nv, options);
+  return b;
+}
+
+AppHandle BuildTempShim(sim::Device& d, k::Runtime& r, k::NvManager& n, const AppOptions&) {
+  return BuildTempApp(d, r, n);
+}
+AppHandle BuildLeaShim(sim::Device& d, k::Runtime& r, k::NvManager& n, const AppOptions&) {
+  return BuildLeaApp(d, r, n);
+}
+AppHandle BuildBranchShim(sim::Device& d, k::Runtime& r, k::NvManager& n, const AppOptions&) {
+  return BuildBranchApp(d, r, n);
+}
+
+TEST(AppShape, Table3Counts) {
+  auto weather = BuildOn(RuntimeKind::kEaseio, BuildWeatherApp);
+  EXPECT_EQ(weather.app.num_tasks, 11u);
+  EXPECT_EQ(weather.app.num_io_funcs, 5u);
+  EXPECT_EQ(weather.app.graph.size(), 11u);
+  EXPECT_EQ(weather.rt->dma_sites().size(), 11u);
+  EXPECT_EQ(weather.rt->io_blocks().size(), 1u);
+
+  auto fir = BuildOn(RuntimeKind::kEaseio, BuildFirApp);
+  EXPECT_EQ(fir.app.num_tasks, 5u);
+  EXPECT_EQ(fir.rt->dma_sites().size(), 3u);
+
+  auto dma = BuildOn(RuntimeKind::kEaseio, BuildDmaApp);
+  EXPECT_EQ(dma.app.num_tasks, 3u);
+  EXPECT_EQ(dma.rt->dma_sites().size(), 1u);
+
+  auto temp = BuildOn(RuntimeKind::kEaseio, BuildTempShim);
+  EXPECT_EQ(temp.rt->io_sites().size(), 1u);
+  EXPECT_EQ(temp.rt->io_sites()[0].lanes, 40u);
+}
+
+TEST(AppShape, ExcludeOptionMarksConstantDmas) {
+  AppOptions options;
+  options.exclude_const_dma = true;
+  auto fir = BuildOn(RuntimeKind::kEaseio, BuildFirApp, options);
+  int excluded = 0;
+  for (const k::DmaSiteDesc& d : fir.rt->dma_sites()) {
+    excluded += d.exclude ? 1 : 0;
+  }
+  EXPECT_EQ(excluded, 1);  // exactly the coefficient DMA
+
+  auto plain = BuildOn(RuntimeKind::kEaseio, BuildFirApp);
+  for (const k::DmaSiteDesc& d : plain.rt->dma_sites()) {
+    EXPECT_FALSE(d.exclude);
+  }
+}
+
+TEST(AppShape, WeatherJobsOptionLoops) {
+  AppOptions options;
+  options.single_buffer = false;
+  options.jobs = 3;
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildWeatherApp, options);
+  k::Engine engine;
+  const k::RunResult r = engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(b.dev->radio().sends(), 3u);
+  EXPECT_TRUE(b.app.check_consistent(*b.dev));
+}
+
+// --- Checker sensitivity: every checker must actually detect corruption ---------------------
+
+TEST(CheckerSensitivity, FirCheckerDetectsClobberedOutput) {
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildFirApp);
+  k::Engine engine;
+  ASSERT_TRUE(engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry).completed);
+  ASSERT_TRUE(b.app.check_consistent(*b.dev));
+
+  // Flip one output word: the checker must notice.
+  const auto& alloc = b.dev->mem().allocations();
+  for (const auto& a : alloc) {
+    if (a.name == "fir.io_buf") {
+      b.dev->mem().Write16(a.addr, static_cast<uint16_t>(b.dev->mem().Read16(a.addr) + 1));
+    }
+  }
+  EXPECT_FALSE(b.app.check_consistent(*b.dev));
+}
+
+TEST(CheckerSensitivity, WeatherCheckerDetectsWrongClassification) {
+  AppOptions options;
+  options.single_buffer = false;
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildWeatherApp, options);
+  k::Engine engine;
+  ASSERT_TRUE(engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry).completed);
+  ASSERT_TRUE(b.app.check_consistent(*b.dev));
+
+  for (const auto& a : b.dev->mem().allocations()) {
+    if (a.name == "wx.result") {
+      b.dev->mem().Write16(a.addr, static_cast<uint16_t>(b.dev->mem().Read16(a.addr) ^ 1));
+    }
+  }
+  EXPECT_FALSE(b.app.check_consistent(*b.dev));
+}
+
+TEST(CheckerSensitivity, BranchCheckerDetectsDoubleFlags) {
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildBranchShim);
+  k::Engine engine;
+  ASSERT_TRUE(engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry).completed);
+  ASSERT_TRUE(b.app.check_consistent(*b.dev));
+
+  for (const auto& a : b.dev->mem().allocations()) {
+    if (a.name == "branch.stdy" || a.name == "branch.alarm") {
+      b.dev->mem().Write16(a.addr, 1);  // force both flags on
+    }
+  }
+  EXPECT_FALSE(b.app.check_consistent(*b.dev));
+}
+
+TEST(CheckerSensitivity, DmaCheckerDetectsJobUndercount) {
+  AppOptions options;
+  options.jobs = 2;
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildDmaApp, options);
+  k::Engine engine;
+  ASSERT_TRUE(engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry).completed);
+  ASSERT_TRUE(b.app.check_consistent(*b.dev));
+
+  for (const auto& a : b.dev->mem().allocations()) {
+    if (a.name == "dma.jobs") {
+      b.dev->mem().Write16(a.addr, 1);  // pretend a job vanished
+    }
+  }
+  EXPECT_FALSE(b.app.check_consistent(*b.dev));
+}
+
+TEST(AppShape, LeaAppUsesTheAccelerator) {
+  auto b = BuildOn(RuntimeKind::kEaseio, BuildLeaShim);
+  k::Engine engine;
+  ASSERT_TRUE(engine.Run(*b.dev, *b.rt, *b.nv, b.app.graph, b.app.entry).completed);
+  EXPECT_GT(b.dev->lea().invocations(), 0u);
+  EXPECT_GT(b.dev->lea().macs(), 10'000u);
+}
+
+}  // namespace
+}  // namespace easeio::apps

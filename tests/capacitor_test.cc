@@ -1,0 +1,121 @@
+// Energy-driven operation: capacitor draw/charge during execution, brown-out and
+// recharge behaviour, and end-to-end runs powered by harvesters.
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "apps/runtime_factory.h"
+#include "kernel/engine.h"
+#include "sim/device.h"
+#include "sim/failure.h"
+
+namespace easeio::sim {
+namespace {
+
+DeviceConfig CapConfig(double cap_f = 6e-6) {
+  DeviceConfig config;
+  config.seed = 1;
+  config.use_capacitor = true;
+  config.capacitance_f = cap_f;
+  config.v_max = 3.2;
+  return config;
+}
+
+TEST(CapacitorMode, ExecutionDrainsTheCapacitor) {
+  CapacitorScheduler sched;
+  ConstantHarvester none(0.0);
+  Device dev(CapConfig(100e-6), sched, &none);  // big cap: no brown-out in this test
+  dev.Begin();
+  const double v0 = dev.capacitor().voltage();
+  dev.Cpu(20'000);
+  EXPECT_LT(dev.capacitor().voltage(), v0);
+}
+
+TEST(CapacitorMode, HarvestChargesDuringExecution) {
+  CapacitorScheduler sched;
+  ConstantHarvester strong(10e-3);  // 10 mW >> draw
+  Device dev(CapConfig(), sched, &strong);
+  dev.Begin();
+  dev.Cpu(5'000);
+  dev.Cpu(50'000);
+  // Net-positive harvest: the capacitor stays at/near its clamp and never browns out.
+  EXPECT_GT(dev.capacitor().voltage(), 3.0);
+  EXPECT_EQ(dev.stats().power_failures, 0u);
+}
+
+TEST(CapacitorMode, BrownOutThrowsAndRebootRecharges) {
+  CapacitorScheduler sched;
+  ConstantHarvester weak(0.2e-3);
+  Device dev(CapConfig(), sched, &weak);
+  dev.Begin();
+  EXPECT_THROW(dev.Cpu(200'000), PowerFailure);  // drains the 6 uF capacitor
+  EXPECT_TRUE(dev.capacitor().BelowOff());
+  const uint64_t wall_before = dev.clock().wall_us();
+  dev.Reboot();
+  // Dark time passed (recharge through the 0.2 mW harvester) and the capacitor is
+  // back at the boot threshold.
+  EXPECT_GT(dev.clock().off_us(), 0u);
+  EXPECT_GT(dev.clock().wall_us(), wall_before);
+  EXPECT_GE(dev.capacitor().voltage(), dev.capacitor().v_on() - 1e-6);
+}
+
+TEST(CapacitorMode, RechargeTimeScalesWithHarvestPower) {
+  auto off_time = [](double watts) {
+    CapacitorScheduler sched;
+    ConstantHarvester h(watts);
+    Device dev(CapConfig(), sched, &h);
+    dev.Begin();
+    EXPECT_THROW(dev.Cpu(500'000), PowerFailure);
+    dev.Reboot();
+    return dev.clock().off_us();
+  };
+  // Both rates stay below the CPU's ~0.6 mW draw so the capacitor really drains.
+  const uint64_t slow = off_time(0.2e-3);
+  const uint64_t fast = off_time(0.5e-3);
+  EXPECT_GT(slow, fast * 2);  // ~2.5x the power -> ~1/2.5 the recharge time
+}
+
+TEST(CapacitorMode, ZeroHarvestBrownOutIsAModellingError) {
+  CapacitorScheduler sched;
+  ConstantHarvester none(0.0);
+  Device dev(CapConfig(), sched, &none);
+  dev.Begin();
+  EXPECT_THROW(dev.Cpu(500'000), PowerFailure);
+  EXPECT_DEATH(dev.Reboot(), "no harvest income");
+}
+
+TEST(CapacitorMode, WorkloadCompletesAcrossBrownOuts) {
+  CapacitorScheduler sched;
+  ConstantHarvester h(0.20e-3);
+  Device dev(CapConfig(), sched, &h);
+  kernel::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(apps::RuntimeKind::kEaseio);
+  rt->Bind(dev, nv);
+  apps::AppOptions options;
+  options.jobs = 6;
+  apps::AppHandle app = apps::BuildDmaApp(dev, *rt, nv, options);
+
+  kernel::Engine engine;
+  const kernel::RunResult r = engine.Run(dev, *rt, nv, app.graph, app.entry);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.stats.power_failures, 0u);
+  EXPECT_GT(r.off_us, 0u);  // real recharge gaps
+  EXPECT_TRUE(app.check_consistent(dev));
+}
+
+TEST(CapacitorMode, JitteredHarvestStillCompletes) {
+  CapacitorScheduler sched;
+  RfHarvester rf(58.0, 0.45e-3, 52.0, /*jitter=*/0.35, /*seed=*/3);
+  Device dev(CapConfig(), sched, &rf);
+  kernel::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(apps::RuntimeKind::kEaseio);
+  rt->Bind(dev, nv);
+  apps::AppHandle app = apps::BuildDmaApp(dev, *rt, nv, {});
+  kernel::Engine engine;
+  const kernel::RunResult r = engine.Run(dev, *rt, nv, app.graph, app.entry);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(app.check_consistent(dev));
+}
+
+}  // namespace
+}  // namespace easeio::sim

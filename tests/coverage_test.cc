@@ -1,0 +1,155 @@
+// Additional coverage: LEA fully-connected/argmax reference checks, regional
+// privatizer introspection, EaseC Exclude execution, radio payload checksums, and
+// device copy helpers.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.h"
+#include "apps/runtime_factory.h"
+#include "core/regional.h"
+#include "easec/program.h"
+#include "kernel/engine.h"
+#include "sim/device.h"
+#include "sim/failure.h"
+
+namespace easeio {
+namespace {
+
+namespace k = easeio::kernel;
+
+sim::DeviceConfig Config() {
+  sim::DeviceConfig config;
+  config.seed = 1;
+  return config;
+}
+
+TEST(LeaMore, FullyConnectedMatchesReference) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  dev.Begin();
+  constexpr uint32_t kIn = 12, kOut = 3;
+  const uint32_t src = dev.mem().AllocSram("src", kIn * 2);
+  const uint32_t w = dev.mem().AllocSram("w", kIn * kOut * 2);
+  const uint32_t dst = dev.mem().AllocSram("dst", kOut * 2);
+  std::vector<int16_t> in(kIn), weights(kIn * kOut);
+  for (uint32_t i = 0; i < kIn; ++i) {
+    in[i] = static_cast<int16_t>(200 * i - 900);
+    dev.mem().WriteI16(src + 2 * i, in[i]);
+  }
+  for (uint32_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<int16_t>((i * 997) % 4001 - 2000);
+    dev.mem().WriteI16(w + 2 * i, weights[i]);
+  }
+  dev.lea().FullyConnected(dev, src, w, dst, kIn, kOut);
+  const auto expect = apps::ref::FullyConnected(in, weights, kOut);
+  for (uint32_t o = 0; o < kOut; ++o) {
+    EXPECT_EQ(dev.mem().ReadI16(dst + 2 * o), expect[o]) << o;
+  }
+}
+
+TEST(LeaMore, MaxIndexFindsTheArgmax) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t src = dev.mem().AllocSram("src", 10);
+  const uint32_t dst = dev.mem().AllocSram("dst", 2);
+  const int16_t values[5] = {-5, 40, 12, 40, -2};
+  for (uint32_t i = 0; i < 5; ++i) {
+    dev.mem().WriteI16(src + 2 * i, values[i]);
+  }
+  dev.lea().MaxIndex(dev, src, 5, dst);
+  EXPECT_EQ(dev.mem().ReadI16(dst), 1);  // first maximum wins
+}
+
+TEST(RegionalMore, CollectFlagAddrsEnumeratesEveryRegion) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  k::NvManager nv(dev.mem());
+  rt::RegionalPrivatizer regional;
+  regional.Bind(dev, nv);
+  const k::NvSlotId a = nv.Define("a", 2);
+  regional.SetTaskRegions(3, {{a}, {}, {a}});
+  EXPECT_EQ(regional.RegionCount(3), 3u);
+  EXPECT_EQ(regional.TotalRegions(), 3u);
+  std::vector<uint32_t> addrs;
+  regional.CollectFlagAddrs(3, &addrs);
+  EXPECT_EQ(addrs.size(), 3u);
+  regional.CollectFlagAddrs(99, &addrs);  // unknown task: no change
+  EXPECT_EQ(addrs.size(), 3u);
+}
+
+TEST(EasecExclude, ExcludedDmaRunsAsAlwaysInTheVm) {
+  // An Exclude-annotated NV->SRAM transfer must re-run each attempt without touching
+  // the privatization buffer, and the program must still complete correctly.
+  constexpr const char* kSource = R"(
+__nv int16 coef[8];
+__nv int16 out;
+__sram int16 stage[8];
+task t() {
+  int16 i = 0;
+  while (i < 8) { coef[i] = i + 1; i = i + 1; }
+  _DMA_copy(&stage[0], &coef[0], 16, Exclude);
+  int16 s = 0;
+  i = 0;
+  while (i < 8) { s = s + stage[i]; i = i + 1; }
+  out = s;
+  end_task;
+}
+)";
+  const easec::CompileResult compiled = easec::Compile(kSource);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+  EXPECT_EQ(compiled.analysis.private_dma_bytes, 0u);
+
+  sim::ScriptedScheduler sched({900, 1900}, 500);
+  sim::Device dev(Config(), sched);
+  k::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(apps::RuntimeKind::kEaseio);
+  rt->Bind(dev, nv);
+  easec::InstantiatedProgram prog = easec::Instantiate(compiled, dev, *rt, nv);
+  k::Engine engine;
+  const k::RunResult r = engine.Run(dev, *rt, nv, prog.graph, prog.entry);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(dev.mem().ReadI16(nv.slot(prog.nv_slots[1]).addr), 36);  // 1+..+8
+}
+
+TEST(RadioMore, ChecksumReflectsPayloadAtSendTime) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t buf = dev.mem().AllocFram("p", 4);
+  dev.mem().Write16(buf, 0x1234);
+  dev.radio().Send(dev, buf, 4);
+  dev.mem().Write16(buf, 0x9999);  // later mutation must not affect the logged packet
+  dev.radio().Send(dev, buf, 4);
+  ASSERT_EQ(dev.radio().sends(), 2u);
+  EXPECT_NE(dev.radio().log()[0].checksum, dev.radio().log()[1].checksum);
+}
+
+TEST(DeviceMore, CpuCopyMovesBytesAndCharges) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t src = dev.mem().AllocFram("s", 32);
+  const uint32_t dst = dev.mem().AllocSram("d", 32);
+  dev.mem().Fill(src, 32, 0x3C);
+  const uint64_t t0 = dev.clock().on_us();
+  dev.CpuCopy(dst, src, 32);
+  EXPECT_EQ(dev.mem().Read8(dst + 31), 0x3C);
+  EXPECT_GE(dev.clock().on_us() - t0, 32u);  // >= 2 cycles per word
+}
+
+TEST(EngineMore, RebootListenersFire) {
+  sim::ScriptedScheduler sched({500}, 100);
+  sim::Device dev(Config(), sched);
+  int fired = 0;
+  dev.AddRebootListener([&fired] { ++fired; });
+  dev.Begin();
+  EXPECT_THROW(dev.Cpu(1000), sim::PowerFailure);
+  dev.Reboot();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace easeio

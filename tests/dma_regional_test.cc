@@ -1,0 +1,229 @@
+// Tests for EaseIO's memory-safe DMA handling (Section 4.3) and regional
+// privatization (Sections 3.4, 4.4), including a faithful reproduction of the paper's
+// Figure 2b and Figure 6 scenarios.
+
+#include <gtest/gtest.h>
+
+#include "core/easeio_runtime.h"
+#include "core/regional.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio {
+namespace {
+
+namespace k = easeio::kernel;
+
+class DmaRulesTest : public ::testing::Test {
+ protected:
+  DmaRulesTest()
+      : scheduler_({}, 1000), dev_(MakeConfig(), scheduler_), nv_(dev_.mem()),
+        ctx_(dev_, rt_, nv_) {
+    rt_.Bind(dev_, nv_);
+    ctx_.SetCurrentTaskForTest(0);
+    dev_.Begin();
+    nv_a_ = nv_.Define("a", 64);
+    nv_b_ = nv_.Define("b", 64);
+    sram_ = dev_.mem().AllocSram("s", 64);
+    // Distinct source pattern.
+    for (uint32_t i = 0; i < 32; ++i) {
+      dev_.mem().Write16(nv_.slot(nv_a_).addr + 2 * i, static_cast<uint16_t>(100 + i));
+    }
+  }
+
+  static sim::DeviceConfig MakeConfig() {
+    sim::DeviceConfig config;
+    config.seed = 1;
+    return config;
+  }
+
+  void Fail() {
+    dev_.Reboot();
+    rt_.OnReboot();
+  }
+
+  uint16_t NvWord(k::NvSlotId slot, uint32_t i) {
+    return dev_.mem().Read16(nv_.slot(slot).addr + 2 * i);
+  }
+  uint16_t SramWord(uint32_t i) { return dev_.mem().Read16(sram_ + 2 * i); }
+
+  sim::ScriptedScheduler scheduler_;
+  sim::Device dev_;
+  k::NvManager nv_;
+  rt::EaseioRuntime rt_;
+  k::TaskCtx ctx_;
+  k::NvSlotId nv_a_ = k::kNoSlot;
+  k::NvSlotId nv_b_ = k::kNoSlot;
+  uint32_t sram_ = 0;
+};
+
+TEST_F(DmaRulesTest, NvToNvIsSingle) {
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "d"});
+  rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 64);
+  EXPECT_TRUE(rt_.DmaDone(dma));
+  EXPECT_EQ(NvWord(nv_b_, 5), 105);
+
+  Fail();
+  const uint64_t before = dev_.stats().dma_executions;
+  rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 64);
+  EXPECT_EQ(dev_.stats().dma_executions, before);  // skipped: destination persists
+  EXPECT_EQ(dev_.stats().dma_skipped, 1u);
+}
+
+TEST_F(DmaRulesTest, VolatileToVolatileIsAlways) {
+  const uint32_t sram2 = dev_.mem().AllocSram("s2", 64);
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "d"});
+  dev_.mem().Write16(sram_, 77);
+  rt_.DmaCopy(ctx_, dma, sram2, sram_, 64);
+  Fail();
+  // SRAM cleared: the transfer genuinely must re-run, and it does.
+  const uint64_t before = dev_.stats().dma_executions;
+  rt_.DmaCopy(ctx_, dma, sram2, sram_, 64);
+  EXPECT_EQ(dev_.stats().dma_executions, before + 1);
+}
+
+TEST_F(DmaRulesTest, NvToVolatileIsPrivateAndSurvivesSourceClobber) {
+  // The Figure 2b / FIR hazard: after the transfer completes, the source is
+  // overwritten; the re-executed transfer must still deliver the *original* data.
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "d"});
+  rt_.DmaCopy(ctx_, dma, sram_, nv_.slot(nv_a_).addr, 64);
+  EXPECT_EQ(SramWord(3), 103);
+
+  // A later operation clobbers the source in NVM.
+  for (uint32_t i = 0; i < 32; ++i) {
+    dev_.mem().Write16(nv_.slot(nv_a_).addr + 2 * i, 0xDEAD);
+  }
+  Fail();
+  rt_.DmaCopy(ctx_, dma, sram_, nv_.slot(nv_a_).addr, 64);
+  EXPECT_EQ(SramWord(3), 103) << "phase-2 must read the pristine private copy";
+}
+
+TEST_F(DmaRulesTest, ExcludeSkipsPrivatization) {
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "d", /*exclude=*/true});
+  const uint64_t meta_before = dev_.mem().AllocatedBytes(sim::MemKind::kFram);
+  rt_.DmaCopy(ctx_, dma, sram_, nv_.slot(nv_a_).addr, 64);
+  // No private copy is taken: clobbering the source *is* visible after re-execution —
+  // the programmer vouched the data is constant.
+  dev_.mem().Write16(nv_.slot(nv_a_).addr + 6, 0xBEEF);
+  Fail();
+  rt_.DmaCopy(ctx_, dma, sram_, nv_.slot(nv_a_).addr, 64);
+  EXPECT_EQ(SramWord(3), 0xBEEF);
+  EXPECT_EQ(dev_.mem().AllocatedBytes(sim::MemKind::kFram), meta_before);
+}
+
+TEST_F(DmaRulesTest, RelatedIoForcesReExecution) {
+  // Section 4.3.1: a Single (NV-destination) DMA that moves an Always operation's
+  // output must re-run whenever that operation produced a new value.
+  const k::IoSiteId sensor = rt_.RegisterIoSite({0, "sense", 1, k::IoSemantic::kAlways});
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "d", false, sensor});
+
+  int count = 0;
+  auto reading = [&count](k::TaskCtx& ctx) {
+    ctx.dev().Cpu(50);
+    return static_cast<int16_t>(500 + count++);
+  };
+  const int16_t v1 = rt_.CallIo(ctx_, sensor, 0, reading);
+  dev_.mem().Write16(nv_.slot(nv_a_).addr, static_cast<uint16_t>(v1));
+  rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 2);
+  EXPECT_EQ(NvWord(nv_b_, 0), 500);
+
+  Fail();
+  const int16_t v2 = rt_.CallIo(ctx_, sensor, 0, reading);  // Always: new value
+  dev_.mem().Write16(nv_.slot(nv_a_).addr, static_cast<uint16_t>(v2));
+  rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 2);
+  EXPECT_EQ(NvWord(nv_b_, 0), 501) << "the fresh reading must reach NVM";
+}
+
+TEST_F(DmaRulesTest, PrivatizationBufferExhaustionIsAnError) {
+  rt::EaseioRuntime small_rt(rt::EaseioConfig{.dma_priv_buffer_bytes = 32});
+  sim::ScriptedScheduler sched({}, 1000);
+  sim::Device dev(MakeConfig(), sched);
+  k::NvManager nv(dev.mem());
+  small_rt.Bind(dev, nv);
+  const k::NvSlotId a = nv.Define("a", 64);
+  const uint32_t s = dev.mem().AllocSram("s", 64);
+  const k::DmaSiteId dma = small_rt.RegisterDmaSite({0, "d"});
+  k::TaskCtx ctx(dev, small_rt, nv);
+  ctx.SetCurrentTaskForTest(0);
+  dev.Begin();
+  // 64 bytes of Private data cannot fit a 32-byte buffer: the documented limit check.
+  EXPECT_DEATH(small_rt.DmaCopy(ctx, dma, s, nv.slot(a).addr, 64),
+               "privatization buffer exhausted");
+}
+
+// --- Regional privatization -------------------------------------------------------------
+
+class RegionalTest : public DmaRulesTest {};
+
+TEST_F(RegionalTest, Figure6ScenarioStaysConsistent) {
+  // Task1 from Figure 6: z = b[0]; DMA(a[0] -> b[0]); t = b[0]; a[0] = z.
+  // A failure after `a[0] = z` skips the completed Single DMA on re-execution; the
+  // regional snapshots must still reproduce exactly the continuous-execution result.
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "fig6"});
+  rt_.SetTaskRegions(0, {{nv_b_}, {nv_a_, nv_b_}});
+
+  dev_.mem().Write16(nv_.slot(nv_a_).addr, 11);  // a[0]
+  dev_.mem().Write16(nv_.slot(nv_b_).addr, 22);  // b[0]
+
+  auto run_task = [&](bool fail_at_end) {
+    rt_.OnTaskBegin(ctx_);                                  // enters region 0
+    const uint16_t z = ctx_.NvLoad16(nv_b_);                // region 0: z = b[0]
+    rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 2);
+    const uint16_t t = ctx_.NvLoad16(nv_b_);                // region 1: t = b[0]
+    (void)t;
+    ctx_.NvStore16(nv_a_, z);                               // region 1: a[0] = z
+    if (fail_at_end) {
+      Fail();
+      return false;
+    }
+    rt_.OnTaskCommit(ctx_);
+    return true;
+  };
+
+  EXPECT_FALSE(run_task(/*fail_at_end=*/true));   // first attempt dies after a[0] = z
+  EXPECT_TRUE(run_task(/*fail_at_end=*/false));   // re-execution completes
+
+  // Continuous execution would leave: b[0] = 11 (copied from a), a[0] = 22 (old b[0]).
+  EXPECT_EQ(NvWord(nv_b_, 0), 11);
+  EXPECT_EQ(NvWord(nv_a_, 0), 22);
+}
+
+TEST_F(RegionalTest, RepeatedFailuresStillConverge) {
+  const k::DmaSiteId dma = rt_.RegisterDmaSite({0, "fig6"});
+  rt_.SetTaskRegions(0, {{nv_b_}, {nv_a_, nv_b_}});
+  dev_.mem().Write16(nv_.slot(nv_a_).addr, 11);
+  dev_.mem().Write16(nv_.slot(nv_b_).addr, 22);
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    rt_.OnTaskBegin(ctx_);
+    const uint16_t z = ctx_.NvLoad16(nv_b_);
+    rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 2);
+    ctx_.NvStore16(nv_a_, z);
+    Fail();  // die after the region-1 write, five times in a row
+  }
+  rt_.OnTaskBegin(ctx_);
+  const uint16_t z = ctx_.NvLoad16(nv_b_);
+  rt_.DmaCopy(ctx_, dma, nv_.slot(nv_b_).addr, nv_.slot(nv_a_).addr, 2);
+  ctx_.NvStore16(nv_a_, z);
+  rt_.OnTaskCommit(ctx_);
+
+  EXPECT_EQ(NvWord(nv_b_, 0), 11);
+  EXPECT_EQ(NvWord(nv_a_, 0), 22);
+}
+
+TEST_F(RegionalTest, RegionCountMustMatchDmaSites) {
+  rt_.RegisterDmaSite({0, "d1"});
+  rt_.RegisterDmaSite({0, "d2"});
+  EXPECT_DEATH(rt_.SetTaskRegions(0, {{nv_a_}}), "N\\+1 regions");
+}
+
+TEST_F(RegionalTest, UndeclaredTasksRunWithoutRegionalMachinery) {
+  // Tasks without declared regions pay nothing and work in place.
+  rt_.OnTaskBegin(ctx_);
+  ctx_.NvStore16(nv_a_, 7);
+  rt_.OnTaskCommit(ctx_);
+  EXPECT_EQ(NvWord(nv_a_, 0), 7);
+}
+
+}  // namespace
+}  // namespace easeio

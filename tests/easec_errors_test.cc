@@ -1,0 +1,171 @@
+// Front-end error handling: the compiler must reject malformed and semantically
+// invalid programs with useful diagnostics, recover enough to report several errors in
+// one pass, and never crash on garbage input.
+
+#include <gtest/gtest.h>
+
+#include "easec/program.h"
+
+namespace easeio::easec {
+namespace {
+
+std::string ErrorsFor(const std::string& source) {
+  const CompileResult result = Compile(source);
+  EXPECT_FALSE(result.ok) << "expected compile failure for:\n" << source;
+  return result.errors;
+}
+
+TEST(Errors, EmptyProgram) {
+  EXPECT_NE(ErrorsFor("").find("no tasks"), std::string::npos);
+}
+
+TEST(Errors, GlobalsOnlyProgram) {
+  EXPECT_NE(ErrorsFor("__nv int16 x;").find("no tasks"), std::string::npos);
+}
+
+TEST(Errors, DuplicateTaskNames) {
+  EXPECT_NE(ErrorsFor("task t() { end_task; } task t() { end_task; }")
+                .find("duplicate task"),
+            std::string::npos);
+}
+
+TEST(Errors, DuplicateNvNames) {
+  EXPECT_NE(ErrorsFor("__nv int16 x; __nv int16 x; task t() { end_task; }")
+                .find("duplicate __nv"),
+            std::string::npos);
+}
+
+TEST(Errors, ZeroLengthArray) {
+  EXPECT_NE(ErrorsFor("__nv int16 x[0]; task t() { end_task; }").find("zero-length"),
+            std::string::npos);
+}
+
+TEST(Errors, UnknownNextTaskTarget) {
+  EXPECT_NE(ErrorsFor("task t() { next_task(ghost); }").find("not a task"),
+            std::string::npos);
+}
+
+TEST(Errors, UnknownIoFunction) {
+  EXPECT_NE(
+      ErrorsFor("task t() { int16 x = _call_IO(Sonar(), \"Always\"); end_task; }")
+          .find("unknown I/O function"),
+      std::string::npos);
+}
+
+TEST(Errors, WrongIoArity) {
+  EXPECT_NE(ErrorsFor("task t() { int16 x = _call_IO(Temp(1), \"Always\"); end_task; }")
+                .find("expects 0 argument"),
+            std::string::npos);
+}
+
+TEST(Errors, SendNeedsNvBufferAndLiteralLength) {
+  const std::string errors = ErrorsFor(R"(
+__nv int16 buf[4];
+task t() {
+  int16 n = 4;
+  _call_IO(Send(n, n), "Single");
+  end_task;
+}
+)");
+  EXPECT_NE(errors.find("__nv buffer"), std::string::npos);
+  EXPECT_NE(errors.find("literal byte count"), std::string::npos);
+}
+
+TEST(Errors, TimelyWithoutWindow) {
+  EXPECT_NE(ErrorsFor("task t() { int16 x = _call_IO(Temp(), \"Timely\"); end_task; }")
+                .find("Timely window"),
+            std::string::npos);
+}
+
+TEST(Errors, LocalRedefinition) {
+  EXPECT_NE(ErrorsFor("task t() { int16 x; int16 x; end_task; }").find("redefinition"),
+            std::string::npos);
+}
+
+TEST(Errors, SubscriptOnScalar) {
+  EXPECT_NE(ErrorsFor("__nv int16 s; task t() { int16 x = s[1]; end_task; }")
+                .find("not an __nv array"),
+            std::string::npos);
+}
+
+TEST(Errors, WholeArrayAssignment) {
+  EXPECT_NE(ErrorsFor("__nv int16 a[4]; task t() { a = 1; end_task; }")
+                .find("whole array"),
+            std::string::npos);
+}
+
+TEST(Errors, AddressOfLocal) {
+  EXPECT_NE(ErrorsFor(R"(
+__nv int16 b[4];
+task t() {
+  int16 x = 0;
+  _DMA_copy(&b[0], &x, 2);
+  end_task;
+}
+)")
+                .find("must name an __nv"),
+            std::string::npos);
+}
+
+TEST(Errors, DmaOperandsMustBeAddresses) {
+  EXPECT_NE(ErrorsFor(R"(
+__nv int16 a[4];
+__nv int16 b[4];
+task t() {
+  _DMA_copy(b[0], a[0], 8);
+  end_task;
+}
+)")
+                .find("'&nv_var"),
+            std::string::npos);
+}
+
+TEST(Errors, NestedRepeatWithCallIo) {
+  EXPECT_NE(ErrorsFor(R"(
+task t() {
+  repeat (2) {
+    repeat (3) {
+      int16 x = _call_IO(Temp(), "Always");
+    }
+  }
+  end_task;
+}
+)")
+                .find("nested repeat"),
+            std::string::npos);
+}
+
+TEST(Errors, GetTimeTakesNoArguments) {
+  EXPECT_NE(ErrorsFor("task t() { int16 x = GetTime(1); end_task; }")
+                .find("no arguments"),
+            std::string::npos);
+}
+
+TEST(Errors, MultipleErrorsReportedTogether) {
+  const std::string errors = ErrorsFor(R"(
+task t() {
+  ghost1 = 1;
+  ghost2 = 2;
+  end_task;
+}
+)");
+  EXPECT_NE(errors.find("ghost1"), std::string::npos);
+  EXPECT_NE(errors.find("ghost2"), std::string::npos);
+}
+
+TEST(Errors, GarbageInputDoesNotCrash) {
+  const CompileResult a = Compile("@#$%^&*");
+  EXPECT_FALSE(a.ok);
+  const CompileResult b = Compile("task task task (((");
+  EXPECT_FALSE(b.ok);
+  const CompileResult c = Compile(std::string(1000, '{'));
+  EXPECT_FALSE(c.ok);
+}
+
+TEST(Errors, DiagnosticsCarryLineNumbers) {
+  const std::string errors = ErrorsFor("task t() {\n  ghost = 1;\n  end_task;\n}\n");
+  EXPECT_NE(errors.find("2:"), std::string::npos);  // the error is on line 2
+}
+
+}  // namespace
+}  // namespace easeio::easec

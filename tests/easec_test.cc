@@ -1,0 +1,425 @@
+// EaseC front-end tests: lexing, parsing, semantic analysis (lanes, blocks,
+// dependence, regions, WAR), the source-to-source transform, and execution of compiled
+// programs on the simulated device under all runtimes.
+
+#include <gtest/gtest.h>
+
+#include "apps/runtime_factory.h"
+#include "easec/lexer.h"
+#include "easec/parser.h"
+#include "easec/program.h"
+#include "easec/transform.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio::easec {
+namespace {
+
+// The paper's Figure 3/4 flavoured program: a Single block with a Timely temperature
+// and an Always humidity read, a data-dependent send, a branch on the reading, and a
+// DMA staging step.
+constexpr const char* kWeatherSource = R"(
+__nv int16 stdy;
+__nv int16 alarm;
+__nv int16 temp_out;
+__nv int16 humd_out;
+__nv int16 payload[4];
+__nv int16 image[64];
+__nv int16 staging[64];
+
+task sense() {
+  int16 temp;
+  int16 humd;
+  _IO_block_begin("Single");
+  temp = _call_IO(Temp(), "Timely", 10);
+  humd = _call_IO(Humd(), "Always");
+  _IO_block_end;
+  temp_out = temp;
+  humd_out = humd;
+  if (temp < 100) {
+    stdy = 1;
+  } else {
+    alarm = 1;
+  }
+  delay(3000);
+  next_task(capture);
+}
+
+task capture() {
+  _call_IO(Capture(image, 128), "Single");
+  delay(2000);
+  next_task(process);
+}
+
+task process() {
+  _DMA_copy(&staging[0], &image[0], 128);
+  int16 sum = 0;
+  repeat (4) {
+    sum = sum + staging[0];
+  }
+  payload[0] = temp_out;
+  payload[1] = humd_out;
+  payload[2] = sum;
+  next_task(send_data);
+}
+
+task send_data() {
+  _call_IO(Send(payload, 8), "Single");
+  delay(1500);
+  end_task;
+}
+)";
+
+TEST(Lexer, TokenisesAnnotatedSource) {
+  Diagnostics diags;
+  Lexer lexer("task t() { int16 x = _call_IO(Temp(), \"Timely\", 10); }", diags);
+  const std::vector<Token> tokens = lexer.Lex();
+  ASSERT_FALSE(diags.HasErrors()) << diags.ToString();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, Tok::kTask);
+  EXPECT_EQ(tokens[1].kind, Tok::kIdent);
+  EXPECT_EQ(tokens.back().kind, Tok::kEof);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  Diagnostics diags;
+  Lexer lexer("task t() { x = 1 ^ 2; }", diags);
+  lexer.Lex();
+  EXPECT_TRUE(diags.HasErrors());
+}
+
+TEST(Lexer, HandlesCommentsAndHex) {
+  Diagnostics diags;
+  Lexer lexer("// line\n/* block */ 0x1F", diags);
+  const std::vector<Token> tokens = lexer.Lex();
+  ASSERT_FALSE(diags.HasErrors());
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].int_value, 31);
+}
+
+TEST(Parser, ParsesTheWeatherProgram) {
+  CompileResult result = Compile(kWeatherSource);
+  ASSERT_TRUE(result.ok) << result.errors;
+  EXPECT_EQ(result.ast.nv_decls.size(), 7u);
+  EXPECT_EQ(result.ast.tasks.size(), 4u);
+}
+
+TEST(Parser, RejectsUnbalancedIoBlocks) {
+  const CompileResult result = Compile("task t() { _IO_block_end; end_task; }");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("without a matching begin"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownSemantic) {
+  const CompileResult result =
+      Compile("task t() { int16 x = _call_IO(Temp(), \"Sometimes\"); end_task; }");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("unknown re-execution semantic"), std::string::npos);
+}
+
+TEST(Sema, ExtractsSitesBlocksAndSemantics) {
+  CompileResult result = Compile(kWeatherSource);
+  ASSERT_TRUE(result.ok) << result.errors;
+  const Analysis& a = result.analysis;
+
+  ASSERT_EQ(a.sites.size(), 4u);  // Temp, Humd, Capture, Send
+  EXPECT_EQ(a.sites[0].fn_name, "Temp");
+  EXPECT_EQ(a.sites[0].sem, kernel::IoSemantic::kTimely);
+  EXPECT_EQ(a.sites[0].window_us, 10'000u);
+  EXPECT_EQ(a.sites[1].sem, kernel::IoSemantic::kAlways);
+  ASSERT_EQ(a.blocks.size(), 1u);
+  EXPECT_EQ(a.blocks[0].sem, kernel::IoSemantic::kSingle);
+  EXPECT_EQ(a.sites[0].block, 0u);
+  EXPECT_EQ(a.sites[1].block, 0u);
+  EXPECT_EQ(a.sites[2].block, UINT32_MAX);
+}
+
+TEST(Sema, DetectsRegionsAndDma) {
+  CompileResult result = Compile(kWeatherSource);
+  ASSERT_TRUE(result.ok) << result.errors;
+  const Analysis& a = result.analysis;
+
+  ASSERT_EQ(a.dmas.size(), 1u);
+  EXPECT_EQ(a.dmas[0].region_index, 0u);
+  // `process` is task index 2: one DMA -> two regions; payload writes land in region 1.
+  ASSERT_EQ(a.tasks[2].regions.size(), 2u);
+  EXPECT_TRUE(a.tasks[2].regions[0].empty());
+  EXPECT_FALSE(a.tasks[2].regions[1].empty());
+}
+
+TEST(Sema, TracksWarAndShared) {
+  const CompileResult result = Compile(R"(
+__nv int16 counter;
+task t() {
+  counter = counter + 1;
+  end_task;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.errors;
+  ASSERT_EQ(result.analysis.tasks[0].war.size(), 1u);   // read-before-write
+  ASSERT_EQ(result.analysis.tasks[0].shared.size(), 1u);
+}
+
+TEST(Sema, BuildsLaneArraysForRepeatLoops) {
+  const CompileResult result = Compile(R"(
+__nv int16 out[8];
+task t() {
+  repeat (8) {
+    int16 v = _call_IO(Temp(), "Always");
+    out[0] = v;
+  }
+  end_task;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.errors;
+  ASSERT_EQ(result.analysis.sites.size(), 1u);
+  EXPECT_EQ(result.analysis.sites[0].lanes, 8u);
+  EXPECT_GE(result.analysis.sites[0].lane_slot, 0);
+}
+
+TEST(Sema, DetectsIoDataDependence) {
+  const CompileResult result = Compile(R"(
+__nv int16 payload[2];
+task t() {
+  int16 temp = _call_IO(Temp(), "Timely", 50);
+  payload[0] = temp;
+  _call_IO(Send(payload, 4), "Single");
+  end_task;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.errors;
+  ASSERT_EQ(result.analysis.sites.size(), 2u);
+  // Send depends on Temp through the payload store.
+  ASSERT_EQ(result.analysis.sites[1].depends_on.size(), 1u);
+  EXPECT_EQ(result.analysis.sites[1].depends_on[0], 0u);
+}
+
+TEST(Sema, RelatesDmaToProducingIo) {
+  const CompileResult result = Compile(R"(
+__nv int16 reading;
+__nv int16 log_buf[16];
+task t() {
+  reading = _call_IO(Temp(), "Always");
+  _DMA_copy(&log_buf[0], &reading, 2);
+  end_task;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.errors;
+  ASSERT_EQ(result.analysis.dmas.size(), 1u);
+  EXPECT_EQ(result.analysis.dmas[0].related_io, 0u);
+}
+
+TEST(Sema, RejectsDmaInsideControlFlow) {
+  const CompileResult result = Compile(R"(
+__nv int16 a[4];
+__nv int16 b[4];
+task t() {
+  if (a[0] < 1) {
+    _DMA_copy(&b[0], &a[0], 8);
+  }
+  end_task;
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("top level"), std::string::npos);
+}
+
+TEST(Sema, RejectsNestedCallIo) {
+  const CompileResult result = Compile(R"(
+__nv int16 p[2];
+task t() {
+  int16 x = _call_IO(Send(p, _call_IO(Temp(), "Always")), "Single");
+  end_task;
+}
+)");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Sema, RejectsUndeclaredIdentifiers) {
+  const CompileResult result = Compile("task t() { ghost = 1; end_task; }");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("undeclared"), std::string::npos);
+}
+
+TEST(Transform, EmitsLockFlagGuards) {
+  CompileResult result = Compile(kWeatherSource);
+  ASSERT_TRUE(result.ok) << result.errors;
+  const std::string& src = result.transformed_source;
+
+  // Per-site metadata and the Figure-5 guard structure.
+  EXPECT_NE(src.find("__nv int16 lock_Temp_sense_0;"), std::string::npos) << src;
+  EXPECT_NE(src.find("priv_Temp_sense_0 = Temp();"), std::string::npos);
+  EXPECT_NE(src.find("lock_Temp_sense_0 = SET;"), std::string::npos);
+  // Timely guard checks the timestamp.
+  EXPECT_NE(src.find("GetTime() - ts_Temp_sense_0"), std::string::npos);
+  // Scope precedence: sites inside the block also consult the block dependence flag.
+  EXPECT_NE(src.find("depend_flg_blk0_sense"), std::string::npos);
+  // Regional privatization around the DMA in `process`.
+  EXPECT_NE(src.find("regionalPrivFlag_process_1"), std::string::npos);
+  EXPECT_NE(src.find("/* recover */"), std::string::npos);
+}
+
+// --- __sram staging and the compile-time privatization-buffer check ------------------------
+
+constexpr const char* kStagedFirSource = R"(
+__nv int16 signal[32];
+__nv int16 result;
+__sram int16 staging[32];
+
+task fill() {
+  repeat (32) {
+    signal[0] = 7;
+  }
+  int16 i = 0;
+  while (i < 32) {
+    signal[i] = i * 3;
+    i = i + 1;
+  }
+  next_task(process);
+}
+
+task process() {
+  _DMA_copy(&staging[0], &signal[0], 64);
+  int16 acc = 0;
+  int16 i = 0;
+  while (i < 32) {
+    acc = acc + staging[i];
+    i = i + 1;
+  }
+  _DMA_copy(&signal[0], &staging[0], 64);
+  result = acc;
+  end_task;
+}
+)";
+
+TEST(Sram, StagingBuffersCompileAndClassify) {
+  const CompileResult result = Compile(kStagedFirSource);
+  ASSERT_TRUE(result.ok) << result.errors;
+  ASSERT_EQ(result.analysis.dmas.size(), 2u);
+  EXPECT_FALSE(result.analysis.dmas[0].src_sram);
+  EXPECT_TRUE(result.analysis.dmas[0].dst_sram);   // NV -> V: Private at run time
+  EXPECT_TRUE(result.analysis.dmas[1].src_sram);   // V -> NV: Single at run time
+  EXPECT_EQ(result.analysis.private_dma_bytes, 64u);
+  EXPECT_NE(result.transformed_source.find("__sram int16 staging[32];"), std::string::npos);
+}
+
+TEST(Sram, BufferCheckRejectsOversizedPrivateTransfers) {
+  CompileOptions options;
+  options.dma_priv_buffer_bytes = 32;  // smaller than the 64-byte Private transfer
+  const CompileResult result = Compile(kStagedFirSource, options);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.errors.find("privatization buffer"), std::string::npos);
+}
+
+TEST(Sram, ExcludedTransfersDoNotCountAgainstTheBuffer) {
+  const std::string source = std::string(kStagedFirSource);
+  std::string excluded = source;
+  const std::string needle = "_DMA_copy(&staging[0], &signal[0], 64);";
+  excluded.replace(excluded.find(needle), needle.size(),
+                   "_DMA_copy(&staging[0], &signal[0], 64, Exclude);");
+  CompileOptions options;
+  options.dma_priv_buffer_bytes = 32;
+  const CompileResult result = Compile(excluded, options);
+  EXPECT_TRUE(result.ok) << result.errors;
+  EXPECT_EQ(result.analysis.private_dma_bytes, 0u);
+}
+
+TEST(Sram, StagedPipelineSurvivesFailuresOnEaseio) {
+  const CompileResult compiled = Compile(kStagedFirSource);
+  ASSERT_TRUE(compiled.ok) << compiled.errors;
+
+  // Golden: continuous run.
+  auto run = [&](std::vector<uint64_t> fails) {
+    sim::ScriptedScheduler sched(std::move(fails), 700);
+    sim::DeviceConfig config;
+    config.seed = 2;
+    sim::Device dev(config, sched);
+    kernel::NvManager nv(dev.mem());
+    auto rt = apps::MakeRuntime(apps::RuntimeKind::kEaseio);
+    rt->Bind(dev, nv);
+    InstantiatedProgram prog = Instantiate(compiled, dev, *rt, nv);
+    kernel::Engine engine;
+    const kernel::RunResult r = engine.Run(dev, *rt, nv, prog.graph, prog.entry);
+    EXPECT_TRUE(r.completed);
+    // result = sum(i*3, i<32) = 3*496; signal written back unchanged.
+    const uint32_t result_addr = nv.slot(prog.nv_slots[1]).addr;
+    return dev.mem().ReadI16(result_addr);
+  };
+
+  const int16_t golden = run({});
+  EXPECT_EQ(golden, 3 * 496);
+  for (uint64_t t = 53; t < 2400; t += 151) {
+    EXPECT_EQ(run({t}), golden) << "failure at " << t;
+  }
+}
+
+// --- Execution ---------------------------------------------------------------------------
+
+struct RunOutcome {
+  bool completed = false;
+  int16_t stdy = 0;
+  int16_t alarm = 0;
+  uint64_t sends = 0;
+  uint64_t failures = 0;
+};
+
+RunOutcome RunWeatherDsl(apps::RuntimeKind kind, uint64_t seed, bool continuous) {
+  CompileResult compiled = Compile(kWeatherSource);
+  EXPECT_TRUE(compiled.ok) << compiled.errors;
+
+  sim::NeverFailScheduler never;
+  sim::UniformTimerScheduler timer(5000, 20000, 200, 1000);
+  sim::DeviceConfig config;
+  config.seed = seed;
+  sim::Device dev(config, continuous ? static_cast<sim::FailureScheduler&>(never)
+                                     : static_cast<sim::FailureScheduler&>(timer));
+  kernel::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(kind);
+  rt->Bind(dev, nv);
+  InstantiatedProgram prog = Instantiate(compiled, dev, *rt, nv);
+
+  kernel::Engine engine;
+  const kernel::RunResult run = engine.Run(dev, *rt, nv, prog.graph, prog.entry);
+
+  RunOutcome out;
+  out.completed = run.completed;
+  out.stdy = dev.mem().ReadI16(nv.slot(prog.nv_slots[0]).addr);
+  out.alarm = dev.mem().ReadI16(nv.slot(prog.nv_slots[1]).addr);
+  out.sends = dev.radio().sends();
+  out.failures = run.stats.power_failures;
+  return out;
+}
+
+TEST(Execution, CompiledProgramRunsOnAllRuntimes) {
+  for (apps::RuntimeKind kind :
+       {apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio}) {
+    const RunOutcome out = RunWeatherDsl(kind, /*seed=*/1, /*continuous=*/true);
+    EXPECT_TRUE(out.completed) << ToString(kind);
+    EXPECT_EQ(out.stdy + out.alarm, 1) << ToString(kind);
+    EXPECT_EQ(out.sends, 1u) << ToString(kind);
+  }
+}
+
+TEST(Execution, EaseioKeepsBranchInvariantUnderFailures) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const RunOutcome out = RunWeatherDsl(apps::RuntimeKind::kEaseio, seed, false);
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.stdy + out.alarm, 1) << "seed " << seed;
+    EXPECT_EQ(out.sends, 1u) << "seed " << seed;  // Single send: never duplicated
+  }
+}
+
+TEST(Execution, BaselinesDuplicateSendsUnderFailures) {
+  uint64_t duplicated = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const RunOutcome out = RunWeatherDsl(apps::RuntimeKind::kAlpaca, seed, false);
+    ASSERT_TRUE(out.completed);
+    if (out.sends > 1) {
+      ++duplicated;
+    }
+  }
+  EXPECT_GT(duplicated, 0u);  // Figure 2a: re-executed sends transmit duplicates
+}
+
+}  // namespace
+}  // namespace easeio::easec

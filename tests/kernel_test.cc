@@ -1,0 +1,260 @@
+// Unit tests for the task kernel: NV management, the engine's all-or-nothing task
+// semantics, control-transfer durability, the non-termination guard, and the base
+// runtime's redundancy accounting — plus the baselines' privatization behaviour.
+
+#include <gtest/gtest.h>
+
+#include "baselines/alpaca.h"
+#include "baselines/ink.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio::kernel {
+namespace {
+
+sim::DeviceConfig Config(uint64_t seed = 1) {
+  sim::DeviceConfig config;
+  config.seed = seed;
+  return config;
+}
+
+// A trivially observable runtime.
+class PlainRuntime : public Runtime {
+ public:
+  const char* name() const override { return "plain"; }
+};
+
+TEST(NvManager, DefinesAndResolvesSlots) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  NvManager nv(dev.mem());
+  const NvSlotId a = nv.Define("x", 4);
+  const NvSlotId b = nv.Define("y", 2);
+  EXPECT_NE(nv.slot(a).addr, nv.slot(b).addr);
+  EXPECT_EQ(nv.slot(a).size, 4u);
+  EXPECT_EQ(nv.slot(b).name, "y");
+}
+
+TEST(Engine, RunsTaskChainToCompletion) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  NvManager nv(dev.mem());
+  PlainRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId out = nv.Define("out", 2);
+
+  TaskGraph graph;
+  const TaskId t1 = graph.Add("one", [&](TaskCtx& ctx) {
+    ctx.NvStore16(out, 1);
+    return static_cast<TaskId>(1);
+  });
+  graph.Add("two", [&](TaskCtx& ctx) {
+    ctx.NvStore16(out, static_cast<uint16_t>(ctx.NvLoad16(out) + 10));
+    return kTaskDone;
+  });
+
+  Engine engine;
+  const RunResult r = engine.Run(dev, rt, nv, graph, t1);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.stats.tasks_committed, 2u);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(out).addr), 11);
+}
+
+TEST(Engine, InterruptedTaskRestartsFromTheTop) {
+  sim::ScriptedScheduler sched({1000}, 100);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  PlainRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId attempts = nv.Define("attempts", 2);
+
+  TaskGraph graph;
+  const TaskId t = graph.Add("work", [&](TaskCtx& ctx) {
+    ctx.NvStore16(attempts, static_cast<uint16_t>(ctx.NvLoad16(attempts) + 1));
+    ctx.Cpu(2000);  // the first attempt dies inside this
+    return kTaskDone;
+  });
+
+  Engine engine;
+  const RunResult r = engine.Run(dev, rt, nv, graph, t);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.stats.power_failures, 1u);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(attempts).addr), 2);  // body ran twice
+}
+
+TEST(Engine, ControlTransferIsPartOfCommit) {
+  // A failure inside task B must re-enter B, never re-run (committed) task A.
+  sim::ScriptedScheduler sched({3000}, 100);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  PlainRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId a_runs = nv.Define("a", 2);
+  const NvSlotId b_runs = nv.Define("b", 2);
+
+  TaskGraph graph;
+  const TaskId ta = graph.Add("A", [&](TaskCtx& ctx) {
+    ctx.NvStore16(a_runs, static_cast<uint16_t>(ctx.NvLoad16(a_runs) + 1));
+    ctx.Cpu(1000);
+    return static_cast<TaskId>(1);
+  });
+  graph.Add("B", [&](TaskCtx& ctx) {
+    ctx.NvStore16(b_runs, static_cast<uint16_t>(ctx.NvLoad16(b_runs) + 1));
+    ctx.Cpu(3000);  // dies here on the first attempt
+    return kTaskDone;
+  });
+
+  Engine engine;
+  const RunResult r = engine.Run(dev, rt, nv, graph, ta);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(a_runs).addr), 1);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(b_runs).addr), 2);
+}
+
+TEST(Engine, DetectsNonTermination) {
+  // A task needing more on-time than any single power cycle can deliver: the paper's
+  // non-termination hazard (Section 3.5). The engine's guard aborts the run.
+  sim::UniformTimerScheduler sched(5000, 20000, 200, 1000);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  PlainRuntime rt;
+  rt.Bind(dev, nv);
+
+  TaskGraph graph;
+  const TaskId t = graph.Add("hog", [&](TaskCtx& ctx) {
+    ctx.Cpu(50'000);  // longer than the 20 ms maximum interval
+    return kTaskDone;
+  });
+
+  Engine engine(RunConfig{.max_on_us = 2'000'000});
+  const RunResult r = engine.Run(dev, rt, nv, graph, t);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.stats.power_failures, 50u);
+}
+
+TEST(RuntimeBase, CountsRedundantExecutionsPerIncarnation) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  NvManager nv(dev.mem());
+  PlainRuntime rt;
+  rt.Bind(dev, nv);
+  const IoSiteId site = rt.RegisterIoSite({0, "s", 1});
+  TaskCtx ctx(dev, rt, nv);
+  ctx.SetCurrentTaskForTest(0);
+  dev.Begin();
+
+  auto op = [](TaskCtx& c) {
+    c.Cpu(10);
+    return static_cast<int16_t>(1);
+  };
+  rt.CallIo(ctx, site, 0, op);
+  rt.CallIo(ctx, site, 0, op);  // same incarnation: redundant
+  EXPECT_EQ(dev.stats().io_executions, 2u);
+  EXPECT_EQ(dev.stats().io_redundant, 1u);
+
+  rt.OnTaskCommit(ctx);
+  rt.CallIo(ctx, site, 0, op);  // new incarnation: fresh work
+  EXPECT_EQ(dev.stats().io_redundant, 1u);
+}
+
+// --- Baselines ------------------------------------------------------------------------------
+
+TEST(Alpaca, WarVariableIsRestoredOnReExecution) {
+  // The classic WAR pattern x = f(x): without privatization a re-executed task would
+  // double-apply the update.
+  sim::ScriptedScheduler sched({2000}, 100);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  baseline::AlpacaRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId x = nv.Define("x", 2);
+  rt.SetTaskWarVars(0, {x});
+
+  TaskGraph graph;
+  const TaskId t = graph.Add("inc", [&](TaskCtx& ctx) {
+    ctx.NvStore16(x, static_cast<uint16_t>(ctx.NvLoad16(x) + 7));
+    ctx.Cpu(3000);  // first attempt dies here, after the increment
+    return kTaskDone;
+  });
+
+  Engine engine;
+  const RunResult r = engine.Run(dev, rt, nv, graph, t);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.stats.power_failures, 1u);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(x).addr), 7);  // exactly one increment committed
+}
+
+TEST(Alpaca, UnprotectedVariableShowsTheRawTaskModel) {
+  // The same pattern *without* the WAR declaration double-applies — this is why the
+  // analysis matters, and what DMA-touched buffers suffer from (invisible to it).
+  sim::ScriptedScheduler sched({2000}, 100);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  baseline::AlpacaRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId x = nv.Define("x", 2);
+
+  TaskGraph graph;
+  const TaskId t = graph.Add("inc", [&](TaskCtx& ctx) {
+    ctx.NvStore16(x, static_cast<uint16_t>(ctx.NvLoad16(x) + 7));
+    ctx.Cpu(3000);
+    return kTaskDone;
+  });
+
+  Engine engine;
+  engine.Run(dev, rt, nv, graph, t);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(x).addr), 14);  // the idempotence bug, reproduced
+}
+
+TEST(Ink, SharedVariablesSurviveReExecution) {
+  sim::ScriptedScheduler sched({2000}, 100);
+  sim::Device dev(Config(), sched);
+  NvManager nv(dev.mem());
+  baseline::InkRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId x = nv.Define("x", 2);
+  rt.SetTaskSharedVars(0, {x});
+
+  TaskGraph graph;
+  const TaskId t = graph.Add("inc", [&](TaskCtx& ctx) {
+    ctx.NvStore16(x, static_cast<uint16_t>(ctx.NvLoad16(x) + 7));
+    ctx.Cpu(3000);
+    return kTaskDone;
+  });
+
+  Engine engine;
+  engine.Run(dev, rt, nv, graph, t);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(x).addr), 7);
+}
+
+TEST(Baselines, TranslationRedirectsOnlyDeclaredVars) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  NvManager nv(dev.mem());
+  baseline::AlpacaRuntime rt;
+  rt.Bind(dev, nv);
+  const NvSlotId prot = nv.Define("prot", 2);
+  const NvSlotId raw = nv.Define("raw", 2);
+  rt.SetTaskWarVars(0, {prot});
+  TaskCtx ctx(dev, rt, nv);
+  ctx.SetCurrentTaskForTest(0);
+  EXPECT_NE(rt.TranslateNv(ctx, nv.slot(prot), 0), nv.slot(prot).addr);
+  EXPECT_EQ(rt.TranslateNv(ctx, nv.slot(raw), 0), nv.slot(raw).addr);
+
+  ctx.SetCurrentTaskForTest(1);  // another task: no redirection
+  EXPECT_EQ(rt.TranslateNv(ctx, nv.slot(prot), 0), nv.slot(prot).addr);
+}
+
+TEST(Baselines, CodeSizeGrowsWithDeclarations) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(Config(), never);
+  NvManager nv(dev.mem());
+  baseline::InkRuntime rt;
+  rt.Bind(dev, nv);
+  const uint32_t before = rt.CodeSizeBytes();
+  rt.SetTaskSharedVars(0, {nv.Define("a", 2), nv.Define("b", 2)});
+  EXPECT_GT(rt.CodeSizeBytes(), before);
+}
+
+}  // namespace
+}  // namespace easeio::kernel

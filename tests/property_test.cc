@@ -1,0 +1,256 @@
+// Property-based tests.
+//
+// The central safety property of EaseIO (Section 3.5): *for every possible failure
+// instant*, intermittent execution must produce exactly the state continuous execution
+// produces. The sweep tests below inject a power failure at every point of the run
+// (stepping finely through the whole on-time), plus double-failure patterns, and
+// compare the final NVM output bit-for-bit against the continuous golden run. The
+// parameterized seed sweeps then check structural invariants across the whole
+// {application x runtime} grid under randomized schedules.
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.h"
+#include "sim/failure.h"
+
+namespace easeio {
+namespace {
+
+namespace k = easeio::kernel;
+
+struct ScheduledRun {
+  bool completed = false;
+  bool consistent = false;
+  std::vector<uint8_t> output;
+  uint64_t on_us = 0;
+};
+
+apps::AppHandle Build(report::AppKind app, sim::Device& dev, kernel::Runtime& rt,
+                      kernel::NvManager& nv, const apps::AppOptions& options) {
+  switch (app) {
+    case report::AppKind::kDma:
+      return apps::BuildDmaApp(dev, rt, nv, options);
+    case report::AppKind::kTemp:
+      return apps::BuildTempApp(dev, rt, nv);
+    case report::AppKind::kLea:
+      return apps::BuildLeaApp(dev, rt, nv);
+    case report::AppKind::kFir:
+      return apps::BuildFirApp(dev, rt, nv, options);
+    case report::AppKind::kWeather:
+      return apps::BuildWeatherApp(dev, rt, nv, options);
+    case report::AppKind::kBranch:
+      return apps::BuildBranchApp(dev, rt, nv);
+  }
+  return apps::BuildBranchApp(dev, rt, nv);
+}
+
+// Runs `app` on `runtime` with power failures at exactly the given on-time instants.
+ScheduledRun RunWithSchedule(report::AppKind app, apps::RuntimeKind runtime, uint64_t seed,
+                             std::vector<uint64_t> fail_at,
+                             const apps::AppOptions& options = {}) {
+  sim::ScriptedScheduler sched(std::move(fail_at), /*off_us=*/700);
+  sim::DeviceConfig config;
+  config.seed = seed;
+  sim::Device dev(config, sched);
+  kernel::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(runtime);
+  rt->Bind(dev, nv);
+  apps::AppOptions opts = options;
+  if (apps::IsEaseioOp(runtime)) {
+    opts.exclude_const_dma = true;
+  }
+  apps::AppHandle handle = Build(app, dev, *rt, nv, opts);
+
+  kernel::Engine engine;
+  const kernel::RunResult result = engine.Run(dev, *rt, nv, handle.graph, handle.entry);
+
+  ScheduledRun out;
+  out.completed = result.completed;
+  out.consistent = result.completed && handle.check_consistent(dev);
+  out.output = handle.collect_output(dev);
+  out.on_us = result.on_us;
+  return out;
+}
+
+// --- Exhaustive single-failure injection ---------------------------------------------------
+
+class FailureInjectionSweep
+    : public ::testing::TestWithParam<std::tuple<report::AppKind, apps::RuntimeKind>> {};
+
+TEST_P(FailureInjectionSweep, EveryFailureInstantPreservesTheGoldenOutput) {
+  const auto [app, runtime] = GetParam();
+  const uint64_t seed = 11;
+
+  const ScheduledRun golden = RunWithSchedule(app, runtime, seed, {});
+  ASSERT_TRUE(golden.completed);
+  ASSERT_TRUE(golden.consistent);
+
+  // Step a single failure through the whole continuous run (odd step so the instants
+  // hit unaligned positions inside multi-cycle operations too).
+  const uint64_t step = std::max<uint64_t>(golden.on_us / 120, 37);
+  for (uint64_t t = 13; t < golden.on_us; t += step) {
+    const ScheduledRun run = RunWithSchedule(app, runtime, seed, {t});
+    ASSERT_TRUE(run.completed) << "failure at " << t;
+    EXPECT_TRUE(run.consistent) << "failure at " << t;
+    EXPECT_EQ(run.output, golden.output) << "failure at " << t;
+  }
+}
+
+// The deterministic workloads: their outputs must match bit-for-bit under EaseIO.
+INSTANTIATE_TEST_SUITE_P(
+    EaseioDeterministicApps, FailureInjectionSweep,
+    ::testing::Combine(::testing::Values(report::AppKind::kDma, report::AppKind::kFir,
+                                         report::AppKind::kLea),
+                       ::testing::Values(apps::RuntimeKind::kEaseio,
+                                         apps::RuntimeKind::kEaseioOp)),
+    [](const auto& info) {
+      std::string name = std::string(ToString(std::get<0>(info.param))) + "_" +
+                         std::string(ToString(std::get<1>(info.param)));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// --- Double-failure injection -----------------------------------------------------------------
+
+class DoubleFailureSweep : public ::testing::TestWithParam<report::AppKind> {};
+
+TEST_P(DoubleFailureSweep, BackToBackFailuresPreserveTheGoldenOutput) {
+  const report::AppKind app = GetParam();
+  const uint64_t seed = 23;
+  const ScheduledRun golden = RunWithSchedule(app, apps::RuntimeKind::kEaseio, seed, {});
+  ASSERT_TRUE(golden.completed);
+
+  const uint64_t step = std::max<uint64_t>(golden.on_us / 40, 101);
+  for (uint64_t t = 29; t < golden.on_us; t += step) {
+    // A second failure lands shortly after the first recovery begins.
+    const ScheduledRun run =
+        RunWithSchedule(app, apps::RuntimeKind::kEaseio, seed, {t, t + 211});
+    ASSERT_TRUE(run.completed) << "failures at " << t;
+    EXPECT_TRUE(run.consistent) << "failures at " << t;
+    EXPECT_EQ(run.output, golden.output) << "failures at " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EaseioApps, DoubleFailureSweep,
+                         ::testing::Values(report::AppKind::kDma, report::AppKind::kFir,
+                                           report::AppKind::kLea),
+                         [](const auto& info) {
+                           std::string name = ToString(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// --- Weather app: internal consistency under injected failures ---------------------------------
+
+TEST(WeatherInjection, SingleBufferStaysConsistentUnderEaseioAtEveryInstant) {
+  apps::AppOptions options;
+  options.single_buffer = true;
+  const ScheduledRun golden =
+      RunWithSchedule(report::AppKind::kWeather, apps::RuntimeKind::kEaseio, 5, {}, options);
+  ASSERT_TRUE(golden.completed);
+
+  const uint64_t step = std::max<uint64_t>(golden.on_us / 90, 53);
+  for (uint64_t t = 17; t < golden.on_us; t += step) {
+    const ScheduledRun run = RunWithSchedule(report::AppKind::kWeather,
+                                             apps::RuntimeKind::kEaseio, 5, {t}, options);
+    ASSERT_TRUE(run.completed) << "failure at " << t;
+    EXPECT_TRUE(run.consistent) << "failure at " << t;
+  }
+}
+
+TEST(WeatherInjection, SingleBufferHasCorruptingInstantsUnderAlpaca) {
+  apps::AppOptions options;
+  options.single_buffer = true;
+  const ScheduledRun golden =
+      RunWithSchedule(report::AppKind::kWeather, apps::RuntimeKind::kAlpaca, 5, {}, options);
+  ASSERT_TRUE(golden.completed);
+
+  uint32_t corrupted = 0;
+  const uint64_t step = std::max<uint64_t>(golden.on_us / 90, 53);
+  for (uint64_t t = 17; t < golden.on_us; t += step) {
+    const ScheduledRun run = RunWithSchedule(report::AppKind::kWeather,
+                                             apps::RuntimeKind::kAlpaca, 5, {t}, options);
+    if (run.completed && !run.consistent) {
+      ++corrupted;
+    }
+  }
+  EXPECT_GT(corrupted, 0u) << "the single-buffer WAR hazard should bite somewhere";
+}
+
+// --- Branch safety at every instant --------------------------------------------------------------
+
+TEST(BranchInjection, ExactlyOneFlagAtEveryFailureInstant) {
+  const ScheduledRun golden =
+      RunWithSchedule(report::AppKind::kBranch, apps::RuntimeKind::kEaseio, 31, {});
+  ASSERT_TRUE(golden.completed);
+  const uint64_t step = std::max<uint64_t>(golden.on_us / 100, 23);
+  for (uint64_t t = 7; t < golden.on_us; t += step) {
+    const ScheduledRun run =
+        RunWithSchedule(report::AppKind::kBranch, apps::RuntimeKind::kEaseio, 31, {t});
+    ASSERT_TRUE(run.completed);
+    EXPECT_TRUE(run.consistent) << "failure at " << t;
+  }
+}
+
+// --- Randomized seed sweeps across the full grid ---------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<
+                      std::tuple<report::AppKind, apps::RuntimeKind>> {};
+
+TEST_P(SeedSweep, StructuralInvariantsHoldUnderRandomSchedules) {
+  const auto [app, runtime] = GetParam();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    report::ExperimentConfig config;
+    config.app = app;
+    config.runtime = runtime;
+    config.seed = seed;
+    config.app_options.single_buffer = false;
+    const report::ExperimentResult r = report::RunExperiment(config);
+
+    ASSERT_TRUE(r.run.completed) << "seed " << seed;
+    // Attribution closes: app + overhead + wasted == total on-time.
+    EXPECT_NEAR(r.run.stats.TotalUs(), static_cast<double>(r.run.on_us), 0.5)
+        << "seed " << seed;
+    // Energy attribution closes too.
+    EXPECT_NEAR(r.run.stats.TotalJ(), r.run.energy_j, r.run.energy_j * 1e-9 + 1e-12);
+    // Counter sanity.
+    EXPECT_GE(r.run.stats.io_executions, r.run.stats.io_redundant);
+    if (runtime == apps::RuntimeKind::kAlpaca || runtime == apps::RuntimeKind::kInk) {
+      EXPECT_EQ(r.run.stats.io_skipped + r.run.stats.dma_skipped, 0u)
+          << "baselines cannot skip I/O";
+    }
+    if (runtime == apps::RuntimeKind::kEaseio || runtime == apps::RuntimeKind::kEaseioOp) {
+      EXPECT_TRUE(r.consistent) << "seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeedSweep,
+    ::testing::Combine(::testing::Values(report::AppKind::kDma, report::AppKind::kTemp,
+                                         report::AppKind::kLea, report::AppKind::kFir,
+                                         report::AppKind::kWeather, report::AppKind::kBranch),
+                       ::testing::Values(apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk,
+                                         apps::RuntimeKind::kEaseio,
+                                         apps::RuntimeKind::kEaseioOp)),
+    [](const auto& info) {
+      std::string name = std::string(ToString(std::get<0>(info.param))) + "_" +
+                         std::string(ToString(std::get<1>(info.param)));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace easeio

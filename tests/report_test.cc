@@ -1,0 +1,116 @@
+// Unit tests for the reporting layer: table rendering, numeric formatting, and the
+// experiment harness's aggregation arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.h"
+#include "report/table.h"
+
+namespace easeio::report {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(Fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Fmt(1.2345, 0), "1");
+  EXPECT_EQ(Fmt(-3.5, 1), "-3.5");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"A", "Bee", "C"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"longer", "x"});  // short rows are padded
+  ::testing::internal::CaptureStdout();
+  table.Print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| A"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Same number of '|' separators on every row.
+  size_t first_bar_count = 0;
+  size_t line_start = 0;
+  int line_no = 0;
+  while (line_start < out.size()) {
+    const size_t line_end = out.find('\n', line_start);
+    const std::string line = out.substr(line_start, line_end - line_start);
+    if (!line.empty() && line[0] == '|') {
+      const size_t bars = static_cast<size_t>(std::count(line.begin(), line.end(), '|'));
+      if (first_bar_count == 0) {
+        first_bar_count = bars;
+      } else {
+        EXPECT_EQ(bars, first_bar_count) << "line " << line_no;
+      }
+    }
+    if (line_end == std::string::npos) {
+      break;
+    }
+    line_start = line_end + 1;
+    ++line_no;
+  }
+}
+
+TEST(Bars, RendersSegmentsAndLegend) {
+  ::testing::internal::CaptureStdout();
+  PrintStackedBars({{"row", {{"App", 2.0}, {"Waste", 1.0}}}}, "ms", 30);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("row"), std::string::npos);
+  EXPECT_NE(out.find("3.0 ms"), std::string::npos);
+  EXPECT_NE(out.find("App 2.0"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(Sweep, AggregatesMeansAndSums) {
+  ExperimentConfig config;
+  config.app = AppKind::kBranch;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.continuous = true;  // deterministic per-seed
+  const Aggregate agg = RunSweep(config, 4);
+  EXPECT_EQ(agg.runs, 4u);
+  EXPECT_EQ(agg.completed, 4u);
+  EXPECT_EQ(agg.correct, 4u);
+  EXPECT_EQ(agg.power_failures, 0u);
+  // Means over identical-cost runs equal a single run's cost.
+  const ExperimentResult one = RunExperiment(config);
+  EXPECT_NEAR(agg.total_us, one.run.stats.TotalUs(), 1.0);
+}
+
+TEST(Sweep, SeedsProduceDistinctSchedules) {
+  ExperimentConfig config;
+  config.app = AppKind::kTemp;
+  config.runtime = apps::RuntimeKind::kAlpaca;
+  config.seed = 1;
+  const ExperimentResult a = RunExperiment(config);
+  config.seed = 2;
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_NE(a.run.on_us, b.run.on_us);
+}
+
+TEST(Experiment, FootprintSnapshotIsPopulated) {
+  ExperimentConfig config;
+  config.app = AppKind::kFir;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.continuous = true;
+  const ExperimentResult r = RunExperiment(config);
+  EXPECT_GT(r.fram_app_bytes, 2000u);   // signal + coefficients
+  EXPECT_GT(r.fram_meta_bytes, 4096u);  // includes the privatization buffer
+  EXPECT_GT(r.sram_bytes, 4000u);       // LEA staging
+  EXPECT_GT(r.code_bytes, 1000u);
+}
+
+TEST(Experiment, EaseioPrivBufferSizeIsConfigurable) {
+  ExperimentConfig config;
+  config.app = AppKind::kTemp;  // no DMA: the buffer is never allocated
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.continuous = true;
+  config.easeio_priv_buffer_bytes = 1234;
+  const ExperimentResult r = RunExperiment(config);
+  // Lazy allocation: a DMA-free app pays no privatization buffer at all.
+  EXPECT_LT(r.fram_meta_bytes, 1500u);
+  ExperimentConfig with_dma = config;
+  with_dma.app = AppKind::kDma;
+  with_dma.easeio_priv_buffer_bytes = 8192;
+  const ExperimentResult r2 = RunExperiment(with_dma);
+  EXPECT_GE(r2.fram_meta_bytes, 8192u);  // the configured buffer is allocated in full
+}
+
+}  // namespace
+}  // namespace easeio::report

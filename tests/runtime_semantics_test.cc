@@ -1,0 +1,333 @@
+// Unit tests for EaseIO's re-execution semantics (Sections 3.1-3.3, 4.2).
+//
+// These tests drive the runtime services directly with a hand-controlled device:
+// `Fail()` emulates a power failure at an exact program point (fold attempt, advance
+// off-time, clear SRAM, notify the runtime), which makes every skip/re-execute
+// decision deterministic and observable.
+
+#include <gtest/gtest.h>
+
+#include "core/easeio_runtime.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio {
+namespace {
+
+namespace k = easeio::kernel;
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  SemanticsTest()
+      : scheduler_({}, /*off_us=*/1000),
+        dev_(MakeConfig(), scheduler_),
+        nv_(dev_.mem()),
+        ctx_(dev_, rt_, nv_) {
+    rt_.Bind(dev_, nv_);
+    ctx_.SetCurrentTaskForTest(0);
+    dev_.Begin();
+  }
+
+  static sim::DeviceConfig MakeConfig() {
+    sim::DeviceConfig config;
+    config.seed = 1;
+    return config;
+  }
+
+  // Emulates a power failure at the current instant with the given dark time.
+  void Fail(uint64_t off_us = 1000) {
+    scheduler_.set_off_us(off_us);
+    dev_.Reboot();
+    rt_.OnReboot();
+  }
+
+  // A configurable scripted scheduler whose off-time tests can change per failure.
+  class OffScheduler : public sim::ScriptedScheduler {
+   public:
+    OffScheduler(std::vector<uint64_t> fail_at, uint64_t off_us)
+        : ScriptedScheduler(std::move(fail_at), off_us) {}
+    void set_off_us(uint64_t off) { off_ = off; }
+    uint64_t OffTimeUs(Xorshift64Star& rng) override {
+      return off_ == 0 ? ScriptedScheduler::OffTimeUs(rng) : off_;
+    }
+
+   private:
+    uint64_t off_ = 0;
+  };
+
+  // An I/O op that counts executions and returns a fresh value each time.
+  k::IoOp Counter(int* count) {
+    return [count](k::TaskCtx& ctx) {
+      ctx.dev().Cpu(100);
+      return static_cast<int16_t>(1000 + (*count)++);
+    };
+  }
+
+  OffScheduler scheduler_;
+  sim::Device dev_;
+  k::NvManager nv_;
+  rt::EaseioRuntime rt_;
+  k::TaskCtx ctx_;
+};
+
+// --- Single ---------------------------------------------------------------------------
+
+TEST_F(SemanticsTest, SingleExecutesExactlyOnceAcrossReboots) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "s", 1, k::IoSemantic::kSingle});
+  int count = 0;
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1000);
+  EXPECT_TRUE(rt_.SiteDone(site));
+
+  Fail();
+  // Re-executed task reaches the same site: skipped, last value restored.
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1000);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(dev_.stats().io_skipped, 1u);
+}
+
+TEST_F(SemanticsTest, SingleRunsAgainAfterTaskCommit) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "s", 1, k::IoSemantic::kSingle});
+  int count = 0;
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  rt_.OnTaskCommit(ctx_);  // the task finished: its I/O state is invalidated
+  EXPECT_FALSE(rt_.SiteDone(site));
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  EXPECT_EQ(count, 2);  // a new incarnation is new work
+}
+
+// --- Timely ---------------------------------------------------------------------------
+
+TEST_F(SemanticsTest, TimelySkipsWhileFresh) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "t", 1, k::IoSemantic::kTimely, 10'000});
+  int count = 0;
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1000);
+  Fail(/*off_us=*/2000);  // 2 ms dark: still inside the 10 ms window
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1000);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SemanticsTest, TimelyReExecutesWhenExpired) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "t", 1, k::IoSemantic::kTimely, 10'000});
+  int count = 0;
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  Fail(/*off_us=*/15'000);  // dark past the freshness window
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1001);
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(SemanticsTest, TimelyExpiresFromOnTimeToo) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "t", 1, k::IoSemantic::kTimely, 10'000});
+  int count = 0;
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  dev_.Cpu(12'000);  // the reading goes stale during execution, no failure needed
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  EXPECT_EQ(count, 2);
+}
+
+// --- Always ---------------------------------------------------------------------------
+
+TEST_F(SemanticsTest, AlwaysReExecutesEveryAttempt) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "a", 1, k::IoSemantic::kAlways});
+  int count = 0;
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  Fail();
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(dev_.stats().io_skipped, 0u);
+  EXPECT_EQ(dev_.stats().io_redundant, 1u);
+}
+
+// --- Lanes (loops) ----------------------------------------------------------------------
+
+TEST_F(SemanticsTest, LanesTrackCompletionIndependently) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "loop", 4, k::IoSemantic::kSingle});
+  int count = 0;
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  rt_.CallIo(ctx_, site, 1, Counter(&count));
+  Fail();
+  // Lanes 0 and 1 completed; 2 and 3 still need their first execution.
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 0, Counter(&count)), 1000);
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 1, Counter(&count)), 1001);
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 2, Counter(&count)), 1002);
+  EXPECT_EQ(rt_.CallIo(ctx_, site, 3, Counter(&count)), 1003);
+  EXPECT_EQ(count, 4);
+}
+
+// --- Blocks and scope precedence (Section 3.3.1) ------------------------------------------
+
+TEST_F(SemanticsTest, SatisfiedSingleBlockSkipsEverythingInside) {
+  const k::IoBlockId blk = rt_.RegisterIoBlock({0, "b", k::IoSemantic::kSingle});
+  const k::IoSiteId always =
+      rt_.RegisterIoSite({0, "a", 1, k::IoSemantic::kAlways, 0, {}, blk});
+  int count = 0;
+
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, always, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, blk);
+  EXPECT_TRUE(rt_.BlockDone(blk));
+
+  Fail();
+  // The completed Single block overrides the inner Always annotation: nothing re-runs.
+  rt_.IoBlockBegin(ctx_, blk);
+  EXPECT_EQ(rt_.CallIo(ctx_, always, 0, Counter(&count)), 1000);
+  rt_.IoBlockEnd(ctx_, blk);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SemanticsTest, ExpiredTimelyBlockForcesInnerSingleToReExecute) {
+  const k::IoBlockId blk = rt_.RegisterIoBlock({0, "b", k::IoSemantic::kTimely, 10'000});
+  const k::IoSiteId single =
+      rt_.RegisterIoSite({0, "s", 1, k::IoSemantic::kSingle, 0, {}, blk});
+  int count = 0;
+
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, single, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, blk);
+
+  Fail(/*off_us=*/20'000);  // block constraint violated
+  rt_.IoBlockBegin(ctx_, blk);
+  EXPECT_EQ(rt_.CallIo(ctx_, single, 0, Counter(&count)), 1001);
+  rt_.IoBlockEnd(ctx_, blk);
+  EXPECT_EQ(count, 2);  // Single re-ran because the enclosing block expired
+}
+
+TEST_F(SemanticsTest, FreshTimelyBlockSkipsInnerAlways) {
+  const k::IoBlockId blk = rt_.RegisterIoBlock({0, "b", k::IoSemantic::kTimely, 10'000});
+  const k::IoSiteId always =
+      rt_.RegisterIoSite({0, "a", 1, k::IoSemantic::kAlways, 0, {}, blk});
+  int count = 0;
+
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, always, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, blk);
+
+  Fail(/*off_us=*/1000);  // still fresh
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, always, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, blk);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(SemanticsTest, OuterBlockOverridesInnerBlock) {
+  // Figure 4: a Single outer block around a Timely inner block. Once the outer block
+  // completed, even an expired inner block must not re-execute.
+  const k::IoBlockId outer = rt_.RegisterIoBlock({0, "outer", k::IoSemantic::kSingle});
+  const k::IoBlockId inner =
+      rt_.RegisterIoBlock({0, "inner", k::IoSemantic::kTimely, 10'000, outer});
+  const k::IoSiteId site =
+      rt_.RegisterIoSite({0, "p", 1, k::IoSemantic::kSingle, 0, {}, inner});
+  int count = 0;
+
+  rt_.IoBlockBegin(ctx_, outer);
+  rt_.IoBlockBegin(ctx_, inner);
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, inner);
+  rt_.IoBlockEnd(ctx_, outer);
+
+  Fail(/*off_us=*/50'000);  // inner window long expired
+  rt_.IoBlockBegin(ctx_, outer);
+  rt_.IoBlockBegin(ctx_, inner);
+  rt_.CallIo(ctx_, site, 0, Counter(&count));
+  rt_.IoBlockEnd(ctx_, inner);
+  rt_.IoBlockEnd(ctx_, outer);
+  EXPECT_EQ(count, 1);  // outer Single has higher scope: nothing re-executed
+}
+
+TEST_F(SemanticsTest, InterruptedBlockResumesInnerOpsByTheirOwnSemantics) {
+  // A block that never completed: inner ops keep their own flags (Figure 3 — temp
+  // completed before the failure is not re-read when the block resumes, humd runs).
+  const k::IoBlockId blk = rt_.RegisterIoBlock({0, "b", k::IoSemantic::kSingle});
+  const k::IoSiteId temp =
+      rt_.RegisterIoSite({0, "temp", 1, k::IoSemantic::kTimely, 50'000, {}, blk});
+  const k::IoSiteId humd =
+      rt_.RegisterIoSite({0, "humd", 1, k::IoSemantic::kAlways, 0, {}, blk});
+  int temp_count = 0;
+  int humd_count = 0;
+
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));
+  Fail();  // dies between the two reads; the block flag is not set
+
+  rt_.IoBlockBegin(ctx_, blk);
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));  // fresh: skipped
+  rt_.CallIo(ctx_, humd, 0, Counter(&humd_count));
+  rt_.IoBlockEnd(ctx_, blk);
+  EXPECT_EQ(temp_count, 1);
+  EXPECT_EQ(humd_count, 1);
+}
+
+// --- Data dependence (Section 3.3.2) --------------------------------------------------------
+
+TEST_F(SemanticsTest, ConsumerReExecutesWhenProducerRan) {
+  const k::IoSiteId temp = rt_.RegisterIoSite({0, "temp", 1, k::IoSemantic::kTimely, 5'000});
+  const k::IoSiteId send =
+      rt_.RegisterIoSite({0, "send", 1, k::IoSemantic::kSingle, 0, {temp}});
+  int temp_count = 0;
+  int send_count = 0;
+
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));
+  rt_.CallIo(ctx_, send, 0, Counter(&send_count));
+
+  Fail(/*off_us=*/8'000);  // temp expired, send is Single-complete
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));  // re-reads
+  rt_.CallIo(ctx_, send, 0, Counter(&send_count));  // must re-send the fresh value
+  EXPECT_EQ(temp_count, 2);
+  EXPECT_EQ(send_count, 2);
+}
+
+TEST_F(SemanticsTest, ConsumerSkipsWhenProducerSkipped) {
+  const k::IoSiteId temp = rt_.RegisterIoSite({0, "temp", 1, k::IoSemantic::kTimely, 60'000});
+  const k::IoSiteId send =
+      rt_.RegisterIoSite({0, "send", 1, k::IoSemantic::kSingle, 0, {temp}});
+  int temp_count = 0;
+  int send_count = 0;
+
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));
+  rt_.CallIo(ctx_, send, 0, Counter(&send_count));
+  Fail();
+  rt_.CallIo(ctx_, temp, 0, Counter(&temp_count));
+  rt_.CallIo(ctx_, send, 0, Counter(&send_count));
+  EXPECT_EQ(temp_count, 1);
+  EXPECT_EQ(send_count, 1);
+}
+
+// --- Unsafe-branch protection (Section 3.5) ---------------------------------------------------
+
+TEST_F(SemanticsTest, RestoredValuePreservesControlFlow) {
+  const k::IoSiteId site = rt_.RegisterIoSite({0, "s", 1, k::IoSemantic::kSingle});
+  int16_t observed_first = 0;
+  int16_t observed_second = 0;
+  int count = 0;
+
+  observed_first = rt_.CallIo(ctx_, site, 0, Counter(&count));
+  Fail();
+  // Even though a real sensor would now return something else, the restored private
+  // copy guarantees the same branch decisions.
+  observed_second = rt_.CallIo(ctx_, site, 0, [](k::TaskCtx&) {
+    ADD_FAILURE() << "skipped operation must not execute";
+    return static_cast<int16_t>(-1);
+  });
+  EXPECT_EQ(observed_first, observed_second);
+}
+
+// --- Commit atomicity -------------------------------------------------------------------------
+
+TEST_F(SemanticsTest, CommitInvalidationIsAllOrNothing) {
+  // Two Single sites committed together: a failure *during* the commit must leave
+  // either both flags set (commit retried) or both cleared (commit landed). The
+  // engine-level failure-injection sweep in property_test.cc covers every instant;
+  // here we check the two boundary states directly.
+  const k::IoSiteId a = rt_.RegisterIoSite({0, "a", 1, k::IoSemantic::kSingle});
+  const k::IoSiteId b = rt_.RegisterIoSite({0, "b", 1, k::IoSemantic::kSingle});
+  int count = 0;
+  rt_.CallIo(ctx_, a, 0, Counter(&count));
+  rt_.CallIo(ctx_, b, 0, Counter(&count));
+  EXPECT_TRUE(rt_.SiteDone(a));
+  EXPECT_TRUE(rt_.SiteDone(b));
+  rt_.OnTaskCommit(ctx_);
+  EXPECT_FALSE(rt_.SiteDone(a));
+  EXPECT_FALSE(rt_.SiteDone(b));
+}
+
+}  // namespace
+}  // namespace easeio

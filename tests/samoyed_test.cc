@@ -1,0 +1,134 @@
+// Tests for the Samoyed-style atomic-function baseline (extension beyond the paper's
+// evaluated systems; see baselines/samoyed.h).
+
+#include <gtest/gtest.h>
+
+#include "baselines/samoyed.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace easeio::baseline {
+namespace {
+
+namespace k = easeio::kernel;
+
+sim::DeviceConfig Config() {
+  sim::DeviceConfig config;
+  config.seed = 1;
+  return config;
+}
+
+TEST(Samoyed, AtomicFunctionRollsBackPartialNvWrites) {
+  // An atomic function writes two NV variables; a failure between the writes must
+  // roll the first one back before the task re-executes.
+  sim::ScriptedScheduler sched({2000}, 100);
+  sim::Device dev(Config(), sched);
+  k::NvManager nv(dev.mem());
+  SamoyedRuntime rt;
+  rt.Bind(dev, nv);
+  const k::NvSlotId a = nv.Define("a", 2);
+  const k::NvSlotId b = nv.Define("b", 2);
+  const k::IoBlockId atomic = rt.RegisterIoBlock({0, "atomic"});
+
+  k::TaskGraph graph;
+  const k::TaskId t = graph.Add("fn", [&](k::TaskCtx& ctx) {
+    // The consistency contract: a and b always move together.
+    ctx.IoBlockBegin(atomic);
+    const uint16_t next = static_cast<uint16_t>(ctx.NvLoad16(a) + 1);
+    ctx.NvStore16(a, next);
+    ctx.Cpu(3000);  // the first attempt dies here, between the two writes
+    ctx.NvStore16(b, next);
+    ctx.IoBlockEnd(atomic);
+    return k::kTaskDone;
+  });
+
+  k::Engine engine;
+  const k::RunResult r = engine.Run(dev, rt, nv, graph, t);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(rt.rollbacks(), 1u);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(a).addr), 1);  // incremented exactly once
+  EXPECT_EQ(dev.mem().Read16(nv.slot(b).addr), 1);  // and the pair stayed consistent
+}
+
+TEST(Samoyed, WritesOutsideAtomicFunctionsAreUnprotected) {
+  // The same increment pattern without an atomic function shows the raw task-model
+  // double-apply (which Table 1 marks against every baseline).
+  sim::ScriptedScheduler sched({1000}, 100);
+  sim::Device dev(Config(), sched);
+  k::NvManager nv(dev.mem());
+  SamoyedRuntime rt;
+  rt.Bind(dev, nv);
+  const k::NvSlotId x = nv.Define("x", 2);
+
+  k::TaskGraph graph;
+  const k::TaskId t = graph.Add("inc", [&](k::TaskCtx& ctx) {
+    ctx.NvStore16(x, static_cast<uint16_t>(ctx.NvLoad16(x) + 7));
+    ctx.Cpu(2000);
+    return k::kTaskDone;
+  });
+
+  k::Engine engine;
+  engine.Run(dev, rt, nv, graph, t);
+  EXPECT_EQ(dev.mem().Read16(nv.slot(x).addr), 14);
+  EXPECT_EQ(rt.rollbacks(), 0u);
+}
+
+TEST(Samoyed, CommittedAtomicFunctionIsNotRolledBack) {
+  sim::ScriptedScheduler sched({4000}, 100);
+  sim::Device dev(Config(), sched);
+  k::NvManager nv(dev.mem());
+  SamoyedRuntime rt;
+  rt.Bind(dev, nv);
+  const k::NvSlotId a = nv.Define("a", 2);
+  const k::IoBlockId atomic = rt.RegisterIoBlock({0, "atomic"});
+
+  k::TaskGraph graph;
+  const k::TaskId t = graph.Add("fn", [&](k::TaskCtx& ctx) {
+    ctx.IoBlockBegin(atomic);
+    ctx.NvStore16(a, static_cast<uint16_t>(ctx.NvLoad16(a) + 1));
+    ctx.IoBlockEnd(atomic);  // commits well before the failure at t=4000
+    ctx.Cpu(6000);           // dies here; re-execution re-runs the whole function
+    return k::kTaskDone;
+  });
+
+  k::Engine engine;
+  const k::RunResult r = engine.Run(dev, rt, nv, graph, t);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(rt.rollbacks(), 0u);
+  // No rollback — but also no re-execution semantics: the committed function ran
+  // again, double-applying the increment. Exactly the paper's Table 1 row.
+  EXPECT_EQ(dev.mem().Read16(nv.slot(a).addr), 2);
+}
+
+TEST(Samoyed, AtomicIoStillReExecutes) {
+  // Even inside atomic functions all I/O repeats on failure (no Single semantics).
+  sim::ScriptedScheduler sched({3000}, 100);
+  sim::Device dev(Config(), sched);
+  k::NvManager nv(dev.mem());
+  SamoyedRuntime rt;
+  rt.Bind(dev, nv);
+  const k::IoBlockId atomic = rt.RegisterIoBlock({0, "atomic"});
+  const k::IoSiteId site = rt.RegisterIoSite({0, "send", 1, k::IoSemantic::kSingle});
+
+  int sends = 0;
+  k::TaskGraph graph;
+  const k::TaskId t = graph.Add("fn", [&](k::TaskCtx& ctx) {
+    ctx.IoBlockBegin(atomic);
+    ctx.CallIo(site, [&sends](k::TaskCtx& c) {
+      c.Cpu(500);
+      ++sends;
+      return static_cast<int16_t>(0);
+    });
+    ctx.Cpu(4000);
+    ctx.IoBlockEnd(atomic);
+    return k::kTaskDone;
+  });
+
+  k::Engine engine;
+  const k::RunResult r = engine.Run(dev, rt, nv, graph, t);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(sends, 2);  // Samoyed ignores the Single annotation: the send repeated
+}
+
+}  // namespace
+}  // namespace easeio::baseline

@@ -1,0 +1,400 @@
+// Unit tests for the simulated-device substrate: memory, energy, clock, failure
+// schedulers, harvesters, peripherals, DMA engine, and the LEA accelerator.
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.h"
+#include "platform/rng.h"
+#include "sim/device.h"
+
+namespace easeio::sim {
+namespace {
+
+DeviceConfig Config(uint64_t seed = 1) {
+  DeviceConfig config;
+  config.seed = seed;
+  return config;
+}
+
+// --- Memory ---------------------------------------------------------------------------
+
+TEST(Memory, ClassifiesAddressSpaces) {
+  Memory mem;
+  const uint32_t sram = mem.AllocSram("s", 16);
+  const uint32_t fram = mem.AllocFram("f", 16);
+  EXPECT_EQ(mem.Classify(sram), MemKind::kSram);
+  EXPECT_EQ(mem.Classify(fram), MemKind::kFram);
+}
+
+TEST(Memory, SramIsVolatileFramPersists) {
+  Memory mem;
+  const uint32_t sram = mem.AllocSram("s", 4);
+  const uint32_t fram = mem.AllocFram("f", 4);
+  mem.Write16(sram, 0xAAAA);
+  mem.Write16(fram, 0xBBBB);
+  mem.OnReboot();
+  EXPECT_EQ(mem.Read16(sram), 0);
+  EXPECT_EQ(mem.Read16(fram), 0xBBBB);
+  EXPECT_EQ(mem.reboot_epoch(), 1u);
+}
+
+TEST(Memory, WordAccessorsRoundTrip) {
+  Memory mem;
+  const uint32_t a = mem.AllocFram("a", 8);
+  mem.Write32(a, 0xDEADBEEF);
+  EXPECT_EQ(mem.Read32(a), 0xDEADBEEFu);
+  EXPECT_EQ(mem.Read16(a), 0xBEEF);
+  EXPECT_EQ(mem.Read8(a + 3), 0xDE);
+  mem.WriteI16(a + 4, -123);
+  EXPECT_EQ(mem.ReadI16(a + 4), -123);
+}
+
+TEST(Memory, CopyAndFill) {
+  Memory mem;
+  const uint32_t a = mem.AllocFram("a", 16);
+  const uint32_t b = mem.AllocFram("b", 16);
+  mem.Fill(a, 16, 0x5A);
+  mem.Copy(b, a, 16);
+  EXPECT_EQ(mem.Read8(b + 15), 0x5A);
+}
+
+TEST(Memory, OutOfRangeAccessAborts) {
+  Memory mem;
+  EXPECT_DEATH(mem.Read16(0x10), "out of range");
+}
+
+TEST(Memory, ArenaExhaustionAborts) {
+  Memory mem(64, 1024);
+  mem.AllocSram("a", 60);
+  EXPECT_DEATH(mem.AllocSram("b", 60), "exhausted");
+}
+
+TEST(Memory, FootprintAccountingByPurpose) {
+  Memory mem;
+  mem.AllocFram("app", 100, AllocPurpose::kAppData);
+  mem.AllocFram("meta", 10, AllocPurpose::kRuntimeMeta);
+  mem.AllocFram("buf", 50, AllocPurpose::kPrivBuffer);
+  EXPECT_EQ(mem.AllocatedBytes(MemKind::kFram, AllocPurpose::kAppData), 100u);
+  EXPECT_EQ(mem.AllocatedBytes(MemKind::kFram, AllocPurpose::kRuntimeMeta), 10u);
+  EXPECT_EQ(mem.AllocatedBytes(MemKind::kFram, AllocPurpose::kPrivBuffer), 50u);
+  EXPECT_EQ(mem.AllocatedBytes(MemKind::kFram), 160u);
+}
+
+// --- Energy ----------------------------------------------------------------------------
+
+TEST(Capacitor, StoresHalfCVSquared) {
+  Capacitor cap(1e-3, 3.0, 1.8, 3.6);
+  EXPECT_NEAR(cap.StoredJ(), 0.5 * 1e-3 * 3.6 * 3.6, 1e-9);
+  EXPECT_NEAR(cap.UsableJ(), 0.5 * 1e-3 * (3.6 * 3.6 - 1.8 * 1.8), 1e-9);
+}
+
+TEST(Capacitor, DrawBrownsOutAtThreshold) {
+  Capacitor cap(1e-6, 3.0, 1.8, 3.6);
+  EXPECT_TRUE(cap.Draw(cap.UsableJ() * 0.5));
+  EXPECT_FALSE(cap.BelowOff());
+  EXPECT_FALSE(cap.Draw(cap.UsableJ() * 2));
+  EXPECT_TRUE(cap.BelowOff());
+}
+
+TEST(Capacitor, ChargeClampsAtRail) {
+  Capacitor cap(1e-6, 3.0, 1.8, 3.6);
+  cap.Draw(cap.UsableJ());
+  cap.Charge(1.0);  // absurdly large
+  EXPECT_NEAR(cap.voltage(), 3.6, 1e-9);
+}
+
+TEST(EnergyMeter, TalliesPerPhase) {
+  EnergyMeter meter;
+  meter.Add(Phase::kApp, 1e-6);
+  meter.Add(Phase::kOverhead, 2e-6);
+  meter.Add(Phase::kRedundant, 3e-6);
+  EXPECT_NEAR(meter.TotalJ(), 6e-6, 1e-12);
+  EXPECT_NEAR(meter.PhaseJ(Phase::kOverhead), 2e-6, 1e-12);
+}
+
+// --- Clock / timekeeper -----------------------------------------------------------------
+
+TEST(Clock, TracksOnAndOffTime) {
+  SimClock clock;
+  clock.AdvanceOn(100);
+  clock.AdvanceOff(50);
+  EXPECT_EQ(clock.on_us(), 100u);
+  EXPECT_EQ(clock.off_us(), 50u);
+  EXPECT_EQ(clock.wall_us(), 150u);
+}
+
+TEST(Timekeeper, QuantisesWallTime) {
+  SimClock clock;
+  PersistentTimekeeper tk(clock, 100);
+  clock.AdvanceOn(257);
+  EXPECT_EQ(tk.NowUs(), 200u);
+  clock.AdvanceOff(50);  // survives power failure: counts off-time too
+  EXPECT_EQ(tk.NowUs(), 300u);
+}
+
+// --- Failure schedulers --------------------------------------------------------------------
+
+TEST(Failure, UniformTimerStaysInBounds) {
+  SimClock clock;
+  Xorshift64Star rng(7);
+  UniformTimerScheduler sched(5000, 20000, 1000, 2000);
+  for (int i = 0; i < 200; ++i) {
+    sched.OnPowerOn(clock, rng);
+    const uint64_t budget = sched.OnTimeBudgetUs(clock);
+    EXPECT_GE(budget, 5000u);
+    EXPECT_LE(budget, 20000u);
+    const uint64_t off = sched.OffTimeUs(rng);
+    EXPECT_GE(off, 1000u);
+    EXPECT_LE(off, 2000u);
+    clock.AdvanceOn(budget);
+  }
+}
+
+TEST(Failure, ScriptedFiresAtExactInstants) {
+  SimClock clock;
+  Xorshift64Star rng(1);
+  ScriptedScheduler sched({100, 250}, 10);
+  Capacitor cap;
+  sched.OnPowerOn(clock, rng);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 100u);
+  clock.AdvanceOn(100);
+  EXPECT_TRUE(sched.FailNow(clock, cap));
+  sched.OnPowerOn(clock, rng);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 150u);
+}
+
+TEST(Failure, DeviceThrowsAtScriptedInstant) {
+  ScriptedScheduler sched({500}, 10);
+  Device dev(Config(), sched);
+  dev.Begin();
+  dev.Cpu(400);
+  EXPECT_THROW(dev.Cpu(200), PowerFailure);
+  // The clock stopped exactly at the failure instant, not past it.
+  EXPECT_EQ(dev.clock().on_us(), 500u);
+}
+
+// --- Harvesters ------------------------------------------------------------------------------
+
+TEST(Harvester, RfFollowsInverseSquare) {
+  RfHarvester near(52.0, 1e-3, 52.0);
+  RfHarvester far(104.0, 1e-3, 52.0);
+  EXPECT_NEAR(near.PowerW(0), 1e-3, 1e-12);
+  EXPECT_NEAR(far.PowerW(0), 0.25e-3, 1e-12);
+}
+
+TEST(Harvester, JitterIsDeterministicAndBounded) {
+  RfHarvester h(52.0, 1e-3, 52.0, 0.3, /*seed=*/42);
+  RfHarvester same(52.0, 1e-3, 52.0, 0.3, /*seed=*/42);
+  for (uint64_t t = 0; t < 100'000; t += 7'000) {
+    const double p = h.PowerW(t);
+    EXPECT_DOUBLE_EQ(p, same.PowerW(t));
+    EXPECT_GE(p, 0.7e-3 - 1e-12);
+    EXPECT_LE(p, 1.3e-3 + 1e-12);
+  }
+}
+
+TEST(Harvester, TraceSampleAndHold) {
+  TraceHarvester trace({{0, 1e-3}, {100, 2e-3}, {200, 0.5e-3}});
+  EXPECT_DOUBLE_EQ(trace.PowerW(50), 1e-3);
+  EXPECT_DOUBLE_EQ(trace.PowerW(150), 2e-3);
+  EXPECT_DOUBLE_EQ(trace.PowerW(5000), 0.5e-3);
+}
+
+// --- Device charging ---------------------------------------------------------------------------
+
+TEST(Device, PhaseAttributionFollowsScope) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  dev.Cpu(100);
+  {
+    Device::PhaseScope scope(dev, Phase::kOverhead);
+    dev.Cpu(40);
+  }
+  dev.Cpu(10);
+  EXPECT_DOUBLE_EQ(dev.stats().attempt_us[0], 110.0);
+  EXPECT_DOUBLE_EQ(dev.stats().attempt_us[1], 40.0);
+}
+
+TEST(Device, CommittedAndFailedAttemptsFoldDifferently) {
+  ScriptedScheduler sched({1000}, 100);
+  Device dev(Config(), sched);
+  dev.Begin();
+  dev.Cpu(500);
+  dev.FoldAttemptCommitted();
+  EXPECT_THROW(dev.Cpu(1000), PowerFailure);
+  dev.Reboot();
+  EXPECT_DOUBLE_EQ(dev.stats().app_us, 500.0);
+  EXPECT_DOUBLE_EQ(dev.stats().wasted_us, 500.0);  // the second attempt died
+  EXPECT_EQ(dev.stats().power_failures, 1u);
+}
+
+TEST(Device, MemoryAccessCostsDifferByKind) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t sram = dev.mem().AllocSram("s", 4);
+  const uint32_t fram = dev.mem().AllocFram("f", 4);
+  const uint64_t t0 = dev.clock().on_us();
+  dev.StoreWord(sram, 1);
+  const uint64_t sram_cost = dev.clock().on_us() - t0;
+  const uint64_t t1 = dev.clock().on_us();
+  dev.StoreWord(fram, 1);
+  const uint64_t fram_cost = dev.clock().on_us() - t1;
+  EXPECT_LT(sram_cost, fram_cost);
+}
+
+// --- Peripherals -----------------------------------------------------------------------------
+
+TEST(Peripherals, SensorValuesDriftOverTime) {
+  NeverFailScheduler never;
+  Device dev(Config(3), never);
+  dev.Begin();
+  const int16_t a = dev.temp().Read(dev);
+  // Let significant time pass: the underlying signal moves.
+  for (int i = 0; i < 100; ++i) {
+    dev.Cpu(10'000);
+  }
+  const int16_t b = dev.temp().Read(dev);
+  EXPECT_NE(a, b);
+}
+
+TEST(Peripherals, RadioLogsCompletedSendsOnly) {
+  ScriptedScheduler sched({100}, 10);
+  Device dev(Config(), sched);
+  dev.Begin();
+  const uint32_t buf = dev.mem().AllocFram("b", 8);
+  EXPECT_THROW(dev.radio().Send(dev, buf, 8), PowerFailure);  // dies mid-wake
+  EXPECT_EQ(dev.radio().sends(), 0u);
+  dev.Reboot();
+  dev.radio().Send(dev, buf, 8);
+  EXPECT_EQ(dev.radio().sends(), 1u);
+}
+
+TEST(Peripherals, CameraRecaptureDiffers) {
+  NeverFailScheduler never;
+  Device dev(Config(5), never);
+  dev.Begin();
+  const uint32_t buf = dev.mem().AllocFram("img", 64);
+  dev.camera().Capture(dev, buf, 64);
+  const uint16_t first = dev.mem().Read16(buf);
+  dev.Cpu(50'000);
+  dev.camera().Capture(dev, buf, 64);
+  EXPECT_NE(dev.mem().Read16(buf), first);
+}
+
+// --- DMA engine ---------------------------------------------------------------------------------
+
+TEST(Dma, AbortedTransferMovesNoBytes) {
+  ScriptedScheduler sched({100}, 10);
+  Device dev(Config(), sched);
+  dev.Begin();
+  const uint32_t src = dev.mem().AllocFram("src", 256);
+  const uint32_t dst = dev.mem().AllocFram("dst", 256);
+  dev.mem().Fill(src, 256, 0x77);
+  EXPECT_THROW(dev.dma().Copy(dev, dst, src, 256), PowerFailure);
+  EXPECT_EQ(dev.mem().Read8(dst), 0);  // nothing landed
+  EXPECT_EQ(dev.dma().transfers(), 0u);
+}
+
+TEST(Dma, CompletedTransferReportsKinds) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t src = dev.mem().AllocFram("src", 32);
+  const uint32_t dst = dev.mem().AllocSram("dst", 32);
+  const auto info = dev.dma().Copy(dev, dst, src, 32);
+  EXPECT_EQ(info.src_kind, MemKind::kFram);
+  EXPECT_EQ(info.dst_kind, MemKind::kSram);
+  EXPECT_EQ(dev.dma().bytes_moved(), 32u);
+}
+
+// --- LEA -----------------------------------------------------------------------------------------
+
+TEST(Lea, FirMatchesReference) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  constexpr uint32_t kOut = 16, kTaps = 4, kIn = kOut + kTaps - 1;
+  const uint32_t src = dev.mem().AllocSram("src", kIn * 2);
+  const uint32_t coef = dev.mem().AllocSram("coef", kTaps * 2);
+  const uint32_t dst = dev.mem().AllocSram("dst", kOut * 2);
+  std::vector<int16_t> in(kIn), c(kTaps);
+  for (uint32_t i = 0; i < kIn; ++i) {
+    in[i] = static_cast<int16_t>(i * 100 - 500);
+    dev.mem().WriteI16(src + 2 * i, in[i]);
+  }
+  for (uint32_t i = 0; i < kTaps; ++i) {
+    c[i] = static_cast<int16_t>(4000 - i * 700);
+    dev.mem().WriteI16(coef + 2 * i, c[i]);
+  }
+  dev.lea().Fir(dev, src, coef, dst, kOut, kTaps);
+  const auto expect = apps::ref::Fir(in, c, kOut);
+  for (uint32_t i = 0; i < kOut; ++i) {
+    EXPECT_EQ(dev.mem().ReadI16(dst + 2 * i), expect[i]) << i;
+  }
+}
+
+TEST(Lea, RejectsFramOperands) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  const uint32_t fram = dev.mem().AllocFram("f", 64);
+  const uint32_t sram = dev.mem().AllocSram("s", 64);
+  EXPECT_DEATH(dev.lea().Fir(dev, fram, sram, sram, 8, 4), "SRAM");
+}
+
+TEST(Lea, ConvAndFcMatchReference) {
+  NeverFailScheduler never;
+  Device dev(Config(), never);
+  dev.Begin();
+  constexpr uint32_t kH = 6, kW = 6, kK = 3;
+  const uint32_t img = dev.mem().AllocSram("img", kH * kW * 2);
+  const uint32_t ker = dev.mem().AllocSram("ker", kK * kK * 2);
+  const uint32_t out = dev.mem().AllocSram("out", 16 * 2);
+  std::vector<int16_t> image(kH * kW), kernel(kK * kK);
+  for (uint32_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<int16_t>((i * 37) % 251 - 120);
+    dev.mem().WriteI16(img + 2 * i, image[i]);
+  }
+  for (uint32_t i = 0; i < kernel.size(); ++i) {
+    kernel[i] = static_cast<int16_t>(900 - 200 * static_cast<int32_t>(i));
+    dev.mem().WriteI16(ker + 2 * i, kernel[i]);
+  }
+  dev.lea().Conv2dValid(dev, img, ker, out, kH, kW, kK);
+  const auto expect = apps::ref::Conv2dValid(image, kernel, kH, kW, kK);
+  for (uint32_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(dev.mem().ReadI16(out + 2 * i), expect[i]) << i;
+  }
+
+  dev.lea().Relu(dev, out, static_cast<uint32_t>(expect.size()));
+  const auto relu = apps::ref::Relu(expect);
+  for (uint32_t i = 0; i < relu.size(); ++i) {
+    EXPECT_EQ(dev.mem().ReadI16(out + 2 * i), relu[i]) << i;
+  }
+}
+
+// --- RNG -------------------------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Xorshift64Star a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, RangesAreInclusive) {
+  Xorshift64Star rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+}  // namespace
+}  // namespace easeio::sim

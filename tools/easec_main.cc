@@ -1,0 +1,220 @@
+// easec — the EaseIO compiler front-end as a command-line tool (the counterpart of
+// the original artifact's easeIO-c LibTooling binary).
+//
+// Usage:
+//   easec [options] <source.ec>
+//   easec [options] -            # read the program from stdin
+//
+// Options:
+//   --emit-transform    print the source-to-source transformation (default)
+//   --emit-analysis     print the extracted sites/blocks/DMAs/regions/dependences
+//   --run=<runtime>     execute under emulated power failures:
+//                       easeio | easeio-op | alpaca | ink | samoyed
+//   --continuous        run under continuous power instead
+//   --seed=<n>          failure/sensor seed for --run (default 1)
+//   --priv-buffer=<n>   DMA privatization budget for the compile-time check
+//                       (bytes, default 4096; 0 disables the check)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "apps/runtime_factory.h"
+#include "easec/program.h"
+#include "kernel/engine.h"
+#include "sim/failure.h"
+
+namespace {
+
+using namespace easeio;
+
+void PrintAnalysis(const easec::CompileResult& compiled) {
+  const easec::Analysis& a = compiled.analysis;
+  std::printf("tasks: %zu, io sites: %zu, io blocks: %zu, dma sites: %zu\n",
+              a.tasks.size(), a.sites.size(), a.blocks.size(), a.dmas.size());
+  for (uint32_t i = 0; i < a.sites.size(); ++i) {
+    const easec::IoSiteInfo& s = a.sites[i];
+    std::printf("  site %u: %s in task %s, %s", i, s.fn_name.c_str(),
+                a.tasks[s.task].name.c_str(), kernel::ToString(s.sem));
+    if (s.sem == kernel::IoSemantic::kTimely) {
+      std::printf("(%llu ms)", static_cast<unsigned long long>(s.window_us / 1000));
+    }
+    if (s.lanes > 1) {
+      std::printf(", %u lanes", s.lanes);
+    }
+    if (s.block != UINT32_MAX) {
+      std::printf(", in block %u", s.block);
+    }
+    for (uint32_t dep : s.depends_on) {
+      std::printf(", depends on site %u", dep);
+    }
+    std::printf("\n");
+  }
+  for (uint32_t b = 0; b < a.blocks.size(); ++b) {
+    const easec::BlockInfo& blk = a.blocks[b];
+    std::printf("  block %u: %s in task %s, %s%s\n", b, blk.name.c_str(),
+                a.tasks[blk.task].name.c_str(), kernel::ToString(blk.sem),
+                blk.parent == UINT32_MAX ? "" : " (nested)");
+  }
+  for (uint32_t d = 0; d < a.dmas.size(); ++d) {
+    const easec::DmaInfo& dma = a.dmas[d];
+    std::printf("  dma %u: task %s, region boundary %u, %u bytes%s%s\n", d,
+                a.tasks[dma.task].name.c_str(), dma.region_index, dma.bytes,
+                dma.exclude ? ", Exclude" : "",
+                dma.related_io != UINT32_MAX ? ", I/O-dependent" : "");
+  }
+  for (uint32_t t = 0; t < a.tasks.size(); ++t) {
+    const easec::TaskInfo& task = a.tasks[t];
+    std::printf("  task %s: %zu region(s), %zu shared var(s), %zu WAR var(s)\n",
+                task.name.c_str(), task.regions.size(), task.shared.size(),
+                task.war.size());
+  }
+  std::printf("  worst-case Private DMA footprint: %u bytes\n", a.private_dma_bytes);
+}
+
+int RunProgram(const easec::CompileResult& compiled, const std::string& runtime_name,
+               uint64_t seed, bool continuous) {
+  apps::RuntimeKind kind;
+  if (runtime_name == "easeio") {
+    kind = apps::RuntimeKind::kEaseio;
+  } else if (runtime_name == "easeio-op") {
+    kind = apps::RuntimeKind::kEaseioOp;
+  } else if (runtime_name == "alpaca") {
+    kind = apps::RuntimeKind::kAlpaca;
+  } else if (runtime_name == "ink") {
+    kind = apps::RuntimeKind::kInk;
+  } else if (runtime_name == "samoyed") {
+    kind = apps::RuntimeKind::kSamoyed;
+  } else {
+    std::fprintf(stderr, "easec: unknown runtime '%s'\n", runtime_name.c_str());
+    return 2;
+  }
+
+  sim::NeverFailScheduler never;
+  sim::UniformTimerScheduler timer(5000, 20000, 200, 1000);
+  sim::DeviceConfig config;
+  config.seed = seed;
+  sim::Device dev(config, continuous ? static_cast<sim::FailureScheduler&>(never)
+                                     : static_cast<sim::FailureScheduler&>(timer));
+  kernel::NvManager nv(dev.mem());
+  auto rt = apps::MakeRuntime(kind);
+  rt->Bind(dev, nv);
+  easec::InstantiatedProgram prog = easec::Instantiate(compiled, dev, *rt, nv);
+
+  kernel::Engine engine;
+  const kernel::RunResult result = engine.Run(dev, *rt, nv, prog.graph, prog.entry);
+
+  std::printf("runtime:        %s (%s power, seed %llu)\n", rt->name(),
+              continuous ? "continuous" : "intermittent",
+              static_cast<unsigned long long>(seed));
+  std::printf("completed:      %s\n", result.completed ? "yes" : "NO (non-terminating)");
+  std::printf("power failures: %llu\n",
+              static_cast<unsigned long long>(result.stats.power_failures));
+  std::printf("io executed:    %llu (redundant %llu, skipped %llu)\n",
+              static_cast<unsigned long long>(result.stats.io_executions),
+              static_cast<unsigned long long>(result.stats.io_redundant),
+              static_cast<unsigned long long>(result.stats.io_skipped));
+  std::printf("radio packets:  %llu\n",
+              static_cast<unsigned long long>(dev.radio().sends()));
+  std::printf("time:           %.3f ms (app %.3f + overhead %.3f + wasted %.3f)\n",
+              result.stats.TotalUs() / 1e3, result.stats.app_us / 1e3,
+              result.stats.overhead_us / 1e3, result.stats.wasted_us / 1e3);
+  std::printf("energy:         %.1f uJ\n", result.energy_j * 1e6);
+
+  // Final non-volatile state of the program's globals.
+  std::printf("final __nv state:\n");
+  for (uint32_t i = 0; i < compiled.ast.nv_decls.size(); ++i) {
+    const easec::NvDecl& decl = compiled.ast.nv_decls[i];
+    if (decl.sram || prog.nv_slots[i] == kernel::kNoSlot) {
+      continue;
+    }
+    const uint32_t addr = nv.slot(prog.nv_slots[i]).addr;
+    std::printf("  %s =", decl.name.c_str());
+    const uint32_t show = decl.elements > 8 ? 8 : decl.elements;
+    for (uint32_t e = 0; e < show; ++e) {
+      std::printf(" %d", dev.mem().ReadI16(addr + 2 * e));
+    }
+    std::printf(decl.elements > 8 ? " ...\n" : "\n");
+  }
+  return result.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool emit_transform = false;
+  bool emit_analysis = false;
+  bool continuous = false;
+  std::string run_runtime;
+  std::string input_path;
+  uint64_t seed = 1;
+  easec::CompileOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit-transform") {
+      emit_transform = true;
+    } else if (arg == "--emit-analysis") {
+      emit_analysis = true;
+    } else if (arg.rfind("--run=", 0) == 0) {
+      run_runtime = arg.substr(6);
+    } else if (arg == "--run") {
+      run_runtime = "easeio";
+    } else if (arg == "--continuous") {
+      continuous = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--priv-buffer=", 0) == 0) {
+      options.dma_priv_buffer_bytes =
+          static_cast<uint32_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "easec: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      input_path = arg;
+    }
+  }
+  if (input_path.empty()) {
+    std::fprintf(stderr, "usage: easec [options] <source.ec | ->\n");
+    return 2;
+  }
+
+  std::string source;
+  if (input_path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    source = buf.str();
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "easec: cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  const easec::CompileResult compiled = easec::Compile(source, options);
+  if (!compiled.ok) {
+    std::fprintf(stderr, "%s", compiled.errors.c_str());
+    return 1;
+  }
+
+  if (!emit_transform && !emit_analysis && run_runtime.empty()) {
+    emit_transform = true;  // default action
+  }
+  if (emit_analysis) {
+    PrintAnalysis(compiled);
+  }
+  if (emit_transform) {
+    std::printf("%s", compiled.transformed_source.c_str());
+  }
+  if (!run_runtime.empty()) {
+    return RunProgram(compiled, run_runtime, seed, continuous);
+  }
+  return 0;
+}
