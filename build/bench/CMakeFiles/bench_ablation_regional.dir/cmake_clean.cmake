@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regional.dir/bench_ablation_regional.cc.o"
+  "CMakeFiles/bench_ablation_regional.dir/bench_ablation_regional.cc.o.d"
+  "bench_ablation_regional"
+  "bench_ablation_regional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

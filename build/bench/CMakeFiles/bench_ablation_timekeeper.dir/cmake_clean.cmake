@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timekeeper.dir/bench_ablation_timekeeper.cc.o"
+  "CMakeFiles/bench_ablation_timekeeper.dir/bench_ablation_timekeeper.cc.o.d"
+  "bench_ablation_timekeeper"
+  "bench_ablation_timekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_samoyed.dir/bench_ext_samoyed.cc.o"
+  "CMakeFiles/bench_ext_samoyed.dir/bench_ext_samoyed.cc.o.d"
+  "bench_ext_samoyed"
+  "bench_ext_samoyed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_samoyed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

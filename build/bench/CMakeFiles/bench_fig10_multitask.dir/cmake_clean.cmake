@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multitask.dir/bench_fig10_multitask.cc.o"
+  "CMakeFiles/bench_fig10_multitask.dir/bench_fig10_multitask.cc.o.d"
+  "bench_fig10_multitask"
+  "bench_fig10_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

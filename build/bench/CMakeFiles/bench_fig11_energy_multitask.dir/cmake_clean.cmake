@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_energy_multitask.dir/bench_fig11_energy_multitask.cc.o"
+  "CMakeFiles/bench_fig11_energy_multitask.dir/bench_fig11_energy_multitask.cc.o.d"
+  "bench_fig11_energy_multitask"
+  "bench_fig11_energy_multitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_energy_multitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

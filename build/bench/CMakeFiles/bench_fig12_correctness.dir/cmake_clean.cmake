@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_correctness.dir/bench_fig12_correctness.cc.o"
+  "CMakeFiles/bench_fig12_correctness.dir/bench_fig12_correctness.cc.o.d"
+  "bench_fig12_correctness"
+  "bench_fig12_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_harvester.dir/bench_fig13_harvester.cc.o"
+  "CMakeFiles/bench_fig13_harvester.dir/bench_fig13_harvester.cc.o.d"
+  "bench_fig13_harvester"
+  "bench_fig13_harvester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

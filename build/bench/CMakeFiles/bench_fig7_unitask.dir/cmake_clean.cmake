@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_unitask.dir/bench_fig7_unitask.cc.o"
+  "CMakeFiles/bench_fig7_unitask.dir/bench_fig7_unitask.cc.o.d"
+  "bench_fig7_unitask"
+  "bench_fig7_unitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_unitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_energy_unitask.dir/bench_fig8_energy_unitask.cc.o"
+  "CMakeFiles/bench_fig8_energy_unitask.dir/bench_fig8_energy_unitask.cc.o.d"
+  "bench_fig8_energy_unitask"
+  "bench_fig8_energy_unitask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_energy_unitask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

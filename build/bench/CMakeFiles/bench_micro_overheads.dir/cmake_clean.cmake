@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_overheads.dir/bench_micro_overheads.cc.o"
+  "CMakeFiles/bench_micro_overheads.dir/bench_micro_overheads.cc.o.d"
+  "bench_micro_overheads"
+  "bench_micro_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

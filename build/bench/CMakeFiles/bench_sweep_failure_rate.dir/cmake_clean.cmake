@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_failure_rate.dir/bench_sweep_failure_rate.cc.o"
+  "CMakeFiles/bench_sweep_failure_rate.dir/bench_sweep_failure_rate.cc.o.d"
+  "bench_sweep_failure_rate"
+  "bench_sweep_failure_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_failure_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

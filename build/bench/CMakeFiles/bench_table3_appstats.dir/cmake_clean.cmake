@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_appstats.dir/bench_table3_appstats.cc.o"
+  "CMakeFiles/bench_table3_appstats.dir/bench_table3_appstats.cc.o.d"
+  "bench_table3_appstats"
+  "bench_table3_appstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_appstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

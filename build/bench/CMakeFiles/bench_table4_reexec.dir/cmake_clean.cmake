@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_reexec.dir/bench_table4_reexec.cc.o"
+  "CMakeFiles/bench_table4_reexec.dir/bench_table4_reexec.cc.o.d"
+  "bench_table4_reexec"
+  "bench_table4_reexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_dnn_buffers.dir/bench_table5_dnn_buffers.cc.o"
+  "CMakeFiles/bench_table5_dnn_buffers.dir/bench_table5_dnn_buffers.cc.o.d"
+  "bench_table5_dnn_buffers"
+  "bench_table5_dnn_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dnn_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

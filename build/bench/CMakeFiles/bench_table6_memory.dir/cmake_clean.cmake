@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_memory.dir/bench_table6_memory.cc.o"
+  "CMakeFiles/bench_table6_memory.dir/bench_table6_memory.cc.o.d"
+  "bench_table6_memory"
+  "bench_table6_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

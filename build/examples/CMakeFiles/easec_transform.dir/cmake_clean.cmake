@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easec_transform.dir/easec_transform.cpp.o"
+  "CMakeFiles/easec_transform.dir/easec_transform.cpp.o.d"
+  "easec_transform"
+  "easec_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easec_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_pipeline.dir/fir_pipeline.cpp.o"
+  "CMakeFiles/fir_pipeline.dir/fir_pipeline.cpp.o.d"
+  "fir_pipeline"
+  "fir_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_station.dir/weather_station.cpp.o"
+  "CMakeFiles/weather_station.dir/weather_station.cpp.o.d"
+  "weather_station"
+  "weather_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

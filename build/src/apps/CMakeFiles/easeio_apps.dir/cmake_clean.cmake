@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_apps.dir/fir_app.cc.o"
+  "CMakeFiles/easeio_apps.dir/fir_app.cc.o.d"
+  "CMakeFiles/easeio_apps.dir/runtime_factory.cc.o"
+  "CMakeFiles/easeio_apps.dir/runtime_factory.cc.o.d"
+  "CMakeFiles/easeio_apps.dir/unitask_apps.cc.o"
+  "CMakeFiles/easeio_apps.dir/unitask_apps.cc.o.d"
+  "CMakeFiles/easeio_apps.dir/weather_app.cc.o"
+  "CMakeFiles/easeio_apps.dir/weather_app.cc.o.d"
+  "libeaseio_apps.a"
+  "libeaseio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

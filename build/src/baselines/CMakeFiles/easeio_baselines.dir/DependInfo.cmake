@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alpaca.cc" "src/baselines/CMakeFiles/easeio_baselines.dir/alpaca.cc.o" "gcc" "src/baselines/CMakeFiles/easeio_baselines.dir/alpaca.cc.o.d"
+  "/root/repo/src/baselines/ink.cc" "src/baselines/CMakeFiles/easeio_baselines.dir/ink.cc.o" "gcc" "src/baselines/CMakeFiles/easeio_baselines.dir/ink.cc.o.d"
+  "/root/repo/src/baselines/samoyed.cc" "src/baselines/CMakeFiles/easeio_baselines.dir/samoyed.cc.o" "gcc" "src/baselines/CMakeFiles/easeio_baselines.dir/samoyed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/easeio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easeio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/easeio_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

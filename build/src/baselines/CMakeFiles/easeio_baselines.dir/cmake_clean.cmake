@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_baselines.dir/alpaca.cc.o"
+  "CMakeFiles/easeio_baselines.dir/alpaca.cc.o.d"
+  "CMakeFiles/easeio_baselines.dir/ink.cc.o"
+  "CMakeFiles/easeio_baselines.dir/ink.cc.o.d"
+  "CMakeFiles/easeio_baselines.dir/samoyed.cc.o"
+  "CMakeFiles/easeio_baselines.dir/samoyed.cc.o.d"
+  "libeaseio_baselines.a"
+  "libeaseio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_core.dir/easeio_runtime.cc.o"
+  "CMakeFiles/easeio_core.dir/easeio_runtime.cc.o.d"
+  "CMakeFiles/easeio_core.dir/regional.cc.o"
+  "CMakeFiles/easeio_core.dir/regional.cc.o.d"
+  "libeaseio_core.a"
+  "libeaseio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

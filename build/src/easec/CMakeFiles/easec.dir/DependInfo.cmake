@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/easec/codegen.cc" "src/easec/CMakeFiles/easec.dir/codegen.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/codegen.cc.o.d"
+  "/root/repo/src/easec/lexer.cc" "src/easec/CMakeFiles/easec.dir/lexer.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/lexer.cc.o.d"
+  "/root/repo/src/easec/parser.cc" "src/easec/CMakeFiles/easec.dir/parser.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/parser.cc.o.d"
+  "/root/repo/src/easec/program.cc" "src/easec/CMakeFiles/easec.dir/program.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/program.cc.o.d"
+  "/root/repo/src/easec/sema.cc" "src/easec/CMakeFiles/easec.dir/sema.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/sema.cc.o.d"
+  "/root/repo/src/easec/transform.cc" "src/easec/CMakeFiles/easec.dir/transform.cc.o" "gcc" "src/easec/CMakeFiles/easec.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/easeio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easeio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/easeio_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

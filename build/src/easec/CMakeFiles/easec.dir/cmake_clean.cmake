@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easec.dir/codegen.cc.o"
+  "CMakeFiles/easec.dir/codegen.cc.o.d"
+  "CMakeFiles/easec.dir/lexer.cc.o"
+  "CMakeFiles/easec.dir/lexer.cc.o.d"
+  "CMakeFiles/easec.dir/parser.cc.o"
+  "CMakeFiles/easec.dir/parser.cc.o.d"
+  "CMakeFiles/easec.dir/program.cc.o"
+  "CMakeFiles/easec.dir/program.cc.o.d"
+  "CMakeFiles/easec.dir/sema.cc.o"
+  "CMakeFiles/easec.dir/sema.cc.o.d"
+  "CMakeFiles/easec.dir/transform.cc.o"
+  "CMakeFiles/easec.dir/transform.cc.o.d"
+  "libeasec.a"
+  "libeasec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

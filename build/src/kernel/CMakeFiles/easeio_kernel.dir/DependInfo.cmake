@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/engine.cc" "src/kernel/CMakeFiles/easeio_kernel.dir/engine.cc.o" "gcc" "src/kernel/CMakeFiles/easeio_kernel.dir/engine.cc.o.d"
+  "/root/repo/src/kernel/runtime.cc" "src/kernel/CMakeFiles/easeio_kernel.dir/runtime.cc.o" "gcc" "src/kernel/CMakeFiles/easeio_kernel.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/easeio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/easeio_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

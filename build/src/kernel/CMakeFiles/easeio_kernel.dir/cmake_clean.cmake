@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_kernel.dir/engine.cc.o"
+  "CMakeFiles/easeio_kernel.dir/engine.cc.o.d"
+  "CMakeFiles/easeio_kernel.dir/runtime.cc.o"
+  "CMakeFiles/easeio_kernel.dir/runtime.cc.o.d"
+  "libeaseio_kernel.a"
+  "libeaseio_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

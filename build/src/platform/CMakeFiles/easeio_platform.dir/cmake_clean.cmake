@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_platform.dir/check.cc.o"
+  "CMakeFiles/easeio_platform.dir/check.cc.o.d"
+  "libeaseio_platform.a"
+  "libeaseio_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

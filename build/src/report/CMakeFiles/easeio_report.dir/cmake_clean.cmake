@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_report.dir/experiment.cc.o"
+  "CMakeFiles/easeio_report.dir/experiment.cc.o.d"
+  "CMakeFiles/easeio_report.dir/table.cc.o"
+  "CMakeFiles/easeio_report.dir/table.cc.o.d"
+  "libeaseio_report.a"
+  "libeaseio_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeaseio_report.a"
+)

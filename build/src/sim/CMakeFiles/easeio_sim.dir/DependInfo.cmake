@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/easeio_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/easeio_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/dma.cc" "src/sim/CMakeFiles/easeio_sim.dir/dma.cc.o" "gcc" "src/sim/CMakeFiles/easeio_sim.dir/dma.cc.o.d"
+  "/root/repo/src/sim/lea.cc" "src/sim/CMakeFiles/easeio_sim.dir/lea.cc.o" "gcc" "src/sim/CMakeFiles/easeio_sim.dir/lea.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/easeio_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/easeio_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/peripherals.cc" "src/sim/CMakeFiles/easeio_sim.dir/peripherals.cc.o" "gcc" "src/sim/CMakeFiles/easeio_sim.dir/peripherals.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/easeio_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

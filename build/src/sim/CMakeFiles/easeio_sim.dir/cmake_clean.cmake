@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easeio_sim.dir/device.cc.o"
+  "CMakeFiles/easeio_sim.dir/device.cc.o.d"
+  "CMakeFiles/easeio_sim.dir/dma.cc.o"
+  "CMakeFiles/easeio_sim.dir/dma.cc.o.d"
+  "CMakeFiles/easeio_sim.dir/lea.cc.o"
+  "CMakeFiles/easeio_sim.dir/lea.cc.o.d"
+  "CMakeFiles/easeio_sim.dir/memory.cc.o"
+  "CMakeFiles/easeio_sim.dir/memory.cc.o.d"
+  "CMakeFiles/easeio_sim.dir/peripherals.cc.o"
+  "CMakeFiles/easeio_sim.dir/peripherals.cc.o.d"
+  "libeaseio_sim.a"
+  "libeaseio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easeio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

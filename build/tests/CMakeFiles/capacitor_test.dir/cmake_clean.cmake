@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacitor_test.dir/capacitor_test.cc.o"
+  "CMakeFiles/capacitor_test.dir/capacitor_test.cc.o.d"
+  "capacitor_test"
+  "capacitor_test.pdb"
+  "capacitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_regional_test.dir/dma_regional_test.cc.o"
+  "CMakeFiles/dma_regional_test.dir/dma_regional_test.cc.o.d"
+  "dma_regional_test"
+  "dma_regional_test.pdb"
+  "dma_regional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_regional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

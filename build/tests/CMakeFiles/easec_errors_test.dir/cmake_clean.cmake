@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easec_errors_test.dir/easec_errors_test.cc.o"
+  "CMakeFiles/easec_errors_test.dir/easec_errors_test.cc.o.d"
+  "easec_errors_test"
+  "easec_errors_test.pdb"
+  "easec_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easec_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easec_vm_test.dir/easec_vm_test.cc.o"
+  "CMakeFiles/easec_vm_test.dir/easec_vm_test.cc.o.d"
+  "easec_vm_test"
+  "easec_vm_test.pdb"
+  "easec_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easec_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_smoke_test.dir/experiment_smoke_test.cc.o"
+  "CMakeFiles/experiment_smoke_test.dir/experiment_smoke_test.cc.o.d"
+  "experiment_smoke_test"
+  "experiment_smoke_test.pdb"
+  "experiment_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

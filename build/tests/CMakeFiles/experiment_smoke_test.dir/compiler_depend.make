@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for experiment_smoke_test.
+# This may be replaced when dependencies are built.

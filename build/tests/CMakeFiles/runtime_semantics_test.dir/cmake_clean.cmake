@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_semantics_test.dir/runtime_semantics_test.cc.o"
+  "CMakeFiles/runtime_semantics_test.dir/runtime_semantics_test.cc.o.d"
+  "runtime_semantics_test"
+  "runtime_semantics_test.pdb"
+  "runtime_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samoyed_test.dir/samoyed_test.cc.o"
+  "CMakeFiles/samoyed_test.dir/samoyed_test.cc.o.d"
+  "samoyed_test"
+  "samoyed_test.pdb"
+  "samoyed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samoyed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

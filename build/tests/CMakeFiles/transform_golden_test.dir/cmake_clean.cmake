@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_golden_test.dir/transform_golden_test.cc.o"
+  "CMakeFiles/transform_golden_test.dir/transform_golden_test.cc.o.d"
+  "transform_golden_test"
+  "transform_golden_test.pdb"
+  "transform_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/experiment_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/easec_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/dma_regional_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/samoyed_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/easec_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/capacitor_test[1]_include.cmake")
+include("/root/repo/build/tests/easec_errors_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")

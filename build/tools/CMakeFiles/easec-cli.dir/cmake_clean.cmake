@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easec-cli.dir/easec_main.cc.o"
+  "CMakeFiles/easec-cli.dir/easec_main.cc.o.d"
+  "easec"
+  "easec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easec-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
