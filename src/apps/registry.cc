@@ -1,0 +1,63 @@
+#include "apps/registry.h"
+
+#include "platform/check.h"
+
+namespace easeio::apps {
+
+const char* ToString(AppKind kind) {
+  switch (kind) {
+    case AppKind::kDma:
+      return "DMA";
+    case AppKind::kTemp:
+      return "Temp.";
+    case AppKind::kLea:
+      return "LEA";
+    case AppKind::kFir:
+      return "FIR Filter";
+    case AppKind::kWeather:
+      return "Weather App.";
+    case AppKind::kBranch:
+      return "Branch";
+  }
+  return "?";
+}
+
+AppHandle BuildApp(AppKind kind, sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                   const AppOptions& options) {
+  switch (kind) {
+    case AppKind::kDma:
+      return BuildDmaApp(dev, rt, nv, options);
+    case AppKind::kTemp:
+      return BuildTempApp(dev, rt, nv);
+    case AppKind::kLea:
+      return BuildLeaApp(dev, rt, nv);
+    case AppKind::kFir:
+      return BuildFirApp(dev, rt, nv, options);
+    case AppKind::kWeather:
+      return BuildWeatherApp(dev, rt, nv, options);
+    case AppKind::kBranch:
+      return BuildBranchApp(dev, rt, nv);
+  }
+  EASEIO_CHECK(false, "unknown app kind");
+}
+
+AppTraits TraitsFor(AppKind kind) {
+  switch (kind) {
+    case AppKind::kDma:
+      // Copies a constant FRAM table and checksums it; the source is never rewritten.
+      return {.deterministic = true, .dma_mirror = true};
+    case AppKind::kLea:
+      return {.deterministic = true, .dma_mirror = false};
+    case AppKind::kFir:
+      // Deterministic, but its Single DMA overwrites the input buffer in place — the
+      // mirror property does not apply.
+      return {.deterministic = true, .dma_mirror = false};
+    case AppKind::kTemp:
+    case AppKind::kWeather:
+    case AppKind::kBranch:
+      return {.deterministic = false, .dma_mirror = false};
+  }
+  return {};
+}
+
+}  // namespace easeio::apps

@@ -1,0 +1,42 @@
+// Application registry: one enum naming every workload, a dispatching builder, and the
+// structural traits downstream tooling (the failure-schedule explorer, the experiment
+// harness) keys off. Lives in apps so layers below report can enumerate workloads.
+
+#ifndef EASEIO_APPS_REGISTRY_H_
+#define EASEIO_APPS_REGISTRY_H_
+
+#include "apps/apps.h"
+
+namespace easeio::apps {
+
+enum class AppKind { kDma, kTemp, kLea, kFir, kWeather, kBranch };
+
+inline constexpr AppKind kAllApps[] = {AppKind::kDma,     AppKind::kTemp, AppKind::kLea,
+                                       AppKind::kFir,     AppKind::kWeather,
+                                       AppKind::kBranch};
+
+// The paper's three unitask microbenchmarks (Table 4 / Table 5).
+inline constexpr AppKind kUnitaskApps[] = {AppKind::kDma, AppKind::kTemp, AppKind::kLea};
+
+const char* ToString(AppKind kind);
+
+// Builds the named application against an already-bound runtime.
+AppHandle BuildApp(AppKind kind, sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& nv,
+                   const AppOptions& options = {});
+
+// Structural facts the invariant checker needs about a workload.
+struct AppTraits {
+  // The workload computes a pure function of constant inputs: its collected output
+  // must bit-match the continuous-power golden run under any failure schedule. False
+  // for sensor-driven apps, whose readings legitimately drift with (wall) time.
+  bool deterministic = false;
+  // Every Single NV->NV DMA copies from a buffer no task ever overwrites, so after a
+  // completed run the destination must mirror the source byte-for-byte.
+  bool dma_mirror = false;
+};
+
+AppTraits TraitsFor(AppKind kind);
+
+}  // namespace easeio::apps
+
+#endif  // EASEIO_APPS_REGISTRY_H_

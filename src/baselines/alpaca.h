@@ -38,7 +38,7 @@ class AlpacaRuntime : public kernel::Runtime {
   // Alpaca's compiler privatizes exactly the WAR subset.
   void DeclareTaskShared(kernel::TaskId task, const std::vector<kernel::NvSlotId>& shared,
                          const std::vector<kernel::NvSlotId>& war) override {
-    (void)shared;
+    kernel::Runtime::DeclareTaskShared(task, shared, war);
     SetTaskWarVars(task, war);
   }
 

@@ -36,7 +36,7 @@ class InkRuntime : public kernel::Runtime {
   // InK double-buffers every task-shared variable.
   void DeclareTaskShared(kernel::TaskId task, const std::vector<kernel::NvSlotId>& shared,
                          const std::vector<kernel::NvSlotId>& war) override {
-    (void)war;
+    kernel::Runtime::DeclareTaskShared(task, shared, war);
     SetTaskSharedVars(task, shared);
   }
 

@@ -1,0 +1,299 @@
+#include "chk/explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "chk/trace.h"
+#include "kernel/engine.h"
+#include "platform/check.h"
+#include "platform/rng.h"
+#include "sim/failure.h"
+
+namespace easeio::chk {
+namespace {
+
+struct TrialOutput {
+  TrialFacts facts;
+  std::vector<sim::ProbeEvent> events;
+  kernel::RunResult run;
+  std::vector<Violation> violations;
+  size_t failures_fired = 0;
+};
+
+// Executes one schedule end-to-end: fresh device + runtime + app, scripted failures,
+// probe recording, and (when a golden reference is supplied) the invariant checks.
+// Every trial uses the *same* device seed — sensor streams and golden outputs must
+// line up across trials; determinism across shards comes from trial indexing, not
+// from per-worker state.
+TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& schedule,
+                     const GoldenFacts* golden, GoldenFacts* golden_out) {
+  sim::ScriptedScheduler sched(schedule, cfg.off_us);
+  sim::DeviceConfig dev_config;
+  dev_config.seed = cfg.seed;
+  dev_config.timekeeper_tick_us = cfg.timekeeper_tick_us;
+  sim::Device dev(dev_config, sched);
+  TraceRecorder trace;
+  trace.Install(dev);
+
+  kernel::NvManager nv(dev.mem());
+  rt::EaseioConfig easeio_config;
+  easeio_config.dma_priv_buffer_bytes = cfg.easeio_priv_buffer_bytes;
+  easeio_config.enable_regional_privatization = cfg.easeio_regional_privatization;
+  auto runtime = apps::MakeRuntime(cfg.runtime, easeio_config);
+  runtime->Bind(dev, nv);
+
+  apps::AppOptions options = cfg.app_options;
+  if (apps::IsEaseioOp(cfg.runtime)) {
+    options.exclude_const_dma = true;
+  }
+  apps::AppHandle app = apps::BuildApp(cfg.app, dev, *runtime, nv, options);
+
+  kernel::Engine engine(kernel::RunConfig{cfg.max_on_us});
+  const kernel::RunResult run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+  const apps::AppTraits traits = apps::TraitsFor(cfg.app);
+
+  TrialOutput out;
+  out.run = run;
+  out.events = trace.TakeEvents();
+  out.failures_fired = sched.next_index();
+  out.facts.completed = run.completed;
+  out.facts.consistent = run.completed && app.check_consistent(dev);
+  out.facts.deterministic = traits.deterministic;
+  out.facts.dma_mirror = traits.dma_mirror;
+  out.facts.semantic_runtime = cfg.runtime == apps::RuntimeKind::kEaseio ||
+                               cfg.runtime == apps::RuntimeKind::kEaseioOp;
+  out.facts.output = app.collect_output(dev);
+  out.facts.schedule = schedule;
+
+  if (golden_out != nullptr) {
+    golden_out->output = out.facts.output;
+    golden_out->war_state = CollectWarState(*runtime, nv, dev);
+  }
+  if (golden != nullptr) {
+    out.violations = CheckInvariants(out.facts, *golden, out.events, *runtime, nv, dev);
+  }
+  return out;
+}
+
+// Sharded work queue: `jobs` workers pull indices from an atomic counter and write
+// into caller-owned slots, so merging in index order is deterministic.
+template <typename Fn>
+void ParallelFor(uint32_t jobs, size_t n, Fn&& fn) {
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (n < jobs) {
+    jobs = static_cast<uint32_t>(n);
+  }
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (uint32_t w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+// Keeps `keep` of `v` with an even stride — deterministic, and coverage stays spread
+// over the whole run instead of clustering at the front.
+std::vector<uint64_t> StrideSubset(const std::vector<uint64_t>& v, size_t keep) {
+  std::vector<uint64_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    out.push_back(v[i * v.size() / keep]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+ExploreResult Explore(const ExploreConfig& cfg) {
+  ExploreResult res;
+  res.app = apps::ToString(cfg.app);
+  res.runtime = apps::ToString(cfg.runtime);
+  res.seed = cfg.seed;
+  res.depth = cfg.depth;
+
+  // Phase 0: continuous-power golden run with the probe installed.
+  GoldenFacts golden;
+  const TrialOutput g = RunTrial(cfg, {}, nullptr, &golden);
+  EASEIO_CHECK(g.facts.completed, "golden run did not complete");
+  res.golden_on_us = g.run.on_us;
+  res.trace_events = static_cast<uint32_t>(g.events.size());
+
+  // Phase 1: depth-1 placements — every candidate instant of the golden trace.
+  std::vector<uint64_t> d1 = CandidateInstants(g.events, g.run.on_us);
+  res.candidate_instants = static_cast<uint32_t>(d1.size());
+  const uint32_t budget = std::max<uint32_t>(cfg.budget, 1);
+  if (d1.size() > budget) {
+    res.schedules_skipped += static_cast<uint32_t>(d1.size() - budget);
+    d1 = StrideSubset(d1, budget);
+  }
+
+  struct Slot {
+    bool completed = false;
+    std::vector<Violation> violations;
+    std::vector<uint64_t> candidates;  // this trial's own trace (depth-2 seeds)
+  };
+  std::vector<Slot> slots(d1.size());
+  const bool want_depth2 = cfg.depth >= 2;
+  ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
+    TrialOutput t = RunTrial(cfg, {d1[i]}, &golden, nullptr);
+    slots[i].completed = t.facts.completed;
+    slots[i].violations = std::move(t.violations);
+    if (want_depth2 && t.facts.completed) {
+      slots[i].candidates = CandidateInstants(t.events, t.run.on_us);
+    }
+  });
+
+  std::vector<Violation> collected;
+  for (Slot& s : slots) {
+    res.schedules += 1;
+    res.completed += s.completed ? 1 : 0;
+    for (Violation& v : s.violations) {
+      collected.push_back(std::move(v));
+    }
+  }
+
+  // Phase 2: depth-2 pairs. The second failure is placed at the instants the depth-1
+  // trial actually visited *after* its first failure — adaptive enumeration: the
+  // post-failure execution (recovery, re-execution, skips) is where the second-order
+  // bugs hide, and its timeline exists only in that trial's own trace.
+  if (want_depth2) {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (size_t i = 0; i < d1.size(); ++i) {
+      const uint64_t t1 = d1[i];
+      for (uint64_t t2 : slots[i].candidates) {
+        if (t2 > t1) {
+          pairs.emplace_back(t1, t2);
+        }
+      }
+    }
+    const uint32_t remaining = budget > res.schedules ? budget - res.schedules : 0;
+    if (pairs.size() > remaining) {
+      // Budgeted random-subset fallback: a seeded partial Fisher-Yates shuffle picks
+      // the sample — deterministic for a given seed, independent of jobs.
+      res.schedules_skipped += static_cast<uint32_t>(pairs.size() - remaining);
+      Xorshift64Star rng(DeriveSeed(cfg.seed, 0x5EED));
+      for (size_t i = 0; i < remaining; ++i) {
+        const size_t j = i + rng.NextInRange(0, pairs.size() - 1 - i);
+        std::swap(pairs[i], pairs[j]);
+      }
+      pairs.resize(remaining);
+      std::sort(pairs.begin(), pairs.end());
+    }
+
+    std::vector<Slot> slots2(pairs.size());
+    ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
+      TrialOutput t = RunTrial(cfg, {pairs[i].first, pairs[i].second}, &golden, nullptr);
+      slots2[i].completed = t.facts.completed;
+      slots2[i].violations = std::move(t.violations);
+    });
+    for (Slot& s : slots2) {
+      res.schedules += 1;
+      res.completed += s.completed ? 1 : 0;
+      for (Violation& v : s.violations) {
+        collected.push_back(std::move(v));
+      }
+    }
+  }
+
+  // Deduplicate by (invariant, subject), keeping the first occurrence — depth-1 trials
+  // come first and instants ascend, so each surviving violation carries the minimal
+  // failing schedule the exploration found.
+  std::set<std::string> seen;
+  for (Violation& v : collected) {
+    const std::string key = std::string(ToString(v.invariant)) + "|" + v.subject;
+    if (seen.insert(key).second) {
+      res.violations.push_back(std::move(v));
+    }
+  }
+  return res;
+}
+
+std::string ToJson(const ExploreResult& r) {
+  std::ostringstream os;
+  os << "{\"app\":\"";
+  AppendEscaped(os, r.app);
+  os << "\",\"runtime\":\"";
+  AppendEscaped(os, r.runtime);
+  os << "\",\"seed\":" << r.seed << ",\"depth\":" << r.depth
+     << ",\"golden_on_us\":" << r.golden_on_us << ",\"trace_events\":" << r.trace_events
+     << ",\"candidate_instants\":" << r.candidate_instants << ",\"schedules\":" << r.schedules
+     << ",\"completed\":" << r.completed << ",\"schedules_skipped\":" << r.schedules_skipped
+     << ",\"violations\":[";
+  for (size_t i = 0; i < r.violations.size(); ++i) {
+    const Violation& v = r.violations[i];
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"invariant\":\"" << ToString(v.invariant) << "\",\"subject\":\"";
+    AppendEscaped(os, v.subject);
+    os << "\",\"detail\":\"";
+    AppendEscaped(os, v.detail);
+    os << "\",\"schedule\":[";
+    for (size_t k = 0; k < v.schedule.size(); ++k) {
+      if (k > 0) {
+        os << ",";
+      }
+      os << v.schedule[k];
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ToJson(const std::vector<ExploreResult>& results) {
+  std::ostringstream os;
+  os << "{\"explorations\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << ToJson(results[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace easeio::chk

@@ -1,0 +1,63 @@
+// The failure-schedule explorer: bounded model checking over power-failure placements.
+//
+// A continuous-power golden run records the trace of candidate failure instants (see
+// trace.h). The explorer then re-executes the application once per enumerated
+// schedule — every depth-1 placement, then depth-2 pairs seeded from each depth-1
+// trial's own post-failure trace — injecting failures with a ScriptedScheduler and
+// judging every run with the invariant engine. Trials run on a sharded std::thread
+// work queue; results are merged in trial-index order, so the outcome (including the
+// JSON serialization) is bit-identical for any --jobs value.
+
+#ifndef EASEIO_CHK_EXPLORER_H_
+#define EASEIO_CHK_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "apps/runtime_factory.h"
+#include "chk/invariants.h"
+
+namespace easeio::chk {
+
+// One (application, runtime) exploration.
+struct ExploreConfig {
+  apps::AppKind app = apps::AppKind::kDma;
+  apps::RuntimeKind runtime = apps::RuntimeKind::kEaseio;
+  uint64_t seed = 1;
+  int depth = 2;           // 1: single failures; 2: also pairs
+  uint32_t budget = 1500;  // hard cap on schedules; excess is subsampled deterministically
+  uint32_t jobs = 0;       // worker threads; 0 = hardware concurrency
+  uint64_t off_us = 700;   // dark time after each injected failure
+  uint64_t max_on_us = 60'000'000;  // per-trial non-termination guard
+  apps::AppOptions app_options;
+  uint32_t easeio_priv_buffer_bytes = 4096;
+  bool easeio_regional_privatization = true;
+  uint64_t timekeeper_tick_us = 100;
+};
+
+struct ExploreResult {
+  std::string app;
+  std::string runtime;
+  uint64_t seed = 0;
+  int depth = 1;
+  uint64_t golden_on_us = 0;       // continuous-power on-time
+  uint32_t trace_events = 0;       // probe events in the golden trace
+  uint32_t candidate_instants = 0; // distinct depth-1 failure placements found
+  uint32_t schedules = 0;          // trials executed
+  uint32_t completed = 0;          // trials that ran to completion
+  uint32_t schedules_skipped = 0;  // enumerated placements dropped by the budget
+  std::vector<Violation> violations;  // deduplicated; minimal schedules first
+};
+
+// Runs the exploration. Deterministic: identical results for any `jobs` value.
+ExploreResult Explore(const ExploreConfig& config);
+
+// Stable JSON serialization (fixed field order; byte-identical across jobs counts).
+std::string ToJson(const ExploreResult& result);
+std::string ToJson(const std::vector<ExploreResult>& results);
+
+}  // namespace easeio::chk
+
+#endif  // EASEIO_CHK_EXPLORER_H_

@@ -1,0 +1,190 @@
+#include "chk/invariants.h"
+
+#include <sstream>
+#include <utility>
+
+#include "kernel/io.h"
+#include "sim/memory.h"
+
+namespace easeio::chk {
+
+const char* ToString(Invariant inv) {
+  switch (inv) {
+    case Invariant::kCompletion:
+      return "completion";
+    case Invariant::kAppConsistency:
+      return "app-consistency";
+    case Invariant::kOutputEquivalence:
+      return "output-equivalence";
+    case Invariant::kSingleReexec:
+      return "single-reexec";
+    case Invariant::kStaleTimely:
+      return "stale-timely";
+    case Invariant::kTornDma:
+      return "torn-dma";
+    case Invariant::kWarCommit:
+      return "war-commit";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<uint8_t> ReadSlotBytes(const sim::Device& dev, const kernel::NvSlot& slot) {
+  std::vector<uint8_t> bytes(slot.size);
+  for (uint32_t i = 0; i < slot.size; ++i) {
+    bytes[i] = dev.mem().Read8(slot.addr + i);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<uint8_t>> CollectWarState(const kernel::Runtime& rt,
+                                                            const kernel::NvManager& nv,
+                                                            const sim::Device& dev) {
+  std::map<std::string, std::vector<uint8_t>> state;
+  for (const kernel::Runtime::TaskSharedDecl& decl : rt.task_shared_decls()) {
+    for (kernel::NvSlotId id : decl.war) {
+      const kernel::NvSlot& slot = nv.slot(id);
+      state[slot.name] = ReadSlotBytes(dev, slot);
+    }
+  }
+  return state;
+}
+
+std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFacts& golden,
+                                       const std::vector<sim::ProbeEvent>& events,
+                                       const kernel::Runtime& rt, const kernel::NvManager& nv,
+                                       const sim::Device& dev) {
+  std::vector<Violation> out;
+  auto add = [&](Invariant inv, std::string subject, std::string detail) {
+    out.push_back({inv, std::move(subject), std::move(detail), facts.schedule});
+  };
+
+  if (!facts.completed) {
+    add(Invariant::kCompletion, "run", "did not complete before the non-termination guard");
+    return out;  // the remaining checks are meaningless for an aborted run
+  }
+  if (!facts.consistent) {
+    add(Invariant::kAppConsistency, "app", "application consistency predicate failed");
+  }
+  if (facts.deterministic && facts.output != golden.output) {
+    add(Invariant::kOutputEquivalence, "output",
+        "final output differs from the continuous-power golden run");
+  }
+
+  // --- Event-stream invariants (EaseIO re-execution semantics) ------------------------
+  // A site whose completion flag became durable (kIoLocked/kDmaLocked) must not run
+  // again until its owning task commits and clears the flag. Sites with declared data
+  // dependences or enclosing blocks are exempt: dependence-forced and block-forced
+  // re-execution is the specified behaviour, not a bug.
+  if (facts.semantic_runtime) {
+    std::map<std::pair<uint32_t, uint32_t>, bool> io_locked;
+    std::map<uint32_t, bool> dma_locked;
+    for (const sim::ProbeEvent& e : events) {
+      switch (e.kind) {
+        case sim::ProbeKind::kIoLocked:
+          io_locked[{e.id, e.lane}] = true;
+          break;
+        case sim::ProbeKind::kIoExec: {
+          const kernel::IoSiteDesc& d = rt.io_sites()[e.id];
+          const bool exempt = !d.depends_on.empty() || d.block != kernel::kNoBlock;
+          if (d.sem == kernel::IoSemantic::kSingle && !exempt && io_locked[{e.id, e.lane}]) {
+            std::ostringstream os;
+            os << "locked Single operation re-executed at t=" << e.on_us << " us";
+            add(Invariant::kSingleReexec, d.name, os.str());
+          }
+          break;
+        }
+        case sim::ProbeKind::kIoSkip: {
+          const kernel::IoSiteDesc& d = rt.io_sites()[e.id];
+          if (e.b != 0 && d.sem == kernel::IoSemantic::kTimely && e.a > d.window_us) {
+            std::ostringstream os;
+            os << "consumed a reading aged " << e.a << " us (window " << d.window_us
+               << " us) at t=" << e.on_us << " us";
+            add(Invariant::kStaleTimely, d.name, os.str());
+          }
+          break;
+        }
+        case sim::ProbeKind::kDmaLocked:
+          dma_locked[e.id] = true;
+          break;
+        case sim::ProbeKind::kDmaExec: {
+          const kernel::DmaSiteDesc& d = rt.dma_sites()[e.id];
+          if (d.related_io == kernel::kNoSite && dma_locked[e.id]) {
+            std::ostringstream os;
+            os << "locked Single DMA re-executed at t=" << e.on_us << " us";
+            add(Invariant::kSingleReexec, d.name, os.str());
+          }
+          break;
+        }
+        case sim::ProbeKind::kTaskCommit: {
+          for (size_t s = 0; s < rt.io_sites().size(); ++s) {
+            if (rt.io_sites()[s].task != e.id) {
+              continue;
+            }
+            for (uint32_t l = 0; l < rt.io_sites()[s].lanes; ++l) {
+              io_locked[{static_cast<uint32_t>(s), l}] = false;
+            }
+          }
+          for (size_t s = 0; s < rt.dma_sites().size(); ++s) {
+            if (rt.dma_sites()[s].task == e.id) {
+              dma_locked[static_cast<uint32_t>(s)] = false;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- Torn-DMA check -----------------------------------------------------------------
+  // For workloads whose NV->NV DMA sources are never overwritten, the last transfer of
+  // each site must leave dst mirroring src byte-for-byte.
+  if (facts.dma_mirror) {
+    std::map<uint32_t, const sim::ProbeEvent*> last_nv_dma;
+    for (const sim::ProbeEvent& e : events) {
+      if (e.kind != sim::ProbeKind::kDmaExec) {
+        continue;
+      }
+      const uint32_t dst = static_cast<uint32_t>(e.a >> 32);
+      const uint32_t src = static_cast<uint32_t>(e.a & 0xFFFFFFFFu);
+      if (dev.mem().Classify(dst) == sim::MemKind::kFram &&
+          dev.mem().Classify(src) == sim::MemKind::kFram) {
+        last_nv_dma[e.id] = &e;
+      }
+    }
+    for (const auto& [site, e] : last_nv_dma) {
+      const uint32_t dst = static_cast<uint32_t>(e->a >> 32);
+      const uint32_t src = static_cast<uint32_t>(e->a & 0xFFFFFFFFu);
+      for (uint32_t i = 0; i < e->b; ++i) {
+        if (dev.mem().Read8(dst + i) != dev.mem().Read8(src + i)) {
+          std::ostringstream os;
+          os << "destination diverges from source at byte " << i << " of " << e->b;
+          add(Invariant::kTornDma, rt.dma_sites()[site].name, os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  // --- WAR commit semantics -----------------------------------------------------------
+  // Deterministic workloads must leave every WAR-declared variable with the golden
+  // bytes — the commit protocols of Alpaca/InK/EaseIO all promise exactly this.
+  if (facts.deterministic && !golden.war_state.empty()) {
+    const std::map<std::string, std::vector<uint8_t>> final_state = CollectWarState(rt, nv, dev);
+    for (const auto& [name, bytes] : golden.war_state) {
+      const auto it = final_state.find(name);
+      if (it != final_state.end() && it->second != bytes) {
+        add(Invariant::kWarCommit, name, "final bytes differ from the golden run");
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace easeio::chk

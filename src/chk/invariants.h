@@ -1,0 +1,81 @@
+// The invariant engine: what must hold for every failure schedule.
+//
+// Each trial run is judged against the continuous-power golden run and against the
+// event stream its probe recorded. The invariants encode the paper's safety claims:
+//   * the run terminates (a failure schedule cannot wedge the kernel);
+//   * the application's own consistency predicate holds;
+//   * deterministic workloads reproduce the golden output bit-for-bit;
+//   * a Single operation whose completion flag became durable never runs again before
+//     its task commits (at-most-once, Section 3.2);
+//   * a skipped Timely reading is never consumed past its freshness window (3.3);
+//   * a completed Single NV->NV DMA leaves the destination mirroring its source — no
+//     torn region (4.4);
+//   * WAR-declared variables end with the golden bytes (Alpaca/InK commit semantics).
+
+#ifndef EASEIO_CHK_INVARIANTS_H_
+#define EASEIO_CHK_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/nv.h"
+#include "kernel/runtime.h"
+#include "sim/device.h"
+#include "sim/probe.h"
+
+namespace easeio::chk {
+
+enum class Invariant {
+  kCompletion,         // the run finished before the non-termination guard
+  kAppConsistency,     // the application's own consistency predicate
+  kOutputEquivalence,  // deterministic workloads bit-match the golden output
+  kSingleReexec,       // a locked Single operation ran again before commit
+  kStaleTimely,        // a Timely reading was consumed past its window
+  kTornDma,            // a Single NV->NV DMA destination does not mirror its source
+  kWarCommit,          // WAR-declared variables differ from the golden end state
+};
+
+const char* ToString(Invariant inv);
+
+struct Violation {
+  Invariant invariant{};
+  std::string subject;             // the site / slot / facet the violation is about
+  std::string detail;              // human-readable specifics
+  std::vector<uint64_t> schedule;  // the failure schedule that exposed it
+};
+
+// Golden-run facts trials are compared against.
+struct GoldenFacts {
+  std::vector<uint8_t> output;
+  // Final bytes of every WAR-declared NV slot, keyed by slot name.
+  std::map<std::string, std::vector<uint8_t>> war_state;
+};
+
+// Per-trial facts the explorer hands to the checker.
+struct TrialFacts {
+  bool completed = false;
+  bool consistent = false;
+  bool deterministic = false;     // golden-output equivalence applies
+  bool dma_mirror = false;        // Single NV->NV mirror check applies
+  bool semantic_runtime = false;  // EaseIO-style runtime: event invariants apply
+  std::vector<uint8_t> output;
+  std::vector<uint64_t> schedule;
+};
+
+// Judges one completed (or aborted) trial. `dev` provides post-run NVM state, `rt`
+// the site/slot tables and WAR declarations, `events` the trial's probe stream.
+std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFacts& golden,
+                                       const std::vector<sim::ProbeEvent>& events,
+                                       const kernel::Runtime& rt, const kernel::NvManager& nv,
+                                       const sim::Device& dev);
+
+// Reads the final bytes of every WAR-declared slot (golden-run capture).
+std::map<std::string, std::vector<uint8_t>> CollectWarState(const kernel::Runtime& rt,
+                                                            const kernel::NvManager& nv,
+                                                            const sim::Device& dev);
+
+}  // namespace easeio::chk
+
+#endif  // EASEIO_CHK_INVARIANTS_H_

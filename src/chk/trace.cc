@@ -1,0 +1,27 @@
+#include "chk/trace.h"
+
+#include <algorithm>
+
+namespace easeio::chk {
+
+std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
+                                        uint64_t end_on_us) {
+  std::vector<uint64_t> instants;
+  instants.reserve(events.size() * 2);
+  for (const sim::ProbeEvent& e : events) {
+    if (e.kind == sim::ProbeKind::kReboot) {
+      continue;
+    }
+    if (e.on_us < end_on_us) {
+      instants.push_back(e.on_us);
+    }
+    if (e.on_us >= 1 && e.on_us - 1 < end_on_us) {
+      instants.push_back(e.on_us - 1);
+    }
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()), instants.end());
+  return instants;
+}
+
+}  // namespace easeio::chk

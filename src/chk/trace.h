@@ -1,0 +1,47 @@
+// Trace recording and failure-candidate extraction.
+//
+// A reference run with the device probe installed yields the stream of "interesting"
+// on-time instants: task boundaries, I/O executions and skips, DMA transfers, NV
+// stores, commit points. The explorer turns each of these — plus the microsecond just
+// before, which lands *inside* the preceding operation — into a candidate failure
+// placement. This is what bounds the schedule space: failures between two consecutive
+// events are equivalent to a failure right after the first one, because no durable
+// state changes in between.
+
+#ifndef EASEIO_CHK_TRACE_H_
+#define EASEIO_CHK_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/probe.h"
+
+namespace easeio::chk {
+
+// Accumulates the probe events of one run. Install() wires the recorder into the
+// device; the recorder must outlive the run.
+class TraceRecorder {
+ public:
+  void Install(sim::Device& dev) {
+    dev.set_probe([this](const sim::ProbeEvent& e) { events_.push_back(e); });
+  }
+
+  const std::vector<sim::ProbeEvent>& events() const { return events_; }
+  std::vector<sim::ProbeEvent> TakeEvents() { return std::move(events_); }
+
+ private:
+  std::vector<sim::ProbeEvent> events_;
+};
+
+// Extracts the candidate failure instants of a trace: every recorded event instant
+// ("just after the operation") plus its predecessor microsecond ("mid-operation"),
+// deduplicated, sorted, and restricted to [0, end_on_us) — an instant at or past the
+// end of the run would never fire. Reboot events are excluded: their instant is the
+// already-explored failure itself.
+std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
+                                        uint64_t end_on_us);
+
+}  // namespace easeio::chk
+
+#endif  // EASEIO_CHK_TRACE_H_

@@ -190,6 +190,15 @@ int16_t EaseioRuntime::CallIo(kernel::TaskCtx& ctx, kernel::IoSiteId site, uint3
       // the same branches it would under continuous power.
       ++dev.stats().io_skipped;
       value = static_cast<int16_t>(dev.LoadWord(meta.base + kLanePriv));
+      // Probe: how old the reading being consumed is (host-side metadata peek; the
+      // runtime itself already paid for this read inside NeedExecute).
+      uint64_t age_us = 0;
+      bool age_checked = false;
+      if (bm == BlockMode::kNormal && desc.sem == IoSemantic::kTimely) {
+        age_us = static_cast<uint32_t>(ctx.NowUs()) - dev.mem().Read32(meta.base + kLaneTs);
+        age_checked = true;
+      }
+      dev.Note(sim::ProbeKind::kIoSkip, site, lane, age_us, age_checked ? 1 : 0);
     }
   }
 
@@ -204,6 +213,7 @@ int16_t EaseioRuntime::CallIo(kernel::TaskCtx& ctx, kernel::IoSiteId site, uint3
     dev.StoreWord(meta.base + kLaneSeq, seq);
     dev.StoreWord(io_meta_[site].site_seq_addr, seq);
     dev.StoreWord(meta.base + kLaneFlag, 1);
+    dev.Note(sim::ProbeKind::kIoLocked, site, lane);
   }
   return value;
 }
@@ -331,6 +341,8 @@ void EaseioRuntime::DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32
         break;
     }
   }
+  dev.Note(sim::ProbeKind::kDmaResolved, site, static_cast<uint32_t>(type), skip ? 1 : 0,
+           force_dep ? 1 : 0);
 
   // --- Perform the transfer(s) -------------------------------------------------------------
   bool executed = false;
@@ -338,6 +350,7 @@ void EaseioRuntime::DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32
     case DmaType::kSingle:
       if (skip) {
         ++dev.stats().dma_skipped;
+        dev.Note(sim::ProbeKind::kDmaSkip, site);
       } else {
         ExecuteDmaTagged(ctx, site, dst, src, nbytes, was_completed);
         executed = true;
@@ -372,6 +385,7 @@ void EaseioRuntime::DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32
     if (type == DmaType::kSingle) {
       // Completion flag only after privatization succeeded: DMA + snapshot are atomic.
       dev.StoreWord(meta.base + kDmaDone, 1);
+      dev.Note(sim::ProbeKind::kDmaLocked, site);
     }
   } else {
     regional_.EnterRegion(ctx, ctx.current_task(), next_region);

@@ -16,11 +16,13 @@ RunResult Engine::Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGr
   while (cur != kTaskDone) {
     ctx.current_task_ = cur;
     try {
+      dev.Note(sim::ProbeKind::kTaskBegin, cur);
       rt.OnTaskBegin(ctx);
       const TaskId next = graph.task(cur).body(ctx);
       rt.OnTaskCommit(ctx);
       dev.FoldAttemptCommitted();
       ++dev.stats().tasks_committed;
+      dev.Note(sim::ProbeKind::kTaskCommit, cur);
       cur = next;
     } catch (const sim::PowerFailure&) {
       // Recovery work (e.g. an undo-log rollback) is itself charged and can be

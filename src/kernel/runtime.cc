@@ -60,6 +60,7 @@ int16_t Runtime::ExecuteIo(TaskCtx& ctx, IoSiteId site, uint32_t lane, const IoO
   ++ls.executions_this_task;
   ++ls.total_executions;
   ++ctx.dev().stats().io_executions;
+  ctx.dev().Note(sim::ProbeKind::kIoExec, site, lane, redundant ? 1 : 0);
   return value;
 }
 
@@ -85,6 +86,8 @@ sim::DmaEngine::TransferInfo Runtime::ExecuteDmaTagged(TaskCtx& ctx, DmaSiteId s
   }
   ++ls.executions_this_task;
   ++ls.total_executions;
+  ctx.dev().Note(sim::ProbeKind::kDmaExec, site, 0,
+                 (static_cast<uint64_t>(dst) << 32) | src, nbytes);
   return info;
 }
 
@@ -151,6 +154,7 @@ void TaskCtx::NvStore16(NvSlotId slot, uint16_t value, uint32_t offset) {
   EASEIO_CHECK(offset + 2 <= s.size, "NV store out of slot bounds");
   rt_.OnNvWrite(*this, s);
   dev_.StoreWord(rt_.TranslateNv(*this, s, offset), value);
+  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 2);
 }
 
 uint32_t TaskCtx::NvLoad32(NvSlotId slot, uint32_t offset) {
@@ -164,6 +168,7 @@ void TaskCtx::NvStore32(NvSlotId slot, uint32_t value, uint32_t offset) {
   EASEIO_CHECK(offset + 4 <= s.size, "NV store out of slot bounds");
   rt_.OnNvWrite(*this, s);
   dev_.StoreWord32(rt_.TranslateNv(*this, s, offset), value);
+  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 4);
 }
 
 }  // namespace easeio::kernel

@@ -45,11 +45,11 @@ class Runtime {
   //     (InK double-buffers all of these);
   //   * `war` — the subset with write-after-read dependencies (all Alpaca privatizes).
   // DMA-touched buffers are never listed: no baseline compiler can see DMA traffic.
+  // The base records the declaration (the invariant checker reads it back); overrides
+  // must call it before acting on the lists.
   virtual void DeclareTaskShared(TaskId task, const std::vector<NvSlotId>& shared,
                                  const std::vector<NvSlotId>& war) {
-    (void)task;
-    (void)shared;
-    (void)war;
+    shared_decls_.push_back({task, shared, war});
   }
 
   // Declares the region structure EaseIO's front-end derives (regions[k] lists the NV
@@ -102,6 +102,12 @@ class Runtime {
   virtual uint32_t CodeSizeBytes() const;
 
   // --- Introspection --------------------------------------------------------------------------
+  struct TaskSharedDecl {
+    TaskId task;
+    std::vector<NvSlotId> shared;
+    std::vector<NvSlotId> war;
+  };
+  const std::vector<TaskSharedDecl>& task_shared_decls() const { return shared_decls_; }
   const std::vector<IoSiteDesc>& io_sites() const { return io_sites_; }
   const std::vector<IoBlockDesc>& io_blocks() const { return blocks_; }
   const std::vector<DmaSiteDesc>& dma_sites() const { return dma_sites_; }
@@ -137,6 +143,7 @@ class Runtime {
   std::vector<IoBlockDesc> blocks_;
   std::vector<DmaSiteDesc> dma_sites_;
   std::vector<LaneStats> dma_stats_;
+  std::vector<TaskSharedDecl> shared_decls_;
 };
 
 }  // namespace easeio::kernel

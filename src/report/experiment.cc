@@ -6,47 +6,6 @@
 
 namespace easeio::report {
 
-const char* ToString(AppKind kind) {
-  switch (kind) {
-    case AppKind::kDma:
-      return "DMA";
-    case AppKind::kTemp:
-      return "Temp.";
-    case AppKind::kLea:
-      return "LEA";
-    case AppKind::kFir:
-      return "FIR Filter";
-    case AppKind::kWeather:
-      return "Weather App.";
-    case AppKind::kBranch:
-      return "Branch";
-  }
-  return "?";
-}
-
-namespace {
-
-apps::AppHandle BuildApp(AppKind kind, sim::Device& dev, kernel::Runtime& rt,
-                         kernel::NvManager& nv, const apps::AppOptions& options) {
-  switch (kind) {
-    case AppKind::kDma:
-      return apps::BuildDmaApp(dev, rt, nv, options);
-    case AppKind::kTemp:
-      return apps::BuildTempApp(dev, rt, nv);
-    case AppKind::kLea:
-      return apps::BuildLeaApp(dev, rt, nv);
-    case AppKind::kFir:
-      return apps::BuildFirApp(dev, rt, nv, options);
-    case AppKind::kWeather:
-      return apps::BuildWeatherApp(dev, rt, nv, options);
-    case AppKind::kBranch:
-      return apps::BuildBranchApp(dev, rt, nv);
-  }
-  EASEIO_CHECK(false, "unknown app kind");
-}
-
-}  // namespace
-
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   // Assemble the failure source.
   sim::NeverFailScheduler never;
@@ -88,7 +47,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   if (apps::IsEaseioOp(config.runtime)) {
     options.exclude_const_dma = true;
   }
-  apps::AppHandle app = BuildApp(config.app, dev, *runtime, nv, options);
+  apps::AppHandle app = apps::BuildApp(config.app, dev, *runtime, nv, options);
 
   kernel::Engine engine;
   ExperimentResult result;
@@ -141,6 +100,24 @@ Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs) {
     agg.wall_us /= runs;
   }
   return agg;
+}
+
+chk::ExploreResult RunExploration(const ExperimentConfig& config,
+                                  const ExplorationOptions& options) {
+  chk::ExploreConfig c;
+  c.app = config.app;
+  c.runtime = config.runtime;
+  c.seed = config.seed;
+  c.app_options = config.app_options;
+  c.easeio_priv_buffer_bytes = config.easeio_priv_buffer_bytes;
+  c.easeio_regional_privatization = config.easeio_regional_privatization;
+  c.timekeeper_tick_us = config.timekeeper_tick_us;
+  c.depth = options.depth;
+  c.budget = options.budget;
+  c.jobs = options.jobs;
+  c.off_us = options.off_us;
+  c.max_on_us = options.max_on_us;
+  return chk::Explore(c);
 }
 
 }  // namespace easeio::report

@@ -11,14 +11,16 @@
 #include <vector>
 
 #include "apps/apps.h"
+#include "apps/registry.h"
 #include "apps/runtime_factory.h"
+#include "chk/explorer.h"
 #include "kernel/engine.h"
 
 namespace easeio::report {
 
-enum class AppKind { kDma, kTemp, kLea, kFir, kWeather, kBranch };
-
-const char* ToString(AppKind kind);
+// The app registry (enum, ToString, BuildApp) lives in apps/registry.h; the alias
+// keeps the many existing report::AppKind call sites working.
+using AppKind = apps::AppKind;
 
 struct ExperimentConfig {
   apps::RuntimeKind runtime = apps::RuntimeKind::kEaseio;
@@ -93,6 +95,23 @@ struct Aggregate {
 };
 
 Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs);
+
+// --- Failure-schedule exploration (src/chk) -------------------------------------------
+// Systematically enumerates depth-1/depth-2 failure placements over the instants a
+// reference run visits, re-executes the app at each, and checks the safety invariants
+// (output equivalence, Single at-most-once, Timely freshness, DMA integrity, WAR
+// commit semantics). The experiment's scheduler fields are ignored — failures come
+// from the enumerated schedules.
+struct ExplorationOptions {
+  int depth = 2;        // 1: single failures; 2: also pairs
+  uint32_t budget = 1500;  // schedule cap per exploration (deterministic subsampling)
+  uint32_t jobs = 0;    // worker threads; 0 = hardware concurrency
+  uint64_t off_us = 700;
+  uint64_t max_on_us = 60'000'000;
+};
+
+chk::ExploreResult RunExploration(const ExperimentConfig& config,
+                                  const ExplorationOptions& options = {});
 
 }  // namespace easeio::report
 

@@ -114,6 +114,7 @@ void Device::CpuCopy(uint32_t dst, uint32_t src, uint32_t nbytes) {
 void Device::Reboot() {
   stats_.FoldFailed();
   ++stats_.power_failures;
+  Note(ProbeKind::kReboot, static_cast<uint32_t>(stats_.power_failures));
 
   if (config_.use_capacitor) {
     // Dark until the harvester refills the capacitor to the boot threshold. With zero

@@ -24,6 +24,7 @@
 #include "sim/lea.h"
 #include "sim/memory.h"
 #include "sim/peripherals.h"
+#include "sim/probe.h"
 #include "sim/stats.h"
 
 namespace easeio::sim {
@@ -111,6 +112,18 @@ class Device {
   // Registers a callback run on every reboot (runtimes clear volatile state here).
   void AddRebootListener(std::function<void()> fn) { reboot_listeners_.push_back(std::move(fn)); }
 
+  // --- Execution probe (src/chk instrumentation) -------------------------------------
+  // Streams probe events to `fn`. Observation is free: no cycles, no energy — an
+  // instrumented run is indistinguishable from an uninstrumented one.
+  void set_probe(ProbeFn fn) { probe_ = std::move(fn); }
+
+  // Emits one probe event stamped with the current on-time. No-op without a probe.
+  void Note(ProbeKind kind, uint32_t id, uint32_t lane = 0, uint64_t a = 0, uint64_t b = 0) {
+    if (probe_) {
+      probe_({kind, id, lane, a, b, clock_.on_us()});
+    }
+  }
+
   // --- Components --------------------------------------------------------------------------
   Memory& mem() { return mem_; }
   const Memory& mem() const { return mem_; }
@@ -156,6 +169,7 @@ class Device {
   LeaAccelerator lea_;
 
   std::vector<std::function<void()>> reboot_listeners_;
+  ProbeFn probe_;
 };
 
 }  // namespace easeio::sim

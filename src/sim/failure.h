@@ -8,6 +8,7 @@
 #ifndef EASEIO_SIM_FAILURE_H_
 #define EASEIO_SIM_FAILURE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -95,21 +96,29 @@ class UniformTimerScheduler : public FailureScheduler {
   uint64_t fail_at_on_us_ = UINT64_MAX;
 };
 
-// Fails at an explicit list of on-time instants, with a fixed off-time. Unit tests use
-// this to land a failure between two specific operations.
+// Fails at an explicit list of on-time instants, with a fixed off-time. Unit tests and
+// the failure-schedule explorer (src/chk) use this to land failures between specific
+// operations.
 class ScriptedScheduler : public FailureScheduler {
  public:
+  // The schedule may arrive in any order; instants must be distinct.
   explicit ScriptedScheduler(std::vector<uint64_t> fail_at_on_us, uint64_t off_us = 1000)
       : fail_at_(std::move(fail_at_on_us)), off_us_(off_us) {
+    std::sort(fail_at_.begin(), fail_at_.end());
     for (size_t i = 1; i < fail_at_.size(); ++i) {
-      EASEIO_CHECK(fail_at_[i - 1] < fail_at_[i], "scripted failures must be increasing");
+      EASEIO_CHECK(fail_at_[i - 1] < fail_at_[i], "scripted failure instants must be distinct");
     }
   }
 
   void OnPowerOn(const SimClock& clock, Xorshift64Star&) override {
-    while (next_ < fail_at_.size() && fail_at_[next_] <= clock.on_us()) {
+    // The first arming (Device::Begin) keeps an instant equal to the current time
+    // pending — a failure scripted at t=0 must fire before the first operation. Every
+    // re-arming after a failure consumes the instant that just fired.
+    while (next_ < fail_at_.size() &&
+           (begun_ ? fail_at_[next_] <= clock.on_us() : fail_at_[next_] < clock.on_us())) {
       ++next_;
     }
+    begun_ = true;
   }
 
   uint64_t OnTimeBudgetUs(const SimClock& clock) const override {
@@ -125,10 +134,16 @@ class ScriptedScheduler : public FailureScheduler {
 
   uint64_t OffTimeUs(Xorshift64Star&) override { return off_us_; }
 
+  // Index of the next pending failure — equivalently, how many scripted failures have
+  // fired so far. Callers use this to report which injected failure killed a run.
+  size_t next_index() const { return next_; }
+  size_t size() const { return fail_at_.size(); }
+
  private:
   std::vector<uint64_t> fail_at_;
   uint64_t off_us_;
   size_t next_ = 0;
+  bool begun_ = false;
 };
 
 // Energy-driven failures: the device browns out when the capacitor crosses v_off. The

@@ -1,0 +1,45 @@
+// Host-side execution probe.
+//
+// The failure-schedule explorer (src/chk) needs to see *where* the interesting
+// on-time instants of a run are: task boundaries, I/O executions and skips, DMA
+// transfers, commit points, NV stores. The device exposes a single optional callback
+// that streams these as events tagged with the on-time clock. Observation is pure
+// host-side instrumentation: it charges no cycles and no energy, so an instrumented
+// run is bit-identical to an uninstrumented one.
+
+#ifndef EASEIO_SIM_PROBE_H_
+#define EASEIO_SIM_PROBE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace easeio::sim {
+
+enum class ProbeKind : uint8_t {
+  kTaskBegin,    // id = task, just before the runtime's task prologue
+  kTaskCommit,   // id = task, after the commit became durable
+  kIoExec,       // id = I/O site, lane; a = 1 when the execution was redundant
+  kIoSkip,       // id = I/O site, lane; a = reading age (us), b = 1 when age-checked
+  kIoLocked,     // id = I/O site, lane; the completion flag became durable
+  kDmaExec,      // id = DMA site; a = (dst << 32) | src, b = nbytes
+  kDmaSkip,      // id = DMA site; a completed transfer was elided
+  kDmaLocked,    // id = DMA site; the completion flag became durable
+  kDmaResolved,  // id = DMA site; lane = resolved class, a = skip, b = dependence-forced
+  kNvWrite,      // id = NV slot; a = offset, b = bytes (after the store landed)
+  kReboot,       // id = power-failure ordinal; on_us is the failure instant
+};
+
+struct ProbeEvent {
+  ProbeKind kind{};
+  uint32_t id = 0;
+  uint32_t lane = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t on_us = 0;
+};
+
+using ProbeFn = std::function<void(const ProbeEvent&)>;
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_PROBE_H_

@@ -1,0 +1,141 @@
+// Tests for the failure-schedule explorer (src/chk): candidate enumeration, coverage,
+// parallel determinism, invariant detection, and the report-level API.
+
+#include <gtest/gtest.h>
+
+#include "chk/explorer.h"
+#include "chk/trace.h"
+#include "report/experiment.h"
+
+namespace easeio::chk {
+namespace {
+
+// --- Candidate enumeration --------------------------------------------------------------
+
+TEST(Trace, CandidateInstantsBracketEveryEvent) {
+  std::vector<sim::ProbeEvent> events;
+  events.push_back({sim::ProbeKind::kIoExec, 1, 0, 0, 0, 100});
+  events.push_back({sim::ProbeKind::kTaskCommit, 0, 0, 0, 0, 350});
+  const std::vector<uint64_t> got = CandidateInstants(events, 1000);
+  // Each event yields its own instant and the instant just before it.
+  EXPECT_EQ(got, (std::vector<uint64_t>{99, 100, 349, 350}));
+}
+
+TEST(Trace, CandidateInstantsDedupAndClamp) {
+  std::vector<sim::ProbeEvent> events;
+  events.push_back({sim::ProbeKind::kIoExec, 1, 0, 0, 0, 100});
+  events.push_back({sim::ProbeKind::kIoExec, 2, 0, 0, 0, 100});  // duplicate instant
+  events.push_back({sim::ProbeKind::kIoExec, 3, 0, 0, 0, 101});  // 100 overlaps 101-1
+  events.push_back({sim::ProbeKind::kTaskBegin, 0, 0, 0, 0, 0});  // 0-1 underflows: only 0
+  events.push_back({sim::ProbeKind::kIoExec, 4, 0, 0, 0, 500});  // at/past end: clamped
+  const std::vector<uint64_t> got = CandidateInstants(events, 500);
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 99, 100, 101, 499}));
+}
+
+TEST(Trace, CandidateInstantsIgnoreReboots) {
+  std::vector<sim::ProbeEvent> events;
+  events.push_back({sim::ProbeKind::kReboot, 1, 0, 0, 0, 200});
+  EXPECT_TRUE(CandidateInstants(events, 1000).empty());
+}
+
+// --- Exploration ------------------------------------------------------------------------
+
+TEST(Explorer, CoversUnitaskAppsCleanly) {
+  // Acceptance bar: >= 500 distinct schedules across the unitask apps under EaseIO,
+  // all completing, with zero invariant violations.
+  uint32_t total_schedules = 0;
+  for (apps::AppKind app : apps::kUnitaskApps) {
+    ExploreConfig cfg;
+    cfg.app = app;
+    cfg.runtime = apps::RuntimeKind::kEaseio;
+    cfg.depth = 2;
+    cfg.budget = 250;
+    const ExploreResult r = Explore(cfg);
+    EXPECT_GT(r.candidate_instants, 0u) << r.app;
+    EXPECT_EQ(r.completed, r.schedules) << r.app;
+    EXPECT_TRUE(r.violations.empty())
+        << r.app << ": " << (r.violations.empty() ? "" : r.violations.front().detail);
+    total_schedules += r.schedules;
+  }
+  EXPECT_GE(total_schedules, 500u);
+}
+
+TEST(Explorer, ParallelJobsAreBitIdentical) {
+  ExploreConfig cfg;
+  cfg.app = apps::AppKind::kTemp;
+  cfg.runtime = apps::RuntimeKind::kEaseio;
+  cfg.depth = 2;
+  cfg.budget = 120;
+  ExploreConfig serial = cfg;
+  serial.jobs = 1;
+  ExploreConfig parallel = cfg;
+  parallel.jobs = 4;
+  EXPECT_EQ(ToJson(Explore(serial)), ToJson(Explore(parallel)));
+}
+
+TEST(Explorer, BaselineRuntimePassesEventInvariants) {
+  // Alpaca has no Single/Timely semantics; the event invariants must not fire on it.
+  ExploreConfig cfg;
+  cfg.app = apps::AppKind::kTemp;
+  cfg.runtime = apps::RuntimeKind::kAlpaca;
+  cfg.depth = 1;
+  cfg.budget = 150;
+  const ExploreResult r = Explore(cfg);
+  EXPECT_GT(r.schedules, 0u);
+  for (const Violation& v : r.violations) {
+    EXPECT_NE(v.invariant, Invariant::kSingleReexec) << v.detail;
+    EXPECT_NE(v.invariant, Invariant::kStaleTimely) << v.detail;
+  }
+}
+
+TEST(Explorer, DetectsSeededRegionalPrivatizationBug) {
+  // With regional DMA privatization disabled, EaseIO on the DMA app loses WAR
+  // protection for job_count: a failure between the NV increment and the task commit
+  // double-applies the increment on replay. Depth-1 exhaustive search must find it
+  // and report a minimal (single-failure) schedule.
+  ExploreConfig cfg;
+  cfg.app = apps::AppKind::kDma;
+  cfg.runtime = apps::RuntimeKind::kEaseio;
+  cfg.easeio_regional_privatization = false;
+  cfg.depth = 1;
+  cfg.budget = 4000;  // exhaustive: the vulnerable window is narrow
+  const ExploreResult r = Explore(cfg);
+  EXPECT_EQ(r.schedules_skipped, 0u) << "budget must cover all depth-1 placements";
+  ASSERT_FALSE(r.violations.empty());
+  for (const Violation& v : r.violations) {
+    EXPECT_EQ(v.schedule.size(), 1u) << "depth-1 search found a non-minimal schedule";
+  }
+}
+
+TEST(Explorer, JsonIsWellFormedAndStable) {
+  ExploreConfig cfg;
+  cfg.app = apps::AppKind::kBranch;
+  cfg.runtime = apps::RuntimeKind::kEaseio;
+  cfg.depth = 1;
+  cfg.budget = 50;
+  const ExploreResult r = Explore(cfg);
+  const std::string json = ToJson(r);
+  EXPECT_NE(json.find("\"app\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedules\""), std::string::npos);
+  EXPECT_NE(json.find("\"violations\""), std::string::npos);
+  EXPECT_EQ(json, ToJson(Explore(cfg)));  // re-running is byte-identical
+}
+
+// --- Report-level API -------------------------------------------------------------------
+
+TEST(RunExploration, MapsExperimentConfigThrough) {
+  report::ExperimentConfig config;
+  config.app = report::AppKind::kBranch;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  report::ExplorationOptions options;
+  options.depth = 1;
+  options.budget = 200;
+  const ExploreResult r = report::RunExploration(config, options);
+  EXPECT_EQ(r.app, "Branch");
+  EXPECT_GT(r.schedules, 0u);
+  EXPECT_EQ(r.completed, r.schedules);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+}  // namespace
+}  // namespace easeio::chk

@@ -163,6 +163,74 @@ TEST(Failure, ScriptedFiresAtExactInstants) {
   EXPECT_EQ(sched.OnTimeBudgetUs(clock), 150u);
 }
 
+TEST(Failure, ScriptedAcceptsUnsortedSchedule) {
+  SimClock clock;
+  Xorshift64Star rng(1);
+  ScriptedScheduler sched({250, 100}, 10);
+  Capacitor cap;
+  sched.OnPowerOn(clock, rng);
+  EXPECT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched.next_index(), 0u);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 100u);  // the earlier instant fires first
+  clock.AdvanceOn(100);
+  EXPECT_TRUE(sched.FailNow(clock, cap));
+  sched.OnPowerOn(clock, rng);
+  EXPECT_EQ(sched.next_index(), 1u);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 150u);
+}
+
+TEST(Failure, ScriptedRejectsDuplicateInstants) {
+  EXPECT_DEATH(ScriptedScheduler({100, 100}, 10), "distinct");
+}
+
+TEST(Failure, ScriptedFailureAtTimeZeroFiresOnce) {
+  ScriptedScheduler sched({0}, 10);
+  Device dev(Config(), sched);
+  dev.Begin();
+  EXPECT_THROW(dev.Cpu(1), PowerFailure);  // dies before any work lands
+  EXPECT_EQ(dev.clock().on_us(), 0u);
+  dev.Reboot();
+  EXPECT_EQ(sched.next_index(), 1u);  // the t=0 instant is consumed, not re-armed
+  dev.Cpu(1000);
+  EXPECT_EQ(dev.clock().on_us(), 1000u);
+}
+
+TEST(Failure, ScriptedTwoFailuresInsideOneOpBudget) {
+  ScriptedScheduler sched({500, 501}, 10);
+  Device dev(Config(), sched);
+  dev.Begin();
+  EXPECT_THROW(dev.Cpu(1000), PowerFailure);
+  EXPECT_EQ(dev.clock().on_us(), 500u);
+  dev.Reboot();
+  EXPECT_THROW(dev.Cpu(1000), PowerFailure);  // the second instant is 1 us later
+  EXPECT_EQ(dev.clock().on_us(), 501u);
+  dev.Reboot();
+  EXPECT_EQ(sched.next_index(), 2u);
+  dev.Cpu(1000);  // schedule exhausted: runs to completion
+}
+
+TEST(Failure, CapacitorSchedulerBudgetIsQuantum) {
+  SimClock clock;
+  CapacitorScheduler sched(75);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 75u);
+  clock.AdvanceOn(1000);
+  EXPECT_EQ(sched.OnTimeBudgetUs(clock), 75u);  // quantum is time-invariant
+}
+
+TEST(Failure, CapacitorSchedulerRejectsZeroQuantum) {
+  EXPECT_DEATH(CapacitorScheduler(0), "positive");
+}
+
+TEST(Failure, CapacitorSchedulerFailsOnlyBelowOff) {
+  SimClock clock;
+  CapacitorScheduler sched;
+  Capacitor cap(1e-6, 3.0, 1.8, 3.6);
+  EXPECT_FALSE(sched.FailNow(clock, cap));
+  cap.Draw(cap.UsableJ() * 2);  // push the voltage below v_off
+  EXPECT_TRUE(cap.BelowOff());
+  EXPECT_TRUE(sched.FailNow(clock, cap));
+}
+
 TEST(Failure, DeviceThrowsAtScriptedInstant) {
   ScriptedScheduler sched({500}, 10);
   Device dev(Config(), sched);

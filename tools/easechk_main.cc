@@ -1,0 +1,190 @@
+// easechk — systematic failure-schedule exploration and invariant checking.
+//
+// Enumerates power-failure placements over the instants a reference run visits
+// (depth 1: every single placement; depth 2: pairs seeded from each depth-1 trial's
+// own post-failure trace), re-executes the application at each, and checks the safety
+// invariants: golden-output equivalence, Single at-most-once, Timely freshness, DMA
+// integrity, WAR commit semantics.
+//
+// Usage:
+//   easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N] [--budget=N]
+//           [--seed=N] [--off-us=N] [--no-regional] [--json=PATH] [--expect-clean]
+//
+//   --app       dma | temp | lea | fir | weather | branch | unitask | all
+//               (unitask = dma+temp+lea; default: unitask)
+//   --runtime   alpaca | ink | samoyed | easeio | easeio-op | all  (default: easeio)
+//   --depth     failure placements per schedule (default: 2)
+//   --jobs      worker threads; 0 = hardware concurrency (default: 0)
+//   --budget    schedule cap per (app, runtime); excess subsampled (default: 1500)
+//   --seed      device/sensor seed (default: 1)
+//   --off-us    dark time after each injected failure (default: 700)
+//   --no-regional   disable EaseIO regional DMA privatization (bug-hunting ablation)
+//   --json      also write results as JSON to PATH
+//   --expect-clean  exit nonzero if any invariant violation was found
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chk/explorer.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace easeio;
+
+bool ParseApps(const std::string& name, std::vector<apps::AppKind>* out) {
+  if (name == "all") {
+    out->assign(std::begin(apps::kAllApps), std::end(apps::kAllApps));
+    return true;
+  }
+  if (name == "unitask") {
+    out->assign(std::begin(apps::kUnitaskApps), std::end(apps::kUnitaskApps));
+    return true;
+  }
+  static const std::pair<const char*, apps::AppKind> kNames[] = {
+      {"dma", apps::AppKind::kDma},         {"temp", apps::AppKind::kTemp},
+      {"lea", apps::AppKind::kLea},         {"fir", apps::AppKind::kFir},
+      {"weather", apps::AppKind::kWeather}, {"branch", apps::AppKind::kBranch},
+  };
+  for (const auto& [n, kind] : kNames) {
+    if (name == n) {
+      out->assign(1, kind);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseRuntimes(const std::string& name, std::vector<apps::RuntimeKind>* out) {
+  if (name == "all") {
+    out->assign({apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk,
+                 apps::RuntimeKind::kSamoyed, apps::RuntimeKind::kEaseio,
+                 apps::RuntimeKind::kEaseioOp});
+    return true;
+  }
+  static const std::pair<const char*, apps::RuntimeKind> kNames[] = {
+      {"alpaca", apps::RuntimeKind::kAlpaca},     {"ink", apps::RuntimeKind::kInk},
+      {"samoyed", apps::RuntimeKind::kSamoyed},   {"easeio", apps::RuntimeKind::kEaseio},
+      {"easeio-op", apps::RuntimeKind::kEaseioOp}, {"easeio_op", apps::RuntimeKind::kEaseioOp},
+  };
+  for (const auto& [n, kind] : kNames) {
+    if (name == n) {
+      out->assign(1, kind);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<apps::AppKind> app_list(std::begin(apps::kUnitaskApps),
+                                      std::end(apps::kUnitaskApps));
+  std::vector<apps::RuntimeKind> rt_list = {apps::RuntimeKind::kEaseio};
+  chk::ExploreConfig base;
+  std::string json_path;
+  bool expect_clean = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--app=")) {
+      if (!ParseApps(v, &app_list)) {
+        std::fprintf(stderr, "easechk: unknown app '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--runtime=")) {
+      if (!ParseRuntimes(v, &rt_list)) {
+        std::fprintf(stderr, "easechk: unknown runtime '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--depth=")) {
+      base.depth = std::atoi(v);
+      if (base.depth < 1 || base.depth > 2) {
+        std::fprintf(stderr, "easechk: --depth must be 1 or 2\n");
+        return 2;
+      }
+    } else if (const char* v = value("--jobs=")) {
+      base.jobs = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--budget=")) {
+      base.budget = static_cast<uint32_t>(std::atol(v));
+    } else if (const char* v = value("--seed=")) {
+      base.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--off-us=")) {
+      base.off_us = static_cast<uint64_t>(std::atoll(v));
+    } else if (const char* v = value("--json=")) {
+      json_path = v;
+    } else if (arg == "--no-regional") {
+      base.easeio_regional_privatization = false;
+    } else if (arg == "--expect-clean") {
+      expect_clean = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
+                  "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
+                  "               [--json=PATH] [--expect-clean]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "easechk: unknown option '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<chk::ExploreResult> results;
+  size_t total_violations = 0;
+  for (apps::AppKind app : app_list) {
+    for (apps::RuntimeKind rt : rt_list) {
+      chk::ExploreConfig cfg = base;
+      cfg.app = app;
+      cfg.runtime = rt;
+      results.push_back(chk::Explore(cfg));
+      total_violations += results.back().violations.size();
+    }
+  }
+
+  report::TextTable table({"App", "Runtime", "Trace pts", "Schedules", "Completed",
+                           "Skipped", "Violations"});
+  for (const chk::ExploreResult& r : results) {
+    table.AddRow({r.app, r.runtime, std::to_string(r.candidate_instants),
+                  std::to_string(r.schedules), std::to_string(r.completed),
+                  std::to_string(r.schedules_skipped), std::to_string(r.violations.size())});
+  }
+  table.Print();
+
+  for (const chk::ExploreResult& r : results) {
+    for (const chk::Violation& v : r.violations) {
+      std::string sched = "{";
+      for (size_t i = 0; i < v.schedule.size(); ++i) {
+        sched += (i ? ", " : "") + std::to_string(v.schedule[i]);
+      }
+      sched += "}";
+      std::printf("VIOLATION [%s/%s] %s: %s — %s at failure schedule %s us\n", r.app.c_str(),
+                  r.runtime.c_str(), chk::ToString(v.invariant), v.subject.c_str(),
+                  v.detail.c_str(), sched.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "easechk: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << chk::ToJson(results) << "\n";
+  }
+
+  if (total_violations == 0) {
+    std::printf("easechk: %zu exploration(s), no invariant violations\n", results.size());
+  } else {
+    std::printf("easechk: %zu exploration(s), %zu invariant violation(s)\n", results.size(),
+                total_violations);
+  }
+  return expect_clean && total_violations > 0 ? 1 : 0;
+}
