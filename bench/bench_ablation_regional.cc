@@ -15,14 +15,18 @@
 namespace easeio::bench {
 namespace {
 
-void Row(report::TextTable& table, const char* label, bool regional, uint32_t runs) {
+void Row(BenchEmitter& emitter, report::TextTable& table, const char* label, bool regional,
+         uint32_t runs, uint32_t jobs) {
   report::ExperimentConfig config;
   config.runtime = apps::RuntimeKind::kEaseio;
   config.app = report::AppKind::kWeather;
   config.app_options.single_buffer = false;
   config.app_options.jobs = 3;
   config.easeio_regional_privatization = regional;
-  const report::Aggregate agg = report::RunSweep(config, runs);
+  const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+  emitter.AddAggregate({{"configuration", label},
+                        {"regional_privatization", regional ? "on" : "off"}},
+                       agg);
   table.AddRow({label, report::Fmt(agg.total_us / 1e3, 2),
                 report::Fmt(agg.overhead_us / 1e3, 2), std::to_string(agg.correct),
                 std::to_string(agg.incorrect)});
@@ -30,25 +34,31 @@ void Row(report::TextTable& table, const char* label, bool regional, uint32_t ru
 
 void Main() {
   const uint32_t runs = SweepRuns(500);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("ablation_regional",
+                       "EaseIO on the 3-job weather workload, regions on vs off");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Ablation: regional privatization",
               "EaseIO on the 3-job weather workload, regions on vs off");
   std::printf("(%u runs per row)\n\n", runs);
 
   report::TextTable table(
       {"Configuration", "Total (ms)", "Overhead (ms)", "Correct", "Incorrect"});
-  Row(table, "EaseIO (regional privatization)", /*regional=*/true, runs);
-  Row(table, "EaseIO (regions disabled)", /*regional=*/false, runs);
+  Row(emitter, table, "EaseIO (regional privatization)", /*regional=*/true, runs, jobs);
+  Row(emitter, table, "EaseIO (regions disabled)", /*regional=*/false, runs, jobs);
   table.Print();
 
   std::printf(
       "\nEvery Incorrect run in the disabled row lost at least one sensing job to a\n"
       "double-incremented WAR counter — the inconsistency class Section 4.4 targets.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

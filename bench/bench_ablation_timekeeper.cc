@@ -13,6 +13,10 @@ namespace {
 
 void Main() {
   const uint32_t runs = SweepRuns(500);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("ablation_timekeeper",
+                       "Timely temperature app vs persistent-timekeeper tick");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Ablation: timekeeper resolution",
               "Timely temperature app vs persistent-timekeeper tick");
   std::printf("(%u runs per row; 10 ms freshness window)\n\n", runs);
@@ -23,7 +27,8 @@ void Main() {
     config.runtime = apps::RuntimeKind::kEaseio;
     config.app = report::AppKind::kTemp;
     config.timekeeper_tick_us = tick_us;
-    const report::Aggregate agg = report::RunSweep(config, runs);
+    const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+    emitter.AddAggregate({{"tick_us", std::to_string(tick_us)}}, agg);
     table.AddRow({report::Fmt(static_cast<double>(tick_us) / 1000.0, 3) + " ms",
                   report::Fmt(agg.total_us / 1e3, 2), std::to_string(agg.io_reexecutions),
                   std::to_string(agg.io_skipped)});
@@ -36,12 +41,14 @@ void Main() {
       "*under*-detects staleness and serves expired readings as fresh (more skips,\n"
       "fewer re-reads — but violated freshness). Timekeeper resolution is therefore a\n"
       "correctness parameter for Timely, not a mere overhead knob.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

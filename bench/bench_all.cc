@@ -1,0 +1,218 @@
+// Driver: runs the whole bench grid and merges the per-binary JSON artifacts into a
+// top-level BENCH_SUMMARY.json.
+//
+// Each bench binary stays independently runnable; this driver shells out to the
+// sibling executables (resolved next to argv[0]), forwards --runs/--jobs via the
+// EASEIO_BENCH_RUNS / EASEIO_BENCH_JOBS environment, and splices the raw
+// results/bench_<artifact>.json files verbatim into the summary:
+//
+//   { "schema": "easeio-bench-summary/1",
+//     "config":  { "runs": .., "jobs": .. },          // absent if not forced here
+//     "benches": [ <bench_<artifact>.json object>, .. ],
+//     "failed":  [ "<artifact>", .. ],                 // non-zero exit or missing JSON
+//     "total_benches": N, "wall_seconds": S }
+//
+// Exit status is non-zero iff any bench failed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace easeio::bench {
+namespace {
+
+// Grid order: paper artifacts first, then ablations/extensions, micro last (it is the
+// only binary with its own flag grammar, so it must not receive --runs/--jobs).
+const char* const kArtifacts[] = {
+    "fig7_unitask",      "fig8_energy_unitask", "fig10_multitask",
+    "fig11_energy_multitask", "fig12_correctness", "fig13_harvester",
+    "table1_features",   "table3_appstats",     "table4_reexec",
+    "table5_dnn_buffers", "table6_memory",      "ablation_regional",
+    "ablation_timekeeper", "sweep_failure_rate", "ext_samoyed",
+    "ext_trace",         "micro_overheads",
+};
+
+bool Skipped(const std::vector<std::string>& skips, const char* artifact) {
+  for (const std::string& s : skips) {
+    if (s == artifact) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Reads a whole file; empty string on failure.
+std::string Slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+// Trims trailing whitespace and sanity-checks that the artifact looks like a JSON
+// object (full validation happens downstream, e.g. CI's `python3 -m json.tool`).
+std::string TrimArtifactJson(std::string raw) {
+  while (!raw.empty() && (raw.back() == '\n' || raw.back() == '\r' || raw.back() == ' ')) {
+    raw.pop_back();
+  }
+  if (raw.empty() || raw.front() != '{' || raw.back() != '}') {
+    return {};
+  }
+  return raw;
+}
+
+int Main(int argc, char** argv) {
+  int64_t runs = -1;
+  int64_t jobs = -1;
+  std::string out_path = "BENCH_SUMMARY.json";
+  std::vector<std::string> skips;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t v = 0;
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      if (!ParseUintFull(arg + 7, 1, 1'000'000, &v)) {
+        std::fprintf(stderr, "%s: invalid --runs value '%s'\n", argv[0], arg + 7);
+        return 2;
+      }
+      runs = static_cast<int64_t>(v);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!ParseUintFull(arg + 7, 0, 4096, &v)) {
+        std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", argv[0], arg + 7);
+        return 2;
+      }
+      jobs = static_cast<int64_t>(v);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--skip=", 7) == 0) {
+      // Comma-separated artifact slugs.
+      std::string list = arg + 7;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) {
+          skips.push_back(list.substr(pos, end - pos));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: %s [--runs=N] [--jobs=N] [--out=PATH] [--skip=a,b,..]\n"
+          "  --runs  sweep size per cell, exported as EASEIO_BENCH_RUNS\n"
+          "  --jobs  sweep worker threads, exported as EASEIO_BENCH_JOBS\n"
+          "  --out   summary path (default BENCH_SUMMARY.json)\n"
+          "  --skip  comma-separated artifact slugs to skip\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg);
+      return 2;
+    }
+  }
+  if (runs >= 0) {
+    ::setenv("EASEIO_BENCH_RUNS", std::to_string(runs).c_str(), /*overwrite=*/1);
+  }
+  if (jobs >= 0) {
+    ::setenv("EASEIO_BENCH_JOBS", std::to_string(jobs).c_str(), /*overwrite=*/1);
+  }
+
+  const std::filesystem::path bin_dir = [&] {
+    std::filesystem::path self(argv[0]);
+    return self.has_parent_path() ? self.parent_path() : std::filesystem::path(".");
+  }();
+  const char* env_dir = std::getenv("EASEIO_BENCH_OUT_DIR");
+  const std::filesystem::path results_dir(env_dir != nullptr && *env_dir != '\0' ? env_dir
+                                                                                 : "results");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::string> merged;  // raw per-bench JSON objects, grid order
+  std::vector<std::string> failed;
+  for (const char* artifact : kArtifacts) {
+    if (Skipped(skips, artifact)) {
+      std::printf("[bench_all] skipping %s\n", artifact);
+      continue;
+    }
+    const std::filesystem::path exe = bin_dir / (std::string("bench_") + artifact);
+    std::error_code ec;
+    if (!std::filesystem::exists(exe, ec)) {
+      std::fprintf(stderr, "[bench_all] missing binary %s\n", exe.string().c_str());
+      failed.emplace_back(artifact);
+      continue;
+    }
+    std::printf("[bench_all] running %s\n", exe.string().c_str());
+    std::fflush(stdout);
+    const std::string cmd = "\"" + exe.string() + "\"";
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "[bench_all] %s exited with status %d\n", artifact, rc);
+      failed.emplace_back(artifact);
+      continue;
+    }
+    const std::filesystem::path json_path =
+        results_dir / (std::string("bench_") + artifact + ".json");
+    std::string raw = TrimArtifactJson(Slurp(json_path));
+    if (raw.empty()) {
+      std::fprintf(stderr, "[bench_all] %s produced no JSON at %s\n", artifact,
+                   json_path.string().c_str());
+      failed.emplace_back(artifact);
+      continue;
+    }
+    merged.push_back(std::move(raw));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-bench-summary/1");
+  w.Key("config").BeginObject();
+  if (runs >= 0) {
+    w.Key("runs").Int(runs);
+  }
+  if (jobs >= 0) {
+    w.Key("jobs").Int(jobs);
+  }
+  w.EndObject();
+  w.Key("benches").BeginArray();
+  for (const std::string& raw : merged) {
+    w.Raw(raw);
+  }
+  w.EndArray();
+  w.Key("failed").BeginArray();
+  for (const std::string& artifact : failed) {
+    w.String(artifact);
+  }
+  w.EndArray();
+  w.Key("total_benches").UInt(merged.size());
+  w.Key("wall_seconds").Double(wall_s);
+  w.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench_all] cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << w.TakeString() << "\n";
+  std::printf("[bench_all] wrote %s (%zu benches, %zu failed, %.1f s)\n", out_path.c_str(),
+              merged.size(), failed.size(), wall_s);
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main(int argc, char** argv) { return easeio::bench::Main(argc, argv); }

@@ -2,31 +2,136 @@
 //
 // Every binary in this directory regenerates one artifact of the paper's evaluation
 // section (Section 5): it sweeps the relevant {application x runtime} grid with the
-// paper's failure emulation, prints the corresponding table or figure as text, and is
-// runnable standalone (`build/bench/bench_<artifact>`). Sweep sizes default to the
-// paper's 1000 runs; set EASEIO_BENCH_RUNS to override (e.g. 50 for a quick pass).
+// paper's failure emulation, prints the corresponding table or figure as text, and
+// writes the same data machine-readably to results/bench_<artifact>.json (see
+// BenchEmitter below). Each binary is runnable standalone
+// (`build/bench/bench_<artifact>`); `build/bench/bench_all` runs the whole grid and
+// merges the JSON artifacts into BENCH_SUMMARY.json.
+//
+// Knobs, each a flag with an environment fallback:
+//   --runs=N  / EASEIO_BENCH_RUNS  sweep size per cell (default: the paper's 1000)
+//   --jobs=N  / EASEIO_BENCH_JOBS  worker threads per sweep (default 0 = hardware
+//                                  concurrency; results are identical for any value)
 
 #ifndef EASEIO_BENCH_BENCH_COMMON_H_
 #define EASEIO_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "report/experiment.h"
+#include "report/json.h"
 #include "report/table.h"
 
 namespace easeio::bench {
 
+// Parses a base-10 unsigned integer that occupies the *whole* string (no trailing
+// garbage, no sign) and lies in [min, max]. Returns false otherwise.
+inline bool ParseUintFull(const char* s, uint64_t min, uint64_t max, uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    return false;
+  }
+  if (v < min || v > max) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+namespace internal {
+// Set by ParseBenchArgs; flags take precedence over the environment.
+inline int64_t g_runs_override = -1;
+inline int64_t g_jobs_override = -1;
+}  // namespace internal
+
+// Sweep size per cell: --runs flag, else EASEIO_BENCH_RUNS, else `fallback`. An env
+// value that is not a clean integer in [1, 10^6] (e.g. "50x", "-4", "") is rejected
+// with a warning on stderr instead of silently truncating or falling back.
 inline uint32_t SweepRuns(uint32_t fallback = 1000) {
+  if (internal::g_runs_override >= 0) {
+    return static_cast<uint32_t>(internal::g_runs_override);
+  }
   const char* env = std::getenv("EASEIO_BENCH_RUNS");
   if (env != nullptr) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) {
+    uint64_t v = 0;
+    if (ParseUintFull(env, 1, 1'000'000, &v)) {
       return static_cast<uint32_t>(v);
     }
+    std::fprintf(stderr,
+                 "bench: ignoring invalid EASEIO_BENCH_RUNS='%s' (expected integer in "
+                 "[1, 1000000]); using %u\n",
+                 env, fallback);
   }
   return fallback;
+}
+
+// Worker threads per sweep: --jobs flag, else EASEIO_BENCH_JOBS, else 0 (hardware
+// concurrency). The sweep results are byte-identical for any value.
+inline uint32_t SweepJobs() {
+  if (internal::g_jobs_override >= 0) {
+    return static_cast<uint32_t>(internal::g_jobs_override);
+  }
+  const char* env = std::getenv("EASEIO_BENCH_JOBS");
+  if (env != nullptr) {
+    uint64_t v = 0;
+    if (ParseUintFull(env, 0, 4096, &v)) {
+      return static_cast<uint32_t>(v);
+    }
+    std::fprintf(stderr,
+                 "bench: ignoring invalid EASEIO_BENCH_JOBS='%s' (expected integer in "
+                 "[0, 4096]); using hardware concurrency\n",
+                 env);
+  }
+  return 0;
+}
+
+// Shared flag parsing for every bench binary: --runs=N and --jobs=N override the
+// environment; anything else is a usage error (exit 2).
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t v = 0;
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      if (!ParseUintFull(arg + 7, 1, 1'000'000, &v)) {
+        std::fprintf(stderr, "%s: invalid --runs value '%s' (expected integer in [1, 1000000])\n",
+                     argv[0], arg + 7);
+        std::exit(2);
+      }
+      internal::g_runs_override = static_cast<int64_t>(v);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!ParseUintFull(arg + 7, 0, 4096, &v)) {
+        std::fprintf(stderr, "%s: invalid --jobs value '%s' (expected integer in [0, 4096])\n",
+                     argv[0], arg + 7);
+        std::exit(2);
+      }
+      internal::g_jobs_override = static_cast<int64_t>(v);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf("usage: %s [--runs=N] [--jobs=N]\n"
+                  "  --runs  sweep size per cell (env EASEIO_BENCH_RUNS)\n"
+                  "  --jobs  sweep worker threads, 0 = hardware concurrency "
+                  "(env EASEIO_BENCH_JOBS)\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg);
+      std::exit(2);
+    }
+  }
 }
 
 inline void PrintHeader(const char* artifact, const char* description) {
@@ -34,6 +139,164 @@ inline void PrintHeader(const char* artifact, const char* description) {
   std::printf("%s — %s\n", artifact, description);
   std::printf("================================================================\n");
 }
+
+// Collects one bench binary's results and writes results/bench_<artifact>.json
+// (directory overridable via EASEIO_BENCH_OUT_DIR) alongside the ASCII output.
+//
+// Schema ("easeio-bench/1"):
+//   { "schema", "artifact", "description",
+//     "config":   { "runs", "jobs", <extra key/values> },
+//     "cells":    [ { "labels": {..}, "metrics": {name: number, ..},
+//                     "text": {name: string, ..} }, .. ],
+//     "experiment_runs": <total experiment executions>,
+//     "wall_seconds": <host wall-clock for the whole binary>,
+//     "runs_per_second": <experiment_runs / wall_seconds> }
+//
+// Cells are emitted in insertion order; numbers use shortest-round-trip formatting —
+// for a fixed configuration the file is byte-identical across runs of the simulator
+// portion (wall_seconds/runs_per_second are the only host-dependent fields).
+class BenchEmitter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  BenchEmitter(std::string artifact, std::string description)
+      : artifact_(std::move(artifact)),
+        description_(std::move(description)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  // Records the sweep configuration (shown under "config").
+  void SetSweep(uint32_t runs, uint32_t jobs) {
+    runs_ = runs;
+    jobs_ = jobs;
+  }
+  void AddConfig(std::string key, std::string value) {
+    config_text_.emplace_back(std::move(key), std::move(value));
+  }
+
+  // One grid cell holding a full sweep Aggregate.
+  void AddAggregate(Labels labels, const report::Aggregate& agg) {
+    Cell cell;
+    cell.labels = std::move(labels);
+    cell.metrics = {{"runs", static_cast<double>(agg.runs)},
+                    {"completed", static_cast<double>(agg.completed)},
+                    {"correct", static_cast<double>(agg.correct)},
+                    {"incorrect", static_cast<double>(agg.incorrect)},
+                    {"total_us", agg.total_us},
+                    {"app_us", agg.app_us},
+                    {"overhead_us", agg.overhead_us},
+                    {"wasted_us", agg.wasted_us},
+                    {"energy_mj", agg.energy_mj},
+                    {"wall_us", agg.wall_us},
+                    {"power_failures", static_cast<double>(agg.power_failures)},
+                    {"io_reexecutions", static_cast<double>(agg.io_reexecutions)},
+                    {"io_skipped", static_cast<double>(agg.io_skipped)}};
+    experiment_runs_ += agg.runs;
+    cells_.push_back(std::move(cell));
+  }
+
+  // One grid cell holding ad-hoc numeric metrics (footprints, counts, milliseconds).
+  // `runs` counts toward the binary's throughput accounting.
+  void AddMetrics(Labels labels, std::vector<std::pair<std::string, double>> metrics,
+                  uint64_t runs = 0) {
+    Cell cell;
+    cell.labels = std::move(labels);
+    cell.metrics = std::move(metrics);
+    experiment_runs_ += runs;
+    cells_.push_back(std::move(cell));
+  }
+
+  // One grid cell holding qualitative string fields (Table 1 style).
+  void AddText(Labels labels, std::vector<std::pair<std::string, std::string>> fields) {
+    Cell cell;
+    cell.labels = std::move(labels);
+    cell.text = std::move(fields);
+    cells_.push_back(std::move(cell));
+  }
+
+  // Serializes and writes the artifact; returns false (with a stderr warning) if the
+  // output directory or file cannot be written.
+  bool Write() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("easeio-bench/1");
+    w.Key("artifact").String(artifact_);
+    w.Key("description").String(description_);
+    w.Key("config").BeginObject();
+    w.Key("runs").UInt(runs_);
+    w.Key("jobs").UInt(jobs_);
+    for (const auto& [k, v] : config_text_) {
+      w.Key(k).String(v);
+    }
+    w.EndObject();
+    w.Key("cells").BeginArray();
+    for (const Cell& cell : cells_) {
+      w.BeginObject();
+      w.Key("labels").BeginObject();
+      for (const auto& [k, v] : cell.labels) {
+        w.Key(k).String(v);
+      }
+      w.EndObject();
+      if (!cell.metrics.empty()) {
+        w.Key("metrics").BeginObject();
+        for (const auto& [k, v] : cell.metrics) {
+          w.Key(k).Double(v);
+        }
+        w.EndObject();
+      }
+      if (!cell.text.empty()) {
+        w.Key("text").BeginObject();
+        for (const auto& [k, v] : cell.text) {
+          w.Key(k).String(v);
+        }
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("experiment_runs").UInt(experiment_runs_);
+    w.Key("wall_seconds").Double(wall_s);
+    w.Key("runs_per_second")
+        .Double(wall_s > 0 ? static_cast<double>(experiment_runs_) / wall_s : 0.0);
+    w.EndObject();
+
+    const char* env_dir = std::getenv("EASEIO_BENCH_OUT_DIR");
+    const std::filesystem::path dir(env_dir != nullptr && *env_dir != '\0' ? env_dir
+                                                                           : "results");
+    const std::filesystem::path path = dir / ("bench_" + artifact_ + ".json");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.string().c_str());
+      return false;
+    }
+    out << w.TakeString() << "\n";
+    std::printf("\n[%s] wrote %s (%llu experiment runs in %.2f s, %.0f runs/s)\n",
+                artifact_.c_str(), path.string().c_str(),
+                static_cast<unsigned long long>(experiment_runs_), wall_s,
+                wall_s > 0 ? static_cast<double>(experiment_runs_) / wall_s : 0.0);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    Labels labels;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, std::string>> text;
+  };
+
+  std::string artifact_;
+  std::string description_;
+  std::chrono::steady_clock::time_point start_;
+  uint32_t runs_ = 0;
+  uint32_t jobs_ = 0;
+  std::vector<std::pair<std::string, std::string>> config_text_;
+  std::vector<Cell> cells_;
+  uint64_t experiment_runs_ = 0;
+};
 
 inline constexpr apps::RuntimeKind kBaselinePlusEaseio[] = {
     apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio};

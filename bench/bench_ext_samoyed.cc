@@ -15,6 +15,10 @@ namespace {
 
 void Main() {
   const uint32_t runs = SweepRuns(500);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("ext_samoyed",
+                       "atomic-function runtime vs the paper's systems (weather app)");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Extension: Samoyed baseline",
               "atomic-function runtime vs the paper's systems (weather app)");
   std::printf("(%u runs per row)\n\n", runs);
@@ -28,7 +32,8 @@ void Main() {
     config.runtime = rt;
     config.app = report::AppKind::kWeather;
     config.app_options.single_buffer = false;
-    const report::Aggregate agg = report::RunSweep(config, runs);
+    const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+    emitter.AddAggregate({{"runtime", ToString(rt)}}, agg);
     table.AddRow({ToString(rt), report::Fmt(agg.total_us / 1e3, 2),
                   report::Fmt(agg.overhead_us / 1e3, 2), report::Fmt(agg.wasted_us / 1e3, 2),
                   report::Fmt(static_cast<double>(agg.io_reexecutions) / runs, 2),
@@ -46,12 +51,14 @@ void Main() {
       "what the programmer wraps, while Alpaca/InK privatize declared task state and\n"
       "EaseIO covers it with regional privatization. A native Samoyed port would wrap\n"
       "that update in an atomic function.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "bench_common.h"
 
 #include "kernel/engine.h"
+#include "platform/parallel.h"
 #include "sim/failure.h"
 #include "sim/harvester.h"
 
@@ -66,24 +67,37 @@ TraceRun RunOnTrace(apps::RuntimeKind kind, uint64_t seed) {
 
 void Main() {
   const uint32_t runs = SweepRuns(100);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("ext_trace",
+                       "corridor trace (periodic 0.10 -> 0.85 mW bursts), 8-job DMA workload");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Extension: trace-driven harvesting",
               "corridor trace (periodic 0.10 -> 0.85 mW bursts), 8-job DMA workload");
   std::printf("(%u runs per row)\n\n", runs);
 
   report::TextTable table({"Runtime", "Wall (ms)", "On (ms)", "Failures/run", "Correct"});
-  for (apps::RuntimeKind kind :
-       {apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kEaseio}) {
+  for (apps::RuntimeKind kind : kBaselinePlusEaseio) {
+    // Per-seed runs are independent; the in-order fold below keeps the sums
+    // byte-identical for any jobs count (see platform/parallel.h).
+    const std::vector<TraceRun> slots = platform::ParallelMap<TraceRun>(
+        jobs, runs, [kind](size_t i) { return RunOnTrace(kind, i + 1); });
     double wall = 0;
     double on = 0;
     uint64_t failures = 0;
     uint32_t correct = 0;
-    for (uint64_t seed = 1; seed <= runs; ++seed) {
-      const TraceRun r = RunOnTrace(kind, seed);
+    for (const TraceRun& r : slots) {
       wall += r.wall_ms;
       on += r.on_ms;
       failures += r.failures;
       correct += r.consistent ? 1 : 0;
     }
+    emitter.AddMetrics({{"runtime", ToString(kind)}},
+                       {{"wall_ms", wall / runs},
+                        {"on_ms", on / runs},
+                        {"failures_per_run", static_cast<double>(failures) / runs},
+                        {"correct", static_cast<double>(correct)},
+                        {"runs", static_cast<double>(runs)}},
+                       /*runs=*/runs);
     table.AddRow({ToString(kind), report::Fmt(wall / runs, 2), report::Fmt(on / runs, 2),
                   report::Fmt(static_cast<double>(failures) / runs, 2),
                   std::to_string(correct) + "/" + std::to_string(runs)});
@@ -94,12 +108,14 @@ void Main() {
       "\nDuring the low-harvest troughs the device lives off the capacitor alone;\n"
       "EaseIO's skipped copies stretch each charge across more useful work, completing\n"
       "in fewer boom/bust cycles.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

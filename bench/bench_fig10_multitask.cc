@@ -11,7 +11,8 @@
 namespace easeio::bench {
 namespace {
 
-void RunOne(const char* title, report::AppKind app, uint32_t runs) {
+void RunOne(BenchEmitter& emitter, const char* title, report::AppKind app, uint32_t runs,
+            uint32_t jobs) {
   std::printf("\n--- %s ---\n", title);
   std::vector<std::pair<std::string, std::vector<report::BarSegment>>> bars;
   for (apps::RuntimeKind rt : kAllFour) {
@@ -19,7 +20,8 @@ void RunOne(const char* title, report::AppKind app, uint32_t runs) {
     config.runtime = rt;
     config.app = app;
     config.app_options.single_buffer = false;  // the standard (double-buffered) pipeline
-    const report::Aggregate agg = report::RunSweep(config, runs);
+    const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+    emitter.AddAggregate({{"app", ToString(app)}, {"runtime", ToString(rt)}}, agg);
     bars.push_back({ToString(rt),
                     {{"App", agg.app_us / 1e3},
                      {"Overhead", agg.overhead_us / 1e3},
@@ -30,16 +32,22 @@ void RunOne(const char* title, report::AppKind app, uint32_t runs) {
 
 void Main() {
   const uint32_t runs = SweepRuns();
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("fig10_multitask",
+                       "multi-task execution time: App + Overhead + Wasted work");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Figure 10", "multi-task execution time: App + Overhead + Wasted work");
   std::printf("(%u runs per bar)\n", runs);
-  RunOne("FIR Filter", report::AppKind::kFir, runs);
-  RunOne("Weather App.", report::AppKind::kWeather, runs);
+  RunOne(emitter, "FIR Filter", report::AppKind::kFir, runs, jobs);
+  RunOne(emitter, "Weather App.", report::AppKind::kWeather, runs, jobs);
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -11,6 +11,10 @@ namespace {
 
 void Main() {
   const uint32_t runs = SweepRuns();
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("fig11_energy_multitask",
+                       "average energy of multi-task applications (controlled failures)");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Figure 11", "average energy of multi-task applications (controlled failures)");
   std::printf("(%u runs per cell)\n\n", runs);
 
@@ -22,18 +26,21 @@ void Main() {
       config.runtime = rt;
       config.app = app;
       config.app_options.single_buffer = false;
-      const report::Aggregate agg = report::RunSweep(config, runs);
+      const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+      emitter.AddAggregate({{"app", ToString(app)}, {"runtime", ToString(rt)}}, agg);
       row.push_back(report::Fmt(agg.energy_mj, 3));
     }
     table.AddRow(std::move(row));
   }
   table.Print();
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -22,7 +22,8 @@ namespace {
 
 // Wall time (on + off) is what matters under real harvesting: recharging is the
 // dominant cost once failures start.
-double MeanWallMs(apps::RuntimeKind rt, double distance_in, uint32_t runs) {
+double MeanWallMs(BenchEmitter& emitter, apps::RuntimeKind rt, double distance_in,
+                  uint32_t runs, uint32_t jobs) {
   report::ExperimentConfig config;
   config.runtime = rt;
   // The flat power profile of the DMA workload lets brown-outs land anywhere in the
@@ -31,12 +32,18 @@ double MeanWallMs(apps::RuntimeKind rt, double distance_in, uint32_t runs) {
   config.app = report::AppKind::kDma;
   config.app_options.jobs = 10;
   config.rf_distance_in = distance_in;
-  const report::Aggregate agg = report::RunSweep(config, runs);
+  const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+  emitter.AddAggregate(
+      {{"distance_in", report::Fmt(distance_in, 0)}, {"runtime", ToString(rt)}}, agg);
   return agg.wall_us / 1e3;
 }
 
 void Main() {
   const uint32_t runs = SweepRuns(200);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("fig13_harvester",
+                       "execution time vs EaseIO/Op. under a real RF harvester");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Figure 13", "execution time vs EaseIO/Op. under a real RF harvester");
   std::printf("(multi-job DMA app, %u runs per point; wall time includes recharge time)\n\n", runs);
 
@@ -44,20 +51,22 @@ void Main() {
   report::TextTable table({"Distance (in)", "Alpaca diff (ms)", "InK diff (ms)",
                            "EaseIO diff (ms)", "EaseIO/Op. (ms)"});
   for (double d : distances) {
-    const double op = MeanWallMs(apps::RuntimeKind::kEaseioOp, d, runs);
-    const double alpaca = MeanWallMs(apps::RuntimeKind::kAlpaca, d, runs);
-    const double ink = MeanWallMs(apps::RuntimeKind::kInk, d, runs);
-    const double easeio = MeanWallMs(apps::RuntimeKind::kEaseio, d, runs);
+    const double op = MeanWallMs(emitter, apps::RuntimeKind::kEaseioOp, d, runs, jobs);
+    const double alpaca = MeanWallMs(emitter, apps::RuntimeKind::kAlpaca, d, runs, jobs);
+    const double ink = MeanWallMs(emitter, apps::RuntimeKind::kInk, d, runs, jobs);
+    const double easeio = MeanWallMs(emitter, apps::RuntimeKind::kEaseio, d, runs, jobs);
     table.AddRow({report::Fmt(d, 0), report::Fmt(alpaca - op, 2), report::Fmt(ink - op, 2),
                   report::Fmt(easeio - op, 2), report::Fmt(op, 2)});
   }
   table.Print();
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -12,14 +12,17 @@
 namespace easeio::bench {
 namespace {
 
-void RunOne(const char* title, report::AppKind app, uint32_t runs) {
+void RunOne(BenchEmitter& emitter, const char* title, const char* slug, report::AppKind app,
+            uint32_t runs, uint32_t jobs) {
   std::printf("\n--- %s ---\n", title);
   std::vector<std::pair<std::string, std::vector<report::BarSegment>>> bars;
   for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
     report::ExperimentConfig config;
     config.runtime = rt;
     config.app = app;
-    const report::Aggregate agg = report::RunSweep(config, runs);
+    const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+    emitter.AddAggregate({{"panel", slug}, {"app", ToString(app)}, {"runtime", ToString(rt)}},
+                         agg);
     bars.push_back({ToString(rt),
                     {{"App", agg.app_us / 1e3},
                      {"Overhead", agg.overhead_us / 1e3},
@@ -30,18 +33,26 @@ void RunOne(const char* title, report::AppKind app, uint32_t runs) {
 
 void Main() {
   const uint32_t runs = SweepRuns();
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("fig7_unitask",
+                       "uni-task total execution time: App + Overhead + Wasted work");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Figure 7", "uni-task total execution time: App + Overhead + Wasted work");
   std::printf("(%u runs per bar, seeds 1..%u; failure emulation: on ~ U[5,20] ms)\n", runs,
               runs);
-  RunOne("(a) Single semantic - NVM to NVM DMA", report::AppKind::kDma, runs);
-  RunOne("(b) Timely semantic - Temperature sensing", report::AppKind::kTemp, runs);
-  RunOne("(c) Always semantic - LEA", report::AppKind::kLea, runs);
+  RunOne(emitter, "(a) Single semantic - NVM to NVM DMA", "a", report::AppKind::kDma, runs,
+         jobs);
+  RunOne(emitter, "(b) Timely semantic - Temperature sensing", "b", report::AppKind::kTemp,
+         runs, jobs);
+  RunOne(emitter, "(c) Always semantic - LEA", "c", report::AppKind::kLea, runs, jobs);
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -12,6 +12,10 @@ namespace {
 
 void Main() {
   const uint32_t runs = SweepRuns();
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("fig8_energy_unitask",
+                       "average energy per uni-task application (controlled failures)");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Figure 8", "average energy per uni-task application (controlled failures)");
   std::printf("(%u runs per cell)\n\n", runs);
 
@@ -22,23 +26,28 @@ void Main() {
   report::TextTable table({"Runtime", "Single (mJ)", "Timely (mJ)", "Always (mJ)"});
   for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
     std::vector<std::string> row{ToString(rt)};
-    for (report::AppKind app : apps_order) {
+    for (size_t a = 0; a < 3; ++a) {
       report::ExperimentConfig config;
       config.runtime = rt;
-      config.app = app;
-      const report::Aggregate agg = report::RunSweep(config, runs);
+      config.app = apps_order[a];
+      const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+      emitter.AddAggregate({{"semantic", labels[a]},
+                            {"app", ToString(apps_order[a])},
+                            {"runtime", ToString(rt)}},
+                           agg);
       row.push_back(report::Fmt(agg.energy_mj, 3));
     }
     table.AddRow(std::move(row));
   }
   table.Print();
-  (void)labels;
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

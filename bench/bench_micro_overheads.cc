@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "apps/runtime_factory.h"
 #include "core/easeio_runtime.h"
 #include "kernel/engine.h"
@@ -157,7 +159,47 @@ void BM_RegionalSnapshotRestore(benchmark::State& state) {
 }
 BENCHMARK(BM_RegionalSnapshotRestore)->Arg(16)->Arg(256)->Arg(4096);
 
+// ConsoleReporter that additionally captures every finished run into a BenchEmitter
+// cell, so the micro numbers land in results/bench_micro_overheads.json with the same
+// schema as the sweep benches.
+class EmittingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit EmittingReporter(bench::BenchEmitter* emitter) : emitter_(emitter) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      std::vector<std::pair<std::string, double>> metrics = {
+          {"real_ns_per_iter", run.GetAdjustedRealTime()},
+          {"cpu_ns_per_iter", run.GetAdjustedCPUTime()},
+          {"iterations", static_cast<double>(run.iterations)}};
+      const auto it = run.counters.find("sim_cycles");
+      if (it != run.counters.end()) {
+        metrics.emplace_back("sim_us_per_call", static_cast<double>(it->second));
+      }
+      emitter_->AddMetrics({{"benchmark", run.benchmark_name()}}, std::move(metrics));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::BenchEmitter* emitter_;
+};
+
 }  // namespace
 }  // namespace easeio
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  easeio::bench::BenchEmitter emitter(
+      "micro_overheads", "per-call host time and simulated cycles of the EaseIO primitives");
+  easeio::EmittingReporter reporter(&emitter);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  emitter.Write();
+  return 0;
+}

@@ -14,6 +14,10 @@ namespace {
 
 void Main() {
   const uint32_t runs = SweepRuns(500);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("sweep_failure_rate",
+                       "Single-semantics DMA app, Alpaca vs EaseIO, vs failure frequency");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Sweep: failure frequency", "Single-semantics DMA app, Alpaca vs EaseIO");
   std::printf("(%u runs per cell; on-interval ~ U[max/2, max])\n\n", runs);
 
@@ -26,11 +30,15 @@ void Main() {
     config.on_max_us = max_ms * 1000;
 
     config.runtime = apps::RuntimeKind::kAlpaca;
-    const report::Aggregate alpaca = report::RunSweep(config, runs);
+    const report::Aggregate alpaca = report::RunSweep(config, runs, jobs);
     config.runtime = apps::RuntimeKind::kEaseio;
-    const report::Aggregate easeio = report::RunSweep(config, runs);
+    const report::Aggregate easeio = report::RunSweep(config, runs, jobs);
+    emitter.AddAggregate({{"max_interval_ms", std::to_string(max_ms)}, {"runtime", "alpaca"}},
+                         alpaca);
+    emitter.AddAggregate({{"max_interval_ms", std::to_string(max_ms)}, {"runtime", "easeio"}},
+                         easeio);
 
-    auto time_cell = [runs](const report::Aggregate& agg) {
+    auto time_cell = [](const report::Aggregate& agg) {
       return agg.completed < agg.runs ? std::string("non-terminating")
                                       : report::Fmt(agg.total_us / 1e3, 2);
     };
@@ -47,12 +55,14 @@ void Main() {
       "baselines never finish; EaseIO completes once the copy has succeeded once. The\n"
       "long-interval rows show the honest other end: without failures EaseIO's benefit\n"
       "disappears into (tiny) bookkeeping overhead.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -8,31 +8,51 @@ namespace easeio::bench {
 namespace {
 
 void Main() {
+  BenchEmitter emitter("table1_features",
+                       "qualitative feature comparison of the implemented runtimes");
   PrintHeader("Table 1", "qualitative feature comparison of the implemented runtimes");
   std::printf("\n");
 
+  struct Feature {
+    const char* name;
+    const char* alpaca;
+    const char* ink;
+    const char* samoyed;
+    const char* easeio;
+  };
+  const Feature features[] = {
+      {"Repeated I/O due to power failure", "Yes", "Yes", "Yes (atomic fns)",
+       "No/Low (lock flags)"},
+      {"Wasted I/O due to power failure", "High", "High", "Medium",
+       "No (Single/Timely skip)"},
+      {"Memory inconsistency due to repeated I/O", "Yes", "Yes", "Yes (atomic fns only)",
+       "No (priv. copies + regions)"},
+      {"Safe DMA operation", "No", "No", "No", "Yes (runtime classification)"},
+      {"Timely I/O operation", "No", "No", "No", "Yes (persistent timekeeper)"},
+      {"Semantic-aware I/O re-execution", "No", "No", "No", "Yes (Single/Timely/Always)"},
+  };
+
   report::TextTable table({"Feature", "Alpaca", "InK", "Samoyed", "EaseIO"});
-  table.AddRow({"Repeated I/O due to power failure", "Yes", "Yes", "Yes (atomic fns)",
-                "No/Low (lock flags)"});
-  table.AddRow({"Wasted I/O due to power failure", "High", "High", "Medium",
-                "No (Single/Timely skip)"});
-  table.AddRow({"Memory inconsistency due to repeated I/O", "Yes", "Yes",
-                "Yes (atomic fns only)", "No (priv. copies + regions)"});
-  table.AddRow({"Safe DMA operation", "No", "No", "No", "Yes (runtime classification)"});
-  table.AddRow({"Timely I/O operation", "No", "No", "No", "Yes (persistent timekeeper)"});
-  table.AddRow({"Semantic-aware I/O re-execution", "No", "No", "No",
-                "Yes (Single/Timely/Always)"});
+  for (const Feature& f : features) {
+    table.AddRow({f.name, f.alpaca, f.ink, f.samoyed, f.easeio});
+    emitter.AddText({{"feature", f.name}}, {{"alpaca", f.alpaca},
+                                            {"ink", f.ink},
+                                            {"samoyed", f.samoyed},
+                                            {"easeio", f.easeio}});
+  }
   table.Print();
 
   std::printf(
       "\nEvidence: Correctness.* and Semantics.* tests exercise every claim above;\n"
       "bench_fig12_correctness and bench_table4_reexec quantify the Yes/No cells.\n");
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

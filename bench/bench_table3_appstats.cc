@@ -10,6 +10,8 @@ namespace easeio::bench {
 namespace {
 
 void Main() {
+  BenchEmitter emitter("table3_appstats",
+                       "tasks and I/O functions of the evaluated applications");
   PrintHeader("Table 3", "tasks and I/O functions of the evaluated applications");
   std::printf("\n");
 
@@ -50,18 +52,26 @@ void Main() {
       }
       return apps::BuildBranchApp(dev, *rt, nv);
     }();
+    emitter.AddMetrics({{"app", ToString(app)}},
+                       {{"tasks", static_cast<double>(handle.num_tasks)},
+                        {"io_funcs", static_cast<double>(handle.num_io_funcs)},
+                        {"io_call_sites", static_cast<double>(rt->io_sites().size())},
+                        {"io_blocks", static_cast<double>(rt->io_blocks().size())},
+                        {"dma_sites", static_cast<double>(rt->dma_sites().size())}});
     table.AddRow({ToString(app), std::to_string(handle.num_tasks),
                   std::to_string(handle.num_io_funcs), std::to_string(rt->io_sites().size()),
                   std::to_string(rt->io_blocks().size()),
                   std::to_string(rt->dma_sites().size())});
   }
   table.Print();
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

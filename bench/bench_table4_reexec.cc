@@ -20,6 +20,10 @@ struct Row {
 
 void Main() {
   const uint32_t runs = SweepRuns();
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("table4_reexec",
+                       "power failures and redundant I/O re-executions per application");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Table 4", "power failures and redundant I/O re-executions per application");
   std::printf("(summed over %u runs per cell)\n\n", runs);
 
@@ -33,7 +37,11 @@ void Main() {
       report::ExperimentConfig config;
       config.runtime = kBaselinePlusEaseio[r];
       config.app = apps_order[a];
-      const report::Aggregate agg = report::RunSweep(config, runs);
+      const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+      emitter.AddAggregate({{"semantic", app_names[a]},
+                            {"app", ToString(apps_order[a])},
+                            {"runtime", ToString(kBaselinePlusEaseio[r])}},
+                           agg);
       rows[a][r] = {agg.power_failures, agg.io_reexecutions};
     }
   }
@@ -58,13 +66,14 @@ void Main() {
     table.AddRow(std::move(row));
   }
   table.Print();
-  (void)app_names;
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -18,7 +18,8 @@ struct Cell {
   bool correct = true;
 };
 
-Cell Measure(apps::RuntimeKind rt, bool single_buffer, uint32_t runs) {
+Cell Measure(BenchEmitter& emitter, apps::RuntimeKind rt, bool single_buffer, uint32_t runs,
+             uint32_t jobs) {
   Cell cell;
   report::ExperimentConfig config;
   config.runtime = rt;
@@ -30,7 +31,14 @@ Cell Measure(apps::RuntimeKind rt, bool single_buffer, uint32_t runs) {
   cell.cont_ms = cont.run.stats.TotalUs() / 1e3;
 
   config.continuous = false;
-  const report::Aggregate agg = report::RunSweep(config, runs);
+  const report::Aggregate agg = report::RunSweep(config, runs, jobs);
+  emitter.AddAggregate({{"buffers", single_buffer ? "single" : "double"},
+                        {"runtime", ToString(rt)}},
+                       agg);
+  emitter.AddMetrics({{"buffers", single_buffer ? "single" : "double"},
+                      {"runtime", ToString(rt)},
+                      {"power", "continuous"}},
+                     {{"total_ms", cell.cont_ms}}, /*runs=*/1);
   cell.int_ms = agg.total_us / 1e3;
   cell.correct = agg.incorrect == 0;
   return cell;
@@ -38,25 +46,31 @@ Cell Measure(apps::RuntimeKind rt, bool single_buffer, uint32_t runs) {
 
 void Main() {
   const uint32_t runs = SweepRuns(200);
+  const uint32_t jobs = SweepJobs();
+  BenchEmitter emitter("table5_dnn_buffers",
+                       "weather DNN: double-buffered vs single-buffered activations");
+  emitter.SetSweep(runs, jobs);
   PrintHeader("Table 5", "weather DNN: double-buffered vs single-buffered activations");
   std::printf("(intermittent columns averaged over %u runs)\n\n", runs);
 
   report::TextTable table({"Runtime", "Double Cont.(ms)", "Double Int.(ms)", "Double Corr.",
                            "Single Cont.(ms)", "Single Int.(ms)", "Single Corr."});
   for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
-    const Cell dbl = Measure(rt, /*single_buffer=*/false, runs);
-    const Cell sgl = Measure(rt, /*single_buffer=*/true, runs);
+    const Cell dbl = Measure(emitter, rt, /*single_buffer=*/false, runs, jobs);
+    const Cell sgl = Measure(emitter, rt, /*single_buffer=*/true, runs, jobs);
     table.AddRow({ToString(rt), report::Fmt(dbl.cont_ms, 2), report::Fmt(dbl.int_ms, 2),
                   dbl.correct ? "yes" : "NO", report::Fmt(sgl.cont_ms, 2),
                   report::Fmt(sgl.int_ms, 2), sgl.correct ? "yes" : "NO"});
   }
   table.Print();
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

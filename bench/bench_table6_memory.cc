@@ -16,6 +16,8 @@ namespace easeio::bench {
 namespace {
 
 void Main() {
+  BenchEmitter emitter("table6_memory", "memory and code size requirements (bytes)");
+  emitter.SetSweep(1, 1);  // footprint is static; one continuous run per cell
   PrintHeader("Table 6", "memory and code size requirements (bytes)");
   std::printf("\n");
 
@@ -31,18 +33,26 @@ void Main() {
       config.app = app;
       config.continuous = true;  // footprint is static; one cheap run suffices
       const report::ExperimentResult r = report::RunExperiment(config);
+      emitter.AddMetrics({{"app", ToString(app)}, {"runtime", ToString(rt)}},
+                         {{"text_bytes", static_cast<double>(r.code_bytes)},
+                          {"ram_bytes", static_cast<double>(r.sram_bytes)},
+                          {"fram_meta_bytes", static_cast<double>(r.fram_meta_bytes)},
+                          {"fram_app_bytes", static_cast<double>(r.fram_app_bytes)}},
+                         /*runs=*/1);
       table.AddRow({ToString(app), ToString(rt), std::to_string(r.code_bytes),
                     std::to_string(r.sram_bytes), std::to_string(r.fram_meta_bytes),
                     std::to_string(r.fram_app_bytes)});
     }
   }
   table.Print();
+  emitter.Write();
 }
 
 }  // namespace
 }  // namespace easeio::bench
 
-int main() {
+int main(int argc, char** argv) {
+  easeio::bench::ParseBenchArgs(argc, argv);
   easeio::bench::Main();
   return 0;
 }

@@ -1,15 +1,14 @@
 #include "chk/explorer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <set>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "chk/trace.h"
 #include "kernel/engine.h"
 #include "platform/check.h"
+#include "platform/parallel.h"
 #include "platform/rng.h"
 #include "sim/failure.h"
 
@@ -79,37 +78,6 @@ TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& sche
   return out;
 }
 
-// Sharded work queue: `jobs` workers pull indices from an atomic counter and write
-// into caller-owned slots, so merging in index order is deterministic.
-template <typename Fn>
-void ParallelFor(uint32_t jobs, size_t n, Fn&& fn) {
-  if (jobs == 0) {
-    jobs = std::max(1u, std::thread::hardware_concurrency());
-  }
-  if (n < jobs) {
-    jobs = static_cast<uint32_t>(n);
-  }
-  if (jobs <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      fn(i);
-    }
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (uint32_t w = 0; w < jobs; ++w) {
-    pool.emplace_back([&] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-}
-
 // Keeps `keep` of `v` with an even stride — deterministic, and coverage stays spread
 // over the whole run instead of clustering at the front.
 std::vector<uint64_t> StrideSubset(const std::vector<uint64_t>& v, size_t keep) {
@@ -176,7 +144,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
   };
   std::vector<Slot> slots(d1.size());
   const bool want_depth2 = cfg.depth >= 2;
-  ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
+  platform::ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
     TrialOutput t = RunTrial(cfg, {d1[i]}, &golden, nullptr);
     slots[i].completed = t.facts.completed;
     slots[i].violations = std::move(t.violations);
@@ -223,7 +191,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     }
 
     std::vector<Slot> slots2(pairs.size());
-    ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
+    platform::ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
       TrialOutput t = RunTrial(cfg, {pairs[i].first, pairs[i].second}, &golden, nullptr);
       slots2[i].completed = t.facts.completed;
       slots2[i].violations = std::move(t.violations);

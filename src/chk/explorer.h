@@ -4,9 +4,10 @@
 // trace.h). The explorer then re-executes the application once per enumerated
 // schedule — every depth-1 placement, then depth-2 pairs seeded from each depth-1
 // trial's own post-failure trace — injecting failures with a ScriptedScheduler and
-// judging every run with the invariant engine. Trials run on a sharded std::thread
-// work queue; results are merged in trial-index order, so the outcome (including the
-// JSON serialization) is bit-identical for any --jobs value.
+// judging every run with the invariant engine. Trials run through the deterministic
+// parallel-map utility in platform/parallel.h (index-addressed slots, in-order merge),
+// so the outcome (including the JSON serialization) is bit-identical for any --jobs
+// value.
 
 #ifndef EASEIO_CHK_EXPLORER_H_
 #define EASEIO_CHK_EXPLORER_H_

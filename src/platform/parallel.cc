@@ -1,0 +1,36 @@
+#include "platform/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace easeio::platform {
+
+uint32_t ResolveJobs(uint32_t jobs, size_t n) {
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (n < jobs) {
+    jobs = static_cast<uint32_t>(std::max<size_t>(n, 1));
+  }
+  return jobs;
+}
+
+namespace internal {
+
+void RunOnWorkers(uint32_t jobs, const std::function<void(uint32_t)>& worker) {
+  if (jobs <= 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (uint32_t w = 0; w < jobs; ++w) {
+    pool.emplace_back([&worker, w] { worker(w); });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace internal
+}  // namespace easeio::platform

@@ -1,0 +1,113 @@
+// Deterministic parallel mapping over an index range.
+//
+// One pool implementation serves every sweep in the repository (the chk explorer's
+// schedule trials, report::RunSweep's seed grid, and whatever comes next). Workers
+// pull indices from a sharded atomic work queue and write results into
+// index-addressed slots owned by the caller; the caller then folds the slots
+// sequentially in index order. Because every per-index computation is self-contained
+// and the merge order is fixed, the outcome — including floating-point aggregates —
+// is byte-identical for any jobs count.
+
+#ifndef EASEIO_PLATFORM_PARALLEL_H_
+#define EASEIO_PLATFORM_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace easeio::platform {
+
+// Resolves a user-facing jobs count: 0 means std::thread::hardware_concurrency(),
+// and the result is clamped to [1, max(n, 1)] so tiny inputs never spawn idle
+// workers.
+uint32_t ResolveJobs(uint32_t jobs, size_t n);
+
+namespace internal {
+
+// Runs worker(w) for w in [0, jobs) on dedicated threads and joins them all; jobs <= 1
+// executes worker(0) inline on the calling thread. `worker` must be exception-free
+// (the templates below capture exceptions before they reach the thread boundary).
+void RunOnWorkers(uint32_t jobs, const std::function<void(uint32_t)>& worker);
+
+// Captures at most one exception — the one raised at the lowest item index — for
+// rethrow on the calling thread after all workers join.
+class FirstException {
+ public:
+  // Records the current in-flight exception for item `index` if it is the
+  // lowest-indexed one seen so far.
+  void Capture(size_t index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index < index_) {
+      index_ = index;
+      exception_ = std::current_exception();
+    }
+  }
+
+  // Rethrows the captured exception, if any.
+  void Rethrow() const {
+    if (exception_ != nullptr) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t index_ = SIZE_MAX;
+  std::exception_ptr exception_;
+};
+
+}  // namespace internal
+
+// Applies fn(state, i) to every index in [0, n), where `state` is built once per
+// worker thread by make_state() — the isolated scratch (device stacks, RNGs, caches)
+// that must never be shared across threads. fn must confine its writes to `state` and
+// to caller-owned storage addressed by `i`. If an invocation throws, workers stop
+// pulling new indices and the lowest-indexed captured exception is rethrown on the
+// calling thread after all workers join.
+template <typename StateFactory, typename Fn>
+void ParallelForWithState(uint32_t jobs, size_t n, StateFactory&& make_state, Fn&& fn) {
+  jobs = ResolveJobs(jobs, n);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
+  internal::FirstException error;
+  internal::RunOnWorkers(jobs, [&](uint32_t) {
+    auto state = make_state();
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      if (abort.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        fn(state, i);
+      } catch (...) {
+        error.Capture(i);
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  error.Rethrow();
+}
+
+// Stateless variant: fn(i) for every index in [0, n).
+template <typename Fn>
+void ParallelFor(uint32_t jobs, size_t n, Fn&& fn) {
+  ParallelForWithState(
+      jobs, n, [] { return 0; }, [&fn](int /*state*/, size_t i) { fn(i); });
+}
+
+// Deterministic parallel map: returns {fn(0), fn(1), ..., fn(n-1)} in index order,
+// computed by `jobs` workers. R must be default-constructible (slots are allocated up
+// front so workers never contend on the container).
+template <typename R, typename Fn>
+std::vector<R> ParallelMap(uint32_t jobs, size_t n, Fn&& fn) {
+  std::vector<R> slots(n);
+  ParallelFor(jobs, n, [&](size_t i) { slots[i] = fn(i); });
+  return slots;
+}
+
+}  // namespace easeio::platform
+
+#endif  // EASEIO_PLATFORM_PARALLEL_H_

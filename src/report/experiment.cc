@@ -1,6 +1,7 @@
 #include "report/experiment.h"
 
 #include "platform/check.h"
+#include "platform/parallel.h"
 #include "sim/failure.h"
 #include "sim/harvester.h"
 
@@ -66,13 +67,23 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   return result;
 }
 
-Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs) {
+Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs, uint32_t jobs) {
+  // Each seed's experiment runs on a worker with its own device/runtime/app stack
+  // (RunExperiment builds the full stack locally); results land in index-addressed
+  // slots.
+  std::vector<ExperimentResult> slots =
+      platform::ParallelMap<ExperimentResult>(jobs, runs, [&base](size_t i) {
+        ExperimentConfig config = base;
+        config.seed = base.seed + i;
+        return RunExperiment(config);
+      });
+
+  // Fold sequentially in seed order: the floating-point accumulation order is fixed,
+  // so the Aggregate is byte-identical for any jobs count (and to the pre-parallel
+  // serial loop, which interleaved the same operations in the same order).
   Aggregate agg;
   agg.runs = runs;
-  for (uint32_t i = 0; i < runs; ++i) {
-    ExperimentConfig config = base;
-    config.seed = base.seed + i;
-    const ExperimentResult r = RunExperiment(config);
+  for (const ExperimentResult& r : slots) {
     agg.total_us += r.run.stats.TotalUs();
     agg.app_us += r.run.stats.app_us;
     agg.overhead_us += r.run.stats.overhead_us;
@@ -91,6 +102,9 @@ Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs) {
       ++agg.incorrect;
     }
   }
+  // Means divide by the requested run count — deliberately including trials stopped
+  // by the non-termination guard (see Aggregate's field-semantics contract in
+  // experiment.h). `completed` reports how many actually finished.
   if (runs > 0) {
     agg.total_us /= runs;
     agg.app_us /= runs;

@@ -77,9 +77,21 @@ struct ExperimentResult {
 // Builds and runs a single experiment.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
-// Averages over `runs` experiments with seeds base.seed + {0 .. runs-1}.
+// Aggregate over `runs` experiments with seeds base.seed + {0 .. runs-1}.
+//
+// Field semantics (relied on by the bench harnesses — do not change silently):
+//  * `runs` is always the *requested* sweep size, even when some trials hit the
+//    kernel's non-termination guard. Every trial is counted exactly once as either
+//    `correct` or `incorrect` (correct + incorrect == runs), so percentage columns
+//    such as bench_fig12_correctness's `incorrect / runs` use a stable denominator.
+//  * The mean fields (total_us .. wall_us) average over all `runs` — a trial stopped
+//    by the guard contributes the time/energy it burned up to the guard. How many
+//    trials actually finished is reported separately in `completed`; callers that
+//    want "mean over completed runs only" must rescale by runs / completed.
+//  * The counter fields (power_failures, io_reexecutions, io_skipped) are sums over
+//    all runs, matching the paper's Table 4 presentation.
 struct Aggregate {
-  uint32_t runs = 0;
+  uint32_t runs = 0;       // requested sweep size (the divisor for every mean below)
   double total_us = 0;     // mean on-time
   double app_us = 0;       // mean useful app time
   double overhead_us = 0;  // mean runtime overhead
@@ -89,12 +101,16 @@ struct Aggregate {
   uint64_t power_failures = 0;   // summed over all runs (Table 4 style)
   uint64_t io_reexecutions = 0;  // summed redundant I/O + DMA transfers
   uint64_t io_skipped = 0;       // summed operations elided by semantics
-  uint32_t correct = 0;
-  uint32_t incorrect = 0;
+  uint32_t correct = 0;          // consistent runs; correct + incorrect == runs
+  uint32_t incorrect = 0;        // inconsistent runs (includes non-terminating ones)
   uint32_t completed = 0;  // runs that finished before the non-termination guard
 };
 
-Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs);
+// Runs the sweep on `jobs` worker threads (0 = hardware concurrency), each seed with
+// its own device/runtime/app stack, and folds the per-seed results sequentially in
+// seed order — the Aggregate is byte-identical (floating point included) for any
+// `jobs` value.
+Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs, uint32_t jobs = 0);
 
 // --- Failure-schedule exploration (src/chk) -------------------------------------------
 // Systematically enumerates depth-1/depth-2 failure placements over the instants a

@@ -1,0 +1,165 @@
+#include "report/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "platform/check.h"
+
+namespace easeio::report {
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+template <typename T>
+void AppendNumber(std::string& out, T value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, value);
+  EASEIO_CHECK(res.ec == std::errc(), "number formatting failed");
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the separator was written with the key
+  }
+  EASEIO_CHECK(stack_.empty() || !stack_.back(),
+               "JSON object members need Key() before the value");
+  if (!first_in_scope_) {
+    out_ += ',';
+  }
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(true);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  EASEIO_CHECK(!stack_.empty() && stack_.back() && !key_pending_,
+               "EndObject without matching BeginObject");
+  stack_.pop_back();
+  out_ += '}';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(false);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  EASEIO_CHECK(!stack_.empty() && !stack_.back(), "EndArray without matching BeginArray");
+  stack_.pop_back();
+  out_ += ']';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  EASEIO_CHECK(!stack_.empty() && stack_.back() && !key_pending_,
+               "Key() only valid directly inside an object");
+  if (!first_in_scope_) {
+    out_ += ',';
+  }
+  first_in_scope_ = false;
+  out_ += '"';
+  AppendEscaped(out_, key);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  AppendEscaped(out_, value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  AppendNumber(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  AppendNumber(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  AppendNumber(out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  EASEIO_CHECK(stack_.empty() && !key_pending_, "unterminated JSON document");
+  return std::move(out_);
+}
+
+}  // namespace easeio::report

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer for the machine-readable bench artifacts.
+//
+// Deterministic by construction: fields are emitted in call order, numbers are
+// formatted with std::to_chars (shortest round-trip, locale-independent), and there
+// is no map reordering anywhere — the same sequence of calls yields byte-identical
+// output on every platform and for any worker count upstream.
+
+#ifndef EASEIO_REPORT_JSON_H_
+#define EASEIO_REPORT_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easeio::report {
+
+// Streaming writer: Begin/End pairs must nest correctly and every object member must
+// be introduced with Key(); misuse trips an EASEIO_CHECK. Calls chain:
+//
+//   JsonWriter w;
+//   w.BeginObject().Key("runs").UInt(1000).Key("cells").BeginArray() ... ;
+//   std::string json = w.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Introduces the next object member.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  // Non-finite doubles (the sweep aggregates never produce them, but a defensive
+  // writer must not emit invalid JSON) are serialized as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-serialized JSON verbatim (used by the bench_all merge). The caller
+  // vouches for its validity.
+  JsonWriter& Raw(std::string_view json);
+
+  // Returns the finished document; all Begin* calls must be closed.
+  std::string TakeString();
+
+ private:
+  // Emits the separator/indentation due before a value or key at this position.
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true = object (expects keys), false = array.
+  std::vector<bool> stack_;
+  bool key_pending_ = false;   // a Key() was written, next call must be its value
+  bool first_in_scope_ = true;  // no comma before the first element of a container
+};
+
+}  // namespace easeio::report
+
+#endif  // EASEIO_REPORT_JSON_H_

@@ -73,6 +73,85 @@ TEST(Sweep, AggregatesMeansAndSums) {
   EXPECT_NEAR(agg.total_us, one.run.stats.TotalUs(), 1.0);
 }
 
+TEST(Sweep, ParallelAggregateByteIdenticalToSerial) {
+  // RunSweep's contract (report/experiment.h): results are byte-identical for any
+  // jobs count, floating-point means included, because per-seed results land in
+  // index-addressed slots and are folded sequentially in seed order.
+  ExperimentConfig config;
+  config.app = AppKind::kTemp;  // failure-driven: per-seed results genuinely differ
+  config.runtime = apps::RuntimeKind::kEaseio;
+  const Aggregate serial = RunSweep(config, 50, /*jobs=*/1);
+  for (uint32_t jobs : {2u, 8u}) {
+    const Aggregate parallel = RunSweep(config, 50, jobs);
+    EXPECT_EQ(serial.runs, parallel.runs);
+    EXPECT_EQ(serial.completed, parallel.completed);
+    EXPECT_EQ(serial.correct, parallel.correct);
+    EXPECT_EQ(serial.incorrect, parallel.incorrect);
+    EXPECT_EQ(serial.power_failures, parallel.power_failures);
+    EXPECT_EQ(serial.io_reexecutions, parallel.io_reexecutions);
+    EXPECT_EQ(serial.io_skipped, parallel.io_skipped);
+    // Exact equality on doubles, not EXPECT_NEAR: the determinism contract.
+    EXPECT_EQ(serial.total_us, parallel.total_us) << "jobs=" << jobs;
+    EXPECT_EQ(serial.app_us, parallel.app_us) << "jobs=" << jobs;
+    EXPECT_EQ(serial.overhead_us, parallel.overhead_us) << "jobs=" << jobs;
+    EXPECT_EQ(serial.wasted_us, parallel.wasted_us) << "jobs=" << jobs;
+    EXPECT_EQ(serial.energy_mj, parallel.energy_mj) << "jobs=" << jobs;
+    EXPECT_EQ(serial.wall_us, parallel.wall_us) << "jobs=" << jobs;
+  }
+}
+
+TEST(Sweep, MatchesHandRolledSerialFold) {
+  // Replicates the pre-parallel RunSweep loop (run seeds base..base+n-1 in order,
+  // accumulate, divide by runs) and checks the rebuilt implementation still computes
+  // exactly the same aggregate.
+  ExperimentConfig config;
+  config.app = AppKind::kTemp;
+  config.runtime = apps::RuntimeKind::kAlpaca;
+  constexpr uint32_t kRuns = 20;
+  Aggregate expected;
+  expected.runs = kRuns;
+  for (uint32_t i = 0; i < kRuns; ++i) {
+    ExperimentConfig c = config;
+    c.seed = config.seed + i;
+    const ExperimentResult r = RunExperiment(c);
+    expected.total_us += r.run.stats.TotalUs();
+    expected.app_us += r.run.stats.app_us;
+    expected.overhead_us += r.run.stats.overhead_us;
+    expected.wasted_us += r.run.stats.wasted_us;
+    expected.energy_mj += r.run.energy_j * 1e3;
+    expected.wall_us += static_cast<double>(r.run.wall_us);
+    expected.power_failures += r.run.stats.power_failures;
+    expected.io_reexecutions += r.run.stats.io_redundant + r.run.stats.dma_redundant;
+    expected.io_skipped += r.run.stats.io_skipped + r.run.stats.dma_skipped;
+    expected.completed += r.run.completed ? 1 : 0;
+    if (r.consistent) {
+      ++expected.correct;
+    } else {
+      ++expected.incorrect;
+    }
+  }
+  expected.total_us /= kRuns;
+  expected.app_us /= kRuns;
+  expected.overhead_us /= kRuns;
+  expected.wasted_us /= kRuns;
+  expected.energy_mj /= kRuns;
+  expected.wall_us /= kRuns;
+
+  const Aggregate actual = RunSweep(config, kRuns, /*jobs=*/4);
+  EXPECT_EQ(expected.completed, actual.completed);
+  EXPECT_EQ(expected.correct, actual.correct);
+  EXPECT_EQ(expected.incorrect, actual.incorrect);
+  EXPECT_EQ(expected.power_failures, actual.power_failures);
+  EXPECT_EQ(expected.io_reexecutions, actual.io_reexecutions);
+  EXPECT_EQ(expected.io_skipped, actual.io_skipped);
+  EXPECT_EQ(expected.total_us, actual.total_us);
+  EXPECT_EQ(expected.app_us, actual.app_us);
+  EXPECT_EQ(expected.overhead_us, actual.overhead_us);
+  EXPECT_EQ(expected.wasted_us, actual.wasted_us);
+  EXPECT_EQ(expected.energy_mj, actual.energy_mj);
+  EXPECT_EQ(expected.wall_us, actual.wall_us);
+}
+
 TEST(Sweep, SeedsProduceDistinctSchedules) {
   ExperimentConfig config;
   config.app = AppKind::kTemp;

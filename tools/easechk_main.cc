@@ -22,7 +22,10 @@
 //   --json      also write results as JSON to PATH
 //   --expect-clean  exit nonzero if any invariant violation was found
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -34,6 +37,29 @@
 namespace {
 
 using namespace easeio;
+
+// Parses a base-10 unsigned integer occupying the whole string (no sign, no trailing
+// garbage) within [min, max]. On failure prints a usage error naming the flag and
+// returns false; bare std::atoi here used to silently accept "2x" and "99999999999".
+bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
+                   uint64_t* out) {
+  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
+  char* end = nullptr;
+  unsigned long long v = 0;
+  if (ok) {
+    errno = 0;
+    v = std::strtoull(s, &end, 10);
+    ok = errno == 0 && end != s && *end == '\0' && v >= min && v <= max;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "easechk: invalid %s value '%s' (expected integer in [%llu, %llu])\n",
+                 flag, s == nullptr ? "" : s, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
 
 bool ParseApps(const std::string& name, std::vector<apps::AppKind>* out) {
   if (name == "all") {
@@ -107,19 +133,31 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (const char* v = value("--depth=")) {
-      base.depth = std::atoi(v);
-      if (base.depth < 1 || base.depth > 2) {
-        std::fprintf(stderr, "easechk: --depth must be 1 or 2\n");
+      uint64_t depth = 0;
+      if (!ParseUintFlag("--depth", v, 1, 2, &depth)) {
         return 2;
       }
+      base.depth = static_cast<int>(depth);
     } else if (const char* v = value("--jobs=")) {
-      base.jobs = static_cast<uint32_t>(std::atoi(v));
+      uint64_t jobs = 0;
+      if (!ParseUintFlag("--jobs", v, 0, 4096, &jobs)) {
+        return 2;
+      }
+      base.jobs = static_cast<uint32_t>(jobs);
     } else if (const char* v = value("--budget=")) {
-      base.budget = static_cast<uint32_t>(std::atol(v));
+      uint64_t budget = 0;
+      if (!ParseUintFlag("--budget", v, 1, UINT32_MAX, &budget)) {
+        return 2;
+      }
+      base.budget = static_cast<uint32_t>(budget);
     } else if (const char* v = value("--seed=")) {
-      base.seed = static_cast<uint64_t>(std::atoll(v));
+      if (!ParseUintFlag("--seed", v, 0, UINT64_MAX, &base.seed)) {
+        return 2;
+      }
     } else if (const char* v = value("--off-us=")) {
-      base.off_us = static_cast<uint64_t>(std::atoll(v));
+      if (!ParseUintFlag("--off-us", v, 0, UINT64_MAX, &base.off_us)) {
+        return 2;
+      }
     } else if (const char* v = value("--json=")) {
       json_path = v;
     } else if (arg == "--no-regional") {
