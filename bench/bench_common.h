@@ -24,6 +24,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -139,6 +140,20 @@ inline void PrintHeader(const char* artifact, const char* description) {
   std::printf("%s — %s\n", artifact, description);
   std::printf("================================================================\n");
 }
+
+// Runs experiments on one reused device: the first Run constructs the device, every
+// later Run resets it in place (report::RunExperiment's device-reusing overload), so a
+// bench loop over many single experiments skips the per-run arena construction the
+// sweeps already avoid. Results are identical to report::RunExperiment(config).
+class ExperimentRunner {
+ public:
+  report::ExperimentResult Run(const report::ExperimentConfig& config) {
+    return report::RunExperiment(config, device_);
+  }
+
+ private:
+  std::unique_ptr<sim::Device> device_;
+};
 
 // Collects one bench binary's results and writes results/bench_<artifact>.json
 // (directory overridable via EASEIO_BENCH_OUT_DIR) alongside the ASCII output.

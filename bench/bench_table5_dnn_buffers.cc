@@ -18,8 +18,8 @@ struct Cell {
   bool correct = true;
 };
 
-Cell Measure(BenchEmitter& emitter, apps::RuntimeKind rt, bool single_buffer, uint32_t runs,
-             uint32_t jobs) {
+Cell Measure(BenchEmitter& emitter, ExperimentRunner& runner, apps::RuntimeKind rt,
+             bool single_buffer, uint32_t runs, uint32_t jobs) {
   Cell cell;
   report::ExperimentConfig config;
   config.runtime = rt;
@@ -27,7 +27,7 @@ Cell Measure(BenchEmitter& emitter, apps::RuntimeKind rt, bool single_buffer, ui
   config.app_options.single_buffer = single_buffer;
 
   config.continuous = true;
-  const report::ExperimentResult cont = report::RunExperiment(config);
+  const report::ExperimentResult cont = runner.Run(config);
   cell.cont_ms = cont.run.stats.TotalUs() / 1e3;
 
   config.continuous = false;
@@ -55,9 +55,10 @@ void Main() {
 
   report::TextTable table({"Runtime", "Double Cont.(ms)", "Double Int.(ms)", "Double Corr.",
                            "Single Cont.(ms)", "Single Int.(ms)", "Single Corr."});
+  ExperimentRunner runner;  // one device reused across the continuous-power cells
   for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
-    const Cell dbl = Measure(emitter, rt, /*single_buffer=*/false, runs, jobs);
-    const Cell sgl = Measure(emitter, rt, /*single_buffer=*/true, runs, jobs);
+    const Cell dbl = Measure(emitter, runner, rt, /*single_buffer=*/false, runs, jobs);
+    const Cell sgl = Measure(emitter, runner, rt, /*single_buffer=*/true, runs, jobs);
     table.AddRow({ToString(rt), report::Fmt(dbl.cont_ms, 2), report::Fmt(dbl.int_ms, 2),
                   dbl.correct ? "yes" : "NO", report::Fmt(sgl.cont_ms, 2),
                   report::Fmt(sgl.int_ms, 2), sgl.correct ? "yes" : "NO"});

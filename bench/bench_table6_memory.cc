@@ -26,13 +26,14 @@ void Main() {
                                         report::AppKind::kWeather};
 
   report::TextTable table({"App", "Runtime", ".text", "RAM", "FRAM(meta)", "FRAM(app)"});
+  ExperimentRunner runner;  // one device reused across the whole grid
   for (report::AppKind app : apps_order) {
     for (apps::RuntimeKind rt : kBaselinePlusEaseio) {
       report::ExperimentConfig config;
       config.runtime = rt;
       config.app = app;
       config.continuous = true;  // footprint is static; one cheap run suffices
-      const report::ExperimentResult r = report::RunExperiment(config);
+      const report::ExperimentResult r = runner.Run(config);
       emitter.AddMetrics({{"app", ToString(app)}, {"runtime", ToString(rt)}},
                          {{"text_bytes", static_cast<double>(r.code_bytes)},
                           {"ram_bytes", static_cast<double>(r.sram_bytes)},

@@ -15,9 +15,7 @@ namespace {
 // Reads `bytes` raw bytes starting at `addr`.
 std::vector<uint8_t> ReadRaw(sim::Device& dev, uint32_t addr, uint32_t bytes) {
   std::vector<uint8_t> out(bytes);
-  for (uint32_t i = 0; i < bytes; ++i) {
-    out[i] = dev.mem().Read8(addr + i);
-  }
+  dev.mem().ReadBlock(addr, bytes, out.data());
   return out;
 }
 
@@ -112,14 +110,14 @@ AppHandle BuildDmaApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManager& 
     if (d.mem().Read16(jobs_addr) != jobs) {
       return false;  // a double-incremented job counter skipped work
     }
-    for (uint32_t i = 0; i < DmaAppState::kWords; ++i) {
-      if (d.mem().Read16(dst_addr + 2 * i) != d.mem().Read16(src_addr + 2 * i)) {
-        return false;
-      }
+    const auto src = ReadRaw(d, src_addr, DmaAppState::kWords * 2);
+    const auto dst = ReadRaw(d, dst_addr, DmaAppState::kWords * 2);
+    if (src != dst) {
+      return false;
     }
     uint32_t expect = 0;
     for (uint32_t i = 0; i < DmaAppState::kWords; i += 2) {
-      expect += d.mem().Read16(dst_addr + 2 * i);
+      expect += static_cast<uint16_t>(dst[2 * i] | (dst[2 * i + 1] << 8));
     }
     return d.mem().Read32(sum_addr) == expect;
   };

@@ -90,6 +90,21 @@ void SamoyedRuntime::OnTaskCommit(kernel::TaskCtx& ctx) {
   kernel::Runtime::OnTaskCommit(ctx);
 }
 
+std::shared_ptr<const void> SamoyedRuntime::SnapshotExtra() const {
+  return std::make_shared<ExtraState>(
+      ExtraState{open_blocks_, log_, shadows_, rollbacks_, rollback_pending_});
+}
+
+void SamoyedRuntime::RestoreExtra(const std::shared_ptr<const void>& extra) {
+  EASEIO_CHECK(extra != nullptr, "Samoyed RestoreExtra needs its SnapshotExtra payload");
+  const auto& state = *static_cast<const ExtraState*>(extra.get());
+  open_blocks_ = state.open_blocks;
+  log_ = state.log;
+  shadows_ = state.shadows;
+  rollbacks_ = state.rollbacks;
+  rollback_pending_ = state.rollback_pending;
+}
+
 uint32_t SamoyedRuntime::CodeSizeBytes() const {
   // Checkpoint/restore core, atomic-function prologue/epilogue per block, undo-log
   // write barrier.

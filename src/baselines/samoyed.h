@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "kernel/runtime.h"
@@ -43,11 +44,27 @@ class SamoyedRuntime : public kernel::Runtime {
   // Test introspection: number of undo-log rollbacks performed so far.
   uint64_t rollbacks() const { return rollbacks_; }
 
+ protected:
+  // The undo log, the lazily grown shadow table, and the open-function depth all
+  // survive into the reboot path (an open atomic function at the failure decides
+  // whether Rollback runs), so a resumed trial must carry them.
+  std::shared_ptr<const void> SnapshotExtra() const override;
+  void RestoreExtra(const std::shared_ptr<const void>& extra) override;
+
  private:
   struct LogEntry {
     kernel::NvSlotId slot;
     uint32_t shadow_addr;  // FRAM copy of the pre-write contents
     uint32_t size;
+  };
+
+  // Value bundle SnapshotExtra captures (see Runtime::SnapshotExtra).
+  struct ExtraState {
+    int open_blocks;
+    std::vector<LogEntry> log;
+    std::map<kernel::NvSlotId, uint32_t> shadows;
+    uint64_t rollbacks;
+    bool rollback_pending;
   };
 
   // Lazily allocates a shadow slot for `slot` (one per NV variable, reused).

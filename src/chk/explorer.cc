@@ -1,6 +1,9 @@
 #include "chk/explorer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -9,7 +12,6 @@
 #include "kernel/engine.h"
 #include "platform/check.h"
 #include "platform/parallel.h"
-#include "platform/rng.h"
 #include "sim/failure.h"
 
 namespace easeio::chk {
@@ -23,70 +25,273 @@ struct TrialOutput {
   size_t failures_fired = 0;
 };
 
-// Executes one schedule end-to-end: fresh device + runtime + app, scripted failures,
-// probe recording, and (when a golden reference is supplied) the invariant checks.
-// Every trial uses the *same* device seed — sensor streams and golden outputs must
-// line up across trials; determinism across shards comes from trial indexing, not
-// from per-worker state.
-TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& schedule,
-                     const GoldenFacts* golden, GoldenFacts* golden_out) {
-  sim::ScriptedScheduler sched(schedule, cfg.off_us);
+sim::DeviceConfig MakeDeviceConfig(const ExploreConfig& cfg) {
   sim::DeviceConfig dev_config;
   dev_config.seed = cfg.seed;
   dev_config.timekeeper_tick_us = cfg.timekeeper_tick_us;
-  sim::Device dev(dev_config, sched);
-  TraceRecorder trace;
-  trace.Install(dev);
+  return dev_config;
+}
 
-  kernel::NvManager nv(dev.mem());
+rt::EaseioConfig MakeEaseioConfig(const ExploreConfig& cfg) {
   rt::EaseioConfig easeio_config;
   easeio_config.dma_priv_buffer_bytes = cfg.easeio_priv_buffer_bytes;
   easeio_config.enable_regional_privatization = cfg.easeio_regional_privatization;
-  auto runtime = apps::MakeRuntime(cfg.runtime, easeio_config);
-  runtime->Bind(dev, nv);
+  return easeio_config;
+}
 
+apps::AppOptions MakeAppOptions(const ExploreConfig& cfg) {
   apps::AppOptions options = cfg.app_options;
   if (apps::IsEaseioOp(cfg.runtime)) {
     options.exclude_const_dma = true;
   }
-  apps::AppHandle app = apps::BuildApp(cfg.app, dev, *runtime, nv, options);
+  return options;
+}
 
-  kernel::Engine engine(kernel::RunConfig{cfg.max_on_us});
-  const kernel::RunResult run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+bool IsSemanticRuntime(const ExploreConfig& cfg) {
+  return cfg.runtime == apps::RuntimeKind::kEaseio ||
+         cfg.runtime == apps::RuntimeKind::kEaseioOp;
+}
+
+// Gathers the post-run facts and (when a golden reference is supplied) the invariant
+// verdicts. Shared by the fresh-stack, reused-stack, and resumed-suffix paths so the
+// judgement is identical no matter how the trial was executed. For a resumed suffix,
+// `prefix_scan` is the group's pre-folded event-scan state and `events` holds only the
+// suffix events; folding the suffix on top reproduces the full-stream verdict without
+// re-scanning (or even copying) the shared prefix per pair.
+TrialOutput CollectOutput(const ExploreConfig& cfg, const kernel::RunResult& run,
+                          std::vector<sim::ProbeEvent> events, size_t failures_fired,
+                          std::vector<uint64_t> schedule, apps::AppHandle& app,
+                          kernel::Runtime& runtime, kernel::NvManager& nv, sim::Device& dev,
+                          const GoldenFacts* golden, GoldenFacts* golden_out,
+                          const EventScanState* prefix_scan = nullptr) {
   const apps::AppTraits traits = apps::TraitsFor(cfg.app);
-
   TrialOutput out;
   out.run = run;
-  out.events = trace.TakeEvents();
-  out.failures_fired = sched.next_index();
+  out.events = std::move(events);
+  out.failures_fired = failures_fired;
   out.facts.completed = run.completed;
   out.facts.consistent = run.completed && app.check_consistent(dev);
   out.facts.deterministic = traits.deterministic;
   out.facts.dma_mirror = traits.dma_mirror;
-  out.facts.semantic_runtime = cfg.runtime == apps::RuntimeKind::kEaseio ||
-                               cfg.runtime == apps::RuntimeKind::kEaseioOp;
+  out.facts.semantic_runtime = IsSemanticRuntime(cfg);
   out.facts.output = app.collect_output(dev);
-  out.facts.schedule = schedule;
+  out.facts.schedule = std::move(schedule);
 
   if (golden_out != nullptr) {
     golden_out->output = out.facts.output;
-    golden_out->war_state = CollectWarState(*runtime, nv, dev);
+    golden_out->war_state = CollectWarState(runtime, nv, dev);
   }
   if (golden != nullptr) {
-    out.violations = CheckInvariants(out.facts, *golden, out.events, *runtime, nv, dev);
+    EventScanState scan;
+    if (prefix_scan != nullptr) {
+      scan = *prefix_scan;
+    }
+    ScanEvents(scan, out.events, runtime, dev, out.facts.semantic_runtime,
+               out.facts.dma_mirror);
+    out.violations = FinalizeInvariants(out.facts, *golden, scan, runtime, nv, dev);
   }
   return out;
 }
 
-// Keeps `keep` of `v` with an even stride — deterministic, and coverage stays spread
-// over the whole run instead of clustering at the front.
-std::vector<uint64_t> StrideSubset(const std::vector<uint64_t>& v, size_t keep) {
+// Executes one schedule end-to-end on a freshly constructed stack: device + runtime +
+// app, scripted failures, probe recording. The golden run and the --no-snapshot
+// cross-check path use this; the snapshot engine uses TrialStack below. Every trial
+// uses the *same* device seed — sensor streams and golden outputs must line up across
+// trials; determinism across shards comes from trial indexing, not per-worker state.
+TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& schedule,
+                     const GoldenFacts* golden, GoldenFacts* golden_out) {
+  sim::ScriptedScheduler sched(schedule, cfg.off_us);
+  sim::Device dev(MakeDeviceConfig(cfg), sched);
+  TraceRecorder trace;
+  trace.Install(dev);
+
+  kernel::NvManager nv(dev.mem());
+  auto runtime = apps::MakeRuntime(cfg.runtime, MakeEaseioConfig(cfg));
+  runtime->Bind(dev, nv);
+  apps::AppHandle app = apps::BuildApp(cfg.app, dev, *runtime, nv, MakeAppOptions(cfg));
+
+  kernel::Engine engine(kernel::RunConfig{cfg.max_on_us});
+  const kernel::RunResult run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+  return CollectOutput(cfg, run, trace.TakeEvents(), sched.next_index(), schedule, app,
+                       *runtime, nv, dev, golden, golden_out);
+}
+
+// A reusable per-worker execution stack. The device (and its two arenas) is
+// constructed once per worker and Reset between trials — re-zeroing only the used
+// prefixes instead of allocating and touching ~264 KiB of fresh arena per trial —
+// while the runtime/app layer is rebuilt per trial: registration is cheap and
+// rebuilding reproduces the host-side tables deterministically, which is exactly what
+// a resumed suffix needs before the snapshot is laid back over FRAM.
+class TrialStack {
+ public:
+  explicit TrialStack(const ExploreConfig& cfg)
+      : cfg_(cfg), sched_({}, cfg.off_us), dev_(MakeDeviceConfig(cfg), sched_) {}
+
+  // Full replay of one schedule, equivalent to RunTrial on a fresh stack.
+  TrialOutput RunFull(const std::vector<uint64_t>& schedule, const GoldenFacts* golden,
+                      GoldenFacts* golden_out) {
+    Prepare(schedule);
+    kernel::Engine engine(kernel::RunConfig{cfg_.max_on_us});
+    const kernel::RunResult run = engine.Run(dev_, *runtime_, *nv_, app_.graph, app_.entry);
+    return CollectOutput(cfg_, run, trace_.TakeEvents(), sched_.next_index(), schedule, app_,
+                         *runtime_, *nv_, dev_, golden, golden_out);
+  }
+
+  // One captured would-be-failure point of a trunk run: everything a resumed trial
+  // needs to continue as if a scripted failure had struck at that instant. The trunk's
+  // probe events up to the instant are carried pre-folded as an EventScanState, so the
+  // resumed trial folds only its own (post-capture) events.
+  struct Capture {
+    std::optional<sim::DeviceSnapshot> dev;
+    kernel::RuntimeSnapshot rt;
+    EventScanState scan;
+    kernel::TaskId paused_task = 0;
+  };
+
+  // Runs one *trunk* execution that snapshots at every instant in `capture_at`
+  // (sorted, ascending, all > t1 when has_t1). The trunk fails at t1 (when given) and
+  // reboots through it like any trial would, then keeps executing *unfailed* past each
+  // capture instant — a scripted failure mutates nothing before it fires, so the state
+  // at instant t2_k inside the trunk is bit-identical to the pre-reboot state of a
+  // real {.., t2_k} trial. The device's capture plan invokes the hook at exactly the
+  // point the failure check would fire; the hook snapshots device + runtime, folds the
+  // probe-event delta into a running scan state, and tracks the interrupted task (the
+  // last kTaskBegin — during reboot recovery no new kTaskBegin is noted, so this is
+  // the trampoline's current task in every case). A scripted failure at the *last*
+  // capture instant ends the trunk there (pause_at_failure); if that failure lands
+  // inside reboot recovery it will not pause and the trunk simply runs on to
+  // completion — wasteful but correct, the captures were already taken. Returns how
+  // many captures were taken; callers fall back to full replay for the rest.
+  size_t RunTrunk(bool has_t1, uint64_t t1, const std::vector<uint64_t>& capture_at,
+                  std::vector<Capture>* out) {
+    std::vector<uint64_t> schedule;
+    if (has_t1) {
+      schedule.push_back(t1);
+    }
+    schedule.push_back(capture_at.back());
+    Prepare(schedule);
+    out->assign(capture_at.size(), Capture{});
+
+    size_t taken = 0;
+    size_t folded = 0;
+    EventScanState scan;
+    kernel::TaskId last_begin = app_.entry;
+    const bool semantic = IsSemanticRuntime(cfg_);
+    const bool dma_mirror = apps::TraitsFor(cfg_.app).dma_mirror;
+    dev_.SetCapturePlan(capture_at, [&](size_t i) {
+      const std::vector<sim::ProbeEvent>& ev = trace_.events();
+      ScanEvents(scan, ev.data() + folded, ev.data() + ev.size(), *runtime_, dev_, semantic,
+                 dma_mirror);
+      for (size_t j = folded; j < ev.size(); ++j) {
+        if (ev[j].kind == sim::ProbeKind::kTaskBegin) {
+          last_begin = static_cast<kernel::TaskId>(ev[j].id);
+        }
+      }
+      folded = ev.size();
+      Capture& c = (*out)[i];
+      c.dev = dev_.SnapshotAtReboot();
+      c.rt = runtime_->SnapshotState();
+      c.scan = scan;
+      c.paused_task = last_begin;
+      ++taken;
+    });
+    kernel::RunConfig run_config;
+    run_config.max_on_us = cfg_.max_on_us;
+    run_config.pause_at_failure = static_cast<uint32_t>(schedule.size());
+    kernel::Engine engine(run_config);
+    engine.Run(dev_, *runtime_, *nv_, app_.graph, app_.entry);
+    dev_.ClearCapturePlan();
+    return taken;
+  }
+
+  // Executes a schedule whose failures have all already "fired" inside a trunk run:
+  // lay the capture back over the stack and let the engine perform the deferred
+  // reboot and drive to completion with no further scripted failures. Facts come out
+  // as if the whole schedule had been replayed from the start; the trace holds only
+  // the post-capture events, which CollectOutput folds on top of the capture's scan
+  // state.
+  //
+  // The runtime/app/NV layer is NOT rebuilt on resume. Registration state (site
+  // tables, FRAM layout, task closures) is immutable once built, every run-mutable
+  // host field is covered by RuntimeSnapshot, and the volatile remainder is cleared
+  // by the deferred reboot (Memory::Restore wipes SRAM, Runtime::OnReboot drops
+  // per-attempt stacks) — the same clearing a mid-run reboot performs. Rebuilding
+  // per resume was the dominant fixed cost left in snapshot mode: NvManager's
+  // name-keyed slot map and the app task-graph std::functions are expensive to
+  // construct and provably identical every time.
+  TrialOutput ResumeFromCapture(const Capture& c, std::vector<uint64_t> schedule,
+                                const GoldenFacts& golden) {
+    if (runtime_ == nullptr) {
+      Prepare({});
+    } else {
+      sched_.Rescript({}, cfg_.off_us);
+      trace_.Reset();  // still installed: the device was not reset
+    }
+    dev_.ResumeFromSnapshot(*c.dev);
+    runtime_->RestoreState(c.rt);
+    kernel::Engine engine(kernel::RunConfig{cfg_.max_on_us});
+    const kernel::RunResult run = engine.Resume(dev_, *runtime_, *nv_, app_.graph, c.paused_task);
+    const size_t fired = schedule.size();
+    return CollectOutput(cfg_, run, trace_.TakeEvents(), fired, std::move(schedule), app_,
+                         *runtime_, *nv_, dev_, &golden, nullptr, &c.scan);
+  }
+
+ private:
+  // Rebuilds the mutable layers over the reused device: rescript the scheduler, reset
+  // the device in place, rebuild runtime + NV table + app (their registration is the
+  // deterministic part a snapshot never captures).
+  void Prepare(const std::vector<uint64_t>& schedule) {
+    sched_.Rescript(schedule, cfg_.off_us);
+    app_ = apps::AppHandle{};  // drop the previous trial's app state before rebuilding
+    runtime_.reset();
+    nv_.reset();
+    dev_.Reset(MakeDeviceConfig(cfg_), sched_);
+    trace_.Reset();
+    trace_.Install(dev_);
+    nv_.emplace(dev_.mem());
+    runtime_ = apps::MakeRuntime(cfg_.runtime, MakeEaseioConfig(cfg_));
+    runtime_->Bind(dev_, *nv_);
+    app_ = apps::BuildApp(cfg_.app, dev_, *runtime_, *nv_, MakeAppOptions(cfg_));
+  }
+
+  const ExploreConfig cfg_;
+  sim::ScriptedScheduler sched_;
+  sim::Device dev_;
+  TraceRecorder trace_;
+  std::optional<kernel::NvManager> nv_;
+  std::unique_ptr<kernel::Runtime> runtime_;
+  apps::AppHandle app_;
+};
+
+// Keeps at most `keep` of the sorted instant list `v`, spread uniformly over its
+// *time span* rather than its enumeration index. Candidate instants cluster wherever
+// the trace is event-dense (a store loop emits hundreds in a few hundred
+// microseconds), so an index stride concentrates failures there; the failure model
+// the checker stands in for — harvested energy running out — strikes uniformly in
+// time. May return fewer than `keep` when sparse stretches collapse onto the same
+// nearest instant. Pure arithmetic on the instant values: deterministic, and
+// independent of engine mode and worker count.
+std::vector<uint64_t> TimeSubset(const std::vector<uint64_t>& v, size_t keep) {
+  if (v.size() <= keep) {
+    return v;
+  }
+  if (keep <= 1) {
+    return {v[v.size() / 2]};
+  }
+  const uint64_t lo = v.front();
+  const uint64_t hi = v.back();
   std::vector<uint64_t> out;
   out.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) {
-    out.push_back(v[i * v.size() / keep]);
+  size_t cursor = 0;
+  for (size_t j = 0; j < keep; ++j) {
+    const uint64_t target = lo + (hi - lo) * j / (keep - 1);
+    while (cursor + 1 < v.size() && v[cursor] < target) {
+      ++cursor;
+    }
+    if (out.empty() || out.back() != v[cursor]) {
+      out.push_back(v[cursor]);
+    }
   }
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -115,43 +320,86 @@ void AppendEscaped(std::ostringstream& os, const std::string& s) {
 }  // namespace
 
 ExploreResult Explore(const ExploreConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
   ExploreResult res;
   res.app = apps::ToString(cfg.app);
   res.runtime = apps::ToString(cfg.runtime);
   res.seed = cfg.seed;
   res.depth = cfg.depth;
 
-  // Phase 0: continuous-power golden run with the probe installed.
+  // Phase 0: continuous-power golden run with the probe installed. Always a fresh
+  // stack — one run amortizes nothing.
   GoldenFacts golden;
   const TrialOutput g = RunTrial(cfg, {}, nullptr, &golden);
   EASEIO_CHECK(g.facts.completed, "golden run did not complete");
   res.golden_on_us = g.run.on_us;
   res.trace_events = static_cast<uint32_t>(g.events.size());
 
-  // Phase 1: depth-1 placements — every candidate instant of the golden trace.
+  // Phase 1: depth-1 placements — candidate instants of the golden trace. When pairs
+  // are requested, most of the budget is reserved for them: depth 2 is where the
+  // second-order bugs hide, and (under the snapshot engine) where a schedule costs
+  // only its suffix. Depth 1 keeps a quarter, spread uniformly over the run's
+  // timeline (see TimeSubset).
   std::vector<uint64_t> d1 = CandidateInstants(g.events, g.run.on_us);
   res.candidate_instants = static_cast<uint32_t>(d1.size());
   const uint32_t budget = std::max<uint32_t>(cfg.budget, 1);
-  if (d1.size() > budget) {
-    res.schedules_skipped += static_cast<uint32_t>(d1.size() - budget);
-    d1 = StrideSubset(d1, budget);
+  const bool want_depth2 = cfg.depth >= 2;
+  const uint32_t d1_budget = want_depth2 ? std::max<uint32_t>(budget / 4, 1) : budget;
+  if (d1.size() > d1_budget) {
+    const size_t before = d1.size();
+    d1 = TimeSubset(d1, d1_budget);
+    res.schedules_skipped += static_cast<uint32_t>(before - d1.size());
   }
 
   struct Slot {
     bool completed = false;
+    bool resumed = false;  // executed as a trunk-captured resumption
     std::vector<Violation> violations;
     std::vector<uint64_t> candidates;  // this trial's own trace (depth-2 seeds)
   };
   std::vector<Slot> slots(d1.size());
-  const bool want_depth2 = cfg.depth >= 2;
-  platform::ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
-    TrialOutput t = RunTrial(cfg, {d1[i]}, &golden, nullptr);
+  auto record_d1 = [&](TrialOutput t, size_t i) {
     slots[i].completed = t.facts.completed;
     slots[i].violations = std::move(t.violations);
     if (want_depth2 && t.facts.completed) {
       slots[i].candidates = CandidateInstants(t.events, t.run.on_us);
     }
-  });
+  };
+  // Fixed chunk size: determinism across jobs values requires the chunk boundaries —
+  // and therefore which trunk serves which trial — to be pure index arithmetic.
+  constexpr size_t kD1Chunk = 32;
+  if (cfg.use_snapshot) {
+    // Depth-1 trials share their prefixes with each other too: all of them replay the
+    // golden timeline up to their failure instant. Each chunk of consecutive instants
+    // runs one unfailed trunk that snapshots at every instant; each trial then resumes
+    // from its capture and pays only its own post-failure tail.
+    const size_t n_chunks = (d1.size() + kD1Chunk - 1) / kD1Chunk;
+    platform::ParallelForWithState(
+        cfg.jobs, n_chunks, [&] { return std::make_unique<TrialStack>(cfg); },
+        [&](std::unique_ptr<TrialStack>& stack, size_t ci) {
+          const size_t lo = ci * kD1Chunk;
+          const size_t hi = std::min(d1.size(), lo + kD1Chunk);
+          const std::vector<uint64_t> capture_at(d1.begin() + lo, d1.begin() + hi);
+          std::vector<TrialStack::Capture> caps;
+          // A trunk plus one resume costs more than one full replay, so singleton
+          // chunks replay directly.
+          const size_t taken =
+              capture_at.size() >= 2 ? stack->RunTrunk(false, 0, capture_at, &caps) : 0;
+          for (size_t i = lo; i < hi; ++i) {
+            const size_t k = i - lo;
+            if (k < taken) {
+              record_d1(stack->ResumeFromCapture(caps[k], {d1[i]}, golden), i);
+              slots[i].resumed = true;
+            } else {
+              record_d1(stack->RunFull({d1[i]}, &golden, nullptr), i);
+            }
+          }
+        });
+  } else {
+    platform::ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
+      record_d1(RunTrial(cfg, {d1[i]}, &golden, nullptr), i);
+    });
+  }
 
   std::vector<Violation> collected;
   for (Slot& s : slots) {
@@ -161,42 +409,171 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       collected.push_back(std::move(v));
     }
   }
+  for (size_t lo = 0; lo < slots.size(); lo += kD1Chunk) {
+    const size_t hi = std::min(slots.size(), lo + kD1Chunk);
+    uint64_t saved = 0;
+    uint64_t deepest = 0;
+    uint32_t resumed = 0;
+    for (size_t i = lo; i < hi; ++i) {
+      if (slots[i].resumed) {
+        ++resumed;
+        saved += d1[i];
+        deepest = d1[i];  // instants ascend, so the last resumed one is the deepest
+      }
+    }
+    if (resumed > 0) {
+      res.snapshot_resumes += resumed;
+      // Each resumed trial skipped its own [0, d1[i]) prefix; the chunk paid for the
+      // trunk's single [0, deepest] execution instead.
+      res.prefix_us_saved += saved - deepest;
+    }
+  }
 
   // Phase 2: depth-2 pairs. The second failure is placed at the instants the depth-1
   // trial actually visited *after* its first failure — adaptive enumeration: the
   // post-failure execution (recovery, re-execution, skips) is where the second-order
-  // bugs hide, and its timeline exists only in that trial's own trace.
+  // bugs hide, and its timeline exists only in that trial's own trace. Pairs are
+  // organised as first-instant *groups* from the start: each depth-1 trial owns the
+  // pairs it seeded, and when the pair universe exceeds the budget the sampler keeps
+  // whole (stride-subsampled) groups rather than flat-sampling pairs — the snapshot
+  // engine then amortises one shared prefix over ~kGroupTarget suffixes. Selection is
+  // pure index arithmetic over the enumeration order: deterministic for any jobs
+  // value and identical in both engine modes.
   if (want_depth2) {
-    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    struct PairGroup {
+      uint64_t t1 = 0;
+      std::vector<uint64_t> t2s;
+      size_t slot_base = 0;  // first index in the flat result-slot array
+    };
+    std::vector<size_t> owners;  // depth-1 trials with at least one pair to offer
+    std::vector<std::vector<uint64_t>> t2_lists(d1.size());
+    size_t total_pairs = 0;
     for (size_t i = 0; i < d1.size(); ++i) {
-      const uint64_t t1 = d1[i];
       for (uint64_t t2 : slots[i].candidates) {
-        if (t2 > t1) {
-          pairs.emplace_back(t1, t2);
+        if (t2 > d1[i]) {
+          t2_lists[i].push_back(t2);
         }
       }
-    }
-    const uint32_t remaining = budget > res.schedules ? budget - res.schedules : 0;
-    if (pairs.size() > remaining) {
-      // Budgeted random-subset fallback: a seeded partial Fisher-Yates shuffle picks
-      // the sample — deterministic for a given seed, independent of jobs.
-      res.schedules_skipped += static_cast<uint32_t>(pairs.size() - remaining);
-      Xorshift64Star rng(DeriveSeed(cfg.seed, 0x5EED));
-      for (size_t i = 0; i < remaining; ++i) {
-        const size_t j = i + rng.NextInRange(0, pairs.size() - 1 - i);
-        std::swap(pairs[i], pairs[j]);
+      if (!t2_lists[i].empty()) {
+        owners.push_back(i);
+        total_pairs += t2_lists[i].size();
       }
-      pairs.resize(remaining);
-      std::sort(pairs.begin(), pairs.end());
     }
 
-    std::vector<Slot> slots2(pairs.size());
-    platform::ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
-      TrialOutput t = RunTrial(cfg, {pairs[i].first, pairs[i].second}, &golden, nullptr);
-      slots2[i].completed = t.facts.completed;
-      slots2[i].violations = std::move(t.violations);
-    });
-    for (Slot& s : slots2) {
+    const uint32_t pair_budget = budget > res.schedules ? budget - res.schedules : 0;
+    std::vector<PairGroup> groups;
+    if (total_pairs <= pair_budget) {
+      for (size_t i : owners) {
+        groups.push_back({d1[i], t2_lists[i], 0});
+      }
+    } else if (pair_budget > 0) {
+      // Aim for groups of ~kGroupTarget suffixes: large enough to amortise the shared
+      // prefix, small enough to keep many distinct first instants covered. Owners are
+      // picked uniformly over the golden timeline (TimeSubset, same rationale as the
+      // depth-1 subsample) — which also hands the snapshot engine deep shared
+      // prefixes instead of the shallow ones an index-spread over an event-dense
+      // stretch would pick. Each owner keeps a time-spread subsample of its own t2
+      // list sized to an even share of the pair budget.
+      constexpr size_t kGroupTarget = 16;
+      const size_t n_groups =
+          std::min(owners.size(), std::max<size_t>(1, pair_budget / kGroupTarget));
+      std::vector<uint64_t> owner_instants;
+      owner_instants.reserve(owners.size());
+      for (size_t i : owners) {
+        owner_instants.push_back(d1[i]);
+      }
+      const std::vector<uint64_t> picked_instants = TimeSubset(owner_instants, n_groups);
+      std::vector<size_t> picked;
+      size_t cursor = 0;
+      for (uint64_t t1 : picked_instants) {
+        while (d1[owners[cursor]] != t1) {
+          ++cursor;
+        }
+        picked.push_back(owners[cursor]);
+      }
+      for (size_t j = 0; j < picked.size(); ++j) {
+        const size_t i = picked[j];
+        const size_t quota =
+            pair_budget / picked.size() + (j < pair_budget % picked.size() ? 1 : 0);
+        std::vector<uint64_t> t2s =
+            t2_lists[i].size() > quota ? TimeSubset(t2_lists[i], quota) : t2_lists[i];
+        groups.push_back({d1[i], std::move(t2s), 0});
+      }
+    }
+    size_t selected = 0;
+    for (PairGroup& grp : groups) {
+      grp.slot_base = selected;
+      selected += grp.t2s.size();
+    }
+    res.schedules_skipped += static_cast<uint32_t>(total_pairs - selected);
+
+    struct PairSlot {
+      bool completed = false;
+      bool resumed = false;  // executed as a snapshot-resumed suffix
+      std::vector<Violation> violations;
+    };
+    std::vector<PairSlot> slots2(selected);
+
+    if (cfg.use_snapshot) {
+      // The group (not the pair) is the parallel work item: each group runs one trunk
+      // (fail at t1, reboot through, then capture at every t2 without failing) and
+      // executes every pair as a resumption of its capture, paying only the post-t2
+      // tail. The captures never cross workers, and slot_base indexing keeps the
+      // merge order (and therefore the JSON) independent of jobs.
+      platform::ParallelForWithState(
+          cfg.jobs, groups.size(), [&] { return std::make_unique<TrialStack>(cfg); },
+          [&](std::unique_ptr<TrialStack>& stack, size_t gi) {
+            const PairGroup& grp = groups[gi];
+            // A trunk plus one resume costs more than one full replay, so singleton
+            // groups replay directly.
+            std::vector<TrialStack::Capture> caps;
+            const size_t taken =
+                grp.t2s.size() >= 2 ? stack->RunTrunk(true, grp.t1, grp.t2s, &caps) : 0;
+            for (size_t k = 0; k < grp.t2s.size(); ++k) {
+              TrialOutput t = k < taken
+                                  ? stack->ResumeFromCapture(caps[k], {grp.t1, grp.t2s[k]},
+                                                             golden)
+                                  : stack->RunFull({grp.t1, grp.t2s[k]}, &golden, nullptr);
+              PairSlot& slot = slots2[grp.slot_base + k];
+              slot.completed = t.facts.completed;
+              slot.resumed = k < taken;
+              slot.violations = std::move(t.violations);
+            }
+          });
+
+      for (const PairGroup& grp : groups) {
+        uint64_t saved = 0;
+        uint64_t deepest = 0;
+        uint32_t resumed = 0;
+        for (size_t k = 0; k < grp.t2s.size(); ++k) {
+          if (slots2[grp.slot_base + k].resumed) {
+            ++resumed;
+            saved += grp.t2s[k];
+            deepest = grp.t2s[k];  // t2s ascend
+          }
+        }
+        if (resumed > 0) {
+          res.snapshot_resumes += resumed;
+          // Full replay would execute [0, t2_k] per pair; the group paid for one trunk
+          // reaching the deepest capture instead.
+          res.prefix_us_saved += saved - deepest;
+        }
+      }
+    } else {
+      std::vector<std::pair<uint64_t, uint64_t>> pairs(selected);
+      for (const PairGroup& grp : groups) {
+        for (size_t k = 0; k < grp.t2s.size(); ++k) {
+          pairs[grp.slot_base + k] = {grp.t1, grp.t2s[k]};
+        }
+      }
+      platform::ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
+        TrialOutput t = RunTrial(cfg, {pairs[i].first, pairs[i].second}, &golden, nullptr);
+        slots2[i].completed = t.facts.completed;
+        slots2[i].violations = std::move(t.violations);
+      });
+    }
+
+    for (PairSlot& s : slots2) {
       res.schedules += 1;
       res.completed += s.completed ? 1 : 0;
       for (Violation& v : s.violations) {
@@ -215,10 +592,15 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       res.violations.push_back(std::move(v));
     }
   }
+
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  res.trials_per_sec =
+      res.wall_seconds > 0 ? static_cast<double>(res.schedules) / res.wall_seconds : 0.0;
   return res;
 }
 
-std::string ToJson(const ExploreResult& r) {
+std::string ToJson(const ExploreResult& r, bool include_timing) {
   std::ostringstream os;
   os << "{\"app\":\"";
   AppendEscaped(os, r.app);
@@ -247,18 +629,25 @@ std::string ToJson(const ExploreResult& r) {
     }
     os << "]}";
   }
-  os << "]}";
+  os << "]";
+  if (include_timing) {
+    os << ",\"timing\":{\"wall_seconds\":" << r.wall_seconds
+       << ",\"trials_per_sec\":" << r.trials_per_sec
+       << ",\"snapshot_resumes\":" << r.snapshot_resumes
+       << ",\"prefix_us_saved\":" << r.prefix_us_saved << "}";
+  }
+  os << "}";
   return os.str();
 }
 
-std::string ToJson(const std::vector<ExploreResult>& results) {
+std::string ToJson(const std::vector<ExploreResult>& results, bool include_timing) {
   std::ostringstream os;
   os << "{\"explorations\":[";
   for (size_t i = 0; i < results.size(); ++i) {
     if (i > 0) {
       os << ",";
     }
-    os << ToJson(results[i]);
+    os << ToJson(results[i], include_timing);
   }
   os << "]}";
   return os.str();

@@ -28,7 +28,10 @@ struct ExploreConfig {
   apps::RuntimeKind runtime = apps::RuntimeKind::kEaseio;
   uint64_t seed = 1;
   int depth = 2;           // 1: single failures; 2: also pairs
-  uint32_t budget = 1500;  // hard cap on schedules; excess is subsampled deterministically
+  // Hard cap on schedules; excess is subsampled deterministically. At depth 2 one
+  // quarter goes to depth-1 placements and the rest to pairs, kept as first-instant
+  // groups so the snapshot engine can amortise each shared prefix.
+  uint32_t budget = 1500;
   uint32_t jobs = 0;       // worker threads; 0 = hardware concurrency
   uint64_t off_us = 700;   // dark time after each injected failure
   uint64_t max_on_us = 60'000'000;  // per-trial non-termination guard
@@ -36,6 +39,12 @@ struct ExploreConfig {
   uint32_t easeio_priv_buffer_bytes = 4096;
   bool easeio_regional_privatization = true;
   uint64_t timekeeper_tick_us = 100;
+
+  // Snapshot-at-reboot trial resumption: depth-2 pairs sharing a first failure
+  // instant run the prefix once, snapshot at the post-t1 reboot, and execute each
+  // pair as a resumed suffix. Off = full replay of every schedule (the cross-check
+  // escape hatch; produces identical non-timing results).
+  bool use_snapshot = true;
 };
 
 struct ExploreResult {
@@ -50,14 +59,25 @@ struct ExploreResult {
   uint32_t completed = 0;          // trials that ran to completion
   uint32_t schedules_skipped = 0;  // enumerated placements dropped by the budget
   std::vector<Violation> violations;  // deduplicated; minimal schedules first
+
+  // Timing / engine diagnostics. Serialized in a separate "timing" JSON object that
+  // ToJson can exclude, because wall-clock varies run to run and the snapshot
+  // counters legitimately differ between engine modes — everything above must stay
+  // byte-identical across jobs counts *and* between snapshot/full-replay modes.
+  double wall_seconds = 0;       // wall-clock time of the whole exploration
+  double trials_per_sec = 0;     // schedules / wall_seconds
+  uint64_t snapshot_resumes = 0; // depth-2 trials executed as resumed suffixes
+  uint64_t prefix_us_saved = 0;  // simulated prefix on-time not re-executed
 };
 
 // Runs the exploration. Deterministic: identical results for any `jobs` value.
 ExploreResult Explore(const ExploreConfig& config);
 
 // Stable JSON serialization (fixed field order; byte-identical across jobs counts).
-std::string ToJson(const ExploreResult& result);
-std::string ToJson(const std::vector<ExploreResult>& results);
+// With include_timing = false the "timing" object is omitted entirely, making the
+// output also byte-identical across engine modes and run-to-run.
+std::string ToJson(const ExploreResult& result, bool include_timing = true);
+std::string ToJson(const std::vector<ExploreResult>& results, bool include_timing = true);
 
 }  // namespace easeio::chk
 

@@ -1,5 +1,7 @@
 #include "chk/invariants.h"
 
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -32,9 +34,7 @@ namespace {
 
 std::vector<uint8_t> ReadSlotBytes(const sim::Device& dev, const kernel::NvSlot& slot) {
   std::vector<uint8_t> bytes(slot.size);
-  for (uint32_t i = 0; i < slot.size; ++i) {
-    bytes[i] = dev.mem().Read8(slot.addr + i);
-  }
+  dev.mem().ReadBlock(slot.addr, slot.size, bytes.data());
   return bytes;
 }
 
@@ -53,44 +53,60 @@ std::map<std::string, std::vector<uint8_t>> CollectWarState(const kernel::Runtim
   return state;
 }
 
-std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFacts& golden,
-                                       const std::vector<sim::ProbeEvent>& events,
-                                       const kernel::Runtime& rt, const kernel::NvManager& nv,
-                                       const sim::Device& dev) {
-  std::vector<Violation> out;
-  auto add = [&](Invariant inv, std::string subject, std::string detail) {
-    out.push_back({inv, std::move(subject), std::move(detail), facts.schedule});
+void ScanEvents(EventScanState& state, const std::vector<sim::ProbeEvent>& events,
+                const kernel::Runtime& rt, const sim::Device& dev, bool semantic_runtime,
+                bool dma_mirror) {
+  ScanEvents(state, events.data(), events.data() + events.size(), rt, dev, semantic_runtime,
+             dma_mirror);
+}
+
+void ScanEvents(EventScanState& state, const sim::ProbeEvent* begin,
+                const sim::ProbeEvent* end, const kernel::Runtime& rt, const sim::Device& dev,
+                bool semantic_runtime, bool dma_mirror) {
+  auto add = [&state](Invariant inv, std::string subject, std::string detail) {
+    // Schedule left empty: the shared prefix does not know which trial it serves.
+    state.violations.push_back({inv, std::move(subject), std::move(detail), {}});
   };
 
-  if (!facts.completed) {
-    add(Invariant::kCompletion, "run", "did not complete before the non-termination guard");
-    return out;  // the remaining checks are meaningless for an aborted run
+  // The lane stride depends only on the runtime's site table, so a prefix folded
+  // earlier under the same runtime already fixed it to the same value.
+  if (state.io_lane_stride == 0) {
+    uint32_t stride = 1;
+    for (const kernel::IoSiteDesc& d : rt.io_sites()) {
+      stride = std::max(stride, d.lanes);
+    }
+    state.io_lane_stride = stride;
   }
-  if (!facts.consistent) {
-    add(Invariant::kAppConsistency, "app", "application consistency predicate failed");
-  }
-  if (facts.deterministic && facts.output != golden.output) {
-    add(Invariant::kOutputEquivalence, "output",
-        "final output differs from the continuous-power golden run");
-  }
+  auto io_locked = [&state](uint32_t site, uint32_t lane) -> uint8_t& {
+    const size_t idx = static_cast<size_t>(site) * state.io_lane_stride + lane;
+    if (idx >= state.io_locked.size()) {
+      state.io_locked.resize(idx + 1, 0);
+    }
+    return state.io_locked[idx];
+  };
+  auto dma_locked = [&state](uint32_t site) -> uint8_t& {
+    if (site >= state.dma_locked.size()) {
+      state.dma_locked.resize(site + 1, 0);
+    }
+    return state.dma_locked[site];
+  };
 
-  // --- Event-stream invariants (EaseIO re-execution semantics) ------------------------
-  // A site whose completion flag became durable (kIoLocked/kDmaLocked) must not run
-  // again until its owning task commits and clears the flag. Sites with declared data
-  // dependences or enclosing blocks are exempt: dependence-forced and block-forced
-  // re-execution is the specified behaviour, not a bug.
-  if (facts.semantic_runtime) {
-    std::map<std::pair<uint32_t, uint32_t>, bool> io_locked;
-    std::map<uint32_t, bool> dma_locked;
-    for (const sim::ProbeEvent& e : events) {
+  for (const sim::ProbeEvent* it = begin; it != end; ++it) {
+    const sim::ProbeEvent& e = *it;
+    // --- Event-stream invariants (EaseIO re-execution semantics) ----------------------
+    // A site whose completion flag became durable (kIoLocked/kDmaLocked) must not run
+    // again until its owning task commits and clears the flag. Sites with declared
+    // data dependences or enclosing blocks are exempt: dependence-forced and
+    // block-forced re-execution is the specified behaviour, not a bug.
+    if (semantic_runtime) {
       switch (e.kind) {
         case sim::ProbeKind::kIoLocked:
-          io_locked[{e.id, e.lane}] = true;
+          io_locked(e.id, e.lane) = 1;
           break;
         case sim::ProbeKind::kIoExec: {
           const kernel::IoSiteDesc& d = rt.io_sites()[e.id];
           const bool exempt = !d.depends_on.empty() || d.block != kernel::kNoBlock;
-          if (d.sem == kernel::IoSemantic::kSingle && !exempt && io_locked[{e.id, e.lane}]) {
+          if (d.sem == kernel::IoSemantic::kSingle && !exempt && io_locked(e.id, e.lane)) {
             std::ostringstream os;
             os << "locked Single operation re-executed at t=" << e.on_us << " us";
             add(Invariant::kSingleReexec, d.name, os.str());
@@ -108,11 +124,11 @@ std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFact
           break;
         }
         case sim::ProbeKind::kDmaLocked:
-          dma_locked[e.id] = true;
+          dma_locked(e.id) = 1;
           break;
         case sim::ProbeKind::kDmaExec: {
           const kernel::DmaSiteDesc& d = rt.dma_sites()[e.id];
-          if (d.related_io == kernel::kNoSite && dma_locked[e.id]) {
+          if (d.related_io == kernel::kNoSite && dma_locked(e.id)) {
             std::ostringstream os;
             os << "locked Single DMA re-executed at t=" << e.on_us << " us";
             add(Invariant::kSingleReexec, d.name, os.str());
@@ -125,12 +141,12 @@ std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFact
               continue;
             }
             for (uint32_t l = 0; l < rt.io_sites()[s].lanes; ++l) {
-              io_locked[{static_cast<uint32_t>(s), l}] = false;
+              io_locked(static_cast<uint32_t>(s), l) = 0;
             }
           }
           for (size_t s = 0; s < rt.dma_sites().size(); ++s) {
             if (rt.dma_sites()[s].task == e.id) {
-              dma_locked[static_cast<uint32_t>(s)] = false;
+              dma_locked(static_cast<uint32_t>(s)) = 0;
             }
           }
           break;
@@ -139,52 +155,115 @@ std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFact
           break;
       }
     }
-  }
-
-  // --- Torn-DMA check -----------------------------------------------------------------
-  // For workloads whose NV->NV DMA sources are never overwritten, the last transfer of
-  // each site must leave dst mirroring src byte-for-byte.
-  if (facts.dma_mirror) {
-    std::map<uint32_t, const sim::ProbeEvent*> last_nv_dma;
-    for (const sim::ProbeEvent& e : events) {
-      if (e.kind != sim::ProbeKind::kDmaExec) {
-        continue;
-      }
+    // --- Torn-DMA candidates ----------------------------------------------------------
+    // Remember the last NV->NV transfer of each site; the final memory comparison
+    // happens in FinalizeInvariants, once the run is over.
+    if (dma_mirror && e.kind == sim::ProbeKind::kDmaExec) {
       const uint32_t dst = static_cast<uint32_t>(e.a >> 32);
       const uint32_t src = static_cast<uint32_t>(e.a & 0xFFFFFFFFu);
       if (dev.mem().Classify(dst) == sim::MemKind::kFram &&
           dev.mem().Classify(src) == sim::MemKind::kFram) {
-        last_nv_dma[e.id] = &e;
+        if (e.id >= state.last_nv_dma.size()) {
+          state.last_nv_dma.resize(e.id + 1);
+          state.last_nv_dma_set.resize(e.id + 1, 0);
+        }
+        state.last_nv_dma[e.id] = e;
+        state.last_nv_dma_set[e.id] = 1;
       }
     }
-    for (const auto& [site, e] : last_nv_dma) {
-      const uint32_t dst = static_cast<uint32_t>(e->a >> 32);
-      const uint32_t src = static_cast<uint32_t>(e->a & 0xFFFFFFFFu);
-      for (uint32_t i = 0; i < e->b; ++i) {
-        if (dev.mem().Read8(dst + i) != dev.mem().Read8(src + i)) {
-          std::ostringstream os;
-          os << "destination diverges from source at byte " << i << " of " << e->b;
-          add(Invariant::kTornDma, rt.dma_sites()[site].name, os.str());
-          break;
-        }
+  }
+}
+
+std::vector<Violation> FinalizeInvariants(const TrialFacts& facts, const GoldenFacts& golden,
+                                          const EventScanState& state,
+                                          const kernel::Runtime& rt,
+                                          const kernel::NvManager& nv, const sim::Device& dev) {
+  std::vector<Violation> out;
+  auto add = [&](Invariant inv, std::string subject, std::string detail) {
+    out.push_back({inv, std::move(subject), std::move(detail), facts.schedule});
+  };
+
+  if (!facts.completed) {
+    add(Invariant::kCompletion, "run", "did not complete before the non-termination guard");
+    return out;  // the remaining checks are meaningless for an aborted run
+  }
+  if (!facts.consistent) {
+    add(Invariant::kAppConsistency, "app", "application consistency predicate failed");
+  }
+  if (facts.deterministic && facts.output != golden.output) {
+    add(Invariant::kOutputEquivalence, "output",
+        "final output differs from the continuous-power golden run");
+  }
+
+  for (const Violation& v : state.violations) {
+    out.push_back({v.invariant, v.subject, v.detail, facts.schedule});
+  }
+
+  // --- Torn-DMA check -----------------------------------------------------------------
+  // For workloads whose NV->NV DMA sources are never overwritten, the last transfer of
+  // each site must leave dst mirroring src byte-for-byte. Compared in place (PeekBlock
+  // + memcmp): this runs once per trial, and staging copies of the regions were a
+  // measurable share of per-trial cost.
+  for (uint32_t site = 0; site < state.last_nv_dma.size(); ++site) {
+    if (!state.last_nv_dma_set[site]) {
+      continue;
+    }
+    const sim::ProbeEvent& e = state.last_nv_dma[site];
+    const uint32_t dst = static_cast<uint32_t>(e.a >> 32);
+    const uint32_t src = static_cast<uint32_t>(e.a & 0xFFFFFFFFu);
+    const uint8_t* dst_bytes = dev.mem().PeekBlock(dst, static_cast<uint32_t>(e.b));
+    const uint8_t* src_bytes = dev.mem().PeekBlock(src, static_cast<uint32_t>(e.b));
+    if (std::memcmp(dst_bytes, src_bytes, e.b) != 0) {
+      uint32_t i = 0;
+      while (dst_bytes[i] == src_bytes[i]) {
+        ++i;
       }
+      std::ostringstream os;
+      os << "destination diverges from source at byte " << i << " of " << e.b;
+      add(Invariant::kTornDma, rt.dma_sites()[site].name, os.str());
     }
   }
 
   // --- WAR commit semantics -----------------------------------------------------------
   // Deterministic workloads must leave every WAR-declared variable with the golden
   // bytes — the commit protocols of Alpaca/InK/EaseIO all promise exactly this.
+  // Iterates the golden capture (name order, matching the map CollectWarState builds)
+  // and compares each slot in place rather than re-collecting a map per trial.
   if (facts.deterministic && !golden.war_state.empty()) {
-    const std::map<std::string, std::vector<uint8_t>> final_state = CollectWarState(rt, nv, dev);
     for (const auto& [name, bytes] : golden.war_state) {
-      const auto it = final_state.find(name);
-      if (it != final_state.end() && it->second != bytes) {
+      const kernel::NvSlot* slot = nullptr;
+      for (const kernel::Runtime::TaskSharedDecl& decl : rt.task_shared_decls()) {
+        for (kernel::NvSlotId id : decl.war) {
+          if (nv.slot(id).name == name) {
+            slot = &nv.slot(id);
+            break;
+          }
+        }
+        if (slot != nullptr) {
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        continue;
+      }
+      if (bytes.size() != slot->size ||
+          std::memcmp(dev.mem().PeekBlock(slot->addr, slot->size), bytes.data(),
+                      bytes.size()) != 0) {
         add(Invariant::kWarCommit, name, "final bytes differ from the golden run");
       }
     }
   }
 
   return out;
+}
+
+std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFacts& golden,
+                                       const std::vector<sim::ProbeEvent>& events,
+                                       const kernel::Runtime& rt, const kernel::NvManager& nv,
+                                       const sim::Device& dev) {
+  EventScanState state;
+  ScanEvents(state, events, rt, dev, facts.semantic_runtime, facts.dma_mirror);
+  return FinalizeInvariants(facts, golden, state, rt, nv, dev);
 }
 
 }  // namespace easeio::chk

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernel/nv.h"
@@ -64,8 +65,52 @@ struct TrialFacts {
   std::vector<uint64_t> schedule;
 };
 
+// Streaming state of the event-scan invariants (Single re-execution, stale Timely,
+// torn-DMA candidates). The scan folds events one at a time, so a shared event prefix
+// can be folded once and reused: CheckInvariants(facts, golden, events, ...) equals
+// FinalizeInvariants over a state that folded the same events in the same order, for
+// any split into prefix + suffix. The snapshot engine scans each first-instant
+// group's prefix once and then folds only the per-pair suffix events.
+struct EventScanState {
+  // Flat lock tables, resized on demand. These were ordered maps; the state is copied
+  // once per trunk capture and consulted on every scanned event, which made rb-tree
+  // node traffic a measurable share of exploration cost. Flat vectors copy as a
+  // memcpy and index in O(1); site ids are small and dense by construction.
+  std::vector<uint8_t> io_locked;   // [site * io_lane_stride + lane] -> locked
+  uint32_t io_lane_stride = 0;      // max lane count over io sites; set on first scan
+  std::vector<uint8_t> dma_locked;  // [site] -> locked
+  std::vector<sim::ProbeEvent> last_nv_dma;  // [site] last NV->NV exec
+  std::vector<uint8_t> last_nv_dma_set;      // [site] 1 when the entry above is live
+  // Event-scan violations in fold order. Their schedule field is left empty — the
+  // schedule is a per-trial fact a shared prefix doesn't know; FinalizeInvariants
+  // fills it in.
+  std::vector<Violation> violations;
+};
+
+// Folds `events` into `state`. `semantic_runtime` and `dma_mirror` gate the
+// respective scans and must match the TrialFacts later passed to finalize; `dev` is
+// only consulted for address classification.
+void ScanEvents(EventScanState& state, const std::vector<sim::ProbeEvent>& events,
+                const kernel::Runtime& rt, const sim::Device& dev, bool semantic_runtime,
+                bool dma_mirror);
+
+// Range form: folds [begin, end). Lets a trunk run fold only the delta recorded since
+// its previous capture instant instead of re-scanning the whole stream every time.
+void ScanEvents(EventScanState& state, const sim::ProbeEvent* begin,
+                const sim::ProbeEvent* end, const kernel::Runtime& rt, const sim::Device& dev,
+                bool semantic_runtime, bool dma_mirror);
+
+// Judges one trial given its fully folded scan state: facts-level checks first, then
+// the scanned event violations (schedule filled in), then the final-memory checks
+// (torn DMA, WAR commit state).
+std::vector<Violation> FinalizeInvariants(const TrialFacts& facts, const GoldenFacts& golden,
+                                          const EventScanState& state,
+                                          const kernel::Runtime& rt,
+                                          const kernel::NvManager& nv, const sim::Device& dev);
+
 // Judges one completed (or aborted) trial. `dev` provides post-run NVM state, `rt`
 // the site/slot tables and WAR declarations, `events` the trial's probe stream.
+// Equivalent to ScanEvents over the whole stream followed by FinalizeInvariants.
 std::vector<Violation> CheckInvariants(const TrialFacts& facts, const GoldenFacts& golden,
                                        const std::vector<sim::ProbeEvent>& events,
                                        const kernel::Runtime& rt, const kernel::NvManager& nv,

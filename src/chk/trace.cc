@@ -7,7 +7,7 @@ namespace easeio::chk {
 std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
                                         uint64_t end_on_us) {
   std::vector<uint64_t> instants;
-  instants.reserve(events.size() * 2);
+  instants.reserve(events.size() * 2 + kTimeGridSamples);
   for (const sim::ProbeEvent& e : events) {
     if (e.kind == sim::ProbeKind::kReboot) {
       continue;
@@ -17,6 +17,19 @@ std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& even
     }
     if (e.on_us >= 1 && e.on_us - 1 < end_on_us) {
       instants.push_back(e.on_us - 1);
+    }
+  }
+  // Uniform time grid: event bracketing collapses every instant between two events
+  // into one representative, which is sound for durable state but erases the *clock*
+  // at which the failure struck — and Timely freshness, the persistent timekeeper,
+  // and off-time accounting all key off that clock. The grid samples the timing
+  // dimension directly, uniformly over the run, the way harvested-energy failures
+  // actually strike. It also gives event-sparse stretches (a DMA transfer, a long
+  // compute loop) their fair share of failure placements.
+  for (uint64_t j = 1; j <= kTimeGridSamples; ++j) {
+    const uint64_t t = end_on_us * j / (kTimeGridSamples + 1);
+    if (t >= 1 && t < end_on_us) {
+      instants.push_back(t);
     }
   }
   std::sort(instants.begin(), instants.end());

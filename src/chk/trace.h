@@ -30,15 +30,28 @@ class TraceRecorder {
   const std::vector<sim::ProbeEvent>& events() const { return events_; }
   std::vector<sim::ProbeEvent> TakeEvents() { return std::move(events_); }
 
+  // Replaces the recorded stream — empty for a fresh trial on a reused stack, or a
+  // captured prefix when a resumed suffix must append to the events recorded up to
+  // the snapshot instant.
+  void Reset(std::vector<sim::ProbeEvent> events = {}) { events_ = std::move(events); }
+
  private:
   std::vector<sim::ProbeEvent> events_;
 };
 
+// Number of uniform time-grid instants CandidateInstants adds on top of the
+// event-derived ones (before dedup against them).
+inline constexpr uint64_t kTimeGridSamples = 256;
+
 // Extracts the candidate failure instants of a trace: every recorded event instant
 // ("just after the operation") plus its predecessor microsecond ("mid-operation"),
+// merged with a uniform grid of kTimeGridSamples instants over (0, end_on_us),
 // deduplicated, sorted, and restricted to [0, end_on_us) — an instant at or past the
-// end of the run would never fire. Reboot events are excluded: their instant is the
-// already-explored failure itself.
+// end of the run would never fire. Event bracketing bounds the durable-state space
+// (no FRAM change happens between two events); the grid samples the timing space the
+// brackets collapse — Timely freshness and timekeeper arithmetic depend on *when*
+// the failure struck, not just on the durable state it interrupted. Reboot events
+// are excluded: their instant is the already-explored failure itself.
 std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
                                         uint64_t end_on_us);
 

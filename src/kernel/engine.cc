@@ -6,14 +6,48 @@ RunResult Engine::Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGr
                       TaskId entry) {
   dev.Begin();
   rt.OnRunStart();
+  return Drive(dev, rt, nv, graph, entry, /*reboot_first=*/false);
+}
 
+RunResult Engine::Resume(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                         TaskId paused_task) {
+  // No Begin()/OnRunStart(): the restored snapshot already holds the mid-run state,
+  // and the deferred reboot below re-arms the scheduler the way the full-replay path
+  // would have.
+  return Drive(dev, rt, nv, graph, paused_task, /*reboot_first=*/true);
+}
+
+RunResult Engine::Drive(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                        TaskId start, bool reboot_first) {
   TaskCtx ctx(dev, rt, nv);
   // The current-task pointer lives in non-volatile memory on a real system; here it is
   // only updated at commit, which gives the same recovery semantics.
-  TaskId cur = entry;
+  TaskId cur = start;
   bool completed = true;
+  bool paused = false;
+  uint32_t failures_caught = 0;
 
-  while (cur != kTaskDone) {
+  // Reboots through a failure: recovery work (e.g. an undo-log rollback) is itself
+  // charged and can be interrupted again, so retry until the runtime comes up clean.
+  // Returns false when the non-termination guard tripped.
+  auto reboot = [&] {
+    for (;;) {
+      dev.Reboot();
+      try {
+        rt.OnReboot();
+        break;
+      } catch (const sim::PowerFailure&) {
+      }
+    }
+    return dev.clock().on_us() <= config_.max_on_us;
+  };
+
+  bool running = !reboot_first || reboot();
+  if (!running) {
+    completed = false;
+  }
+
+  while (running && cur != kTaskDone) {
     ctx.current_task_ = cur;
     try {
       dev.Note(sim::ProbeKind::kTaskBegin, cur);
@@ -25,17 +59,12 @@ RunResult Engine::Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGr
       dev.Note(sim::ProbeKind::kTaskCommit, cur);
       cur = next;
     } catch (const sim::PowerFailure&) {
-      // Recovery work (e.g. an undo-log rollback) is itself charged and can be
-      // interrupted again; retry until the runtime comes up clean.
-      for (;;) {
-        dev.Reboot();
-        try {
-          rt.OnReboot();
-          break;
-        } catch (const sim::PowerFailure&) {
-        }
+      ++failures_caught;
+      if (config_.pause_at_failure != 0 && failures_caught >= config_.pause_at_failure) {
+        paused = true;
+        break;
       }
-      if (dev.clock().on_us() > config_.max_on_us) {
+      if (!reboot()) {
         completed = false;
         break;
       }
@@ -43,7 +72,9 @@ RunResult Engine::Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGr
   }
 
   RunResult result;
-  result.completed = completed;
+  result.completed = completed && !paused && cur == kTaskDone;
+  result.paused = paused;
+  result.paused_task = cur;
   result.stats = dev.stats();
   result.on_us = dev.clock().on_us();
   result.off_us = dev.clock().off_us();

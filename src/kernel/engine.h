@@ -22,10 +22,21 @@ struct RunConfig {
   // Abort the run (completed = false) once this much on-time has elapsed. Catches
   // non-terminating workloads instead of hanging the harness.
   uint64_t max_on_us = 60'000'000;
+
+  // When nonzero, stop at the Nth PowerFailure caught at the task trampoline instead
+  // of rebooting through it (1 = pause at the first). The device is left exactly as
+  // that failure found it — attempt buffer unfolded, no off-time spent, SRAM intact —
+  // which is the cut point Device::SnapshotAtReboot captures. The result has
+  // paused = true and paused_task set; continue on a restored stack with Resume.
+  // Failures that interrupt reboot recovery itself are retried in place as always and
+  // do not count.
+  uint32_t pause_at_failure = 0;
 };
 
 struct RunResult {
   bool completed = false;
+  bool paused = false;       // stopped by pause_at_failure (completed is false)
+  TaskId paused_task = 0;    // the task the pause interrupted; Resume re-enters it
   sim::RunStats stats;       // counters + app/overhead/wasted decomposition
   uint64_t on_us = 0;        // powered execution time
   uint64_t off_us = 0;       // time spent dark, recharging
@@ -42,7 +53,19 @@ class Engine {
   RunResult Run(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
                 TaskId entry);
 
+  // Continues a run that a pause_at_failure engine stopped, after the caller
+  // rebuilt the stack and applied Device::ResumeFromSnapshot + Runtime::RestoreState.
+  // First performs the reboot the pause deferred (fold, off-time, SRAM clear,
+  // listeners, runtime recovery — exactly what the full-replay path would have done at
+  // that failure), then re-enters `paused_task` and drives the graph to completion.
+  RunResult Resume(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                   TaskId paused_task);
+
  private:
+  // The shared drive loop; `reboot_first` performs the deferred reboot of Resume.
+  RunResult Drive(sim::Device& dev, Runtime& rt, NvManager& nv, const TaskGraph& graph,
+                  TaskId start, bool reboot_first);
+
   RunConfig config_;
 };
 

@@ -118,6 +118,19 @@ void Runtime::DmaCopy(TaskCtx& ctx, DmaSiteId site, uint32_t dst, uint32_t src,
 
 void Runtime::OnTaskCommit(TaskCtx& ctx) { ResetTaskCounters(ctx.current_task()); }
 
+RuntimeSnapshot Runtime::SnapshotState() const {
+  return RuntimeSnapshot{io_stats_, dma_stats_, SnapshotExtra()};
+}
+
+void Runtime::RestoreState(const RuntimeSnapshot& snapshot) {
+  EASEIO_CHECK(snapshot.io_stats.size() == io_stats_.size() &&
+                   snapshot.dma_stats.size() == dma_stats_.size(),
+               "RestoreState on a differently-registered runtime");
+  io_stats_ = snapshot.io_stats;
+  dma_stats_ = snapshot.dma_stats;
+  RestoreExtra(snapshot.extra);
+}
+
 uint32_t Runtime::CodeSizeBytes() const {
   // Plain task-model code: task dispatch plus a call per site.
   return 700 + 16 * static_cast<uint32_t>(io_sites_.size()) +

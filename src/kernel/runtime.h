@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "kernel/io.h"
@@ -24,6 +25,19 @@
 namespace easeio::kernel {
 
 using IoOp = std::function<int16_t(TaskCtx&)>;
+
+// The runtime's execution-time mutable host-side state, captured alongside a
+// DeviceSnapshot. The per-lane execution counters matter because
+// `executions_this_task` is reset only at task *commit*, never at reboot — it crosses
+// power failures and decides redundancy classification, so a resumed suffix with
+// zeroed counters would diverge from full replay. `extra` carries runtime-specific
+// dynamic state (see Runtime::SnapshotExtra); registration tables are not captured —
+// rebuilding the stack reproduces them deterministically.
+struct RuntimeSnapshot {
+  std::vector<std::vector<LaneStats>> io_stats;
+  std::vector<LaneStats> dma_stats;
+  std::shared_ptr<const void> extra;
+};
 
 class Runtime {
  public:
@@ -116,7 +130,19 @@ class Runtime {
   }
   const LaneStats& dma_stats(DmaSiteId site) const { return dma_stats_[site]; }
 
+  // --- Execution-state snapshot (the chk snapshot engine) -------------------------------
+  // Captures / restores the mutable state a resumed trial must carry across the
+  // rebuild. Restore requires an identically registered runtime (same sites).
+  RuntimeSnapshot SnapshotState() const;
+  void RestoreState(const RuntimeSnapshot& snapshot);
+
  protected:
+  // Runtimes with dynamic host-side state that survives into the reboot path (e.g.
+  // Samoyed's undo log and lazily allocated shadow slots) override these; the default
+  // has nothing to capture. RestoreExtra receives exactly what SnapshotExtra returned.
+  virtual std::shared_ptr<const void> SnapshotExtra() const { return nullptr; }
+  virtual void RestoreExtra(const std::shared_ptr<const void>& extra) { (void)extra; }
+
   // Runs the operation with redundancy accounting: executions beyond the first for a
   // site lane (within one task incarnation) count as redundant I/O and are charged to
   // the kRedundant phase so they land in "wasted work".

@@ -8,6 +8,12 @@
 namespace easeio::report {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  std::unique_ptr<sim::Device> device;
+  return RunExperiment(config, device);
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               std::unique_ptr<sim::Device>& device) {
   // Assemble the failure source.
   sim::NeverFailScheduler never;
   sim::UniformTimerScheduler timer(config.on_min_us, config.on_max_us, config.off_min_us,
@@ -36,7 +42,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     harv = &harvester;
   }
 
-  sim::Device dev(dev_config, *scheduler, harv);
+  // Reuse the caller's device when it already exists: Reset re-zeros only the used
+  // arena prefixes instead of constructing (and zero-filling) fresh arenas per run.
+  if (device == nullptr) {
+    device = std::make_unique<sim::Device>(dev_config, *scheduler, harv);
+  } else {
+    device->Reset(dev_config, *scheduler, harv);
+  }
+  sim::Device& dev = *device;
   kernel::NvManager nv(dev.mem());
   rt::EaseioConfig easeio_config;
   easeio_config.dma_priv_buffer_bytes = config.easeio_priv_buffer_bytes;
@@ -68,14 +81,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 }
 
 Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs, uint32_t jobs) {
-  // Each seed's experiment runs on a worker with its own device/runtime/app stack
-  // (RunExperiment builds the full stack locally); results land in index-addressed
-  // slots.
-  std::vector<ExperimentResult> slots =
-      platform::ParallelMap<ExperimentResult>(jobs, runs, [&base](size_t i) {
+  // Each worker constructs one device on its first seed and reuses it (Device::Reset)
+  // for every subsequent seed it claims; the runtime/app layer is rebuilt per seed.
+  // Results land in index-addressed slots, so which worker ran which seed is
+  // invisible in the output.
+  std::vector<ExperimentResult> slots(runs);
+  platform::ParallelForWithState(
+      jobs, runs, [] { return std::unique_ptr<sim::Device>(); },
+      [&](std::unique_ptr<sim::Device>& device, size_t i) {
         ExperimentConfig config = base;
         config.seed = base.seed + i;
-        return RunExperiment(config);
+        slots[i] = RunExperiment(config, device);
       });
 
   // Fold sequentially in seed order: the floating-point accumulation order is fixed,
@@ -131,6 +147,7 @@ chk::ExploreResult RunExploration(const ExperimentConfig& config,
   c.jobs = options.jobs;
   c.off_us = options.off_us;
   c.max_on_us = options.max_on_us;
+  c.use_snapshot = options.use_snapshot;
   return chk::Explore(c);
 }
 

@@ -7,6 +7,7 @@
 #define EASEIO_REPORT_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,15 @@ struct ExperimentResult {
 // Builds and runs a single experiment.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
+// Device-reusing variant: `device` is a caller-owned slot. Null on entry constructs a
+// fresh device into it; otherwise the existing device is Reset in place (arenas are
+// re-zeroed, not reallocated) and reused — the per-worker stack-reuse path RunSweep
+// and the bench harnesses drive. The device's failure source and harvester are rebound
+// on every call and are only valid during the call; results are identical to the
+// fresh-construction overload.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               std::unique_ptr<sim::Device>& device);
+
 // Aggregate over `runs` experiments with seeds base.seed + {0 .. runs-1}.
 //
 // Field semantics (relied on by the bench harnesses — do not change silently):
@@ -106,10 +116,11 @@ struct Aggregate {
   uint32_t completed = 0;  // runs that finished before the non-termination guard
 };
 
-// Runs the sweep on `jobs` worker threads (0 = hardware concurrency), each seed with
-// its own device/runtime/app stack, and folds the per-seed results sequentially in
-// seed order — the Aggregate is byte-identical (floating point included) for any
-// `jobs` value.
+// Runs the sweep on `jobs` worker threads (0 = hardware concurrency). Each worker
+// constructs one device and reuses it across its seeds via Device::Reset (the
+// runtime/app layer is rebuilt per seed); per-seed results land in index-addressed
+// slots and fold sequentially in seed order — the Aggregate is byte-identical
+// (floating point included) for any `jobs` value.
 Aggregate RunSweep(const ExperimentConfig& base, uint32_t runs, uint32_t jobs = 0);
 
 // --- Failure-schedule exploration (src/chk) -------------------------------------------
@@ -124,6 +135,8 @@ struct ExplorationOptions {
   uint32_t jobs = 0;    // worker threads; 0 = hardware concurrency
   uint64_t off_us = 700;
   uint64_t max_on_us = 60'000'000;
+  // Snapshot-at-reboot resumption for depth-2 groups (see chk::ExploreConfig).
+  bool use_snapshot = true;
 };
 
 chk::ExploreResult RunExploration(const ExperimentConfig& config,

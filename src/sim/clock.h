@@ -32,6 +32,12 @@ class SimClock {
   // Wall-clock microseconds since the run began (on + off).
   uint64_t wall_us() const { return on_us_ + off_us_; }
 
+  // Rewinds to t=0 (Device::Reset stack reuse).
+  void Reset() {
+    on_us_ = 0;
+    off_us_ = 0;
+  }
+
  private:
   uint64_t on_us_ = 0;
   uint64_t off_us_ = 0;
@@ -50,6 +56,11 @@ class PersistentTimekeeper {
   uint64_t NowUs() const { return (clock_.wall_us() / tick_us_) * tick_us_; }
 
   uint64_t tick_us() const { return tick_us_; }
+
+  // Re-applies a (possibly different) tick quantisation. The timekeeper is otherwise
+  // stateless — it reads the clock it was bound to at construction — so this is all
+  // Device::Reset needs.
+  void Reset(uint64_t tick_us) { tick_us_ = tick_us == 0 ? 1 : tick_us; }
 
  private:
   const SimClock& clock_;

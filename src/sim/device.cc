@@ -9,7 +9,7 @@ namespace easeio::sim {
 Device::Device(const DeviceConfig& config, FailureScheduler& scheduler,
                const Harvester* harvester)
     : config_(config),
-      scheduler_(scheduler),
+      scheduler_(&scheduler),
       harvester_(harvester),
       mem_(config.sram_bytes, config.fram_bytes),
       timekeeper_(clock_, config.timekeeper_tick_us),
@@ -23,24 +23,87 @@ Device::Device(const DeviceConfig& config, FailureScheduler& scheduler,
                "capacitor mode requires a harvester");
 }
 
+void Device::Reset(const DeviceConfig& config, FailureScheduler& scheduler,
+                   const Harvester* harvester) {
+  EASEIO_CHECK(config.sram_bytes == mem_.sram_size() && config.fram_bytes == mem_.fram_size(),
+               "Device::Reset cannot change arena sizes");
+  EASEIO_CHECK(!config.use_capacitor || harvester != nullptr,
+               "capacitor mode requires a harvester");
+  config_ = config;
+  scheduler_ = &scheduler;
+  harvester_ = harvester;
+  mem_.Reset();
+  clock_.Reset();
+  timekeeper_.Reset(config.timekeeper_tick_us);
+  cap_ = Capacitor(config.capacitance_f, config.v_on, config.v_off, config.v_max);
+  meter_.Reset();
+  stats_.Reset();
+  phase_ = Phase::kApp;
+  failure_rng_ = Xorshift64Star(DeriveSeed(config.seed, 0));
+  temp_ = MakeTempSensor(DeriveSeed(config.seed, 1));
+  humidity_ = MakeHumiditySensor(DeriveSeed(config.seed, 2));
+  pressure_ = MakePressureSensor(DeriveSeed(config.seed, 3));
+  radio_ = Radio();
+  camera_ = Camera(DeriveSeed(config.seed, 4));
+  dma_ = DmaEngine();
+  lea_ = LeaAccelerator();
+  reboot_listeners_.clear();
+  probe_ = nullptr;
+  ClearCapturePlan();
+}
+
+DeviceSnapshot Device::SnapshotAtReboot() const {
+  return DeviceSnapshot{mem_.Snapshot(), clock_, cap_,    meter_,  stats_, failure_rng_,
+                        temp_,           humidity_, pressure_, radio_, camera_,
+                        dma_,            lea_};
+}
+
+void Device::ResumeFromSnapshot(const DeviceSnapshot& snapshot) {
+  mem_.Restore(snapshot.mem);
+  clock_ = snapshot.clock;
+  cap_ = snapshot.capacitor;
+  meter_ = snapshot.meter;
+  stats_ = snapshot.stats;
+  failure_rng_ = snapshot.failure_rng;
+  temp_ = snapshot.temp;
+  humidity_ = snapshot.humidity;
+  pressure_ = snapshot.pressure;
+  radio_ = snapshot.radio;
+  camera_ = snapshot.camera;
+  dma_ = snapshot.dma;
+  lea_ = snapshot.lea;
+  // The snapshot was taken mid-failure; the deferred Reboot() re-enters at kApp.
+  phase_ = Phase::kApp;
+}
+
 void Device::Begin() {
   cap_.Reset();
-  scheduler_.OnPowerOn(clock_, failure_rng_);
+  scheduler_->OnPowerOn(clock_, failure_rng_);
 }
 
 void Device::Spend(uint64_t cycles, double energy_j) {
   if (cycles == 0) {
     return;
   }
-  if (scheduler_.FailNow(clock_, cap_)) {
+  CaptureCheck();
+  if (scheduler_->FailNow(clock_, cap_)) {
     throw PowerFailure{};
   }
   const double energy_per_cycle = energy_j / static_cast<double>(cycles);
   uint64_t remaining = cycles;
   while (remaining > 0) {
-    const uint64_t budget = scheduler_.OnTimeBudgetUs(clock_);
+    const uint64_t budget = scheduler_->OnTimeBudgetUs(clock_);
     EASEIO_CHECK(budget > 0, "scheduler returned zero budget without failing");
-    const uint64_t step = std::min(remaining, budget);
+    uint64_t step = std::min(remaining, budget);
+    // Clamp to the next capture instant so the clock lands exactly on it; splitting a
+    // step changes nothing observable (stats/meter accumulate sums, and the capacitor
+    // path is unused in the scripted mode capture plans run under).
+    if (capture_hook_ && capture_next_ < capture_at_.size()) {
+      const uint64_t next_capture = capture_at_[capture_next_];
+      if (clock_.on_us() < next_capture) {
+        step = std::min(step, next_capture - clock_.on_us());
+      }
+    }
     const double step_s = static_cast<double>(step) * 1e-6;
     double draw_j = energy_per_cycle * static_cast<double>(step);
     if (config_.use_capacitor) {
@@ -52,7 +115,8 @@ void Device::Spend(uint64_t cycles, double energy_j) {
     stats_.ChargeAttempt(phase_, static_cast<double>(step), draw_j);
     meter_.Add(phase_, draw_j);
     remaining -= step;
-    if (scheduler_.FailNow(clock_, cap_)) {
+    CaptureCheck();
+    if (scheduler_->FailNow(clock_, cap_)) {
       throw PowerFailure{};
     }
   }
@@ -128,7 +192,7 @@ void Device::Reboot() {
       cap_.Charge(deficit);
     }
   } else {
-    clock_.AdvanceOff(scheduler_.OffTimeUs(failure_rng_));
+    clock_.AdvanceOff(scheduler_->OffTimeUs(failure_rng_));
   }
 
   mem_.OnReboot();
@@ -136,7 +200,7 @@ void Device::Reboot() {
   for (const auto& fn : reboot_listeners_) {
     fn();
   }
-  scheduler_.OnPowerOn(clock_, failure_rng_);
+  scheduler_->OnPowerOn(clock_, failure_rng_);
 }
 
 }  // namespace easeio::sim

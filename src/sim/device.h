@@ -51,10 +51,32 @@ struct DeviceConfig {
   uint64_t timekeeper_tick_us = 100;
 };
 
+// Everything that legally crosses a power failure, captured the instant a
+// PowerFailure is thrown and *before* Device::Reboot() runs: FRAM plus cursors,
+// both clocks, capacitor voltage, stats (including the still-unfolded attempt
+// buffer — Reboot folds it on resume), the failure RNG, and the peripheral /
+// accelerator counters the invariant checker and host reports read. SRAM is absent
+// on purpose: it is destroyed by the reboot on either side of the snapshot.
+struct DeviceSnapshot {
+  MemorySnapshot mem;
+  SimClock clock;
+  Capacitor capacitor;
+  EnergyMeter meter;
+  RunStats stats;
+  Xorshift64Star failure_rng;
+  AnalogSensor temp;
+  AnalogSensor humidity;
+  AnalogSensor pressure;
+  Radio radio;
+  Camera camera;
+  DmaEngine dma;
+  LeaAccelerator lea;
+};
+
 class Device {
  public:
   // `scheduler` decides power failures; `harvester` may be null when use_capacitor is
-  // false. Both must outlive the device.
+  // false. Both must outlive the device (or be replaced via Reset before further use).
   Device(const DeviceConfig& config, FailureScheduler& scheduler,
          const Harvester* harvester = nullptr);
 
@@ -63,6 +85,26 @@ class Device {
 
   // Powers the device on at the start of a run (full capacitor, scheduler armed).
   void Begin();
+
+  // Returns the device to its freshly constructed state *without* reallocating the
+  // arenas (Memory::Reset re-zeros only the used prefixes): re-seeds the RNG streams
+  // and sensors, rewinds the clocks, resets capacitor/meter/stats, and drops reboot
+  // listeners and the probe. Arena sizes must match the original construction; the
+  // failure source and harvester are rebound. Per-worker trial stacks call this
+  // between trials instead of constructing a new device.
+  void Reset(const DeviceConfig& config, FailureScheduler& scheduler,
+             const Harvester* harvester = nullptr);
+
+  // Captures the power-failure-persistent state (see DeviceSnapshot). Call with the
+  // device exactly as a caught PowerFailure left it, before Reboot().
+  DeviceSnapshot SnapshotAtReboot() const;
+
+  // Restores a snapshot onto this device. The runtime/app stack must have been rebuilt
+  // with the identical construction sequence first (registration rebuilds the volatile
+  // and host-side structures; this call then rolls FRAM and the counters back to the
+  // captured instant). The caller resumes by performing the deferred reboot
+  // (kernel::Engine::Resume).
+  void ResumeFromSnapshot(const DeviceSnapshot& snapshot);
 
   // --- Charged execution primitives -----------------------------------------------------
   // Spends `cycles` of CPU/bus time with the given total energy, advancing the clock and
@@ -112,6 +154,25 @@ class Device {
   // Registers a callback run on every reboot (runtimes clear volatile state here).
   void AddRebootListener(std::function<void()> fn) { reboot_listeners_.push_back(std::move(fn)); }
 
+  // --- Capture plan (src/chk trunk execution) ----------------------------------------
+  // Arms a sorted list of distinct on-clock instants at which `hook(i)` runs, exactly
+  // once per instant, from inside Spend. Spend clamps its charging steps so the clock
+  // lands exactly on each instant, and the hook runs immediately *before* the failure
+  // check at that point — so the state the hook observes is bit-identical to what a
+  // scripted failure at the same instant would leave for SnapshotAtReboot, whether or
+  // not a failure actually fires there. The hook must only observe (snapshot, read the
+  // trace); it must not advance the clock, spend energy, or throw. Cleared by Reset.
+  void SetCapturePlan(std::vector<uint64_t> capture_at, std::function<void(size_t)> hook) {
+    capture_at_ = std::move(capture_at);
+    capture_hook_ = std::move(hook);
+    capture_next_ = 0;
+  }
+  void ClearCapturePlan() {
+    capture_at_.clear();
+    capture_hook_ = nullptr;
+    capture_next_ = 0;
+  }
+
   // --- Execution probe (src/chk instrumentation) -------------------------------------
   // Streams probe events to `fn`. Observation is free: no cycles, no energy — an
   // instrumented run is indistinguishable from an uninstrumented one.
@@ -147,7 +208,7 @@ class Device {
 
  private:
   DeviceConfig config_;
-  FailureScheduler& scheduler_;
+  FailureScheduler* scheduler_;  // never null; rebound by Reset
   const Harvester* harvester_;
 
   Memory mem_;
@@ -170,6 +231,20 @@ class Device {
 
   std::vector<std::function<void()>> reboot_listeners_;
   ProbeFn probe_;
+
+  // Runs every due capture hook. Called at each failure-check site in Spend, before
+  // the check itself (see SetCapturePlan).
+  void CaptureCheck() {
+    while (capture_hook_ && capture_next_ < capture_at_.size() &&
+           clock_.on_us() >= capture_at_[capture_next_]) {
+      capture_hook_(capture_next_);
+      ++capture_next_;
+    }
+  }
+
+  std::vector<uint64_t> capture_at_;
+  size_t capture_next_ = 0;
+  std::function<void(size_t)> capture_hook_;
 };
 
 }  // namespace easeio::sim

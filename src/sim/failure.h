@@ -102,12 +102,22 @@ class UniformTimerScheduler : public FailureScheduler {
 class ScriptedScheduler : public FailureScheduler {
  public:
   // The schedule may arrive in any order; instants must be distinct.
-  explicit ScriptedScheduler(std::vector<uint64_t> fail_at_on_us, uint64_t off_us = 1000)
-      : fail_at_(std::move(fail_at_on_us)), off_us_(off_us) {
+  explicit ScriptedScheduler(std::vector<uint64_t> fail_at_on_us, uint64_t off_us = 1000) {
+    Rescript(std::move(fail_at_on_us), off_us);
+  }
+
+  // Replaces the schedule and re-arms the scheduler as if freshly constructed. The
+  // explorer's reusable per-worker stacks call this between trials so the scheduler
+  // object (whose address the device holds) never has to be replaced.
+  void Rescript(std::vector<uint64_t> fail_at_on_us, uint64_t off_us) {
+    fail_at_ = std::move(fail_at_on_us);
     std::sort(fail_at_.begin(), fail_at_.end());
     for (size_t i = 1; i < fail_at_.size(); ++i) {
       EASEIO_CHECK(fail_at_[i - 1] < fail_at_[i], "scripted failure instants must be distinct");
     }
+    off_us_ = off_us;
+    next_ = 0;
+    begun_ = false;
   }
 
   void OnPowerOn(const SimClock& clock, Xorshift64Star&) override {

@@ -84,6 +84,13 @@ void Memory::Fill(uint32_t addr, uint32_t size, uint8_t value) {
   std::memset(Resolve(addr, size), value, size);
 }
 
+void Memory::ReadBlock(uint32_t addr, uint32_t size, uint8_t* dst) const {
+  if (size == 0) {
+    return;
+  }
+  std::memcpy(dst, Resolve(addr, size), size);
+}
+
 namespace {
 uint32_t Align2(uint32_t v) { return (v + 1u) & ~1u; }
 }  // namespace
@@ -127,8 +134,45 @@ uint32_t Memory::AllocatedBytes(MemKind kind) const {
 }
 
 void Memory::OnReboot() {
-  std::memset(sram_.data(), 0, sram_.size());
+  std::memset(sram_.data(), 0, sram_used_);
   ++reboot_epoch_;
+}
+
+MemorySnapshot Memory::Snapshot() const {
+  MemorySnapshot snap;
+  snap.fram.assign(fram_.begin(), fram_.begin() + fram_used_);
+  snap.sram_used = sram_used_;
+  snap.fram_used = fram_used_;
+  snap.reboot_epoch = reboot_epoch_;
+  snap.allocations = allocations_;
+  return snap;
+}
+
+void Memory::Restore(const MemorySnapshot& snapshot) {
+  EASEIO_CHECK(snapshot.sram_used <= sram_size() && snapshot.fram_used <= fram_size(),
+               "snapshot does not fit this memory");
+  // FRAM allocated beyond the snapshot cursor (e.g. lazily, after the snapshot was
+  // taken) must read as zero once the cursor rolls back.
+  if (fram_used_ > snapshot.fram_used) {
+    std::memset(fram_.data() + snapshot.fram_used, 0, fram_used_ - snapshot.fram_used);
+  }
+  std::memcpy(fram_.data(), snapshot.fram.data(), snapshot.fram.size());
+  std::memset(sram_.data(), 0, sram_used_ > snapshot.sram_used ? sram_used_ : snapshot.sram_used);
+  sram_used_ = snapshot.sram_used;
+  fram_used_ = snapshot.fram_used;
+  reboot_epoch_ = snapshot.reboot_epoch;
+  if (allocations_.size() != snapshot.allocations.size()) {
+    allocations_ = snapshot.allocations;
+  }
+}
+
+void Memory::Reset() {
+  std::memset(sram_.data(), 0, sram_used_);
+  std::memset(fram_.data(), 0, fram_used_);
+  sram_used_ = 0;
+  fram_used_ = 0;
+  reboot_epoch_ = 0;
+  allocations_.clear();
 }
 
 }  // namespace easeio::sim

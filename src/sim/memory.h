@@ -47,6 +47,17 @@ struct Allocation {
   AllocPurpose purpose = AllocPurpose::kAppData;
 };
 
+// Everything non-volatile about a Memory at one instant: the used FRAM prefix, both
+// allocation cursors, the reboot epoch, and the allocation table. SRAM is deliberately
+// absent — snapshots are taken at a power failure, where SRAM is dead by definition.
+struct MemorySnapshot {
+  std::vector<uint8_t> fram;  // first `fram_used` bytes of the FRAM arena
+  uint32_t sram_used = 0;
+  uint32_t fram_used = 0;
+  uint64_t reboot_epoch = 0;
+  std::vector<Allocation> allocations;
+};
+
 // Byte-addressable simulated memory.
 class Memory {
  public:
@@ -83,6 +94,17 @@ class Memory {
   // Fills a range with a byte value.
   void Fill(uint32_t addr, uint32_t size, uint8_t value);
 
+  // Bulk read of [addr, addr+size) into `dst` — one range check plus a memcpy. The
+  // explorer judges every trial by reading outputs and WAR slots; per-byte Read8
+  // loops there are hot enough to dominate trial cost.
+  void ReadBlock(uint32_t addr, uint32_t size, uint8_t* dst) const;
+
+  // Zero-copy view of [addr, addr+size) — one range check, no staging buffer. Valid
+  // until the next write, reboot, or Reset. The invariant checker compares final
+  // memory regions (torn-DMA mirrors, WAR slots) against references per trial; the
+  // staging copies were a measurable share of per-trial cost.
+  const uint8_t* PeekBlock(uint32_t addr, uint32_t size) const { return Resolve(addr, size); }
+
   // --- Allocation -----------------------------------------------------------------------
   // Bump-allocates `size` bytes (2-byte aligned) and records the allocation for the
   // footprint report. Aborts when the arena is exhausted — sizing mistakes are
@@ -105,11 +127,31 @@ class Memory {
   uint32_t fram_free() const { return fram_size() - fram_used_; }
 
   // --- Power failure --------------------------------------------------------------------
-  // Destroys volatile contents. FRAM and the allocation layout persist.
+  // Destroys volatile contents. FRAM and the allocation layout persist. Only the
+  // allocated SRAM prefix is cleared: bytes past the bump cursor are never handed out,
+  // so no simulated code can observe them and they stay zero from construction.
   void OnReboot();
 
   // Number of reboots observed; useful to tests asserting volatility.
   uint64_t reboot_epoch() const { return reboot_epoch_; }
+
+  // --- Snapshot / restore / reset (the chk snapshot engine) -----------------------------
+  // Captures the persistent state (see MemorySnapshot). SRAM is never captured.
+  MemorySnapshot Snapshot() const;
+
+  // Restores a snapshot taken on this memory or on an identically sized one. FRAM
+  // bytes and both cursors roll back exactly; FRAM allocated after the snapshot reads
+  // as zero again and its addresses are re-handed out by the cursor. The allocated
+  // SRAM prefix is cleared (the snapshot was taken at a power failure). The allocation
+  // table copy is skipped when the entry count already matches — on the hot resume
+  // path the rebuilt stack registered the identical layout.
+  void Restore(const MemorySnapshot& snapshot);
+
+  // Returns the memory to its freshly constructed state without reallocating the
+  // arenas: re-zeros only the *used* prefix of each arena and resets the cursors, the
+  // epoch, and the allocation table. This is what makes per-worker stack reuse cheap —
+  // a fresh construction would allocate and zero-fill the full 264 KiB again.
+  void Reset();
 
  private:
   uint8_t* Resolve(uint32_t addr, uint32_t size);

@@ -79,6 +79,9 @@ struct RunStats {
       attempt_j[i] = 0;
     }
   }
+
+  // Back to all-zero, as freshly constructed (Device::Reset stack reuse).
+  void Reset() { *this = RunStats{}; }
 };
 
 }  // namespace easeio::sim

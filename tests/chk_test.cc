@@ -12,13 +12,28 @@ namespace {
 
 // --- Candidate enumeration --------------------------------------------------------------
 
+// Expected output helper: the sorted, deduplicated union of event-bracket instants
+// and the uniform time grid over (0, end).
+std::vector<uint64_t> WithGrid(std::vector<uint64_t> brackets, uint64_t end) {
+  for (uint64_t j = 1; j <= kTimeGridSamples; ++j) {
+    const uint64_t t = end * j / (kTimeGridSamples + 1);
+    if (t >= 1 && t < end) {
+      brackets.push_back(t);
+    }
+  }
+  std::sort(brackets.begin(), brackets.end());
+  brackets.erase(std::unique(brackets.begin(), brackets.end()), brackets.end());
+  return brackets;
+}
+
 TEST(Trace, CandidateInstantsBracketEveryEvent) {
   std::vector<sim::ProbeEvent> events;
   events.push_back({sim::ProbeKind::kIoExec, 1, 0, 0, 0, 100});
   events.push_back({sim::ProbeKind::kTaskCommit, 0, 0, 0, 0, 350});
   const std::vector<uint64_t> got = CandidateInstants(events, 1000);
-  // Each event yields its own instant and the instant just before it.
-  EXPECT_EQ(got, (std::vector<uint64_t>{99, 100, 349, 350}));
+  // Each event yields its own instant and the instant just before it, merged with
+  // the uniform time grid.
+  EXPECT_EQ(got, WithGrid({99, 100, 349, 350}, 1000));
 }
 
 TEST(Trace, CandidateInstantsDedupAndClamp) {
@@ -29,13 +44,19 @@ TEST(Trace, CandidateInstantsDedupAndClamp) {
   events.push_back({sim::ProbeKind::kTaskBegin, 0, 0, 0, 0, 0});  // 0-1 underflows: only 0
   events.push_back({sim::ProbeKind::kIoExec, 4, 0, 0, 0, 500});  // at/past end: clamped
   const std::vector<uint64_t> got = CandidateInstants(events, 500);
-  EXPECT_EQ(got, (std::vector<uint64_t>{0, 99, 100, 101, 499}));
+  EXPECT_EQ(got, WithGrid({0, 99, 100, 101, 499}, 500));
 }
 
 TEST(Trace, CandidateInstantsIgnoreReboots) {
   std::vector<sim::ProbeEvent> events;
   events.push_back({sim::ProbeKind::kReboot, 1, 0, 0, 0, 200});
-  EXPECT_TRUE(CandidateInstants(events, 1000).empty());
+  const std::vector<uint64_t> got = CandidateInstants(events, 1000);
+  // The reboot contributes nothing; only the time grid remains.
+  EXPECT_EQ(got, WithGrid({}, 1000));
+  for (uint64_t t : got) {
+    EXPECT_NE(t, 199u);
+    EXPECT_NE(t, 200u);
+  }
 }
 
 // --- Exploration ------------------------------------------------------------------------
@@ -70,7 +91,10 @@ TEST(Explorer, ParallelJobsAreBitIdentical) {
   serial.jobs = 1;
   ExploreConfig parallel = cfg;
   parallel.jobs = 4;
-  EXPECT_EQ(ToJson(Explore(serial)), ToJson(Explore(parallel)));
+  // Timing excluded: wall-clock legitimately differs run to run; everything else must
+  // be byte-identical.
+  EXPECT_EQ(ToJson(Explore(serial), /*include_timing=*/false),
+            ToJson(Explore(parallel), /*include_timing=*/false));
 }
 
 TEST(Explorer, BaselineRuntimePassesEventInvariants) {
@@ -118,7 +142,11 @@ TEST(Explorer, JsonIsWellFormedAndStable) {
   EXPECT_NE(json.find("\"app\""), std::string::npos);
   EXPECT_NE(json.find("\"schedules\""), std::string::npos);
   EXPECT_NE(json.find("\"violations\""), std::string::npos);
-  EXPECT_EQ(json, ToJson(Explore(cfg)));  // re-running is byte-identical
+  EXPECT_NE(json.find("\"timing\""), std::string::npos);
+  const std::string without = ToJson(r, /*include_timing=*/false);
+  EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+  // Re-running is byte-identical once the run-to-run timing object is excluded.
+  EXPECT_EQ(without, ToJson(Explore(cfg), /*include_timing=*/false));
 }
 
 // --- Report-level API -------------------------------------------------------------------

@@ -1,0 +1,200 @@
+// Tests for the snapshot engine (PR: snapshot-at-reboot trial resumption):
+//   * Memory::Snapshot/Restore round-trips FRAM bit-exactly and rolls the allocation
+//     cursor back past post-snapshot allocations;
+//   * Memory::OnReboot/Reset volatility and fresh-state semantics;
+//   * Device::Reset-based per-worker stack reuse is indistinguishable from fresh
+//     construction across consecutive trials;
+//   * snapshot-resumed depth-2 exploration produces byte-identical non-timing results
+//     to full replay, for semantic and baseline runtimes (including Samoyed, whose
+//     undo-log/shadow state rides the RuntimeSnapshot extra payload).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/registry.h"
+#include "apps/runtime_factory.h"
+#include "chk/explorer.h"
+#include "kernel/engine.h"
+#include "kernel/nv.h"
+#include "sim/device.h"
+#include "sim/failure.h"
+#include "sim/memory.h"
+
+namespace easeio {
+namespace {
+
+// --- Memory snapshot / restore / reset --------------------------------------------------
+
+TEST(MemorySnapshot, FramRoundTripIsBitExact) {
+  sim::Memory mem(1024, 4096);
+  const uint32_t a = mem.AllocFram("a", 100);
+  const uint32_t b = mem.AllocFram("b", 64);
+  for (uint32_t i = 0; i < 100; ++i) {
+    mem.Write8(a + i, static_cast<uint8_t>(i * 7 + 1));
+  }
+  mem.Fill(b, 64, 0x5A);
+
+  const sim::MemorySnapshot snap = mem.Snapshot();
+
+  // Mutate everything the snapshot covers: contents, cursor, allocation table.
+  mem.Fill(a, 100, 0xEE);
+  mem.Fill(b, 64, 0x01);
+  const uint32_t late = mem.AllocFram("late", 32);
+  mem.Fill(late, 32, 0x77);
+
+  mem.Restore(snap);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(mem.Read8(a + i), static_cast<uint8_t>(i * 7 + 1)) << "offset " << i;
+  }
+  for (uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(mem.Read8(b + i), 0x5A) << "offset " << i;
+  }
+  EXPECT_EQ(mem.allocations().size(), 2u);
+  // The cursor rolled back: the next allocation re-hands the same address, and the
+  // bytes the dead allocation dirtied read as zero again.
+  const uint32_t again = mem.AllocFram("late2", 32);
+  EXPECT_EQ(again, late);
+  for (uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(mem.Read8(again + i), 0) << "offset " << i;
+  }
+}
+
+TEST(MemorySnapshot, OnRebootClearsSramKeepsFram) {
+  sim::Memory mem(1024, 4096);
+  const uint32_t s = mem.AllocSram("s", 16);
+  const uint32_t f = mem.AllocFram("f", 16);
+  mem.Fill(s, 16, 0xAB);
+  mem.Fill(f, 16, 0xCD);
+  EXPECT_EQ(mem.reboot_epoch(), 0u);
+
+  mem.OnReboot();
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(mem.Read8(s + i), 0) << "sram offset " << i;
+    EXPECT_EQ(mem.Read8(f + i), 0xCD) << "fram offset " << i;
+  }
+  EXPECT_EQ(mem.reboot_epoch(), 1u);
+}
+
+TEST(MemorySnapshot, ResetReturnsToFreshState) {
+  sim::Memory mem(1024, 4096);
+  const uint32_t s = mem.AllocSram("s", 16);
+  const uint32_t f = mem.AllocFram("f", 16);
+  mem.Fill(s, 16, 0xAB);
+  mem.Fill(f, 16, 0xCD);
+  mem.OnReboot();
+
+  mem.Reset();
+  EXPECT_TRUE(mem.allocations().empty());
+  EXPECT_EQ(mem.reboot_epoch(), 0u);
+  EXPECT_EQ(mem.sram_free(), mem.sram_size());
+  EXPECT_EQ(mem.fram_free(), mem.fram_size());
+  // Re-allocation hands out the same base addresses, and the arena reads zero.
+  EXPECT_EQ(mem.AllocSram("s2", 16), s);
+  EXPECT_EQ(mem.AllocFram("f2", 16), f);
+  for (uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(mem.Read8(s + i), 0) << "sram offset " << i;
+    EXPECT_EQ(mem.Read8(f + i), 0) << "fram offset " << i;
+  }
+}
+
+// --- Device reset reuse -----------------------------------------------------------------
+
+struct TrialResult {
+  kernel::RunResult run;
+  std::vector<uint8_t> output;
+};
+
+// Builds the runtime/app layer over `dev` (already fresh or Reset) and runs the DMA
+// app under EaseIO with the given scripted schedule.
+TrialResult DriveDmaTrial(sim::Device& dev) {
+  kernel::NvManager nv(dev.mem());
+  auto runtime = apps::MakeRuntime(apps::RuntimeKind::kEaseio);
+  runtime->Bind(dev, nv);
+  apps::AppHandle app = apps::BuildApp(apps::AppKind::kDma, dev, *runtime, nv);
+  kernel::Engine engine;
+  TrialResult r;
+  r.run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+  r.output = app.collect_output(dev);
+  return r;
+}
+
+TEST(DeviceReset, ReusedStackMatchesFreshConstruction) {
+  const std::vector<std::vector<uint64_t>> schedules = {{}, {900}, {900, 2100}};
+  sim::DeviceConfig dev_config;
+
+  // Reused path: one device, Reset between trials.
+  sim::ScriptedScheduler reused_sched({}, 700);
+  sim::Device reused(dev_config, reused_sched);
+  for (const std::vector<uint64_t>& schedule : schedules) {
+    reused_sched.Rescript(schedule, 700);
+    reused.Reset(dev_config, reused_sched);
+    const TrialResult got = DriveDmaTrial(reused);
+
+    // Fresh path: everything constructed from scratch.
+    sim::ScriptedScheduler fresh_sched(schedule, 700);
+    sim::Device fresh(dev_config, fresh_sched);
+    const TrialResult want = DriveDmaTrial(fresh);
+
+    EXPECT_EQ(got.run.completed, want.run.completed);
+    EXPECT_EQ(got.run.on_us, want.run.on_us);
+    EXPECT_EQ(got.run.off_us, want.run.off_us);
+    EXPECT_EQ(got.run.wall_us, want.run.wall_us);
+    EXPECT_EQ(got.run.energy_j, want.run.energy_j);
+    EXPECT_EQ(got.run.stats.power_failures, want.run.stats.power_failures);
+    EXPECT_EQ(got.run.stats.tasks_committed, want.run.stats.tasks_committed);
+    EXPECT_EQ(got.output, want.output);
+  }
+}
+
+// --- Snapshot-resumed exploration equals full replay ------------------------------------
+
+void ExpectModeEquivalence(apps::AppKind app, apps::RuntimeKind rt, uint32_t budget,
+                           bool expect_resumes) {
+  chk::ExploreConfig cfg;
+  cfg.app = app;
+  cfg.runtime = rt;
+  cfg.depth = 2;
+  cfg.budget = budget;
+  cfg.jobs = 2;
+  chk::ExploreConfig full = cfg;
+  full.use_snapshot = false;
+
+  const chk::ExploreResult snap_result = chk::Explore(cfg);
+  const chk::ExploreResult full_result = chk::Explore(full);
+  EXPECT_EQ(chk::ToJson(snap_result, /*include_timing=*/false),
+            chk::ToJson(full_result, /*include_timing=*/false))
+      << apps::ToString(app) << "/" << apps::ToString(rt);
+  if (expect_resumes) {
+    EXPECT_GT(snap_result.snapshot_resumes, 0u) << "snapshot fast path never taken";
+    EXPECT_GT(snap_result.prefix_us_saved, 0u);
+  }
+  EXPECT_EQ(full_result.snapshot_resumes, 0u);
+  EXPECT_EQ(full_result.prefix_us_saved, 0u);
+}
+
+TEST(SnapshotEngine, ResumedDepth2EqualsFullReplayEaseio) {
+  ExpectModeEquivalence(apps::AppKind::kDma, apps::RuntimeKind::kEaseio, 160,
+                        /*expect_resumes=*/true);
+}
+
+TEST(SnapshotEngine, ResumedDepth2EqualsFullReplayAlpaca) {
+  ExpectModeEquivalence(apps::AppKind::kDma, apps::RuntimeKind::kAlpaca, 160,
+                        /*expect_resumes=*/true);
+}
+
+TEST(SnapshotEngine, ResumedDepth2EqualsFullReplayInk) {
+  ExpectModeEquivalence(apps::AppKind::kDma, apps::RuntimeKind::kInk, 160,
+                        /*expect_resumes=*/true);
+}
+
+TEST(SnapshotEngine, ResumedDepth2EqualsFullReplaySamoyedWeather) {
+  // Weather is the only app exercising I/O blocks, i.e. Samoyed's undo log and lazily
+  // allocated FRAM shadows — the state that rides the RuntimeSnapshot extra payload.
+  ExpectModeEquivalence(apps::AppKind::kWeather, apps::RuntimeKind::kSamoyed, 60,
+                        /*expect_resumes=*/false);
+}
+
+}  // namespace
+}  // namespace easeio

@@ -8,7 +8,8 @@
 //
 // Usage:
 //   easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N] [--budget=N]
-//           [--seed=N] [--off-us=N] [--no-regional] [--json=PATH] [--expect-clean]
+//           [--seed=N] [--off-us=N] [--no-regional] [--no-snapshot] [--json=PATH]
+//           [--expect-clean]
 //
 //   --app       dma | temp | lea | fir | weather | branch | unitask | all
 //               (unitask = dma+temp+lea; default: unitask)
@@ -19,8 +20,13 @@
 //   --seed      device/sensor seed (default: 1)
 //   --off-us    dark time after each injected failure (default: 700)
 //   --no-regional   disable EaseIO regional DMA privatization (bug-hunting ablation)
+//   --no-snapshot   full-replay every depth-2 schedule instead of resuming from a
+//                   post-first-failure snapshot (cross-check; slower, same results)
 //   --json      also write results as JSON to PATH
 //   --expect-clean  exit nonzero if any invariant violation was found
+//
+// Each flag may appear at most once; a duplicated flag is a usage error (exit 2) —
+// silently keeping the last occurrence has bitten scripted sweeps before.
 
 #include <cerrno>
 #include <cstdint>
@@ -28,6 +34,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -105,6 +112,13 @@ bool ParseRuntimes(const std::string& name, std::vector<apps::RuntimeKind>* out)
   return false;
 }
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
+               "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
+               "               [--no-snapshot] [--json=PATH] [--expect-clean]\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +129,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool expect_clean = false;
 
+  std::set<std::string> seen_flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {
@@ -122,6 +137,16 @@ int main(int argc, char** argv) {
                  ? arg.c_str() + std::strlen(prefix)
                  : nullptr;
     };
+    // Every flag may appear once. The key is the flag name alone ("--json", not
+    // "--json=a.json"), so `--json=a.json --json=b.json` is caught, not last-one-wins.
+    if (arg.rfind("--", 0) == 0 && arg != "--help") {
+      const std::string key = arg.substr(0, arg.find('='));
+      if (!seen_flags.insert(key).second) {
+        std::fprintf(stderr, "easechk: duplicated flag '%s'\n", key.c_str());
+        PrintUsage(stderr);
+        return 2;
+      }
+    }
     if (const char* v = value("--app=")) {
       if (!ParseApps(v, &app_list)) {
         std::fprintf(stderr, "easechk: unknown app '%s'\n", v);
@@ -162,12 +187,12 @@ int main(int argc, char** argv) {
       json_path = v;
     } else if (arg == "--no-regional") {
       base.easeio_regional_privatization = false;
+    } else if (arg == "--no-snapshot") {
+      base.use_snapshot = false;
     } else if (arg == "--expect-clean") {
       expect_clean = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
-                  "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
-                  "               [--json=PATH] [--expect-clean]\n");
+      PrintUsage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "easechk: unknown option '%s' (try --help)\n", arg.c_str());
