@@ -319,6 +319,36 @@ void AppendEscaped(std::ostringstream& os, const std::string& s) {
 
 }  // namespace
 
+ReplayOutput ReplaySchedule(const ExploreConfig& cfg, const std::vector<uint64_t>& schedule) {
+  sim::ScriptedScheduler sched(schedule, cfg.off_us);
+  sim::Device dev(MakeDeviceConfig(cfg), sched);
+  TraceRecorder trace;
+  trace.Install(dev);
+
+  kernel::NvManager nv(dev.mem());
+  auto runtime = apps::MakeRuntime(cfg.runtime, MakeEaseioConfig(cfg));
+  runtime->Bind(dev, nv);
+  apps::AppHandle app = apps::BuildApp(cfg.app, dev, *runtime, nv, MakeAppOptions(cfg));
+
+  kernel::Engine engine(kernel::RunConfig{cfg.max_on_us});
+  ReplayOutput out;
+  out.run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
+  out.schedule = schedule;
+  out.events = trace.TakeEvents();
+  out.task_names.reserve(app.graph.size());
+  for (size_t t = 0; t < app.graph.size(); ++t) {
+    out.task_names.push_back(app.graph.task(static_cast<kernel::TaskId>(t)).name);
+  }
+  out.io_sites = runtime->io_sites();
+  out.io_blocks = runtime->io_blocks();
+  out.dma_sites = runtime->dma_sites();
+  out.nv_slot_names.reserve(nv.slots().size());
+  for (const kernel::NvSlot& s : nv.slots()) {
+    out.nv_slot_names.push_back(s.name);
+  }
+  return out;
+}
+
 ExploreResult Explore(const ExploreConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
   ExploreResult res;

@@ -19,6 +19,9 @@
 #include "apps/registry.h"
 #include "apps/runtime_factory.h"
 #include "chk/invariants.h"
+#include "kernel/engine.h"
+#include "kernel/io.h"
+#include "sim/probe.h"
 
 namespace easeio::chk {
 
@@ -72,6 +75,25 @@ struct ExploreResult {
 
 // Runs the exploration. Deterministic: identical results for any `jobs` value.
 ExploreResult Explore(const ExploreConfig& config);
+
+// One schedule replayed end-to-end on a fresh stack with the probe installed,
+// packaged with the name tables a downstream consumer (the obs timeline writer)
+// needs to label the events. `easechk --trace-failures` uses this to turn a
+// violating schedule back into a complete, inspectable event stream — the
+// exploration itself may have executed the trial as a resumed suffix whose
+// recorded trace starts at the snapshot instant.
+struct ReplayOutput {
+  kernel::RunResult run;
+  std::vector<uint64_t> schedule;
+  std::vector<sim::ProbeEvent> events;
+  std::vector<std::string> task_names;          // indexed by TaskId
+  std::vector<kernel::IoSiteDesc> io_sites;     // indexed by IoSiteId
+  std::vector<kernel::IoBlockDesc> io_blocks;   // indexed by IoBlockId
+  std::vector<kernel::DmaSiteDesc> dma_sites;   // indexed by DmaSiteId
+  std::vector<std::string> nv_slot_names;       // indexed by NvSlotId
+};
+ReplayOutput ReplaySchedule(const ExploreConfig& config,
+                            const std::vector<uint64_t>& schedule);
 
 // Stable JSON serialization (fixed field order; byte-identical across jobs counts).
 // With include_timing = false the "timing" object is omitted entirely, making the

@@ -9,8 +9,16 @@ std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& even
   std::vector<uint64_t> instants;
   instants.reserve(events.size() * 2 + kTimeGridSamples);
   for (const sim::ProbeEvent& e : events) {
-    if (e.kind == sim::ProbeKind::kReboot) {
-      continue;
+    switch (e.kind) {
+      case sim::ProbeKind::kReboot:
+      case sim::ProbeKind::kBlockBegin:
+      case sim::ProbeKind::kBlockEnd:
+      case sim::ProbeKind::kRegionEnter:
+      case sim::ProbeKind::kPrivCopy:
+      case sim::ProbeKind::kCapSample:
+        continue;
+      default:
+        break;
     }
     if (e.on_us < end_on_us) {
       instants.push_back(e.on_us);

@@ -24,7 +24,8 @@ namespace easeio::chk {
 class TraceRecorder {
  public:
   void Install(sim::Device& dev) {
-    dev.set_probe([this](const sim::ProbeEvent& e) { events_.push_back(e); });
+    // AddProbe, not set_probe: the obs tracer/profiler may watch the same run.
+    dev.AddProbe([this](const sim::ProbeEvent& e) { events_.push_back(e); });
   }
 
   const std::vector<sim::ProbeEvent>& events() const { return events_; }
@@ -51,7 +52,11 @@ inline constexpr uint64_t kTimeGridSamples = 256;
 // (no FRAM change happens between two events); the grid samples the timing space the
 // brackets collapse — Timely freshness and timekeeper arithmetic depend on *when*
 // the failure struck, not just on the durable state it interrupted. Reboot events
-// are excluded: their instant is the already-explored failure itself.
+// are excluded: their instant is the already-explored failure itself. Pure
+// observability kinds (block/region/privatization markers, capacitor samples) are
+// excluded too — they annotate operations that already contribute their own
+// brackets, so admitting them would only re-derive the same instants and bloat the
+// schedule space the budget divides.
 std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
                                         uint64_t end_on_us);
 

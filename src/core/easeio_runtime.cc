@@ -254,6 +254,7 @@ void EaseioRuntime::IoBlockBegin(kernel::TaskCtx& ctx, kernel::IoBlockId block) 
       break;
   }
   block_stack_.push_back({block, mode});
+  dev.Note(sim::ProbeKind::kBlockBegin, block, 0, static_cast<uint64_t>(mode));
 }
 
 void EaseioRuntime::IoBlockEnd(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
@@ -270,6 +271,7 @@ void EaseioRuntime::IoBlockEnd(kernel::TaskCtx& ctx, kernel::IoBlockId block) {
     dev.StoreWord32(meta.base + kBlockTs, static_cast<uint32_t>(ctx.NowUs()));
     dev.StoreWord(meta.base + kBlockFlag, 1);
   }
+  dev.Note(sim::ProbeKind::kBlockEnd, block, 0, mode != BlockMode::kSkip ? 1 : 0);
 }
 
 void EaseioRuntime::DmaCopy(kernel::TaskCtx& ctx, kernel::DmaSiteId site, uint32_t dst,

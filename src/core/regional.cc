@@ -62,6 +62,7 @@ void RegionalPrivatizer::EnterRegion(kernel::TaskCtx& ctx, kernel::TaskId task, 
   sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
 
   const bool priv_done = dev.LoadWord(region.flag_addr) != 0;
+  dev.Note(sim::ProbeKind::kRegionEnter, task, r, priv_done ? 1 : 0);
   if (!priv_done) {
     // First arrival in this incarnation: snapshot the region's variables, then set the
     // flag last so a torn snapshot is simply re-taken from (still unmodified)
@@ -73,6 +74,7 @@ void RegionalPrivatizer::EnterRegion(kernel::TaskCtx& ctx, kernel::TaskId task, 
       off += s.size;
     }
     dev.StoreWord(region.flag_addr, 1);
+    dev.Note(sim::ProbeKind::kPrivCopy, task, r, 0, region.snap_size);
   } else {
     // Re-arrival after a power failure: recover the region's variables. Restoring is
     // idempotent, so a failure mid-restore is harmless.
@@ -82,6 +84,7 @@ void RegionalPrivatizer::EnterRegion(kernel::TaskCtx& ctx, kernel::TaskId task, 
       ChargedAtomicCopy(dev, s.addr, region.snap_addr + off, s.size);
       off += s.size;
     }
+    dev.Note(sim::ProbeKind::kPrivCopy, task, r, 1, region.snap_size);
   }
 }
 
@@ -98,18 +101,22 @@ void RegionalPrivatizer::EnterRegionAfterDmaExec(kernel::TaskCtx& ctx, kernel::T
   sim::Device::PhaseScope scope(dev, sim::Phase::kOverhead);
 
   const bool priv_done = dev.LoadWord(region.flag_addr) != 0;
+  dev.Note(sim::ProbeKind::kRegionEnter, task, r, 2);
   uint32_t off = 0;
   if (priv_done) {
     // Undo partial CPU writes from the failed attempt, except where the fresh DMA
     // output now lives.
+    uint32_t restored = 0;
     for (kernel::NvSlotId id : region.slots) {
       const kernel::NvSlot& s = nv_->slot(id);
       const bool overlaps = s.addr < dst + dst_size && dst < s.addr + s.size;
       if (!overlaps) {
         ChargedAtomicCopy(dev, s.addr, region.snap_addr + off, s.size);
+        restored += s.size;
       }
       off += s.size;
     }
+    dev.Note(sim::ProbeKind::kPrivCopy, task, r, 1, restored);
   }
   // (Re-)snapshot: later recoveries must reproduce the post-DMA state.
   off = 0;
@@ -119,6 +126,7 @@ void RegionalPrivatizer::EnterRegionAfterDmaExec(kernel::TaskCtx& ctx, kernel::T
     off += s.size;
   }
   dev.StoreWord(region.flag_addr, 1);
+  dev.Note(sim::ProbeKind::kPrivCopy, task, r, 0, region.snap_size);
 }
 
 void RegionalPrivatizer::InvalidateFrom(kernel::TaskCtx& ctx, kernel::TaskId task, uint32_t r) {

@@ -86,7 +86,9 @@ sim::DmaEngine::TransferInfo Runtime::ExecuteDmaTagged(TaskCtx& ctx, DmaSiteId s
   }
   ++ls.executions_this_task;
   ++ls.total_executions;
-  ctx.dev().Note(sim::ProbeKind::kDmaExec, site, 0,
+  // lane carries the redundancy flag (DMA sites have no lanes; the invariant checker
+  // reads only a/b for this kind, the profiler reads lane).
+  ctx.dev().Note(sim::ProbeKind::kDmaExec, site, redundant ? 1 : 0,
                  (static_cast<uint64_t>(dst) << 32) | src, nbytes);
   return info;
 }

@@ -1,0 +1,49 @@
+#include "obs/capture.h"
+
+#include <utility>
+
+namespace easeio::obs {
+
+CapturedRun CaptureRun(const report::ExperimentConfig& config) {
+  CapturedRun out;
+  out.app = apps::ToString(config.app);
+  out.runtime = apps::ToString(config.runtime);
+  out.seed = config.seed;
+
+  report::RunHooks hooks;
+  hooks.probe = [&out](const sim::ProbeEvent& e) { out.events.push_back(e); };
+  hooks.inspect = [&out](const report::RunStackView& stack) {
+    out.task_names.reserve(stack.app.graph.size());
+    for (size_t t = 0; t < stack.app.graph.size(); ++t) {
+      out.task_names.push_back(stack.app.graph.task(static_cast<kernel::TaskId>(t)).name);
+    }
+    out.io_sites = stack.runtime.io_sites();
+    out.io_blocks = stack.runtime.io_blocks();
+    out.dma_sites = stack.runtime.dma_sites();
+    out.nv_slot_names.reserve(stack.nv.slots().size());
+    for (const kernel::NvSlot& s : stack.nv.slots()) {
+      out.nv_slot_names.push_back(s.name);
+    }
+  };
+
+  std::unique_ptr<sim::Device> device;
+  out.result = report::RunExperiment(config, device, hooks);
+  return out;
+}
+
+CapturedRun FromReplay(const chk::ExploreConfig& config, chk::ReplayOutput replay) {
+  CapturedRun out;
+  out.app = apps::ToString(config.app);
+  out.runtime = apps::ToString(config.runtime);
+  out.seed = config.seed;
+  out.result.run = replay.run;
+  out.events = std::move(replay.events);
+  out.task_names = std::move(replay.task_names);
+  out.io_sites = std::move(replay.io_sites);
+  out.io_blocks = std::move(replay.io_blocks);
+  out.dma_sites = std::move(replay.dma_sites);
+  out.nv_slot_names = std::move(replay.nv_slot_names);
+  return out;
+}
+
+}  // namespace easeio::obs

@@ -1,0 +1,49 @@
+// Observed runs: one experiment executed with the probe subscribed, packaged with
+// the name tables that turn numeric event ids back into task/site/slot names.
+//
+// This is the common currency of the obs layer: the timeline writer (timeline.h) and
+// the per-site profiler (profile.h) both consume a CapturedRun, whether it came from
+// a live experiment (CaptureRun) or from a chk schedule replay (FromReplay — how
+// `easechk --trace-failures` turns a violating schedule into an inspectable trace).
+// Capture is pure host-side observation: the run's RunStats, output, and final NV
+// memory are bit-identical to an uninstrumented run of the same config
+// (test-enforced in tests/obs_test.cc).
+
+#ifndef EASEIO_OBS_CAPTURE_H_
+#define EASEIO_OBS_CAPTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/explorer.h"
+#include "kernel/io.h"
+#include "report/experiment.h"
+#include "sim/probe.h"
+
+namespace easeio::obs {
+
+struct CapturedRun {
+  std::string app;
+  std::string runtime;
+  uint64_t seed = 1;
+  report::ExperimentResult result;
+  std::vector<sim::ProbeEvent> events;
+  std::vector<std::string> task_names;          // indexed by TaskId
+  std::vector<kernel::IoSiteDesc> io_sites;     // indexed by IoSiteId
+  std::vector<kernel::IoBlockDesc> io_blocks;   // indexed by IoBlockId
+  std::vector<kernel::DmaSiteDesc> dma_sites;   // indexed by DmaSiteId
+  std::vector<std::string> nv_slot_names;       // indexed by NvSlotId
+};
+
+// Runs `config` through report::RunExperiment with an event-recording probe and a
+// post-run inspection hook that harvests the name tables before teardown.
+CapturedRun CaptureRun(const report::ExperimentConfig& config);
+
+// Repackages a chk full replay of one failure schedule (chk::ReplaySchedule) as a
+// CapturedRun so the same timeline/profile writers apply to counterexample traces.
+CapturedRun FromReplay(const chk::ExploreConfig& config, chk::ReplayOutput replay);
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_CAPTURE_H_

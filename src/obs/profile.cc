@@ -1,0 +1,404 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "report/json.h"
+
+namespace easeio::obs {
+namespace {
+
+size_t TbfBucket(uint64_t gap_us) {
+  size_t b = 0;
+  while (gap_us > 1 && b + 1 < kTbfHistBuckets) {
+    gap_us >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+RunProfile BuildProfile(const CapturedRun& run) {
+  RunProfile p;
+  p.app = run.app;
+  p.runtime = run.runtime;
+  p.seed = run.seed;
+
+  const kernel::RunResult& r = run.result.run;
+  p.completed = r.completed;
+  p.on_us = r.on_us;
+  p.off_us = r.off_us;
+  p.wall_us = r.wall_us;
+  p.energy_j = r.energy_j;
+  p.power_failures = r.stats.power_failures;
+  p.tasks_committed = r.stats.tasks_committed;
+  p.io_executions = r.stats.io_executions;
+  p.io_redundant = r.stats.io_redundant;
+  p.io_skipped = r.stats.io_skipped;
+  p.dma_executions = r.stats.dma_executions;
+  p.dma_redundant = r.stats.dma_redundant;
+  p.dma_skipped = r.stats.dma_skipped;
+  p.app_us = r.stats.app_us;
+  p.overhead_us = r.stats.overhead_us;
+  p.wasted_us = r.stats.wasted_us;
+  p.app_j = r.stats.app_j;
+  p.overhead_j = r.stats.overhead_j;
+  p.wasted_j = r.stats.wasted_j;
+
+  p.tasks.resize(run.task_names.size());
+  for (size_t t = 0; t < run.task_names.size(); ++t) {
+    p.tasks[t].task = static_cast<uint32_t>(t);
+    p.tasks[t].name = run.task_names[t];
+  }
+  p.io_sites.resize(run.io_sites.size());
+  for (size_t s = 0; s < run.io_sites.size(); ++s) {
+    p.io_sites[s].site = static_cast<uint32_t>(s);
+    p.io_sites[s].name = run.io_sites[s].name;
+    p.io_sites[s].task = run.io_sites[s].task;
+    p.io_sites[s].sem = kernel::ToString(run.io_sites[s].sem);
+  }
+  p.dma_sites.resize(run.dma_sites.size());
+  for (size_t s = 0; s < run.dma_sites.size(); ++s) {
+    p.dma_sites[s].site = static_cast<uint32_t>(s);
+    p.dma_sites[s].name = run.dma_sites[s].name;
+    p.dma_sites[s].task = run.dma_sites[s].task;
+  }
+  p.blocks.resize(run.io_blocks.size());
+  for (size_t b = 0; b < run.io_blocks.size(); ++b) {
+    p.blocks[b].block = static_cast<uint32_t>(b);
+    p.blocks[b].name = run.io_blocks[b].name;
+  }
+  std::map<std::pair<uint32_t, uint32_t>, RegionProfile> regions;
+
+  // Attempt bracketing state.
+  bool attempt_open = false;
+  uint32_t attempt_task = 0;
+  uint64_t attempt_begin_us = 0;
+  std::vector<uint64_t> pending_attempts(run.task_names.size(), 0);
+
+  uint64_t prev_on_us = 0;       // previous event instant (bracketed waste attribution)
+  uint64_t last_reboot_on = 0;   // previous failure instant (TBF histogram)
+  bool have_cap_min = false;
+
+  auto task_slot = [&p](uint32_t id) -> TaskProfile* {
+    return id < p.tasks.size() ? &p.tasks[id] : nullptr;
+  };
+
+  for (const sim::ProbeEvent& e : run.events) {
+    const uint64_t bracket_us = e.on_us - prev_on_us;
+    switch (e.kind) {
+      case sim::ProbeKind::kTaskBegin:
+        attempt_open = true;
+        attempt_task = e.id;
+        attempt_begin_us = e.on_us;
+        if (TaskProfile* t = task_slot(e.id)) {
+          ++t->attempts;
+        }
+        if (e.id < pending_attempts.size()) {
+          ++pending_attempts[e.id];
+        }
+        break;
+      case sim::ProbeKind::kTaskCommit: {
+        ++p.ev_commits;
+        if (TaskProfile* t = task_slot(e.id)) {
+          ++t->commits;
+          if (attempt_open && attempt_task == e.id) {
+            const uint64_t dur = e.on_us - attempt_begin_us;
+            t->committed_us += dur;
+            t->max_attempt_us = std::max(t->max_attempt_us, dur);
+          }
+          if (e.id < pending_attempts.size() && pending_attempts[e.id] > 0) {
+            const size_t bucket =
+                std::min<uint64_t>(pending_attempts[e.id], kAttemptHistBuckets) - 1;
+            ++t->attempts_per_commit_hist[bucket];
+            pending_attempts[e.id] = 0;
+          }
+        }
+        attempt_open = false;
+        break;
+      }
+      case sim::ProbeKind::kReboot: {
+        ++p.ev_reboots;
+        if (attempt_open) {
+          if (TaskProfile* t = task_slot(attempt_task)) {
+            ++t->aborted;
+            const uint64_t dur = e.on_us - attempt_begin_us;
+            t->wasted_us += dur;
+            t->max_attempt_us = std::max(t->max_attempt_us, dur);
+          }
+          attempt_open = false;
+        }
+        p.off_us_total += e.a;
+        ++p.tbf_log2_hist[TbfBucket(e.on_us - last_reboot_on)];
+        last_reboot_on = e.on_us;
+        break;
+      }
+      case sim::ProbeKind::kIoExec:
+        ++p.ev_io_exec;
+        if (e.id < p.io_sites.size()) {
+          ++p.io_sites[e.id].executions;
+          if (e.a != 0) {
+            ++p.io_sites[e.id].redundant;
+            p.io_sites[e.id].redundant_us += bracket_us;
+          }
+        }
+        if (e.a != 0) {
+          ++p.ev_io_redundant;
+        }
+        break;
+      case sim::ProbeKind::kIoSkip:
+        ++p.ev_io_skip;
+        if (e.id < p.io_sites.size()) {
+          ++p.io_sites[e.id].skipped;
+        }
+        break;
+      case sim::ProbeKind::kIoLocked:
+        if (e.id < p.io_sites.size()) {
+          ++p.io_sites[e.id].locked;
+        }
+        break;
+      case sim::ProbeKind::kDmaExec:
+        ++p.ev_dma_exec;
+        if (e.id < p.dma_sites.size()) {
+          ++p.dma_sites[e.id].executions;
+          p.dma_sites[e.id].bytes += e.b;
+          if (e.lane != 0) {
+            ++p.dma_sites[e.id].redundant;
+            p.dma_sites[e.id].redundant_us += bracket_us;
+          }
+        }
+        if (e.lane != 0) {
+          ++p.ev_dma_redundant;
+        }
+        break;
+      case sim::ProbeKind::kDmaSkip:
+        ++p.ev_dma_skip;
+        if (e.id < p.dma_sites.size()) {
+          ++p.dma_sites[e.id].skipped;
+        }
+        break;
+      case sim::ProbeKind::kDmaLocked:
+        if (e.id < p.dma_sites.size()) {
+          ++p.dma_sites[e.id].locked;
+        }
+        break;
+      case sim::ProbeKind::kDmaResolved:
+        if (e.id < p.dma_sites.size()) {
+          ++p.dma_sites[e.id].resolved;
+        }
+        break;
+      case sim::ProbeKind::kNvWrite:
+        break;
+      case sim::ProbeKind::kBlockBegin:
+        if (e.id < p.blocks.size()) {
+          ++p.blocks[e.id].begins;
+          if (e.a == 1) {
+            ++p.blocks[e.id].skip_begins;
+          } else if (e.a == 2) {
+            ++p.blocks[e.id].force_begins;
+          }
+        }
+        break;
+      case sim::ProbeKind::kBlockEnd:
+        if (e.id < p.blocks.size() && e.a != 0) {
+          ++p.blocks[e.id].committed_ends;
+        }
+        break;
+      case sim::ProbeKind::kRegionEnter: {
+        RegionProfile& reg = regions[{e.id, e.lane}];
+        reg.task = e.id;
+        reg.region = e.lane;
+        ++reg.enters;
+        if (e.a == 1) {
+          ++reg.re_arrivals;
+        } else if (e.a == 2) {
+          ++reg.dma_reenters;
+        }
+        break;
+      }
+      case sim::ProbeKind::kPrivCopy: {
+        RegionProfile& reg = regions[{e.id, e.lane}];
+        reg.task = e.id;
+        reg.region = e.lane;
+        if (e.a == 0) {
+          ++reg.snapshots;
+          reg.snapshot_bytes += e.b;
+        } else {
+          ++reg.restores;
+          reg.restore_bytes += e.b;
+        }
+        break;
+      }
+      case sim::ProbeKind::kCapSample:
+        ++p.cap_samples;
+        if (!have_cap_min || e.a < p.cap_min_uv) {
+          p.cap_min_uv = e.a;
+          have_cap_min = true;
+        }
+        p.cap_max_uv = std::max(p.cap_max_uv, e.a);
+        break;
+    }
+    prev_on_us = e.on_us;
+  }
+
+  p.regions.reserve(regions.size());
+  for (auto& [key, reg] : regions) {
+    p.regions.push_back(reg);
+  }
+  return p;
+}
+
+namespace {
+
+void WriteHist(report::JsonWriter& w, const uint64_t* hist, size_t n) {
+  w.BeginArray();
+  for (size_t i = 0; i < n; ++i) {
+    w.UInt(hist[i]);
+  }
+  w.EndArray();
+}
+
+}  // namespace
+
+std::string ProfileJson(const RunProfile& p) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-profile/1");
+  w.Key("app").String(p.app);
+  w.Key("runtime").String(p.runtime);
+  w.Key("seed").UInt(p.seed);
+
+  w.Key("run").BeginObject();
+  w.Key("completed").Bool(p.completed);
+  w.Key("on_us").UInt(p.on_us);
+  w.Key("off_us").UInt(p.off_us);
+  w.Key("wall_us").UInt(p.wall_us);
+  w.Key("energy_j").Double(p.energy_j);
+  w.Key("power_failures").UInt(p.power_failures);
+  w.Key("tasks_committed").UInt(p.tasks_committed);
+  w.Key("io_executions").UInt(p.io_executions);
+  w.Key("io_redundant").UInt(p.io_redundant);
+  w.Key("io_skipped").UInt(p.io_skipped);
+  w.Key("dma_executions").UInt(p.dma_executions);
+  w.Key("dma_redundant").UInt(p.dma_redundant);
+  w.Key("dma_skipped").UInt(p.dma_skipped);
+  w.Key("app_us").Double(p.app_us);
+  w.Key("overhead_us").Double(p.overhead_us);
+  w.Key("wasted_us").Double(p.wasted_us);
+  w.Key("app_j").Double(p.app_j);
+  w.Key("overhead_j").Double(p.overhead_j);
+  w.Key("wasted_j").Double(p.wasted_j);
+  w.EndObject();
+
+  w.Key("event_counters").BeginObject();
+  w.Key("reboots").UInt(p.ev_reboots);
+  w.Key("commits").UInt(p.ev_commits);
+  w.Key("io_exec").UInt(p.ev_io_exec);
+  w.Key("io_redundant").UInt(p.ev_io_redundant);
+  w.Key("io_skip").UInt(p.ev_io_skip);
+  w.Key("dma_exec").UInt(p.ev_dma_exec);
+  w.Key("dma_redundant").UInt(p.ev_dma_redundant);
+  w.Key("dma_skip").UInt(p.ev_dma_skip);
+  w.EndObject();
+
+  w.Key("tasks").BeginArray();
+  for (const TaskProfile& t : p.tasks) {
+    w.BeginObject();
+    w.Key("task").UInt(t.task);
+    w.Key("name").String(t.name);
+    w.Key("attempts").UInt(t.attempts);
+    w.Key("commits").UInt(t.commits);
+    w.Key("aborted").UInt(t.aborted);
+    w.Key("committed_us").UInt(t.committed_us);
+    w.Key("wasted_us").UInt(t.wasted_us);
+    w.Key("max_attempt_us").UInt(t.max_attempt_us);
+    w.Key("attempts_per_commit_hist");
+    WriteHist(w, t.attempts_per_commit_hist, kAttemptHistBuckets);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("io_sites").BeginArray();
+  for (const IoSiteProfile& s : p.io_sites) {
+    w.BeginObject();
+    w.Key("site").UInt(s.site);
+    w.Key("name").String(s.name);
+    w.Key("task").UInt(s.task);
+    w.Key("sem").String(s.sem);
+    w.Key("executions").UInt(s.executions);
+    w.Key("redundant").UInt(s.redundant);
+    w.Key("skipped").UInt(s.skipped);
+    w.Key("locked").UInt(s.locked);
+    w.Key("redundant_us").UInt(s.redundant_us);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("dma_sites").BeginArray();
+  for (const DmaSiteProfile& s : p.dma_sites) {
+    w.BeginObject();
+    w.Key("site").UInt(s.site);
+    w.Key("name").String(s.name);
+    w.Key("task").UInt(s.task);
+    w.Key("executions").UInt(s.executions);
+    w.Key("redundant").UInt(s.redundant);
+    w.Key("skipped").UInt(s.skipped);
+    w.Key("locked").UInt(s.locked);
+    w.Key("resolved").UInt(s.resolved);
+    w.Key("bytes").UInt(s.bytes);
+    w.Key("redundant_us").UInt(s.redundant_us);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("blocks").BeginArray();
+  for (const BlockProfile& b : p.blocks) {
+    w.BeginObject();
+    w.Key("block").UInt(b.block);
+    w.Key("name").String(b.name);
+    w.Key("begins").UInt(b.begins);
+    w.Key("skip_begins").UInt(b.skip_begins);
+    w.Key("force_begins").UInt(b.force_begins);
+    w.Key("committed_ends").UInt(b.committed_ends);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("regions").BeginArray();
+  for (const RegionProfile& reg : p.regions) {
+    w.BeginObject();
+    w.Key("task").UInt(reg.task);
+    w.Key("region").UInt(reg.region);
+    w.Key("enters").UInt(reg.enters);
+    w.Key("re_arrivals").UInt(reg.re_arrivals);
+    w.Key("dma_reenters").UInt(reg.dma_reenters);
+    w.Key("snapshots").UInt(reg.snapshots);
+    w.Key("restores").UInt(reg.restores);
+    w.Key("snapshot_bytes").UInt(reg.snapshot_bytes);
+    w.Key("restore_bytes").UInt(reg.restore_bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("failures").BeginObject();
+  w.Key("count").UInt(p.ev_reboots);
+  w.Key("off_us_total").UInt(p.off_us_total);
+  w.Key("tbf_log2_hist");
+  WriteHist(w, p.tbf_log2_hist, kTbfHistBuckets);
+  w.EndObject();
+
+  w.Key("capacitor").BeginObject();
+  w.Key("samples").UInt(p.cap_samples);
+  w.Key("min_uv").UInt(p.cap_min_uv);
+  w.Key("max_uv").UInt(p.cap_max_uv);
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string ProfileJson(const CapturedRun& run) { return ProfileJson(BuildProfile(run)); }
+
+}  // namespace easeio::obs

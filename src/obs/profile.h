@@ -1,0 +1,152 @@
+// Per-site metrics profiler: aggregates a CapturedRun's probe-event stream into
+// deterministic per-task and per-I/O-site profiles, emitted as an `easeio-profile/1`
+// JSON document.
+//
+// Two kinds of numbers coexist and are kept apart:
+//   * *exact* counters and attempt timings derived from event brackets — attempt
+//     durations come from kTaskBegin..kTaskCommit/kReboot pairs on the on-clock, and
+//     every event counter must reconcile exactly with the run's RunStats (the drift
+//     detector in tests/obs_test.cc enforces this);
+//   * *bracketed* per-site waste attribution — the duration of a redundant I/O or DMA
+//     execution is approximated by the on-time elapsed since the immediately
+//     preceding probe event (the exec event fires right after the operation
+//     completes, so the bracket is the operation plus whatever unprobed compute led
+//     into it). Useful for ranking sites by waste, not for exact accounting.
+//
+// BuildProfile is a pure function of the CapturedRun: byte-identical JSON for
+// identical runs (CI-enforced).
+
+#ifndef EASEIO_OBS_PROFILE_H_
+#define EASEIO_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/capture.h"
+
+namespace easeio::obs {
+
+// Attempts-per-commit histogram size: buckets 1..8 attempts, last bucket = more.
+inline constexpr size_t kAttemptHistBuckets = 9;
+// Time-between-failures histogram: bucket i counts on-time gaps in [2^i, 2^(i+1)) us.
+inline constexpr size_t kTbfHistBuckets = 21;
+
+struct TaskProfile {
+  uint32_t task = 0;
+  std::string name;
+  uint64_t attempts = 0;  // kTaskBegin count
+  uint64_t commits = 0;   // kTaskCommit count
+  uint64_t aborted = 0;   // attempts cut short by a power failure
+  uint64_t committed_us = 0;    // on-time inside attempts that committed
+  uint64_t wasted_us = 0;       // on-time inside attempts that died
+  uint64_t max_attempt_us = 0;  // longest single attempt
+  uint64_t attempts_per_commit_hist[kAttemptHistBuckets] = {};
+};
+
+struct IoSiteProfile {
+  uint32_t site = 0;
+  std::string name;
+  uint32_t task = 0;
+  std::string sem;
+  uint64_t executions = 0;
+  uint64_t redundant = 0;
+  uint64_t skipped = 0;
+  uint64_t locked = 0;
+  uint64_t redundant_us = 0;  // bracketed (see header comment)
+};
+
+struct DmaSiteProfile {
+  uint32_t site = 0;
+  std::string name;
+  uint32_t task = 0;
+  uint64_t executions = 0;
+  uint64_t redundant = 0;
+  uint64_t skipped = 0;
+  uint64_t locked = 0;
+  uint64_t resolved = 0;
+  uint64_t bytes = 0;         // total bytes actually transferred
+  uint64_t redundant_us = 0;  // bracketed
+};
+
+struct BlockProfile {
+  uint32_t block = 0;
+  std::string name;
+  uint64_t begins = 0;
+  uint64_t skip_begins = 0;   // entered in kSkip mode
+  uint64_t force_begins = 0;  // entered in kForce mode
+  uint64_t committed_ends = 0;  // ends that made the block flag durable
+};
+
+struct RegionProfile {
+  uint32_t task = 0;
+  uint32_t region = 0;
+  uint64_t enters = 0;
+  uint64_t re_arrivals = 0;   // arrival kind 1 (post-failure recovery)
+  uint64_t dma_reenters = 0;  // arrival kind 2 (post-DMA partial restore)
+  uint64_t snapshots = 0;
+  uint64_t restores = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t restore_bytes = 0;
+};
+
+struct RunProfile {
+  std::string app;
+  std::string runtime;
+  uint64_t seed = 1;
+
+  // Run aggregates copied from the experiment result (RunStats et al.).
+  bool completed = false;
+  uint64_t on_us = 0;
+  uint64_t off_us = 0;
+  uint64_t wall_us = 0;
+  double energy_j = 0;
+  uint64_t power_failures = 0;
+  uint64_t tasks_committed = 0;
+  uint64_t io_executions = 0;
+  uint64_t io_redundant = 0;
+  uint64_t io_skipped = 0;
+  uint64_t dma_executions = 0;
+  uint64_t dma_redundant = 0;
+  uint64_t dma_skipped = 0;
+  double app_us = 0;
+  double overhead_us = 0;
+  double wasted_us = 0;
+  double app_j = 0;
+  double overhead_j = 0;
+  double wasted_j = 0;
+
+  // The same counters re-derived from the event stream alone. Must equal the block
+  // above field-for-field; serialized so a consumer can see the reconciliation too.
+  uint64_t ev_reboots = 0;
+  uint64_t ev_commits = 0;
+  uint64_t ev_io_exec = 0;
+  uint64_t ev_io_redundant = 0;
+  uint64_t ev_io_skip = 0;
+  uint64_t ev_dma_exec = 0;
+  uint64_t ev_dma_redundant = 0;
+  uint64_t ev_dma_skip = 0;
+
+  std::vector<TaskProfile> tasks;
+  std::vector<IoSiteProfile> io_sites;
+  std::vector<DmaSiteProfile> dma_sites;
+  std::vector<BlockProfile> blocks;
+  std::vector<RegionProfile> regions;  // sorted by (task, region)
+
+  uint64_t off_us_total = 0;  // sum of per-reboot dark intervals
+  uint64_t tbf_log2_hist[kTbfHistBuckets] = {};
+
+  uint64_t cap_samples = 0;
+  uint64_t cap_min_uv = 0;
+  uint64_t cap_max_uv = 0;
+};
+
+RunProfile BuildProfile(const CapturedRun& run);
+
+// Serializes as an `easeio-profile/1` document (fixed field order, JsonWriter).
+std::string ProfileJson(const RunProfile& profile);
+std::string ProfileJson(const CapturedRun& run);
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_PROFILE_H_

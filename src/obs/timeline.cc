@@ -1,0 +1,369 @@
+#include "obs/timeline.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/json.h"
+
+namespace easeio::obs {
+namespace {
+
+// Fixed track ids (see timeline.h for the layout).
+constexpr uint64_t kPid = 1;
+constexpr uint64_t kTidTasks = 1;
+constexpr uint64_t kTidPower = 2;
+constexpr uint64_t kTidIo = 3;
+constexpr uint64_t kTidDma = 4;
+constexpr uint64_t kTidNv = 5;
+constexpr uint64_t kTidRuntime = 6;
+
+std::string NameOf(const std::vector<std::string>& names, uint32_t id, const char* prefix) {
+  if (id < names.size()) {
+    return names[id];
+  }
+  return std::string(prefix) + std::to_string(id);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const CapturedRun& run) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+
+  // Shared prefix of every trace event.
+  auto header = [&w](std::string_view name, std::string_view ph, uint64_t ts, uint64_t tid) {
+    w.BeginObject()
+        .Key("name")
+        .String(name)
+        .Key("ph")
+        .String(ph)
+        .Key("ts")
+        .UInt(ts)
+        .Key("pid")
+        .UInt(kPid)
+        .Key("tid")
+        .UInt(tid);
+  };
+
+  // Metadata: process and track names.
+  const std::string process =
+      "easeio " + run.app + "/" + run.runtime + " seed=" + std::to_string(run.seed);
+  w.BeginObject()
+      .Key("name")
+      .String("process_name")
+      .Key("ph")
+      .String("M")
+      .Key("pid")
+      .UInt(kPid)
+      .Key("args")
+      .BeginObject()
+      .Key("name")
+      .String(process)
+      .EndObject()
+      .EndObject();
+  const struct {
+    uint64_t tid;
+    const char* name;
+  } tracks[] = {{kTidTasks, "tasks"}, {kTidPower, "power"}, {kTidIo, "io"},
+                {kTidDma, "dma"},     {kTidNv, "nv"},       {kTidRuntime, "runtime"}};
+  for (const auto& t : tracks) {
+    w.BeginObject()
+        .Key("name")
+        .String("thread_name")
+        .Key("ph")
+        .String("M")
+        .Key("pid")
+        .UInt(kPid)
+        .Key("tid")
+        .UInt(t.tid)
+        .Key("args")
+        .BeginObject()
+        .Key("name")
+        .String(t.name)
+        .EndObject()
+        .EndObject();
+  }
+
+  auto powered_counter = [&](uint64_t ts, uint64_t on) {
+    header("powered", "C", ts, kTidPower);
+    w.Key("args").BeginObject().Key("on").UInt(on).EndObject().EndObject();
+  };
+  powered_counter(0, 1);
+
+  // Wall-time reconstruction: events carry the on-clock; each kReboot carries the
+  // dark interval that followed it, accumulated into every later event's timestamp.
+  uint64_t off_acc = 0;
+
+  struct OpenAttempt {
+    bool open = false;
+    uint32_t task = 0;
+    uint64_t begin_wall = 0;
+    uint64_t attempt = 0;  // 1-based ordinal of this attempt of this task
+  } attempt;
+  std::vector<uint64_t> attempts_of_task(run.task_names.size(), 0);
+
+  struct OpenBlock {
+    uint32_t block = 0;
+    uint64_t mode = 0;
+    uint64_t begin_wall = 0;
+  };
+  std::vector<OpenBlock> block_stack;
+
+  auto close_attempt = [&](uint64_t end_wall, bool committed) {
+    const std::string base = NameOf(run.task_names, attempt.task, "task");
+    header(committed ? base : base + " (failed)", "X", attempt.begin_wall, kTidTasks);
+    w.Key("dur")
+        .UInt(end_wall - attempt.begin_wall)
+        .Key("cat")
+        .String(committed ? "task" : "failed")
+        .Key("args")
+        .BeginObject()
+        .Key("task")
+        .UInt(attempt.task)
+        .Key("attempt")
+        .UInt(attempt.attempt)
+        .EndObject()
+        .EndObject();
+    attempt.open = false;
+  };
+  auto block_name = [&](uint32_t id) {
+    if (id < run.io_blocks.size()) {
+      return run.io_blocks[id].name;
+    }
+    return "block" + std::to_string(id);
+  };
+  auto emit_block_slice = [&](const OpenBlock& b, uint64_t end_wall, bool committed,
+                              bool aborted) {
+    header(block_name(b.block), "X", b.begin_wall, kTidRuntime);
+    w.Key("dur")
+        .UInt(end_wall - b.begin_wall)
+        .Key("cat")
+        .String(aborted ? "block-aborted" : "block")
+        .Key("args")
+        .BeginObject()
+        .Key("block")
+        .UInt(b.block)
+        .Key("mode")
+        .UInt(b.mode)
+        .Key("committed")
+        .UInt(committed ? 1 : 0)
+        .EndObject()
+        .EndObject();
+  };
+
+  auto instant = [&](std::string_view name, uint64_t ts, uint64_t tid, std::string_view cat) {
+    header(name, "i", ts, tid);
+    w.Key("cat").String(cat).Key("s").String("t");
+  };
+
+  auto io_name = [&](uint32_t id) {
+    if (id < run.io_sites.size()) {
+      return run.io_sites[id].name;
+    }
+    return "io" + std::to_string(id);
+  };
+  auto dma_name = [&](uint32_t id) {
+    if (id < run.dma_sites.size()) {
+      return run.dma_sites[id].name;
+    }
+    return "dma" + std::to_string(id);
+  };
+
+  uint64_t last_wall = 0;
+  for (const sim::ProbeEvent& e : run.events) {
+    const uint64_t wall = e.on_us + off_acc;
+    last_wall = wall;
+    switch (e.kind) {
+      case sim::ProbeKind::kTaskBegin:
+        if (e.id < attempts_of_task.size()) {
+          ++attempts_of_task[e.id];
+        }
+        attempt = {true, e.id, wall,
+                   e.id < attempts_of_task.size() ? attempts_of_task[e.id] : 0};
+        break;
+      case sim::ProbeKind::kTaskCommit:
+        if (attempt.open) {
+          close_attempt(wall, /*committed=*/true);
+        }
+        break;
+      case sim::ProbeKind::kReboot: {
+        if (attempt.open) {
+          close_attempt(wall, /*committed=*/false);
+        }
+        while (!block_stack.empty()) {
+          emit_block_slice(block_stack.back(), wall, /*committed=*/false, /*aborted=*/true);
+          block_stack.pop_back();
+        }
+        instant("reboot #" + std::to_string(e.id), wall, kTidPower, "power");
+        w.Key("args")
+            .BeginObject()
+            .Key("off_us")
+            .UInt(e.a)
+            .Key("cap_uv")
+            .UInt(e.b)
+            .EndObject()
+            .EndObject();
+        powered_counter(wall, 0);
+        powered_counter(wall + e.a, 1);
+        off_acc += e.a;
+        break;
+      }
+      case sim::ProbeKind::kIoExec:
+        instant(io_name(e.id), wall, kTidIo, e.a != 0 ? "io-redundant" : "io");
+        w.Key("args")
+            .BeginObject()
+            .Key("lane")
+            .UInt(e.lane)
+            .Key("redundant")
+            .UInt(e.a)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kIoSkip:
+        instant(io_name(e.id) + " skip", wall, kTidIo, "io-skip");
+        w.Key("args")
+            .BeginObject()
+            .Key("lane")
+            .UInt(e.lane)
+            .Key("age_us")
+            .UInt(e.a)
+            .Key("age_checked")
+            .UInt(e.b)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kIoLocked:
+        instant(io_name(e.id) + " locked", wall, kTidIo, "io-locked");
+        w.EndObject();
+        break;
+      case sim::ProbeKind::kDmaExec:
+        instant(dma_name(e.id), wall, kTidDma, e.lane != 0 ? "dma-redundant" : "dma");
+        w.Key("args")
+            .BeginObject()
+            .Key("dst")
+            .UInt(e.a >> 32)
+            .Key("src")
+            .UInt(e.a & 0xFFFFFFFFu)
+            .Key("bytes")
+            .UInt(e.b)
+            .Key("redundant")
+            .UInt(e.lane)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kDmaSkip:
+        instant(dma_name(e.id) + " skip", wall, kTidDma, "dma-skip");
+        w.EndObject();
+        break;
+      case sim::ProbeKind::kDmaLocked:
+        instant(dma_name(e.id) + " locked", wall, kTidDma, "dma-locked");
+        w.EndObject();
+        break;
+      case sim::ProbeKind::kDmaResolved:
+        instant(dma_name(e.id) + " resolved", wall, kTidDma, "dma-resolved");
+        w.Key("args")
+            .BeginObject()
+            .Key("class")
+            .UInt(e.lane)
+            .Key("skip")
+            .UInt(e.a)
+            .Key("dep_forced")
+            .UInt(e.b)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kNvWrite:
+        instant(NameOf(run.nv_slot_names, e.id, "slot"), wall, kTidNv, "nv");
+        w.Key("args")
+            .BeginObject()
+            .Key("offset")
+            .UInt(e.a)
+            .Key("bytes")
+            .UInt(e.b)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kBlockBegin:
+        block_stack.push_back({e.id, e.a, wall});
+        break;
+      case sim::ProbeKind::kBlockEnd:
+        if (!block_stack.empty() && block_stack.back().block == e.id) {
+          emit_block_slice(block_stack.back(), wall, e.a != 0, /*aborted=*/false);
+          block_stack.pop_back();
+        }
+        break;
+      case sim::ProbeKind::kRegionEnter:
+        instant("region " + std::to_string(e.id) + "." + std::to_string(e.lane), wall,
+                kTidRuntime, "region");
+        w.Key("args")
+            .BeginObject()
+            .Key("task")
+            .UInt(e.id)
+            .Key("region")
+            .UInt(e.lane)
+            .Key("arrival")
+            .UInt(e.a)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kPrivCopy:
+        instant(e.a == 0 ? "priv snapshot" : "priv restore", wall, kTidRuntime, "priv");
+        w.Key("args")
+            .BeginObject()
+            .Key("task")
+            .UInt(e.id)
+            .Key("region")
+            .UInt(e.lane)
+            .Key("bytes")
+            .UInt(e.b)
+            .EndObject()
+            .EndObject();
+        break;
+      case sim::ProbeKind::kCapSample:
+        header("capacitor_v", "C", wall, kTidPower);
+        w.Key("args")
+            .BeginObject()
+            .Key("v")
+            .Double(static_cast<double>(e.a) * 1e-6)
+            .EndObject()
+            .EndObject();
+        break;
+    }
+  }
+  // A run stopped by the non-termination guard can leave an attempt (and blocks) open.
+  if (attempt.open) {
+    close_attempt(last_wall, /*committed=*/false);
+  }
+  while (!block_stack.empty()) {
+    emit_block_slice(block_stack.back(), last_wall, /*committed=*/false, /*aborted=*/true);
+    block_stack.pop_back();
+  }
+
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData")
+      .BeginObject()
+      .Key("schema")
+      .String("easeio-trace/1")
+      .Key("app")
+      .String(run.app)
+      .Key("runtime")
+      .String(run.runtime)
+      .Key("seed")
+      .UInt(run.seed)
+      .Key("on_us")
+      .UInt(run.result.run.on_us)
+      .Key("off_us")
+      .UInt(run.result.run.off_us)
+      .Key("power_failures")
+      .UInt(run.result.run.stats.power_failures)
+      .Key("events")
+      .UInt(run.events.size())
+      .EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace easeio::obs

@@ -1,0 +1,36 @@
+// Timeline tracer: converts a CapturedRun's probe-event stream into Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto load directly).
+//
+// Track layout (one process per run, fixed thread ids):
+//   tid 1 "tasks"    — every task attempt as a duration slice; committed attempts
+//                      carry the task name, attempts cut short by a power failure
+//                      are suffixed "(failed)" and categorised "failed"
+//   tid 2 "power"    — reboot instants plus the "powered" 1/0 counter whose dips
+//                      render the dark (recharge) gaps
+//   tid 3 "io"       — I/O exec/skip/lock instants per site
+//   tid 4 "dma"      — DMA exec/skip/resolve/lock instants per site
+//   tid 5 "nv"       — NV slot stores
+//   tid 6 "runtime"  — EaseIO I/O blocks as duration slices, region entries and
+//                      privatization copies as instants
+//   counter "capacitor_v" — voltage samples (present when the run was captured with
+//                      cap_sample_period_us > 0)
+//
+// Timestamps are *wall* microseconds: events are stamped with the on-clock, and the
+// kReboot events carry the dark interval that followed each failure, so the writer
+// reconstructs wall time by accumulating those gaps. Deterministic: pure function of
+// the event stream, built on report::JsonWriter.
+
+#ifndef EASEIO_OBS_TIMELINE_H_
+#define EASEIO_OBS_TIMELINE_H_
+
+#include <string>
+
+#include "obs/capture.h"
+
+namespace easeio::obs {
+
+std::string ChromeTraceJson(const CapturedRun& run);
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_TIMELINE_H_

@@ -14,6 +14,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                std::unique_ptr<sim::Device>& device) {
+  return RunExperiment(config, device, RunHooks{});
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               std::unique_ptr<sim::Device>& device, const RunHooks& hooks) {
   // Assemble the failure source.
   sim::NeverFailScheduler never;
   sim::UniformTimerScheduler timer(config.on_min_us, config.on_max_us, config.off_min_us,
@@ -27,6 +32,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   sim::DeviceConfig dev_config;
   dev_config.seed = config.seed;
   dev_config.timekeeper_tick_us = config.timekeeper_tick_us;
+  dev_config.cap_sample_period_us = config.cap_sample_period_us;
 
   sim::FailureScheduler* scheduler = &timer;
   const sim::Harvester* harv = nullptr;
@@ -50,6 +56,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
     device->Reset(dev_config, *scheduler, harv);
   }
   sim::Device& dev = *device;
+  if (hooks.probe) {
+    dev.AddProbe(hooks.probe);
+  }
   kernel::NvManager nv(dev.mem());
   rt::EaseioConfig easeio_config;
   easeio_config.dma_priv_buffer_bytes = config.easeio_priv_buffer_bytes;
@@ -77,6 +86,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
       dev.mem().AllocatedBytes(sim::MemKind::kFram, sim::AllocPurpose::kPrivBuffer);
   result.sram_bytes = dev.mem().AllocatedBytes(sim::MemKind::kSram);
   result.code_bytes = runtime->CodeSizeBytes();
+  if (hooks.inspect) {
+    hooks.inspect(RunStackView{dev, *runtime, nv, app});
+  }
   return result;
 }
 

@@ -59,6 +59,11 @@ struct ExperimentConfig {
   // Storage capacitor used in harvester mode. Scaled below the paper's 1 mF so that a
   // single application run actually exercises brown-outs (see DESIGN.md).
   double capacitance_f = 6e-6;
+
+  // Periodic kCapSample probe emission (see sim::DeviceConfig::cap_sample_period_us);
+  // 0 keeps it off. Only meaningful together with RunHooks::probe — sampling is
+  // host-side observation and never perturbs the run.
+  uint64_t cap_sample_period_us = 0;
 };
 
 struct ExperimentResult {
@@ -86,6 +91,30 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 // fresh-construction overload.
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                std::unique_ptr<sim::Device>& device);
+
+// --- Instrumented runs (src/obs) ------------------------------------------------------
+// Read-only access to the assembled execution stack, valid only inside
+// RunHooks::inspect (the stack is torn down when RunExperiment returns).
+struct RunStackView {
+  sim::Device& dev;
+  kernel::Runtime& runtime;
+  kernel::NvManager& nv;
+  apps::AppHandle& app;
+};
+
+// Optional observation hooks for a run. `probe` subscribes to the device's probe
+// stream (Device::AddProbe) before the engine starts; `inspect` runs once after the
+// engine finishes, before teardown, so callers can read name tables and final state.
+// Both observe only: an instrumented run is bit-identical to an uninstrumented one.
+struct RunHooks {
+  sim::ProbeFn probe;
+  std::function<void(const RunStackView&)> inspect;
+};
+
+// Hook-carrying variant of the device-reusing overload; identical semantics plus the
+// observation hooks above.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               std::unique_ptr<sim::Device>& device, const RunHooks& hooks);
 
 // Aggregate over `runs` experiments with seeds base.seed + {0 .. runs-1}.
 //

@@ -48,7 +48,8 @@ void Device::Reset(const DeviceConfig& config, FailureScheduler& scheduler,
   dma_ = DmaEngine();
   lea_ = LeaAccelerator();
   reboot_listeners_.clear();
-  probe_ = nullptr;
+  probes_.clear();
+  next_cap_sample_us_ = 0;
   ClearCapturePlan();
 }
 
@@ -86,6 +87,7 @@ void Device::Spend(uint64_t cycles, double energy_j) {
     return;
   }
   CaptureCheck();
+  CapSampleCheck();
   if (scheduler_->FailNow(clock_, cap_)) {
     throw PowerFailure{};
   }
@@ -116,6 +118,7 @@ void Device::Spend(uint64_t cycles, double energy_j) {
     meter_.Add(phase_, draw_j);
     remaining -= step;
     CaptureCheck();
+    CapSampleCheck();
     if (scheduler_->FailNow(clock_, cap_)) {
       throw PowerFailure{};
     }
@@ -178,7 +181,9 @@ void Device::CpuCopy(uint32_t dst, uint32_t src, uint32_t nbytes) {
 void Device::Reboot() {
   stats_.FoldFailed();
   ++stats_.power_failures;
-  Note(ProbeKind::kReboot, static_cast<uint32_t>(stats_.power_failures));
+  // The voltage the failure left behind, before the recharge below refills it.
+  const double v_at_failure = cap_.voltage();
+  const uint64_t off_before = clock_.off_us();
 
   if (config_.use_capacitor) {
     // Dark until the harvester refills the capacitor to the boot threshold. With zero
@@ -194,6 +199,12 @@ void Device::Reboot() {
   } else {
     clock_.AdvanceOff(scheduler_->OffTimeUs(failure_rng_));
   }
+
+  // Emitted once the dark interval is known so the event can carry it: on_us is the
+  // failure instant (unchanged by AdvanceOff), a is the off-time just spent, b the
+  // capacitor voltage at the failure instant.
+  Note(ProbeKind::kReboot, static_cast<uint32_t>(stats_.power_failures), 0,
+       clock_.off_us() - off_before, static_cast<uint64_t>(v_at_failure * 1e6));
 
   mem_.OnReboot();
   phase_ = Phase::kApp;

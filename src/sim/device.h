@@ -49,6 +49,13 @@ struct DeviceConfig {
   double idle_power_w = 0.25e-3;
 
   uint64_t timekeeper_tick_us = 100;
+
+  // When non-zero, the device emits a kCapSample probe event at least every
+  // `cap_sample_period_us` of on-time (host-side observation only — sampling charges
+  // nothing). In timer mode the capacitor sits at v_max, so the track is flat; in
+  // capacitor mode it follows the harvest/draw trajectory. Off by default: the chk
+  // explorer never enables it, keeping candidate enumeration unchanged.
+  uint64_t cap_sample_period_us = 0;
 };
 
 // Everything that legally crosses a power failure, captured the instant a
@@ -173,15 +180,32 @@ class Device {
     capture_next_ = 0;
   }
 
-  // --- Execution probe (src/chk instrumentation) -------------------------------------
-  // Streams probe events to `fn`. Observation is free: no cycles, no energy — an
-  // instrumented run is indistinguishable from an uninstrumented one.
-  void set_probe(ProbeFn fn) { probe_ = std::move(fn); }
+  // --- Execution probe (src/chk + src/obs instrumentation) ---------------------------
+  // Subscribes `fn` to the probe stream. Any number of subscribers may coexist (the
+  // explorer's recorder, the timeline tracer, and the profiler can observe the same
+  // run concurrently); each receives every event, in registration order. Observation
+  // is free: no cycles, no energy — an instrumented run is indistinguishable from an
+  // uninstrumented one. Cleared by Reset.
+  void AddProbe(ProbeFn fn) { probes_.push_back(std::move(fn)); }
 
-  // Emits one probe event stamped with the current on-time. No-op without a probe.
+  // Legacy single-subscriber entry point: drops all existing subscribers and installs
+  // `fn` alone (or none when `fn` is empty). Prefer AddProbe.
+  void set_probe(ProbeFn fn) {
+    probes_.clear();
+    if (fn) {
+      probes_.push_back(std::move(fn));
+    }
+  }
+
+  bool has_probe() const { return !probes_.empty(); }
+
+  // Emits one probe event stamped with the current on-time. No-op without subscribers.
   void Note(ProbeKind kind, uint32_t id, uint32_t lane = 0, uint64_t a = 0, uint64_t b = 0) {
-    if (probe_) {
-      probe_({kind, id, lane, a, b, clock_.on_us()});
+    if (!probes_.empty()) {
+      const ProbeEvent e{kind, id, lane, a, b, clock_.on_us()};
+      for (const ProbeFn& probe : probes_) {
+        probe(e);
+      }
     }
   }
 
@@ -230,7 +254,26 @@ class Device {
   LeaAccelerator lea_;
 
   std::vector<std::function<void()>> reboot_listeners_;
-  ProbeFn probe_;
+  std::vector<ProbeFn> probes_;
+
+  // On-time threshold for the next kCapSample emission (cap_sample_period_us > 0).
+  uint64_t next_cap_sample_us_ = 0;
+
+  // Emits due kCapSample events; called from the same Spend sites as CaptureCheck so
+  // samples land between charging steps, never mid-step.
+  void CapSampleCheck() {
+    if (config_.cap_sample_period_us == 0 || probes_.empty()) {
+      return;
+    }
+    if (clock_.on_us() >= next_cap_sample_us_) {
+      Note(ProbeKind::kCapSample, 0, 0, static_cast<uint64_t>(cap_.voltage() * 1e6),
+           static_cast<uint64_t>(cap_.StoredJ() * 1e9));
+      // Next threshold on the period grid strictly after now: a charging step that
+      // crosses several periods yields one sample, not a burst at the same instant.
+      next_cap_sample_us_ =
+          (clock_.on_us() / config_.cap_sample_period_us + 1) * config_.cap_sample_period_us;
+    }
+  }
 
   // Runs every due capture hook. Called at each failure-check site in Spend, before
   // the check itself (see SetCapturePlan).

@@ -1,11 +1,13 @@
 // Host-side execution probe.
 //
-// The failure-schedule explorer (src/chk) needs to see *where* the interesting
-// on-time instants of a run are: task boundaries, I/O executions and skips, DMA
-// transfers, commit points, NV stores. The device exposes a single optional callback
-// that streams these as events tagged with the on-time clock. Observation is pure
-// host-side instrumentation: it charges no cycles and no energy, so an instrumented
-// run is bit-identical to an uninstrumented one.
+// The failure-schedule explorer (src/chk) and the observability layer (src/obs) need
+// to see *where* the interesting on-time instants of a run are: task boundaries, I/O
+// executions and skips, DMA transfers, commit points, NV stores, reboots, capacitor
+// samples. The device fans these out to any number of subscribers registered via
+// Device::AddProbe, each an independent callback receiving the same events in the
+// same order. Observation is pure host-side instrumentation: it charges no cycles
+// and no energy, so an instrumented run is bit-identical to an uninstrumented one
+// (test-enforced in tests/obs_test.cc).
 
 #ifndef EASEIO_SIM_PROBE_H_
 #define EASEIO_SIM_PROBE_H_
@@ -26,7 +28,16 @@ enum class ProbeKind : uint8_t {
   kDmaLocked,    // id = DMA site; the completion flag became durable
   kDmaResolved,  // id = DMA site; lane = resolved class, a = skip, b = dependence-forced
   kNvWrite,      // id = NV slot; a = offset, b = bytes (after the store landed)
-  kReboot,       // id = power-failure ordinal; on_us is the failure instant
+  kReboot,       // id = power-failure ordinal; on_us is the failure instant;
+                 // a = off-time spent dark before the next boot (us),
+                 // b = capacitor voltage at the failure instant (uV)
+  kBlockBegin,   // id = I/O block; a = resolved block mode (core::BlockMode)
+  kBlockEnd,     // id = I/O block; a = 1 when the block body actually ran
+  kRegionEnter,  // id = task, lane = region; a = 0 first arrival, 1 re-arrival,
+                 //                               2 post-DMA partial restore
+  kPrivCopy,     // id = task, lane = region; a = 0 snapshot / 1 restore, b = bytes
+  kCapSample,    // periodic capacitor sample; a = voltage (uV), b = stored energy (nJ);
+                 //  only emitted when DeviceConfig::cap_sample_period_us > 0
 };
 
 struct ProbeEvent {

@@ -5,6 +5,8 @@
 
 #include "chk/explorer.h"
 #include "chk/trace.h"
+#include "obs/capture.h"
+#include "obs/timeline.h"
 #include "report/experiment.h"
 
 namespace easeio::chk {
@@ -147,6 +149,34 @@ TEST(Explorer, JsonIsWellFormedAndStable) {
   EXPECT_EQ(without.find("\"timing\""), std::string::npos);
   // Re-running is byte-identical once the run-to-run timing object is excluded.
   EXPECT_EQ(without, ToJson(Explore(cfg), /*include_timing=*/false));
+}
+
+// --- Violation replay → counterexample trace --------------------------------------------
+
+TEST(Explorer, ViolatingScheduleReplaysToParseableTrace) {
+  // The `easechk --trace-failures` path: find the seeded regional-privatization bug,
+  // replay its exact failure schedule with the probe attached, and serialize a
+  // timeline. The replay must reproduce the injected failures and yield a non-empty
+  // Perfetto-loadable document with the reboot visible.
+  ExploreConfig cfg;
+  cfg.app = apps::AppKind::kDma;
+  cfg.runtime = apps::RuntimeKind::kEaseio;
+  cfg.easeio_regional_privatization = false;
+  cfg.depth = 1;
+  cfg.budget = 4000;
+  const ExploreResult r = Explore(cfg);
+  ASSERT_FALSE(r.violations.empty());
+  const Violation& v = r.violations.front();
+  ReplayOutput replay = ReplaySchedule(cfg, v.schedule);
+  EXPECT_FALSE(replay.events.empty());
+  EXPECT_EQ(replay.run.stats.power_failures, v.schedule.size());
+  EXPECT_EQ(replay.schedule, v.schedule);
+  EXPECT_FALSE(replay.task_names.empty());
+  const obs::CapturedRun run = obs::FromReplay(cfg, std::move(replay));
+  const std::string json = obs::ChromeTraceJson(run);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("reboot #1"), std::string::npos);
+  EXPECT_NE(json.find("\"easeio-trace/1\""), std::string::npos);
 }
 
 // --- Report-level API -------------------------------------------------------------------

@@ -1,0 +1,318 @@
+// Tests for the observability layer (src/obs): probe fan-out, the
+// observation-is-free bit-identity contract, probe-stream well-formedness across all
+// runtimes, timeline/profile serialization, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/capture.h"
+#include "obs/profile.h"
+#include "obs/timeline.h"
+#include "report/experiment.h"
+#include "sim/device.h"
+#include "sim/failure.h"
+
+namespace easeio::obs {
+namespace {
+
+constexpr apps::RuntimeKind kAllRuntimes[] = {
+    apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk, apps::RuntimeKind::kSamoyed,
+    apps::RuntimeKind::kEaseio, apps::RuntimeKind::kEaseioOp};
+
+// --- Probe fan-out ----------------------------------------------------------------------
+
+TEST(Probe, FanOutDeliversToEverySubscriber) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(sim::DeviceConfig{}, never);
+  std::vector<sim::ProbeEvent> a;
+  std::vector<sim::ProbeEvent> b;
+  dev.AddProbe([&a](const sim::ProbeEvent& e) { a.push_back(e); });
+  dev.AddProbe([&b](const sim::ProbeEvent& e) { b.push_back(e); });
+  EXPECT_TRUE(dev.has_probe());
+  dev.Note(sim::ProbeKind::kIoExec, 7, 0, 1, 0);
+  dev.Note(sim::ProbeKind::kTaskCommit, 3);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[0].kind, sim::ProbeKind::kIoExec);
+  EXPECT_EQ(a[0].id, 7u);
+  EXPECT_EQ(a[0].a, 1u);
+  EXPECT_EQ(b[1].kind, sim::ProbeKind::kTaskCommit);
+  EXPECT_EQ(b[1].id, 3u);
+}
+
+TEST(Probe, SetProbeReplacesAllSubscribers) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(sim::DeviceConfig{}, never);
+  std::vector<sim::ProbeEvent> a;
+  std::vector<sim::ProbeEvent> b;
+  dev.AddProbe([&a](const sim::ProbeEvent& e) { a.push_back(e); });
+  // Legacy single-callback setter: clears the list and installs just this one.
+  dev.set_probe([&b](const sim::ProbeEvent& e) { b.push_back(e); });
+  dev.Note(sim::ProbeKind::kIoExec, 1);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(b.size(), 1u);
+  dev.set_probe(nullptr);
+  EXPECT_FALSE(dev.has_probe());
+  dev.Note(sim::ProbeKind::kIoExec, 2);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// --- Observation is free: instrumented == uninstrumented --------------------------------
+
+// Everything a run produces that is not host-side observation: RunStats, timing,
+// energy, consistency, radio traffic, app output bytes, and the final FRAM image.
+struct RunFingerprint {
+  report::ExperimentResult result;
+  std::vector<uint8_t> fram;
+};
+
+RunFingerprint Fingerprint(const report::ExperimentConfig& config, bool instrumented,
+                           std::vector<sim::ProbeEvent>* events = nullptr) {
+  RunFingerprint fp;
+  report::RunHooks hooks;
+  if (instrumented) {
+    hooks.probe = [events](const sim::ProbeEvent& e) {
+      if (events != nullptr) {
+        events->push_back(e);
+      }
+    };
+  }
+  hooks.inspect = [&fp](const report::RunStackView& view) {
+    const sim::Memory& mem = view.dev.mem();
+    fp.fram.resize(mem.fram_size());
+    mem.ReadBlock(sim::Memory::kFramBase, mem.fram_size(), fp.fram.data());
+  };
+  std::unique_ptr<sim::Device> slot;
+  fp.result = report::RunExperiment(config, slot, hooks);
+  return fp;
+}
+
+void ExpectIdentical(const RunFingerprint& plain, const RunFingerprint& traced,
+                     const std::string& label) {
+  const sim::RunStats& p = plain.result.run.stats;
+  const sim::RunStats& t = traced.result.run.stats;
+  EXPECT_EQ(p.power_failures, t.power_failures) << label;
+  EXPECT_EQ(p.tasks_committed, t.tasks_committed) << label;
+  EXPECT_EQ(p.io_executions, t.io_executions) << label;
+  EXPECT_EQ(p.io_redundant, t.io_redundant) << label;
+  EXPECT_EQ(p.io_skipped, t.io_skipped) << label;
+  EXPECT_EQ(p.dma_executions, t.dma_executions) << label;
+  EXPECT_EQ(p.dma_redundant, t.dma_redundant) << label;
+  EXPECT_EQ(p.dma_skipped, t.dma_skipped) << label;
+  // Bit-identity, not tolerance: observation must charge zero cycles and energy.
+  EXPECT_EQ(p.app_us, t.app_us) << label;
+  EXPECT_EQ(p.overhead_us, t.overhead_us) << label;
+  EXPECT_EQ(p.wasted_us, t.wasted_us) << label;
+  EXPECT_EQ(p.app_j, t.app_j) << label;
+  EXPECT_EQ(p.overhead_j, t.overhead_j) << label;
+  EXPECT_EQ(p.wasted_j, t.wasted_j) << label;
+  EXPECT_EQ(plain.result.run.completed, traced.result.run.completed) << label;
+  EXPECT_EQ(plain.result.run.on_us, traced.result.run.on_us) << label;
+  EXPECT_EQ(plain.result.run.off_us, traced.result.run.off_us) << label;
+  EXPECT_EQ(plain.result.run.wall_us, traced.result.run.wall_us) << label;
+  EXPECT_EQ(plain.result.run.energy_j, traced.result.run.energy_j) << label;
+  EXPECT_EQ(plain.result.consistent, traced.result.consistent) << label;
+  EXPECT_EQ(plain.result.radio_sends, traced.result.radio_sends) << label;
+  EXPECT_EQ(plain.result.output, traced.result.output) << label;
+  EXPECT_EQ(plain.fram, traced.fram) << label << ": final FRAM image differs";
+}
+
+TEST(Capture, InstrumentedRunIsBitIdenticalForEveryAppAndRuntime) {
+  for (apps::AppKind app : apps::kAllApps) {
+    for (apps::RuntimeKind rt : kAllRuntimes) {
+      report::ExperimentConfig config;
+      config.app = app;
+      config.runtime = rt;
+      config.seed = 7;
+      // Capacitor sampling enabled on both sides: it may only ever emit events.
+      config.cap_sample_period_us = 500;
+      const std::string label = std::string(apps::ToString(app)) + "/" + apps::ToString(rt);
+      std::vector<sim::ProbeEvent> events;
+      const RunFingerprint plain = Fingerprint(config, false);
+      const RunFingerprint traced = Fingerprint(config, true, &events);
+      EXPECT_FALSE(events.empty()) << label;
+      ExpectIdentical(plain, traced, label);
+    }
+  }
+}
+
+// --- Probe-stream well-formedness -------------------------------------------------------
+
+void ExpectWellFormed(const CapturedRun& run, const std::string& label) {
+  const sim::RunStats& stats = run.result.run.stats;
+  uint64_t prev_us = 0;
+  uint64_t reboot_ordinal = 0;
+  bool attempt_open = false;
+  uint32_t attempt_task = 0;
+  for (const sim::ProbeEvent& e : run.events) {
+    // The probe clock is the on-clock: it never runs backwards.
+    EXPECT_GE(e.on_us, prev_us) << label;
+    prev_us = e.on_us;
+    switch (e.kind) {
+      case sim::ProbeKind::kTaskBegin:
+        attempt_open = true;
+        attempt_task = e.id;
+        break;
+      case sim::ProbeKind::kTaskCommit:
+        // Every commit closes an attempt of the same task that was opened before it.
+        EXPECT_TRUE(attempt_open) << label << ": commit without a begin";
+        EXPECT_EQ(e.id, attempt_task) << label << ": commit/begin task mismatch";
+        attempt_open = false;
+        break;
+      case sim::ProbeKind::kReboot:
+        // Reboot ordinals are dense: 1, 2, 3, ... with no gaps.
+        ++reboot_ordinal;
+        EXPECT_EQ(e.id, reboot_ordinal) << label;
+        attempt_open = false;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(reboot_ordinal, stats.power_failures) << label;
+
+  // Event-derived counters reconcile exactly with the device's RunStats.
+  const RunProfile profile = BuildProfile(run);
+  EXPECT_EQ(profile.ev_reboots, stats.power_failures) << label;
+  EXPECT_EQ(profile.ev_commits, stats.tasks_committed) << label;
+  EXPECT_EQ(profile.ev_io_exec, stats.io_executions) << label;
+  EXPECT_EQ(profile.ev_io_redundant, stats.io_redundant) << label;
+  EXPECT_EQ(profile.ev_io_skip, stats.io_skipped) << label;
+  EXPECT_EQ(profile.ev_dma_exec, stats.dma_executions) << label;
+  EXPECT_EQ(profile.ev_dma_redundant, stats.dma_redundant) << label;
+  EXPECT_EQ(profile.ev_dma_skip, stats.dma_skipped) << label;
+}
+
+TEST(Capture, ProbeStreamIsWellFormedAcrossRuntimes) {
+  for (apps::RuntimeKind rt : kAllRuntimes) {
+    for (apps::AppKind app : {apps::AppKind::kDma, apps::AppKind::kWeather}) {
+      report::ExperimentConfig config;
+      config.app = app;
+      config.runtime = rt;
+      config.seed = 11;
+      const CapturedRun run = CaptureRun(config);
+      EXPECT_FALSE(run.events.empty());
+      EXPECT_FALSE(run.task_names.empty());
+      ExpectWellFormed(run, std::string(apps::ToString(app)) + "/" + apps::ToString(rt));
+    }
+  }
+}
+
+// --- Timeline serialization -------------------------------------------------------------
+
+// Crude structural validity: balanced braces/brackets outside of strings. The CI
+// trace-smoke job runs the real `python3 -m json.tool` parse on tool output.
+void ExpectBalancedJson(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++braces;
+    } else if (c == '}') {
+      --braces;
+    } else if (c == '[') {
+      ++brackets;
+    } else if (c == ']') {
+      --brackets;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Timeline, EmitsTaskSlicesRebootsAndMetadata) {
+  report::ExperimentConfig config;
+  config.app = apps::AppKind::kWeather;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.seed = 3;
+  const CapturedRun run = CaptureRun(config);
+  ASSERT_GT(run.result.run.stats.power_failures, 0u);
+  const std::string json = ChromeTraceJson(run);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"easeio-trace/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // task slices
+  EXPECT_NE(json.find("reboot #1"), std::string::npos);      // reboot instants
+  EXPECT_NE(json.find("\"powered\""), std::string::npos);    // power counter track
+}
+
+TEST(Timeline, CapacitorModeProducesChargeTrack) {
+  report::ExperimentConfig config;
+  config.app = apps::AppKind::kWeather;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.rf_distance_in = 56;  // capacitor-driven failures (Figure 13 mode)
+  config.cap_sample_period_us = 100;
+  const CapturedRun run = CaptureRun(config);
+  const RunProfile profile = BuildProfile(run);
+  EXPECT_GT(profile.cap_samples, 0u);
+  EXPECT_GT(profile.cap_max_uv, 0u);
+  EXPECT_GE(profile.cap_max_uv, profile.cap_min_uv);
+  const std::string json = ChromeTraceJson(run);
+  EXPECT_NE(json.find("\"capacitor_v\""), std::string::npos);
+}
+
+// --- Determinism ------------------------------------------------------------------------
+
+TEST(Profile, IdenticalRunsSerializeByteIdentically) {
+  report::ExperimentConfig config;
+  config.app = apps::AppKind::kDma;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.seed = 5;
+  config.cap_sample_period_us = 250;
+  const CapturedRun a = CaptureRun(config);
+  const CapturedRun b = CaptureRun(config);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(ProfileJson(a), ProfileJson(b));
+  EXPECT_EQ(ChromeTraceJson(a), ChromeTraceJson(b));
+}
+
+TEST(Profile, ReconcilesWithRunStatsAndSerializes) {
+  report::ExperimentConfig config;
+  config.app = apps::AppKind::kWeather;
+  config.runtime = apps::RuntimeKind::kAlpaca;
+  config.seed = 2;
+  const CapturedRun run = CaptureRun(config);
+  const RunProfile profile = BuildProfile(run);
+  // Per-task attempt accounting: attempts = commits + aborted, and each task's
+  // histogram totals its commits.
+  uint64_t attempts = 0;
+  uint64_t commits = 0;
+  for (const TaskProfile& t : profile.tasks) {
+    EXPECT_EQ(t.attempts, t.commits + t.aborted) << t.name;
+    attempts += t.attempts;
+    commits += t.commits;
+    uint64_t hist_total = 0;
+    for (size_t i = 0; i < kAttemptHistBuckets; ++i) {
+      hist_total += t.attempts_per_commit_hist[i];
+    }
+    EXPECT_EQ(hist_total, t.commits) << t.name;
+  }
+  EXPECT_EQ(commits, run.result.run.stats.tasks_committed);
+  EXPECT_GE(attempts, commits);
+  const std::string json = ProfileJson(run);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"easeio-profile/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"io_sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"failures\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easeio::obs

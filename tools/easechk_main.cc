@@ -9,7 +9,7 @@
 // Usage:
 //   easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N] [--budget=N]
 //           [--seed=N] [--off-us=N] [--no-regional] [--no-snapshot] [--json=PATH]
-//           [--expect-clean]
+//           [--expect-clean] [--trace-failures=DIR]
 //
 //   --app       dma | temp | lea | fir | weather | branch | unitask | all
 //               (unitask = dma+temp+lea; default: unitask)
@@ -24,21 +24,32 @@
 //                   post-first-failure snapshot (cross-check; slower, same results)
 //   --json      also write results as JSON to PATH
 //   --expect-clean  exit nonzero if any invariant violation was found
+//   --trace-failures=DIR  for every invariant violation, deterministically replay its
+//               failure schedule with the observability probe attached and write a
+//               Chrome trace-event / Perfetto timeline to DIR (one file per violation,
+//               named <app>-<runtime>-<invariant>-<n>.json). The directory is created
+//               up front; an empty or uncreatable/unwritable DIR is rejected before
+//               any exploration runs (exit 2), so a long sweep never ends with the
+//               evidence unwritable.
 //
 // Each flag may appear at most once; a duplicated flag is a usage error (exit 2) —
 // silently keeping the last occurrence has bitten scripted sweeps before.
 
+#include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "chk/explorer.h"
+#include "obs/capture.h"
+#include "obs/timeline.h"
 #include "report/table.h"
 
 namespace {
@@ -116,7 +127,17 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
                "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
-               "               [--no-snapshot] [--json=PATH] [--expect-clean]\n");
+               "               [--no-snapshot] [--json=PATH] [--expect-clean]\n"
+               "               [--trace-failures=DIR]\n");
+}
+
+// Violation invariant names become path components; keep them portable.
+std::string SanitizeForFilename(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '-';
+  }
+  return out;
 }
 
 }  // namespace
@@ -127,6 +148,8 @@ int main(int argc, char** argv) {
   std::vector<apps::RuntimeKind> rt_list = {apps::RuntimeKind::kEaseio};
   chk::ExploreConfig base;
   std::string json_path;
+  std::string trace_dir;
+  bool trace_failures = false;
   bool expect_clean = false;
 
   std::set<std::string> seen_flags;
@@ -185,6 +208,9 @@ int main(int argc, char** argv) {
       }
     } else if (const char* v = value("--json=")) {
       json_path = v;
+    } else if (const char* v = value("--trace-failures=")) {
+      trace_dir = v;
+      trace_failures = true;
     } else if (arg == "--no-regional") {
       base.easeio_regional_privatization = false;
     } else if (arg == "--no-snapshot") {
@@ -200,7 +226,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Validate the trace destination before burning exploration time: an empty path,
+  // an uncreatable directory, or an unwritable one is a usage error up front.
+  if (trace_failures) {
+    if (trace_dir.empty()) {
+      std::fprintf(stderr, "easechk: --trace-failures requires a directory path\n");
+      PrintUsage(stderr);
+      return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec || !std::filesystem::is_directory(trace_dir, ec)) {
+      std::fprintf(stderr, "easechk: cannot create trace directory %s (%s)\n",
+                   trace_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+    const std::string probe_path = trace_dir + "/.easechk-writable";
+    {
+      std::ofstream probe(probe_path);
+      if (!probe) {
+        std::fprintf(stderr, "easechk: trace directory %s is not writable\n",
+                     trace_dir.c_str());
+        return 2;
+      }
+    }
+    std::filesystem::remove(probe_path, ec);
+  }
+
   std::vector<chk::ExploreResult> results;
+  std::vector<chk::ExploreConfig> configs;
   size_t total_violations = 0;
   for (apps::AppKind app : app_list) {
     for (apps::RuntimeKind rt : rt_list) {
@@ -208,6 +262,7 @@ int main(int argc, char** argv) {
       cfg.app = app;
       cfg.runtime = rt;
       results.push_back(chk::Explore(cfg));
+      configs.push_back(cfg);
       total_violations += results.back().violations.size();
     }
   }
@@ -232,6 +287,32 @@ int main(int argc, char** argv) {
                   r.runtime.c_str(), chk::ToString(v.invariant), v.subject.c_str(),
                   v.detail.c_str(), sched.c_str());
     }
+  }
+
+  // Dump one Perfetto-loadable timeline per violation: replay its exact failure
+  // schedule (deterministic — same scripted instants, same seed) with the obs probe
+  // subscribed, then serialize the captured run.
+  if (trace_failures) {
+    size_t traces_written = 0;
+    for (size_t r = 0; r < results.size(); ++r) {
+      const chk::ExploreResult& res = results[r];
+      for (size_t i = 0; i < res.violations.size(); ++i) {
+        const chk::Violation& v = res.violations[i];
+        chk::ReplayOutput replay = chk::ReplaySchedule(configs[r], v.schedule);
+        const obs::CapturedRun run = obs::FromReplay(configs[r], std::move(replay));
+        const std::string path = trace_dir + "/" + res.app + "-" + res.runtime + "-" +
+                                 SanitizeForFilename(chk::ToString(v.invariant)) + "-" +
+                                 std::to_string(i) + ".json";
+        std::ofstream out(path, std::ios::binary);
+        if (!out || !(out << obs::ChromeTraceJson(run) << "\n")) {
+          std::fprintf(stderr, "easechk: cannot write trace %s\n", path.c_str());
+          return 2;
+        }
+        ++traces_written;
+      }
+    }
+    std::printf("easechk: wrote %zu failure trace(s) to %s\n", traces_written,
+                trace_dir.c_str());
   }
 
   if (!json_path.empty()) {

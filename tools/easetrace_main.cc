@@ -1,0 +1,238 @@
+// easetrace — run-timeline tracing and per-site waste profiling.
+//
+// Runs one app×runtime×seed experiment with the observability probe subscribed and
+// writes either or both of:
+//   * a Chrome trace-event / Perfetto-compatible timeline (--trace-out): open it at
+//     https://ui.perfetto.dev or chrome://tracing to see task attempts, reboots,
+//     power-off gaps, I/O and DMA activity, and the capacitor charge track;
+//   * a deterministic `easeio-profile/1` JSON document (--profile-out): per-task
+//     attempt/waste accounting, per-I/O-site redundant/skipped counts, DMA and
+//     privatization traffic, and the time-between-failures histogram.
+//
+// Usage:
+//   easetrace [--app=NAME] [--runtime=NAME] [--seed=N] [--trace-out=PATH]
+//             [--profile-out=PATH] [--continuous] [--harvester-in=INCHES]
+//             [--cap-sample-us=N] [--no-regional] [--tick-us=N]
+//
+//   --app           dma | temp | lea | fir | weather | branch  (default: weather)
+//   --runtime       alpaca | ink | samoyed | easeio | easeio-op  (default: easeio)
+//   --seed          device/sensor seed (default: 1)
+//   --trace-out     write the Chrome trace-event timeline to PATH
+//   --profile-out   write the easeio-profile/1 document to PATH
+//   --continuous    continuous power (no failures; golden-run timeline)
+//   --harvester-in  RF-harvester distance in inches; enables the capacitor-driven
+//                   failure model (Figure 13 mode) instead of timer emulation
+//   --cap-sample-us capacitor sampling period for the counter track (default: 1000;
+//                   0 disables the track)
+//   --no-regional   disable EaseIO regional DMA privatization (ablation)
+//   --tick-us       persistent-timekeeper tick (default: 100)
+//
+// At least one of --trace-out/--profile-out is required. Each flag may appear at
+// most once. Observation is free: the run is bit-identical to an uninstrumented one.
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "obs/capture.h"
+#include "obs/profile.h"
+#include "obs/timeline.h"
+
+namespace {
+
+using namespace easeio;
+
+bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
+                   uint64_t* out) {
+  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
+  char* end = nullptr;
+  unsigned long long v = 0;
+  if (ok) {
+    errno = 0;
+    v = std::strtoull(s, &end, 10);
+    ok = errno == 0 && end != s && *end == '\0' && v >= min && v <= max;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "easetrace: invalid %s value '%s' (expected integer in [%llu, %llu])\n",
+                 flag, s == nullptr ? "" : s, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* s, double* out) {
+  char* end = nullptr;
+  const double v = s != nullptr ? std::strtod(s, &end) : 0.0;
+  if (s == nullptr || *s == '\0' || end == s || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "easetrace: invalid %s value '%s'\n", flag, s == nullptr ? "" : s);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseApp(const std::string& name, apps::AppKind* out) {
+  static const std::pair<const char*, apps::AppKind> kNames[] = {
+      {"dma", apps::AppKind::kDma},         {"temp", apps::AppKind::kTemp},
+      {"lea", apps::AppKind::kLea},         {"fir", apps::AppKind::kFir},
+      {"weather", apps::AppKind::kWeather}, {"branch", apps::AppKind::kBranch},
+  };
+  for (const auto& [n, kind] : kNames) {
+    if (name == n) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseRuntime(const std::string& name, apps::RuntimeKind* out) {
+  static const std::pair<const char*, apps::RuntimeKind> kNames[] = {
+      {"alpaca", apps::RuntimeKind::kAlpaca},      {"ink", apps::RuntimeKind::kInk},
+      {"samoyed", apps::RuntimeKind::kSamoyed},    {"easeio", apps::RuntimeKind::kEaseio},
+      {"easeio-op", apps::RuntimeKind::kEaseioOp}, {"easeio_op", apps::RuntimeKind::kEaseioOp},
+  };
+  for (const auto& [n, kind] : kNames) {
+    if (name == n) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: easetrace [--app=NAME] [--runtime=NAME] [--seed=N]\n"
+               "                 [--trace-out=PATH] [--profile-out=PATH] [--continuous]\n"
+               "                 [--harvester-in=INCHES] [--cap-sample-us=N]\n"
+               "                 [--no-regional] [--tick-us=N]\n"
+               "At least one of --trace-out/--profile-out is required.\n");
+}
+
+bool WriteFile(const std::string& path, const std::string& contents, const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << contents << "\n")) {
+    std::fprintf(stderr, "easetrace: cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report::ExperimentConfig config;
+  config.app = apps::AppKind::kWeather;
+  config.runtime = apps::RuntimeKind::kEaseio;
+  config.cap_sample_period_us = 1000;
+  std::string trace_path;
+  std::string profile_path;
+
+  std::set<std::string> seen_flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (arg.rfind("--", 0) == 0 && arg != "--help") {
+      const std::string key = arg.substr(0, arg.find('='));
+      if (!seen_flags.insert(key).second) {
+        std::fprintf(stderr, "easetrace: duplicated flag '%s'\n", key.c_str());
+        PrintUsage(stderr);
+        return 2;
+      }
+    }
+    if (const char* v = value("--app=")) {
+      if (!ParseApp(v, &config.app)) {
+        std::fprintf(stderr, "easetrace: unknown app '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--runtime=")) {
+      if (!ParseRuntime(v, &config.runtime)) {
+        std::fprintf(stderr, "easetrace: unknown runtime '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--seed=")) {
+      if (!ParseUintFlag("--seed", v, 0, UINT64_MAX, &config.seed)) {
+        return 2;
+      }
+    } else if (const char* v = value("--trace-out=")) {
+      trace_path = v;
+    } else if (const char* v = value("--profile-out=")) {
+      profile_path = v;
+    } else if (const char* v = value("--cap-sample-us=")) {
+      if (!ParseUintFlag("--cap-sample-us", v, 0, UINT64_MAX,
+                         &config.cap_sample_period_us)) {
+        return 2;
+      }
+    } else if (const char* v = value("--tick-us=")) {
+      if (!ParseUintFlag("--tick-us", v, 1, UINT64_MAX, &config.timekeeper_tick_us)) {
+        return 2;
+      }
+    } else if (const char* v = value("--harvester-in=")) {
+      if (!ParseDoubleFlag("--harvester-in", v, &config.rf_distance_in)) {
+        return 2;
+      }
+    } else if (arg == "--continuous") {
+      config.continuous = true;
+    } else if (arg == "--no-regional") {
+      config.easeio_regional_privatization = false;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "easetrace: unknown option '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (trace_path.empty() && profile_path.empty()) {
+    std::fprintf(stderr, "easetrace: nothing to do\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+  if (config.continuous && config.rf_distance_in > 0) {
+    std::fprintf(stderr, "easetrace: --continuous and --harvester-in are mutually exclusive\n");
+    return 2;
+  }
+
+  const obs::CapturedRun run = obs::CaptureRun(config);
+
+  if (!trace_path.empty() && !WriteFile(trace_path, obs::ChromeTraceJson(run), "trace")) {
+    return 2;
+  }
+  if (!profile_path.empty() && !WriteFile(profile_path, obs::ProfileJson(run), "profile")) {
+    return 2;
+  }
+
+  const sim::RunStats& stats = run.result.run.stats;
+  std::printf("easetrace: %s/%s seed=%llu — %s, on=%llu us, off=%llu us, "
+              "failures=%llu, commits=%llu, events=%zu\n",
+              run.app.c_str(), run.runtime.c_str(),
+              static_cast<unsigned long long>(run.seed),
+              run.result.run.completed ? "completed" : "DID NOT COMPLETE",
+              static_cast<unsigned long long>(run.result.run.on_us),
+              static_cast<unsigned long long>(run.result.run.off_us),
+              static_cast<unsigned long long>(stats.power_failures),
+              static_cast<unsigned long long>(stats.tasks_committed), run.events.size());
+  if (!trace_path.empty()) {
+    std::printf("easetrace: timeline written to %s (open in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!profile_path.empty()) {
+    std::printf("easetrace: profile written to %s (schema easeio-profile/1)\n",
+                profile_path.c_str());
+  }
+  return run.result.run.completed ? 0 : 1;
+}
