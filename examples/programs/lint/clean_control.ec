@@ -1,0 +1,21 @@
+/* Lint fixture: the clean control. Two tasks, correctly annotated Single reads,
+ * no DMA, no cross-task freshness contract — easelint must report zero findings
+ * (and exit 0), pinning the false-positive rate of every analysis.
+ *
+ *   build/tools/easelint examples/programs/lint/clean_control.ec
+ */
+
+__nv int16 t_out;
+__nv int16 p_out;
+
+task sample() {
+  int16 t = _call_IO(Temp(), "Single");
+  t_out = t;
+  next_task(finish);
+}
+
+task finish() {
+  int16 p = _call_IO(Pres(), "Single");
+  p_out = p;
+  end_task;
+}

@@ -1,0 +1,32 @@
+/* Lint fixture: every DMA classification hazard the audit flags. None of these are
+ * refutable by a failure schedule — they are static contract violations:
+ *
+ *   - Exclude on an NV -> volatile copy whose source the CPU writes
+ *     (dma-exclude-unsafe: privatization would have protected re-execution);
+ *   - a run-time byte count on an NV -> NV copy (dma-bytes-nonliteral: the
+ *     privatization-budget check cannot see it);
+ *   - source and destination ranges of one variable that intersect (dma-overlap);
+ *   - a literal range walking off the end of its array (dma-out-of-bounds).
+ *
+ *   build/tools/easelint examples/programs/lint/dma_audit.ec
+ */
+
+__nv int16 table[8];
+__nv int16 ring[8];
+__nv int16 big[16];
+__nv int16 small[4];
+__sram int16 lea[8];
+
+task init() {
+  table[0] = 5;
+  next_task(move);
+}
+
+task move() {
+  _DMA_copy(&lea[0], &table[0], 16, Exclude);
+  int16 n = 8;
+  _DMA_copy(&ring[0], &table[0], n);
+  _DMA_copy(&ring[2], &ring[0], 8);
+  _DMA_copy(&small[0], &big[0], 32);
+  end_task;
+}

@@ -1,0 +1,36 @@
+/* Lint fixture: stale Always result behind a locked Single consumer, and a Single
+ * annotation demoted by an enclosing Always block.
+ *
+ * monitor: the Always pressure read flows into the Single Send — but through a
+ * _DMA_copy, which the dependence analysis does not trace. A reboot right after the
+ * Send re-executes the read (its value drifts), re-commits raw/pkt, yet the locked
+ * Send never re-transmits: committed NVM and emitted output disagree
+ * (stale-always-into-single, refutable).
+ *
+ * cage: the Single temperature read sits under an outermost Always block; scope
+ * precedence forces the block, so the annotation is silently void (scope-demotion,
+ * refutable: any reboot past the call re-executes it).
+ *
+ *   build/tools/easelint --witness examples/programs/lint/stale_always.ec
+ */
+
+__nv int16 raw[2];
+__nv int16 pkt[2];
+__nv int16 probe;
+
+task monitor() {
+  int16 level = _call_IO(Pres(), "Always");
+  raw[0] = level;
+  _DMA_copy(&pkt[0], &raw[0], 2);
+  _call_IO(Send(pkt, 4), "Single");
+  next_task(cage);
+}
+
+task cage() {
+  int16 t = 0;
+  _IO_block_begin("Always");
+  t = _call_IO(Temp(), "Single");
+  _IO_block_end;
+  probe = t;
+  end_task;
+}

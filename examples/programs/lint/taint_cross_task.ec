@@ -1,0 +1,47 @@
+/* Lint fixture: cross-task taint and region escape.
+ *
+ * The report task transmits `reading`, produced by a Timely(1 ms) read in the sense
+ * task — and then loops back to sense for the next round. The intra-task dependence
+ * rule never sees the task boundary, so nothing keeps the transmitted value inside
+ * its freshness window (taint-cross-task, refutable: park a reboot between sense's
+ * commit and the Send).
+ *
+ * Separately, sense stores the Single humidity result into `archive` *after* the
+ * _DMA_copy region boundary: the store lands in a later privatization region than
+ * its producer (taint-region-escape).
+ *
+ *   build/tools/easelint examples/programs/lint/taint_cross_task.ec
+ *   build/tools/easelint --witness examples/programs/lint/taint_cross_task.ec
+ */
+
+__nv int16 reading;
+__nv int16 w;
+__nv int16 archive;
+__nv int16 pkt[4];
+__nv int16 rounds;
+__sram int16 scratch[4];
+
+task boot() {
+  rounds = 0;
+  next_task(sense);
+}
+
+task sense() {
+  int16 t = _call_IO(Temp(), "Timely", 1);
+  reading = t;
+  int16 h = _call_IO(Humd(), "Single");
+  w = h;
+  _DMA_copy(&scratch[0], &pkt[0], 8);
+  archive = w;
+  next_task(report);
+}
+
+task report() {
+  pkt[0] = reading;
+  _call_IO(Send(pkt, 8), "Single");
+  rounds = rounds + 1;
+  if (rounds < 3) {
+    next_task(sense);
+  }
+  end_task;
+}

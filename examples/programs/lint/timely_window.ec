@@ -1,0 +1,31 @@
+/* Lint fixture: infeasible Timely window and a task that outruns the capacitor.
+ *
+ * acquire: 5 ms of smoothing separate the Timely(2 ms) read from task commit, so the
+ * reading is stale at every reboot past the call — the annotation degrades to Always
+ * and repeated failures livelock (timely-infeasible, refutable: fail once the window
+ * has lapsed and watch the site re-execute).
+ *
+ * grind: 1200 x 12 ms of compute needs ~14.4M cycles straight-line, more than a full
+ * 1 mF capacitor sustains (~13.9M cycles at 1 MHz); on harvested energy the task can
+ * never commit (task-exceeds-on-time).
+ *
+ *   build/tools/easelint --witness examples/programs/lint/timely_window.ec
+ */
+
+__nv int16 sample;
+__nv int16 done;
+
+task acquire() {
+  int16 t = _call_IO(Temp(), "Timely", 2);
+  sample = t;
+  delay(5000);
+  next_task(grind);
+}
+
+task grind() {
+  repeat (i, 1200) {
+    delay(12000);
+  }
+  done = 1;
+  end_task;
+}

@@ -1,0 +1,26 @@
+/* Lint fixture: a write-after-read hazard the baseline compilers cannot see.
+ *
+ * roll reads history[0] and then overwrites it by DMA. Alpaca's WAR analysis only
+ * sees CPU accesses, so `history` is never privatized: a reboot after the transfer
+ * re-executes the task against the *new* value and commits out = 42 instead of the
+ * golden 7 (war-dma-invisible, refutable under the alpaca runtime).
+ *
+ *   build/tools/easelint --witness examples/programs/lint/war_dma.ec
+ */
+
+__nv int16 history[2];
+__nv int16 latest[2];
+__nv int16 out;
+
+task boot() {
+  history[0] = 7;
+  latest[0] = 42;
+  next_task(roll);
+}
+
+task roll() {
+  int16 prev = history[0];
+  _DMA_copy(&history[0], &latest[0], 4);
+  out = prev;
+  end_task;
+}

@@ -1,0 +1,53 @@
+#include "chk/program_replay.h"
+
+#include "chk/trace.h"
+#include "platform/check.h"
+#include "sim/failure.h"
+
+namespace easeio::chk {
+
+ProgramReplayOutput ReplaySchedule(const easec::CompileResult& compiled,
+                                   const ProgramReplayConfig& config,
+                                   const std::vector<uint64_t>& schedule) {
+  EASEIO_CHECK(compiled.ok, "cannot replay a program that failed to compile");
+
+  sim::ScriptedScheduler sched(schedule, config.off_us);
+  sim::DeviceConfig dev_config;
+  dev_config.seed = config.seed;
+  dev_config.timekeeper_tick_us = config.timekeeper_tick_us;
+  sim::Device dev(dev_config, sched);
+  TraceRecorder trace;
+  trace.Install(dev);
+
+  kernel::NvManager nv(dev.mem());
+  rt::EaseioConfig easeio_config;
+  easeio_config.dma_priv_buffer_bytes = config.easeio_priv_buffer_bytes;
+  easeio_config.enable_regional_privatization = config.easeio_regional_privatization;
+  auto runtime = apps::MakeRuntime(config.runtime, easeio_config);
+  runtime->Bind(dev, nv);
+  easec::InstantiatedProgram prog = easec::Instantiate(compiled, dev, *runtime, nv);
+
+  kernel::Engine engine(kernel::RunConfig{config.max_on_us});
+  ProgramReplayOutput out;
+  out.run = engine.Run(dev, *runtime, nv, prog.graph, prog.entry);
+  out.schedule = schedule;
+  out.events = trace.TakeEvents();
+  out.site_ids = prog.site_ids;
+  out.dma_ids = prog.dma_ids;
+
+  out.nv_final.resize(compiled.ast.nv_decls.size());
+  for (uint32_t i = 0; i < compiled.ast.nv_decls.size(); ++i) {
+    const easec::NvDecl& decl = compiled.ast.nv_decls[i];
+    if (decl.sram || prog.nv_slots[i] == kernel::kNoSlot) {
+      continue;
+    }
+    const uint32_t addr = nv.slot(prog.nv_slots[i]).addr;
+    out.nv_final[i].reserve(decl.elements);
+    for (uint32_t e = 0; e < decl.elements; ++e) {
+      out.nv_final[i].push_back(dev.mem().ReadI16(addr + 2 * e));
+    }
+  }
+  return out;
+}
+
+}  // namespace easeio::chk

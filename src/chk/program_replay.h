@@ -1,0 +1,53 @@
+// Witness replay for compiled EaseC programs.
+//
+// easelint's static findings each suggest a failure schedule that should demonstrate
+// the flagged hazard. This entry point replays a CompileResult under a scripted
+// schedule on a chosen runtime — the program-level counterpart of the registry-app
+// ReplaySchedule in explorer.h — and returns everything the witness checker needs to
+// judge the run: the probe event stream, the easec-index -> runtime-id tables (probe
+// events carry runtime ids), and the final committed bytes of every __nv declaration.
+// An empty schedule is the golden continuous-power run.
+
+#ifndef EASEIO_CHK_PROGRAM_REPLAY_H_
+#define EASEIO_CHK_PROGRAM_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/runtime_factory.h"
+#include "easec/program.h"
+#include "kernel/engine.h"
+#include "sim/probe.h"
+
+namespace easeio::chk {
+
+struct ProgramReplayConfig {
+  apps::RuntimeKind runtime = apps::RuntimeKind::kEaseio;
+  uint64_t seed = 1;
+  uint64_t off_us = 700;            // dark time after each injected failure
+  uint64_t max_on_us = 60'000'000;  // non-termination guard
+  uint32_t easeio_priv_buffer_bytes = 4096;
+  bool easeio_regional_privatization = true;
+  uint64_t timekeeper_tick_us = 100;
+};
+
+struct ProgramReplayOutput {
+  kernel::RunResult run;
+  std::vector<uint64_t> schedule;
+  std::vector<sim::ProbeEvent> events;
+  // easec analysis index -> runtime registration id, as Instantiate assigned them.
+  std::vector<kernel::IoSiteId> site_ids;
+  std::vector<kernel::DmaSiteId> dma_ids;
+  // Final committed values per __nv declaration (empty for __sram variables, whose
+  // contents are volatile and meaningless after the run).
+  std::vector<std::vector<int16_t>> nv_final;
+};
+
+// Replays `compiled` (which must have ok == true) under the scripted schedule.
+ProgramReplayOutput ReplaySchedule(const easec::CompileResult& compiled,
+                                   const ProgramReplayConfig& config,
+                                   const std::vector<uint64_t>& schedule);
+
+}  // namespace easeio::chk
+
+#endif  // EASEIO_CHK_PROGRAM_REPLAY_H_

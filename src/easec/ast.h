@@ -126,6 +126,9 @@ struct Stmt {
   // kAssign / kDeclLocal symbol binding (filled by sema)
   int32_t local_slot = -1;
   int32_t nv_index = -1;
+
+  // Index of this statement's entry in Analysis::def_use (filled by sema).
+  uint32_t stmt_id = UINT32_MAX;
 };
 
 // --- Declarations --------------------------------------------------------------------------

@@ -1,0 +1,805 @@
+#include "easec/lint/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "report/json.h"
+#include "sim/costs.h"
+
+namespace easeio::easec::lint {
+namespace {
+
+using kernel::IoSemantic;
+
+bool IsGuarded(IoSemantic sem) {
+  return sem == IoSemantic::kSingle || sem == IoSemantic::kTimely;
+}
+
+// Scope precedence (Section 3.3.1): the outermost enclosing block decides how a site
+// re-executes. Returns the semantic that actually governs the site at run time.
+IoSemantic EffectiveSem(const Analysis& a, const IoSiteInfo& site) {
+  uint32_t b = site.block;
+  if (b == UINT32_MAX) {
+    return site.sem;
+  }
+  while (a.blocks[b].parent != UINT32_MAX) {
+    b = a.blocks[b].parent;
+  }
+  return a.blocks[b].sem;
+}
+
+// Static task-graph reachability over next_task edges (conditional edges count).
+std::vector<std::vector<bool>> Reachability(const Analysis& a) {
+  const size_t n = a.tasks.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const StmtDefUse& e : a.def_use) {
+    if (e.kind == StmtKind::kNextTask && e.target_task != UINT32_MAX) {
+      reach[e.task][e.target_task] = true;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        reach[i][j] = reach[i][j] || (reach[i][k] && reach[k][j]);
+      }
+    }
+  }
+  return reach;
+}
+
+// Source lines of call sites, from the annotated AST.
+void SiteLinesInExpr(const Expr& e, std::map<uint32_t, int>& lines) {
+  if (e.kind == ExprKind::kCallIo && e.site_id != UINT32_MAX) {
+    lines.emplace(e.site_id, e.line);
+  }
+  if (e.index != nullptr) SiteLinesInExpr(*e.index, lines);
+  if (e.lhs != nullptr) SiteLinesInExpr(*e.lhs, lines);
+  if (e.rhs != nullptr) SiteLinesInExpr(*e.rhs, lines);
+  for (const ExprPtr& arg : e.args) SiteLinesInExpr(*arg, lines);
+}
+
+void SiteLinesInStmts(const std::vector<StmtPtr>& stmts, std::map<uint32_t, int>& lines) {
+  for (const StmtPtr& s : stmts) {
+    if (s->index != nullptr) SiteLinesInExpr(*s->index, lines);
+    if (s->value != nullptr) SiteLinesInExpr(*s->value, lines);
+    SiteLinesInStmts(s->then_body, lines);
+    SiteLinesInStmts(s->else_body, lines);
+    SiteLinesInStmts(s->body, lines);
+  }
+}
+
+// Everything the individual analyses share.
+struct Context {
+  const Program& ast;
+  const Analysis& a;
+  std::vector<std::vector<bool>> reach;
+  std::map<uint32_t, int> site_lines;
+  // Per-statement taint-in sets, filled by the taint fixpoint's recording pass.
+  std::vector<Finding>* findings;
+
+  const char* NvName(uint32_t nv) const { return ast.nv_decls[nv].name.c_str(); }
+  const char* TaskName(uint32_t t) const { return a.tasks[t].name.c_str(); }
+  int SiteLine(uint32_t site) const {
+    auto it = site_lines.find(site);
+    return it == site_lines.end() ? 0 : it->second;
+  }
+};
+
+// --- I/O taint propagation ----------------------------------------------------------
+//
+// Two monotone taint maps over __nv variables (including __sram staging buffers), run
+// to fixpoint across the task list so cross-task flows converge:
+//   * guarded:  values produced by Single/Timely-annotated sites — the freshness /
+//     once-only contract the annotation states;
+//   * always:   values produced by effective-Always sites — values that are silently
+//     re-produced on every re-execution.
+// Locals are tracked flow-sensitively within each task pass (fresh per invocation).
+// Updates are weak (union-only): an untainted overwrite does not clear taint, which
+// over-approximates — acceptable for a lint whose job is to surface candidate flows.
+class TaintEngine {
+ public:
+  explicit TaintEngine(Context& ctx)
+      : ctx_(ctx),
+        guarded_nv_(ctx.ast.nv_decls.size()),
+        always_nv_(ctx.ast.nv_decls.size()) {}
+
+  void Run() {
+    for (int iter = 0; iter < 8; ++iter) {
+      if (!Pass(/*record=*/false)) {
+        break;
+      }
+    }
+    Pass(/*record=*/true);
+  }
+
+ private:
+  static bool Union(std::set<uint32_t>& into, const std::set<uint32_t>& from) {
+    bool changed = false;
+    for (uint32_t v : from) {
+      changed |= into.insert(v).second;
+    }
+    return changed;
+  }
+
+  bool Pass(bool record) {
+    bool changed = false;
+    std::map<int32_t, std::set<uint32_t>> guarded_local;
+    std::map<int32_t, std::set<uint32_t>> always_local;
+    // First execution region of each guarded site within its task (for the
+    // region-escape check), discovered on the fly.
+    std::map<uint32_t, uint32_t> site_region;
+    uint32_t cur_task = UINT32_MAX;
+
+    for (const StmtDefUse& e : ctx_.a.def_use) {
+      if (e.task != cur_task) {
+        cur_task = e.task;
+        guarded_local.clear();
+        always_local.clear();
+      }
+
+      std::set<uint32_t> guarded_in;
+      std::set<uint32_t> always_in;
+      for (int32_t l : e.local_uses) {
+        Union(guarded_in, guarded_local[l]);
+        Union(always_in, always_local[l]);
+      }
+      for (uint32_t nv : e.nv_uses) {
+        Union(guarded_in, guarded_nv_[nv]);
+        Union(always_in, always_nv_[nv]);
+      }
+
+      std::set<uint32_t> guarded_gen;
+      std::set<uint32_t> always_gen;
+      for (uint32_t s : e.io_sites) {
+        const IoSiteInfo& site = ctx_.a.sites[s];
+        if (IsGuarded(site.sem)) {
+          guarded_gen.insert(s);
+        }
+        if (EffectiveSem(ctx_.a, site) == IoSemantic::kAlways) {
+          always_gen.insert(s);
+        }
+        // Capture fills its __nv buffer from the peripheral.
+        if (site.fn == IoFn::kCapture && site.buffer_nv >= 0) {
+          if (IsGuarded(site.sem)) {
+            changed |= Union(guarded_nv_[site.buffer_nv], {s});
+          }
+          if (EffectiveSem(ctx_.a, site) == IoSemantic::kAlways) {
+            changed |= Union(always_nv_[site.buffer_nv], {s});
+          }
+        }
+        if (record) {
+          site_region.emplace(s, e.region);
+          CheckConsumer(s, guarded_in, always_in);
+        }
+      }
+
+      std::set<uint32_t> guarded_out = guarded_in;
+      std::set<uint32_t> always_out = always_in;
+      Union(guarded_out, guarded_gen);
+      Union(always_out, always_gen);
+
+      for (int32_t l : e.local_defs) {
+        Union(guarded_local[l], guarded_out);
+        Union(always_local[l], always_out);
+      }
+      for (uint32_t nv : e.nv_defs) {
+        changed |= Union(guarded_nv_[nv], guarded_out);
+        changed |= Union(always_nv_[nv], always_out);
+        if (record) {
+          CheckRegionEscape(e, nv, guarded_out, site_region);
+        }
+      }
+
+      // A DMA copies whatever taint its source holds into its destination.
+      if (e.dma != UINT32_MAX) {
+        const DmaInfo& d = ctx_.a.dmas[e.dma];
+        if (d.src_nv >= 0 && d.dst_nv >= 0) {
+          changed |= Union(guarded_nv_[d.dst_nv], guarded_nv_[d.src_nv]);
+          changed |= Union(always_nv_[d.dst_nv], always_nv_[d.src_nv]);
+        }
+      }
+    }
+    return changed;
+  }
+
+  // A Single/Timely consumer site: everything feeding its arguments (statement
+  // granularity) plus, for Send, the transmitted __nv buffer.
+  void CheckConsumer(uint32_t consumer, const std::set<uint32_t>& guarded_in,
+                     const std::set<uint32_t>& always_in) {
+    const IoSiteInfo& c = ctx_.a.sites[consumer];
+    if (!IsGuarded(c.sem)) {
+      return;
+    }
+    std::set<uint32_t> guarded = guarded_in;
+    std::set<uint32_t> always = always_in;
+    if (c.fn == IoFn::kSend && c.buffer_nv >= 0) {
+      Union(guarded, guarded_nv_[c.buffer_nv]);
+      Union(always, always_nv_[c.buffer_nv]);
+    }
+    const std::set<uint32_t> deps(c.depends_on.begin(), c.depends_on.end());
+
+    for (uint32_t p : guarded) {
+      if (p == consumer || deps.count(p) != 0) {
+        continue;
+      }
+      const IoSiteInfo& prod = ctx_.a.sites[p];
+      // Cross-task consumption where the program can loop back to the producer: the
+      // value is re-produced every round, but no dependence edge ever forces the
+      // consumer to stay in step — the intra-task rule cannot see task boundaries.
+      // The linear one-shot pipeline (weather's Figure 3/9 shape) is accepted.
+      if (prod.task != c.task && ctx_.reach[c.task][prod.task] &&
+          !seen_cross_.count({consumer, p})) {
+        seen_cross_.insert({consumer, p});
+        Finding f;
+        f.code = "taint-cross-task";
+        f.severity = Severity::kWarning;
+        f.line = ctx_.SiteLine(consumer);
+        f.subject = c.fn_name;
+        f.message = std::string(kernel::ToString(prod.sem)) + " result of " +
+                    prod.fn_name + "() in task '" + ctx_.TaskName(prod.task) +
+                    "' is consumed by " + std::string(kernel::ToString(c.sem)) + " " +
+                    c.fn_name + "() in task '" + ctx_.TaskName(c.task) +
+                    "', which loops back to the producer; no dependence edge keeps "
+                    "them in step across the task boundary";
+        f.fixit = "re-sample the value in task '" + std::string(ctx_.TaskName(c.task)) +
+                  "' or fold producer and consumer into one task so the dependence "
+                  "rule applies";
+        if (prod.sem == IoSemantic::kTimely && prod.window_us > 0) {
+          // Refutable: a reboot parked between the producing task's commit and the
+          // consumer lets the consumer transmit a reading older than its window.
+          f.witness_runtime = "easeio";
+          f.anchor_site = p;
+          f.anchor_consumer = consumer;
+          f.anchor_window_us = prod.window_us;
+        }
+        ctx_.findings->push_back(std::move(f));
+      }
+    }
+
+    for (uint32_t p : always) {
+      if (p == consumer || deps.count(p) != 0) {
+        continue;
+      }
+      const IoSiteInfo& prod = ctx_.a.sites[p];
+      // Same-task flow out of an effective-Always read that sema's producer tracking
+      // lost (e.g. through a DMA copy): on re-execution the read produces a fresh
+      // value and updates NVM, while the locked consumer's recorded output stays
+      // stale — committed state and emitted output disagree.
+      if (prod.task == c.task && EffectiveSem(ctx_.a, c) != IoSemantic::kAlways &&
+          !seen_stale_.count({consumer, p})) {
+        seen_stale_.insert({consumer, p});
+        Finding f;
+        f.code = "stale-always-into-single";
+        f.severity = Severity::kWarning;
+        f.line = ctx_.SiteLine(consumer);
+        f.subject = c.fn_name;
+        f.message = "Always result of " + prod.fn_name + "() flows into " +
+                    std::string(kernel::ToString(c.sem)) + " " + c.fn_name +
+                    "() with no dependence edge (the flow passes outside sema's "
+                    "producer tracking); a re-executed read updates NVM while the "
+                    "locked consumer keeps its stale output";
+        f.fixit = "annotate the " + prod.fn_name +
+                  "() read 'Single', or wrap both calls in one _IO_block so they "
+                  "re-execute together";
+        f.witness_runtime = "easeio";
+        f.anchor_site = p;
+        f.anchor_consumer = consumer;
+        ctx_.findings->push_back(std::move(f));
+      }
+    }
+  }
+
+  // A Single result stored to NV in a later DMA region of the producing task:
+  // regional privatization snapshots and restores per region, so a reboot that
+  // partially restores re-exposes the store without its producing context.
+  void CheckRegionEscape(const StmtDefUse& e, uint32_t nv,
+                         const std::set<uint32_t>& guarded_out,
+                         const std::map<uint32_t, uint32_t>& site_region) {
+    if (ctx_.ast.nv_decls[nv].sram) {
+      return;
+    }
+    for (uint32_t p : guarded_out) {
+      const IoSiteInfo& prod = ctx_.a.sites[p];
+      if (prod.sem != IoSemantic::kSingle || prod.task != e.task) {
+        continue;
+      }
+      auto it = site_region.find(p);
+      if (it == site_region.end() || e.region <= it->second) {
+        continue;
+      }
+      if (!seen_escape_.insert({nv, p}).second) {
+        continue;
+      }
+      Finding f;
+      f.code = "taint-region-escape";
+      f.severity = Severity::kWarning;
+      f.line = e.line;
+      f.subject = ctx_.NvName(nv);
+      f.message = "Single result of " + prod.fn_name + "() (region " +
+                  std::to_string(it->second) + ") is stored to '" +
+                  std::string(ctx_.NvName(nv)) + "' in region " +
+                  std::to_string(e.region) +
+                  ", outside its producing region; regional privatization restores "
+                  "per region and cannot couple the store to its producer";
+      f.fixit = "store '" + std::string(ctx_.NvName(nv)) +
+                "' before the _DMA_copy that ends region " + std::to_string(it->second);
+      ctx_.findings->push_back(std::move(f));
+    }
+  }
+
+  Context& ctx_;
+  std::vector<std::set<uint32_t>> guarded_nv_;
+  std::vector<std::set<uint32_t>> always_nv_;
+  std::set<std::pair<uint32_t, uint32_t>> seen_cross_;
+  std::set<std::pair<uint32_t, uint32_t>> seen_stale_;
+  std::set<std::pair<uint32_t, uint32_t>> seen_escape_;
+};
+
+// --- DMA classification audit -------------------------------------------------------
+
+void DmaAudit(Context& ctx) {
+  const Analysis& a = ctx.a;
+  // CPU-written __nv variables, program-wide.
+  std::set<uint32_t> cpu_written;
+  for (const StmtDefUse& e : a.def_use) {
+    cpu_written.insert(e.nv_defs.begin(), e.nv_defs.end());
+  }
+  // DMA line = its statement's line.
+  std::vector<int> dma_line(a.dmas.size(), 0);
+  for (const StmtDefUse& e : a.def_use) {
+    if (e.dma != UINT32_MAX) {
+      dma_line[e.dma] = e.line;
+    }
+  }
+
+  for (uint32_t i = 0; i < a.dmas.size(); ++i) {
+    const DmaInfo& d = a.dmas[i];
+    const int line = dma_line[i];
+
+    if (d.exclude && !d.src_sram && d.dst_sram && d.src_nv >= 0 &&
+        cpu_written.count(static_cast<uint32_t>(d.src_nv)) != 0) {
+      Finding f;
+      f.code = "dma-exclude-unsafe";
+      f.severity = Severity::kWarning;
+      f.line = line;
+      f.subject = ctx.NvName(d.src_nv);
+      f.message = "Exclude on an NV -> volatile copy whose source '" +
+                  std::string(ctx.NvName(d.src_nv)) +
+                  "' is CPU-written; regional privatization would keep a pristine "
+                  "copy for re-execution, Exclude opts out of it";
+      f.fixit = "drop Exclude (reserve it for genuinely constant data)";
+      ctx.findings->push_back(std::move(f));
+    }
+
+    if (!d.bytes_literal) {
+      Finding f;
+      f.code = "dma-bytes-nonliteral";
+      f.severity = Severity::kWarning;
+      f.line = line;
+      f.subject = d.dst_nv >= 0 ? ctx.NvName(d.dst_nv) : "";
+      f.message = "non-literal _DMA_copy byte count defeats the compile-time "
+                  "privatization-budget check; the transfer size is only known at "
+                  "run time";
+      f.fixit = "use a literal byte count";
+      ctx.findings->push_back(std::move(f));
+    }
+
+    // Literal range checks, in bytes (int16 elements are 2 bytes).
+    auto check_bounds = [&](int32_t nv, int64_t offset, const char* which) {
+      if (nv < 0 || offset < 0 || !d.bytes_literal || d.bytes == 0) {
+        return;
+      }
+      const uint64_t limit = 2ull * ctx.ast.nv_decls[nv].elements;
+      const uint64_t end = 2ull * static_cast<uint64_t>(offset) + d.bytes;
+      if (end > limit) {
+        Finding f;
+        f.code = "dma-out-of-bounds";
+        f.severity = Severity::kError;
+        f.line = line;
+        f.subject = ctx.NvName(nv);
+        f.message = std::string(which) + " range of _DMA_copy ends at byte " +
+                    std::to_string(end) + " but '" + std::string(ctx.NvName(nv)) +
+                    "' is only " + std::to_string(limit) + " bytes";
+        f.fixit = "reduce the byte count to " +
+                  std::to_string(limit > 2ull * static_cast<uint64_t>(offset)
+                                     ? limit - 2ull * static_cast<uint64_t>(offset)
+                                     : 0) +
+                  " or fix the offset";
+        ctx.findings->push_back(std::move(f));
+      }
+    };
+    check_bounds(d.dst_nv, d.dst_offset, "destination");
+    check_bounds(d.src_nv, d.src_offset, "source");
+
+    if (d.src_nv >= 0 && d.src_nv == d.dst_nv && d.src_offset >= 0 && d.dst_offset >= 0 &&
+        d.bytes_literal && d.bytes > 0) {
+      const uint64_t s0 = 2ull * static_cast<uint64_t>(d.src_offset);
+      const uint64_t d0 = 2ull * static_cast<uint64_t>(d.dst_offset);
+      if (s0 < d0 + d.bytes && d0 < s0 + d.bytes) {
+        Finding f;
+        f.code = "dma-overlap";
+        f.severity = Severity::kError;
+        f.line = line;
+        f.subject = ctx.NvName(d.src_nv);
+        f.message = "_DMA_copy source bytes [" + std::to_string(s0) + ", " +
+                    std::to_string(s0 + d.bytes) + ") and destination bytes [" +
+                    std::to_string(d0) + ", " + std::to_string(d0 + d.bytes) +
+                    ") of '" + std::string(ctx.NvName(d.src_nv)) +
+                    "' overlap; a torn transfer re-reads its own output";
+        f.fixit = "separate the ranges or stage through another buffer";
+        ctx.findings->push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// --- Timely feasibility / task on-time budget ---------------------------------------
+//
+// A sound cycle *lower bound* per task (1 cycle == 1 us on the modelled 1 MHz core):
+// each statement costs at least one instruction; literal delays and DMA bus cycles
+// are added exactly; effective-Always peripheral calls always pay their latency;
+// skippable constructs (Single/Timely sites and blocks, while loops) count zero.
+// For every site the walk records the minimum remaining cycles from the call to task
+// commit — for `repeat` lanes, the last iteration, which is the best case.
+class CostWalk {
+ public:
+  explicit CostWalk(Context& ctx) : ctx_(ctx) {}
+
+  void Run() {
+    const double on_time_j =
+        0.5 * sim::kDefaultCapacitanceF *
+        (sim::kDefaultVMax * sim::kDefaultVMax - sim::kDefaultVOff * sim::kDefaultVOff);
+    const uint64_t worst_on_us =
+        static_cast<uint64_t>(on_time_j / sim::kCpuEnergyPerCycleJ);
+
+    for (uint32_t t = 0; t < ctx_.ast.tasks.size(); ++t) {
+      const uint64_t total = StmtsLb(ctx_.ast.tasks[t].body, 0);
+      if (total > worst_on_us) {
+        Finding f;
+        f.code = "task-exceeds-on-time";
+        f.severity = Severity::kWarning;
+        f.line = ctx_.ast.tasks[t].line;
+        f.subject = ctx_.TaskName(t);
+        f.message = "task '" + std::string(ctx_.TaskName(t)) + "' needs at least " +
+                    std::to_string(total) +
+                    " cycles straight-line, but a full capacitor sustains at most " +
+                    std::to_string(worst_on_us) +
+                    " cycles of on-time: it can never commit on harvested energy";
+        f.fixit = "split '" + std::string(ctx_.TaskName(t)) + "' into smaller tasks";
+        ctx_.findings->push_back(std::move(f));
+      }
+    }
+
+    for (uint32_t s = 0; s < ctx_.a.sites.size(); ++s) {
+      const IoSiteInfo& site = ctx_.a.sites[s];
+      if (site.sem != IoSemantic::kTimely || site.window_us == 0) {
+        continue;
+      }
+      auto it = site_tail_.find(s);
+      if (it == site_tail_.end() || it->second <= site.window_us) {
+        continue;
+      }
+      Finding f;
+      f.code = "timely-infeasible";
+      f.severity = Severity::kError;
+      f.line = ctx_.SiteLine(s);
+      f.subject = site.fn_name;
+      f.message = "Timely window of " + std::to_string(site.window_us) +
+                  " us can never be met: at least " + std::to_string(it->second) +
+                  " cycles remain between this call and task commit, so any reboot "
+                  "past the call finds the reading stale and forces re-execution "
+                  "(the annotation degrades to Always; repeated failures livelock)";
+      f.fixit = "widen the window to at least " +
+                std::to_string((it->second + 999) / 1000) +
+                " ms or move the call later in the task";
+      f.witness_runtime = "easeio";
+      f.anchor_site = s;
+      f.anchor_window_us = site.window_us;
+      ctx_.findings->push_back(std::move(f));
+    }
+  }
+
+ private:
+  uint64_t SiteExecCost(uint32_t s) const {
+    const IoSiteInfo& site = ctx_.a.sites[s];
+    if (EffectiveSem(ctx_.a, site) != IoSemantic::kAlways) {
+      return 0;  // may be skipped on re-execution; zero keeps the bound sound
+    }
+    switch (site.fn) {
+      case IoFn::kTemp:
+        return sim::kTempSensorCost.latency_cycles;
+      case IoFn::kHumd:
+        return sim::kHumiditySensorCost.latency_cycles;
+      case IoFn::kPres:
+        return sim::kPressureSensorCost.latency_cycles;
+      case IoFn::kSend:
+        return sim::kRadioWakeCost.latency_cycles +
+               sim::kRadioCyclesPerByte * site.buffer_bytes;
+      case IoFn::kCapture:
+        return sim::kCameraCaptureCost.latency_cycles;
+    }
+    return 0;
+  }
+
+  void SitesInExpr(const Expr& e, std::vector<uint32_t>& out) const {
+    if (e.kind == ExprKind::kCallIo && e.site_id != UINT32_MAX) {
+      out.push_back(e.site_id);
+    }
+    if (e.index != nullptr) SitesInExpr(*e.index, out);
+    if (e.lhs != nullptr) SitesInExpr(*e.lhs, out);
+    if (e.rhs != nullptr) SitesInExpr(*e.rhs, out);
+    for (const ExprPtr& arg : e.args) SitesInExpr(*arg, out);
+  }
+
+  // Lower bound of executing `stmts` once, given `suffix` cycles follow them.
+  // Processes statements back to front so each site's tail is available directly.
+  uint64_t StmtsLb(const std::vector<StmtPtr>& stmts, uint64_t suffix) {
+    uint64_t cur = suffix;
+    for (auto it = stmts.rbegin(); it != stmts.rend(); ++it) {
+      const Stmt& s = **it;
+      uint64_t cost = 1;  // every statement compiles to at least one instruction
+      switch (s.kind) {
+        case StmtKind::kDelay:
+          if (s.value->kind == ExprKind::kIntLit && s.value->int_value > 0) {
+            cost += static_cast<uint64_t>(s.value->int_value);
+          }
+          break;
+        case StmtKind::kDma: {
+          cost += sim::kDmaSetupCycles;
+          if (s.dma_id != UINT32_MAX && ctx_.a.dmas[s.dma_id].bytes_literal) {
+            cost += sim::kDmaCyclesPerWord * (ctx_.a.dmas[s.dma_id].bytes / 2);
+          }
+          break;
+        }
+        case StmtKind::kIf:
+          cost += std::min(StmtsLb(s.then_body, cur), StmtsLb(s.else_body, cur));
+          break;
+        case StmtKind::kWhile:
+          StmtsLb(s.body, cur);  // zero iterations is the bound; still record tails
+          break;
+        case StmtKind::kRepeat: {
+          const uint64_t body = StmtsLb(s.body, cur);  // tails = last iteration
+          const uint64_t n = s.value->kind == ExprKind::kIntLit && s.value->int_value > 0
+                                 ? static_cast<uint64_t>(s.value->int_value)
+                                 : 0;
+          cost += n * body;
+          break;
+        }
+        case StmtKind::kIoBlock: {
+          const uint64_t body = StmtsLb(s.body, cur);
+          if (s.sem == IoSemantic::kAlways) {
+            cost += body;  // an Always block always runs; others may be skipped
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      std::vector<uint32_t> sites;
+      if (s.index != nullptr) SitesInExpr(*s.index, sites);
+      if (s.value != nullptr) SitesInExpr(*s.value, sites);
+      for (uint32_t site : sites) {
+        cost += SiteExecCost(site);
+        auto [pos, inserted] = site_tail_.emplace(site, cur);
+        if (!inserted && cur < pos->second) {
+          pos->second = cur;
+        }
+      }
+      cur += cost;
+    }
+    return cur - suffix;
+  }
+
+  Context& ctx_;
+  std::map<uint32_t, uint64_t> site_tail_;  // site -> min cycles from call to commit
+};
+
+// --- WAR through DMA, invisible to the baseline fact sets ---------------------------
+
+void WarDmaInvisible(Context& ctx) {
+  const Analysis& a = ctx.a;
+  uint32_t cur_task = UINT32_MAX;
+  std::set<uint32_t> read_so_far;
+  for (const StmtDefUse& e : a.def_use) {
+    if (e.task != cur_task) {
+      cur_task = e.task;
+      read_so_far.clear();
+    }
+    if (e.dma != UINT32_MAX) {
+      const DmaInfo& d = a.dmas[e.dma];
+      if (d.dst_nv >= 0 && !d.dst_sram &&
+          read_so_far.count(static_cast<uint32_t>(d.dst_nv)) != 0) {
+        const TaskInfo& task = a.tasks[e.task];
+        const bool in_war =
+            std::find(task.war.begin(), task.war.end(),
+                      static_cast<uint32_t>(d.dst_nv)) != task.war.end();
+        if (!in_war) {
+          Finding f;
+          f.code = "war-dma-invisible";
+          f.severity = Severity::kWarning;
+          f.line = e.line;
+          f.subject = ctx.NvName(d.dst_nv);
+          f.message = "task '" + std::string(ctx.TaskName(e.task)) + "' reads '" +
+                      std::string(ctx.NvName(d.dst_nv)) +
+                      "' before this _DMA_copy overwrites it; DMA operands are "
+                      "invisible to the baseline compilers' WAR analysis, so the "
+                      "variable is not privatized and a re-execution reads the new "
+                      "value";
+          f.fixit = "stage the copy through a __sram buffer, or touch '" +
+                    std::string(ctx.NvName(d.dst_nv)) +
+                    "' with a CPU write so the WAR set sees it";
+          f.witness_runtime = "alpaca";
+          f.anchor_dma = e.dma;
+          ctx.findings->push_back(std::move(f));
+        }
+      }
+    }
+    read_so_far.insert(e.nv_uses.begin(), e.nv_uses.end());
+  }
+}
+
+// --- Scope precedence demotion ------------------------------------------------------
+
+void ScopeDemotion(Context& ctx) {
+  for (uint32_t s = 0; s < ctx.a.sites.size(); ++s) {
+    const IoSiteInfo& site = ctx.a.sites[s];
+    if (!IsGuarded(site.sem) || site.block == UINT32_MAX) {
+      continue;
+    }
+    if (EffectiveSem(ctx.a, site) != IoSemantic::kAlways) {
+      continue;
+    }
+    Finding f;
+    f.code = "scope-demotion";
+    f.severity = Severity::kWarning;
+    f.line = ctx.SiteLine(s);
+    f.subject = site.fn_name;
+    f.message = std::string(kernel::ToString(site.sem)) + " annotation on " +
+                site.fn_name +
+                "() sits under an outermost Always block; scope precedence forces "
+                "the block, silently demoting the call to Always re-execution";
+    f.fixit = "move the call out of the Always block or change the block semantics";
+    f.witness_runtime = "easeio";
+    f.anchor_site = s;
+    ctx.findings->push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+const char* ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kAdvisory:
+      return "advisory";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* ToString(WitnessState state) {
+  switch (state) {
+    case WitnessState::kNotAttempted:
+      return "not-attempted";
+    case WitnessState::kConfirmed:
+      return "confirmed";
+    case WitnessState::kUnconfirmed:
+      return "unconfirmed";
+  }
+  return "?";
+}
+
+void Recount(LintResult& result) {
+  result.errors = result.warnings = result.advisories = 0;
+  for (const Finding& f : result.findings) {
+    switch (f.severity) {
+      case Severity::kError:
+        ++result.errors;
+        break;
+      case Severity::kWarning:
+        ++result.warnings;
+        break;
+      case Severity::kAdvisory:
+        ++result.advisories;
+        break;
+    }
+  }
+}
+
+LintResult Lint(const CompileResult& compiled, const LintOptions&) {
+  LintResult result;
+  if (!compiled.ok) {
+    return result;
+  }
+  Context ctx{compiled.ast, compiled.analysis, Reachability(compiled.analysis), {},
+              &result.findings};
+  for (const TaskDecl& task : compiled.ast.tasks) {
+    SiteLinesInStmts(task.body, ctx.site_lines);
+  }
+
+  TaintEngine(ctx).Run();
+  DmaAudit(ctx);
+  CostWalk(ctx).Run();
+  WarDmaInvisible(ctx);
+  ScopeDemotion(ctx);
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.subject < b.subject;
+                   });
+  Recount(result);
+  return result;
+}
+
+std::string RenderText(const LintResult& result, const std::string& source_name) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += source_name + ":" + std::to_string(f.line) + ": " + ToString(f.severity) +
+           ": " + f.message + " [" + f.code + "]\n";
+    if (!f.fixit.empty()) {
+      out += "    fixit: " + f.fixit + "\n";
+    }
+    if (!f.suggested_schedule.empty()) {
+      out += "    schedule: fail at {";
+      for (size_t i = 0; i < f.suggested_schedule.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(f.suggested_schedule[i]);
+      }
+      out += "} us (off " + std::to_string(f.suggested_off_us) + " us) under " +
+             f.witness_runtime + "\n";
+    }
+    if (f.witness != WitnessState::kNotAttempted) {
+      out += "    witness: " + std::string(ToString(f.witness));
+      if (!f.witness_detail.empty()) {
+        out += " — " + f.witness_detail;
+      }
+      out += "\n";
+    }
+  }
+  out += source_name + ": " + std::to_string(result.errors) + " error(s), " +
+         std::to_string(result.warnings) + " warning(s), " +
+         std::to_string(result.advisories) + " advisory(ies)\n";
+  return out;
+}
+
+std::string RenderJson(const LintResult& result, const std::string& source_name) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-lint/1");
+  w.Key("source").String(source_name);
+  w.Key("findings").BeginArray();
+  for (const Finding& f : result.findings) {
+    w.BeginObject();
+    w.Key("code").String(f.code);
+    w.Key("severity").String(ToString(f.severity));
+    w.Key("line").Int(f.line);
+    w.Key("subject").String(f.subject);
+    w.Key("message").String(f.message);
+    w.Key("fixit").String(f.fixit);
+    w.Key("suggested_schedule").BeginArray();
+    for (uint64_t instant : f.suggested_schedule) {
+      w.UInt(instant);
+    }
+    w.EndArray();
+    w.Key("suggested_off_us").UInt(f.suggested_off_us);
+    w.Key("witness_runtime").String(f.witness_runtime);
+    w.Key("witness").String(ToString(f.witness));
+    w.Key("witness_detail").String(f.witness_detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counts").BeginObject();
+  w.Key("error").UInt(result.errors);
+  w.Key("warning").UInt(result.warnings);
+  w.Key("advisory").UInt(result.advisories);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace easeio::easec::lint

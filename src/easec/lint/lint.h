@@ -1,0 +1,125 @@
+// easelint — dataflow-based intermittence-safety analysis for EaseC programs.
+//
+// The front-end (sema.h) extracts I/O sites, dependences, blocks, regions, and the
+// per-statement def/use table, but never questions the programmer's annotations: a
+// wrong `Single`, a misused `Exclude`, or an infeasible `Timely(dt)` window compiles
+// cleanly and silently produces stale data, inconsistent NVM, or livelock. This pass
+// audits those annotations over the already-built facts and emits deterministic,
+// severity-ranked findings. The implemented finding classes:
+//
+//   taint-cross-task         a Single/Timely result flows (through locals, __nv
+//                            variables, and DMA copies) into a Single/Timely consumer
+//                            site in *another* task that can re-reach the producer —
+//                            the intra-task dependence rule (Section 3.3.2) cannot
+//                            see the edge, so the freshness contract is silently
+//                            dropped every round. The linear one-shot pipeline idiom
+//                            (the paper's Figure 3/9 weather station) is accepted.
+//   taint-region-escape      a Single result is stored to NV in a later DMA region of
+//                            the same task than the one that produced it; regional
+//                            privatization restores by region, so a partial restore
+//                            re-exposes the stale store.
+//   stale-always-into-single an effective-Always read (no Single/Timely enclosing
+//                            block) flows into a Single/Timely consumer site with no
+//                            depends_on edge — sema's producer tracking loses the
+//                            flow (e.g. through a DMA copy), so a re-executed read
+//                            updates NVM while the consumer's recorded output stays
+//                            stale: the committed state and the emitted output
+//                            disagree.
+//   scope-demotion           a Single/Timely annotation nested under an outermost
+//                            Always block: scope precedence (Section 3.3.1) forces
+//                            the block, silently demoting the annotation to Always.
+//   dma-exclude-unsafe       Exclude on an NV -> volatile copy whose source the CPU
+//                            writes somewhere: regional privatization would protect
+//                            it, Exclude opts out.
+//   dma-bytes-nonliteral     a non-literal byte count on an NV -> NV copy defeats the
+//                            compile-time privatization-budget check.
+//   dma-out-of-bounds        a literal operand range that walks off its __nv array.
+//   dma-overlap              literal src/dst ranges on the same variable intersect.
+//   timely-infeasible        the cycle lower bound from the site to task commit
+//                            exceeds the Timely window: any reboot past the call
+//                            finds the reading already stale, so the annotation
+//                            degrades to Always and repeated failures livelock.
+//   task-exceeds-on-time     the task's straight-line cycle lower bound exceeds the
+//                            capacitor model's worst-case on-time: it can never
+//                            commit on harvested energy.
+//   war-dma-invisible        a DMA writes an __nv variable the task read earlier; the
+//                            baseline compilers' WAR sets (Alpaca/InK) never see DMA
+//                            operands, so the variable is not privatized and a
+//                            re-execution reads the new value.
+//
+// Refutable findings carry a suggested failure schedule plus the runtime to replay it
+// under; witness.h replays them through chk::ReplaySchedule and either attaches a
+// confirmed counterexample or downgrades the finding to advisory.
+
+#ifndef EASEIO_EASEC_LINT_LINT_H_
+#define EASEIO_EASEC_LINT_LINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "easec/program.h"
+
+namespace easeio::easec::lint {
+
+enum class Severity : uint8_t { kAdvisory, kWarning, kError };
+const char* ToString(Severity severity);
+
+enum class WitnessState : uint8_t { kNotAttempted, kConfirmed, kUnconfirmed };
+const char* ToString(WitnessState state);
+
+struct Finding {
+  std::string code;      // stable kebab-case class, e.g. "taint-cross-task"
+  Severity severity = Severity::kWarning;
+  int line = 0;
+  std::string subject;   // the variable / site / task the finding is about
+  std::string message;
+  std::string fixit;     // suggested source change; empty when none applies
+
+  // Refutation protocol (filled by witness.h — empty/default for findings that are
+  // not refutable by a single failure schedule).
+  std::vector<uint64_t> suggested_schedule;  // on-time failure instants, us
+  uint64_t suggested_off_us = 0;             // dark time the schedule needs (0 = default)
+  std::string witness_runtime;               // runtime to replay under, e.g. "easeio"
+  WitnessState witness = WitnessState::kNotAttempted;
+  std::string witness_detail;                // confirmed counterexample / refutation note
+
+  // Anchors for the witness layer (easec analysis indices; not serialized).
+  uint32_t anchor_site = UINT32_MAX;      // producer / flagged site
+  uint32_t anchor_consumer = UINT32_MAX;  // consumer site (taint findings)
+  uint32_t anchor_dma = UINT32_MAX;       // flagged DMA (war-dma-invisible)
+  uint64_t anchor_window_us = 0;          // freshness window the witness must exceed
+};
+
+struct LintOptions {
+  // Privatization budget mirrored from CompileOptions so the DMA audit agrees with
+  // the compile-time check.
+  uint32_t dma_priv_buffer_bytes = 4096;
+};
+
+struct LintResult {
+  // Sorted by (line, code, subject); deterministic for a given program.
+  std::vector<Finding> findings;
+  uint32_t errors = 0;
+  uint32_t warnings = 0;
+  uint32_t advisories = 0;
+};
+
+// Runs every analysis over a successfully compiled program. Pure and deterministic:
+// no simulation, no randomness, byte-identical findings across runs.
+LintResult Lint(const CompileResult& compiled, const LintOptions& options = {});
+
+// Recomputes the severity counters (witness confirmation may downgrade findings).
+void Recount(LintResult& result);
+
+// Human-readable diagnostics: "<source>:<line>: <severity>: <message> [<code>]" with
+// indented fix-it / witness continuation lines.
+std::string RenderText(const LintResult& result, const std::string& source_name);
+
+// The machine-readable `easeio-lint/1` document. Deterministic: byte-identical for
+// identical findings.
+std::string RenderJson(const LintResult& result, const std::string& source_name);
+
+}  // namespace easeio::easec::lint
+
+#endif  // EASEIO_EASEC_LINT_LINT_H_

@@ -1,0 +1,248 @@
+#include "easec/lint/witness.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chk/program_replay.h"
+
+namespace easeio::easec::lint {
+namespace {
+
+using sim::ProbeEvent;
+using sim::ProbeKind;
+
+apps::RuntimeKind KindFromName(const std::string& name) {
+  if (name == "alpaca") return apps::RuntimeKind::kAlpaca;
+  if (name == "ink") return apps::RuntimeKind::kInk;
+  if (name == "samoyed") return apps::RuntimeKind::kSamoyed;
+  if (name == "easeio-op") return apps::RuntimeKind::kEaseioOp;
+  return apps::RuntimeKind::kEaseio;
+}
+
+chk::ProgramReplayConfig BaseConfig(const WitnessOptions& options,
+                                    const std::string& runtime) {
+  chk::ProgramReplayConfig config;
+  config.runtime = KindFromName(runtime);
+  config.seed = options.seed;
+  config.off_us = options.off_us;
+  config.max_on_us = options.max_on_us;
+  config.easeio_priv_buffer_bytes = options.priv_buffer_bytes;
+  return config;
+}
+
+// Golden continuous-power replays, one per runtime actually needed.
+class GoldenCache {
+ public:
+  GoldenCache(const CompileResult& compiled, const WitnessOptions& options)
+      : compiled_(compiled), options_(options) {}
+
+  const chk::ProgramReplayOutput& Get(const std::string& runtime) {
+    auto it = cache_.find(runtime);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(runtime,
+                        chk::ReplaySchedule(compiled_, BaseConfig(options_, runtime), {}))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  const CompileResult& compiled_;
+  const WitnessOptions& options_;
+  std::map<std::string, chk::ProgramReplayOutput> cache_;
+};
+
+// Wall-clock instant of each event: its on-time plus the dark time of every reboot
+// that preceded it.
+std::vector<uint64_t> WallTimes(const std::vector<ProbeEvent>& events) {
+  std::vector<uint64_t> wall(events.size());
+  uint64_t dark = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    wall[i] = events[i].on_us + dark;
+    if (events[i].kind == ProbeKind::kReboot) {
+      dark += events[i].a;
+    }
+  }
+  return wall;
+}
+
+std::optional<uint64_t> FirstOn(const std::vector<ProbeEvent>& events, ProbeKind kind,
+                                uint32_t id) {
+  for (const ProbeEvent& e : events) {
+    if (e.kind == kind && e.id == id) {
+      return e.on_us;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t CountExecs(const std::vector<ProbeEvent>& events, uint32_t site) {
+  size_t n = 0;
+  for (const ProbeEvent& e : events) {
+    n += e.kind == ProbeKind::kIoExec && e.id == site;
+  }
+  return n;
+}
+
+// Largest producer-reading age any consumer execution observed, in wall-clock us.
+std::optional<uint64_t> MaxConsumerAge(const chk::ProgramReplayOutput& run,
+                                       uint32_t producer_site, uint32_t consumer_site) {
+  const std::vector<uint64_t> wall = WallTimes(run.events);
+  std::optional<uint64_t> last_producer;
+  std::optional<uint64_t> max_age;
+  for (size_t i = 0; i < run.events.size(); ++i) {
+    const ProbeEvent& e = run.events[i];
+    if (e.kind != ProbeKind::kIoExec) {
+      continue;
+    }
+    if (e.id == producer_site) {
+      last_producer = wall[i];
+    } else if (e.id == consumer_site && last_producer.has_value()) {
+      const uint64_t age = wall[i] - *last_producer;
+      if (!max_age.has_value() || age > *max_age) {
+        max_age = age;
+      }
+    }
+  }
+  return max_age;
+}
+
+bool NvDiverges(const Program& ast, const chk::ProgramReplayOutput& replay,
+                const chk::ProgramReplayOutput& golden, std::string* detail) {
+  for (size_t i = 0; i < replay.nv_final.size() && i < golden.nv_final.size(); ++i) {
+    if (replay.nv_final[i] != golden.nv_final[i]) {
+      *detail = "committed '" + ast.nv_decls[i].name +
+                "' diverges from the continuous-power run";
+      return true;
+    }
+  }
+  return false;
+}
+
+void Suggest(const CompileResult& compiled, Finding& f, GoldenCache& cache) {
+  const chk::ProgramReplayOutput& golden = cache.Get(f.witness_runtime);
+  const std::vector<ProbeEvent>& events = golden.events;
+
+  if (f.code == "taint-cross-task" && f.anchor_site != UINT32_MAX) {
+    // Park a reboot between the producing task's commit and the consumer, dark long
+    // enough that the reading is older than its window when the consumer transmits.
+    const uint32_t producer_rt = golden.site_ids[f.anchor_site];
+    const uint32_t producer_task = compiled.analysis.sites[f.anchor_site].task;
+    bool seen_exec = false;
+    for (const ProbeEvent& e : events) {
+      if (e.kind == ProbeKind::kIoExec && e.id == producer_rt) {
+        seen_exec = true;
+      }
+      if (seen_exec && e.kind == ProbeKind::kTaskCommit && e.id == producer_task) {
+        f.suggested_schedule = {e.on_us + 1};
+        f.suggested_off_us = std::max(f.suggested_off_us, f.anchor_window_us + 1000);
+        break;
+      }
+    }
+  } else if (f.code == "stale-always-into-single" && f.anchor_consumer != UINT32_MAX) {
+    // Fail right after the locked consumer ran: re-execution re-reads the Always
+    // producer (sensor noise diverges it) and re-commits NVM around the stale lock.
+    if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_consumer])) {
+      f.suggested_schedule = {*on + 1};
+    }
+  } else if (f.code == "scope-demotion" && f.anchor_site != UINT32_MAX) {
+    if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_site])) {
+      f.suggested_schedule = {*on + 1};
+    }
+  } else if (f.code == "timely-infeasible" && f.anchor_site != UINT32_MAX) {
+    // Fail once the reading has aged past its window but the task (whose remaining
+    // lower bound exceeds the window) is still running: re-execution is forced.
+    if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_site])) {
+      f.suggested_schedule = {*on + f.anchor_window_us + 1};
+    }
+  } else if (f.code == "war-dma-invisible" && f.anchor_dma != UINT32_MAX) {
+    if (auto on = FirstOn(events, ProbeKind::kDmaExec, golden.dma_ids[f.anchor_dma])) {
+      f.suggested_schedule = {*on + 1};
+    }
+  }
+}
+
+}  // namespace
+
+void SuggestSchedules(const CompileResult& compiled, LintResult& result,
+                      const WitnessOptions& options) {
+  GoldenCache cache(compiled, options);
+  for (Finding& f : result.findings) {
+    if (!f.witness_runtime.empty() && f.suggested_schedule.empty()) {
+      Suggest(compiled, f, cache);
+    }
+    if (!f.suggested_schedule.empty() && f.suggested_off_us == 0) {
+      f.suggested_off_us = options.off_us;
+    }
+  }
+}
+
+void ConfirmWitnesses(const CompileResult& compiled, LintResult& result,
+                      const WitnessOptions& options) {
+  GoldenCache cache(compiled, options);
+  for (Finding& f : result.findings) {
+    if (f.witness_runtime.empty()) {
+      continue;
+    }
+    if (f.suggested_schedule.empty()) {
+      Suggest(compiled, f, cache);
+    }
+    if (!f.suggested_schedule.empty() && f.suggested_off_us == 0) {
+      f.suggested_off_us = options.off_us;
+    }
+    if (f.suggested_schedule.empty()) {
+      f.witness = WitnessState::kUnconfirmed;
+      f.witness_detail = "no failure instant found in the golden run";
+      f.severity = Severity::kAdvisory;
+      continue;
+    }
+
+    chk::ProgramReplayConfig config = BaseConfig(options, f.witness_runtime);
+    if (f.suggested_off_us > 0) {
+      config.off_us = f.suggested_off_us;
+    }
+    const chk::ProgramReplayOutput replay =
+        chk::ReplaySchedule(compiled, config, f.suggested_schedule);
+    const chk::ProgramReplayOutput& golden = cache.Get(f.witness_runtime);
+
+    bool confirmed = false;
+    std::string detail;
+    if (f.code == "taint-cross-task") {
+      const auto age = MaxConsumerAge(replay, golden.site_ids[f.anchor_site],
+                                      golden.site_ids[f.anchor_consumer]);
+      confirmed = age.has_value() && *age > f.anchor_window_us;
+      if (confirmed) {
+        detail = "consumer transmitted a reading " + std::to_string(*age) +
+                 " us old (window " + std::to_string(f.anchor_window_us) + " us)";
+      }
+    } else if (f.code == "stale-always-into-single" || f.code == "war-dma-invisible") {
+      confirmed = NvDiverges(compiled.ast, replay, golden, &detail);
+    } else if (f.code == "scope-demotion" || f.code == "timely-infeasible") {
+      const size_t golden_execs =
+          CountExecs(golden.events, golden.site_ids[f.anchor_site]);
+      const size_t replay_execs =
+          CountExecs(replay.events, golden.site_ids[f.anchor_site]);
+      confirmed = replay_execs > golden_execs;
+      if (confirmed) {
+        detail = "site executed " + std::to_string(replay_execs) + "x vs " +
+                 std::to_string(golden_execs) + "x under continuous power";
+      }
+    }
+
+    if (confirmed) {
+      f.witness = WitnessState::kConfirmed;
+      f.witness_detail = detail;
+    } else {
+      f.witness = WitnessState::kUnconfirmed;
+      f.witness_detail = "replay did not demonstrate the hazard; downgraded";
+      f.severity = Severity::kAdvisory;
+    }
+  }
+  Recount(result);
+}
+
+}  // namespace easeio::easec::lint

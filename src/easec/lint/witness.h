@@ -1,0 +1,43 @@
+// Witness refutation for easelint findings.
+//
+// A static finding is a claim about run-time behaviour; the strongest diagnostic is
+// one that ships its own counterexample. For every refutable finding class the lint
+// layer anchors the producer/consumer/DMA indices it reasoned about; this layer turns
+// those anchors into concrete failure schedules (derived from a golden
+// continuous-power replay of the same program) and — when asked — replays them
+// through chk::ReplaySchedule, attaching the confirmed counterexample or downgrading
+// the finding to advisory when the simulator refutes it.
+
+#ifndef EASEIO_EASEC_LINT_WITNESS_H_
+#define EASEIO_EASEC_LINT_WITNESS_H_
+
+#include <cstdint>
+
+#include "easec/lint/lint.h"
+
+namespace easeio::easec::lint {
+
+struct WitnessOptions {
+  uint64_t seed = 1;
+  uint64_t off_us = 700;            // default dark time (freshness witnesses widen it)
+  uint64_t max_on_us = 60'000'000;  // non-termination guard per replay
+  uint32_t priv_buffer_bytes = 4096;
+};
+
+// Fills suggested_schedule / suggested_off_us for every refutable finding (those
+// carrying a witness_runtime), deriving the failure instants from a lazily-run golden
+// continuous-power replay per runtime. Non-refutable findings are left untouched.
+// Deterministic for a fixed seed.
+void SuggestSchedules(const CompileResult& compiled, LintResult& result,
+                      const WitnessOptions& options = {});
+
+// Replays each refutable finding's suggested schedule and records the verdict:
+// kConfirmed with a counterexample description, or kUnconfirmed — in which case the
+// finding is downgraded to advisory. Suggests schedules first for findings that do
+// not yet carry one, then recounts the severity totals.
+void ConfirmWitnesses(const CompileResult& compiled, LintResult& result,
+                      const WitnessOptions& options = {});
+
+}  // namespace easeio::easec::lint
+
+#endif  // EASEIO_EASEC_LINT_WITNESS_H_

@@ -76,6 +76,33 @@ class TaskAnalyzer {
     return false;
   }
 
+  // Def/use recording into the current statement's table entry. AddrOf operands are
+  // deliberately not recorded as uses: DMA and peripheral-buffer accesses are tracked
+  // through DmaInfo / IoSiteInfo instead of the CPU def/use lists.
+  void NoteUse(int32_t local, int32_t nv) {
+    if (cur_ == nullptr) {
+      return;
+    }
+    if (local >= 0) {
+      cur_->local_uses.push_back(local);
+    }
+    if (nv >= 0) {
+      cur_->nv_uses.push_back(static_cast<uint32_t>(nv));
+    }
+  }
+
+  void NoteDef(int32_t local, int32_t nv) {
+    if (cur_ == nullptr) {
+      return;
+    }
+    if (local >= 0) {
+      cur_->local_defs.push_back(local);
+    }
+    if (nv >= 0) {
+      cur_->nv_defs.push_back(static_cast<uint32_t>(nv));
+    }
+  }
+
   void NoteNvRead(int32_t nv) {
     if (program_.nv_decls[nv].sram) {
       return;  // volatile staging buffers need no privatization analysis
@@ -110,9 +137,11 @@ class TaskAnalyzer {
         }
         if (expr.nv_index >= 0) {
           NoteNvRead(expr.nv_index);
+          NoteUse(-1, expr.nv_index);
           auto it = nv_producer_.find(expr.nv_index);
           return it == nv_producer_.end() ? UINT32_MAX : it->second;
         }
+        NoteUse(expr.local_slot, -1);
         auto it = local_producer_.find(expr.local_slot);
         return it == local_producer_.end() ? UINT32_MAX : it->second;
       }
@@ -130,6 +159,7 @@ class TaskAnalyzer {
         }
         AnalyzeExpr(*expr.index, allow_call_io);
         NoteNvRead(expr.nv_index);
+        NoteUse(-1, expr.nv_index);
         auto it = nv_producer_.find(expr.nv_index);
         return it == nv_producer_.end() ? UINT32_MAX : it->second;
       }
@@ -234,6 +264,9 @@ class TaskAnalyzer {
     const uint32_t id = static_cast<uint32_t>(analysis_.sites.size());
     analysis_.sites.push_back(std::move(site));
     expr.site_id = id;
+    if (cur_ != nullptr) {
+      cur_->io_sites.push_back(id);
+    }
     return id;
   }
 
@@ -243,7 +276,32 @@ class TaskAnalyzer {
     }
   }
 
+  // Reserves this statement's def/use slot before recursing (pre-order numbering),
+  // collects into a stack-local record while the statement's own expressions are
+  // analyzed — child statements save/restore cur_ around their own collection — and
+  // writes the finished record back at the end (children may have grown the vector).
   void AnalyzeStmt(Stmt& stmt, bool top_level) {
+    const size_t entry_index = analysis_.def_use.size();
+    analysis_.def_use.emplace_back();
+    stmt.stmt_id = static_cast<uint32_t>(entry_index);
+
+    StmtDefUse rec;
+    rec.task = task_index_;
+    rec.line = stmt.line;
+    rec.kind = stmt.kind;
+    rec.block = block_stack_.empty() ? UINT32_MAX : block_stack_.back();
+    rec.region = static_cast<uint32_t>(regions_.size()) - 1;
+    for (const RepeatFrame& frame : repeat_stack_) {
+      rec.repeat_lanes *= frame.count;
+    }
+    StmtDefUse* const saved = cur_;
+    cur_ = &rec;
+    AnalyzeStmtBody(stmt, top_level);
+    cur_ = saved;
+    analysis_.def_use[entry_index] = std::move(rec);
+  }
+
+  void AnalyzeStmtBody(Stmt& stmt, bool top_level) {
     switch (stmt.kind) {
       case StmtKind::kDeclLocal: {
         uint32_t producer = UINT32_MAX;
@@ -251,6 +309,7 @@ class TaskAnalyzer {
           producer = AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
         }
         stmt.local_slot = DefineLocal(stmt.name, stmt.line);
+        NoteDef(stmt.local_slot, -1);
         if (producer != UINT32_MAX) {
           local_producer_[stmt.local_slot] = producer;
         }
@@ -270,6 +329,7 @@ class TaskAnalyzer {
             diags_.Error(stmt.line, 0, "assignment to whole array '" + stmt.name + "'");
           }
           NoteNvWrite(stmt.nv_index);
+          NoteDef(-1, stmt.nv_index);
           if (producer != UINT32_MAX) {
             nv_producer_[stmt.nv_index] = producer;
           } else if (!is_array) {
@@ -282,6 +342,7 @@ class TaskAnalyzer {
           if (stmt.index != nullptr) {
             diags_.Error(stmt.line, 0, "cannot subscript local '" + stmt.name + "'");
           }
+          NoteDef(stmt.local_slot, -1);
           if (producer != UINT32_MAX) {
             local_producer_[stmt.local_slot] = producer;
           } else {
@@ -306,6 +367,7 @@ class TaskAnalyzer {
             stmt.name.empty() ? "$repeat" + std::to_string(repeat_counter_id_++) : stmt.name;
         const int32_t counter = DefineLocal(counter_name, stmt.line);
         stmt.local_slot = counter;
+        NoteDef(counter, -1);
         repeat_stack_.push_back({static_cast<uint32_t>(stmt.value->int_value), counter});
         AnalyzeStmts(stmt.body, /*top_level=*/false);
         repeat_stack_.pop_back();
@@ -354,14 +416,38 @@ class TaskAnalyzer {
         if (stmt.dma_dst->nv_index >= 0) {
           dma.dst_sram = program_.nv_decls[stmt.dma_dst->nv_index].sram;
         }
+        auto resolve_operand = [](const ExprPtr& e, int32_t* nv, int64_t* offset) {
+          *nv = e->nv_index;
+          if (e->index == nullptr) {
+            *offset = 0;
+          } else if (e->index->kind == ExprKind::kIntLit) {
+            *offset = e->index->int_value;
+          } else {
+            *offset = -1;
+          }
+        };
+        resolve_operand(stmt.dma_src, &dma.src_nv, &dma.src_offset);
+        resolve_operand(stmt.dma_dst, &dma.dst_nv, &dma.dst_offset);
+        dma.bytes_literal = stmt.dma_bytes->kind == ExprKind::kIntLit;
         const uint32_t id = static_cast<uint32_t>(analysis_.dmas.size());
         analysis_.dmas.push_back(dma);
         stmt.dma_id = id;
+        if (cur_ != nullptr) {
+          cur_->dma = id;
+        }
         regions_.emplace_back();  // a DMA opens the next region
         break;
       }
       case StmtKind::kNextTask:
         ++analysis_.tasks[task_index_].next_candidates;
+        if (cur_ != nullptr) {
+          for (uint32_t t = 0; t < program_.tasks.size(); ++t) {
+            if (program_.tasks[t].name == stmt.target_task) {
+              cur_->target_task = t;
+              break;
+            }
+          }
+        }
         break;
       case StmtKind::kEndTask:
         break;
@@ -370,6 +456,9 @@ class TaskAnalyzer {
         break;
       case StmtKind::kDelay:
         AnalyzeExpr(*stmt.value, /*allow_call_io=*/false);
+        if (cur_ != nullptr && stmt.value->kind == ExprKind::kIntLit) {
+          cur_->delay_cycles = static_cast<uint64_t>(stmt.value->int_value);
+        }
         break;
     }
   }
@@ -396,6 +485,7 @@ class TaskAnalyzer {
   std::set<uint32_t> read_before_write_;
   std::set<uint32_t> war_;
   int repeat_counter_id_ = 0;
+  StmtDefUse* cur_ = nullptr;  // def/use record of the statement being analyzed
 };
 
 }  // namespace

@@ -67,6 +67,15 @@ struct DmaInfo {
   uint32_t bytes = 0;                // literal byte count (0 when not a literal)
   bool src_sram = false;
   bool dst_sram = false;
+
+  // Operand resolution for the static analyses (easelint): the __nv declaration each
+  // address names, the literal element offset of the subscript (-1 when the subscript
+  // is not a literal), and whether the byte count was a compile-time literal.
+  int32_t src_nv = -1;
+  int32_t dst_nv = -1;
+  int64_t src_offset = -1;
+  int64_t dst_offset = -1;
+  bool bytes_literal = false;
 };
 
 struct TaskInfo {
@@ -79,11 +88,35 @@ struct TaskInfo {
   uint32_t next_candidates = 0;  // number of next_task statements (for validation)
 };
 
+// One entry per statement, appended in pre-order within each task (all of a task's
+// entries are contiguous). This is the def/use table the easelint dataflow analyses
+// run over: which locals and __nv variables a statement reads and writes on the CPU,
+// which I/O sites its expressions evaluate, and where it sits in the task's block /
+// region / repeat structure. Unlike TaskInfo's privatization sets, the nv_uses /
+// nv_defs lists *include* __sram staging variables — taint must flow through them.
+struct StmtDefUse {
+  uint32_t task = 0;
+  int line = 0;
+  StmtKind kind = StmtKind::kEndTask;
+  uint32_t block = UINT32_MAX;        // innermost enclosing easec block, or none
+  uint32_t region = 0;                // region index the statement executes in
+  uint32_t repeat_lanes = 1;          // product of enclosing repeat counts
+  uint32_t target_task = UINT32_MAX;  // kNextTask: successor task index
+  std::vector<int32_t> local_uses;
+  std::vector<int32_t> local_defs;
+  std::vector<uint32_t> nv_uses;      // CPU reads (incl. __sram)
+  std::vector<uint32_t> nv_defs;      // CPU writes (incl. __sram)
+  std::vector<uint32_t> io_sites;     // sites evaluated in this statement's own exprs
+  uint32_t dma = UINT32_MAX;          // kDma: index into Analysis::dmas
+  uint64_t delay_cycles = 0;          // kDelay: literal operand (0 when not literal)
+};
+
 struct Analysis {
   std::vector<IoSiteInfo> sites;
   std::vector<BlockInfo> blocks;
   std::vector<DmaInfo> dmas;
   std::vector<TaskInfo> tasks;
+  std::vector<StmtDefUse> def_use;
   // Worst-case bytes the runtime will carve from the DMA privatization buffer
   // (the sum of all non-excluded NV -> volatile transfer sizes).
   uint32_t private_dma_bytes = 0;

@@ -167,5 +167,117 @@ TEST(Errors, DiagnosticsCarryLineNumbers) {
   EXPECT_NE(errors.find("2:"), std::string::npos);  // the error is on line 2
 }
 
+// --- def/use table (easelint's substrate) -------------------------------------------
+
+TEST(DefUse, TableCoversEveryStatementInPreOrder) {
+  const CompileResult r = Compile(R"(
+__nv int16 a;
+__nv int16 b[4];
+__sram int16 s[4];
+task t() {
+  int16 x = a;
+  b[1] = x;
+  _DMA_copy(&s[0], &b[0], 8);
+  a = b[x];
+  next_task(u);
+}
+task u() {
+  end_task;
+}
+)");
+  ASSERT_TRUE(r.ok) << r.errors;
+  const Analysis& an = r.analysis;
+  ASSERT_EQ(an.def_use.size(), 6u);  // five statements in t, one in u
+
+  const StmtDefUse& decl = an.def_use[0];  // int16 x = a;
+  EXPECT_EQ(decl.kind, StmtKind::kDeclLocal);
+  EXPECT_EQ(decl.task, 0u);
+  EXPECT_EQ(decl.region, 0u);
+  EXPECT_EQ(decl.local_defs, (std::vector<int32_t>{0}));
+  EXPECT_EQ(decl.nv_uses, (std::vector<uint32_t>{0}));  // a
+
+  const StmtDefUse& store = an.def_use[1];  // b[1] = x;
+  EXPECT_EQ(store.kind, StmtKind::kAssign);
+  EXPECT_EQ(store.nv_defs, (std::vector<uint32_t>{1}));  // b
+  EXPECT_EQ(store.local_uses, (std::vector<int32_t>{0}));
+
+  const StmtDefUse& dma = an.def_use[2];  // _DMA_copy(&s[0], &b[0], 8);
+  EXPECT_EQ(dma.kind, StmtKind::kDma);
+  ASSERT_EQ(dma.dma, 0u);
+  EXPECT_EQ(an.dmas[0].src_nv, 1);  // b
+  EXPECT_EQ(an.dmas[0].dst_nv, 2);  // s
+  EXPECT_EQ(an.dmas[0].src_offset, 0);
+  EXPECT_EQ(an.dmas[0].dst_offset, 0);
+  EXPECT_TRUE(an.dmas[0].bytes_literal);
+
+  const StmtDefUse& rmw = an.def_use[3];  // a = b[x];  (after the region boundary)
+  EXPECT_EQ(rmw.region, 1u);
+  EXPECT_EQ(rmw.nv_defs, (std::vector<uint32_t>{0}));   // a
+  EXPECT_EQ(rmw.nv_uses, (std::vector<uint32_t>{1}));   // b
+  EXPECT_EQ(rmw.local_uses, (std::vector<int32_t>{0}));
+
+  const StmtDefUse& hop = an.def_use[4];  // next_task(u);
+  EXPECT_EQ(hop.kind, StmtKind::kNextTask);
+  EXPECT_EQ(hop.target_task, 1u);
+
+  EXPECT_EQ(an.def_use[5].task, 1u);
+  EXPECT_EQ(an.def_use[5].kind, StmtKind::kEndTask);
+}
+
+TEST(DefUse, RepeatBlockAndSiteContext) {
+  const CompileResult r = Compile(R"(
+__nv int16 out[4];
+task t() {
+  _IO_block_begin("Single");
+  repeat (i, 4) {
+    int16 v = _call_IO(Temp(), "Timely", 10);
+    out[i] = v;
+  }
+  _IO_block_end;
+  end_task;
+}
+)");
+  ASSERT_TRUE(r.ok) << r.errors;
+  const Analysis& an = r.analysis;
+
+  const StmtDefUse* decl = nullptr;   // int16 v = _call_IO(...)
+  const StmtDefUse* store = nullptr;  // out[i] = v
+  for (const StmtDefUse& e : an.def_use) {
+    if (e.kind == StmtKind::kDeclLocal) decl = &e;
+    if (e.kind == StmtKind::kAssign) store = &e;
+  }
+  ASSERT_NE(decl, nullptr);
+  ASSERT_NE(store, nullptr);
+
+  EXPECT_EQ(decl->io_sites, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(decl->repeat_lanes, 4u);
+  EXPECT_NE(decl->block, UINT32_MAX);  // inside the Single block
+  EXPECT_EQ(store->repeat_lanes, 4u);
+  EXPECT_EQ(store->nv_defs, (std::vector<uint32_t>{0}));
+  // The store reads both the repeat counter and v.
+  EXPECT_EQ(store->local_uses.size(), 2u);
+  EXPECT_TRUE(decl->delay_cycles == 0u);
+}
+
+TEST(DefUse, DelayAndStmtIdLinkage) {
+  CompileResult r = Compile(R"(
+__nv int16 a;
+task t() {
+  delay(1234);
+  a = 1;
+  end_task;
+}
+)");
+  ASSERT_TRUE(r.ok) << r.errors;
+  ASSERT_EQ(r.analysis.def_use.size(), 3u);
+  EXPECT_EQ(r.analysis.def_use[0].kind, StmtKind::kDelay);
+  EXPECT_EQ(r.analysis.def_use[0].delay_cycles, 1234u);
+  // Each AST statement carries the index of its def/use entry.
+  ASSERT_EQ(r.ast.tasks.size(), 1u);
+  for (uint32_t i = 0; i < r.ast.tasks[0].body.size(); ++i) {
+    EXPECT_EQ(r.ast.tasks[0].body[i]->stmt_id, i);
+  }
+}
+
 }  // namespace
 }  // namespace easeio::easec

@@ -1,0 +1,235 @@
+// easelint: golden findings per fixture, zero findings on correct programs,
+// byte-identical machine-readable output, and simulator-confirmed witnesses for the
+// refutable finding classes.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "easec/lint/lint.h"
+#include "easec/lint/witness.h"
+#include "easec/program.h"
+
+namespace easeio::easec::lint {
+namespace {
+
+std::string ReadFixture(const std::string& relative) {
+  const std::string path = std::string(EASEIO_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+CompileResult CompileFixture(const std::string& relative) {
+  CompileResult result = Compile(ReadFixture(relative));
+  EXPECT_TRUE(result.ok) << relative << " failed to compile:\n" << result.errors;
+  return result;
+}
+
+std::vector<std::string> Codes(const LintResult& result) {
+  std::vector<std::string> codes;
+  for (const Finding& f : result.findings) {
+    codes.push_back(f.code);
+  }
+  return codes;
+}
+
+const Finding* FindCode(const LintResult& result, const std::string& code) {
+  for (const Finding& f : result.findings) {
+    if (f.code == code) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Easelint, CleanProgramsHaveZeroFindings) {
+  const char* kClean[] = {
+      "examples/programs/lint/clean_control.ec",
+      "examples/programs/sample_loop.ec",
+      "examples/programs/unsafe_branch.ec",
+      "examples/programs/weather.ec",
+  };
+  for (const char* path : kClean) {
+    const LintResult result = Lint(CompileFixture(path));
+    EXPECT_TRUE(result.findings.empty())
+        << path << " should be clean but got: "
+        << RenderText(result, path);
+    EXPECT_EQ(result.errors + result.warnings + result.advisories, 0u);
+  }
+}
+
+TEST(Easelint, TaintCrossTaskFixture) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/taint_cross_task.ec");
+  const LintResult result = Lint(compiled);
+  EXPECT_EQ(Codes(result),
+            (std::vector<std::string>{"taint-region-escape", "taint-cross-task"}));
+
+  const Finding* cross = FindCode(result, "taint-cross-task");
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(cross->severity, Severity::kWarning);
+  EXPECT_EQ(cross->subject, "Send");
+  EXPECT_EQ(cross->witness_runtime, "easeio");  // Timely producer: refutable
+  EXPECT_NE(cross->anchor_site, UINT32_MAX);
+  EXPECT_NE(cross->anchor_consumer, UINT32_MAX);
+
+  const Finding* escape = FindCode(result, "taint-region-escape");
+  ASSERT_NE(escape, nullptr);
+  EXPECT_EQ(escape->subject, "archive");
+  EXPECT_TRUE(escape->witness_runtime.empty());  // not refutable by one schedule
+}
+
+TEST(Easelint, StaleAlwaysFixture) {
+  const LintResult result =
+      Lint(CompileFixture("examples/programs/lint/stale_always.ec"));
+  EXPECT_EQ(Codes(result), (std::vector<std::string>{"stale-always-into-single",
+                                                     "scope-demotion"}));
+  const Finding* stale = FindCode(result, "stale-always-into-single");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->subject, "Send");
+  const Finding* demoted = FindCode(result, "scope-demotion");
+  ASSERT_NE(demoted, nullptr);
+  EXPECT_EQ(demoted->subject, "Temp");
+}
+
+TEST(Easelint, DmaAuditFixture) {
+  const LintResult result = Lint(CompileFixture("examples/programs/lint/dma_audit.ec"));
+  EXPECT_EQ(Codes(result),
+            (std::vector<std::string>{"dma-exclude-unsafe", "dma-bytes-nonliteral",
+                                      "dma-overlap", "dma-out-of-bounds"}));
+  EXPECT_EQ(result.errors, 2u);    // overlap, out-of-bounds
+  EXPECT_EQ(result.warnings, 2u);  // exclude, non-literal bytes
+  const Finding* oob = FindCode(result, "dma-out-of-bounds");
+  ASSERT_NE(oob, nullptr);
+  EXPECT_EQ(oob->subject, "small");
+  EXPECT_EQ(oob->severity, Severity::kError);
+  // None of the DMA contract violations are refutable by a failure schedule.
+  for (const Finding& f : result.findings) {
+    EXPECT_TRUE(f.witness_runtime.empty()) << f.code;
+  }
+}
+
+TEST(Easelint, TimelyWindowFixture) {
+  const LintResult result =
+      Lint(CompileFixture("examples/programs/lint/timely_window.ec"));
+  EXPECT_EQ(Codes(result), (std::vector<std::string>{"timely-infeasible",
+                                                     "task-exceeds-on-time"}));
+  const Finding* infeasible = FindCode(result, "timely-infeasible");
+  ASSERT_NE(infeasible, nullptr);
+  EXPECT_EQ(infeasible->severity, Severity::kError);
+  EXPECT_EQ(infeasible->anchor_window_us, 2000u);
+  const Finding* budget = FindCode(result, "task-exceeds-on-time");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_EQ(budget->subject, "grind");
+  EXPECT_TRUE(budget->witness_runtime.empty());
+}
+
+TEST(Easelint, WarDmaFixture) {
+  const LintResult result = Lint(CompileFixture("examples/programs/lint/war_dma.ec"));
+  EXPECT_EQ(Codes(result), (std::vector<std::string>{"war-dma-invisible"}));
+  EXPECT_EQ(result.findings[0].subject, "history");
+  EXPECT_EQ(result.findings[0].witness_runtime, "alpaca");
+}
+
+TEST(Easelint, FindingsAndJsonAreByteIdenticalAcrossRuns) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/taint_cross_task.ec");
+  LintResult first = Lint(compiled);
+  LintResult second = Lint(compiled);
+  SuggestSchedules(compiled, first);
+  SuggestSchedules(compiled, second);
+  const std::string json_a = RenderJson(first, "fixture");
+  const std::string json_b = RenderJson(second, "fixture");
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_NE(json_a.find("\"schema\":\"easeio-lint/1\""), std::string::npos);
+  EXPECT_EQ(RenderText(first, "fixture"), RenderText(second, "fixture"));
+}
+
+TEST(Easelint, SuggestSchedulesFillsRefutableFindings) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/stale_always.ec");
+  LintResult result = Lint(compiled);
+  SuggestSchedules(compiled, result);
+  for (const Finding& f : result.findings) {
+    ASSERT_FALSE(f.witness_runtime.empty()) << f.code;
+    EXPECT_EQ(f.suggested_schedule.size(), 1u) << f.code;
+    EXPECT_GT(f.suggested_off_us, 0u) << f.code;
+    EXPECT_EQ(f.witness, WitnessState::kNotAttempted) << f.code;
+  }
+}
+
+// The acceptance bar: at least the taint and Timely finding classes must come with
+// simulator-confirmed counterexamples, not just static claims.
+TEST(Easelint, WitnessConfirmsCrossTaskTaint) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/taint_cross_task.ec");
+  LintResult result = Lint(compiled);
+  ConfirmWitnesses(compiled, result);
+  const Finding* cross = FindCode(result, "taint-cross-task");
+  ASSERT_NE(cross, nullptr);
+  EXPECT_EQ(cross->witness, WitnessState::kConfirmed) << cross->witness_detail;
+  EXPECT_EQ(cross->severity, Severity::kWarning);  // confirmed: not downgraded
+  EXPECT_NE(cross->witness_detail.find("window"), std::string::npos);
+}
+
+TEST(Easelint, WitnessConfirmsTimelyInfeasible) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/timely_window.ec");
+  LintResult result = Lint(compiled);
+  ConfirmWitnesses(compiled, result);
+  const Finding* infeasible = FindCode(result, "timely-infeasible");
+  ASSERT_NE(infeasible, nullptr);
+  EXPECT_EQ(infeasible->witness, WitnessState::kConfirmed) << infeasible->witness_detail;
+  EXPECT_EQ(infeasible->severity, Severity::kError);
+}
+
+TEST(Easelint, WitnessConfirmsStaleAndDemotionAndWar) {
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/stale_always.ec");
+    LintResult result = Lint(compiled);
+    ConfirmWitnesses(compiled, result);
+    EXPECT_EQ(FindCode(result, "stale-always-into-single")->witness,
+              WitnessState::kConfirmed);
+    EXPECT_EQ(FindCode(result, "scope-demotion")->witness, WitnessState::kConfirmed);
+  }
+  {
+    const CompileResult compiled = CompileFixture("examples/programs/lint/war_dma.ec");
+    LintResult result = Lint(compiled);
+    ConfirmWitnesses(compiled, result);
+    EXPECT_EQ(FindCode(result, "war-dma-invisible")->witness, WitnessState::kConfirmed);
+  }
+}
+
+TEST(Easelint, RecountTracksDowngrades) {
+  LintResult result;
+  Finding f;
+  f.code = "x";
+  f.severity = Severity::kError;
+  result.findings.push_back(f);
+  f.severity = Severity::kWarning;
+  result.findings.push_back(f);
+  Recount(result);
+  EXPECT_EQ(result.errors, 1u);
+  EXPECT_EQ(result.warnings, 1u);
+  result.findings[0].severity = Severity::kAdvisory;
+  Recount(result);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.advisories, 1u);
+}
+
+TEST(Easelint, LintRejectsNothingOnFailedCompile) {
+  const CompileResult bad = Compile("task t() { int16 x = ghost; end_task; }");
+  ASSERT_FALSE(bad.ok);
+  const LintResult result = Lint(bad);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+}  // namespace
+}  // namespace easeio::easec::lint

@@ -1,0 +1,84 @@
+// Shared command-line parsing helpers for the easeio tools.
+//
+// Every tool takes `--flag=value` arguments; these helpers give them one strict,
+// shared implementation: whole-string numeric parsing (no sign, no trailing garbage,
+// range-checked — bare strtoull with no end-pointer check used to silently accept
+// "7junk" and out-of-range values) and at-most-once flag occurrence (last-one-wins
+// duplicates have bitten scripted sweeps before). Violations are usage errors: the
+// caller prints usage and exits 2.
+
+#ifndef EASEIO_TOOLS_CLI_FLAGS_H_
+#define EASEIO_TOOLS_CLI_FLAGS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+namespace easeio::tools {
+
+// Parses a base-10 unsigned integer occupying the whole string within [min, max].
+// On failure prints an error naming the tool and flag, and returns false.
+inline bool ParseUintFlag(const char* tool, const char* flag, const char* s,
+                          uint64_t min, uint64_t max, uint64_t* out) {
+  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
+  char* end = nullptr;
+  unsigned long long v = 0;
+  if (ok) {
+    errno = 0;
+    v = std::strtoull(s, &end, 10);
+    ok = errno == 0 && end != s && *end == '\0' && v >= min && v <= max;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "%s: invalid %s value '%s' (expected integer in [%llu, %llu])\n",
+                 tool, flag, s == nullptr ? "" : s, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+// Parses a non-negative decimal number occupying the whole string.
+inline bool ParseDoubleFlag(const char* tool, const char* flag, const char* s,
+                            double* out) {
+  char* end = nullptr;
+  const double v = s != nullptr ? std::strtod(s, &end) : 0.0;
+  if (s == nullptr || *s == '\0' || end == s || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s: invalid %s value '%s'\n", tool, flag,
+                 s == nullptr ? "" : s);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Tracks "--" flag occurrences so each may appear at most once. The key is the flag
+// name alone ("--json", not "--json=a.json"), so `--json=a --json=b` is caught
+// rather than resolved last-one-wins.
+class FlagDeduper {
+ public:
+  explicit FlagDeduper(const char* tool) : tool_(tool) {}
+
+  // Call for each "--" argument (callers typically exempt "--help"); returns false
+  // and prints the error when the flag was already seen.
+  bool Note(const std::string& arg) {
+    const std::string key = arg.substr(0, arg.find('='));
+    if (!seen_.insert(key).second) {
+      std::fprintf(stderr, "%s: duplicated flag '%s'\n", tool_, key.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const char* tool_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace easeio::tools
+
+#endif  // EASEIO_TOOLS_CLI_FLAGS_H_

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "apps/runtime_factory.h"
+#include "cli_flags.h"
 #include "easec/program.h"
 #include "kernel/engine.h"
 #include "sim/failure.h"
@@ -153,8 +154,12 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   easec::CompileOptions options;
 
+  tools::FlagDeduper dedupe("easec");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && !dedupe.Note(arg)) {
+      return 2;
+    }
     if (arg == "--emit-transform") {
       emit_transform = true;
     } else if (arg == "--emit-analysis") {
@@ -166,12 +171,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--continuous") {
       continuous = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      if (!tools::ParseUintFlag("easec", "--seed", arg.c_str() + 7, 0, UINT64_MAX,
+                                &seed)) {
+        return 2;
+      }
     } else if (arg.rfind("--priv-buffer=", 0) == 0) {
-      options.dma_priv_buffer_bytes =
-          static_cast<uint32_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+      uint64_t bytes = 0;
+      if (!tools::ParseUintFlag("easec", "--priv-buffer", arg.c_str() + 14, 0,
+                                UINT32_MAX, &bytes)) {
+        return 2;
+      }
+      options.dma_priv_buffer_bytes = static_cast<uint32_t>(bytes);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "easec: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else if (!input_path.empty()) {
+      std::fprintf(stderr, "easec: more than one input file\n");
       return 2;
     } else {
       input_path = arg;

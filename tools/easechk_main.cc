@@ -36,18 +36,16 @@
 // silently keeping the last occurrence has bitten scripted sweeps before.
 
 #include <cctype>
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "chk/explorer.h"
+#include "cli_flags.h"
 #include "obs/capture.h"
 #include "obs/timeline.h"
 #include "report/table.h"
@@ -56,27 +54,9 @@ namespace {
 
 using namespace easeio;
 
-// Parses a base-10 unsigned integer occupying the whole string (no sign, no trailing
-// garbage) within [min, max]. On failure prints a usage error naming the flag and
-// returns false; bare std::atoi here used to silently accept "2x" and "99999999999".
 bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
                    uint64_t* out) {
-  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
-  char* end = nullptr;
-  unsigned long long v = 0;
-  if (ok) {
-    errno = 0;
-    v = std::strtoull(s, &end, 10);
-    ok = errno == 0 && end != s && *end == '\0' && v >= min && v <= max;
-  }
-  if (!ok) {
-    std::fprintf(stderr, "easechk: invalid %s value '%s' (expected integer in [%llu, %llu])\n",
-                 flag, s == nullptr ? "" : s, static_cast<unsigned long long>(min),
-                 static_cast<unsigned long long>(max));
-    return false;
-  }
-  *out = static_cast<uint64_t>(v);
-  return true;
+  return tools::ParseUintFlag("easechk", flag, s, min, max, out);
 }
 
 bool ParseApps(const std::string& name, std::vector<apps::AppKind>* out) {
@@ -152,7 +132,7 @@ int main(int argc, char** argv) {
   bool trace_failures = false;
   bool expect_clean = false;
 
-  std::set<std::string> seen_flags;
+  tools::FlagDeduper dedupe("easechk");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {
@@ -160,15 +140,9 @@ int main(int argc, char** argv) {
                  ? arg.c_str() + std::strlen(prefix)
                  : nullptr;
     };
-    // Every flag may appear once. The key is the flag name alone ("--json", not
-    // "--json=a.json"), so `--json=a.json --json=b.json` is caught, not last-one-wins.
-    if (arg.rfind("--", 0) == 0 && arg != "--help") {
-      const std::string key = arg.substr(0, arg.find('='));
-      if (!seen_flags.insert(key).second) {
-        std::fprintf(stderr, "easechk: duplicated flag '%s'\n", key.c_str());
-        PrintUsage(stderr);
-        return 2;
-      }
+    if (arg.rfind("--", 0) == 0 && arg != "--help" && !dedupe.Note(arg)) {
+      PrintUsage(stderr);
+      return 2;
     }
     if (const char* v = value("--app=")) {
       if (!ParseApps(v, &app_list)) {

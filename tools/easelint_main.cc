@@ -1,0 +1,164 @@
+// easelint — intermittence-safety lint for EaseC programs.
+//
+// Compiles the program, runs the easelint dataflow analyses (I/O taint propagation,
+// stale-on-reexecution, DMA classification audit, Timely feasibility, baseline WAR
+// gaps — see src/easec/lint/lint.h for the finding classes), and prints deterministic
+// severity-ranked diagnostics. Refutable findings carry a suggested failure schedule;
+// --witness replays each suggestion in the simulator and either attaches the
+// confirmed counterexample or downgrades the finding to advisory.
+//
+// Usage:
+//   easelint [options] <source.ec>
+//   easelint [options] -           # read the program from stdin
+//
+// Options:
+//   --json[=PATH]     emit the machine-readable easeio-lint/1 document instead of
+//                     (bare --json) or in addition to (--json=PATH) the text report
+//   --witness         replay every suggested failure schedule and record the verdict
+//   --seed=<n>        simulator seed for schedule suggestion / replay (default 1)
+//   --off-us=<n>      default dark time per injected failure (default 700)
+//   --priv-buffer=<n> DMA privatization budget in bytes (default 4096; 0 disables
+//                     the compile-time check)
+//
+// Exit status: 0 = no findings above advisory, 1 = errors or warnings remain,
+// 2 = usage error or the program failed to compile.
+//
+// Each flag may appear at most once; duplicates are usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli_flags.h"
+#include "easec/lint/lint.h"
+#include "easec/lint/witness.h"
+#include "easec/program.h"
+
+namespace {
+
+using namespace easeio;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: easelint [--json[=PATH]] [--witness] [--seed=N] [--off-us=N]\n"
+               "                [--priv-buffer=N] <source.ec | ->\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json_stdout = false;
+  bool witness = false;
+  std::string json_path;
+  std::string input_path;
+  easec::CompileOptions compile_options;
+  easec::lint::WitnessOptions witness_options;
+
+  tools::FlagDeduper dedupe("easelint");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && arg != "--help") {
+      if (!dedupe.Note(arg)) {
+        PrintUsage(stderr);
+        return 2;
+      }
+    }
+    if (arg == "--json") {
+      json_stdout = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        std::fprintf(stderr, "easelint: --json= requires a path\n");
+        return 2;
+      }
+    } else if (arg == "--witness") {
+      witness = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!tools::ParseUintFlag("easelint", "--seed", arg.c_str() + 7, 0, UINT64_MAX,
+                                &witness_options.seed)) {
+        return 2;
+      }
+    } else if (arg.rfind("--off-us=", 0) == 0) {
+      if (!tools::ParseUintFlag("easelint", "--off-us", arg.c_str() + 9, 0, UINT64_MAX,
+                                &witness_options.off_us)) {
+        return 2;
+      }
+    } else if (arg.rfind("--priv-buffer=", 0) == 0) {
+      uint64_t bytes = 0;
+      if (!tools::ParseUintFlag("easelint", "--priv-buffer", arg.c_str() + 14, 0,
+                                UINT32_MAX, &bytes)) {
+        return 2;
+      }
+      compile_options.dma_priv_buffer_bytes = static_cast<uint32_t>(bytes);
+      witness_options.priv_buffer_bytes = static_cast<uint32_t>(bytes);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "easelint: unknown option '%s' (try --help)\n", arg.c_str());
+      return 2;
+    } else if (!input_path.empty()) {
+      std::fprintf(stderr, "easelint: more than one input file\n");
+      PrintUsage(stderr);
+      return 2;
+    } else {
+      input_path = arg;
+    }
+  }
+  if (input_path.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  std::string source;
+  std::string source_name = input_path;
+  if (input_path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    source = buf.str();
+    source_name = "<stdin>";
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "easelint: cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  const easec::CompileResult compiled = easec::Compile(source, compile_options);
+  if (!compiled.ok) {
+    std::fprintf(stderr, "%s", compiled.errors.c_str());
+    return 2;
+  }
+
+  easec::lint::LintOptions lint_options;
+  lint_options.dma_priv_buffer_bytes = compile_options.dma_priv_buffer_bytes;
+  easec::lint::LintResult result = easec::lint::Lint(compiled, lint_options);
+  if (witness) {
+    easec::lint::ConfirmWitnesses(compiled, result, witness_options);
+  } else {
+    easec::lint::SuggestSchedules(compiled, result, witness_options);
+  }
+
+  const std::string json = easec::lint::RenderJson(result, source_name);
+  if (json_stdout) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::printf("%s", easec::lint::RenderText(result, source_name).c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out || !(out << json << "\n")) {
+      std::fprintf(stderr, "easelint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
+  return result.errors + result.warnings > 0 ? 1 : 0;
+}

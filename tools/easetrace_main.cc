@@ -30,15 +30,13 @@
 // At least one of --trace-out/--profile-out is required. Each flag may appear at
 // most once. Observation is free: the run is bit-identical to an uninstrumented one.
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <set>
 #include <string>
 
+#include "cli_flags.h"
 #include "obs/capture.h"
 #include "obs/profile.h"
 #include "obs/timeline.h"
@@ -49,34 +47,11 @@ using namespace easeio;
 
 bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
                    uint64_t* out) {
-  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
-  char* end = nullptr;
-  unsigned long long v = 0;
-  if (ok) {
-    errno = 0;
-    v = std::strtoull(s, &end, 10);
-    ok = errno == 0 && end != s && *end == '\0' && v >= min && v <= max;
-  }
-  if (!ok) {
-    std::fprintf(stderr,
-                 "easetrace: invalid %s value '%s' (expected integer in [%llu, %llu])\n",
-                 flag, s == nullptr ? "" : s, static_cast<unsigned long long>(min),
-                 static_cast<unsigned long long>(max));
-    return false;
-  }
-  *out = static_cast<uint64_t>(v);
-  return true;
+  return tools::ParseUintFlag("easetrace", flag, s, min, max, out);
 }
 
 bool ParseDoubleFlag(const char* flag, const char* s, double* out) {
-  char* end = nullptr;
-  const double v = s != nullptr ? std::strtod(s, &end) : 0.0;
-  if (s == nullptr || *s == '\0' || end == s || *end != '\0' || v < 0) {
-    std::fprintf(stderr, "easetrace: invalid %s value '%s'\n", flag, s == nullptr ? "" : s);
-    return false;
-  }
-  *out = v;
-  return true;
+  return tools::ParseDoubleFlag("easetrace", flag, s, out);
 }
 
 bool ParseApp(const std::string& name, apps::AppKind* out) {
@@ -137,7 +112,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string profile_path;
 
-  std::set<std::string> seen_flags;
+  tools::FlagDeduper dedupe("easetrace");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {
@@ -145,13 +120,9 @@ int main(int argc, char** argv) {
                  ? arg.c_str() + std::strlen(prefix)
                  : nullptr;
     };
-    if (arg.rfind("--", 0) == 0 && arg != "--help") {
-      const std::string key = arg.substr(0, arg.find('='));
-      if (!seen_flags.insert(key).second) {
-        std::fprintf(stderr, "easetrace: duplicated flag '%s'\n", key.c_str());
-        PrintUsage(stderr);
-        return 2;
-      }
+    if (arg.rfind("--", 0) == 0 && arg != "--help" && !dedupe.Note(arg)) {
+      PrintUsage(stderr);
+      return 2;
     }
     if (const char* v = value("--app=")) {
       if (!ParseApp(v, &config.app)) {
