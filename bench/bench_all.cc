@@ -37,7 +37,7 @@ const char* const kArtifacts[] = {
     "table1_features",   "table3_appstats",     "table4_reexec",
     "table5_dnn_buffers", "table6_memory",      "ablation_regional",
     "ablation_timekeeper", "sweep_failure_rate", "ext_samoyed",
-    "ext_trace",         "micro_overheads",
+    "ext_trace",         "daemon_throughput",   "micro_overheads",
 };
 
 bool Skipped(const std::vector<std::string>& skips, const char* artifact) {
@@ -77,18 +77,21 @@ int Main(int argc, char** argv) {
   int64_t jobs = -1;
   std::string out_path = "BENCH_SUMMARY.json";
   std::vector<std::string> skips;
+  tools::FlagDeduper dedupe(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     uint64_t v = 0;
+    if (std::strcmp(arg, "--help") != 0 && std::strcmp(arg, "-h") != 0 &&
+        !dedupe.Note(arg)) {
+      return 2;
+    }
     if (std::strncmp(arg, "--runs=", 7) == 0) {
-      if (!ParseUintFull(arg + 7, 1, 1'000'000, &v)) {
-        std::fprintf(stderr, "%s: invalid --runs value '%s'\n", argv[0], arg + 7);
+      if (!tools::ParseUintFlag(argv[0], "--runs", arg + 7, 1, 1'000'000, &v)) {
         return 2;
       }
       runs = static_cast<int64_t>(v);
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      if (!ParseUintFull(arg + 7, 0, 4096, &v)) {
-        std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", argv[0], arg + 7);
+      if (!tools::ParseUintFlag(argv[0], "--jobs", arg + 7, 0, 4096, &v)) {
         return 2;
       }
       jobs = static_cast<int64_t>(v);

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "cli_flags.h"
 #include "report/experiment.h"
 #include "report/json.h"
 #include "report/table.h"
@@ -102,32 +103,34 @@ inline uint32_t SweepJobs() {
 }
 
 // Shared flag parsing for every bench binary: --runs=N and --jobs=N override the
-// environment; anything else is a usage error (exit 2).
+// environment, each at most once (tools::FlagDeduper); values go through the strict
+// shared parser in tools/cli_flags.h. Anything else is a usage error (exit 2).
 inline void ParseBenchArgs(int argc, char** argv) {
+  tools::FlagDeduper dedupe(argv[0]);
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     uint64_t v = 0;
-    if (std::strncmp(arg, "--runs=", 7) == 0) {
-      if (!ParseUintFull(arg + 7, 1, 1'000'000, &v)) {
-        std::fprintf(stderr, "%s: invalid --runs value '%s' (expected integer in [1, 1000000])\n",
-                     argv[0], arg + 7);
-        std::exit(2);
-      }
-      internal::g_runs_override = static_cast<int64_t>(v);
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      if (!ParseUintFull(arg + 7, 0, 4096, &v)) {
-        std::fprintf(stderr, "%s: invalid --jobs value '%s' (expected integer in [0, 4096])\n",
-                     argv[0], arg + 7);
-        std::exit(2);
-      }
-      internal::g_jobs_override = static_cast<int64_t>(v);
-    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::printf("usage: %s [--runs=N] [--jobs=N]\n"
                   "  --runs  sweep size per cell (env EASEIO_BENCH_RUNS)\n"
                   "  --jobs  sweep worker threads, 0 = hardware concurrency "
                   "(env EASEIO_BENCH_JOBS)\n",
                   argv[0]);
       std::exit(0);
+    }
+    if (!dedupe.Note(arg)) {
+      std::exit(2);
+    }
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      if (!tools::ParseUintFlag(argv[0], "--runs", arg + 7, 1, 1'000'000, &v)) {
+        std::exit(2);
+      }
+      internal::g_runs_override = static_cast<int64_t>(v);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (!tools::ParseUintFlag(argv[0], "--jobs", arg + 7, 0, 4096, &v)) {
+        std::exit(2);
+      }
+      internal::g_jobs_override = static_cast<int64_t>(v);
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg);
       std::exit(2);

@@ -1,0 +1,112 @@
+// Daemon result-cache throughput: cold (every job simulated) vs warm (every job a
+// content-hash cache hit) jobs/sec through an in-process JobRunner — the daemon's
+// worker pool and cache with the socket layer factored out. The warm path must be at
+// least 10x the cold path (the point of content-addressed caching); the binary exits
+// non-zero otherwise, so the grid run enforces it.
+//
+//   --runs=N  distinct trace jobs per phase (default 64; env EASEIO_BENCH_RUNS)
+//   --jobs=N  runner worker threads (default 0 = hardware concurrency)
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "daemon/cache.h"
+#include "daemon/runner.h"
+
+namespace easeio::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  ParseBenchArgs(argc, argv);
+  const uint32_t n = SweepRuns(64);
+  const uint32_t workers = SweepJobs();
+
+  PrintHeader("daemon_throughput", "easeiod cache: warm vs cold jobs/sec");
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() /
+      ("easeiod-bench-" + std::to_string(getpid()));
+  daemon::ResultCache cache(cache_dir.string(), /*cap_bytes=*/0);
+
+  std::atomic<uint64_t> finished{0};
+  daemon::JobRunner::Options options;
+  options.workers = workers;
+  daemon::JobRunner runner(&cache, options, [&finished](const daemon::JobEvent& event) {
+    if (event.state == "done" || event.state == "failed") {
+      finished.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  runner.Start();
+
+  // Distinct specs (the seed is a cache-key component), so the cold phase simulates
+  // every job and the warm phase hits every one. Each job is a small sweep — the
+  // daemon's typical unit of work, heavy enough that cold time is simulation, not
+  // queueing.
+  std::vector<daemon::JobSpec> specs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    specs[i].kind = daemon::JobKind::kSweep;
+    specs[i].apps = {apps::AppKind::kTemp};
+    specs[i].runtimes = {apps::RuntimeKind::kEaseio};
+    specs[i].runs = 10;
+    specs[i].seed = 1 + static_cast<uint64_t>(i) * specs[i].runs;
+  }
+
+  const auto run_phase = [&](const char* label) {
+    const uint64_t before = finished.load(std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    for (const daemon::JobSpec& spec : specs) {
+      runner.Submit(spec);
+    }
+    while (finished.load(std::memory_order_relaxed) - before < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const double jps = wall > 0 ? n / wall : 0.0;
+    std::printf("  %-6s %5u jobs in %8.3f s  (%10.1f jobs/s)\n", label, n, wall, jps);
+    return jps;
+  };
+
+  const double cold_jps = run_phase("cold");
+  const double warm_jps = run_phase("warm");
+  const double speedup = cold_jps > 0 ? warm_jps / cold_jps : 0.0;
+  std::printf("  warm/cold speedup: %.1fx\n", speedup);
+
+  const daemon::CacheStats stats = cache.Stats();
+  runner.Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+
+  BenchEmitter emitter("daemon_throughput", "easeiod cache: warm vs cold jobs/sec");
+  emitter.SetSweep(n, workers);
+  emitter.AddMetrics({{"stage", "cold"}}, {{"jobs_per_sec", cold_jps}}, n);
+  emitter.AddMetrics({{"stage", "warm"}}, {{"jobs_per_sec", warm_jps}});
+  emitter.AddMetrics({{"stage", "speedup"}},
+                     {{"warm_over_cold", speedup},
+                      {"cache_hits", static_cast<double>(stats.hits)},
+                      {"cache_misses", static_cast<double>(stats.misses)}});
+  if (!emitter.Write()) {
+    return 1;
+  }
+
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "bench_daemon_throughput: warm/cold speedup %.1fx is below the 10x "
+                 "floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace easeio::bench
+
+int main(int argc, char** argv) { return easeio::bench::Main(argc, argv); }

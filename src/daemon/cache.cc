@@ -1,0 +1,203 @@
+#include "daemon/cache.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "daemon/fsio.h"
+
+namespace easeio::daemon {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsHexHash(const std::string& s) {
+  if (s.size() != 64) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const std::string& dir, uint64_t cap_bytes)
+    : dir_(dir), cap_bytes_(cap_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_ + "/objects", ec);
+  Load();
+}
+
+std::string ResultCache::ObjectPath(const std::string& hash) const {
+  return dir_ + "/objects/" + hash + ".json";
+}
+
+void ResultCache::Load() {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::ifstream index(dir_ + "/index.tsv");
+  std::string line;
+  while (index && std::getline(index, line)) {
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == '\t') {
+        fields.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (fields.size() != 4) {
+      continue;
+    }
+    Entry entry;
+    if (!IsHexHash(fields[0]) || !ParseU64(fields[1], &entry.bytes) ||
+        !ParseU64(fields[2], &entry.seq)) {
+      continue;
+    }
+    entry.kind = fields[3];
+    // Trust-but-verify: only admit entries whose object is present with the recorded
+    // size (a torn write leaves a short file).
+    std::error_code ec;
+    const uint64_t on_disk = fs::file_size(ObjectPath(fields[0]), ec);
+    if (ec || on_disk != entry.bytes) {
+      continue;
+    }
+    const auto [it, inserted] = entries_.emplace(fields[0], entry);
+    if (inserted) {
+      total_bytes_ += entry.bytes;
+      next_seq_ = std::max(next_seq_, entry.seq + 1);
+    }
+  }
+
+  // Drop orphaned objects (written but never indexed — e.g. a crash between the
+  // object write and the index rewrite).
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(dir_ + "/objects", ec)) {
+    const std::string name = dirent.path().filename().string();
+    if (name.size() == 64 + 5 && name.substr(64) == ".json" &&
+        entries_.count(name.substr(0, 64)) == 0) {
+      std::error_code rm_ec;
+      fs::remove(dirent.path(), rm_ec);
+    }
+  }
+}
+
+bool ResultCache::Get(const std::string& hash, std::string* artifact, std::string* kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  if (!ReadFile(ObjectPath(hash), artifact) || artifact->size() != it->second.bytes) {
+    // Object vanished or was corrupted under us; treat as a miss and forget it.
+    total_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    RewriteIndex();
+    ++misses_;
+    return false;
+  }
+  if (kind != nullptr) {
+    *kind = it->second.kind;
+  }
+  // Recency is bumped in memory only — the hit path must not pay an index rewrite
+  // (it is the daemon's hot path). The bump reaches disk with the next Put or
+  // eviction; a crash before then loses only access ordering, never an entry.
+  it->second.seq = next_seq_++;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::Put(const std::string& hash, const std::string& kind,
+                      const std::string& artifact) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++puts_;
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    it->second.seq = next_seq_++;
+    RewriteIndex();
+    return;
+  }
+  if (!WriteFileAtomic(ObjectPath(hash), artifact)) {
+    return;  // disk trouble: stay consistent, just don't cache
+  }
+  Entry entry;
+  entry.bytes = artifact.size();
+  entry.seq = next_seq_++;
+  entry.kind = kind;
+  total_bytes_ += entry.bytes;
+  entries_.emplace(hash, entry);
+  EvictIfNeeded();
+  RewriteIndex();
+}
+
+bool ResultCache::Contains(const std::string& hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(hash) != 0;
+}
+
+void ResultCache::EvictIfNeeded() {
+  if (cap_bytes_ == 0) {
+    return;
+  }
+  // Evict lowest-seq first, but never the newest entry — a single artifact larger
+  // than the whole cap is still admitted.
+  while (total_bytes_ > cap_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() || it->second.seq < victim->second.seq) {
+        victim = it;
+      }
+    }
+    std::error_code ec;
+    fs::remove(ObjectPath(victim->first), ec);
+    total_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void ResultCache::RewriteIndex() {
+  // Deterministic order (by hash) so the file is stable for a given entry set.
+  std::vector<const std::pair<const std::string, Entry>*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& kv : entries_) {
+    sorted.push_back(&kv);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::string data;
+  for (const auto* kv : sorted) {
+    data += kv->first + "\t" + std::to_string(kv->second.bytes) + "\t" +
+            std::to_string(kv->second.seq) + "\t" + kv->second.kind + "\n";
+  }
+  WriteFileAtomic(dir_ + "/index.tsv", data);
+}
+
+CacheStats ResultCache::Stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.puts = puts_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.bytes = total_bytes_;
+  stats.cap_bytes = cap_bytes_;
+  return stats;
+}
+
+}  // namespace easeio::daemon

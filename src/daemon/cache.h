@@ -1,0 +1,94 @@
+// Content-addressed result cache for easeiod.
+//
+// Layout on disk:
+//   <dir>/objects/<hash>.json   the artifact bytes, verbatim
+//   <dir>/index.tsv             one line per entry: <hash>\t<bytes>\t<seq>\t<kind>
+//
+// The hash is the SHA-256 of the job's canonical key (jobspec.h), so a lookup needs
+// no parsing — Get() returns the stored bytes exactly as Put() received them, which
+// is what lets CI assert cached artifacts are byte-identical to fresh CLI runs.
+//
+// Eviction is LRU by a monotonically increasing access sequence number: Put() and a
+// successful Get() both bump an entry's seq, and when the object bytes exceed
+// cap_bytes the lowest-seq entries are dropped (index rewrite + object unlink) until
+// under the cap. A single oversized artifact is still admitted — the cap bounds
+// steady state, it is not a hard write barrier. Get() bumps recency in memory only;
+// the index is rewritten on Put/eviction, so a crash can lose access ordering but
+// never an entry.
+//
+// All operations are serialized by an internal mutex; the daemon calls in from many
+// worker threads. Crash tolerance is per-entry: the index is rewritten atomically
+// (tmp + rename), and on load any index line whose object file is missing or has the
+// wrong size is discarded, as is any orphaned object.
+
+#ifndef EASEIO_DAEMON_CACHE_H_
+#define EASEIO_DAEMON_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace easeio::daemon {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t puts = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;    // current
+  uint64_t bytes = 0;      // current object bytes
+  uint64_t cap_bytes = 0;  // eviction threshold (0 = unbounded)
+};
+
+class ResultCache {
+ public:
+  // Creates <dir> and <dir>/objects if needed and loads the index, discarding
+  // entries whose object files are missing or truncated. `cap_bytes` 0 disables
+  // eviction.
+  ResultCache(const std::string& dir, uint64_t cap_bytes);
+
+  // Returns true and fills `artifact` (and `kind` if non-null) on a hit; bumps the
+  // entry's recency. Counts a miss otherwise.
+  bool Get(const std::string& hash, std::string* artifact, std::string* kind = nullptr);
+
+  // Stores `artifact` under `hash` (idempotent: re-putting an existing hash just
+  // refreshes recency) and evicts LRU entries if over cap. `kind` is an opaque label
+  // kept in the index for cache-stats breakdowns.
+  void Put(const std::string& hash, const std::string& kind, const std::string& artifact);
+
+  bool Contains(const std::string& hash);
+
+  CacheStats Stats();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    uint64_t bytes = 0;
+    uint64_t seq = 0;
+    std::string kind;
+  };
+
+  std::string ObjectPath(const std::string& hash) const;
+  void Load();
+  // Callers hold mu_.
+  void EvictIfNeeded();
+  void RewriteIndex();
+
+  const std::string dir_;
+  const uint64_t cap_bytes_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t total_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t puts_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_CACHE_H_

@@ -1,0 +1,21 @@
+// Small file I/O helpers shared by the daemon's cache, queue persistence, and
+// results-dir export. Writes are atomic (tmp + rename) so readers — including a
+// daemon restarted after a crash — never observe a torn file.
+
+#ifndef EASEIO_DAEMON_FSIO_H_
+#define EASEIO_DAEMON_FSIO_H_
+
+#include <string>
+
+namespace easeio::daemon {
+
+// Reads the whole file into `out`. Returns false if it cannot be opened.
+bool ReadFile(const std::string& path, std::string* out);
+
+// Writes `data` to `path` via `path + ".tmp"` and rename. Returns false (leaving no
+// partial file behind) on any failure.
+bool WriteFileAtomic(const std::string& path, const std::string& data);
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_FSIO_H_

@@ -1,0 +1,42 @@
+// SHA-256 content hashing for the easeiod result cache.
+//
+// Cache entries are addressed by the hash of a job's canonical key (jobspec.h), so
+// the hash must be collision-resistant across adversarial inputs (a lint job hashes
+// client-supplied program text) and stable forever — a cheap FNV would make cache
+// poisoning by collision plausible and could not be changed later without
+// invalidating every cache on disk. Self-contained FIPS 180-4 implementation; no
+// external dependency.
+
+#ifndef EASEIO_DAEMON_HASH_H_
+#define EASEIO_DAEMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace easeio::daemon {
+
+// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  void Update(std::string_view data);
+  // Finalizes and returns the 32-byte digest. The object must not be reused after.
+  std::array<uint8_t, 32> Digest();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// One-shot convenience: lowercase hex digest of `data`.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_HASH_H_

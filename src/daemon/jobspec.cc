@@ -1,0 +1,457 @@
+#include "daemon/jobspec.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "daemon/hash.h"
+#include "easec/lint/run.h"
+#include "obs/trace_job.h"
+#include "report/jobs.h"
+#include "report/json.h"
+
+namespace easeio::daemon {
+
+namespace {
+
+// Shortest-round-trip double formatting, matching report::JsonWriter so the same
+// value renders identically in the canonical key and on the wire.
+std::string FormatDouble(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+// Per-kind artifact schema tag. Bump a tag whenever the corresponding serializer's
+// output changes: stale cache entries then miss instead of being replayed.
+const char* SchemaTag(const JobSpec& spec) {
+  switch (spec.kind) {
+    case JobKind::kSweep:
+      return "easeio-bench/1";
+    case JobKind::kExplore:
+      return "easeio-chk/1";
+    case JobKind::kLint:
+      return "easeio-lint/1";
+    case JobKind::kTrace:
+      return spec.timeline ? "easeio-trace/1" : "easeio-profile/1";
+  }
+  return "unknown";
+}
+
+std::string JoinApps(const std::vector<apps::AppKind>& apps) {
+  std::string out;
+  for (size_t i = 0; i < apps.size(); ++i) {
+    out += (i ? "," : "") + std::string(report::AppName(apps[i]));
+  }
+  return out;
+}
+
+std::string JoinRuntimes(const std::vector<apps::RuntimeKind>& runtimes) {
+  std::string out;
+  for (size_t i = 0; i < runtimes.size(); ++i) {
+    out += (i ? "," : "") + std::string(report::RuntimeName(runtimes[i]));
+  }
+  return out;
+}
+
+report::ExperimentConfig BaseExperimentConfig(const JobSpec& spec) {
+  report::ExperimentConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.easeio_regional_privatization = spec.regional;
+  cfg.easeio_priv_buffer_bytes = spec.priv_buffer_bytes;
+  cfg.timekeeper_tick_us = spec.tick_us;
+  return cfg;
+}
+
+}  // namespace
+
+const char* ToString(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSweep:
+      return "sweep";
+    case JobKind::kExplore:
+      return "explore";
+    case JobKind::kLint:
+      return "lint";
+    case JobKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+bool ParseJobKind(const std::string& name, JobKind* out) {
+  if (name == "sweep") {
+    *out = JobKind::kSweep;
+  } else if (name == "explore") {
+    *out = JobKind::kExplore;
+  } else if (name == "lint") {
+    *out = JobKind::kLint;
+  } else if (name == "trace") {
+    *out = JobKind::kTrace;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string CanonicalKey(const JobSpec& spec) {
+  // Fixed field order, newline-separated k=v lines, one header naming the key format
+  // itself. Only fields that can influence the artifact for this kind are rendered.
+  std::string key = "easeio-job/1\n";
+  key += std::string("kind=") + ToString(spec.kind) + "\n";
+  key += std::string("schema=") + SchemaTag(spec) + "\n";
+  key += "seed=" + std::to_string(spec.seed) + "\n";
+  switch (spec.kind) {
+    case JobKind::kSweep:
+      key += "apps=" + JoinApps(spec.apps) + "\n";
+      key += "runtimes=" + JoinRuntimes(spec.runtimes) + "\n";
+      key += "runs=" + std::to_string(spec.runs) + "\n";
+      key += "regional=" + std::to_string(spec.regional ? 1 : 0) + "\n";
+      key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
+      key += "tick_us=" + std::to_string(spec.tick_us) + "\n";
+      break;
+    case JobKind::kExplore:
+      key += "apps=" + JoinApps(spec.apps) + "\n";
+      key += "runtimes=" + JoinRuntimes(spec.runtimes) + "\n";
+      key += "depth=" + std::to_string(spec.depth) + "\n";
+      key += "budget=" + std::to_string(spec.budget) + "\n";
+      key += "off_us=" + std::to_string(spec.off_us) + "\n";
+      key += "snapshot=" + std::to_string(spec.use_snapshot ? 1 : 0) + "\n";
+      key += "regional=" + std::to_string(spec.regional ? 1 : 0) + "\n";
+      key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
+      key += "tick_us=" + std::to_string(spec.tick_us) + "\n";
+      break;
+    case JobKind::kLint:
+      // The program text is client-supplied and unbounded; hash it instead of
+      // splicing it in. The name is part of the artifact ("source" field), so it is
+      // part of the key.
+      key += "source_sha256=" + Sha256Hex(spec.source) + "\n";
+      key += "source_name=" + QuoteJsonString(spec.source_name) + "\n";
+      key += "witness=" + std::to_string(spec.witness ? 1 : 0) + "\n";
+      key += "off_us=" + std::to_string(spec.off_us) + "\n";
+      key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
+      break;
+    case JobKind::kTrace:
+      key += "apps=" + JoinApps(spec.apps) + "\n";
+      key += "runtimes=" + JoinRuntimes(spec.runtimes) + "\n";
+      key += "timeline=" + std::to_string(spec.timeline ? 1 : 0) + "\n";
+      key += "continuous=" + std::to_string(spec.continuous ? 1 : 0) + "\n";
+      key += "harvester_in=" + FormatDouble(spec.harvester_in) + "\n";
+      key += "cap_sample_us=" + std::to_string(spec.cap_sample_us) + "\n";
+      key += "regional=" + std::to_string(spec.regional ? 1 : 0) + "\n";
+      key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
+      key += "tick_us=" + std::to_string(spec.tick_us) + "\n";
+      break;
+  }
+  return key;
+}
+
+std::string ContentHash(const JobSpec& spec) { return Sha256Hex(CanonicalKey(spec)); }
+
+std::string ToJson(const JobSpec& spec) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind").String(ToString(spec.kind));
+  w.Key("seed").UInt(spec.seed);
+  if (spec.kind != JobKind::kLint) {
+    w.Key("apps").BeginArray();
+    for (const apps::AppKind app : spec.apps) {
+      w.String(report::AppName(app));
+    }
+    w.EndArray();
+    w.Key("runtimes").BeginArray();
+    for (const apps::RuntimeKind rt : spec.runtimes) {
+      w.String(report::RuntimeName(rt));
+    }
+    w.EndArray();
+    w.Key("regional").Bool(spec.regional);
+    w.Key("tick_us").UInt(spec.tick_us);
+  }
+  w.Key("priv_buffer").UInt(spec.priv_buffer_bytes);
+  switch (spec.kind) {
+    case JobKind::kSweep:
+      w.Key("runs").UInt(spec.runs);
+      break;
+    case JobKind::kExplore:
+      w.Key("depth").Int(spec.depth);
+      w.Key("budget").UInt(spec.budget);
+      w.Key("off_us").UInt(spec.off_us);
+      w.Key("snapshot").Bool(spec.use_snapshot);
+      break;
+    case JobKind::kLint:
+      w.Key("source").String(spec.source);
+      w.Key("source_name").String(spec.source_name);
+      w.Key("witness").Bool(spec.witness);
+      w.Key("off_us").UInt(spec.off_us);
+      break;
+    case JobKind::kTrace:
+      w.Key("timeline").Bool(spec.timeline);
+      w.Key("continuous").Bool(spec.continuous);
+      w.Key("harvester_in").Double(spec.harvester_in);
+      w.Key("cap_sample_us").UInt(spec.cap_sample_us);
+      break;
+  }
+  w.Key("jobs").UInt(spec.exec_jobs);
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace {
+
+bool FieldError(std::string* error, const std::string& key, const char* what) {
+  *error = "job." + key + ": " + what;
+  return false;
+}
+
+bool ReadUint(const JsonValue& v, const std::string& key, uint64_t min, uint64_t max,
+              uint64_t* out, std::string* error) {
+  uint64_t value = 0;
+  if (!v.GetUint(&value)) {
+    return FieldError(error, key, "expected an unsigned integer");
+  }
+  if (value < min || value > max) {
+    return FieldError(error, key, "out of range");
+  }
+  *out = value;
+  return true;
+}
+
+bool ReadBool(const JsonValue& v, const std::string& key, bool* out, std::string* error) {
+  if (!v.is_bool()) {
+    return FieldError(error, key, "expected a boolean");
+  }
+  *out = v.AsBool();
+  return true;
+}
+
+bool ReadString(const JsonValue& v, const std::string& key, std::string* out,
+                std::string* error) {
+  if (!v.is_string()) {
+    return FieldError(error, key, "expected a string");
+  }
+  *out = v.AsString();
+  return true;
+}
+
+}  // namespace
+
+bool ParseJobSpec(const JsonValue& value, JobSpec* out, std::string* error) {
+  if (!value.is_object()) {
+    *error = "job: expected an object";
+    return false;
+  }
+  const JsonValue* kind_field = value.Find("kind");
+  if (kind_field == nullptr || !kind_field->is_string() ||
+      !ParseJobKind(kind_field->AsString(), &out->kind)) {
+    *error = "job.kind: expected one of sweep|explore|lint|trace";
+    return false;
+  }
+
+  bool have_source = false;
+  for (const auto& [key, v] : value.Members()) {
+    uint64_t u = 0;
+    if (key == "kind") {
+      continue;  // handled above
+    } else if (key == "seed") {
+      if (!ReadUint(v, key, 0, UINT64_MAX, &out->seed, error)) return false;
+    } else if (key == "apps") {
+      if (!v.is_array() || v.Items().empty()) {
+        return FieldError(error, key, "expected a non-empty array of app names");
+      }
+      out->apps.clear();
+      for (const JsonValue& item : v.Items()) {
+        apps::AppKind app;
+        if (!item.is_string() || !report::ParseApp(item.AsString(), &app)) {
+          return FieldError(error, key, "unknown app name");
+        }
+        out->apps.push_back(app);
+      }
+    } else if (key == "runtimes") {
+      if (!v.is_array() || v.Items().empty()) {
+        return FieldError(error, key, "expected a non-empty array of runtime names");
+      }
+      out->runtimes.clear();
+      for (const JsonValue& item : v.Items()) {
+        apps::RuntimeKind rt;
+        if (!item.is_string() || !report::ParseRuntime(item.AsString(), &rt)) {
+          return FieldError(error, key, "unknown runtime name");
+        }
+        out->runtimes.push_back(rt);
+      }
+    } else if (key == "regional") {
+      if (!ReadBool(v, key, &out->regional, error)) return false;
+    } else if (key == "priv_buffer") {
+      if (!ReadUint(v, key, 0, UINT32_MAX, &u, error)) return false;
+      out->priv_buffer_bytes = static_cast<uint32_t>(u);
+    } else if (key == "tick_us") {
+      if (!ReadUint(v, key, 1, UINT64_MAX, &out->tick_us, error)) return false;
+    } else if (key == "runs") {
+      if (!ReadUint(v, key, 1, 1'000'000, &u, error)) return false;
+      out->runs = static_cast<uint32_t>(u);
+    } else if (key == "depth") {
+      if (!ReadUint(v, key, 1, 2, &u, error)) return false;
+      out->depth = static_cast<int>(u);
+    } else if (key == "budget") {
+      if (!ReadUint(v, key, 1, UINT32_MAX, &u, error)) return false;
+      out->budget = static_cast<uint32_t>(u);
+    } else if (key == "off_us") {
+      if (!ReadUint(v, key, 0, UINT64_MAX, &out->off_us, error)) return false;
+    } else if (key == "snapshot") {
+      if (!ReadBool(v, key, &out->use_snapshot, error)) return false;
+    } else if (key == "source") {
+      if (!ReadString(v, key, &out->source, error)) return false;
+      have_source = true;
+    } else if (key == "source_name") {
+      if (!ReadString(v, key, &out->source_name, error)) return false;
+    } else if (key == "witness") {
+      if (!ReadBool(v, key, &out->witness, error)) return false;
+    } else if (key == "timeline") {
+      if (!ReadBool(v, key, &out->timeline, error)) return false;
+    } else if (key == "continuous") {
+      if (!ReadBool(v, key, &out->continuous, error)) return false;
+    } else if (key == "harvester_in") {
+      double d = 0;
+      if (!v.GetDouble(&d) || d < 0) {
+        return FieldError(error, key, "expected a non-negative number");
+      }
+      out->harvester_in = d;
+    } else if (key == "cap_sample_us") {
+      if (!ReadUint(v, key, 0, UINT64_MAX, &out->cap_sample_us, error)) return false;
+    } else if (key == "jobs") {
+      if (!ReadUint(v, key, 0, 4096, &u, error)) return false;
+      out->exec_jobs = static_cast<uint32_t>(u);
+    } else {
+      return FieldError(error, key, "unknown field");
+    }
+  }
+
+  if (out->kind == JobKind::kLint && !have_source) {
+    *error = "job.source: required for lint jobs";
+    return false;
+  }
+  if (out->kind == JobKind::kTrace && out->continuous && out->harvester_in > 0) {
+    *error = "job: continuous and harvester_in are mutually exclusive";
+    return false;
+  }
+  return true;
+}
+
+JobOutcome ExecuteSpec(const JobSpec& spec) {
+  JobOutcome out;
+  switch (spec.kind) {
+    case JobKind::kSweep: {
+      report::SweepJob job;
+      job.apps = spec.apps;
+      job.runtimes = spec.runtimes;
+      job.base = BaseExperimentConfig(spec);
+      job.runs = spec.runs;
+      job.jobs = spec.exec_jobs;
+      const report::SweepJobResult result = report::ExecuteSweepJob(job);
+      out.artifact = report::SweepJobJson(job, result, "daemon_sweep") + "\n";
+      uint64_t incorrect = 0;
+      for (const report::SweepCell& cell : result.cells) {
+        incorrect += cell.aggregate.incorrect;
+      }
+      out.summary = std::to_string(result.cells.size()) + " cell(s), " +
+                    std::to_string(spec.runs) + " run(s) each, " +
+                    std::to_string(incorrect) + " incorrect";
+      out.ok = true;
+      break;
+    }
+    case JobKind::kExplore: {
+      report::ExploreJob job;
+      job.apps = spec.apps;
+      job.runtimes = spec.runtimes;
+      job.base.seed = spec.seed;
+      job.base.depth = spec.depth;
+      job.base.budget = spec.budget;
+      job.base.jobs = spec.exec_jobs;
+      job.base.off_us = spec.off_us;
+      job.base.use_snapshot = spec.use_snapshot;
+      job.base.easeio_regional_privatization = spec.regional;
+      job.base.easeio_priv_buffer_bytes = spec.priv_buffer_bytes;
+      job.base.timekeeper_tick_us = spec.tick_us;
+      const report::ExploreJobResult result = report::ExecuteExploreJob(job);
+      // The cacheable artifact excludes the host-dependent timing object — the same
+      // document `easechk --json --no-timing` writes.
+      out.artifact = chk::ToJson(result.results, /*include_timing=*/false) + "\n";
+      out.summary = std::to_string(result.results.size()) + " exploration(s), " +
+                    std::to_string(result.total_violations) + " violation(s)";
+      out.ok = true;
+      break;
+    }
+    case JobKind::kLint: {
+      easec::lint::LintJob job;
+      job.source = spec.source;
+      job.source_name = spec.source_name;
+      job.compile_options.dma_priv_buffer_bytes = spec.priv_buffer_bytes;
+      job.witness_options.seed = spec.seed;
+      job.witness_options.off_us = spec.off_us;
+      job.witness_options.priv_buffer_bytes = spec.priv_buffer_bytes;
+      job.confirm_witnesses = spec.witness;
+      const easec::lint::LintJobResult result = easec::lint::ExecuteLintJob(job);
+      if (!result.compiled) {
+        out.error = "compile failed: " + result.compile_errors;
+        break;
+      }
+      out.artifact = result.json + "\n";
+      out.summary = std::to_string(result.lint.errors) + " error(s), " +
+                    std::to_string(result.lint.warnings) + " warning(s), " +
+                    std::to_string(result.lint.advisories) + " advisory(ies)";
+      out.ok = true;
+      break;
+    }
+    case JobKind::kTrace: {
+      obs::TraceJob job;
+      job.config = BaseExperimentConfig(spec);
+      job.config.app = spec.apps.empty() ? apps::AppKind::kDma : spec.apps.front();
+      job.config.runtime =
+          spec.runtimes.empty() ? apps::RuntimeKind::kEaseio : spec.runtimes.front();
+      job.config.continuous = spec.continuous;
+      job.config.rf_distance_in = spec.harvester_in;
+      job.config.cap_sample_period_us = spec.cap_sample_us;
+      job.want_trace = spec.timeline;
+      job.want_profile = !spec.timeline;
+      const obs::TraceJobResult result = obs::ExecuteTraceJob(job);
+      out.artifact = (spec.timeline ? result.trace_json : result.profile_json) + "\n";
+      out.summary = std::string(result.run.result.run.completed ? "completed" : "incomplete") +
+                    ", " + std::to_string(result.run.result.run.stats.power_failures) +
+                    " failure(s), " + std::to_string(result.run.events.size()) + " event(s)";
+      out.ok = true;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string ArtifactFileName(const JobSpec& spec, const std::string& hash) {
+  std::string label;
+  if (spec.kind == JobKind::kLint) {
+    // Basename stem of the source name, sanitized for use as a path component.
+    std::string stem = spec.source_name;
+    const size_t slash = stem.find_last_of('/');
+    if (slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    const size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0) {
+      stem = stem.substr(0, dot);
+    }
+    for (char& c : stem) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')) {
+        c = '-';
+      }
+    }
+    label = stem.empty() ? "program" : stem;
+  } else {
+    label = JoinApps(spec.apps);
+    for (char& c : label) {
+      if (c == ',') {
+        c = '+';
+      }
+    }
+  }
+  return std::string(ToString(spec.kind)) + "-" + label + "-" + hash.substr(0, 12) +
+         ".json";
+}
+
+}  // namespace easeio::daemon

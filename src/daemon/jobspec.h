@@ -1,0 +1,114 @@
+// Job specifications for the easeiod fleet daemon.
+//
+// A JobSpec is the daemon's unit of work: one of the four deterministic simulation
+// job kinds the tooling already exposes as one-shot CLIs — a parametrized sweep grid
+// (bench-style aggregates), a chk failure-schedule exploration, an easelint run over
+// client-supplied program text, and an instrumented trace/profile run. Execution
+// delegates to the same library entry points the CLIs call (report::ExecuteSweepJob,
+// report::ExecuteExploreJob, lint::ExecuteLintJob, obs::ExecuteTraceJob), so a
+// daemon job and the corresponding CLI invocation produce byte-identical artifacts.
+//
+// The cache key: CanonicalKey() renders every field that can influence the artifact
+// bytes — job kind, per-kind artifact schema tag, app/runtime grid, config knobs,
+// seed, engine mode, and (for lint) the hash of the program text — as a fixed-order
+// text block, and ContentHash() is its SHA-256. Two rules keep the key honest:
+//   * anything that changes output bytes MUST be in the key (the schema tag bumps
+//     whenever a serializer changes, invalidating stale cache entries); and
+//   * anything that provably cannot change output bytes MUST NOT be (worker count —
+//     the repo-wide any-jobs byte-identity guarantee — so the same logical request
+//     hits regardless of parallelism). The engine mode (snapshot vs full replay) also
+//     provably cannot change the timing-stripped artifact, but it stays in the key as
+//     defense in depth: a cross-engine divergence is a bug we want surfaced as a
+//     cache miss + CI inequality, not silently papered over by a shared entry.
+
+#ifndef EASEIO_DAEMON_JOBSPEC_H_
+#define EASEIO_DAEMON_JOBSPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "apps/runtime_factory.h"
+#include "daemon/jsonin.h"
+
+namespace easeio::daemon {
+
+enum class JobKind : uint8_t { kSweep, kExplore, kLint, kTrace };
+
+const char* ToString(JobKind kind);
+bool ParseJobKind(const std::string& name, JobKind* out);
+
+struct JobSpec {
+  JobKind kind = JobKind::kSweep;
+
+  // Grid (sweep/explore). Trace uses apps[0] x runtimes[0]; lint ignores both.
+  std::vector<apps::AppKind> apps = {apps::AppKind::kDma};
+  std::vector<apps::RuntimeKind> runtimes = {apps::RuntimeKind::kEaseio};
+
+  uint64_t seed = 1;
+  bool regional = true;            // EaseIO regional DMA privatization
+  uint32_t priv_buffer_bytes = 4096;
+  uint64_t tick_us = 100;          // persistent-timekeeper tick
+
+  // sweep
+  uint32_t runs = 100;
+
+  // explore
+  int depth = 2;
+  uint32_t budget = 1500;
+  uint64_t off_us = 700;           // also the lint witness dark time
+  bool use_snapshot = true;        // engine mode (kept in the key; see header note)
+
+  // lint
+  std::string source;              // program text, sent inline (content-hashed)
+  std::string source_name = "<daemon>";
+  bool witness = false;            // replay suggested schedules (easelint --witness)
+
+  // trace
+  bool timeline = false;           // artifact: Chrome trace instead of easeio-profile/1
+  bool continuous = false;
+  double harvester_in = 0.0;
+  uint64_t cap_sample_us = 1000;
+
+  // Execution hint only — worker threads inside the job. Excluded from the cache
+  // key: results are byte-identical for any value (the platform/parallel guarantee).
+  uint32_t exec_jobs = 1;
+};
+
+// The deterministic text block hashed into the cache key (documented in DESIGN.md
+// §12; also handy in tests and debugging output).
+std::string CanonicalKey(const JobSpec& spec);
+
+// SHA-256 hex of CanonicalKey — the job id, cache address, and artifact filename.
+std::string ContentHash(const JobSpec& spec);
+
+// Protocol/persistence serialization. Round-trips through ParseJobSpec.
+std::string ToJson(const JobSpec& spec);
+
+// Parses the "job" object of a submit frame. Strict: unknown keys, wrong types, and
+// out-of-range values are errors (a typoed key silently ignored would canonicalize
+// to the wrong cache entry). Returns false and fills `error`.
+bool ParseJobSpec(const JsonValue& value, JobSpec* out, std::string* error);
+
+// A finished job. Only ok outcomes enter the result cache; `artifact` always ends
+// with a newline and is byte-identical to what the matching CLI writes.
+struct JobOutcome {
+  bool ok = false;
+  std::string error;     // failure reason when !ok
+  std::string artifact;  // the cached document
+  std::string summary;   // one-line human description (streamed in the done event)
+};
+
+// Executes the job synchronously on the calling thread. Deterministic for a fixed
+// spec; safe to call from many threads concurrently (no shared state).
+JobOutcome ExecuteSpec(const JobSpec& spec);
+
+// Collision-safe artifact filename for a results-dir export: a human-readable label
+// plus a content-hash prefix, so two jobs for the same app with different configs
+// never overwrite each other (the hash differs whenever any key component differs).
+std::string ArtifactFileName(const JobSpec& spec, const std::string& hash);
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_JOBSPEC_H_

@@ -1,0 +1,437 @@
+#include "daemon/jsonin.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace easeio::daemon {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v(Type::kBool);
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(std::string raw) {
+  JsonValue v(Type::kNumber);
+  v.str_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v(Type::kString);
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v(Type::kArray);
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v(Type::kObject);
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::GetUint(uint64_t* out) const {
+  if (type_ != Type::kNumber || str_.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(str_.data(), str_.data() + str_.size(), v, 10);
+  if (ec != std::errc() || ptr != str_.data() + str_.size()) {
+    return false;  // negative, fractional, exponent, or out of range
+  }
+  *out = v;
+  return true;
+}
+
+bool JsonValue::GetDouble(double* out) const {
+  if (type_ != Type::kNumber || str_.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(str_.c_str(), &end);
+  if (errno != 0 || end != str_.c_str() + str_.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth) : text_(text), max_depth_(max_depth) {}
+
+  bool Run(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out, 0)) {
+      *error = error_;
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = At("trailing data after the document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string At(const std::string& msg) {
+    return "json: " + msg + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = At(msg);
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > max_depth_) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (!Literal("null")) return false;
+        *out = JsonValue::MakeNull();
+        return true;
+      case 't':
+        if (!Literal("true")) return false;
+        *out = JsonValue::MakeBool(true);
+        return true;
+      case 'f':
+        if (!Literal("false")) return false;
+        *out = JsonValue::MakeBool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = JsonValue::MakeString(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    size_t digits = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      return Fail("invalid number");
+    }
+    // Leading zeros are invalid JSON ("01"), a classic canonicalization hazard.
+    if (digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      return Fail("number has a leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      size_t frac = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) {
+        return Fail("invalid fraction");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      size_t exp = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) {
+        return Fail("invalid exponent");
+      }
+    }
+    *out = JsonValue::MakeNumber(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) {
+      return Fail("truncated \\u escape");
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* s, uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated string");
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        return Fail("truncated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!ParseHex4(&cp)) {
+            return false;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: needs a low one
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t lo = 0;
+              if (!ParseHex4(&lo)) {
+                return false;
+              }
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Fail("invalid surrogate pair");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return Fail("unpaired surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = JsonValue::MakeArray(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item = JsonValue::MakeNull();
+      SkipWs();
+      if (!ParseValue(&item, depth + 1)) {
+        return false;
+      }
+      items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = JsonValue::MakeArray(std::move(items));
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    std::set<std::string> seen;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = JsonValue::MakeObject(std::move(members));
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      if (!seen.insert(key).second) {
+        return Fail("duplicate object key '" + key + "'");
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue value = JsonValue::MakeNull();
+      if (!ParseValue(&value, depth + 1)) {
+        return false;
+      }
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = JsonValue::MakeObject(std::move(members));
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int max_depth_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error, int max_depth) {
+  Parser parser(text, max_depth);
+  return parser.Run(out, error);
+}
+
+std::string QuoteJsonString(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace easeio::daemon

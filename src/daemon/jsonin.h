@@ -1,0 +1,83 @@
+// Minimal strict JSON parser for the easeiod wire protocol.
+//
+// The repository's JsonWriter (report/json.h) only writes; the daemon must also
+// *read* — every protocol frame a client sends is one JSON object on one line. This
+// parser is deliberately small and defensive: full syntax validation, a recursion
+// depth cap (malicious nesting must produce an error reply, not a stack overflow),
+// duplicate-key rejection inside objects, and no implicit conversions. Numbers keep
+// their raw text so 64-bit integers round-trip without double truncation.
+
+#ifndef EASEIO_DAEMON_JSONIN_H_
+#define EASEIO_DAEMON_JSONIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace easeio::daemon {
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null; the usual out-parameter for ParseJson
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Value accessors; only valid for the matching type.
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return str_; }  // decoded string value
+  const std::string& RawNumber() const { return str_; }  // verbatim number text
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  // Numeric conversions from the raw text; false when not a number, the text does
+  // not fit, or (for the unsigned form) it is negative or fractional.
+  bool GetUint(uint64_t* out) const;
+  bool GetDouble(double* out) const;
+
+  // Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Builders used by the parser (and tests).
+  static JsonValue MakeNull() { return JsonValue(Type::kNull); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(std::string raw);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string str_;  // string value, or raw number text
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses exactly one JSON document occupying the whole input (surrounding
+// whitespace allowed). On failure returns false and fills `error` with a
+// position-tagged message. Nesting beyond `max_depth` is an error.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error,
+               int max_depth = 32);
+
+// Serializes a string with JSON escaping, including the surrounding quotes.
+// (Writing frames goes through report::JsonWriter; this helper exists for the
+// places that splice a key or message into a handwritten frame.)
+std::string QuoteJsonString(std::string_view s);
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_JSONIN_H_

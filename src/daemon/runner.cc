@@ -1,0 +1,293 @@
+#include "daemon/runner.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "daemon/fsio.h"
+#include "platform/parallel.h"
+#include "report/json.h"
+
+namespace easeio::daemon {
+
+const char* ToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+JobRunner::JobRunner(ResultCache* cache, Options options, EventSink sink)
+    : cache_(cache), options_(std::move(options)), sink_(std::move(sink)) {}
+
+JobRunner::~JobRunner() { Stop(); }
+
+void JobRunner::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+  }
+  // A drained queue is resubmitted before workers exist, so the persisted order is
+  // also the re-execution order.
+  LoadPersistedQueue();
+  const uint32_t workers = platform::ResolveJobs(options_.workers, SIZE_MAX);
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void JobRunner::Emit(const JobInfo& job) {
+  JobEvent event;
+  event.seq = next_event_seq_++;
+  event.job_id = job.id;
+  event.state = ToString(job.state);
+  event.kind = ToString(job.spec.kind);
+  event.hash = job.hash;
+  event.cached = job.cached;
+  event.summary = job.summary;
+  event.error = job.error;
+  events_.push_back(event);
+  if (sink_) {
+    sink_(event);
+  }
+}
+
+JobRunner::SubmitResult JobRunner::Submit(const JobSpec& spec) {
+  const std::string hash = ContentHash(spec);
+  SubmitResult result;
+  result.hash = hash;
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // In-flight dedup: a queued or running job with the same hash adopts this
+  // submission — the work runs once and the caller watches that job's events.
+  const auto in_flight = in_flight_.find(hash);
+  if (in_flight != in_flight_.end()) {
+    result.job_id = in_flight->second;
+    result.deduped = true;
+    return result;
+  }
+
+  JobInfo job;
+  job.id = next_job_id_++;
+  job.spec = spec;
+  job.hash = hash;
+  result.job_id = job.id;
+
+  std::string artifact;
+  if (cache_ != nullptr && cache_->Get(hash, &artifact)) {
+    // Cache hit: the job is born done; the stored artifact is the result.
+    job.state = JobState::kDone;
+    job.cached = true;
+    job.summary = "cache hit (" + std::to_string(artifact.size()) + " bytes)";
+    if (!options_.results_dir.empty()) {
+      job.artifact_file = ArtifactFileName(spec, hash);
+      WriteFileAtomic(options_.results_dir + "/" + job.artifact_file, artifact);
+    }
+    result.cached = true;
+    jobs_.emplace(job.id, job);
+    Emit(jobs_.at(job.id));
+    return result;
+  }
+
+  job.state = JobState::kQueued;
+  jobs_.emplace(job.id, job);
+  in_flight_.emplace(hash, job.id);
+  queue_.push_back(job.id);
+  Emit(jobs_.at(job.id));
+  cv_.notify_one();
+  return result;
+}
+
+void JobRunner::WorkerLoop() {
+  for (;;) {
+    uint64_t id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;  // drain: leave the queue for persistence
+      }
+      id = queue_.front();
+      queue_.pop_front();
+      ++running_;
+      JobInfo& job = jobs_.at(id);
+      job.state = JobState::kRunning;
+      Emit(job);
+    }
+
+    // Execute without the lock — this is the long part.
+    JobSpec spec;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      spec = jobs_.at(id).spec;
+    }
+    const JobOutcome outcome = ExecuteSpec(spec);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    JobInfo& job = jobs_.at(id);
+    if (outcome.ok) {
+      if (cache_ != nullptr) {
+        cache_->Put(job.hash, ToString(spec.kind), outcome.artifact);
+      }
+      if (!options_.results_dir.empty()) {
+        job.artifact_file = ArtifactFileName(spec, job.hash);
+        WriteFileAtomic(options_.results_dir + "/" + job.artifact_file,
+                        outcome.artifact);
+      }
+      job.state = JobState::kDone;
+      job.summary = outcome.summary;
+    } else {
+      job.state = JobState::kFailed;
+      job.error = outcome.error;
+    }
+    in_flight_.erase(job.hash);
+    --running_;
+    Emit(job);
+    cv_.notify_all();  // wakes Stop() waiting on running jobs
+  }
+}
+
+bool JobRunner::GetJob(uint64_t id, JobInfo* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+std::vector<JobInfo> JobRunner::ListJobs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    out.push_back(job);
+  }
+  return out;
+}
+
+std::vector<JobEvent> JobRunner::EventsSince(uint64_t after_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobEvent> out;
+  for (const JobEvent& event : events_) {
+    if (event.seq > after_seq) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+uint64_t JobRunner::last_seq() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_event_seq_ - 1;
+}
+
+bool JobRunner::GetArtifact(uint64_t id, std::string* artifact) {
+  std::string hash;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::kDone) {
+      return false;
+    }
+    hash = it->second.hash;
+  }
+  return cache_ != nullptr && cache_->Get(hash, artifact);
+}
+
+size_t JobRunner::QueuedCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t JobRunner::RunningCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void JobRunner::PersistQueueLocked() {
+  if (options_.queue_path.empty()) {
+    return;
+  }
+  if (queue_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(options_.queue_path, ec);
+    return;
+  }
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-queue/1");
+  w.Key("jobs").BeginArray();
+  for (const uint64_t id : queue_) {
+    w.Raw(ToJson(jobs_.at(id).spec));
+  }
+  w.EndArray();
+  w.EndObject();
+  WriteFileAtomic(options_.queue_path, w.TakeString() + "\n");
+}
+
+void JobRunner::LoadPersistedQueue() {
+  if (options_.queue_path.empty()) {
+    return;
+  }
+  std::string data;
+  if (!ReadFile(options_.queue_path, &data)) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::remove(options_.queue_path, ec);
+
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(data, &doc, &error)) {
+    std::fprintf(stderr, "easeiod: ignoring malformed %s: %s\n",
+                 options_.queue_path.c_str(), error.c_str());
+    return;
+  }
+  const JsonValue* jobs = doc.Find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    return;
+  }
+  for (const JsonValue& item : jobs->Items()) {
+    JobSpec spec;
+    if (ParseJobSpec(item, &spec, &error)) {
+      Submit(spec);
+    } else {
+      std::fprintf(stderr, "easeiod: dropping persisted job: %s\n", error.c_str());
+    }
+  }
+}
+
+void JobRunner::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  PersistQueueLocked();
+}
+
+}  // namespace easeio::daemon

@@ -1,0 +1,140 @@
+// The easeiod job runner: a worker pool executing JobSpecs in front of the
+// content-addressed ResultCache.
+//
+// Submission semantics (in order):
+//   1. cache hit  — the job completes immediately; the stored artifact is the result
+//      and the done event carries cached = true.
+//   2. in-flight dedup — a queued or running job with the same content hash adopts
+//      the submission: the caller gets that job's id and will see its events, and
+//      the simulation runs once.
+//   3. fresh — the spec is queued and a worker executes it via ExecuteSpec; an ok
+//      outcome enters the cache (and the results-dir export) keyed by content hash.
+//
+// Every state transition (queued -> running -> done | failed) is recorded as a
+// JobEvent with a global monotonically increasing sequence number and forwarded to
+// the event sink. The full event log is kept for the daemon's lifetime so a late
+// `watch` subscriber can catch up from any sequence number and still observe every
+// transition in order.
+//
+// Graceful drain: Stop() refuses new dequeues, waits for in-flight jobs to finish,
+// and persists still-queued specs to `queue_path` (an easeio-queue/1 document);
+// Start() resubmits and deletes that file. The invariant the drain test checks:
+// every submitted job is either completed (artifact cached) or persisted — none are
+// lost.
+
+#ifndef EASEIO_DAEMON_RUNNER_H_
+#define EASEIO_DAEMON_RUNNER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "daemon/cache.h"
+#include "daemon/jobspec.h"
+
+namespace easeio::daemon {
+
+enum class JobState : uint8_t { kQueued, kRunning, kDone, kFailed };
+const char* ToString(JobState state);
+
+struct JobEvent {
+  uint64_t seq = 0;      // global event order, starts at 1
+  uint64_t job_id = 0;
+  std::string state;     // ToString(JobState) at the transition
+  std::string kind;      // ToString(spec.kind)
+  std::string hash;      // content hash (the cache address)
+  bool cached = false;   // done without executing (result served from the cache)
+  std::string summary;   // one-line result description (done only)
+  std::string error;     // failure reason (failed only)
+};
+
+struct JobInfo {
+  uint64_t id = 0;
+  JobSpec spec;
+  std::string hash;
+  JobState state = JobState::kQueued;
+  bool cached = false;
+  std::string summary;
+  std::string error;
+  std::string artifact_file;  // results-dir export name (empty if export disabled)
+};
+
+class JobRunner {
+ public:
+  struct Options {
+    uint32_t workers = 0;      // worker threads; 0 = hardware concurrency
+    std::string results_dir;   // artifact export directory; empty = no export
+    std::string queue_path;    // drain persistence file; empty = no persistence
+  };
+
+  // `sink` receives every JobEvent, serialized in seq order, from worker threads and
+  // from the submitting thread (cache hits). It must not call back into the runner.
+  using EventSink = std::function<void(const JobEvent&)>;
+
+  JobRunner(ResultCache* cache, Options options, EventSink sink);
+  ~JobRunner();
+
+  // Spawns the workers and resubmits any queue persisted by a previous drain.
+  void Start();
+
+  struct SubmitResult {
+    uint64_t job_id = 0;
+    std::string hash;
+    bool cached = false;   // completed immediately from the cache
+    bool deduped = false;  // adopted an in-flight job with the same hash
+  };
+  SubmitResult Submit(const JobSpec& spec);
+
+  bool GetJob(uint64_t id, JobInfo* out);
+  std::vector<JobInfo> ListJobs();
+
+  // Events with seq > after_seq, in order. last_seq() is the newest issued.
+  std::vector<JobEvent> EventsSince(uint64_t after_seq);
+  uint64_t last_seq();
+
+  // Fetches a finished job's artifact bytes (from the cache). False if the job is
+  // unknown, unfinished, failed, or the cache entry was evicted.
+  bool GetArtifact(uint64_t id, std::string* artifact);
+
+  size_t QueuedCount();
+  size_t RunningCount();
+
+  // Graceful drain (idempotent): stop dequeuing, join workers after their in-flight
+  // job finishes, persist the remaining queue. The destructor calls it too.
+  void Stop();
+
+ private:
+  void WorkerLoop();
+  // Callers hold mu_. Appends + forwards the event for `job`'s current state.
+  void Emit(const JobInfo& job);
+  void PersistQueueLocked();
+  void LoadPersistedQueue();
+
+  ResultCache* const cache_;
+  const Options options_;
+  const EventSink sink_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t next_job_id_ = 1;
+  uint64_t next_event_seq_ = 1;
+  std::map<uint64_t, JobInfo> jobs_;               // id -> job, insertion-ordered
+  std::deque<uint64_t> queue_;                     // ids awaiting a worker
+  std::unordered_map<std::string, uint64_t> in_flight_;  // hash -> queued/running id
+  size_t running_ = 0;
+  std::vector<JobEvent> events_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_RUNNER_H_

@@ -1,0 +1,431 @@
+#include "daemon/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "report/json.h"
+
+namespace easeio::daemon {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string ErrorReply(const std::string& message) {
+  report::JsonWriter w;
+  w.BeginObject().Key("ok").Bool(false).Key("error").String(message).EndObject();
+  return w.TakeString();
+}
+
+void WriteCacheStats(report::JsonWriter& w, const CacheStats& stats) {
+  w.Key("cache").BeginObject();
+  w.Key("hits").UInt(stats.hits);
+  w.Key("misses").UInt(stats.misses);
+  w.Key("puts").UInt(stats.puts);
+  w.Key("evictions").UInt(stats.evictions);
+  w.Key("entries").UInt(stats.entries);
+  w.Key("bytes").UInt(stats.bytes);
+  w.Key("cap_bytes").UInt(stats.cap_bytes);
+  w.EndObject();
+}
+
+std::string EventFrame(const JobEvent& event) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("event").BeginObject();
+  w.Key("seq").UInt(event.seq);
+  w.Key("id").UInt(event.job_id);
+  w.Key("state").String(event.state);
+  w.Key("kind").String(event.kind);
+  w.Key("hash").String(event.hash);
+  w.Key("cached").Bool(event.cached);
+  if (!event.summary.empty()) {
+    w.Key("summary").String(event.summary);
+  }
+  if (!event.error.empty()) {
+    w.Key("error").String(event.error);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace
+
+Server::Server(JobRunner* runner, ResultCache* cache, Options options)
+    : runner_(runner), cache_(cache), options_(std::move(options)) {}
+
+Server::~Server() {
+  for (Client& client : clients_) {
+    if (client.fd >= 0) {
+      close(client.fd);
+    }
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    unlink(options_.socket_path.c_str());
+  }
+  if (wake_read_fd_ >= 0) {
+    close(wake_read_fd_);
+  }
+  if (wake_write_fd_ >= 0) {
+    close(wake_write_fd_);
+  }
+}
+
+bool Server::Listen(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + options_.socket_path;
+    return false;
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  unlink(options_.socket_path.c_str());
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "bind " + options_.socket_path + ": " + std::strerror(errno);
+    return false;
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  SetNonBlocking(listen_fd_);
+  return true;
+}
+
+void Server::OnJobEvent(const JobEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(event_mu_);
+    pending_events_.push_back(event);
+  }
+  WakeLoop();
+}
+
+void Server::WakeLoop() {
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] const ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+bool Server::FlushClient(Client& client) {
+  while (!client.outbuf.empty()) {
+    const ssize_t n = write(client.fd, client.outbuf.data(), client.outbuf.size());
+    if (n > 0) {
+      client.outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // poll for POLLOUT
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // peer gone
+  }
+  return true;
+}
+
+void Server::SendEvents(Client& client) {
+  for (const JobEvent& event : runner_->EventsSince(client.watch_sent_seq)) {
+    client.outbuf += EventFrame(event) + "\n";
+    client.watch_sent_seq = event.seq;
+  }
+}
+
+void Server::HandleFrame(Client& client, const std::string& frame) {
+  // Skip blank lines (a trailing newline from a shell client is not an error).
+  if (frame.find_first_not_of(" \t\r") == std::string::npos) {
+    return;
+  }
+
+  const auto reply = [&client](const std::string& json) {
+    client.outbuf += json + "\n";
+  };
+
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(frame, &doc, &error)) {
+    reply(ErrorReply("malformed frame: " + error));
+    return;
+  }
+  const JsonValue* op_field = doc.is_object() ? doc.Find("op") : nullptr;
+  if (op_field == nullptr || !op_field->is_string()) {
+    reply(ErrorReply("malformed frame: missing \"op\" string"));
+    return;
+  }
+  const std::string op = op_field->AsString();
+
+  if (op == "submit") {
+    const JsonValue* job_field = doc.Find("job");
+    if (job_field == nullptr) {
+      reply(ErrorReply("submit: missing \"job\" object"));
+      return;
+    }
+    JobSpec spec;
+    if (!ParseJobSpec(*job_field, &spec, &error)) {
+      reply(ErrorReply("submit: " + error));
+      return;
+    }
+    const JobRunner::SubmitResult result = runner_->Submit(spec);
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("submit");
+    w.Key("id").UInt(result.job_id);
+    w.Key("hash").String(result.hash);
+    w.Key("cached").Bool(result.cached);
+    w.Key("deduped").Bool(result.deduped);
+    w.EndObject();
+    reply(w.TakeString());
+  } else if (op == "status") {
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("status");
+    w.Key("schema").String("easeio-daemon/1");
+    w.Key("queued").UInt(runner_->QueuedCount());
+    w.Key("running").UInt(runner_->RunningCount());
+    w.Key("last_seq").UInt(runner_->last_seq());
+    w.Key("jobs").BeginArray();
+    for (const JobInfo& job : runner_->ListJobs()) {
+      w.BeginObject();
+      w.Key("id").UInt(job.id);
+      w.Key("kind").String(ToString(job.spec.kind));
+      w.Key("state").String(ToString(job.state));
+      w.Key("hash").String(job.hash);
+      w.Key("cached").Bool(job.cached);
+      if (!job.summary.empty()) {
+        w.Key("summary").String(job.summary);
+      }
+      if (!job.error.empty()) {
+        w.Key("error").String(job.error);
+      }
+      if (!job.artifact_file.empty()) {
+        w.Key("artifact_file").String(job.artifact_file);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    WriteCacheStats(w, cache_->Stats());
+    w.EndObject();
+    reply(w.TakeString());
+  } else if (op == "watch") {
+    uint64_t after = 0;
+    if (const JsonValue* after_field = doc.Find("after")) {
+      if (!after_field->GetUint(&after)) {
+        reply(ErrorReply("watch: \"after\" must be an unsigned integer"));
+        return;
+      }
+    }
+    client.watching = true;
+    client.watch_sent_seq = after;
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("watch");
+    w.Key("last_seq").UInt(runner_->last_seq());
+    w.EndObject();
+    reply(w.TakeString());
+    SendEvents(client);  // catch-up; live events follow via OnJobEvent
+  } else if (op == "results") {
+    const JsonValue* id_field = doc.Find("id");
+    uint64_t id = 0;
+    if (id_field == nullptr || !id_field->GetUint(&id)) {
+      reply(ErrorReply("results: missing \"id\""));
+      return;
+    }
+    JobInfo job;
+    std::string artifact;
+    if (!runner_->GetJob(id, &job)) {
+      reply(ErrorReply("results: unknown job id " + std::to_string(id)));
+      return;
+    }
+    if (job.state != JobState::kDone || !runner_->GetArtifact(id, &artifact)) {
+      reply(ErrorReply("results: job " + std::to_string(id) + " is " +
+                       ToString(job.state) +
+                       (job.state == JobState::kFailed ? ": " + job.error : "")));
+      return;
+    }
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("results");
+    w.Key("id").UInt(id);
+    w.Key("hash").String(job.hash);
+    w.Key("artifact").String(artifact);
+    w.EndObject();
+    reply(w.TakeString());
+  } else if (op == "cache-stats") {
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("cache-stats");
+    WriteCacheStats(w, cache_->Stats());
+    w.EndObject();
+    reply(w.TakeString());
+  } else if (op == "shutdown") {
+    report::JsonWriter w;
+    w.BeginObject().Key("ok").Bool(true).Key("op").String("shutdown").EndObject();
+    reply(w.TakeString());
+    shutdown_requested_ = true;
+  } else {
+    reply(ErrorReply("unknown op: " + op));
+  }
+}
+
+void Server::Run() {
+  while (!shutdown_requested_) {
+    if (options_.shutdown_flag != nullptr &&
+        options_.shutdown_flag->load(std::memory_order_relaxed)) {
+      break;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const Client& client : clients_) {
+      short events = POLLIN;
+      if (!client.outbuf.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({client.fd, events, 0});
+    }
+
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+
+    // Wake pipe: drain it, then fan queued job events out to subscribers. The
+    // runner's event log is the source of truth (SendEvents filters by last-sent
+    // seq), so the pending queue is only a "something happened" signal.
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_read_fd_, buf, sizeof buf) > 0) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(event_mu_);
+      pending_events_.clear();
+    }
+    for (Client& client : clients_) {
+      if (client.watching) {
+        SendEvents(client);
+      }
+    }
+
+    if (fds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          break;
+        }
+        SetNonBlocking(fd);
+        Client client;
+        client.fd = fd;
+        clients_.push_back(std::move(client));
+      }
+    }
+
+    // fds[i + 2] pairs with clients_[i]; new accepts above were not polled yet.
+    const size_t polled = fds.size() - 2;
+    for (size_t i = 0; i < polled; ++i) {
+      Client& client = clients_[i];
+      if (fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char buf[64 * 1024];
+        for (;;) {
+          const ssize_t n = read(client.fd, buf, sizeof buf);
+          if (n > 0) {
+            client.inbuf.append(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          }
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
+          client.closing = true;  // EOF or hard error: flush what we owe, then drop
+          break;
+        }
+        size_t start = 0;
+        for (size_t nl = client.inbuf.find('\n', start); nl != std::string::npos;
+             nl = client.inbuf.find('\n', start)) {
+          HandleFrame(client, client.inbuf.substr(start, nl - start));
+          start = nl + 1;
+        }
+        client.inbuf.erase(0, start);
+        if (client.inbuf.size() > options_.max_frame_bytes) {
+          client.outbuf += ErrorReply("frame exceeds size cap") + "\n";
+          client.closing = true;
+        }
+      }
+    }
+
+    // Flush everyone with output owed; drop dead peers and drained closers.
+    for (size_t i = 0; i < clients_.size();) {
+      const bool alive = FlushClient(clients_[i]);
+      if (!alive || (clients_[i].closing && clients_[i].outbuf.empty())) {
+        close(clients_[i].fd);
+        clients_.erase(clients_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Best-effort flush of pending replies (the shutdown ack in particular) before
+  // the caller starts the drain.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    bool owed = false;
+    for (Client& client : clients_) {
+      if (!client.outbuf.empty()) {
+        pollfd pfd{client.fd, POLLOUT, 0};
+        poll(&pfd, 1, 100);
+        FlushClient(client);
+        owed = owed || !client.outbuf.empty();
+      }
+    }
+    if (!owed) {
+      break;
+    }
+  }
+
+  // The loop is done for good: hang up on every client so they see a definitive
+  // EOF after the flushed ack instead of a connection that dies with the process.
+  for (Client& client : clients_) {
+    close(client.fd);
+  }
+  clients_.clear();
+}
+
+}  // namespace easeio::daemon

@@ -1,0 +1,97 @@
+// The easeiod protocol server: newline-delimited JSON over a Unix domain stream
+// socket, multiplexing many concurrent clients with a single poll() loop.
+//
+// Wire protocol (one JSON object per line, both directions; grammar in DESIGN.md
+// §12): requests carry an "op" — submit, status, watch, results, cache-stats,
+// shutdown — and every request gets exactly one reply object with "ok" plus
+// op-specific fields. A malformed frame (bad JSON, missing op, bad job spec) gets
+// {"ok":false,"error":...} and the connection stays usable; only protocol-abuse
+// (a frame or buffer over the size cap) closes the connection. After a successful
+// watch reply the server additionally streams {"event":{...}} objects for every job
+// state transition until the client disconnects.
+//
+// Threading: the loop runs on one thread. Worker threads hand their JobEvents to
+// OnJobEvent, which queues them and pokes the loop through a self-pipe; the loop
+// drains the queue and fans events out to watch subscribers, each filtered by its
+// last-sent sequence number so the catch-up replay and the live stream never
+// duplicate or reorder events. The same self-pipe wakes the loop for signal-driven
+// shutdown: the handler writes one byte (async-signal-safe) and sets the flag the
+// loop re-checks on every wake-up.
+
+#ifndef EASEIO_DAEMON_SERVER_H_
+#define EASEIO_DAEMON_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "daemon/cache.h"
+#include "daemon/runner.h"
+
+namespace easeio::daemon {
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;
+    // Per-frame and per-connection input cap. A lint source rides inside one frame,
+    // so this bounds it too.
+    size_t max_frame_bytes = 8 * 1024 * 1024;
+    // Set by a signal handler (together with a WakeLoop() poke) to request the same
+    // graceful exit as the shutdown op. May be null.
+    const std::atomic<bool>* shutdown_flag = nullptr;
+  };
+
+  Server(JobRunner* runner, ResultCache* cache, Options options);
+  ~Server();
+
+  // Binds and listens on options.socket_path (an existing socket file is replaced).
+  // False + `error` on failure.
+  bool Listen(std::string* error);
+
+  // Runs the poll loop until a shutdown op arrives or the shutdown flag is set.
+  // Pending replies are flushed before returning; the caller then drains the runner.
+  void Run();
+
+  // Thread-safe event intake (the JobRunner's sink). Queues the event and wakes the
+  // loop so subscribers see it promptly.
+  void OnJobEvent(const JobEvent& event);
+
+  // Async-signal-safe poke: writes one byte to the self-pipe. Safe from a signal
+  // handler once Listen() has returned true.
+  void WakeLoop();
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    bool watching = false;
+    uint64_t watch_sent_seq = 0;  // newest event seq already written to this client
+    bool closing = false;         // flush outbuf, then close
+  };
+
+  void HandleFrame(Client& client, const std::string& frame);
+  void SendEvents(Client& client);
+  bool FlushClient(Client& client);  // false when the connection is dead
+
+  JobRunner* const runner_;
+  ResultCache* const cache_;
+  const Options options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool shutdown_requested_ = false;
+  std::vector<Client> clients_;
+
+  std::mutex event_mu_;
+  std::deque<JobEvent> pending_events_;
+};
+
+}  // namespace easeio::daemon
+
+#endif  // EASEIO_DAEMON_SERVER_H_

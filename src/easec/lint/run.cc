@@ -1,0 +1,29 @@
+#include "easec/lint/run.h"
+
+namespace easeio::easec::lint {
+
+LintJobResult ExecuteLintJob(const LintJob& job) {
+  LintJobResult out;
+  const CompileResult compiled = Compile(job.source, job.compile_options);
+  if (!compiled.ok) {
+    out.compile_errors = compiled.errors;
+    return out;
+  }
+  out.compiled = true;
+
+  LintOptions lint_options;
+  lint_options.dma_priv_buffer_bytes = job.compile_options.dma_priv_buffer_bytes;
+  out.lint = Lint(compiled, lint_options);
+  if (job.confirm_witnesses) {
+    ConfirmWitnesses(compiled, out.lint, job.witness_options);
+  } else {
+    SuggestSchedules(compiled, out.lint, job.witness_options);
+  }
+
+  out.text = RenderText(out.lint, job.source_name);
+  out.json = RenderJson(out.lint, job.source_name);
+  out.has_findings = out.lint.errors + out.lint.warnings > 0;
+  return out;
+}
+
+}  // namespace easeio::easec::lint

@@ -1,0 +1,45 @@
+// The easelint run-a-job body as a library function, shared by the easelint CLI and
+// the easeiod daemon: compile the program, run the dataflow analyses, suggest or
+// replay witness schedules, and render both report forms. Pure and deterministic for
+// a fixed spec — the property the daemon's content-addressed result cache relies on.
+
+#ifndef EASEIO_EASEC_LINT_RUN_H_
+#define EASEIO_EASEC_LINT_RUN_H_
+
+#include <string>
+
+#include "easec/lint/lint.h"
+#include "easec/lint/witness.h"
+#include "easec/program.h"
+
+namespace easeio::easec::lint {
+
+struct LintJob {
+  std::string source;       // program text (not a path — callers do the I/O)
+  std::string source_name;  // name echoed into the reports, e.g. the path or <stdin>
+  CompileOptions compile_options;
+  WitnessOptions witness_options;
+  // false: fill suggested schedules only; true: also replay each suggestion in the
+  // simulator and confirm/downgrade (easelint --witness).
+  bool confirm_witnesses = false;
+};
+
+struct LintJobResult {
+  // False when the program failed to compile; `compile_errors` then holds the
+  // diagnostics and the remaining fields are empty (CLI exit 2).
+  bool compiled = false;
+  std::string compile_errors;
+
+  LintResult lint;
+  std::string text;  // RenderText output
+  std::string json;  // RenderJson output (the easeio-lint/1 document)
+
+  // True when any finding above advisory remains (CLI exit 1).
+  bool has_findings = false;
+};
+
+LintJobResult ExecuteLintJob(const LintJob& job);
+
+}  // namespace easeio::easec::lint
+
+#endif  // EASEIO_EASEC_LINT_RUN_H_

@@ -1,0 +1,20 @@
+#include "obs/trace_job.h"
+
+#include "obs/profile.h"
+#include "obs/timeline.h"
+
+namespace easeio::obs {
+
+TraceJobResult ExecuteTraceJob(const TraceJob& job) {
+  TraceJobResult out;
+  out.run = CaptureRun(job.config);
+  if (job.want_trace) {
+    out.trace_json = ChromeTraceJson(out.run);
+  }
+  if (job.want_profile) {
+    out.profile_json = ProfileJson(out.run);
+  }
+  return out;
+}
+
+}  // namespace easeio::obs

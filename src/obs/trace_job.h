@@ -1,0 +1,33 @@
+// The easetrace run-a-job body as a library function, shared by the easetrace CLI
+// and the easeiod daemon: run one instrumented experiment and render the requested
+// documents. Observation is free (the run is bit-identical to an uninstrumented one)
+// and both documents are deterministic for a fixed config — identical specs yield
+// byte-identical artifacts, which is what lets the daemon cache them by content hash.
+
+#ifndef EASEIO_OBS_TRACE_JOB_H_
+#define EASEIO_OBS_TRACE_JOB_H_
+
+#include <string>
+
+#include "obs/capture.h"
+#include "report/experiment.h"
+
+namespace easeio::obs {
+
+struct TraceJob {
+  report::ExperimentConfig config;
+  bool want_trace = false;    // render the Chrome trace-event timeline
+  bool want_profile = false;  // render the easeio-profile/1 document
+};
+
+struct TraceJobResult {
+  CapturedRun run;
+  std::string trace_json;    // empty unless want_trace
+  std::string profile_json;  // empty unless want_profile
+};
+
+TraceJobResult ExecuteTraceJob(const TraceJob& job);
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_TRACE_JOB_H_

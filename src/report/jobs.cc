@@ -1,0 +1,172 @@
+#include "report/jobs.h"
+
+#include <utility>
+
+#include "report/json.h"
+
+namespace easeio::report {
+
+namespace {
+
+constexpr std::pair<const char*, apps::AppKind> kAppNames[] = {
+    {"dma", apps::AppKind::kDma},         {"temp", apps::AppKind::kTemp},
+    {"lea", apps::AppKind::kLea},         {"fir", apps::AppKind::kFir},
+    {"weather", apps::AppKind::kWeather}, {"branch", apps::AppKind::kBranch},
+};
+
+constexpr std::pair<const char*, apps::RuntimeKind> kRuntimeNames[] = {
+    {"alpaca", apps::RuntimeKind::kAlpaca},      {"ink", apps::RuntimeKind::kInk},
+    {"samoyed", apps::RuntimeKind::kSamoyed},    {"easeio", apps::RuntimeKind::kEaseio},
+    {"easeio-op", apps::RuntimeKind::kEaseioOp}, {"easeio_op", apps::RuntimeKind::kEaseioOp},
+};
+
+}  // namespace
+
+bool ParseApp(const std::string& name, apps::AppKind* out) {
+  for (const auto& [n, kind] : kAppNames) {
+    if (name == n) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseRuntime(const std::string& name, apps::RuntimeKind* out) {
+  for (const auto& [n, kind] : kRuntimeNames) {
+    if (name == n) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseAppList(const std::string& name, std::vector<apps::AppKind>* out) {
+  if (name == "all") {
+    out->assign(std::begin(apps::kAllApps), std::end(apps::kAllApps));
+    return true;
+  }
+  if (name == "unitask") {
+    out->assign(std::begin(apps::kUnitaskApps), std::end(apps::kUnitaskApps));
+    return true;
+  }
+  apps::AppKind kind;
+  if (!ParseApp(name, &kind)) {
+    return false;
+  }
+  out->assign(1, kind);
+  return true;
+}
+
+bool ParseRuntimeList(const std::string& name, std::vector<apps::RuntimeKind>* out) {
+  if (name == "all") {
+    out->assign({apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk,
+                 apps::RuntimeKind::kSamoyed, apps::RuntimeKind::kEaseio,
+                 apps::RuntimeKind::kEaseioOp});
+    return true;
+  }
+  apps::RuntimeKind kind;
+  if (!ParseRuntime(name, &kind)) {
+    return false;
+  }
+  out->assign(1, kind);
+  return true;
+}
+
+const char* AppName(apps::AppKind kind) {
+  for (const auto& [n, k] : kAppNames) {
+    if (k == kind) {
+      return n;
+    }
+  }
+  return "?";
+}
+
+const char* RuntimeName(apps::RuntimeKind kind) {
+  // First table match wins, so kEaseioOp renders as "easeio-op" (its primary
+  // spelling), not the "easeio_op" alias.
+  for (const auto& [n, k] : kRuntimeNames) {
+    if (k == kind) {
+      return n;
+    }
+  }
+  return "?";
+}
+
+ExploreJobResult ExecuteExploreJob(const ExploreJob& job) {
+  ExploreJobResult out;
+  for (apps::AppKind app : job.apps) {
+    for (apps::RuntimeKind rt : job.runtimes) {
+      chk::ExploreConfig cfg = job.base;
+      cfg.app = app;
+      cfg.runtime = rt;
+      out.results.push_back(chk::Explore(cfg));
+      out.configs.push_back(cfg);
+      out.total_violations += out.results.back().violations.size();
+    }
+  }
+  return out;
+}
+
+SweepJobResult ExecuteSweepJob(const SweepJob& job) {
+  SweepJobResult out;
+  for (apps::AppKind app : job.apps) {
+    for (apps::RuntimeKind rt : job.runtimes) {
+      ExperimentConfig cfg = job.base;
+      cfg.app = app;
+      cfg.runtime = rt;
+      SweepCell cell;
+      cell.app = app;
+      cell.runtime = rt;
+      cell.aggregate = RunSweep(cfg, job.runs, job.jobs);
+      out.cells.push_back(cell);
+    }
+  }
+  return out;
+}
+
+std::string SweepJobJson(const SweepJob& job, const SweepJobResult& result,
+                         const std::string& artifact_name) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-bench/1");
+  w.Key("artifact").String(artifact_name);
+  w.Key("description").String("parametrized sweep grid (daemon/easectl job)");
+  w.Key("config").BeginObject();
+  w.Key("runs").UInt(job.runs);
+  w.Key("seed").UInt(job.base.seed);
+  w.Key("regional").Bool(job.base.easeio_regional_privatization);
+  w.Key("tick_us").UInt(job.base.timekeeper_tick_us);
+  w.EndObject();
+  w.Key("cells").BeginArray();
+  for (const SweepCell& cell : result.cells) {
+    const Aggregate& agg = cell.aggregate;
+    w.BeginObject();
+    w.Key("labels").BeginObject();
+    w.Key("app").String(apps::ToString(cell.app));
+    w.Key("runtime").String(apps::ToString(cell.runtime));
+    w.EndObject();
+    w.Key("metrics").BeginObject();
+    w.Key("runs").Double(static_cast<double>(agg.runs));
+    w.Key("completed").Double(static_cast<double>(agg.completed));
+    w.Key("correct").Double(static_cast<double>(agg.correct));
+    w.Key("incorrect").Double(static_cast<double>(agg.incorrect));
+    w.Key("total_us").Double(agg.total_us);
+    w.Key("app_us").Double(agg.app_us);
+    w.Key("overhead_us").Double(agg.overhead_us);
+    w.Key("wasted_us").Double(agg.wasted_us);
+    w.Key("energy_mj").Double(agg.energy_mj);
+    w.Key("wall_us").Double(agg.wall_us);
+    w.Key("power_failures").Double(static_cast<double>(agg.power_failures));
+    w.Key("io_reexecutions").Double(static_cast<double>(agg.io_reexecutions));
+    w.Key("io_skipped").Double(static_cast<double>(agg.io_skipped));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace easeio::report

@@ -1,0 +1,104 @@
+// Reusable job-execution entry points shared by the one-shot CLIs and the easeiod
+// daemon (src/daemon/).
+//
+// Each job kind that used to live inline in a tool's main() — the easechk exploration
+// grid, the sweep grids the bench binaries run — is factored here as a pure
+// function from a declarative spec to a result, with no process-global state and no
+// output side effects. The CLIs render/serialize the result exactly as before (their
+// stdout and JSON bytes are unchanged); the daemon executes the same functions from
+// its worker pool and caches the deterministic artifacts by content hash. Determinism
+// is the contract that makes that cache sound: for a fixed spec, every field consumed
+// downstream (and the JSON serialization built from it) is byte-identical across
+// runs, jobs counts, and engine modes (timing excluded — see chk::ToJson).
+
+#ifndef EASEIO_REPORT_JOBS_H_
+#define EASEIO_REPORT_JOBS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/explorer.h"
+#include "report/experiment.h"
+
+namespace easeio::report {
+
+// --- Shared name <-> enum parsing ----------------------------------------------------
+// One table for every surface that accepts app/runtime names (easechk, easetrace,
+// easectl, the daemon protocol), so a new workload needs exactly one edit.
+
+// Parses a single app name ("dma", "weather", ...). Returns false on unknown names.
+bool ParseApp(const std::string& name, apps::AppKind* out);
+
+// Parses a single runtime name ("alpaca", "easeio-op", ...).
+bool ParseRuntime(const std::string& name, apps::RuntimeKind* out);
+
+// Parses an app list name: a single app, "unitask" (dma+temp+lea), or "all".
+bool ParseAppList(const std::string& name, std::vector<apps::AppKind>* out);
+
+// Parses a runtime list name: a single runtime or "all".
+bool ParseRuntimeList(const std::string& name, std::vector<apps::RuntimeKind>* out);
+
+// Canonical lowercase CLI names — the inverses of ParseApp/ParseRuntime, distinct
+// from the display names apps::ToString renders into tables ("dma" vs "DMA").
+const char* AppName(apps::AppKind kind);
+const char* RuntimeName(apps::RuntimeKind kind);
+
+// --- Exploration jobs (the easechk body) ---------------------------------------------
+
+// One exploration grid: the cross product of apps x runtimes, each explored with the
+// shared base config (base.app / base.runtime are overwritten per cell).
+struct ExploreJob {
+  std::vector<apps::AppKind> apps;
+  std::vector<apps::RuntimeKind> runtimes;
+  chk::ExploreConfig base;
+};
+
+struct ExploreJobResult {
+  // Parallel vectors in grid order (apps outer, runtimes inner) — exactly the
+  // iteration order easechk always used.
+  std::vector<chk::ExploreResult> results;
+  std::vector<chk::ExploreConfig> configs;
+  size_t total_violations = 0;
+};
+
+// Runs the grid. Deterministic for any base.jobs value (chk::Explore's guarantee).
+ExploreJobResult ExecuteExploreJob(const ExploreJob& job);
+
+// --- Sweep jobs (the bench-binary body, parametrized) --------------------------------
+
+// One sweep grid over apps x runtimes under the paper's failure emulation; each cell
+// aggregates `runs` seeds starting at base.seed.
+struct SweepJob {
+  std::vector<apps::AppKind> apps;
+  std::vector<apps::RuntimeKind> runtimes;
+  ExperimentConfig base;
+  uint32_t runs = 100;
+  uint32_t jobs = 0;  // worker threads per cell; results identical for any value
+};
+
+struct SweepCell {
+  apps::AppKind app;
+  apps::RuntimeKind runtime;
+  Aggregate aggregate;
+};
+
+struct SweepJobResult {
+  std::vector<SweepCell> cells;  // grid order (apps outer, runtimes inner)
+};
+
+// Runs the grid through RunSweep. Deterministic: byte-identical aggregates
+// (floating point included) for any jobs count.
+SweepJobResult ExecuteSweepJob(const SweepJob& job);
+
+// Serializes a sweep result as a deterministic `easeio-bench/1` document: schema,
+// artifact name, config echo, and one cell per grid entry with the full Aggregate
+// metric set (the same keys bench::BenchEmitter emits). Unlike the bench binaries'
+// files it carries no wall-clock fields, so identical specs yield byte-identical
+// documents — the property the daemon's result cache relies on.
+std::string SweepJobJson(const SweepJob& job, const SweepJobResult& result,
+                         const std::string& artifact_name);
+
+}  // namespace easeio::report
+
+#endif  // EASEIO_REPORT_JOBS_H_

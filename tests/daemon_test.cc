@@ -1,0 +1,570 @@
+// Unit tests for the easeiod daemon building blocks: the strict JSON parser, the
+// SHA-256 content hash, the canonical cache key, the on-disk result cache, and the
+// job runner (in-process, no socket). The server protocol itself is covered by
+// daemon_server_test.cc.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/cache.h"
+#include "daemon/hash.h"
+#include "daemon/jobspec.h"
+#include "daemon/jsonin.h"
+#include "daemon/runner.h"
+#include "easec/lint/run.h"
+#include "obs/trace_job.h"
+#include "report/jobs.h"
+
+namespace easeio::daemon {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A unique fresh directory per test, removed on teardown.
+class TempDir {
+ public:
+  explicit TempDir(const char* tag) {
+    static std::atomic<int> counter{0};
+    path_ = fs::temp_directory_path() /
+            (std::string("easeio-daemon-test-") + tag + "-" +
+             std::to_string(::getpid()) + "-" + std::to_string(counter++));
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+// --- jsonin --------------------------------------------------------------------------
+
+TEST(JsonInTest, ParsesScalarsAndContainers) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5}})", &v, &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  uint64_t a = 0;
+  ASSERT_TRUE(v.Find("a")->GetUint(&a));
+  EXPECT_EQ(a, 1u);
+  const JsonValue* b = v.Find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->Items().size(), 3u);
+  EXPECT_TRUE(b->Items()[0].AsBool());
+  EXPECT_TRUE(b->Items()[1].is_null());
+  EXPECT_EQ(b->Items()[2].AsString(), "x\n");
+  double d = 0;
+  ASSERT_TRUE(v.Find("c")->Find("d")->GetDouble(&d));
+  EXPECT_EQ(d, -2.5);
+}
+
+TEST(JsonInTest, RejectsMalformedInput) {
+  const char* kBad[] = {
+      "",            "{",           "[1,]",      "{\"a\":}",  "{'a':1}",
+      "{\"a\":01}",  "[1 2]",       "tru",       "\"\\q\"",   "{\"a\":1}x",
+      "\"\x01\"",    "{\"a\":1,\"a\":2}",  // duplicate key
+  };
+  for (const char* text : kBad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(ParseJson(text, &v, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonInTest, EnforcesDepthCap) {
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += "[";
+  for (int i = 0; i < 40; ++i) deep += "]";
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(deep, &v, &error, /*max_depth=*/32));
+  EXPECT_TRUE(ParseJson(deep, &v, &error, /*max_depth=*/64)) << error;
+}
+
+TEST(JsonInTest, UintRejectsNegativeAndFractional) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"([-1, 1.5, 18446744073709551615, 1e2])", &v, &error));
+  uint64_t u = 0;
+  EXPECT_FALSE(v.Items()[0].GetUint(&u));
+  EXPECT_FALSE(v.Items()[1].GetUint(&u));
+  EXPECT_TRUE(v.Items()[2].GetUint(&u));
+  EXPECT_EQ(u, UINT64_MAX);
+  EXPECT_FALSE(v.Items()[3].GetUint(&u));  // exponent form is not an integer literal
+}
+
+// --- sha256 --------------------------------------------------------------------------
+
+TEST(Sha256Test, KnownVectors) {
+  // FIPS 180-4 / NIST test vectors.
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // One block boundary case: 64 bytes exactly.
+  EXPECT_EQ(Sha256Hex(std::string(64, 'a')),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.Update("hello ");
+  h.Update("");
+  h.Update("world");
+  const auto digest = h.Digest();
+  std::string hex;
+  for (uint8_t b : digest) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    hex += buf;
+  }
+  EXPECT_EQ(hex, Sha256Hex("hello world"));
+}
+
+// --- jobspec: canonical key ----------------------------------------------------------
+
+TEST(JobSpecTest, EveryKeyComponentChangesTheHash) {
+  JobSpec base;
+  base.kind = JobKind::kExplore;
+  const std::string h0 = ContentHash(base);
+
+  JobSpec changed = base;
+  changed.seed = 2;
+  EXPECT_NE(ContentHash(changed), h0) << "seed must be in the key";
+  changed = base;
+  changed.apps = {apps::AppKind::kTemp};
+  EXPECT_NE(ContentHash(changed), h0) << "apps must be in the key";
+  changed = base;
+  changed.runtimes = {apps::RuntimeKind::kAlpaca};
+  EXPECT_NE(ContentHash(changed), h0) << "runtimes must be in the key";
+  changed = base;
+  changed.depth = 1;
+  EXPECT_NE(ContentHash(changed), h0) << "depth must be in the key";
+  changed = base;
+  changed.budget = 99;
+  EXPECT_NE(ContentHash(changed), h0) << "budget must be in the key";
+  changed = base;
+  changed.off_us = 1;
+  EXPECT_NE(ContentHash(changed), h0) << "off_us must be in the key";
+  changed = base;
+  changed.use_snapshot = false;
+  EXPECT_NE(ContentHash(changed), h0) << "engine mode stays in the key";
+  changed = base;
+  changed.regional = false;
+  EXPECT_NE(ContentHash(changed), h0) << "regional must be in the key";
+  changed = base;
+  changed.priv_buffer_bytes = 1;
+  EXPECT_NE(ContentHash(changed), h0) << "priv_buffer must be in the key";
+  changed = base;
+  changed.tick_us = 7;
+  EXPECT_NE(ContentHash(changed), h0) << "tick_us must be in the key";
+  changed = base;
+  changed.kind = JobKind::kSweep;
+  EXPECT_NE(ContentHash(changed), h0) << "kind must be in the key";
+}
+
+TEST(JobSpecTest, ExecutionHintsDoNotChangeTheHash) {
+  JobSpec base;
+  JobSpec more_workers = base;
+  more_workers.exec_jobs = 64;
+  EXPECT_EQ(ContentHash(base), ContentHash(more_workers))
+      << "worker count cannot affect artifact bytes and must not shard the cache";
+}
+
+TEST(JobSpecTest, KindScopedFieldsAreIgnoredForOtherKinds) {
+  // A sweep's hash must not change when explore-only knobs move: they cannot affect
+  // a sweep artifact, and keying on them would shard identical results.
+  JobSpec base;
+  base.kind = JobKind::kSweep;
+  JobSpec changed = base;
+  changed.depth = 1;
+  changed.budget = 3;
+  changed.source = "task t {}";
+  EXPECT_EQ(ContentHash(base), ContentHash(changed));
+}
+
+TEST(JobSpecTest, LintKeyHashesSourceText) {
+  JobSpec a;
+  a.kind = JobKind::kLint;
+  a.source = "task t1 { write out; }";
+  JobSpec b = a;
+  b.source = "task t1 { write out2; }";
+  EXPECT_NE(ContentHash(a), ContentHash(b));
+  JobSpec renamed = a;
+  renamed.source_name = "other.ec";
+  EXPECT_NE(ContentHash(a), ContentHash(renamed))
+      << "the source name is echoed into the artifact, so it is part of the key";
+}
+
+TEST(JobSpecTest, TraceTimelineSelectsSchema) {
+  JobSpec profile;
+  profile.kind = JobKind::kTrace;
+  JobSpec timeline = profile;
+  timeline.timeline = true;
+  EXPECT_NE(ContentHash(profile), ContentHash(timeline));
+  EXPECT_NE(CanonicalKey(profile).find("easeio-profile/1"), std::string::npos);
+  EXPECT_NE(CanonicalKey(timeline).find("easeio-trace/1"), std::string::npos);
+}
+
+TEST(JobSpecTest, JsonRoundTripPreservesTheHash) {
+  JobSpec specs[4];
+  specs[0].kind = JobKind::kSweep;
+  specs[0].apps = {apps::AppKind::kTemp, apps::AppKind::kDma};
+  specs[0].runtimes = {apps::RuntimeKind::kEaseioOp};
+  specs[0].runs = 7;
+  specs[0].seed = 42;
+  specs[1].kind = JobKind::kExplore;
+  specs[1].depth = 1;
+  specs[1].budget = 11;
+  specs[1].use_snapshot = false;
+  specs[2].kind = JobKind::kLint;
+  specs[2].source = "task t1 { write \"x\\n\"; }";
+  specs[2].source_name = "quote\"name.ec";
+  specs[2].witness = true;
+  specs[3].kind = JobKind::kTrace;
+  specs[3].timeline = true;
+  specs[3].harvester_in = 52.5;
+
+  for (const JobSpec& spec : specs) {
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(ToJson(spec), &v, &error)) << error;
+    JobSpec parsed;
+    ASSERT_TRUE(ParseJobSpec(v, &parsed, &error)) << error;
+    EXPECT_EQ(ContentHash(parsed), ContentHash(spec));
+    EXPECT_EQ(ToJson(parsed), ToJson(spec));
+  }
+}
+
+TEST(JobSpecTest, ParseRejectsUnknownAndOutOfRangeFields) {
+  const char* kBad[] = {
+      R"({"kind":"sweep","bogus":1})",
+      R"({"kind":"warp"})",
+      R"({"kind":"sweep","runs":0})",
+      R"({"kind":"explore","depth":3})",
+      R"({"kind":"sweep","apps":[]})",
+      R"({"kind":"sweep","apps":["nope"]})",
+      R"({"kind":"lint"})",  // lint requires source
+      R"({"kind":"sweep","jobs":5000})",
+  };
+  for (const char* text : kBad) {
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(text, &v, &error)) << text;
+    JobSpec spec;
+    EXPECT_FALSE(ParseJobSpec(v, &spec, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JobSpecTest, ArtifactFileNameCarriesLabelAndHashPrefix) {
+  JobSpec sweep;
+  sweep.kind = JobKind::kSweep;
+  sweep.apps = {apps::AppKind::kTemp, apps::AppKind::kDma};
+  const std::string hash(64, 'a');
+  EXPECT_EQ(ArtifactFileName(sweep, hash), "sweep-temp+dma-aaaaaaaaaaaa.json");
+
+  JobSpec lint;
+  lint.kind = JobKind::kLint;
+  lint.source_name = "dir/sub/war dma!.ec";
+  EXPECT_EQ(ArtifactFileName(lint, hash), "lint-war-dma--aaaaaaaaaaaa.json");
+
+  // Same app, different config: the hash prefix keeps the names collision-free.
+  JobSpec other = sweep;
+  other.seed = 99;
+  EXPECT_NE(ArtifactFileName(sweep, ContentHash(sweep)),
+            ArtifactFileName(other, ContentHash(other)));
+}
+
+// --- jobspec: execution matches the library entry points -----------------------------
+
+TEST(JobSpecTest, ExecuteSpecMatchesLibraryOutputs) {
+  JobSpec spec;
+  spec.kind = JobKind::kTrace;
+  spec.apps = {apps::AppKind::kTemp};
+  spec.runtimes = {apps::RuntimeKind::kEaseio};
+  const JobOutcome outcome = ExecuteSpec(spec);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  obs::TraceJob job;
+  job.config.app = apps::AppKind::kTemp;
+  job.config.runtime = apps::RuntimeKind::kEaseio;
+  job.config.cap_sample_period_us = spec.cap_sample_us;
+  job.want_profile = true;
+  EXPECT_EQ(outcome.artifact, obs::ExecuteTraceJob(job).profile_json + "\n");
+
+  // Determinism: a second execution yields identical bytes.
+  EXPECT_EQ(ExecuteSpec(spec).artifact, outcome.artifact);
+}
+
+TEST(JobSpecTest, ExecuteSpecReportsLintCompileFailure) {
+  JobSpec spec;
+  spec.kind = JobKind::kLint;
+  spec.source = "task { this is not easec";
+  const JobOutcome outcome = ExecuteSpec(spec);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("compile failed"), std::string::npos);
+}
+
+// --- cache ---------------------------------------------------------------------------
+
+TEST(CacheTest, HitReturnsByteIdenticalArtifact) {
+  TempDir dir("cache-hit");
+  ResultCache cache(dir.str(), 0);
+  const std::string artifact = "{\"x\":1}\nsecond line, stored verbatim\n";
+  const std::string hash(64, '1');
+  cache.Put(hash, "sweep", artifact);
+  std::string got, kind;
+  ASSERT_TRUE(cache.Get(hash, &got, &kind));
+  EXPECT_EQ(got, artifact);
+  EXPECT_EQ(kind, "sweep");
+  EXPECT_FALSE(cache.Get(std::string(64, '2'), &got));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CacheTest, PersistsAcrossReopen) {
+  TempDir dir("cache-reopen");
+  const std::string hash(64, '3');
+  {
+    ResultCache cache(dir.str(), 0);
+    cache.Put(hash, "trace", "artifact-bytes\n");
+  }
+  ResultCache reopened(dir.str(), 0);
+  std::string got;
+  ASSERT_TRUE(reopened.Get(hash, &got));
+  EXPECT_EQ(got, "artifact-bytes\n");
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsedUnderCap) {
+  TempDir dir("cache-lru");
+  // Cap of 25 bytes holds two 10-byte artifacts, not three.
+  ResultCache cache(dir.str(), 25);
+  const std::string a(64, 'a'), b(64, 'b'), c(64, 'c');
+  cache.Put(a, "k", std::string(10, 'A'));
+  cache.Put(b, "k", std::string(10, 'B'));
+  std::string got;
+  ASSERT_TRUE(cache.Get(a, &got));  // a is now more recent than b
+  cache.Put(c, "k", std::string(10, 'C'));
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_FALSE(cache.Contains(b)) << "b was least recently used";
+  EXPECT_TRUE(cache.Contains(c));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_LE(cache.Stats().bytes, 25u);
+}
+
+TEST(CacheTest, DiscardsTruncatedObjectsOnLoad) {
+  TempDir dir("cache-torn");
+  const std::string hash(64, '7');
+  {
+    ResultCache cache(dir.str(), 0);
+    cache.Put(hash, "k", "full artifact contents\n");
+  }
+  // Simulate a torn write: truncate the object behind the index's back.
+  std::ofstream(dir.str() + "/objects/" + hash + ".json", std::ios::trunc) << "x";
+  ResultCache reopened(dir.str(), 0);
+  std::string got;
+  EXPECT_FALSE(reopened.Get(hash, &got));
+  EXPECT_EQ(reopened.Stats().entries, 0u);
+}
+
+// --- runner --------------------------------------------------------------------------
+
+// Collects runner events and lets tests wait for a given job state.
+class EventLog {
+ public:
+  void Add(const JobEvent& event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+    cv_.notify_all();
+  }
+  JobRunner::EventSink Sink() {
+    return [this](const JobEvent& event) { Add(event); };
+  }
+  // Blocks until job `id` reports `state`.
+  void Await(uint64_t id, const std::string& state) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      for (const JobEvent& e : events_) {
+        if (e.job_id == id && e.state == state) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  std::vector<JobEvent> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<JobEvent> events_;
+};
+
+JobSpec QuickTraceSpec(uint64_t seed) {
+  JobSpec spec;
+  spec.kind = JobKind::kTrace;
+  spec.apps = {apps::AppKind::kTemp};
+  spec.runtimes = {apps::RuntimeKind::kEaseio};
+  spec.seed = seed;
+  return spec;
+}
+
+// A job that takes ~100ms: long enough that it is reliably still in flight when
+// the test calls Stop() a few microseconds after observing "running".
+JobSpec SlowSweepSpec(uint64_t seed) {
+  JobSpec spec;
+  spec.kind = JobKind::kSweep;
+  spec.apps = {apps::AppKind::kTemp};
+  spec.runtimes = {apps::RuntimeKind::kEaseio};
+  spec.runs = 1000;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(RunnerTest, ExecutesCachesAndDedupes) {
+  TempDir cache_dir("runner-cache");
+  TempDir results_dir("runner-results");
+  fs::create_directories(results_dir.str());
+  ResultCache cache(cache_dir.str(), 0);
+  EventLog log;
+  JobRunner::Options options;
+  options.workers = 2;
+  options.results_dir = results_dir.str();
+  JobRunner runner(&cache, options, log.Sink());
+  runner.Start();
+
+  const JobSpec spec = QuickTraceSpec(5);
+  const auto first = runner.Submit(spec);
+  EXPECT_FALSE(first.cached);
+  log.Await(first.job_id, "done");
+
+  // Identical resubmission: new job, completed immediately from the cache, same
+  // artifact bytes.
+  const auto second = runner.Submit(spec);
+  EXPECT_TRUE(second.cached);
+  EXPECT_NE(second.job_id, first.job_id);
+  EXPECT_EQ(second.hash, first.hash);
+  std::string a1, a2;
+  ASSERT_TRUE(runner.GetArtifact(first.job_id, &a1));
+  ASSERT_TRUE(runner.GetArtifact(second.job_id, &a2));
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(a1, ExecuteSpec(spec).artifact);
+
+  // The results-dir export exists under the collision-safe name.
+  JobInfo info;
+  ASSERT_TRUE(runner.GetJob(first.job_id, &info));
+  EXPECT_EQ(info.artifact_file, ArtifactFileName(spec, first.hash));
+  EXPECT_TRUE(fs::exists(fs::path(results_dir.str()) / info.artifact_file));
+
+  // Event ordering for the executed job: queued before running before done.
+  uint64_t queued_seq = 0, running_seq = 0, done_seq = 0;
+  for (const JobEvent& e : log.Snapshot()) {
+    if (e.job_id != first.job_id) {
+      continue;
+    }
+    if (e.state == "queued") queued_seq = e.seq;
+    if (e.state == "running") running_seq = e.seq;
+    if (e.state == "done") done_seq = e.seq;
+  }
+  EXPECT_LT(queued_seq, running_seq);
+  EXPECT_LT(running_seq, done_seq);
+  runner.Stop();
+}
+
+TEST(RunnerTest, DrainPersistsQueuedJobsAndResumes) {
+  TempDir cache_dir("runner-drain");
+  const std::string queue_path = cache_dir.str() + "/queue.json";
+  ResultCache cache(cache_dir.str(), 0);
+  EventLog log;
+  JobRunner::Options options;
+  options.workers = 1;
+  options.queue_path = queue_path;
+  std::vector<std::string> hashes;
+  {
+    JobRunner runner(&cache, options, log.Sink());
+    runner.Start();
+    // One worker: A runs; B and C wait in the queue.
+    const auto a = runner.Submit(SlowSweepSpec(11));
+    const auto b = runner.Submit(SlowSweepSpec(2000));
+    const auto c = runner.Submit(SlowSweepSpec(4000));
+    hashes = {a.hash, b.hash, c.hash};
+    log.Await(a.job_id, "running");
+    runner.Stop();
+    // The in-flight job finished (it is in the cache or failed); none were lost:
+    // every job is either cached or persisted in the queue file.
+  }
+  std::string queue_json;
+  {
+    std::ifstream in(queue_path);
+    ASSERT_TRUE(in.good()) << "queued jobs must be persisted on drain";
+    std::string line;
+    while (std::getline(in, line)) {
+      queue_json += line;
+    }
+  }
+  size_t persisted = 0;
+  for (const std::string& hash : hashes) {
+    if (!cache.Contains(hash)) {
+      ++persisted;
+    }
+  }
+  EXPECT_GE(persisted, 1u) << "with one worker, at least one job was still queued";
+
+  // A fresh runner resumes the persisted queue and completes everything.
+  EventLog log2;
+  JobRunner runner2(&cache, options, log2.Sink());
+  runner2.Start();
+  for (int i = 0; i < 2000 && runner2.QueuedCount() + runner2.RunningCount() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (const std::string& hash : hashes) {
+    EXPECT_TRUE(cache.Contains(hash));
+  }
+  EXPECT_FALSE(fs::exists(queue_path)) << "the queue file is consumed on resume";
+  runner2.Stop();
+}
+
+TEST(RunnerTest, InFlightDuplicateSubmissionsAttach) {
+  TempDir cache_dir("runner-dedup");
+  ResultCache cache(cache_dir.str(), 0);
+  EventLog log;
+  JobRunner::Options options;
+  options.workers = 1;
+  JobRunner runner(&cache, options, log.Sink());
+  // Not started: submissions stay queued, so the duplicate reliably attaches.
+  const auto first = runner.Submit(QuickTraceSpec(21));
+  const auto dup = runner.Submit(QuickTraceSpec(21));
+  EXPECT_TRUE(dup.deduped);
+  EXPECT_EQ(dup.job_id, first.job_id);
+  runner.Start();
+  log.Await(first.job_id, "done");
+  runner.Stop();
+}
+
+}  // namespace
+}  // namespace easeio::daemon

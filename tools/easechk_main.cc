@@ -23,6 +23,9 @@
 //   --no-snapshot   full-replay every depth-2 schedule instead of resuming from a
 //                   post-first-failure snapshot (cross-check; slower, same results)
 //   --json      also write results as JSON to PATH
+//   --no-timing omit the host-dependent "timing" object from the JSON, making the
+//               document fully deterministic (byte-identical across machines and
+//               engine modes — the form the easeiod result cache stores)
 //   --expect-clean  exit nonzero if any invariant violation was found
 //   --trace-failures=DIR  for every invariant violation, deterministically replay its
 //               failure schedule with the observability probe attached and write a
@@ -44,10 +47,10 @@
 #include <string>
 #include <vector>
 
-#include "chk/explorer.h"
 #include "cli_flags.h"
 #include "obs/capture.h"
 #include "obs/timeline.h"
+#include "report/jobs.h"
 #include "report/table.h"
 
 namespace {
@@ -59,56 +62,12 @@ bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
   return tools::ParseUintFlag("easechk", flag, s, min, max, out);
 }
 
-bool ParseApps(const std::string& name, std::vector<apps::AppKind>* out) {
-  if (name == "all") {
-    out->assign(std::begin(apps::kAllApps), std::end(apps::kAllApps));
-    return true;
-  }
-  if (name == "unitask") {
-    out->assign(std::begin(apps::kUnitaskApps), std::end(apps::kUnitaskApps));
-    return true;
-  }
-  static const std::pair<const char*, apps::AppKind> kNames[] = {
-      {"dma", apps::AppKind::kDma},         {"temp", apps::AppKind::kTemp},
-      {"lea", apps::AppKind::kLea},         {"fir", apps::AppKind::kFir},
-      {"weather", apps::AppKind::kWeather}, {"branch", apps::AppKind::kBranch},
-  };
-  for (const auto& [n, kind] : kNames) {
-    if (name == n) {
-      out->assign(1, kind);
-      return true;
-    }
-  }
-  return false;
-}
-
-bool ParseRuntimes(const std::string& name, std::vector<apps::RuntimeKind>* out) {
-  if (name == "all") {
-    out->assign({apps::RuntimeKind::kAlpaca, apps::RuntimeKind::kInk,
-                 apps::RuntimeKind::kSamoyed, apps::RuntimeKind::kEaseio,
-                 apps::RuntimeKind::kEaseioOp});
-    return true;
-  }
-  static const std::pair<const char*, apps::RuntimeKind> kNames[] = {
-      {"alpaca", apps::RuntimeKind::kAlpaca},     {"ink", apps::RuntimeKind::kInk},
-      {"samoyed", apps::RuntimeKind::kSamoyed},   {"easeio", apps::RuntimeKind::kEaseio},
-      {"easeio-op", apps::RuntimeKind::kEaseioOp}, {"easeio_op", apps::RuntimeKind::kEaseioOp},
-  };
-  for (const auto& [n, kind] : kNames) {
-    if (name == n) {
-      out->assign(1, kind);
-      return true;
-    }
-  }
-  return false;
-}
-
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
                "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
-               "               [--no-snapshot] [--json=PATH] [--expect-clean]\n"
-               "               [--trace-failures=DIR]\n");
+               "               [--no-snapshot] [--json=PATH] [--no-timing]\n"
+               "               [--expect-clean] [--trace-failures=DIR]\n");
 }
 
 // Violation invariant names become path components; keep them portable.
@@ -123,14 +82,15 @@ std::string SanitizeForFilename(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<apps::AppKind> app_list(std::begin(apps::kUnitaskApps),
-                                      std::end(apps::kUnitaskApps));
-  std::vector<apps::RuntimeKind> rt_list = {apps::RuntimeKind::kEaseio};
-  chk::ExploreConfig base;
+  report::ExploreJob job;
+  job.apps.assign(std::begin(apps::kUnitaskApps), std::end(apps::kUnitaskApps));
+  job.runtimes = {apps::RuntimeKind::kEaseio};
+  chk::ExploreConfig& base = job.base;
   std::string json_path;
   std::string trace_dir;
   bool trace_failures = false;
   bool expect_clean = false;
+  bool include_timing = true;
 
   tools::FlagDeduper dedupe("easechk");
   for (int i = 1; i < argc; ++i) {
@@ -145,12 +105,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (const char* v = value("--app=")) {
-      if (!ParseApps(v, &app_list)) {
+      if (!report::ParseAppList(v, &job.apps)) {
         std::fprintf(stderr, "easechk: unknown app '%s'\n", v);
         return 2;
       }
     } else if (const char* v = value("--runtime=")) {
-      if (!ParseRuntimes(v, &rt_list)) {
+      if (!report::ParseRuntimeList(v, &job.runtimes)) {
         std::fprintf(stderr, "easechk: unknown runtime '%s'\n", v);
         return 2;
       }
@@ -189,6 +149,8 @@ int main(int argc, char** argv) {
       base.easeio_regional_privatization = false;
     } else if (arg == "--no-snapshot") {
       base.use_snapshot = false;
+    } else if (arg == "--no-timing") {
+      include_timing = false;
     } else if (arg == "--expect-clean") {
       expect_clean = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -227,19 +189,10 @@ int main(int argc, char** argv) {
     std::filesystem::remove(probe_path, ec);
   }
 
-  std::vector<chk::ExploreResult> results;
-  std::vector<chk::ExploreConfig> configs;
-  size_t total_violations = 0;
-  for (apps::AppKind app : app_list) {
-    for (apps::RuntimeKind rt : rt_list) {
-      chk::ExploreConfig cfg = base;
-      cfg.app = app;
-      cfg.runtime = rt;
-      results.push_back(chk::Explore(cfg));
-      configs.push_back(cfg);
-      total_violations += results.back().violations.size();
-    }
-  }
+  const report::ExploreJobResult exploration = report::ExecuteExploreJob(job);
+  const std::vector<chk::ExploreResult>& results = exploration.results;
+  const std::vector<chk::ExploreConfig>& configs = exploration.configs;
+  const size_t total_violations = exploration.total_violations;
 
   report::TextTable table({"App", "Runtime", "Trace pts", "Schedules", "Completed",
                            "Skipped", "Violations"});
@@ -295,7 +248,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "easechk: cannot write %s\n", json_path.c_str());
       return 2;
     }
-    out << chk::ToJson(results) << "\n";
+    out << chk::ToJson(results, include_timing) << "\n";
   }
 
   if (total_violations == 0) {

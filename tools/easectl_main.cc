@@ -1,0 +1,521 @@
+// easectl: client for the easeiod fleet daemon.
+//
+//   easectl --socket=PATH submit --kind=KIND [job flags] [--wait [--out=FILE]]
+//   easectl --socket=PATH status
+//   easectl --socket=PATH watch [--after=N]
+//   easectl --socket=PATH results --id=N [--out=FILE]
+//   easectl --socket=PATH cache-stats
+//   easectl --socket=PATH shutdown
+//   easectl run --kind=KIND [job flags] [--out=FILE]
+//
+// `run` executes the job locally through the exact library entry points the daemon's
+// workers use — no daemon, no cache — which is what CI compares cached daemon
+// artifacts against byte-for-byte.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_flags.h"
+#include "daemon/jobspec.h"
+#include "daemon/jsonin.h"
+#include "report/jobs.h"
+
+namespace {
+
+using namespace easeio;
+
+constexpr char kUsage[] =
+    "usage: easectl --socket=PATH COMMAND [options]\n"
+    "       easectl run [job flags] [--out=FILE]\n"
+    "\n"
+    "commands:\n"
+    "  submit       queue a job; prints the submit reply (id, content hash, cached)\n"
+    "  status       print the easeio-daemon/1 status document\n"
+    "  watch        stream job events until interrupted (--after=N to skip history)\n"
+    "  results      print a finished job's artifact (--id=N, --out=FILE)\n"
+    "  cache-stats  print result-cache counters\n"
+    "  shutdown     ask the daemon to drain and exit\n"
+    "  run          execute one job locally, no daemon (same code path as a worker)\n"
+    "\n"
+    "job flags (submit and run):\n"
+    "  --kind=sweep|explore|lint|trace   (default: sweep)\n"
+    "  --app=NAME|unitask|all            app list (default: dma)\n"
+    "  --runtime=NAME|all                runtime list (default: easeio)\n"
+    "  --seed=N --runs=N --depth=1|2 --budget=N --off-us=N --jobs=N\n"
+    "  --no-snapshot --no-regional --priv-buffer=N --tick-us=N\n"
+    "  --source=FILE --source-name=NAME --witness      (lint)\n"
+    "  --timeline --continuous --harvester-in=D --cap-sample-us=N  (trace)\n"
+    "\n"
+    "submit options: --wait (block until done; with --out, also fetch the artifact)\n";
+
+int UsageError(const char* message) {
+  std::fprintf(stderr, "easectl: %s\n%s", message, kUsage);
+  return 2;
+}
+
+// --- blocking NDJSON connection ------------------------------------------------------
+
+class Connection {
+ public:
+  bool Connect(const std::string& path, std::string* error) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      *error = "socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = "connect " + path + ": " + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) {
+      close(fd_);
+    }
+  }
+
+  bool SendFrame(const std::string& json, std::string* error) {
+    std::string data = json + "\n";
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = write(fd_, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        *error = std::string("write: ") + std::strerror(errno);
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Reads the next newline-terminated frame. False on EOF/error.
+  bool ReadFrame(std::string* frame, std::string* error) {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *frame = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[64 * 1024];
+      const ssize_t n = read(fd_, chunk, sizeof chunk);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      *error = n == 0 ? "connection closed by daemon"
+                      : std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// Sends one request and parses the one reply (raw frame text in *raw if non-null).
+// False + `error` on transport trouble or an ok:false reply.
+bool RoundTrip(Connection& conn, const std::string& request, daemon::JsonValue* reply,
+               std::string* error, std::string* raw = nullptr) {
+  std::string frame;
+  if (!conn.SendFrame(request, error) || !conn.ReadFrame(&frame, error)) {
+    return false;
+  }
+  if (raw != nullptr) {
+    *raw = frame;
+  }
+  if (!daemon::ParseJson(frame, reply, error)) {
+    *error = "bad reply from daemon: " + *error;
+    return false;
+  }
+  const daemon::JsonValue* ok = reply->Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    *error = "bad reply from daemon: missing \"ok\"";
+    return false;
+  }
+  if (!ok->AsBool()) {
+    const daemon::JsonValue* err = reply->Find("error");
+    *error = "daemon error: " + (err != nullptr && err->is_string()
+                                     ? err->AsString()
+                                     : std::string("(no message)"));
+    return false;
+  }
+  return true;
+}
+
+// --- job flags -----------------------------------------------------------------------
+
+// Parses one --flag into `spec`. Returns 1 if consumed, 0 if not a job flag, -1 on a
+// bad value (message already printed).
+int ParseJobFlag(const std::string& arg, daemon::JobSpec* spec) {
+  uint64_t u = 0;
+  const auto uint_flag = [&](const char* name, size_t prefix, uint64_t min,
+                             uint64_t max) {
+    return tools::ParseUintFlag("easectl", name, arg.c_str() + prefix, min, max, &u);
+  };
+  if (arg.rfind("--kind=", 0) == 0) {
+    if (!daemon::ParseJobKind(arg.substr(7), &spec->kind)) {
+      std::fprintf(stderr, "easectl: unknown kind '%s'\n", arg.substr(7).c_str());
+      return -1;
+    }
+  } else if (arg.rfind("--app=", 0) == 0) {
+    if (!report::ParseAppList(arg.substr(6), &spec->apps)) {
+      std::fprintf(stderr, "easectl: unknown app '%s'\n", arg.substr(6).c_str());
+      return -1;
+    }
+  } else if (arg.rfind("--runtime=", 0) == 0) {
+    if (!report::ParseRuntimeList(arg.substr(10), &spec->runtimes)) {
+      std::fprintf(stderr, "easectl: unknown runtime '%s'\n", arg.substr(10).c_str());
+      return -1;
+    }
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    if (!uint_flag("--seed", 7, 0, UINT64_MAX)) return -1;
+    spec->seed = u;
+  } else if (arg.rfind("--runs=", 0) == 0) {
+    if (!uint_flag("--runs", 7, 1, 1'000'000)) return -1;
+    spec->runs = static_cast<uint32_t>(u);
+  } else if (arg.rfind("--depth=", 0) == 0) {
+    if (!uint_flag("--depth", 8, 1, 2)) return -1;
+    spec->depth = static_cast<int>(u);
+  } else if (arg.rfind("--budget=", 0) == 0) {
+    if (!uint_flag("--budget", 9, 1, UINT32_MAX)) return -1;
+    spec->budget = static_cast<uint32_t>(u);
+  } else if (arg.rfind("--off-us=", 0) == 0) {
+    if (!uint_flag("--off-us", 9, 0, UINT64_MAX)) return -1;
+    spec->off_us = u;
+  } else if (arg == "--no-snapshot") {
+    spec->use_snapshot = false;
+  } else if (arg == "--no-regional") {
+    spec->regional = false;
+  } else if (arg.rfind("--priv-buffer=", 0) == 0) {
+    if (!uint_flag("--priv-buffer", 14, 0, UINT32_MAX)) return -1;
+    spec->priv_buffer_bytes = static_cast<uint32_t>(u);
+  } else if (arg.rfind("--tick-us=", 0) == 0) {
+    if (!uint_flag("--tick-us", 10, 1, UINT64_MAX)) return -1;
+    spec->tick_us = u;
+  } else if (arg.rfind("--source=", 0) == 0) {
+    const std::string path = arg.substr(9);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "easectl: cannot read %s\n", path.c_str());
+      return -1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    spec->source = ss.str();
+    spec->source_name = path;
+  } else if (arg.rfind("--source-name=", 0) == 0) {
+    spec->source_name = arg.substr(14);
+  } else if (arg == "--witness") {
+    spec->witness = true;
+  } else if (arg == "--timeline") {
+    spec->timeline = true;
+  } else if (arg == "--continuous") {
+    spec->continuous = true;
+  } else if (arg.rfind("--harvester-in=", 0) == 0) {
+    double d = 0;
+    if (!tools::ParseDoubleFlag("easectl", "--harvester-in", arg.c_str() + 15, &d)) {
+      return -1;
+    }
+    spec->harvester_in = d;
+  } else if (arg.rfind("--cap-sample-us=", 0) == 0) {
+    if (!uint_flag("--cap-sample-us", 16, 0, UINT64_MAX)) return -1;
+    spec->cap_sample_us = u;
+  } else if (arg.rfind("--jobs=", 0) == 0) {
+    if (!uint_flag("--jobs", 7, 0, 4096)) return -1;
+    spec->exec_jobs = static_cast<uint32_t>(u);
+  } else {
+    return 0;
+  }
+  return 1;
+}
+
+bool WriteOutput(const std::string& out_path, const std::string& data) {
+  if (out_path.empty()) {
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    return true;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    std::fprintf(stderr, "easectl: cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Fetches job `id`'s artifact over `conn` and writes it to out_path/stdout.
+int FetchResults(Connection& conn, uint64_t id, const std::string& out_path) {
+  std::string error;
+  daemon::JsonValue reply;
+  if (!RoundTrip(conn, "{\"op\":\"results\",\"id\":" + std::to_string(id) + "}",
+                 &reply, &error)) {
+    std::fprintf(stderr, "easectl: %s\n", error.c_str());
+    return 1;
+  }
+  const daemon::JsonValue* artifact = reply.Find("artifact");
+  if (artifact == nullptr || !artifact->is_string()) {
+    std::fprintf(stderr, "easectl: bad results reply\n");
+    return 1;
+  }
+  return WriteOutput(out_path, artifact->AsString()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  std::vector<std::string> rest;
+
+  tools::FlagDeduper dedupe("easectl");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0 && !dedupe.Note(arg)) {
+      return 2;
+    }
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (command.empty() && arg.rfind("--", 0) != 0) {
+      command = arg;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (command.empty()) {
+    return UsageError("missing command");
+  }
+
+  // --- local one-shot execution (no daemon) ---
+  if (command == "run") {
+    daemon::JobSpec spec;
+    std::string out_path;
+    for (const std::string& arg : rest) {
+      if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+        continue;
+      }
+      const int consumed = ParseJobFlag(arg, &spec);
+      if (consumed < 0) {
+        return 2;
+      }
+      if (consumed == 0) {
+        return UsageError(("unknown run flag '" + arg + "'").c_str());
+      }
+    }
+    const daemon::JobOutcome outcome = daemon::ExecuteSpec(spec);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "easectl: job failed: %s\n", outcome.error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "easectl: %s %s: %s\n", daemon::ToString(spec.kind),
+                 daemon::ContentHash(spec).substr(0, 12).c_str(),
+                 outcome.summary.c_str());
+    return WriteOutput(out_path, outcome.artifact) ? 0 : 1;
+  }
+
+  if (socket_path.empty()) {
+    return UsageError("--socket is required");
+  }
+  Connection conn;
+  std::string error;
+  if (!conn.Connect(socket_path, &error)) {
+    std::fprintf(stderr, "easectl: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (command == "submit") {
+    daemon::JobSpec spec;
+    bool wait = false;
+    std::string out_path;
+    for (const std::string& arg : rest) {
+      if (arg == "--wait") {
+        wait = true;
+        continue;
+      }
+      if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+        continue;
+      }
+      const int consumed = ParseJobFlag(arg, &spec);
+      if (consumed < 0) {
+        return 2;
+      }
+      if (consumed == 0) {
+        return UsageError(("unknown submit flag '" + arg + "'").c_str());
+      }
+    }
+    daemon::JsonValue reply;
+    if (!RoundTrip(conn, "{\"op\":\"submit\",\"job\":" + daemon::ToJson(spec) + "}",
+                   &reply, &error)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    uint64_t id = 0;
+    const daemon::JsonValue* id_field = reply.Find("id");
+    const daemon::JsonValue* cached = reply.Find("cached");
+    if (id_field == nullptr || !id_field->GetUint(&id)) {
+      std::fprintf(stderr, "easectl: bad submit reply\n");
+      return 1;
+    }
+    std::fprintf(stderr, "easectl: job %llu %s%s\n",
+                 static_cast<unsigned long long>(id),
+                 daemon::ContentHash(spec).substr(0, 12).c_str(),
+                 cached != nullptr && cached->is_bool() && cached->AsBool()
+                     ? " (cache hit)"
+                     : "");
+    if (!wait) {
+      return 0;
+    }
+    // Watch from the beginning of history; the terminal event for this job may
+    // already be in it (a cache hit completes before the submit reply).
+    if (!RoundTrip(conn, "{\"op\":\"watch\",\"after\":0}", &reply, &error)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    for (;;) {
+      std::string frame;
+      daemon::JsonValue doc;
+      if (!conn.ReadFrame(&frame, &error) ||
+          !daemon::ParseJson(frame, &doc, &error)) {
+        std::fprintf(stderr, "easectl: %s\n", error.c_str());
+        return 1;
+      }
+      const daemon::JsonValue* event = doc.Find("event");
+      if (event == nullptr) {
+        continue;
+      }
+      uint64_t event_id = 0;
+      const daemon::JsonValue* eid = event->Find("id");
+      const daemon::JsonValue* state = event->Find("state");
+      if (eid == nullptr || !eid->GetUint(&event_id) || event_id != id ||
+          state == nullptr || !state->is_string()) {
+        continue;
+      }
+      if (state->AsString() == "failed") {
+        const daemon::JsonValue* job_error = event->Find("error");
+        std::fprintf(stderr, "easectl: job %llu failed: %s\n",
+                     static_cast<unsigned long long>(id),
+                     job_error != nullptr && job_error->is_string()
+                         ? job_error->AsString().c_str()
+                         : "(no message)");
+        return 1;
+      }
+      if (state->AsString() == "done") {
+        const daemon::JsonValue* summary = event->Find("summary");
+        std::fprintf(stderr, "easectl: job %llu done: %s\n",
+                     static_cast<unsigned long long>(id),
+                     summary != nullptr && summary->is_string()
+                         ? summary->AsString().c_str()
+                         : "");
+        break;
+      }
+    }
+    if (out_path.empty()) {
+      return 0;
+    }
+    // The watch stream owns this connection now; fetch over a fresh one.
+    Connection fetch;
+    if (!fetch.Connect(socket_path, &error)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    return FetchResults(fetch, id, out_path);
+  }
+
+  if (command == "status" || command == "cache-stats" || command == "shutdown") {
+    if (!rest.empty()) {
+      return UsageError(("unknown flag '" + rest.front() + "'").c_str());
+    }
+    daemon::JsonValue reply;
+    std::string raw;
+    if (!RoundTrip(conn, "{\"op\":\"" + command + "\"}", &reply, &error, &raw)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    // The reply is already the user-facing document; print it verbatim.
+    std::printf("%s\n", raw.c_str());
+    return 0;
+  }
+
+  if (command == "watch") {
+    uint64_t after = 0;
+    for (const std::string& arg : rest) {
+      if (arg.rfind("--after=", 0) == 0) {
+        if (!tools::ParseUintFlag("easectl", "--after", arg.c_str() + 8, 0,
+                                  UINT64_MAX, &after)) {
+          return 2;
+        }
+      } else {
+        return UsageError(("unknown watch flag '" + arg + "'").c_str());
+      }
+    }
+    daemon::JsonValue reply;
+    if (!RoundTrip(conn,
+                   "{\"op\":\"watch\",\"after\":" + std::to_string(after) + "}",
+                   &reply, &error)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    for (;;) {
+      std::string frame;
+      if (!conn.ReadFrame(&frame, &error)) {
+        std::fprintf(stderr, "easectl: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", frame.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  if (command == "results") {
+    uint64_t id = 0;
+    bool have_id = false;
+    std::string out_path;
+    for (const std::string& arg : rest) {
+      if (arg.rfind("--id=", 0) == 0) {
+        if (!tools::ParseUintFlag("easectl", "--id", arg.c_str() + 5, 1, UINT64_MAX,
+                                  &id)) {
+          return 2;
+        }
+        have_id = true;
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else {
+        return UsageError(("unknown results flag '" + arg + "'").c_str());
+      }
+    }
+    if (!have_id) {
+      return UsageError("results requires --id=N");
+    }
+    return FetchResults(conn, id, out_path);
+  }
+
+  return UsageError(("unknown command '" + command + "'").c_str());
+}

@@ -1,0 +1,139 @@
+// easeiod: the fleet simulation daemon.
+//
+// Owns a job queue of simulation requests (sweep / explore / lint / trace), shards
+// them across a worker pool, and serves many concurrent clients over a Unix domain
+// socket speaking newline-delimited JSON (protocol grammar in DESIGN.md §12). Every
+// finished job's artifact enters a persistent content-addressed result cache — an
+// identical resubmission is answered from the cache with byte-identical bytes and no
+// simulation. SIGTERM/SIGINT drain gracefully: in-flight jobs finish, the queue is
+// persisted next to the cache and resubmitted on the next start.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cli_flags.h"
+#include "daemon/cache.h"
+#include "daemon/runner.h"
+#include "daemon/server.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: easeiod --socket=PATH [options]\n"
+    "\n"
+    "  --socket=PATH          Unix socket to listen on (required)\n"
+    "  --cache-dir=DIR        result cache directory (default: easeiod-cache)\n"
+    "  --cache-cap-bytes=N    LRU eviction threshold; 0 = unbounded (default: 256 MiB)\n"
+    "  --workers=N            worker threads; 0 = hardware concurrency (default: 0)\n"
+    "  --results-dir=DIR      also export finished artifacts here (default: off)\n"
+    "\n"
+    "Clients connect with easectl. SIGTERM drains: in-flight jobs finish, queued\n"
+    "jobs persist to <cache-dir>/queue.json and resume on the next start.\n";
+
+std::atomic<bool> g_shutdown{false};
+easeio::daemon::Server* g_server = nullptr;
+
+void OnSignal(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  if (g_server != nullptr) {
+    g_server->WakeLoop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace easeio;
+
+  std::string socket_path;
+  std::string cache_dir = "easeiod-cache";
+  uint64_t cache_cap_bytes = 256ull * 1024 * 1024;
+  uint64_t workers = 0;
+  std::string results_dir;
+
+  tools::FlagDeduper dedupe("easeiod");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (!dedupe.Note(arg)) {
+      return 2;
+    }
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = arg.substr(12);
+    } else if (arg.rfind("--cache-cap-bytes=", 0) == 0) {
+      if (!tools::ParseUintFlag("easeiod", "--cache-cap-bytes", arg.c_str() + 18, 0,
+                                UINT64_MAX, &cache_cap_bytes)) {
+        return 2;
+      }
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!tools::ParseUintFlag("easeiod", "--workers", arg.c_str() + 10, 0, 4096,
+                                &workers)) {
+        return 2;
+      }
+    } else if (arg.rfind("--results-dir=", 0) == 0) {
+      results_dir = arg.substr(14);
+    } else {
+      std::fprintf(stderr, "easeiod: unknown argument '%s'\n%s", arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "easeiod: --socket is required\n%s", kUsage);
+    return 2;
+  }
+
+  daemon::ResultCache cache(cache_dir, cache_cap_bytes);
+
+  daemon::JobRunner::Options runner_options;
+  runner_options.workers = static_cast<uint32_t>(workers);
+  runner_options.results_dir = results_dir;
+  runner_options.queue_path = cache_dir + "/queue.json";
+
+  daemon::Server::Options server_options;
+  server_options.socket_path = socket_path;
+  server_options.shutdown_flag = &g_shutdown;
+
+  // The server must exist before the runner starts: a resubmitted persisted queue
+  // emits events immediately and the sink forwards them to the server's queue.
+  daemon::Server* server = nullptr;
+  daemon::JobRunner runner(&cache, runner_options,
+                           [&server](const daemon::JobEvent& event) {
+                             if (server != nullptr) {
+                               server->OnJobEvent(event);
+                             }
+                           });
+  daemon::Server server_obj(&runner, &cache, server_options);
+  server = &server_obj;
+
+  std::string error;
+  if (!server_obj.Listen(&error)) {
+    std::fprintf(stderr, "easeiod: %s\n", error.c_str());
+    return 1;
+  }
+
+  g_server = &server_obj;
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // dead clients are detected by write errors, not kills
+
+  runner.Start();
+  std::fprintf(stderr, "easeiod: listening on %s (cache %s)\n", socket_path.c_str(),
+               cache_dir.c_str());
+  server_obj.Run();
+
+  std::fprintf(stderr, "easeiod: draining (%zu running, %zu queued)\n",
+               runner.RunningCount(), runner.QueuedCount());
+  runner.Stop();
+  g_server = nullptr;
+  std::fprintf(stderr, "easeiod: shut down cleanly\n");
+  return 0;
+}

@@ -34,9 +34,7 @@
 #include <string>
 
 #include "cli_flags.h"
-#include "easec/lint/lint.h"
-#include "easec/lint/witness.h"
-#include "easec/program.h"
+#include "easec/lint/run.h"
 
 namespace {
 
@@ -52,11 +50,11 @@ void PrintUsage(std::FILE* out) {
 
 int main(int argc, char** argv) {
   bool json_stdout = false;
-  bool witness = false;
   std::string json_path;
   std::string input_path;
-  easec::CompileOptions compile_options;
-  easec::lint::WitnessOptions witness_options;
+  easec::lint::LintJob job;
+  easec::CompileOptions& compile_options = job.compile_options;
+  easec::lint::WitnessOptions& witness_options = job.witness_options;
 
   tools::FlagDeduper dedupe("easelint");
   for (int i = 1; i < argc; ++i) {
@@ -76,7 +74,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--witness") {
-      witness = true;
+      job.confirm_witnesses = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       if (!tools::ParseUintFlag("easelint", "--seed", arg.c_str() + 7, 0, UINT64_MAX,
                                 &witness_options.seed)) {
@@ -114,13 +112,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string source;
-  std::string source_name = input_path;
+  job.source_name = input_path;
   if (input_path == "-") {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
-    source = buf.str();
-    source_name = "<stdin>";
+    job.source = buf.str();
+    job.source_name = "<stdin>";
   } else {
     std::ifstream in(input_path);
     if (!in) {
@@ -129,36 +126,26 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    source = buf.str();
+    job.source = buf.str();
   }
 
-  const easec::CompileResult compiled = easec::Compile(source, compile_options);
-  if (!compiled.ok) {
-    std::fprintf(stderr, "%s", compiled.errors.c_str());
+  const easec::lint::LintJobResult result = easec::lint::ExecuteLintJob(job);
+  if (!result.compiled) {
+    std::fprintf(stderr, "%s", result.compile_errors.c_str());
     return 2;
   }
 
-  easec::lint::LintOptions lint_options;
-  lint_options.dma_priv_buffer_bytes = compile_options.dma_priv_buffer_bytes;
-  easec::lint::LintResult result = easec::lint::Lint(compiled, lint_options);
-  if (witness) {
-    easec::lint::ConfirmWitnesses(compiled, result, witness_options);
-  } else {
-    easec::lint::SuggestSchedules(compiled, result, witness_options);
-  }
-
-  const std::string json = easec::lint::RenderJson(result, source_name);
   if (json_stdout) {
-    std::printf("%s\n", json.c_str());
+    std::printf("%s\n", result.json.c_str());
   } else {
-    std::printf("%s", easec::lint::RenderText(result, source_name).c_str());
+    std::printf("%s", result.text.c_str());
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path, std::ios::binary);
-    if (!out || !(out << json << "\n")) {
+    if (!out || !(out << result.json << "\n")) {
       std::fprintf(stderr, "easelint: cannot write %s\n", json_path.c_str());
       return 2;
     }
   }
-  return result.errors + result.warnings > 0 ? 1 : 0;
+  return result.has_findings ? 1 : 0;
 }

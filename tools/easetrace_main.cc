@@ -37,9 +37,8 @@
 #include <string>
 
 #include "cli_flags.h"
-#include "obs/capture.h"
-#include "obs/profile.h"
-#include "obs/timeline.h"
+#include "obs/trace_job.h"
+#include "report/jobs.h"
 
 namespace {
 
@@ -52,36 +51,6 @@ bool ParseUintFlag(const char* flag, const char* s, uint64_t min, uint64_t max,
 
 bool ParseDoubleFlag(const char* flag, const char* s, double* out) {
   return tools::ParseDoubleFlag("easetrace", flag, s, out);
-}
-
-bool ParseApp(const std::string& name, apps::AppKind* out) {
-  static const std::pair<const char*, apps::AppKind> kNames[] = {
-      {"dma", apps::AppKind::kDma},         {"temp", apps::AppKind::kTemp},
-      {"lea", apps::AppKind::kLea},         {"fir", apps::AppKind::kFir},
-      {"weather", apps::AppKind::kWeather}, {"branch", apps::AppKind::kBranch},
-  };
-  for (const auto& [n, kind] : kNames) {
-    if (name == n) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool ParseRuntime(const std::string& name, apps::RuntimeKind* out) {
-  static const std::pair<const char*, apps::RuntimeKind> kNames[] = {
-      {"alpaca", apps::RuntimeKind::kAlpaca},      {"ink", apps::RuntimeKind::kInk},
-      {"samoyed", apps::RuntimeKind::kSamoyed},    {"easeio", apps::RuntimeKind::kEaseio},
-      {"easeio-op", apps::RuntimeKind::kEaseioOp}, {"easeio_op", apps::RuntimeKind::kEaseioOp},
-  };
-  for (const auto& [n, kind] : kNames) {
-    if (name == n) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
 }
 
 void PrintUsage(std::FILE* out) {
@@ -125,12 +94,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (const char* v = value("--app=")) {
-      if (!ParseApp(v, &config.app)) {
+      if (!report::ParseApp(v, &config.app)) {
         std::fprintf(stderr, "easetrace: unknown app '%s'\n", v);
         return 2;
       }
     } else if (const char* v = value("--runtime=")) {
-      if (!ParseRuntime(v, &config.runtime)) {
+      if (!report::ParseRuntime(v, &config.runtime)) {
         std::fprintf(stderr, "easetrace: unknown runtime '%s'\n", v);
         return 2;
       }
@@ -178,12 +147,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const obs::CapturedRun run = obs::CaptureRun(config);
+  obs::TraceJob job;
+  job.config = config;
+  job.want_trace = !trace_path.empty();
+  job.want_profile = !profile_path.empty();
+  const obs::TraceJobResult traced = obs::ExecuteTraceJob(job);
+  const obs::CapturedRun& run = traced.run;
 
-  if (!trace_path.empty() && !WriteFile(trace_path, obs::ChromeTraceJson(run), "trace")) {
+  if (job.want_trace && !WriteFile(trace_path, traced.trace_json, "trace")) {
     return 2;
   }
-  if (!profile_path.empty() && !WriteFile(profile_path, obs::ProfileJson(run), "profile")) {
+  if (job.want_profile && !WriteFile(profile_path, traced.profile_json, "profile")) {
     return 2;
   }
 
