@@ -10,6 +10,7 @@
 // With double buffering the layers ping-pong between two activation buffers, which is
 // the workaround the paper says programmers use today.
 
+#include <cstring>
 #include <memory>
 
 #include "apps/apps.h"
@@ -63,12 +64,28 @@ struct WeatherAppState {
   // Tasks.
   k::TaskId t_init = 0, t_cal = 0, t_sense = 0, t_capture = 0, t_conv1 = 0, t_relu = 0,
             t_conv2 = 0, t_fc = 0, t_infer = 0, t_send = 0, t_done = 0;
+
+  // Memoized reference evaluation for check_consistent. The judge re-derives the
+  // expected classification from the image and weights it reads back off the device;
+  // across the thousands of trials a chk exploration runs, those inputs are identical
+  // in all but the (rare) corrupted-run case, so the pipeline result is cached keyed
+  // on the exact read-back inputs. A corrupted input misses the cache and is
+  // recomputed — the verdict is unchanged, only the repeat work is skipped.
+  struct RefCache {
+    bool valid = false;
+    // Raw little-endian bytes as stored on the device, so the hit check is a memcmp
+    // against PeekBlock views instead of per-word reads and vector rebuilds.
+    std::vector<uint8_t> image, k1, k2, fcw;
+    std::vector<int16_t> scores;
+  } ref_cache;
 };
 
-std::vector<int16_t> ReadWords(sim::Device& d, uint32_t addr, uint32_t words) {
+std::vector<int16_t> DecodeWords(const uint8_t* bytes, uint32_t words) {
   std::vector<int16_t> out(words);
   for (uint32_t i = 0; i < words; ++i) {
-    out[i] = d.mem().ReadI16(addr + 2 * i);
+    out[i] = static_cast<int16_t>(
+        static_cast<uint16_t>(bytes[2 * i]) |
+        (static_cast<uint16_t>(bytes[2 * i + 1]) << 8));
   }
   return out;
 }
@@ -303,7 +320,7 @@ AppHandle BuildWeatherApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManag
     (void)result_addr;
     return out;
   };
-  app.check_consistent = [image_addr, k1_addr, k2_addr, fcw_addr, scores_addr,
+  app.check_consistent = [st, image_addr, k1_addr, k2_addr, fcw_addr, scores_addr,
                           result_addr, jobs_addr, jobs](sim::Device& d) {
     // Every requested job must have run exactly once — the counter is a WAR variable
     // whose double-increment is precisely what task privatization exists to stop.
@@ -312,15 +329,38 @@ AppHandle BuildWeatherApp(sim::Device& dev, kernel::Runtime& rt, kernel::NvManag
     }
     // The stored classification must equal a reference evaluation of the stored image
     // through the stored weights — any lost/duplicated layer or clobbered activation
-    // breaks this.
-    const auto image = ReadWords(d, image_addr, kImgH * kImgW);
-    const auto k1 = ReadWords(d, k1_addr, kK * kK);
-    const auto k2 = ReadWords(d, k2_addr, kK * kK);
-    const auto fcw = ReadWords(d, fcw_addr, kFcIn * kClasses);
-    const auto c1 = ref::Conv2dValid(image, k1, kImgH, kImgW, kK);
-    const auto r = ref::Relu(c1);
-    const auto c2 = ref::Conv2dValid(r, k2, kC1H, kC1W, kK);
-    const auto scores = ref::FullyConnected(c2, fcw, kClasses);
+    // breaks this. The reference pipeline is memoized on the read-back inputs (see
+    // WeatherAppState::RefCache): identical inputs, which is every uncorrupted trial,
+    // reuse the previous evaluation.
+    constexpr uint32_t kImageBytes = kImgH * kImgW * 2;
+    constexpr uint32_t kKernelBytes = kK * kK * 2;
+    constexpr uint32_t kFcwBytes = kFcIn * kClasses * 2;
+    const uint8_t* image_p = d.mem().PeekBlock(image_addr, kImageBytes);
+    const uint8_t* k1_p = d.mem().PeekBlock(k1_addr, kKernelBytes);
+    const uint8_t* k2_p = d.mem().PeekBlock(k2_addr, kKernelBytes);
+    const uint8_t* fcw_p = d.mem().PeekBlock(fcw_addr, kFcwBytes);
+    auto& cache = st->ref_cache;
+    const auto same = [](const std::vector<uint8_t>& c, const uint8_t* p, uint32_t n) {
+      return c.size() == n && std::memcmp(c.data(), p, n) == 0;
+    };
+    if (!cache.valid || !same(cache.image, image_p, kImageBytes) ||
+        !same(cache.k1, k1_p, kKernelBytes) || !same(cache.k2, k2_p, kKernelBytes) ||
+        !same(cache.fcw, fcw_p, kFcwBytes)) {
+      const auto image = DecodeWords(image_p, kImgH * kImgW);
+      const auto k1 = DecodeWords(k1_p, kK * kK);
+      const auto k2 = DecodeWords(k2_p, kK * kK);
+      const auto fcw = DecodeWords(fcw_p, kFcIn * kClasses);
+      const auto c1 = ref::Conv2dValid(image, k1, kImgH, kImgW, kK);
+      const auto r = ref::Relu(c1);
+      const auto c2 = ref::Conv2dValid(r, k2, kC1H, kC1W, kK);
+      cache.scores = ref::FullyConnected(c2, fcw, kClasses);
+      cache.image.assign(image_p, image_p + kImageBytes);
+      cache.k1.assign(k1_p, k1_p + kKernelBytes);
+      cache.k2.assign(k2_p, k2_p + kKernelBytes);
+      cache.fcw.assign(fcw_p, fcw_p + kFcwBytes);
+      cache.valid = true;
+    }
+    const auto& scores = cache.scores;
     for (uint32_t i = 0; i < kClasses; ++i) {
       if (d.mem().ReadI16(scores_addr + 2 * i) != scores[i]) {
         return false;

@@ -26,6 +26,8 @@ namespace easeio::baseline {
 
 class AlpacaRuntime : public kernel::Runtime {
  public:
+  AlpacaRuntime() { SetNvHooks(/*translate_is_identity=*/false, /*has_write_hook=*/false); }
+
   const char* name() const override { return "Alpaca"; }
 
   void Bind(sim::Device& dev, kernel::NvManager& nv) override;

@@ -24,6 +24,8 @@ namespace easeio::baseline {
 
 class InkRuntime : public kernel::Runtime {
  public:
+  InkRuntime() { SetNvHooks(/*translate_is_identity=*/false, /*has_write_hook=*/false); }
+
   const char* name() const override { return "InK"; }
 
   void Bind(sim::Device& dev, kernel::NvManager& nv) override;

@@ -29,6 +29,8 @@ namespace easeio::baseline {
 
 class SamoyedRuntime : public kernel::Runtime {
  public:
+  SamoyedRuntime() { SetNvHooks(/*translate_is_identity=*/true, /*has_write_hook=*/true); }
+
   const char* name() const override { return "Samoyed"; }
 
   void Bind(sim::Device& dev, kernel::NvManager& nv) override;

@@ -8,11 +8,14 @@
 #include <sstream>
 #include <utility>
 
+#include <atomic>
+
 #include "chk/trace.h"
 #include "kernel/engine.h"
 #include "platform/check.h"
 #include "platform/parallel.h"
 #include "sim/failure.h"
+#include "sim/snapshot_pool.h"
 
 namespace easeio::chk {
 namespace {
@@ -63,7 +66,7 @@ TrialOutput CollectOutput(const ExploreConfig& cfg, const kernel::RunResult& run
                           std::vector<uint64_t> schedule, apps::AppHandle& app,
                           kernel::Runtime& runtime, kernel::NvManager& nv, sim::Device& dev,
                           const GoldenFacts* golden, GoldenFacts* golden_out,
-                          const EventScanState* prefix_scan = nullptr) {
+                          EventScanState* prefix_scan = nullptr) {
   const apps::AppTraits traits = apps::TraitsFor(cfg.app);
   TrialOutput out;
   out.run = run;
@@ -84,7 +87,9 @@ TrialOutput CollectOutput(const ExploreConfig& cfg, const kernel::RunResult& run
   if (golden != nullptr) {
     EventScanState scan;
     if (prefix_scan != nullptr) {
-      scan = *prefix_scan;
+      // The capture's scan state is consumed by exactly one resumed pair; moving it
+      // avoids reallocating its flat tables per trial.
+      scan = std::move(*prefix_scan);
     }
     ScanEvents(scan, out.events, runtime, dev, out.facts.semantic_runtime,
                out.facts.dma_mirror);
@@ -140,9 +145,11 @@ class TrialStack {
   // One captured would-be-failure point of a trunk run: everything a resumed trial
   // needs to continue as if a scripted failure had struck at that instant. The trunk's
   // probe events up to the instant are carried pre-folded as an EventScanState, so the
-  // resumed trial folds only its own (post-capture) events.
+  // resumed trial folds only its own (post-capture) events. The device snapshot is a
+  // pooled handle: released back to the worker's pool the moment the resume has laid
+  // it over the stack, so one chunk's captures recycle a handful of buffers.
   struct Capture {
-    std::optional<sim::DeviceSnapshot> dev;
+    sim::SnapshotPool::Handle dev;
     kernel::RuntimeSnapshot rt;
     EventScanState scan;
     kernel::TaskId paused_task = 0;
@@ -170,7 +177,9 @@ class TrialStack {
     }
     schedule.push_back(capture_at.back());
     Prepare(schedule);
-    out->assign(capture_at.size(), Capture{});
+    // resize without clear: surviving Capture objects keep their snapshot/scan buffer
+    // capacity for this trunk's refill.
+    out->resize(capture_at.size());
 
     size_t taken = 0;
     size_t folded = 0;
@@ -189,8 +198,9 @@ class TrialStack {
       }
       folded = ev.size();
       Capture& c = (*out)[i];
-      c.dev = dev_.SnapshotAtReboot();
-      c.rt = runtime_->SnapshotState();
+      c.dev = pool_.Acquire();
+      dev_.SnapshotAtRebootInto(*c.dev);
+      runtime_->SnapshotStateInto(c.rt);
       c.scan = scan;
       c.paused_task = last_begin;
       ++taken;
@@ -219,7 +229,7 @@ class TrialStack {
   // per resume was the dominant fixed cost left in snapshot mode: NvManager's
   // name-keyed slot map and the app task-graph std::functions are expensive to
   // construct and provably identical every time.
-  TrialOutput ResumeFromCapture(const Capture& c, std::vector<uint64_t> schedule,
+  TrialOutput ResumeFromCapture(Capture& c, std::vector<uint64_t> schedule,
                                 const GoldenFacts& golden) {
     if (runtime_ == nullptr) {
       Prepare({});
@@ -228,13 +238,24 @@ class TrialStack {
       trace_.Reset();  // still installed: the device was not reset
     }
     dev_.ResumeFromSnapshot(*c.dev);
+    c.dev.reset();  // back to the pool: the next capture in this chunk reuses it
     runtime_->RestoreState(c.rt);
     kernel::Engine engine(kernel::RunConfig{cfg_.max_on_us});
-    const kernel::RunResult run = engine.Resume(dev_, *runtime_, *nv_, app_.graph, c.paused_task);
+    const kernel::RunResult run =
+        engine.Resume(dev_, *runtime_, *nv_, app_.graph, c.paused_task);
     const size_t fired = schedule.size();
     return CollectOutput(cfg_, run, trace_.TakeEvents(), fired, std::move(schedule), app_,
                          *runtime_, *nv_, dev_, &golden, nullptr, &c.scan);
   }
+
+  // Hands a consumed trial's event buffer back for capacity reuse by the next trial
+  // on this stack (see TraceRecorder::Recycle).
+  void RecycleEvents(std::vector<sim::ProbeEvent> buf) { trace_.Recycle(std::move(buf)); }
+
+  // Worker-lifetime scratch for RunTrunk output: keeping the Capture objects (and
+  // their nested buffers) alive across chunks turns per-capture snapshot state into
+  // capacity-reusing overwrites.
+  std::vector<Capture>& caps_scratch() { return caps_scratch_; }
 
  private:
   // Rebuilds the mutable layers over the reused device: rescript the scheduler, reset
@@ -254,13 +275,35 @@ class TrialStack {
     app_ = apps::BuildApp(cfg_.app, dev_, *runtime_, *nv_, MakeAppOptions(cfg_));
   }
 
+ public:
+  // Hot-path counters accumulated since the last Take: FRAM pages SnapshotInto/Restore
+  // actually copied, and snapshot buffers served from the pool's free list. The worker
+  // loop drains these per chunk into the exploration-wide atomics (integer sums —
+  // order-independent, so identical for any jobs count).
+  struct HotPathDelta {
+    uint64_t pages_copied = 0;
+    uint64_t pool_hits = 0;
+  };
+  HotPathDelta TakeHotPathDelta() {
+    HotPathDelta d{dev_.mem().pages_copied() - pages_copied_seen_,
+                   pool_.hits() - pool_hits_seen_};
+    pages_copied_seen_ += d.pages_copied;
+    pool_hits_seen_ += d.pool_hits;
+    return d;
+  }
+
+ private:
   const ExploreConfig cfg_;
   sim::ScriptedScheduler sched_;
   sim::Device dev_;
   TraceRecorder trace_;
+  sim::SnapshotPool pool_;  // outlives every Capture handle a chunk holds
+  std::vector<Capture> caps_scratch_;
   std::optional<kernel::NvManager> nv_;
   std::unique_ptr<kernel::Runtime> runtime_;
   apps::AppHandle app_;
+  uint64_t pages_copied_seen_ = 0;
+  uint64_t pool_hits_seen_ = 0;
 };
 
 // Keeps at most `keep` of the sorted instant list `v`, spread uniformly over its
@@ -381,6 +424,17 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     res.schedules_skipped += static_cast<uint32_t>(before - d1.size());
   }
 
+  // Hot-path diagnostics, summed across workers. Plain integer sums are independent
+  // of scheduling order, so these land identical for any jobs value (they live in the
+  // strippable timing block regardless).
+  std::atomic<uint64_t> pages_copied_total{0};
+  std::atomic<uint64_t> pool_hits_total{0};
+  auto drain_hot_path = [&](TrialStack& stack) {
+    const TrialStack::HotPathDelta d = stack.TakeHotPathDelta();
+    pages_copied_total.fetch_add(d.pages_copied, std::memory_order_relaxed);
+    pool_hits_total.fetch_add(d.pool_hits, std::memory_order_relaxed);
+  };
+
   struct Slot {
     bool completed = false;
     bool resumed = false;  // executed as a trunk-captured resumption
@@ -388,11 +442,13 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     std::vector<uint64_t> candidates;  // this trial's own trace (depth-2 seeds)
   };
   std::vector<Slot> slots(d1.size());
-  auto record_d1 = [&](TrialOutput t, size_t i) {
+  auto record_d1 = [&](TrialOutput& t, size_t i) {
     slots[i].completed = t.facts.completed;
     slots[i].violations = std::move(t.violations);
     if (want_depth2 && t.facts.completed) {
-      slots[i].candidates = CandidateInstants(t.events, t.run.on_us);
+      // Only instants after the first failure can seed a pair; extracting just the
+      // tail skips re-sorting the shared golden prefix for every depth-1 trial.
+      slots[i].candidates = CandidateInstants(t.events, t.run.on_us, d1[i] + 1);
     }
   };
   // Fixed chunk size: determinism across jobs values requires the chunk boundaries —
@@ -410,24 +466,26 @@ ExploreResult Explore(const ExploreConfig& cfg) {
           const size_t lo = ci * kD1Chunk;
           const size_t hi = std::min(d1.size(), lo + kD1Chunk);
           const std::vector<uint64_t> capture_at(d1.begin() + lo, d1.begin() + hi);
-          std::vector<TrialStack::Capture> caps;
+          std::vector<TrialStack::Capture>& caps = stack->caps_scratch();
           // A trunk plus one resume costs more than one full replay, so singleton
           // chunks replay directly.
           const size_t taken =
               capture_at.size() >= 2 ? stack->RunTrunk(false, 0, capture_at, &caps) : 0;
           for (size_t i = lo; i < hi; ++i) {
             const size_t k = i - lo;
-            if (k < taken) {
-              record_d1(stack->ResumeFromCapture(caps[k], {d1[i]}, golden), i);
-              slots[i].resumed = true;
-            } else {
-              record_d1(stack->RunFull({d1[i]}, &golden, nullptr), i);
-            }
+            TrialOutput t = k < taken
+                                ? stack->ResumeFromCapture(caps[k], {d1[i]}, golden)
+                                : stack->RunFull({d1[i]}, &golden, nullptr);
+            slots[i].resumed = k < taken;
+            record_d1(t, i);
+            stack->RecycleEvents(std::move(t.events));
           }
+          drain_hot_path(*stack);
         });
   } else {
     platform::ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
-      record_d1(RunTrial(cfg, {d1[i]}, &golden, nullptr), i);
+      TrialOutput t = RunTrial(cfg, {d1[i]}, &golden, nullptr);
+      record_d1(t, i);
     });
   }
 
@@ -479,11 +537,8 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     std::vector<std::vector<uint64_t>> t2_lists(d1.size());
     size_t total_pairs = 0;
     for (size_t i = 0; i < d1.size(); ++i) {
-      for (uint64_t t2 : slots[i].candidates) {
-        if (t2 > d1[i]) {
-          t2_lists[i].push_back(t2);
-        }
-      }
+      // record_d1 extracted candidates past d1[i] only, so the list is the pair set.
+      t2_lists[i] = std::move(slots[i].candidates);
       if (!t2_lists[i].empty()) {
         owners.push_back(i);
         total_pairs += t2_lists[i].size();
@@ -556,7 +611,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
             const PairGroup& grp = groups[gi];
             // A trunk plus one resume costs more than one full replay, so singleton
             // groups replay directly.
-            std::vector<TrialStack::Capture> caps;
+            std::vector<TrialStack::Capture>& caps = stack->caps_scratch();
             const size_t taken =
                 grp.t2s.size() >= 2 ? stack->RunTrunk(true, grp.t1, grp.t2s, &caps) : 0;
             for (size_t k = 0; k < grp.t2s.size(); ++k) {
@@ -568,7 +623,9 @@ ExploreResult Explore(const ExploreConfig& cfg) {
               slot.completed = t.facts.completed;
               slot.resumed = k < taken;
               slot.violations = std::move(t.violations);
+              stack->RecycleEvents(std::move(t.events));
             }
+            drain_hot_path(*stack);
           });
 
       for (const PairGroup& grp : groups) {
@@ -623,6 +680,8 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     }
   }
 
+  res.pages_copied = pages_copied_total.load(std::memory_order_relaxed);
+  res.pool_hits = pool_hits_total.load(std::memory_order_relaxed);
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   res.trials_per_sec =
@@ -661,10 +720,13 @@ std::string ToJson(const ExploreResult& r, bool include_timing) {
   }
   os << "]";
   if (include_timing) {
+    // Flat numeric fields only: CI strips the whole object with a brace-free regex.
     os << ",\"timing\":{\"wall_seconds\":" << r.wall_seconds
        << ",\"trials_per_sec\":" << r.trials_per_sec
        << ",\"snapshot_resumes\":" << r.snapshot_resumes
-       << ",\"prefix_us_saved\":" << r.prefix_us_saved << "}";
+       << ",\"prefix_us_saved\":" << r.prefix_us_saved
+       << ",\"pages_copied\":" << r.pages_copied
+       << ",\"pool_hits\":" << r.pool_hits << "}";
   }
   os << "}";
   return os.str();

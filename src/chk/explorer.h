@@ -71,6 +71,8 @@ struct ExploreResult {
   double trials_per_sec = 0;     // schedules / wall_seconds
   uint64_t snapshot_resumes = 0; // depth-2 trials executed as resumed suffixes
   uint64_t prefix_us_saved = 0;  // simulated prefix on-time not re-executed
+  uint64_t pages_copied = 0;     // FRAM pages actually copied by SnapshotInto/Restore
+  uint64_t pool_hits = 0;        // snapshot buffers served from a worker pool free list
 };
 
 // Runs the exploration. Deterministic: identical results for any `jobs` value.

@@ -5,7 +5,7 @@
 namespace easeio::chk {
 
 std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
-                                        uint64_t end_on_us) {
+                                        uint64_t end_on_us, uint64_t min_on_us) {
   std::vector<uint64_t> instants;
   instants.reserve(events.size() * 2 + kTimeGridSamples);
   for (const sim::ProbeEvent& e : events) {
@@ -20,10 +20,10 @@ std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& even
       default:
         break;
     }
-    if (e.on_us < end_on_us) {
+    if (e.on_us < end_on_us && e.on_us >= min_on_us) {
       instants.push_back(e.on_us);
     }
-    if (e.on_us >= 1 && e.on_us - 1 < end_on_us) {
+    if (e.on_us >= 1 && e.on_us - 1 < end_on_us && e.on_us - 1 >= min_on_us) {
       instants.push_back(e.on_us - 1);
     }
   }
@@ -36,7 +36,7 @@ std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& even
   // compute loop) their fair share of failure placements.
   for (uint64_t j = 1; j <= kTimeGridSamples; ++j) {
     const uint64_t t = end_on_us * j / (kTimeGridSamples + 1);
-    if (t >= 1 && t < end_on_us) {
+    if (t >= 1 && t < end_on_us && t >= min_on_us) {
       instants.push_back(t);
     }
   }

@@ -19,25 +19,64 @@
 
 namespace easeio::chk {
 
-// Accumulates the probe events of one run. Install() wires the recorder into the
-// device; the recorder must outlive the run.
-class TraceRecorder {
+// Accumulates the probe events of one run, subscribing to the device's batched sink
+// API (no per-event std::function dispatch). Install() wires the recorder into the
+// device; the recorder must outlive the run and its registration (Device::Reset
+// unregisters). events()/TakeEvents() flush the device's emission ring first, so the
+// recorder is always read-consistent with the run so far.
+class TraceRecorder final : public sim::ProbeSink {
  public:
   void Install(sim::Device& dev) {
-    // AddProbe, not set_probe: the obs tracer/profiler may watch the same run.
-    dev.AddProbe([this](const sim::ProbeEvent& e) { events_.push_back(e); });
+    // AddSink, not set_probe: the obs tracer/profiler may watch the same run.
+    dev.AddSink(this);
+    dev_ = &dev;
   }
 
-  const std::vector<sim::ProbeEvent>& events() const { return events_; }
-  std::vector<sim::ProbeEvent> TakeEvents() { return std::move(events_); }
+  void OnProbeBatch(const sim::ProbeBatch& batch) override {
+    const size_t base = events_.size();
+    events_.resize(base + batch.count);
+    for (size_t i = 0; i < batch.count; ++i) {
+      events_[base + i] = batch.Event(i);
+    }
+  }
 
-  // Replaces the recorded stream — empty for a fresh trial on a reused stack, or a
-  // captured prefix when a resumed suffix must append to the events recorded up to
-  // the snapshot instant.
-  void Reset(std::vector<sim::ProbeEvent> events = {}) { events_ = std::move(events); }
+  const std::vector<sim::ProbeEvent>& events() {
+    Sync();
+    return events_;
+  }
+  std::vector<sim::ProbeEvent> TakeEvents() {
+    Sync();
+    return std::move(events_);
+  }
+
+  // Starts a fresh stream for the next trial on a reused stack. If a consumed trial's
+  // buffer was handed back via Recycle, its capacity is reused — per-trial traces run
+  // to thousands of events, and regrowing the vector from zero every trial was a
+  // measurable share of the exploration loop.
+  void Reset() {
+    events_ = std::move(spare_);
+    spare_ = std::vector<sim::ProbeEvent>{};
+    events_.clear();
+  }
+
+  // Returns a finished trial's event buffer for capacity reuse by the next Reset.
+  void Recycle(std::vector<sim::ProbeEvent> buf) {
+    buf.clear();
+    if (buf.capacity() > spare_.capacity()) {
+      spare_ = std::move(buf);
+    }
+  }
 
  private:
+  void Sync() {
+    if (dev_ != nullptr) {
+      dev_->FlushProbes();
+    }
+  }
+
+  sim::Device* dev_ = nullptr;
   std::vector<sim::ProbeEvent> events_;
+  std::vector<sim::ProbeEvent> spare_;  // recycled capacity for the next Reset
 };
 
 // Number of uniform time-grid instants CandidateInstants adds on top of the
@@ -56,9 +95,12 @@ inline constexpr uint64_t kTimeGridSamples = 256;
 // observability kinds (block/region/privatization markers, capacitor samples) are
 // excluded too — they annotate operations that already contribute their own
 // brackets, so admitting them would only re-derive the same instants and bloat the
-// schedule space the budget divides.
+// schedule space the budget divides. `min_on_us` restricts the result to instants at
+// or past it — callers seeding second failures only want instants past the first
+// one, and skipping the (shared, often dominant) trace prefix up front is much
+// cheaper than sorting it in and filtering it back out.
 std::vector<uint64_t> CandidateInstants(const std::vector<sim::ProbeEvent>& events,
-                                        uint64_t end_on_us);
+                                        uint64_t end_on_us, uint64_t min_on_us = 0);
 
 }  // namespace easeio::chk
 

@@ -71,6 +71,10 @@ RunResult Engine::Drive(sim::Device& dev, Runtime& rt, NvManager& nv, const Task
     }
   }
 
+  // Deliver the probe tail: events emitted since the last ring flush (or the whole
+  // run, for short runs) reach the sinks before any consumer reads them.
+  dev.FlushProbes();
+
   RunResult result;
   result.completed = completed && !paused && cur == kTaskDone;
   result.paused = paused;

@@ -124,6 +124,14 @@ RuntimeSnapshot Runtime::SnapshotState() const {
   return RuntimeSnapshot{io_stats_, dma_stats_, SnapshotExtra()};
 }
 
+void Runtime::SnapshotStateInto(RuntimeSnapshot& out) const {
+  // Vector copy-assignment reuses existing capacity (outer and element-wise inner),
+  // so a recycled RuntimeSnapshot of the same registration shape allocates nothing.
+  out.io_stats = io_stats_;
+  out.dma_stats = dma_stats_;
+  out.extra = SnapshotExtra();
+}
+
 void Runtime::RestoreState(const RuntimeSnapshot& snapshot) {
   EASEIO_CHECK(snapshot.io_stats.size() == io_stats_.size() &&
                    snapshot.dma_stats.size() == dma_stats_.size(),
@@ -156,34 +164,6 @@ void TaskCtx::IoBlockEnd(IoBlockId block) { rt_.IoBlockEnd(*this, block); }
 
 void TaskCtx::DmaCopy(DmaSiteId site, uint32_t dst, uint32_t src, uint32_t nbytes) {
   rt_.DmaCopy(*this, site, dst, src, nbytes);
-}
-
-uint16_t TaskCtx::NvLoad16(NvSlotId slot, uint32_t offset) {
-  const NvSlot& s = nv_.slot(slot);
-  EASEIO_CHECK(offset + 2 <= s.size, "NV load out of slot bounds");
-  return dev_.LoadWord(rt_.TranslateNv(*this, s, offset));
-}
-
-void TaskCtx::NvStore16(NvSlotId slot, uint16_t value, uint32_t offset) {
-  const NvSlot& s = nv_.slot(slot);
-  EASEIO_CHECK(offset + 2 <= s.size, "NV store out of slot bounds");
-  rt_.OnNvWrite(*this, s);
-  dev_.StoreWord(rt_.TranslateNv(*this, s, offset), value);
-  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 2);
-}
-
-uint32_t TaskCtx::NvLoad32(NvSlotId slot, uint32_t offset) {
-  const NvSlot& s = nv_.slot(slot);
-  EASEIO_CHECK(offset + 4 <= s.size, "NV load out of slot bounds");
-  return dev_.LoadWord32(rt_.TranslateNv(*this, s, offset));
-}
-
-void TaskCtx::NvStore32(NvSlotId slot, uint32_t value, uint32_t offset) {
-  const NvSlot& s = nv_.slot(slot);
-  EASEIO_CHECK(offset + 4 <= s.size, "NV store out of slot bounds");
-  rt_.OnNvWrite(*this, s);
-  dev_.StoreWord32(rt_.TranslateNv(*this, s, offset), value);
-  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 4);
 }
 
 }  // namespace easeio::kernel

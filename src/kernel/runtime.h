@@ -83,6 +83,8 @@ class Runtime {
 
   // --- NV interposition ------------------------------------------------------------------
   // Returns the address a CPU access to `slot` at `offset` should really touch.
+  // Overriders MUST pass `false` to SetNvHooks (or call it from their constructor) so
+  // the NV accessors stop short-circuiting to the identity translation.
   virtual uint32_t TranslateNv(TaskCtx& ctx, const NvSlot& slot, uint32_t offset) {
     (void)ctx;
     return slot.addr + offset;
@@ -90,10 +92,21 @@ class Runtime {
 
   // Invoked before every CPU store to a non-volatile variable (after translation).
   // Undo-logging runtimes (Samoyed's atomic functions) interpose here; the default is
-  // free.
+  // free. Overriders MUST declare themselves via SetNvHooks or the accessors skip the
+  // virtual call entirely.
   virtual void OnNvWrite(TaskCtx& ctx, const NvSlot& slot) {
     (void)ctx;
     (void)slot;
+  }
+
+  // Devirtualization shims for the NV hot path: every simulated NV word access pays
+  // for these decisions, and for most runtimes both hooks are the do-nothing base
+  // version. The flags let TaskCtx::NvLoad16 & co. skip the virtual dispatch — worth
+  // several ns per access, millions of accesses per chk exploration.
+  bool nv_translate_is_identity() const { return nv_translate_is_identity_; }
+  bool has_nv_write_hook() const { return has_nv_write_hook_; }
+  uint32_t NvAddr(TaskCtx& ctx, const NvSlot& slot, uint32_t offset) {
+    return nv_translate_is_identity_ ? slot.addr + offset : TranslateNv(ctx, slot, offset);
   }
 
   // --- I/O services ------------------------------------------------------------------------
@@ -134,9 +147,20 @@ class Runtime {
   // Captures / restores the mutable state a resumed trial must carry across the
   // rebuild. Restore requires an identically registered runtime (same sites).
   RuntimeSnapshot SnapshotState() const;
+  // In-place variant: overwrites `out`, reusing its vector capacity. Trunk execution
+  // captures runtime state at every instant of its plan; rebuilding the stats tables
+  // from scratch per capture was pure allocator traffic.
+  void SnapshotStateInto(RuntimeSnapshot& out) const;
   void RestoreState(const RuntimeSnapshot& snapshot);
 
  protected:
+  // Declares which NV hooks a derived runtime really overrides (see TranslateNv /
+  // OnNvWrite above). Call from the derived constructor.
+  void SetNvHooks(bool translate_is_identity, bool has_write_hook) {
+    nv_translate_is_identity_ = translate_is_identity;
+    has_nv_write_hook_ = has_write_hook;
+  }
+
   // Runtimes with dynamic host-side state that survives into the reboot path (e.g.
   // Samoyed's undo log and lazily allocated shadow slots) override these; the default
   // has nothing to capture. RestoreExtra receives exactly what SnapshotExtra returned.
@@ -170,7 +194,48 @@ class Runtime {
   std::vector<DmaSiteDesc> dma_sites_;
   std::vector<LaneStats> dma_stats_;
   std::vector<TaskSharedDecl> shared_decls_;
+
+ private:
+  bool nv_translate_is_identity_ = true;
+  bool has_nv_write_hook_ = false;
 };
+
+// --- TaskCtx NV accessors (declared in task.h) -----------------------------------------
+// Defined inline here — after Runtime is complete — because every simulated NV load and
+// store funnels through them; together with Device::LoadWord/StoreWord and Spend's fast
+// path this keeps the whole per-word chain call-free in optimized builds.
+
+inline uint16_t TaskCtx::NvLoad16(NvSlotId slot, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 2 <= s.size, "NV load out of slot bounds");
+  return dev_.LoadWord(rt_.NvAddr(*this, s, offset));
+}
+
+inline void TaskCtx::NvStore16(NvSlotId slot, uint16_t value, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 2 <= s.size, "NV store out of slot bounds");
+  if (rt_.has_nv_write_hook()) {
+    rt_.OnNvWrite(*this, s);
+  }
+  dev_.StoreWord(rt_.NvAddr(*this, s, offset), value);
+  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 2);
+}
+
+inline uint32_t TaskCtx::NvLoad32(NvSlotId slot, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 4 <= s.size, "NV load out of slot bounds");
+  return dev_.LoadWord32(rt_.NvAddr(*this, s, offset));
+}
+
+inline void TaskCtx::NvStore32(NvSlotId slot, uint32_t value, uint32_t offset) {
+  const NvSlot& s = nv_.slot(slot);
+  EASEIO_CHECK(offset + 4 <= s.size, "NV store out of slot bounds");
+  if (rt_.has_nv_write_hook()) {
+    rt_.OnNvWrite(*this, s);
+  }
+  dev_.StoreWord32(rt_.NvAddr(*this, s, offset), value);
+  dev_.Note(sim::ProbeKind::kNvWrite, s.id, 0, offset, 4);
+}
 
 }  // namespace easeio::kernel
 

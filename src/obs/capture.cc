@@ -4,14 +4,36 @@
 
 namespace easeio::obs {
 
+namespace {
+
+// Batched capture sink: appends each delivered batch straight into the output event
+// vector, no per-event std::function hop.
+class VectorSink final : public sim::ProbeSink {
+ public:
+  explicit VectorSink(std::vector<sim::ProbeEvent>& out) : out_(out) {}
+  void OnProbeBatch(const sim::ProbeBatch& batch) override {
+    const size_t base = out_.size();
+    out_.resize(base + batch.count);
+    for (size_t i = 0; i < batch.count; ++i) {
+      out_[base + i] = batch.Event(i);
+    }
+  }
+
+ private:
+  std::vector<sim::ProbeEvent>& out_;
+};
+
+}  // namespace
+
 CapturedRun CaptureRun(const report::ExperimentConfig& config) {
   CapturedRun out;
   out.app = apps::ToString(config.app);
   out.runtime = apps::ToString(config.runtime);
   out.seed = config.seed;
 
+  VectorSink sink(out.events);
   report::RunHooks hooks;
-  hooks.probe = [&out](const sim::ProbeEvent& e) { out.events.push_back(e); };
+  hooks.sink = &sink;
   hooks.inspect = [&out](const report::RunStackView& stack) {
     out.task_names.reserve(stack.app.graph.size());
     for (size_t t = 0; t < stack.app.graph.size(); ++t) {

@@ -56,6 +56,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
     device->Reset(dev_config, *scheduler, harv);
   }
   sim::Device& dev = *device;
+  if (hooks.sink != nullptr) {
+    dev.AddSink(hooks.sink);
+  }
   if (hooks.probe) {
     dev.AddProbe(hooks.probe);
   }

@@ -102,11 +102,14 @@ struct RunStackView {
   apps::AppHandle& app;
 };
 
-// Optional observation hooks for a run. `probe` subscribes to the device's probe
-// stream (Device::AddProbe) before the engine starts; `inspect` runs once after the
-// engine finishes, before teardown, so callers can read name tables and final state.
-// Both observe only: an instrumented run is bit-identical to an uninstrumented one.
+// Optional observation hooks for a run. `sink` subscribes to the device's batched
+// probe stream (Device::AddSink — the allocation-free path; it must outlive the run);
+// `probe` is the per-event convenience wrapper (Device::AddProbe) and may coexist
+// with it. `inspect` runs once after the engine finishes — probes flushed — before
+// teardown, so callers can read name tables and final state. All of these observe
+// only: an instrumented run is bit-identical to an uninstrumented one.
 struct RunHooks {
+  sim::ProbeSink* sink = nullptr;
   sim::ProbeFn probe;
   std::function<void(const RunStackView&)> inspect;
 };

@@ -48,15 +48,59 @@ void Device::Reset(const DeviceConfig& config, FailureScheduler& scheduler,
   dma_ = DmaEngine();
   lea_ = LeaAccelerator();
   reboot_listeners_.clear();
-  probes_.clear();
+  ring_count_ = 0;
+  sinks_.clear();
+  owned_sinks_.clear();
+  deadline_on_us_ = 0;
   next_cap_sample_us_ = 0;
   ClearCapturePlan();
+}
+
+namespace {
+
+// Adapter behind Device::AddProbe: unpacks batches into the legacy per-event callback.
+class ProbeFnSink final : public ProbeSink {
+ public:
+  explicit ProbeFnSink(ProbeFn fn) : fn_(std::move(fn)) {}
+  void OnProbeBatch(const ProbeBatch& batch) override {
+    for (size_t i = 0; i < batch.count; ++i) {
+      const ProbeEvent e = batch.Event(i);
+      fn_(e);
+    }
+  }
+
+ private:
+  ProbeFn fn_;
+};
+
+}  // namespace
+
+void Device::AddProbe(ProbeFn fn) {
+  EASEIO_CHECK(static_cast<bool>(fn), "AddProbe requires a callable");
+  owned_sinks_.push_back(std::make_unique<ProbeFnSink>(std::move(fn)));
+  sinks_.push_back(owned_sinks_.back().get());
 }
 
 DeviceSnapshot Device::SnapshotAtReboot() const {
   return DeviceSnapshot{mem_.Snapshot(), clock_, cap_,    meter_,  stats_, failure_rng_,
                         temp_,           humidity_, pressure_, radio_, camera_,
                         dma_,            lea_};
+}
+
+void Device::SnapshotAtRebootInto(DeviceSnapshot& out) const {
+  mem_.SnapshotInto(out.mem);
+  out.clock = clock_;
+  out.capacitor = cap_;
+  out.meter = meter_;
+  out.stats = stats_;
+  out.failure_rng = failure_rng_;
+  out.temp = temp_;
+  out.humidity = humidity_;
+  out.pressure = pressure_;
+  out.radio = radio_;
+  out.camera = camera_;
+  out.dma = dma_;
+  out.lea = lea_;
 }
 
 void Device::ResumeFromSnapshot(const DeviceSnapshot& snapshot) {
@@ -75,17 +119,18 @@ void Device::ResumeFromSnapshot(const DeviceSnapshot& snapshot) {
   lea_ = snapshot.lea;
   // The snapshot was taken mid-failure; the deferred Reboot() re-enters at kApp.
   phase_ = Phase::kApp;
+  // Conservative until the deferred Reboot() re-arms the scheduler and re-derives it.
+  deadline_on_us_ = 0;
+  RecomputeFastSpendBound();
 }
 
 void Device::Begin() {
   cap_.Reset();
   scheduler_->OnPowerOn(clock_, failure_rng_);
+  RearmFailureDeadline();
 }
 
-void Device::Spend(uint64_t cycles, double energy_j) {
-  if (cycles == 0) {
-    return;
-  }
+void Device::SpendSlow(uint64_t cycles, double energy_j) {
   CaptureCheck();
   CapSampleCheck();
   if (scheduler_->FailNow(clock_, cap_)) {
@@ -123,40 +168,6 @@ void Device::Spend(uint64_t cycles, double energy_j) {
       throw PowerFailure{};
     }
   }
-}
-
-namespace {
-
-// Per-word access cost for a simulated address.
-void WordCost(const Memory& mem, uint32_t addr, bool write, uint64_t* cycles, double* energy) {
-  if (mem.Classify(addr) == MemKind::kSram) {
-    *cycles = kSramAccessCycles;
-    *energy = kSramAccessEnergyJ;
-  } else if (write) {
-    *cycles = kFramWriteCycles;
-    *energy = kFramWriteEnergyJ;
-  } else {
-    *cycles = kFramReadCycles;
-    *energy = kFramReadEnergyJ;
-  }
-}
-
-}  // namespace
-
-uint16_t Device::LoadWord(uint32_t addr) {
-  uint64_t cycles = 0;
-  double energy = 0;
-  WordCost(mem_, addr, /*write=*/false, &cycles, &energy);
-  Spend(cycles, energy + static_cast<double>(cycles) * kCpuEnergyPerCycleJ);
-  return mem_.Read16(addr);
-}
-
-void Device::StoreWord(uint32_t addr, uint16_t value) {
-  uint64_t cycles = 0;
-  double energy = 0;
-  WordCost(mem_, addr, /*write=*/true, &cycles, &energy);
-  Spend(cycles, energy + static_cast<double>(cycles) * kCpuEnergyPerCycleJ);
-  mem_.Write16(addr, value);
 }
 
 uint32_t Device::LoadWord32(uint32_t addr) {
@@ -212,6 +223,7 @@ void Device::Reboot() {
     fn();
   }
   scheduler_->OnPowerOn(clock_, failure_rng_);
+  RearmFailureDeadline();
 }
 
 }  // namespace easeio::sim

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "platform/rng.h"
@@ -106,6 +107,11 @@ class Device {
   // device exactly as a caught PowerFailure left it, before Reboot().
   DeviceSnapshot SnapshotAtReboot() const;
 
+  // In-place variant reusing `out`'s buffers (the SnapshotPool hot path). When `out`
+  // was last filled from this same device, only FRAM pages dirtied since that fill
+  // are re-copied (see Memory::SnapshotInto).
+  void SnapshotAtRebootInto(DeviceSnapshot& out) const;
+
   // Restores a snapshot onto this device. The runtime/app stack must have been rebuilt
   // with the identical construction sequence first (registration rebuilds the volatile
   // and host-side structures; this call then rolls FRAM and the counters back to the
@@ -116,14 +122,71 @@ class Device {
   // --- Charged execution primitives -----------------------------------------------------
   // Spends `cycles` of CPU/bus time with the given total energy, advancing the clock and
   // drawing from the capacitor. Throws PowerFailure at the exact failure instant.
-  void Spend(uint64_t cycles, double energy_j);
+  //
+  // Fast path, inline: while the whole spend lands strictly before
+  // fast_spend_before_us_ — the precomputed min of the cached failure deadline and
+  // the next armed capture instant, zero when the capacitor model or voltage
+  // sampling is active — the stepping slow path provably collapses to a single
+  // uninterrupted step: no hook can fire and FailNow is false at every check site.
+  // Charge it in one shot with the *identical* floating-point expression the
+  // one-step slow path evaluates ((energy/cycles) * cycles, not energy), keeping
+  // stats and meter bit-exact. Trunk runs (capture plan armed) qualify whenever the
+  // spend stays short of the next capture, which is nearly always — the plan holds a
+  // handful of instants against millions of word-sized spends.
+  void Spend(uint64_t cycles, double energy_j) {
+    if (cycles == 0) {
+      return;
+    }
+    if (fast_spend_before_us_ != 0 && clock_.on_us() + cycles < fast_spend_before_us_) {
+      const double draw_j =
+          (energy_j / static_cast<double>(cycles)) * static_cast<double>(cycles);
+      clock_.AdvanceOn(cycles);
+      stats_.ChargeAttempt(phase_, static_cast<double>(cycles), draw_j);
+      meter_.Add(phase_, draw_j);
+      return;
+    }
+    SpendSlow(cycles, energy_j);
+  }
 
   // Pure compute for `cycles` cycles.
   void Cpu(uint64_t cycles) { Spend(cycles, static_cast<double>(cycles) * kCpuEnergyPerCycleJ); }
 
-  // Charged 16-bit memory accesses (cost depends on SRAM vs FRAM).
-  uint16_t LoadWord(uint32_t addr);
-  void StoreWord(uint32_t addr, uint16_t value);
+  // Charged 16-bit memory accesses (cost depends on SRAM vs FRAM). Inline together
+  // with Spend's fast path: the kernel's NV accessors funnel every simulated load and
+  // store through here, the hottest call chain in a chk exploration.
+  uint16_t LoadWord(uint32_t addr) {
+    // Single bounds walk; the pointer survives Spend (arenas never reallocate, and a
+    // capture hook firing inside Spend only reads the arena). If Spend throws, the
+    // speculative resolve had no side effect.
+    MemKind kind;
+    const uint8_t* p = mem_.ResolveWord(addr, &kind);
+    if (kind == MemKind::kSram) {
+      Spend(kSramAccessCycles,
+            kSramAccessEnergyJ + static_cast<double>(kSramAccessCycles) * kCpuEnergyPerCycleJ);
+    } else {
+      Spend(kFramReadCycles,
+            kFramReadEnergyJ + static_cast<double>(kFramReadCycles) * kCpuEnergyPerCycleJ);
+    }
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+  void StoreWord(uint32_t addr, uint16_t value) {
+    MemKind kind;
+    uint8_t* p = mem_.ResolveWordMut(addr, &kind);
+    if (kind == MemKind::kSram) {
+      Spend(kSramAccessCycles,
+            kSramAccessEnergyJ + static_cast<double>(kSramAccessCycles) * kCpuEnergyPerCycleJ);
+    } else {
+      Spend(kFramWriteCycles,
+            kFramWriteEnergyJ + static_cast<double>(kFramWriteCycles) * kCpuEnergyPerCycleJ);
+    }
+    // The write (and its dirty stamp) lands only if Spend didn't fail the device, and
+    // the stamp lands after the bytes so a mid-Spend capture can't mark it synced.
+    p[0] = static_cast<uint8_t>(value & 0xFF);
+    p[1] = static_cast<uint8_t>(value >> 8);
+    if (kind == MemKind::kFram) {
+      mem_.MarkFramWordDirty(addr);
+    }
+  }
   uint32_t LoadWord32(uint32_t addr);
   void StoreWord32(uint32_t addr, uint32_t value);
 
@@ -173,39 +236,84 @@ class Device {
     capture_at_ = std::move(capture_at);
     capture_hook_ = std::move(hook);
     capture_next_ = 0;
+    RecomputeFastSpendBound();
   }
   void ClearCapturePlan() {
     capture_at_.clear();
     capture_hook_ = nullptr;
     capture_next_ = 0;
+    RecomputeFastSpendBound();
   }
 
   // --- Execution probe (src/chk + src/obs instrumentation) ---------------------------
-  // Subscribes `fn` to the probe stream. Any number of subscribers may coexist (the
-  // explorer's recorder, the timeline tracer, and the profiler can observe the same
-  // run concurrently); each receives every event, in registration order. Observation
-  // is free: no cycles, no energy — an instrumented run is indistinguishable from an
-  // uninstrumented one. Cleared by Reset.
-  void AddProbe(ProbeFn fn) { probes_.push_back(std::move(fn)); }
+  // Subscribes `sink` to the batched probe stream (see ProbeBatch in probe.h). Any
+  // number of sinks may coexist (the explorer's recorder, the timeline tracer, and
+  // the profiler can observe the same run concurrently); each receives every event,
+  // in emission order, at flush boundaries. The sink is not owned and must outlive
+  // its registration. Observation is free: no cycles, no energy — an instrumented run
+  // is indistinguishable from an uninstrumented one. Cleared by Reset.
+  void AddSink(ProbeSink* sink) { sinks_.push_back(sink); }
 
-  // Legacy single-subscriber entry point: drops all existing subscribers and installs
-  // `fn` alone (or none when `fn` is empty). Prefer AddProbe.
+  // Per-event callback compatibility shim: wraps `fn` in a device-owned adapter sink
+  // that unpacks each batch back into ProbeEvent calls. Consumers that keep up with
+  // the stream should implement ProbeSink instead and skip the per-event dispatch.
+  void AddProbe(ProbeFn fn);
+
+  // Legacy single-subscriber entry point. Installing a non-empty `fn` over existing
+  // subscribers silently dropped them in earlier revisions — now it aborts; call
+  // set_probe(nullptr) first (or use AddSink/AddProbe, which compose). An empty `fn`
+  // clears every registration, matching the historical "remove the probe" idiom.
   void set_probe(ProbeFn fn) {
-    probes_.clear();
     if (fn) {
-      probes_.push_back(std::move(fn));
+      EASEIO_CHECK(sinks_.empty(),
+                   "set_probe would drop existing probe subscribers; use AddProbe/AddSink");
+      AddProbe(std::move(fn));
+    } else {
+      FlushProbes();
+      sinks_.clear();
+      owned_sinks_.clear();
     }
   }
 
-  bool has_probe() const { return !probes_.empty(); }
+  bool has_probe() const { return !sinks_.empty(); }
 
-  // Emits one probe event stamped with the current on-time. No-op without subscribers.
+  // Appends one probe event, stamped with the current on-time, to the emission ring.
+  // No-op without subscribers. Delivery to sinks happens at the next flush boundary.
   void Note(ProbeKind kind, uint32_t id, uint32_t lane = 0, uint64_t a = 0, uint64_t b = 0) {
-    if (!probes_.empty()) {
-      const ProbeEvent e{kind, id, lane, a, b, clock_.on_us()};
-      for (const ProbeFn& probe : probes_) {
-        probe(e);
-      }
+    if (sinks_.empty()) {
+      return;
+    }
+    if (ring_count_ == kProbeRingCap) {
+      FlushProbes();
+    }
+    const size_t i = ring_count_++;
+    ring_kind_[i] = kind;
+    ring_id_[i] = id;
+    ring_lane_[i] = lane;
+    ring_a_[i] = a;
+    ring_b_[i] = b;
+    ring_on_us_[i] = clock_.on_us();
+  }
+
+  // Delivers every buffered event to every sink, in order. Called automatically when
+  // the ring fills, before each capture-plan hook, on Reset, and by the engine at the
+  // end of a drive; callers reading a sink outside those points (e.g. after emitting
+  // events by hand) must flush first. Sinks must not emit or flush re-entrantly.
+  void FlushProbes() {
+    if (ring_count_ == 0) {
+      return;
+    }
+    ProbeBatch batch;
+    batch.count = ring_count_;
+    batch.kinds = ring_kind_;
+    batch.ids = ring_id_;
+    batch.lanes = ring_lane_;
+    batch.a = ring_a_;
+    batch.b = ring_b_;
+    batch.on_us = ring_on_us_;
+    ring_count_ = 0;
+    for (ProbeSink* sink : sinks_) {
+      sink->OnProbeBatch(batch);
     }
   }
 
@@ -254,7 +362,67 @@ class Device {
   LeaAccelerator lea_;
 
   std::vector<std::function<void()>> reboot_listeners_;
-  std::vector<ProbeFn> probes_;
+
+  // Probe emission ring (SoA, fixed capacity) and its subscribers. `owned_sinks_`
+  // holds the AddProbe adapter objects; `sinks_` is the dispatch list and may also
+  // contain caller-owned sinks registered via AddSink.
+  static constexpr size_t kProbeRingCap = 256;
+  ProbeKind ring_kind_[kProbeRingCap];
+  uint32_t ring_id_[kProbeRingCap];
+  uint32_t ring_lane_[kProbeRingCap];
+  uint64_t ring_a_[kProbeRingCap];
+  uint64_t ring_b_[kProbeRingCap];
+  uint64_t ring_on_us_[kProbeRingCap];
+  size_t ring_count_ = 0;
+  std::vector<ProbeSink*> sinks_;
+  std::vector<std::unique_ptr<ProbeSink>> owned_sinks_;
+
+  // Cached next-failure instant for deadline-driven schedulers (see
+  // FailureScheduler::DeadlineDriven): while clock_.on_us() stays strictly below it,
+  // FailNow is provably false and Spend takes the consultation-free fast path. 0 means
+  // "no cached deadline, consult the scheduler every step" — the conservative state
+  // Reset and ResumeFromSnapshot fall back to (the deferred Reboot re-derives it).
+  uint64_t deadline_on_us_ = 0;
+
+  // Stepping spend loop: capture-plan clamping, capacitor draw/harvest, per-step
+  // failure checks. Everything Spend's inline fast path proves it can skip.
+  void SpendSlow(uint64_t cycles, double energy_j);
+
+  // Recomputes deadline_on_us_ from the scheduler. Called wherever the scheduler is
+  // (re-)armed: Begin and the end of Reboot.
+  void RearmFailureDeadline() {
+    if (!scheduler_->DeadlineDriven()) {
+      deadline_on_us_ = 0;
+      RecomputeFastSpendBound();
+      return;
+    }
+    const uint64_t budget = scheduler_->OnTimeBudgetUs(clock_);
+    deadline_on_us_ =
+        budget > UINT64_MAX - clock_.on_us() ? UINT64_MAX : clock_.on_us() + budget;
+    RecomputeFastSpendBound();
+  }
+
+  // The single bound Spend's fast-path gate tests: the earliest instant at which
+  // anything at all (scripted failure or capture hook) can interrupt a spend, or 0
+  // when the fast path is off entirely (no cached deadline, capacitor model on, or
+  // voltage sampling armed). Folding the whole eligibility decision into one cached
+  // value matters because the gate runs once per simulated word access. Recomputed
+  // wherever any input changes: RearmFailureDeadline, the capture plan setters,
+  // CaptureCheck advancing past an instant, Reset, and ResumeFromSnapshot.
+  uint64_t fast_spend_before_us_ = 0;
+
+  void RecomputeFastSpendBound() {
+    uint64_t bound = deadline_on_us_;
+    if (bound == 0 || config_.use_capacitor || config_.cap_sample_period_us != 0) {
+      fast_spend_before_us_ = 0;
+      return;
+    }
+    if (capture_hook_ && capture_next_ < capture_at_.size() &&
+        capture_at_[capture_next_] < bound) {
+      bound = capture_at_[capture_next_];
+    }
+    fast_spend_before_us_ = bound;
+  }
 
   // On-time threshold for the next kCapSample emission (cap_sample_period_us > 0).
   uint64_t next_cap_sample_us_ = 0;
@@ -262,7 +430,7 @@ class Device {
   // Emits due kCapSample events; called from the same Spend sites as CaptureCheck so
   // samples land between charging steps, never mid-step.
   void CapSampleCheck() {
-    if (config_.cap_sample_period_us == 0 || probes_.empty()) {
+    if (config_.cap_sample_period_us == 0 || sinks_.empty()) {
       return;
     }
     if (clock_.on_us() >= next_cap_sample_us_) {
@@ -276,12 +444,19 @@ class Device {
   }
 
   // Runs every due capture hook. Called at each failure-check site in Spend, before
-  // the check itself (see SetCapturePlan).
+  // the check itself (see SetCapturePlan). The ring is flushed first so a hook that
+  // reads a sink (the trunk's trace fold) sees every event up to the capture instant.
   void CaptureCheck() {
+    bool advanced = false;
     while (capture_hook_ && capture_next_ < capture_at_.size() &&
            clock_.on_us() >= capture_at_[capture_next_]) {
+      FlushProbes();
       capture_hook_(capture_next_);
       ++capture_next_;
+      advanced = true;
+    }
+    if (advanced) {
+      RecomputeFastSpendBound();
     }
   }
 

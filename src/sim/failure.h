@@ -45,6 +45,14 @@ class FailureScheduler {
   // schedulers return 0 here; the device then derives the recharge time from the
   // harvester instead.
   virtual uint64_t OffTimeUs(Xorshift64Star& rng) = 0;
+
+  // True when the scheduler's failure decision is a pure function of on-time: between
+  // power-on and the instant `clock.on_us() + OnTimeBudgetUs(clock)`, FailNow is
+  // guaranteed false and OnTimeBudgetUs only counts down. The device then caches that
+  // deadline and skips the per-Spend virtual consultations entirely (the exploration
+  // hot path). Energy-driven schedulers must return false: their FailNow depends on
+  // the capacitor, not the clock.
+  virtual bool DeadlineDriven() const { return false; }
 };
 
 // Never fails: models continuous power. Continuous runs provide the golden outputs the
@@ -55,6 +63,7 @@ class NeverFailScheduler : public FailureScheduler {
   uint64_t OnTimeBudgetUs(const SimClock&) const override { return UINT64_MAX; }
   bool FailNow(const SimClock&, const Capacitor&) const override { return false; }
   uint64_t OffTimeUs(Xorshift64Star&) override { return 0; }
+  bool DeadlineDriven() const override { return true; }
 };
 
 // The paper's emulation: a soft reset fires after a uniformly distributed on-time
@@ -87,6 +96,8 @@ class UniformTimerScheduler : public FailureScheduler {
   uint64_t OffTimeUs(Xorshift64Star& rng) override {
     return rng.NextInRange(min_off_us_, max_off_us_);
   }
+
+  bool DeadlineDriven() const override { return true; }
 
  private:
   uint64_t min_on_us_;
@@ -143,6 +154,11 @@ class ScriptedScheduler : public FailureScheduler {
   }
 
   uint64_t OffTimeUs(Xorshift64Star&) override { return off_us_; }
+
+  // The schedule is a pure function of on-time. NOTE: Rescript invalidates any cached
+  // deadline; every Rescript site is followed by Device::Reset / Begin / a deferred
+  // Reboot before the next Spend, each of which re-derives it.
+  bool DeadlineDriven() const override { return true; }
 
   // Index of the next pending failure — equivalently, how many scripted failures have
   // fired so far. Callers use this to report which injected failure killed a run.

@@ -15,6 +15,20 @@ int16_t Saturate(int32_t v) {
   return static_cast<int16_t>(std::clamp<int32_t>(v, INT16_MIN, INT16_MAX));
 }
 
+// Raw little-endian element access for the kernel inner loops. Begin() has already
+// range-checked every operand and pinned it to SRAM, so the loops stream through
+// pointers instead of paying a Resolve (bounds + arena dispatch) per element — the
+// per-element accessor chain dominated chk exploration profiles on the camera app.
+int16_t LoadI16(const uint8_t* p) {
+  return static_cast<int16_t>(static_cast<uint16_t>(p[0] | (p[1] << 8)));
+}
+
+void StoreI16(uint8_t* p, int16_t v) {
+  const auto u = static_cast<uint16_t>(v);
+  p[0] = static_cast<uint8_t>(u & 0xFF);
+  p[1] = static_cast<uint8_t>(u >> 8);
+}
+
 }  // namespace
 
 void LeaAccelerator::Begin(Device& dev, uint64_t mac_count,
@@ -45,23 +59,26 @@ void LeaAccelerator::Fir(Device& dev, uint32_t src, uint32_t coef, uint32_t dst,
   Begin(dev, static_cast<uint64_t>(out_len) * taps, {src, coef, dst},
         {in_len * 2, taps * 2, out_len * 2});
   Memory& mem = dev.mem();
+  const uint8_t* sp = mem.PeekBlock(src, in_len * 2);
+  const uint8_t* cp = mem.PeekBlock(coef, taps * 2);
+  uint8_t* dp = mem.MutableSramBlock(dst, out_len * 2);
   for (uint32_t i = 0; i < out_len; ++i) {
     int32_t acc = 0;
     for (uint32_t k = 0; k < taps; ++k) {
-      acc += static_cast<int32_t>(mem.ReadI16(coef + 2 * k)) *
-             static_cast<int32_t>(mem.ReadI16(src + 2 * (i + k)));
+      acc += static_cast<int32_t>(LoadI16(cp + 2 * k)) *
+             static_cast<int32_t>(LoadI16(sp + 2 * (i + k)));
     }
-    mem.WriteI16(dst + 2 * i, Saturate(acc >> 15));
+    StoreI16(dp + 2 * i, Saturate(acc >> 15));
   }
 }
 
 void LeaAccelerator::Relu(Device& dev, uint32_t addr, uint32_t len) {
   EASEIO_CHECK(len > 0, "empty ReLU");
   Begin(dev, len, {addr}, {len * 2});
-  Memory& mem = dev.mem();
+  uint8_t* p = dev.mem().MutableSramBlock(addr, len * 2);
   for (uint32_t i = 0; i < len; ++i) {
-    if (mem.ReadI16(addr + 2 * i) < 0) {
-      mem.WriteI16(addr + 2 * i, 0);
+    if (LoadI16(p + 2 * i) < 0) {
+      StoreI16(p + 2 * i, 0);
     }
   }
 }
@@ -74,16 +91,19 @@ void LeaAccelerator::Conv2dValid(Device& dev, uint32_t src, uint32_t kernel, uin
   Begin(dev, static_cast<uint64_t>(out_h) * out_w * k * k, {src, kernel, dst},
         {in_h * in_w * 2, k * k * 2, out_h * out_w * 2});
   Memory& mem = dev.mem();
+  const uint8_t* sp = mem.PeekBlock(src, in_h * in_w * 2);
+  const uint8_t* kp = mem.PeekBlock(kernel, k * k * 2);
+  uint8_t* dp = mem.MutableSramBlock(dst, out_h * out_w * 2);
   for (uint32_t y = 0; y < out_h; ++y) {
     for (uint32_t x = 0; x < out_w; ++x) {
       int32_t acc = 0;
       for (uint32_t ky = 0; ky < k; ++ky) {
         for (uint32_t kx = 0; kx < k; ++kx) {
-          acc += static_cast<int32_t>(mem.ReadI16(kernel + 2 * (ky * k + kx))) *
-                 static_cast<int32_t>(mem.ReadI16(src + 2 * ((y + ky) * in_w + (x + kx))));
+          acc += static_cast<int32_t>(LoadI16(kp + 2 * (ky * k + kx))) *
+                 static_cast<int32_t>(LoadI16(sp + 2 * ((y + ky) * in_w + (x + kx))));
         }
       }
-      mem.WriteI16(dst + 2 * (y * out_w + x), Saturate(acc >> 15));
+      StoreI16(dp + 2 * (y * out_w + x), Saturate(acc >> 15));
     }
   }
 }
@@ -94,13 +114,16 @@ void LeaAccelerator::FullyConnected(Device& dev, uint32_t src, uint32_t weights,
   Begin(dev, static_cast<uint64_t>(in_len) * out_len, {src, weights, dst},
         {in_len * 2, in_len * out_len * 2, out_len * 2});
   Memory& mem = dev.mem();
+  const uint8_t* sp = mem.PeekBlock(src, in_len * 2);
+  const uint8_t* wp = mem.PeekBlock(weights, in_len * out_len * 2);
+  uint8_t* dp = mem.MutableSramBlock(dst, out_len * 2);
   for (uint32_t o = 0; o < out_len; ++o) {
     int32_t acc = 0;
     for (uint32_t i = 0; i < in_len; ++i) {
-      acc += static_cast<int32_t>(mem.ReadI16(weights + 2 * (o * in_len + i))) *
-             static_cast<int32_t>(mem.ReadI16(src + 2 * i));
+      acc += static_cast<int32_t>(LoadI16(wp + 2 * (o * in_len + i))) *
+             static_cast<int32_t>(LoadI16(sp + 2 * i));
     }
-    mem.WriteI16(dst + 2 * o, Saturate(acc >> 15));
+    StoreI16(dp + 2 * o, Saturate(acc >> 15));
   }
 }
 
@@ -108,16 +131,17 @@ void LeaAccelerator::MaxIndex(Device& dev, uint32_t src, uint32_t len, uint32_t 
   EASEIO_CHECK(len > 0, "empty argmax");
   Begin(dev, len, {src, dst}, {len * 2, 2});
   Memory& mem = dev.mem();
-  int16_t best = mem.ReadI16(src);
+  const uint8_t* sp = mem.PeekBlock(src, len * 2);
+  int16_t best = LoadI16(sp);
   uint32_t best_i = 0;
   for (uint32_t i = 1; i < len; ++i) {
-    const int16_t v = mem.ReadI16(src + 2 * i);
+    const int16_t v = LoadI16(sp + 2 * i);
     if (v > best) {
       best = v;
       best_i = i;
     }
   }
-  mem.WriteI16(dst, static_cast<int16_t>(best_i));
+  StoreI16(mem.MutableSramBlock(dst, 2), static_cast<int16_t>(best_i));
 }
 
 }  // namespace easeio::sim

@@ -1,62 +1,23 @@
 #include "sim/memory.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace easeio::sim {
 
+namespace {
+// Process-unique Memory identities; 0 is reserved for "no / hand-built snapshot".
+std::atomic<uint64_t> g_mem_uid{1};
+}  // namespace
+
 Memory::Memory(uint32_t sram_bytes, uint32_t fram_bytes)
-    : sram_(sram_bytes, 0), fram_(fram_bytes, 0) {
+    : sram_(sram_bytes, 0),
+      fram_(fram_bytes, 0),
+      page_stamp_((fram_bytes + kSnapshotPageSize - 1) / kSnapshotPageSize, 0),
+      mem_uid_(g_mem_uid.fetch_add(1, std::memory_order_relaxed)) {
   EASEIO_CHECK(sram_bytes > 0 && fram_bytes > 0, "memories must be non-empty");
   EASEIO_CHECK(kSramBase + sram_bytes <= kFramBase, "SRAM must not overlap FRAM window");
-}
-
-MemKind Memory::Classify(uint32_t addr) const {
-  if (InSram(addr)) {
-    return MemKind::kSram;
-  }
-  EASEIO_CHECK(InFram(addr), "address outside simulated memory");
-  return MemKind::kFram;
-}
-
-bool Memory::RangeValid(uint32_t addr, uint32_t size) const {
-  if (size == 0) {
-    return false;
-  }
-  const uint32_t end = addr + size;  // allocation sizes keep this far from wrapping
-  if (InSram(addr)) {
-    return end <= kSramBase + sram_.size();
-  }
-  if (InFram(addr)) {
-    return end <= kFramBase + fram_.size();
-  }
-  return false;
-}
-
-uint8_t* Memory::Resolve(uint32_t addr, uint32_t size) {
-  EASEIO_CHECK(RangeValid(addr, size), "simulated memory access out of range");
-  if (InSram(addr)) {
-    return sram_.data() + (addr - kSramBase);
-  }
-  return fram_.data() + (addr - kFramBase);
-}
-
-const uint8_t* Memory::Resolve(uint32_t addr, uint32_t size) const {
-  return const_cast<Memory*>(this)->Resolve(addr, size);
-}
-
-uint8_t Memory::Read8(uint32_t addr) const { return *Resolve(addr, 1); }
-
-void Memory::Write8(uint32_t addr, uint8_t value) { *Resolve(addr, 1) = value; }
-
-uint16_t Memory::Read16(uint32_t addr) const {
-  const uint8_t* p = Resolve(addr, 2);
-  return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-
-void Memory::Write16(uint32_t addr, uint16_t value) {
-  uint8_t* p = Resolve(addr, 2);
-  p[0] = static_cast<uint8_t>(value & 0xFF);
-  p[1] = static_cast<uint8_t>(value >> 8);
 }
 
 uint32_t Memory::Read32(uint32_t addr) const {
@@ -75,6 +36,7 @@ void Memory::Copy(uint32_t dst, uint32_t src, uint32_t size) {
   const uint8_t* s = Resolve(src, size);
   uint8_t* d = Resolve(dst, size);
   std::memmove(d, s, size);
+  MarkFramDirty(dst, size);
 }
 
 void Memory::Fill(uint32_t addr, uint32_t size, uint8_t value) {
@@ -82,6 +44,7 @@ void Memory::Fill(uint32_t addr, uint32_t size, uint8_t value) {
     return;
   }
   std::memset(Resolve(addr, size), value, size);
+  MarkFramDirty(addr, size);
 }
 
 void Memory::ReadBlock(uint32_t addr, uint32_t size, uint8_t* dst) const {
@@ -101,6 +64,7 @@ uint32_t Memory::AllocSram(std::string name, uint32_t size, AllocPurpose purpose
   const uint32_t addr = kSramBase + sram_used_;
   sram_used_ += need;
   allocations_.push_back({std::move(name), addr, size, MemKind::kSram, purpose});
+  alloc_epoch_ = next_alloc_epoch_++;
   return addr;
 }
 
@@ -110,6 +74,7 @@ uint32_t Memory::AllocFram(std::string name, uint32_t size, AllocPurpose purpose
   const uint32_t addr = kFramBase + fram_used_;
   fram_used_ += need;
   allocations_.push_back({std::move(name), addr, size, MemKind::kFram, purpose});
+  alloc_epoch_ = next_alloc_epoch_++;
   return addr;
 }
 
@@ -145,34 +110,117 @@ MemorySnapshot Memory::Snapshot() const {
   snap.fram_used = fram_used_;
   snap.reboot_epoch = reboot_epoch_;
   snap.allocations = allocations_;
+  snap.mem_uid = mem_uid_;
+  snap.alloc_epoch = alloc_epoch_;
   return snap;
+}
+
+void Memory::SnapshotInto(MemorySnapshot& snap) const {
+  const uint32_t npages = static_cast<uint32_t>(page_stamp_.size());
+  const uint32_t old_size = static_cast<uint32_t>(snap.fram.size());
+  if (snap.mem_uid != mem_uid_ || snap.page_synced.size() != npages) {
+    // Foreign, fresh, or hand-built buffer: no stamp is trustworthy.
+    snap.page_synced.assign(npages, 0);
+  } else if (old_size != fram_used_) {
+    // The prefix boundary moved. The page straddling min(old, new) holds bytes the
+    // buffer never stored (grow) or is about to be re-covered (shrink); everything at
+    // and past it must be re-copied. Pages wholly below the smaller boundary keep
+    // their stamps — resize preserves the retained prefix bytes.
+    for (uint32_t p = std::min(old_size, fram_used_) / kSnapshotPageSize; p < npages; ++p) {
+      snap.page_synced[p] = 0;
+    }
+  }
+  snap.fram.resize(fram_used_);
+  const uint32_t used_pages = (fram_used_ + kSnapshotPageSize - 1) / kSnapshotPageSize;
+  for (uint32_t p = 0; p < used_pages; ++p) {
+    // synced == 0 means "never synced": forced copy. Otherwise a page is clean iff no
+    // write stamped it after the recorded sync epoch.
+    if (snap.page_synced[p] != 0 && snap.page_synced[p] >= page_stamp_[p]) {
+      ++pages_skipped_;
+      continue;
+    }
+    const uint32_t off = p * kSnapshotPageSize;
+    const uint32_t len = std::min(kSnapshotPageSize, fram_used_ - off);
+    std::memcpy(snap.fram.data() + off, fram_.data() + off, len);
+    snap.page_synced[p] = snap_epoch_;
+    ++pages_copied_;
+  }
+  snap.sram_used = sram_used_;
+  snap.fram_used = fram_used_;
+  snap.reboot_epoch = reboot_epoch_;
+  // The allocation table changes orders of magnitude less often than FRAM contents;
+  // when the buffer's recorded identity matches, its copy is already byte-equal (same
+  // reasoning as the page stamps: equal stamps within one Memory mean equal tables).
+  if (snap.mem_uid != mem_uid_ || snap.alloc_epoch != alloc_epoch_) {
+    snap.allocations = allocations_;
+    snap.alloc_epoch = alloc_epoch_;
+  }
+  snap.mem_uid = mem_uid_;
+  // Writes from here on must stamp strictly newer than the syncs recorded above, or a
+  // post-snapshot write would look clean to the next fill of this buffer.
+  ++snap_epoch_;
 }
 
 void Memory::Restore(const MemorySnapshot& snapshot) {
   EASEIO_CHECK(snapshot.sram_used <= sram_size() && snapshot.fram_used <= fram_size(),
                "snapshot does not fit this memory");
+  EASEIO_CHECK(snapshot.fram.size() == snapshot.fram_used,
+               "torn snapshot: fram buffer length does not match fram_used");
+  // Pages written below are stamped with a fresh epoch — never rewound to the
+  // snapshot's sync stamp, which would falsely validate *other* outstanding snapshots
+  // of this memory whose sync predates the content now being laid back.
+  ++snap_epoch_;
   // FRAM allocated beyond the snapshot cursor (e.g. lazily, after the snapshot was
   // taken) must read as zero once the cursor rolls back.
   if (fram_used_ > snapshot.fram_used) {
     std::memset(fram_.data() + snapshot.fram_used, 0, fram_used_ - snapshot.fram_used);
+    MarkFramRangeDirty(snapshot.fram_used, fram_used_ - snapshot.fram_used);
   }
-  std::memcpy(fram_.data(), snapshot.fram.data(), snapshot.fram.size());
+  const bool same_mem = snapshot.mem_uid == mem_uid_ &&
+                        snapshot.page_synced.size() == page_stamp_.size();
+  const uint32_t used_pages =
+      (snapshot.fram_used + kSnapshotPageSize - 1) / kSnapshotPageSize;
+  for (uint32_t p = 0; p < used_pages; ++p) {
+    // A page untouched since this snapshot's own fill already holds the snapshot
+    // content; writing it back would be a no-op.
+    if (same_mem && snapshot.page_synced[p] != 0 && snapshot.page_synced[p] >= page_stamp_[p]) {
+      ++pages_skipped_;
+      continue;
+    }
+    const uint32_t off = p * kSnapshotPageSize;
+    const uint32_t len = std::min(kSnapshotPageSize, snapshot.fram_used - off);
+    std::memcpy(fram_.data() + off, snapshot.fram.data() + off, len);
+    page_stamp_[p] = snap_epoch_;
+    ++pages_copied_;
+  }
   std::memset(sram_.data(), 0, sram_used_ > snapshot.sram_used ? sram_used_ : snapshot.sram_used);
   sram_used_ = snapshot.sram_used;
   fram_used_ = snapshot.fram_used;
   reboot_epoch_ = snapshot.reboot_epoch;
-  if (allocations_.size() != snapshot.allocations.size()) {
+  // The table is restored whenever it could differ — a same-sized table may still
+  // differ in addresses, kinds, or sizes (pool reuse across trials hits this
+  // constantly). Only a provably identical table (same Memory, same never-reused
+  // identity stamp) skips the deep copy; a foreign or unknown-identity table is
+  // copied and the current table gets a fresh identity of its own.
+  if (snapshot.mem_uid != mem_uid_ || snapshot.alloc_epoch == 0 ||
+      snapshot.alloc_epoch != alloc_epoch_) {
     allocations_ = snapshot.allocations;
+    alloc_epoch_ = (snapshot.mem_uid == mem_uid_ && snapshot.alloc_epoch != 0)
+                       ? snapshot.alloc_epoch
+                       : next_alloc_epoch_++;
   }
 }
 
 void Memory::Reset() {
   std::memset(sram_.data(), 0, sram_used_);
   std::memset(fram_.data(), 0, fram_used_);
+  ++snap_epoch_;
+  MarkFramRangeDirty(0, fram_used_);
   sram_used_ = 0;
   fram_used_ = 0;
   reboot_epoch_ = 0;
   allocations_.clear();
+  alloc_epoch_ = next_alloc_epoch_++;
 }
 
 }  // namespace easeio::sim

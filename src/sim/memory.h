@@ -50,12 +50,23 @@ struct Allocation {
 // Everything non-volatile about a Memory at one instant: the used FRAM prefix, both
 // allocation cursors, the reboot epoch, and the allocation table. SRAM is deliberately
 // absent — snapshots are taken at a power failure, where SRAM is dead by definition.
+//
+// The trailing two fields are dirty-page sync metadata maintained exclusively by
+// Memory::SnapshotInto: they let a snapshot buffer that is re-filled from the same
+// Memory skip pages that have not changed since the previous fill, and let Restore
+// skip writing back pages the Memory never touched since the fill. A hand-built
+// snapshot (mem_uid == 0, page_synced empty) always takes the full-copy path and is
+// restored in full. Mutating `fram` by hand invalidates the metadata; clear it
+// (mem_uid = 0) first.
 struct MemorySnapshot {
   std::vector<uint8_t> fram;  // first `fram_used` bytes of the FRAM arena
   uint32_t sram_used = 0;
   uint32_t fram_used = 0;
   uint64_t reboot_epoch = 0;
   std::vector<Allocation> allocations;
+  uint64_t mem_uid = 0;                // identity of the Memory the stamps refer to
+  std::vector<uint64_t> page_synced;   // per page: epoch at which buffer == memory
+  uint64_t alloc_epoch = 0;            // identity of `allocations` (0 = unknown)
 };
 
 // Byte-addressable simulated memory.
@@ -64,10 +75,29 @@ class Memory {
   static constexpr uint32_t kSramBase = 0x1C00;
   static constexpr uint32_t kFramBase = 0x10000;
 
+  // Dirty-tracking granularity for FRAM snapshots. 256 B balances stamp-array scan
+  // cost (1 KiB of stamps per 256 KiB arena) against copy amplification for small
+  // writes (an 8-byte NV store dirties one page, not a 4 KiB block).
+  static constexpr uint32_t kSnapshotPageSize = 256;
+
   Memory(uint32_t sram_bytes = 8 * 1024, uint32_t fram_bytes = 256 * 1024);
 
+  // The per-page epoch stamps make a bitwise copy aliased and unsound (two objects
+  // sharing one mem_uid would cross-validate each other's snapshots).
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
   // --- Address classification ---------------------------------------------------------
-  MemKind Classify(uint32_t addr) const;
+  // Classification and the word accessors below are defined inline: they sit under
+  // every charged load/store the kernel issues (millions per chk exploration), and the
+  // cross-TU call overhead used to rival the work itself.
+  MemKind Classify(uint32_t addr) const {
+    if (InSram(addr)) {
+      return MemKind::kSram;
+    }
+    EASEIO_CHECK(InFram(addr), "address outside simulated memory");
+    return MemKind::kFram;
+  }
   bool InSram(uint32_t addr) const {
     return addr >= kSramBase && addr < kSramBase + sram_.size();
   }
@@ -75,17 +105,67 @@ class Memory {
     return addr >= kFramBase && addr < kFramBase + fram_.size();
   }
   // True when [addr, addr+size) lies entirely inside one memory.
-  bool RangeValid(uint32_t addr, uint32_t size) const;
+  bool RangeValid(uint32_t addr, uint32_t size) const {
+    if (size == 0) {
+      return false;
+    }
+    const uint32_t end = addr + size;  // allocation sizes keep this far from wrapping
+    if (InSram(addr)) {
+      return end <= kSramBase + sram_.size();
+    }
+    if (InFram(addr)) {
+      return end <= kFramBase + fram_.size();
+    }
+    return false;
+  }
 
   // --- Raw (uncharged) access ----------------------------------------------------------
-  uint8_t Read8(uint32_t addr) const;
-  void Write8(uint32_t addr, uint8_t value);
-  uint16_t Read16(uint32_t addr) const;
-  void Write16(uint32_t addr, uint16_t value);
+  uint8_t Read8(uint32_t addr) const { return *Resolve(addr, 1); }
+  void Write8(uint32_t addr, uint8_t value) {
+    *Resolve(addr, 1) = value;
+    MarkFramDirty(addr, 1);
+  }
+  uint16_t Read16(uint32_t addr) const {
+    const uint8_t* p = Resolve(addr, 2);
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+  void Write16(uint32_t addr, uint16_t value) {
+    uint8_t* p = Resolve(addr, 2);
+    p[0] = static_cast<uint8_t>(value & 0xFF);
+    p[1] = static_cast<uint8_t>(value >> 8);
+    MarkFramDirty(addr, 2);
+  }
   uint32_t Read32(uint32_t addr) const;
   void Write32(uint32_t addr, uint32_t value);
   int16_t ReadI16(uint32_t addr) const { return static_cast<int16_t>(Read16(addr)); }
   void WriteI16(uint32_t addr, int16_t value) { Write16(addr, static_cast<uint16_t>(value)); }
+
+  // --- Fused classify+resolve word path (Device hot path) -----------------------------
+  // One bounds walk instead of Classify followed by Resolve: the charged word
+  // accessors sit under millions of kernel loads/stores per chk exploration, and the
+  // duplicated arena-range checks were a measurable share of each access. The pointer
+  // stays valid across Spend (the arenas never reallocate); a store through it must be
+  // followed by MarkFramWordDirty *after* the bytes land, so a capture hook firing
+  // between resolve and write cannot record the page as synced ahead of the mutation.
+  uint8_t* ResolveWordMut(uint32_t addr, MemKind* kind_out) {
+    if (addr >= kSramBase && addr + 2 <= kSramBase + sram_.size()) {
+      *kind_out = MemKind::kSram;
+      return sram_.data() + (addr - kSramBase);
+    }
+    EASEIO_CHECK(addr >= kFramBase && addr + 2 <= kFramBase + fram_.size(),
+                 "simulated memory access out of range");
+    *kind_out = MemKind::kFram;
+    return fram_.data() + (addr - kFramBase);
+  }
+  const uint8_t* ResolveWord(uint32_t addr, MemKind* kind_out) const {
+    return const_cast<Memory*>(this)->ResolveWordMut(addr, kind_out);
+  }
+  // Stamps the page(s) under a 2-byte FRAM word already validated by ResolveWordMut.
+  void MarkFramWordDirty(uint32_t addr) {
+    const uint32_t off = addr - kFramBase;
+    page_stamp_[off / kSnapshotPageSize] = snap_epoch_;
+    page_stamp_[(off + 1) / kSnapshotPageSize] = snap_epoch_;
+  }
 
   // Bulk copy between simulated addresses (used by the DMA engine). Ranges must not
   // overlap partially; full overlap (src == dst) is a no-op.
@@ -104,6 +184,14 @@ class Memory {
   // memory regions (torn-DMA mirrors, WAR slots) against references per trial; the
   // staging copies were a measurable share of per-trial cost.
   const uint8_t* PeekBlock(uint32_t addr, uint32_t size) const { return Resolve(addr, size); }
+
+  // Mutable zero-copy view of an SRAM range; aborts on FRAM addresses — a raw FRAM
+  // view would bypass the dirty-page stamps SnapshotInto/Restore depend on. The LEA
+  // kernels' inner loops stream through this after Begin() validates the operands.
+  uint8_t* MutableSramBlock(uint32_t addr, uint32_t size) {
+    EASEIO_CHECK(InSram(addr), "MutableSramBlock outside SRAM");
+    return Resolve(addr, size);
+  }
 
   // --- Allocation -----------------------------------------------------------------------
   // Bump-allocates `size` bytes (2-byte aligned) and records the allocation for the
@@ -136,16 +224,33 @@ class Memory {
   uint64_t reboot_epoch() const { return reboot_epoch_; }
 
   // --- Snapshot / restore / reset (the chk snapshot engine) -----------------------------
-  // Captures the persistent state (see MemorySnapshot). SRAM is never captured.
+  // Captures the persistent state (see MemorySnapshot). SRAM is never captured. The
+  // returned snapshot carries no dirty-page metadata (full-copy semantics both ways);
+  // the pooled hot path uses SnapshotInto instead.
   MemorySnapshot Snapshot() const;
+
+  // Fills `snap` in place, reusing its buffers. When `snap` was last filled from this
+  // same Memory, only pages dirtied since that fill are re-copied (per-page epoch
+  // stamps); otherwise — foreign or hand-built snapshot, or a changed fram_used
+  // boundary — the stale range is copied in full. Pages actually copied accumulate
+  // into pages_copied(). const in the simulated-state sense: only host-side
+  // bookkeeping (the snapshot epoch and counters) mutates.
+  void SnapshotInto(MemorySnapshot& snap) const;
 
   // Restores a snapshot taken on this memory or on an identically sized one. FRAM
   // bytes and both cursors roll back exactly; FRAM allocated after the snapshot reads
   // as zero again and its addresses are re-handed out by the cursor. The allocated
   // SRAM prefix is cleared (the snapshot was taken at a power failure). The allocation
-  // table copy is skipped when the entry count already matches — on the hot resume
-  // path the rebuilt stack registered the identical layout.
+  // table is restored unconditionally — a same-sized table may still differ in
+  // addresses, kinds, or sizes. Snapshots filled by SnapshotInto from this Memory
+  // skip writing back pages that never changed since the fill; every page written is
+  // freshly stamped so other outstanding snapshots of this Memory stay valid.
   void Restore(const MemorySnapshot& snapshot);
+
+  // Host-side diagnostics for the chk timing block: FRAM pages copied by SnapshotInto
+  // plus pages written back by Restore, and pages skipped as provably clean.
+  uint64_t pages_copied() const { return pages_copied_; }
+  uint64_t pages_skipped() const { return pages_skipped_; }
 
   // Returns the memory to its freshly constructed state without reallocating the
   // arenas: re-zeros only the *used* prefix of each arena and resets the cursors, the
@@ -154,8 +259,39 @@ class Memory {
   void Reset();
 
  private:
-  uint8_t* Resolve(uint32_t addr, uint32_t size);
-  const uint8_t* Resolve(uint32_t addr, uint32_t size) const;
+  uint8_t* Resolve(uint32_t addr, uint32_t size) {
+    EASEIO_CHECK(RangeValid(addr, size), "simulated memory access out of range");
+    if (InSram(addr)) {
+      return sram_.data() + (addr - kSramBase);
+    }
+    return fram_.data() + (addr - kFramBase);
+  }
+  const uint8_t* Resolve(uint32_t addr, uint32_t size) const {
+    return const_cast<Memory*>(this)->Resolve(addr, size);
+  }
+
+  // Stamps every FRAM page overlapping [addr, addr+size) with the current snapshot
+  // epoch. Called by every FRAM mutator; SRAM ranges are ignored. `size` must be > 0.
+  void MarkFramDirty(uint32_t addr, uint32_t size) {
+    if (!InFram(addr)) {
+      return;
+    }
+    const uint32_t off = addr - kFramBase;
+    const uint32_t last = (off + size - 1) / kSnapshotPageSize;
+    for (uint32_t p = off / kSnapshotPageSize; p <= last; ++p) {
+      page_stamp_[p] = snap_epoch_;
+    }
+  }
+  // Same, for an offset range within the FRAM arena (restore/reset internals).
+  void MarkFramRangeDirty(uint32_t off, uint32_t size) {
+    if (size == 0) {
+      return;
+    }
+    const uint32_t last = (off + size - 1) / kSnapshotPageSize;
+    for (uint32_t p = off / kSnapshotPageSize; p <= last; ++p) {
+      page_stamp_[p] = snap_epoch_;
+    }
+  }
 
   std::vector<uint8_t> sram_;
   std::vector<uint8_t> fram_;
@@ -163,6 +299,25 @@ class Memory {
   uint32_t fram_used_ = 0;
   uint64_t reboot_epoch_ = 0;
   std::vector<Allocation> allocations_;
+
+  // Dirty-page tracking. page_stamp_[p] is the snapshot epoch at which FRAM page p
+  // was last written; snap_epoch_ is monotone over the Memory's lifetime (bumped by
+  // SnapshotInto/Restore/Reset, never rewound — a rewind would let stale page stamps
+  // alias fresh sync stamps). mem_uid_ is process-unique so a pooled snapshot buffer
+  // can tell "same Memory, stamps comparable" from "foreign Memory, full copy".
+  std::vector<uint64_t> page_stamp_;
+  mutable uint64_t snap_epoch_ = 1;  // mutable: SnapshotInto is const but must advance it
+  uint64_t mem_uid_ = 0;
+
+  // Identity stamp for the allocation table: within one Memory, equal stamps mean
+  // byte-equal tables. Every mutation of allocations_ installs a fresh value from
+  // next_alloc_epoch_ (never reused), so Restore can skip the table deep copy — a
+  // vector of std::string-bearing entries, re-copied once per trial otherwise — when
+  // the snapshot provably captured the table the Memory still holds.
+  uint64_t alloc_epoch_ = 1;
+  uint64_t next_alloc_epoch_ = 2;
+  mutable uint64_t pages_copied_ = 0;
+  mutable uint64_t pages_skipped_ = 0;
 };
 
 }  // namespace easeio::sim

@@ -3,15 +3,18 @@
 // The failure-schedule explorer (src/chk) and the observability layer (src/obs) need
 // to see *where* the interesting on-time instants of a run are: task boundaries, I/O
 // executions and skips, DMA transfers, commit points, NV stores, reboots, capacitor
-// samples. The device fans these out to any number of subscribers registered via
-// Device::AddProbe, each an independent callback receiving the same events in the
-// same order. Observation is pure host-side instrumentation: it charges no cycles
-// and no energy, so an instrumented run is bit-identical to an uninstrumented one
-// (test-enforced in tests/obs_test.cc).
+// samples. The device buffers these into a flat structure-of-arrays ring and hands
+// them to every registered ProbeSink in batches (Device::AddSink), flushed at quantum
+// boundaries — ring full, capture instants, reset, and end of an engine drive —
+// instead of paying a std::function dispatch per event. Every sink receives every
+// event, in emission order. Observation is pure host-side instrumentation: it charges
+// no cycles and no energy, so an instrumented run is bit-identical to an
+// uninstrumented one (test-enforced in tests/obs_test.cc).
 
 #ifndef EASEIO_SIM_PROBE_H_
 #define EASEIO_SIM_PROBE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -50,6 +53,32 @@ struct ProbeEvent {
 };
 
 using ProbeFn = std::function<void(const ProbeEvent&)>;
+
+// A batch of probe events in structure-of-arrays form — a non-owning view over the
+// device's emission ring, valid only for the duration of one OnProbeBatch call.
+// Parallel arrays: entry i of every pointer describes one event (same fields as
+// ProbeEvent). Batches never reorder or drop events: concatenating the batches a sink
+// receives reproduces the exact per-event stream.
+struct ProbeBatch {
+  size_t count = 0;
+  const ProbeKind* kinds = nullptr;
+  const uint32_t* ids = nullptr;
+  const uint32_t* lanes = nullptr;
+  const uint64_t* a = nullptr;
+  const uint64_t* b = nullptr;
+  const uint64_t* on_us = nullptr;
+
+  ProbeEvent Event(size_t i) const { return ProbeEvent{kinds[i], ids[i], lanes[i], a[i], b[i], on_us[i]}; }
+};
+
+// Batch subscriber. Sinks must not emit probe events or flush the device from inside
+// OnProbeBatch (the ring being delivered is the ring they would write into), and must
+// outlive their registration (Device::Reset / set_probe(nullptr) drop registrations).
+class ProbeSink {
+ public:
+  virtual ~ProbeSink() = default;
+  virtual void OnProbeBatch(const ProbeBatch& batch) = 0;
+};
 
 }  // namespace easeio::sim
 

@@ -1,0 +1,82 @@
+#include "sim/snapshot_pool.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define EASEIO_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EASEIO_POOL_ASAN 1
+#endif
+#endif
+
+#ifdef EASEIO_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace easeio::sim {
+
+namespace {
+
+// Only the FRAM byte buffer is poisoned: it is the large reuse target, it holds no
+// objects with destructors, and poisoning it catches the realistic bug (reading
+// snapshot memory after release). The allocation table and peripheral logs contain
+// std::strings whose destructors would fault if poisoned.
+void PoisonFram(DeviceSnapshot* snap) {
+#ifdef EASEIO_POOL_ASAN
+  if (!snap->mem.fram.empty()) {
+    __asan_poison_memory_region(snap->mem.fram.data(), snap->mem.fram.size());
+  }
+#else
+  (void)snap;
+#endif
+}
+
+void UnpoisonFram(DeviceSnapshot* snap) {
+#ifdef EASEIO_POOL_ASAN
+  if (!snap->mem.fram.empty()) {
+    __asan_unpoison_memory_region(snap->mem.fram.data(), snap->mem.fram.size());
+  }
+#else
+  (void)snap;
+#endif
+}
+
+}  // namespace
+
+SnapshotPool::~SnapshotPool() {
+  for (DeviceSnapshot* snap : free_) {
+    UnpoisonFram(snap);  // the allocator must see the chunk clean before freeing it
+    delete snap;
+  }
+}
+
+void SnapshotPool::Releaser::operator()(DeviceSnapshot* snap) const {
+  if (snap == nullptr) {
+    return;
+  }
+  if (pool_ == nullptr) {
+    delete snap;
+    return;
+  }
+  PoisonFram(snap);
+  pool_->free_.push_back(snap);
+}
+
+SnapshotPool::Handle SnapshotPool::Acquire() {
+  if (!free_.empty()) {
+    DeviceSnapshot* snap = free_.back();
+    free_.pop_back();
+    UnpoisonFram(snap);
+    ++hits_;
+    return Handle(snap, Releaser(this));
+  }
+  ++misses_;
+  // Placeholder components: SnapshotAtRebootInto overwrites every field before the
+  // snapshot is ever read (the seeded members have no default constructors).
+  return Handle(new DeviceSnapshot{MemorySnapshot{}, SimClock{}, Capacitor{}, EnergyMeter{},
+                                   RunStats{}, Xorshift64Star{1}, MakeTempSensor(1),
+                                   MakeHumiditySensor(1), MakePressureSensor(1), Radio{},
+                                   Camera{1}, DmaEngine{}, LeaAccelerator{}},
+                Releaser(this));
+}
+
+}  // namespace easeio::sim

@@ -1,0 +1,65 @@
+// Per-worker recycling pool for DeviceSnapshot buffers.
+//
+// The chk snapshot engine takes one DeviceSnapshot per capture instant — tens of
+// thousands per exploration — and each fresh snapshot heap-allocates an FRAM-sized
+// byte buffer plus the allocation table and peripheral logs. The pool keeps released
+// snapshots on a free list so the next Acquire reuses their buffers: together with
+// Memory::SnapshotInto's dirty-page stamps, a recycled buffer re-filled from the same
+// device re-copies only the pages that changed since its previous fill.
+//
+// Single-threaded by design: one pool per worker stack (the explorer's per-worker
+// TrialStack owns one), never shared across threads. The pool must outlive every
+// Handle it issued. Under AddressSanitizer the FRAM byte buffer of a pooled snapshot
+// is poisoned while it sits on the free list, so any use-after-release is caught at
+// the faulting access (test-exercised in tests/pool_test.cc).
+
+#ifndef EASEIO_SIM_SNAPSHOT_POOL_H_
+#define EASEIO_SIM_SNAPSHOT_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace easeio::sim {
+
+class SnapshotPool {
+ public:
+  SnapshotPool() = default;
+  SnapshotPool(const SnapshotPool&) = delete;
+  SnapshotPool& operator=(const SnapshotPool&) = delete;
+  ~SnapshotPool();
+
+  // Returns a released snapshot to the free list (Handle's deleter).
+  class Releaser {
+   public:
+    explicit Releaser(SnapshotPool* pool = nullptr) : pool_(pool) {}
+    void operator()(DeviceSnapshot* snap) const;
+
+   private:
+    SnapshotPool* pool_;
+  };
+
+  // Owning handle; releasing it returns the snapshot to the pool instead of freeing
+  // it. Default-constructed handles are null.
+  using Handle = std::unique_ptr<DeviceSnapshot, Releaser>;
+
+  // Hands out a recycled snapshot (buffers intact, dirty-page sync metadata valid for
+  // whichever Memory last filled them) or a fresh one when the free list is empty.
+  Handle Acquire();
+
+  // Reuse diagnostics for the chk timing block.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  std::vector<DeviceSnapshot*> free_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace easeio::sim
+
+#endif  // EASEIO_SIM_SNAPSHOT_POOL_H_

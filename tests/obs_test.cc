@@ -33,6 +33,10 @@ TEST(Probe, FanOutDeliversToEverySubscriber) {
   EXPECT_TRUE(dev.has_probe());
   dev.Note(sim::ProbeKind::kIoExec, 7, 0, 1, 0);
   dev.Note(sim::ProbeKind::kTaskCommit, 3);
+  // Events sit in the emission ring until a flush boundary; hand-emitted events must
+  // be flushed explicitly (the engine flushes at the end of every drive).
+  EXPECT_TRUE(a.empty());
+  dev.FlushProbes();
   ASSERT_EQ(a.size(), 2u);
   ASSERT_EQ(b.size(), 2u);
   EXPECT_EQ(a[0].kind, sim::ProbeKind::kIoExec);
@@ -42,21 +46,60 @@ TEST(Probe, FanOutDeliversToEverySubscriber) {
   EXPECT_EQ(b[1].id, 3u);
 }
 
-TEST(Probe, SetProbeReplacesAllSubscribers) {
+TEST(Probe, BatchSinkSeesSameStreamAsPerEventAdapters) {
+  sim::NeverFailScheduler never;
+  sim::Device dev(sim::DeviceConfig{}, never);
+  struct CountingSink final : sim::ProbeSink {
+    std::vector<sim::ProbeEvent> events;
+    size_t batches = 0;
+    void OnProbeBatch(const sim::ProbeBatch& batch) override {
+      ++batches;
+      for (size_t i = 0; i < batch.count; ++i) {
+        events.push_back(batch.Event(i));
+      }
+    }
+  } sink;
+  std::vector<sim::ProbeEvent> via_fn;
+  dev.AddSink(&sink);
+  dev.AddProbe([&via_fn](const sim::ProbeEvent& e) { via_fn.push_back(e); });
+  // More events than one ring capacity: forces at least one mid-stream flush and
+  // checks that batch boundaries never reorder or drop events.
+  constexpr size_t kEmit = 1000;
+  for (size_t i = 0; i < kEmit; ++i) {
+    dev.Note(sim::ProbeKind::kNvWrite, static_cast<uint32_t>(i), 0, i, 2 * i);
+  }
+  dev.FlushProbes();
+  ASSERT_EQ(sink.events.size(), kEmit);
+  ASSERT_EQ(via_fn.size(), kEmit);
+  EXPECT_GE(sink.batches, 2u);
+  for (size_t i = 0; i < kEmit; ++i) {
+    EXPECT_EQ(sink.events[i].id, i);
+    EXPECT_EQ(sink.events[i].a, via_fn[i].a);
+    EXPECT_EQ(sink.events[i].b, 2 * i);
+  }
+}
+
+TEST(Probe, SetProbeRefusesToDropSubscribersAndNullClearsAll) {
   sim::NeverFailScheduler never;
   sim::Device dev(sim::DeviceConfig{}, never);
   std::vector<sim::ProbeEvent> a;
   std::vector<sim::ProbeEvent> b;
   dev.AddProbe([&a](const sim::ProbeEvent& e) { a.push_back(e); });
-  // Legacy single-callback setter: clears the list and installs just this one.
-  dev.set_probe([&b](const sim::ProbeEvent& e) { b.push_back(e); });
+  // Installing over live subscribers used to drop them silently; now it aborts.
+  EXPECT_DEATH(dev.set_probe([&b](const sim::ProbeEvent& e) { b.push_back(e); }),
+               "drop existing probe subscribers");
+  // set_probe(nullptr) clears every registration (flushing pending events first)...
   dev.Note(sim::ProbeKind::kIoExec, 1);
-  EXPECT_TRUE(a.empty());
-  EXPECT_EQ(b.size(), 1u);
   dev.set_probe(nullptr);
   EXPECT_FALSE(dev.has_probe());
+  EXPECT_EQ(a.size(), 1u);
+  // ...after which the legacy single-subscriber install works again.
+  dev.set_probe([&b](const sim::ProbeEvent& e) { b.push_back(e); });
   dev.Note(sim::ProbeKind::kIoExec, 2);
+  dev.FlushProbes();
+  EXPECT_EQ(a.size(), 1u);
   EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].id, 2u);
 }
 
 // --- Observation is free: instrumented == uninstrumented --------------------------------
