@@ -45,17 +45,22 @@ AppTraits TraitsFor(AppKind kind) {
   switch (kind) {
     case AppKind::kDma:
       // Copies a constant FRAM table and checksums it; the source is never rewritten.
-      return {.deterministic = true, .dma_mirror = true};
+      return {.deterministic = true, .dma_mirror = true, .prune_safe = true};
     case AppKind::kLea:
-      return {.deterministic = true, .dma_mirror = false};
+      return {.deterministic = true, .dma_mirror = false, .prune_safe = true};
     case AppKind::kFir:
       // Deterministic, but its Single DMA overwrites the input buffer in place — the
       // mirror property does not apply.
-      return {.deterministic = true, .dma_mirror = false};
+      return {.deterministic = true, .dma_mirror = false, .prune_safe = true};
     case AppKind::kTemp:
     case AppKind::kWeather:
+      // Sensor readings drift with wall time, but nothing branches on them and the
+      // consistency predicates check structure, not values — pruning stays sound.
+      return {.deterministic = false, .dma_mirror = false, .prune_safe = true};
     case AppKind::kBranch:
-      return {.deterministic = false, .dma_mirror = false};
+      // The sensed temperature picks the task chain: two states equal in durable
+      // bytes can still diverge on the next reading. Never pruned.
+      return {.deterministic = false, .dma_mirror = false, .prune_safe = false};
   }
   return {};
 }

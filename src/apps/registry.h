@@ -33,6 +33,13 @@ struct AppTraits {
   // Every Single NV->NV DMA copies from a buffer no task ever overwrites, so after a
   // completed run the destination must mirror the source byte-for-byte.
   bool dma_mirror = false;
+  // The workload's verdicts are a function of durable state alone: control flow never
+  // branches on a sensed value, and the consistency predicate is value-agnostic (it
+  // checks structure/progress, not which reading was stored). This is what makes two
+  // failure instants with identical post-reboot durable state interchangeable, so the
+  // explorer's state-dedup and partial-order reduction only apply where it holds.
+  // False for branch, whose sensed temperature steers which task chain runs.
+  bool prune_safe = false;
 };
 
 AppTraits TraitsFor(AppKind kind);

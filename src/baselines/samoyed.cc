@@ -90,6 +90,24 @@ void SamoyedRuntime::OnTaskCommit(kernel::TaskCtx& ctx) {
   kernel::Runtime::OnTaskCommit(ctx);
 }
 
+bool SamoyedRuntime::AppendStateDigest(std::string& out) const {
+  auto put32 = [&out](uint32_t v) { out.append(reinterpret_cast<const char*>(&v), 4); };
+  put32(static_cast<uint32_t>(open_blocks_));
+  put32(rollback_pending_ ? 1u : 0u);
+  put32(static_cast<uint32_t>(log_.size()));
+  for (const LogEntry& e : log_) {
+    put32(e.slot);
+    put32(e.shadow_addr);
+    put32(e.size);
+  }
+  put32(static_cast<uint32_t>(shadows_.size()));
+  for (const auto& [slot, addr] : shadows_) {  // std::map: deterministic order
+    put32(slot);
+    put32(addr);
+  }
+  return true;
+}
+
 std::shared_ptr<const void> SamoyedRuntime::SnapshotExtra() const {
   return std::make_shared<ExtraState>(
       ExtraState{open_blocks_, log_, shadows_, rollbacks_, rollback_pending_});

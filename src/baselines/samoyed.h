@@ -43,6 +43,12 @@ class SamoyedRuntime : public kernel::Runtime {
 
   uint32_t CodeSizeBytes() const override;
 
+  // The undo log, shadow table, open-function depth, and pending-rollback latch all
+  // steer the reboot path, so two states are interchangeable only when they agree on
+  // all four; the rollback *count* is test introspection and stays out (see
+  // Runtime::AppendStateDigest).
+  bool AppendStateDigest(std::string& out) const override;
+
   // Test introspection: number of undo-log rollbacks performed so far.
   uint64_t rollbacks() const { return rollbacks_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -10,6 +11,8 @@
 
 #include <atomic>
 
+#include "chk/por.h"
+#include "chk/statehash.h"
 #include "chk/trace.h"
 #include "kernel/engine.h"
 #include "platform/check.h"
@@ -104,7 +107,8 @@ TrialOutput CollectOutput(const ExploreConfig& cfg, const kernel::RunResult& run
 // uses the *same* device seed — sensor streams and golden outputs must line up across
 // trials; determinism across shards comes from trial indexing, not per-worker state.
 TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& schedule,
-                     const GoldenFacts* golden, GoldenFacts* golden_out) {
+                     const GoldenFacts* golden, GoldenFacts* golden_out,
+                     PrunePolicy* policy_out = nullptr) {
   sim::ScriptedScheduler sched(schedule, cfg.off_us);
   sim::Device dev(MakeDeviceConfig(cfg), sched);
   TraceRecorder trace;
@@ -114,6 +118,12 @@ TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& sche
   auto runtime = apps::MakeRuntime(cfg.runtime, MakeEaseioConfig(cfg));
   runtime->Bind(dev, nv);
   apps::AppHandle app = apps::BuildApp(cfg.app, dev, *runtime, nv, MakeAppOptions(cfg));
+  if (policy_out != nullptr) {
+    // Registration is complete once the app is built — the policy reads the site
+    // tables (live Timely windows) plus the workload traits.
+    *policy_out =
+        MakePrunePolicy(apps::TraitsFor(cfg.app), IsSemanticRuntime(cfg), *runtime);
+  }
 
   kernel::Engine engine(kernel::RunConfig{cfg.max_on_us});
   const kernel::RunResult run = engine.Run(dev, *runtime, nv, app.graph, app.entry);
@@ -153,7 +163,15 @@ class TrialStack {
     kernel::RuntimeSnapshot rt;
     EventScanState scan;
     kernel::TaskId paused_task = 0;
+    // Canonical state fingerprint of this capture, filled when hashing is on (see
+    // set_hash_captures). The dedup layer consults it before paying for the resume;
+    // key.valid == false opts the trial out.
+    StateKey key;
   };
+
+  // Enables per-capture state fingerprinting for the dedup table. Off by default:
+  // the explorer turns it on only when the prune policy allows.
+  void set_hash_captures(bool on) { hash_captures_ = on; }
 
   // Runs one *trunk* execution that snapshots at every instant in `capture_at`
   // (sorted, ascending, all > t1 when has_t1). The trunk fails at t1 (when given) and
@@ -177,6 +195,9 @@ class TrialStack {
     }
     schedule.push_back(capture_at.back());
     Prepare(schedule);
+    if (hash_captures_) {
+      hasher_.BeginTrial(*runtime_);
+    }
     // resize without clear: surviving Capture objects keep their snapshot/scan buffer
     // capacity for this trunk's refill.
     out->resize(capture_at.size());
@@ -203,6 +224,16 @@ class TrialStack {
       runtime_->SnapshotStateInto(c.rt);
       c.scan = scan;
       c.paused_task = last_begin;
+      c.key.valid = false;
+      // Fingerprint the at-failure state (the reboot is a deterministic function of
+      // it, so equal keys imply equal post-reboot worlds). The guard keeps dedup's
+      // "this state completes" substitution sound against the max_on_us cutoff: a
+      // deep capture could complete from an early twin's budget but not its own, so
+      // instants past a quarter of the cap never participate (registry suffixes are
+      // orders of magnitude shorter than the remaining three quarters).
+      if (hash_captures_ && capture_at[i] * 4 <= cfg_.max_on_us) {
+        hasher_.Fingerprint(dev_.mem(), *runtime_, last_begin, scan, &c.key);
+      }
       ++taken;
     });
     kernel::RunConfig run_config;
@@ -298,6 +329,8 @@ class TrialStack {
   sim::Device dev_;
   TraceRecorder trace_;
   sim::SnapshotPool pool_;  // outlives every Capture handle a chunk holds
+  bool hash_captures_ = false;
+  StateHasher hasher_;  // per-stack: its page cache tracks this stack's device
   std::vector<Capture> caps_scratch_;
   std::optional<kernel::NvManager> nv_;
   std::unique_ptr<kernel::Runtime> runtime_;
@@ -336,6 +369,31 @@ std::vector<uint64_t> TimeSubset(const std::vector<uint64_t>& v, size_t keep) {
     }
   }
   return out;
+}
+
+// Partial-order reduction over a sorted instant list: maps each index to the index of
+// its class representative (the first member, so representatives always precede their
+// members). Tokens are monotone in the instant, so equal-class members are always a
+// consecutive run. `restart_every` forces a fresh representative at fixed index
+// boundaries — the parallel phases hand out work in fixed-size chunks/groups, and a
+// member may only reference a representative executed by the same worker. Disabled
+// (identity mapping) when `enabled` is false, so both engine modes and both pruning
+// settings walk the identical slot layout.
+std::vector<size_t> CollapseRuns(const std::vector<uint64_t>& v, const GapClasses& gc,
+                                 bool enabled, size_t restart_every = SIZE_MAX) {
+  std::vector<size_t> rep(v.size());
+  uint64_t prev_token = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const uint64_t token = gc.TokenFor(v[i]);
+    if (enabled && i > 0 && token == prev_token && GapClasses::Collapsible(token) &&
+        i % restart_every != 0) {
+      rep[i] = rep[i - 1];
+    } else {
+      rep[i] = i;
+    }
+    prev_token = token;
+  }
+  return rep;
 }
 
 void AppendEscaped(std::ostringstream& os, const std::string& s) {
@@ -394,35 +452,92 @@ ReplayOutput ReplaySchedule(const ExploreConfig& cfg, const std::vector<uint64_t
 
 ExploreResult Explore(const ExploreConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
+  // Exhaust mode replaces the budgeted sampler with complete enumeration of every
+  // schedule of at most `exhaust` failures; the snapshot engine is what makes that
+  // tractable, so the flag combination is rejected at the CLI and checked here.
+  const bool exhaust = cfg.exhaust > 0;
+  if (exhaust) {
+    EASEIO_CHECK(cfg.exhaust <= 2, "exhaust depth is capped at 2");
+    EASEIO_CHECK(cfg.use_snapshot, "exhaust mode requires the snapshot engine");
+  }
+  const int depth = exhaust ? static_cast<int>(cfg.exhaust) : cfg.depth;
   ExploreResult res;
   res.app = apps::ToString(cfg.app);
   res.runtime = apps::ToString(cfg.runtime);
   res.seed = cfg.seed;
-  res.depth = cfg.depth;
+  res.depth = depth;
 
   // Phase 0: continuous-power golden run with the probe installed. Always a fresh
-  // stack — one run amortizes nothing.
+  // stack — one run amortizes nothing. It also settles the prune policy: the site
+  // tables only exist on a built stack.
   GoldenFacts golden;
-  const TrialOutput g = RunTrial(cfg, {}, nullptr, &golden);
+  PrunePolicy policy;
+  const TrialOutput g = RunTrial(cfg, {}, nullptr, &golden, &policy);
   EASEIO_CHECK(g.facts.completed, "golden run did not complete");
   res.golden_on_us = g.run.on_us;
   res.trace_events = static_cast<uint32_t>(g.events.size());
+  const bool prune = cfg.use_pruning && policy.enabled;
 
   // Phase 1: depth-1 placements — candidate instants of the golden trace. When pairs
   // are requested, most of the budget is reserved for them: depth 2 is where the
   // second-order bugs hide, and (under the snapshot engine) where a schedule costs
   // only its suffix. Depth 1 keeps a quarter, spread uniformly over the run's
-  // timeline (see TimeSubset).
+  // timeline (see TimeSubset). Exhaust mode keeps everything.
   std::vector<uint64_t> d1 = CandidateInstants(g.events, g.run.on_us);
   res.candidate_instants = static_cast<uint32_t>(d1.size());
   const uint32_t budget = std::max<uint32_t>(cfg.budget, 1);
-  const bool want_depth2 = cfg.depth >= 2;
+  const bool want_depth2 = depth >= 2;
   const uint32_t d1_budget = want_depth2 ? std::max<uint32_t>(budget / 4, 1) : budget;
-  if (d1.size() > d1_budget) {
+  if (!exhaust && d1.size() > d1_budget) {
     const size_t before = d1.size();
     d1 = TimeSubset(d1, d1_budget);
     res.schedules_skipped += static_cast<uint32_t>(before - d1.size());
   }
+
+  // Partial-order reduction state. Depth-1 instants collapse only when no pair phase
+  // needs their traces: a collapsed member never executes, so it can seed nothing —
+  // in standard depth-2 runs every depth-1 trial runs (identical to pruning off),
+  // while exhaust mode collapses them at any depth and certifies the member subtrees
+  // as covered by their representative's (the post-reboot worlds are interchangeable,
+  // so the representative's pair enumeration spans the member's classes too).
+  GapClasses golden_classes;
+  if (prune) {
+    golden_classes.Build(g.events, 0);
+  }
+  const bool d1_collapse = prune && (exhaust || !want_depth2);
+  constexpr size_t kD1Chunk = 32;
+  const std::vector<size_t> d1_rep = CollapseRuns(d1, golden_classes, d1_collapse, kD1Chunk);
+  uint64_t d1_class_count = 0;
+  for (size_t i = 0; i < d1_rep.size(); ++i) {
+    d1_class_count += d1_rep[i] == i ? 1 : 0;
+  }
+
+  // State-dedup tables. Standard mode shares one table across phases and workers
+  // (guarded by a mutex): which trial pays for a state is scheduling-dependent, but
+  // the substituted verdicts are not, so only the timing-block counters can shift.
+  // Exhaust mode instead uses a table per chunk/group, making every certificate
+  // count a pure function of the spec. Substitution only happens at the terminal
+  // depth — an earlier-phase trial must really run, its trace seeds the next phase.
+  struct SharedDedup {
+    std::mutex mu;
+    DedupTable table;
+  };
+  SharedDedup shared_dedup;
+  auto shared_lookup = [&shared_dedup](const StateKey& key) {
+    std::lock_guard<std::mutex> lock(shared_dedup.mu);
+    return shared_dedup.table.Lookup(key);
+  };
+  auto shared_insert = [&shared_dedup](const StateKey& key) {
+    std::lock_guard<std::mutex> lock(shared_dedup.mu);
+    shared_dedup.table.Insert(key);
+  };
+  std::atomic<uint64_t> trials_pruned_total{0};
+  std::atomic<uint64_t> dedup_hits_total{0};
+  const bool d1_terminal = !want_depth2;
+  // Standard mode fingerprints depth-1 captures even at depth 2: no substitution
+  // there, but the inserted clean states serve the pair phase (commit points drain
+  // runtime metadata back to the golden trajectory, so cross-depth twins do occur).
+  const bool hash_d1 = prune && cfg.use_snapshot && (!exhaust || d1_terminal);
 
   // Hot-path diagnostics, summed across workers. Plain integer sums are independent
   // of scheduling order, so these land identical for any jobs value (they live in the
@@ -440,6 +555,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     bool resumed = false;  // executed as a trunk-captured resumption
     std::vector<Violation> violations;
     std::vector<uint64_t> candidates;  // this trial's own trace (depth-2 seeds)
+    GapClasses classes;  // equivalence classes over that trace (pair-phase POR)
   };
   std::vector<Slot> slots(d1.size());
   auto record_d1 = [&](TrialOutput& t, size_t i) {
@@ -449,44 +565,103 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       // Only instants after the first failure can seed a pair; extracting just the
       // tail skips re-sorting the shared golden prefix for every depth-1 trial.
       slots[i].candidates = CandidateInstants(t.events, t.run.on_us, d1[i] + 1);
+      if (prune) {
+        slots[i].classes.Build(t.events, d1[i] + 1);
+      }
     }
   };
-  // Fixed chunk size: determinism across jobs values requires the chunk boundaries —
-  // and therefore which trunk serves which trial — to be pure index arithmetic.
-  constexpr size_t kD1Chunk = 32;
+  // Fixed chunk size (kD1Chunk above): determinism across jobs values requires the
+  // chunk boundaries — and therefore which trunk serves which trial — to be pure
+  // index arithmetic.
   if (cfg.use_snapshot) {
     // Depth-1 trials share their prefixes with each other too: all of them replay the
     // golden timeline up to their failure instant. Each chunk of consecutive instants
-    // runs one unfailed trunk that snapshots at every instant; each trial then resumes
-    // from its capture and pays only its own post-failure tail.
+    // runs one unfailed trunk that snapshots at every class representative; each
+    // representative resumes from its capture and pays only its own post-failure
+    // tail, while POR members inherit their representative's verdicts outright.
     const size_t n_chunks = (d1.size() + kD1Chunk - 1) / kD1Chunk;
     platform::ParallelForWithState(
-        cfg.jobs, n_chunks, [&] { return std::make_unique<TrialStack>(cfg); },
+        cfg.jobs, n_chunks,
+        [&] {
+          auto stack = std::make_unique<TrialStack>(cfg);
+          stack->set_hash_captures(hash_d1);
+          return stack;
+        },
         [&](std::unique_ptr<TrialStack>& stack, size_t ci) {
           const size_t lo = ci * kD1Chunk;
           const size_t hi = std::min(d1.size(), lo + kD1Chunk);
-          const std::vector<uint64_t> capture_at(d1.begin() + lo, d1.begin() + hi);
+          std::vector<uint64_t> capture_at;
+          capture_at.reserve(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            if (d1_rep[i] == i) {
+              capture_at.push_back(d1[i]);
+            }
+          }
           std::vector<TrialStack::Capture>& caps = stack->caps_scratch();
           // A trunk plus one resume costs more than one full replay, so singleton
           // chunks replay directly.
           const size_t taken =
               capture_at.size() >= 2 ? stack->RunTrunk(false, 0, capture_at, &caps) : 0;
+          DedupTable chunk_table;  // exhaust mode: chunk-local, deterministic counts
+          uint64_t pruned = 0;
+          uint64_t deduped = 0;
+          size_t k = 0;  // capture cursor over the representatives
           for (size_t i = lo; i < hi; ++i) {
-            const size_t k = i - lo;
-            TrialOutput t = k < taken
-                                ? stack->ResumeFromCapture(caps[k], {d1[i]}, golden)
-                                : stack->RunFull({d1[i]}, &golden, nullptr);
-            slots[i].resumed = k < taken;
-            record_d1(t, i);
-            stack->RecycleEvents(std::move(t.events));
+            if (d1_rep[i] != i) {
+              // POR member: its representative (earlier in this same chunk) already
+              // established the verdicts; any violation it would re-report is the
+              // keep-first duplicate the collector drops anyway.
+              slots[i].completed = slots[d1_rep[i]].completed;
+              ++pruned;
+              continue;
+            }
+            StateKey* key = k < taken && caps[k].key.valid ? &caps[k].key : nullptr;
+            bool substituted = false;
+            if (d1_terminal && key != nullptr &&
+                (exhaust ? chunk_table.Lookup(*key) : shared_lookup(*key))) {
+              // A verified byte-identical state already ran clean to completion.
+              slots[i].completed = true;
+              caps[k].dev.reset();  // hand the snapshot straight back to the pool
+              ++deduped;
+              substituted = true;
+            }
+            if (!substituted) {
+              TrialOutput t = k < taken
+                                  ? stack->ResumeFromCapture(caps[k], {d1[i]}, golden)
+                                  : stack->RunFull({d1[i]}, &golden, nullptr);
+              slots[i].resumed = k < taken;
+              const bool clean = t.facts.completed && t.violations.empty();
+              record_d1(t, i);
+              if (key != nullptr && clean) {
+                exhaust ? chunk_table.Insert(*key) : shared_insert(*key);
+              }
+              stack->RecycleEvents(std::move(t.events));
+            }
+            ++k;
           }
+          trials_pruned_total.fetch_add(pruned + deduped, std::memory_order_relaxed);
+          dedup_hits_total.fetch_add(deduped, std::memory_order_relaxed);
           drain_hot_path(*stack);
         });
   } else {
-    platform::ParallelFor(cfg.jobs, d1.size(), [&](size_t i) {
+    std::vector<size_t> reps;
+    reps.reserve(d1.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+      if (d1_rep[i] == i) {
+        reps.push_back(i);
+      }
+    }
+    platform::ParallelFor(cfg.jobs, reps.size(), [&](size_t j) {
+      const size_t i = reps[j];
       TrialOutput t = RunTrial(cfg, {d1[i]}, &golden, nullptr);
       record_d1(t, i);
     });
+    for (size_t i = 0; i < d1.size(); ++i) {
+      if (d1_rep[i] != i) {
+        slots[i].completed = slots[d1_rep[i]].completed;
+        trials_pruned_total.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   std::vector<Violation> collected;
@@ -527,11 +702,17 @@ ExploreResult Explore(const ExploreConfig& cfg) {
   // engine then amortises one shared prefix over ~kGroupTarget suffixes. Selection is
   // pure index arithmetic over the enumeration order: deterministic for any jobs
   // value and identical in both engine modes.
+  uint64_t pair_class_count = 0;
+  uint64_t pair_total_selected = 0;
   if (want_depth2) {
     struct PairGroup {
       uint64_t t1 = 0;
       std::vector<uint64_t> t2s;
       size_t slot_base = 0;  // first index in the flat result-slot array
+      // POR collapse over t2s (CollapseRuns against the owner's trace classes):
+      // rep_of[k] == k marks a representative; members point at an earlier k. Groups
+      // are self-contained work items, so no chunk-boundary restart is needed.
+      std::vector<size_t> rep_of;
     };
     std::vector<size_t> owners;  // depth-1 trials with at least one pair to offer
     std::vector<std::vector<uint64_t>> t2_lists(d1.size());
@@ -547,9 +728,13 @@ ExploreResult Explore(const ExploreConfig& cfg) {
 
     const uint32_t pair_budget = budget > res.schedules ? budget - res.schedules : 0;
     std::vector<PairGroup> groups;
-    if (total_pairs <= pair_budget) {
+    if (exhaust || total_pairs <= pair_budget) {
+      // Exhaust mode lands here by construction: every owner contributes its full
+      // pair set (collapsed depth-1 members contributed no candidates — their pair
+      // subtrees are certified as covered by their representative's).
       for (size_t i : owners) {
-        groups.push_back({d1[i], t2_lists[i], 0});
+        groups.push_back({d1[i], t2_lists[i], 0,
+                          CollapseRuns(t2_lists[i], slots[i].classes, prune)});
       }
     } else if (pair_budget > 0) {
       // Aim for groups of ~kGroupTarget suffixes: large enough to amortise the shared
@@ -582,14 +767,21 @@ ExploreResult Explore(const ExploreConfig& cfg) {
             pair_budget / picked.size() + (j < pair_budget % picked.size() ? 1 : 0);
         std::vector<uint64_t> t2s =
             t2_lists[i].size() > quota ? TimeSubset(t2_lists[i], quota) : t2_lists[i];
-        groups.push_back({d1[i], std::move(t2s), 0});
+        // Collapse AFTER the budget subsample: the selected instants (and therefore
+        // the serialized slot layout) are identical with pruning off.
+        std::vector<size_t> rep_of = CollapseRuns(t2s, slots[i].classes, prune);
+        groups.push_back({d1[i], std::move(t2s), 0, std::move(rep_of)});
       }
     }
     size_t selected = 0;
     for (PairGroup& grp : groups) {
       grp.slot_base = selected;
       selected += grp.t2s.size();
+      for (size_t k = 0; k < grp.rep_of.size(); ++k) {
+        pair_class_count += grp.rep_of[k] == k ? 1 : 0;
+      }
     }
+    pair_total_selected = selected;
     res.schedules_skipped += static_cast<uint32_t>(total_pairs - selected);
 
     struct PairSlot {
@@ -601,30 +793,70 @@ ExploreResult Explore(const ExploreConfig& cfg) {
 
     if (cfg.use_snapshot) {
       // The group (not the pair) is the parallel work item: each group runs one trunk
-      // (fail at t1, reboot through, then capture at every t2 without failing) and
-      // executes every pair as a resumption of its capture, paying only the post-t2
-      // tail. The captures never cross workers, and slot_base indexing keeps the
-      // merge order (and therefore the JSON) independent of jobs.
+      // (fail at t1, reboot through, then capture at every representative t2 without
+      // failing) and executes every representative as a resumption of its capture,
+      // paying only the post-t2 tail; POR members inherit their representative's
+      // verdicts without executing. The captures never cross workers, and slot_base
+      // indexing keeps the merge order (and therefore the JSON) independent of jobs.
       platform::ParallelForWithState(
-          cfg.jobs, groups.size(), [&] { return std::make_unique<TrialStack>(cfg); },
+          cfg.jobs, groups.size(),
+          [&] {
+            auto stack = std::make_unique<TrialStack>(cfg);
+            stack->set_hash_captures(prune);
+            return stack;
+          },
           [&](std::unique_ptr<TrialStack>& stack, size_t gi) {
             const PairGroup& grp = groups[gi];
+            std::vector<uint64_t> capture_at;
+            capture_at.reserve(grp.t2s.size());
+            for (size_t k = 0; k < grp.t2s.size(); ++k) {
+              if (grp.rep_of[k] == k) {
+                capture_at.push_back(grp.t2s[k]);
+              }
+            }
             // A trunk plus one resume costs more than one full replay, so singleton
             // groups replay directly.
             std::vector<TrialStack::Capture>& caps = stack->caps_scratch();
             const size_t taken =
-                grp.t2s.size() >= 2 ? stack->RunTrunk(true, grp.t1, grp.t2s, &caps) : 0;
+                capture_at.size() >= 2 ? stack->RunTrunk(true, grp.t1, capture_at, &caps)
+                                       : 0;
+            DedupTable group_table;  // exhaust mode: group-local, deterministic counts
+            uint64_t pruned = 0;
+            uint64_t deduped = 0;
+            size_t kc = 0;  // capture cursor over the representatives
             for (size_t k = 0; k < grp.t2s.size(); ++k) {
-              TrialOutput t = k < taken
-                                  ? stack->ResumeFromCapture(caps[k], {grp.t1, grp.t2s[k]},
-                                                             golden)
-                                  : stack->RunFull({grp.t1, grp.t2s[k]}, &golden, nullptr);
               PairSlot& slot = slots2[grp.slot_base + k];
-              slot.completed = t.facts.completed;
-              slot.resumed = k < taken;
-              slot.violations = std::move(t.violations);
-              stack->RecycleEvents(std::move(t.events));
+              if (grp.rep_of[k] != k) {
+                slot.completed = slots2[grp.slot_base + grp.rep_of[k]].completed;
+                ++pruned;
+                continue;
+              }
+              StateKey* key = kc < taken && caps[kc].key.valid ? &caps[kc].key : nullptr;
+              bool substituted = false;
+              if (key != nullptr &&
+                  (exhaust ? group_table.Lookup(*key) : shared_lookup(*key))) {
+                slot.completed = true;
+                caps[kc].dev.reset();
+                ++deduped;
+                substituted = true;
+              }
+              if (!substituted) {
+                TrialOutput t =
+                    kc < taken
+                        ? stack->ResumeFromCapture(caps[kc], {grp.t1, grp.t2s[k]}, golden)
+                        : stack->RunFull({grp.t1, grp.t2s[k]}, &golden, nullptr);
+                slot.completed = t.facts.completed;
+                slot.resumed = kc < taken;
+                slot.violations = std::move(t.violations);
+                if (key != nullptr && slot.completed && slot.violations.empty()) {
+                  exhaust ? group_table.Insert(*key) : shared_insert(*key);
+                }
+                stack->RecycleEvents(std::move(t.events));
+              }
+              ++kc;
             }
+            trials_pruned_total.fetch_add(pruned + deduped, std::memory_order_relaxed);
+            dedup_hits_total.fetch_add(deduped, std::memory_order_relaxed);
             drain_hot_path(*stack);
           });
 
@@ -647,17 +879,34 @@ ExploreResult Explore(const ExploreConfig& cfg) {
         }
       }
     } else {
+      // Full-replay cross-check path: the same representative structure (POR applies
+      // identically; there are no captures, so no dedup — every representative runs).
       std::vector<std::pair<uint64_t, uint64_t>> pairs(selected);
+      std::vector<size_t> rep_slots;
+      rep_slots.reserve(selected);
       for (const PairGroup& grp : groups) {
         for (size_t k = 0; k < grp.t2s.size(); ++k) {
           pairs[grp.slot_base + k] = {grp.t1, grp.t2s[k]};
+          if (grp.rep_of[k] == k) {
+            rep_slots.push_back(grp.slot_base + k);
+          }
         }
       }
-      platform::ParallelFor(cfg.jobs, pairs.size(), [&](size_t i) {
+      platform::ParallelFor(cfg.jobs, rep_slots.size(), [&](size_t j) {
+        const size_t i = rep_slots[j];
         TrialOutput t = RunTrial(cfg, {pairs[i].first, pairs[i].second}, &golden, nullptr);
         slots2[i].completed = t.facts.completed;
         slots2[i].violations = std::move(t.violations);
       });
+      for (const PairGroup& grp : groups) {
+        for (size_t k = 0; k < grp.t2s.size(); ++k) {
+          if (grp.rep_of[k] != k) {
+            slots2[grp.slot_base + k].completed =
+                slots2[grp.slot_base + grp.rep_of[k]].completed;
+            trials_pruned_total.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
     }
 
     for (PairSlot& s : slots2) {
@@ -680,6 +929,27 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     }
   }
 
+  res.trials_pruned = trials_pruned_total.load(std::memory_order_relaxed);
+  res.dedup_hits = dedup_hits_total.load(std::memory_order_relaxed);
+  if (exhaust) {
+    // The certificate restates the pruning as deterministic coverage accounting —
+    // every count is a pure function of the spec (chunk/group-local dedup tables,
+    // index-arithmetic POR runs), so it serializes outside the timing block.
+    res.has_certificate = true;
+    ExploreResult::Certificate& cert = res.certificate;
+    cert.exhaust = cfg.exhaust;
+    cert.schedules_covered = res.schedules;
+    cert.d1_classes = d1_class_count;
+    cert.d1_members_collapsed = d1.size() - d1_class_count;
+    cert.pair_classes = pair_class_count;
+    cert.pair_members_collapsed = pair_total_selected - pair_class_count;
+    cert.states_deduped = res.dedup_hits;
+    cert.trials_executed = cert.d1_classes + cert.pair_classes - cert.states_deduped;
+    cert.reduction_ratio =
+        cert.trials_executed > 0
+            ? static_cast<double>(cert.schedules_covered) / cert.trials_executed
+            : 0.0;
+  }
   res.pages_copied = pages_copied_total.load(std::memory_order_relaxed);
   res.pool_hits = pool_hits_total.load(std::memory_order_relaxed);
   res.wall_seconds =
@@ -719,6 +989,21 @@ std::string ToJson(const ExploreResult& r, bool include_timing) {
     os << "]}";
   }
   os << "]";
+  if (r.has_certificate) {
+    // Deterministic coverage certificate (exhaust mode): serialized OUTSIDE the
+    // strippable timing block because every field is byte-identical across jobs
+    // counts and machines. Flat numerics only, like timing.
+    const ExploreResult::Certificate& c = r.certificate;
+    os << ",\"certificate\":{\"exhaust\":" << c.exhaust
+       << ",\"schedules_covered\":" << c.schedules_covered
+       << ",\"d1_classes\":" << c.d1_classes
+       << ",\"d1_members_collapsed\":" << c.d1_members_collapsed
+       << ",\"pair_classes\":" << c.pair_classes
+       << ",\"pair_members_collapsed\":" << c.pair_members_collapsed
+       << ",\"states_deduped\":" << c.states_deduped
+       << ",\"trials_executed\":" << c.trials_executed
+       << ",\"reduction_ratio\":" << c.reduction_ratio << "}";
+  }
   if (include_timing) {
     // Flat numeric fields only: CI strips the whole object with a brace-free regex.
     os << ",\"timing\":{\"wall_seconds\":" << r.wall_seconds
@@ -726,7 +1011,9 @@ std::string ToJson(const ExploreResult& r, bool include_timing) {
        << ",\"snapshot_resumes\":" << r.snapshot_resumes
        << ",\"prefix_us_saved\":" << r.prefix_us_saved
        << ",\"pages_copied\":" << r.pages_copied
-       << ",\"pool_hits\":" << r.pool_hits << "}";
+       << ",\"pool_hits\":" << r.pool_hits
+       << ",\"trials_pruned\":" << r.trials_pruned
+       << ",\"dedup_hits\":" << r.dedup_hits << "}";
   }
   os << "}";
   return os.str();

@@ -48,6 +48,19 @@ struct ExploreConfig {
   // pair as a resumed suffix. Off = full replay of every schedule (the cross-check
   // escape hatch; produces identical non-timing results).
   bool use_snapshot = true;
+
+  // Schedule-space pruning: idempotent-region partial-order reduction (por.h) plus
+  // canonical state-hash deduplication (statehash.h). Only engages where the prune
+  // policy allows (prune-safe workload, no live Timely window); verdicts and every
+  // non-timing output byte are identical with pruning off — the prunings only decide
+  // which equivalent trial pays for each verdict.
+  bool use_pruning = true;
+
+  // Exhaustive coverage mode: enumerate EVERY schedule of at most `exhaust` failures
+  // (1 or 2) under the prunings — no budget subsampling anywhere — and emit a
+  // deterministic coverage certificate in the result. Overrides `depth` and ignores
+  // `budget`; requires the snapshot engine (checked). 0 = off.
+  uint32_t exhaust = 0;
 };
 
 struct ExploreResult {
@@ -63,6 +76,23 @@ struct ExploreResult {
   uint32_t schedules_skipped = 0;  // enumerated placements dropped by the budget
   std::vector<Violation> violations;  // deduplicated; minimal schedules first
 
+  // Coverage certificate, present only in exhaust mode. Every field is a
+  // deterministic function of the spec (jobs-count and machine independent), so it
+  // serializes *outside* the timing block and participates in byte-identity.
+  struct Certificate {
+    uint32_t exhaust = 0;               // the N of --exhaust N
+    uint64_t schedules_covered = 0;     // enumerated schedules the certificate vouches for
+    uint64_t d1_classes = 0;            // depth-1 equivalence-class representatives
+    uint64_t d1_members_collapsed = 0;  // depth-1 instants covered by a representative
+    uint64_t pair_classes = 0;          // pair representatives across all groups
+    uint64_t pair_members_collapsed = 0;
+    uint64_t states_deduped = 0;        // trials retired by a verified state-table hit
+    uint64_t trials_executed = 0;       // engine executions actually paid for
+    double reduction_ratio = 0;         // schedules_covered / trials_executed
+  };
+  bool has_certificate = false;
+  Certificate certificate;
+
   // Timing / engine diagnostics. Serialized in a separate "timing" JSON object that
   // ToJson can exclude, because wall-clock varies run to run and the snapshot
   // counters legitimately differ between engine modes — everything above must stay
@@ -73,6 +103,12 @@ struct ExploreResult {
   uint64_t prefix_us_saved = 0;  // simulated prefix on-time not re-executed
   uint64_t pages_copied = 0;     // FRAM pages actually copied by SnapshotInto/Restore
   uint64_t pool_hits = 0;        // snapshot buffers served from a worker pool free list
+  // Pruning counters. In standard (budgeted) mode the dedup table is shared across
+  // workers, so hit totals can shift with scheduling — which is why these live in the
+  // timing block there; the *results* they prune are substitution-exact either way.
+  // In exhaust mode the deterministic equivalents are in the certificate.
+  uint64_t trials_pruned = 0;    // trials not executed: POR members + dedup hits
+  uint64_t dedup_hits = 0;       // trials retired by a verified state-table hit
 };
 
 // Runs the exploration. Deterministic: identical results for any `jobs` value.

@@ -1,0 +1,53 @@
+#include "chk/por.h"
+
+#include <algorithm>
+
+#include "kernel/io.h"
+#include "kernel/runtime.h"
+
+namespace easeio::chk {
+
+PrunePolicy MakePrunePolicy(const apps::AppTraits& traits, bool semantic_runtime,
+                            const kernel::Runtime& rt) {
+  RegionConditions c;
+  c.value_steered = !traits.prune_safe;
+  // Timely semantics only exist on the semantic runtimes; the baselines re-execute
+  // everything and never consult reading ages, so their registrations are inert.
+  if (semantic_runtime) {
+    for (const kernel::IoSiteDesc& d : rt.io_sites()) {
+      c.timely_window |= d.sem == kernel::IoSemantic::kTimely;
+    }
+    for (const kernel::IoBlockDesc& d : rt.io_blocks()) {
+      c.timely_window |= d.sem == kernel::IoSemantic::kTimely;
+    }
+  }
+  // war_hazard / io_taint_crossing are per-window conditions; at policy scope the
+  // probe-event barriers handle them (every def/use emits an event, so a window with
+  // no barrier inside has neither).
+  return {CollapsibleRegion(c)};
+}
+
+void GapClasses::Build(const std::vector<sim::ProbeEvent>& events, uint64_t floor) {
+  barriers_.clear();
+  barriers_.reserve(events.size());
+  for (const sim::ProbeEvent& ev : events) {
+    if (ev.on_us >= floor && (barriers_.empty() || barriers_.back() != ev.on_us)) {
+      barriers_.push_back(ev.on_us);
+    }
+  }
+}
+
+uint64_t GapClasses::TokenFor(uint64_t instant) const {
+  const auto it = std::upper_bound(barriers_.begin(), barriers_.end(), instant);
+  const bool at_event = it != barriers_.begin() && *(it - 1) == instant;
+  const bool pre_event = it != barriers_.end() && *it == instant + 1;
+  if (at_event || pre_event) {
+    // Event-adjacent: unique token, never collapsed (low bit set).
+    return (instant << 1) | 1;
+  }
+  // Gap-interior: token is the gap index — equal for every instant between the same
+  // pair of consecutive barriers (low bit clear).
+  return static_cast<uint64_t>(it - barriers_.begin()) << 1;
+}
+
+}  // namespace easeio::chk

@@ -1,0 +1,111 @@
+// Partial-order reduction over failure instants (the idempotent-region rule).
+//
+// The trace contract (trace.h) is that a power failure anywhere strictly between two
+// consecutive probe events is equivalent to a failure right after the earlier one: no
+// durable state changes in between, so the post-reboot world — and therefore every
+// invariant verdict — is identical. This header makes that equivalence a first-class,
+// shared invariant instead of a comment:
+//
+//   * chk (explorer.cc) uses GapClasses to collapse enumerated candidate instants to
+//     one representative per equivalence class before spending trials on them.
+//   * lint (easec/lint/witness.cc) uses RepresentativeAfter to place its replay
+//     witnesses at the canonical representative of the window it reasons about — the
+//     same instant chk would keep.
+//
+// The probe-event barriers are the dynamic image of the def/use and region tables the
+// easec linter consumes statically: kNvWrite events are exactly the durable defs,
+// kIoExec / kDmaExec / commit events are the uses and taint sources, and a window with
+// no event between its endpoints is an idempotent region in the linter's sense — no
+// WAR hazard can complete inside it and no I/O result crosses it. Treating *every*
+// probe event as a barrier is deliberately conservative (some events, e.g. kCapSample,
+// mutate nothing durable); conservatism only costs trials, never soundness.
+
+#ifndef EASEIO_CHK_POR_H_
+#define EASEIO_CHK_POR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/registry.h"
+#include "sim/probe.h"
+
+// por.h stays light on purpose: lint includes it for the shared predicate vocabulary
+// (RegionConditions / RepresentativeAfter are header-only), so the kernel types only
+// appear as forward declarations and only MakePrunePolicy's definition touches them.
+namespace easeio::kernel {
+class Runtime;
+}  // namespace easeio::kernel
+
+namespace easeio::chk {
+
+// The conditions under which two failure instants in the same event-free window are
+// NOT interchangeable. chk fills this from workload traits and runtime registration;
+// lint derives the per-window fields from its def/use tables. A window collapses only
+// when all four are absent.
+struct RegionConditions {
+  // A durable write (NV store, I/O completion commit) lands inside the window — the
+  // static analogue is a def in the region's def table (WAR hazard).
+  bool war_hazard = false;
+  // An I/O result produced before the window is consumed after it (or vice versa) —
+  // the static analogue is taint crossing the region boundary.
+  bool io_taint_crossing = false;
+  // The workload branches on non-durable inputs (sensed values steer control flow),
+  // so byte-equal durable states can still diverge. AppTraits::prune_safe is false.
+  bool value_steered = false;
+  // A Timely freshness window is registered: verdicts depend on the wall-clock age of
+  // a reading, so instants inside one gap are distinguishable by the clock alone.
+  bool timely_window = false;
+};
+
+// The shared invariant: instants in an event-free window are interchangeable iff none
+// of the disqualifying conditions hold.
+constexpr bool CollapsibleRegion(const RegionConditions& c) {
+  return !c.war_hazard && !c.io_taint_crossing && !c.value_steered && !c.timely_window;
+}
+
+// Canonical representative of the equivalence class spanning (event_on_us, next
+// event): the first instant after the event. Both chk's class collapse and lint's
+// witness placement pick this one.
+constexpr uint64_t RepresentativeAfter(uint64_t event_on_us) { return event_on_us + 1; }
+
+// Whether schedule pruning (POR + state dedup) applies to an (app, runtime) cell at
+// all. Both reductions assume verdicts are a function of durable state alone; that
+// fails when the workload is value-steered (traits.prune_safe == false) or when a
+// semantic runtime has a live Timely site/block (freshness verdicts read the clock).
+struct PrunePolicy {
+  bool enabled = false;
+};
+PrunePolicy MakePrunePolicy(const apps::AppTraits& traits, bool semantic_runtime,
+                            const kernel::Runtime& rt);
+
+// Partitions candidate failure instants against one trial's probe stream. Two
+// instants share a class iff they fall strictly inside the same event-free gap and
+// neither sits *at* an event or one tick before one: candidates the trace generator
+// derived from an event (ev and ev-1) probe post-op and mid-op states — mid-DMA
+// bytes, pre/post peripheral effects — that can differ from the gap interior, so
+// they stay singletons. Only grid-derived gap-interior instants collapse.
+class GapClasses {
+ public:
+  GapClasses() = default;
+
+  // Builds the barrier set from a probe stream (on_us nondecreasing). Barriers below
+  // `floor` are dropped: when every queried instant is >= floor, they can affect
+  // neither gap membership nor adjacency, and trimming keeps the per-trial footprint
+  // proportional to the suffix actually enumerated.
+  void Build(const std::vector<sim::ProbeEvent>& events, uint64_t floor);
+
+  // Class token for an instant >= the Build floor. Equal *collapsible* tokens mean
+  // interchangeable failure instants; non-collapsible tokens are unique per instant.
+  uint64_t TokenFor(uint64_t instant) const;
+
+  static constexpr bool Collapsible(uint64_t token) { return (token & 1) == 0; }
+
+  size_t barrier_count() const { return barriers_.size(); }
+
+ private:
+  std::vector<uint64_t> barriers_;  // sorted, unique event instants
+};
+
+}  // namespace easeio::chk
+
+#endif  // EASEIO_CHK_POR_H_

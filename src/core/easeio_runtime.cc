@@ -453,6 +453,18 @@ void EaseioRuntime::OnTaskCommit(kernel::TaskCtx& ctx) {
 
 void EaseioRuntime::OnReboot() { block_stack_.clear(); }
 
+void EaseioRuntime::AppendStateMask(
+    std::vector<kernel::Runtime::StateMaskRange>& out) const {
+  for (const SiteMeta& site : io_meta_) {
+    for (const LaneMeta& lane : site.lanes) {
+      out.push_back({lane.base + kLaneTs, 4});
+    }
+  }
+  for (const BlockMeta& block : block_meta_) {
+    out.push_back({block.base + kBlockTs, 4});
+  }
+}
+
 uint32_t EaseioRuntime::CodeSizeBytes() const {
   uint32_t lanes = 0;
   for (const kernel::IoSiteDesc& d : io_sites_) {

@@ -92,6 +92,13 @@ class EaseioRuntime : public kernel::Runtime {
 
   uint32_t CodeSizeBytes() const override;
 
+  // Completion timestamps (lane +2, block +2) are written on every execution but read
+  // back only by Timely freshness checks; the chk dedup layer only fingerprints
+  // EaseIO states when no Timely site or block is registered (clock-free execution),
+  // so the timestamp words are always dead metadata there and masking them lets
+  // trials that diverge only in *when* an operation completed share one fingerprint.
+  void AppendStateMask(std::vector<kernel::Runtime::StateMaskRange>& out) const override;
+
   // --- Introspection (tests / harness) --------------------------------------------------
   // True when the site lane's lock flag is set (operation completed and not yet
   // invalidated by commit).

@@ -3,13 +3,15 @@
 #include <cctype>
 #include <charconv>
 
-#include "daemon/hash.h"
+#include "platform/hash.h"
 #include "easec/lint/run.h"
 #include "obs/trace_job.h"
 #include "report/jobs.h"
 #include "report/json.h"
 
 namespace easeio::daemon {
+
+using platform::Sha256Hex;
 
 namespace {
 
@@ -116,6 +118,11 @@ std::string CanonicalKey(const JobSpec& spec) {
       key += "budget=" + std::to_string(spec.budget) + "\n";
       key += "off_us=" + std::to_string(spec.off_us) + "\n";
       key += "snapshot=" + std::to_string(spec.use_snapshot ? 1 : 0) + "\n";
+      // Pruning provably cannot change the timing-stripped artifact (same guarantee
+      // and same defense-in-depth rationale as the engine mode above); exhaust mode
+      // genuinely changes bytes (certificate object, depth override, no subsampling).
+      key += "prune=" + std::to_string(spec.use_pruning ? 1 : 0) + "\n";
+      key += "exhaust=" + std::to_string(spec.exhaust) + "\n";
       key += "regional=" + std::to_string(spec.regional ? 1 : 0) + "\n";
       key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
       key += "tick_us=" + std::to_string(spec.tick_us) + "\n";
@@ -176,6 +183,8 @@ std::string ToJson(const JobSpec& spec) {
       w.Key("budget").UInt(spec.budget);
       w.Key("off_us").UInt(spec.off_us);
       w.Key("snapshot").Bool(spec.use_snapshot);
+      w.Key("prune").Bool(spec.use_pruning);
+      w.Key("exhaust").UInt(spec.exhaust);
       break;
     case JobKind::kLint:
       w.Key("source").String(spec.source);
@@ -297,6 +306,11 @@ bool ParseJobSpec(const JsonValue& value, JobSpec* out, std::string* error) {
       if (!ReadUint(v, key, 0, UINT64_MAX, &out->off_us, error)) return false;
     } else if (key == "snapshot") {
       if (!ReadBool(v, key, &out->use_snapshot, error)) return false;
+    } else if (key == "prune") {
+      if (!ReadBool(v, key, &out->use_pruning, error)) return false;
+    } else if (key == "exhaust") {
+      if (!ReadUint(v, key, 0, 2, &u, error)) return false;
+      out->exhaust = static_cast<uint32_t>(u);
     } else if (key == "source") {
       if (!ReadString(v, key, &out->source, error)) return false;
       have_source = true;
@@ -326,6 +340,10 @@ bool ParseJobSpec(const JsonValue& value, JobSpec* out, std::string* error) {
 
   if (out->kind == JobKind::kLint && !have_source) {
     *error = "job.source: required for lint jobs";
+    return false;
+  }
+  if (out->kind == JobKind::kExplore && out->exhaust > 0 && !out->use_snapshot) {
+    *error = "job.exhaust: requires the snapshot engine (snapshot=false conflicts)";
     return false;
   }
   if (out->kind == JobKind::kTrace && out->continuous && out->harvester_in > 0) {
@@ -367,6 +385,8 @@ JobOutcome ExecuteSpec(const JobSpec& spec) {
       job.base.jobs = spec.exec_jobs;
       job.base.off_us = spec.off_us;
       job.base.use_snapshot = spec.use_snapshot;
+      job.base.use_pruning = spec.use_pruning;
+      job.base.exhaust = spec.exhaust;
       job.base.easeio_regional_privatization = spec.regional;
       job.base.easeio_priv_buffer_bytes = spec.priv_buffer_bytes;
       job.base.timekeeper_tick_us = spec.tick_us;

@@ -59,6 +59,11 @@ struct JobSpec {
   uint32_t budget = 1500;
   uint64_t off_us = 700;           // also the lint witness dark time
   bool use_snapshot = true;        // engine mode (kept in the key; see header note)
+  bool use_pruning = true;         // POR + state dedup (kept in the key; same note)
+  // Coverage mode (easechk --exhaust). Changes artifact bytes — certificate object,
+  // depth override, no subsampling — so it is unconditionally part of the key.
+  // Requires use_snapshot (rejected at parse otherwise). 0 = off.
+  uint32_t exhaust = 0;
 
   // lint
   std::string source;              // program text, sent inline (content-hashed)

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "chk/por.h"
 #include "chk/program_replay.h"
 
 namespace easeio::easec::lint {
@@ -138,7 +139,7 @@ void Suggest(const CompileResult& compiled, Finding& f, GoldenCache& cache) {
         seen_exec = true;
       }
       if (seen_exec && e.kind == ProbeKind::kTaskCommit && e.id == producer_task) {
-        f.suggested_schedule = {e.on_us + 1};
+        f.suggested_schedule = {chk::RepresentativeAfter(e.on_us)};
         f.suggested_off_us = std::max(f.suggested_off_us, f.anchor_window_us + 1000);
         break;
       }
@@ -147,11 +148,11 @@ void Suggest(const CompileResult& compiled, Finding& f, GoldenCache& cache) {
     // Fail right after the locked consumer ran: re-execution re-reads the Always
     // producer (sensor noise diverges it) and re-commits NVM around the stale lock.
     if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_consumer])) {
-      f.suggested_schedule = {*on + 1};
+      f.suggested_schedule = {chk::RepresentativeAfter(*on)};
     }
   } else if (f.code == "scope-demotion" && f.anchor_site != UINT32_MAX) {
     if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_site])) {
-      f.suggested_schedule = {*on + 1};
+      f.suggested_schedule = {chk::RepresentativeAfter(*on)};
     }
   } else if (f.code == "timely-infeasible" && f.anchor_site != UINT32_MAX) {
     // Fail once the reading has aged past its window but the task (whose remaining
@@ -161,7 +162,7 @@ void Suggest(const CompileResult& compiled, Finding& f, GoldenCache& cache) {
     }
   } else if (f.code == "war-dma-invisible" && f.anchor_dma != UINT32_MAX) {
     if (auto on = FirstOn(events, ProbeKind::kDmaExec, golden.dma_ids[f.anchor_dma])) {
-      f.suggested_schedule = {*on + 1};
+      f.suggested_schedule = {chk::RepresentativeAfter(*on)};
     }
   }
 }

@@ -143,6 +143,30 @@ class Runtime {
   }
   const LaneStats& dma_stats(DmaSiteId site) const { return dma_stats_[site]; }
 
+  // --- State fingerprinting (the chk dedup layer) ---------------------------------------
+  // A byte range in simulated FRAM whose content a post-reboot state fingerprint must
+  // ignore: metadata the runtime writes on every execution but never reads back on any
+  // path that can steer a resumed trial (e.g. EaseIO completion timestamps when no
+  // Timely window is registered). Static per registration — collected once per built
+  // stack, so the ranges must not depend on run-time state.
+  struct StateMaskRange {
+    uint32_t addr = 0;
+    uint32_t size = 0;
+  };
+  virtual void AppendStateMask(std::vector<StateMaskRange>& out) const { (void)out; }
+
+  // Appends a canonical serialization of the run-mutable host-side state that survives
+  // into the reboot path — the same state SnapshotExtra captures — to `out`. Returns
+  // false when the runtime carries such state but cannot canonicalize it, which
+  // disables state dedup for the trial rather than fingerprinting an incomplete state.
+  // Pure diagnostics that never steer execution (the per-lane redundancy counters,
+  // Samoyed's rollback count) are deliberately absent from the digest: including them
+  // would split states whose continuations are provably identical.
+  virtual bool AppendStateDigest(std::string& out) const {
+    (void)out;
+    return SnapshotExtra() == nullptr;
+  }
+
   // --- Execution-state snapshot (the chk snapshot engine) -------------------------------
   // Captures / restores the mutable state a resumed trial must carry across the
   // rebuild. Restore requires an identically registered runtime (same sites).

@@ -1,8 +1,8 @@
-#include "daemon/hash.h"
+#include "platform/hash.h"
 
 #include <cstring>
 
-namespace easeio::daemon {
+namespace easeio::platform {
 
 namespace {
 
@@ -119,10 +119,14 @@ std::array<uint8_t, 32> Sha256::Digest() {
   return out;
 }
 
-std::string Sha256Hex(std::string_view data) {
+std::array<uint8_t, 32> Sha256Digest(std::string_view data) {
   Sha256 hasher;
   hasher.Update(data);
-  const std::array<uint8_t, 32> digest = hasher.Digest();
+  return hasher.Digest();
+}
+
+std::string Sha256Hex(std::string_view data) {
+  const std::array<uint8_t, 32> digest = Sha256Digest(data);
   static const char* kHex = "0123456789abcdef";
   std::string out;
   out.reserve(64);
@@ -133,4 +137,4 @@ std::string Sha256Hex(std::string_view data) {
   return out;
 }
 
-}  // namespace easeio::daemon
+}  // namespace easeio::platform

@@ -1,0 +1,77 @@
+// Shared content hashing: SHA-256 plus a fast 64-bit mix.
+//
+// SHA-256 serves two collision-sensitive consumers: the easeiod result cache
+// (entries are addressed by the hash of a job's canonical key, and a lint job hashes
+// client-supplied program text — the hash must be collision-resistant across
+// adversarial inputs and stable forever, or on-disk caches poison/invalidate) and the
+// chk state-dedup table (a dedup entry substitutes a trial's verdict, so a silent
+// collision would forge one). Self-contained FIPS 180-4 implementation; no external
+// dependency. The 64-bit mix is the opposite trade: a few ns per call for the dedup
+// table's hot probe, where a false match costs only a SHA-256 + memcmp to reject.
+
+#ifndef EASEIO_PLATFORM_HASH_H_
+#define EASEIO_PLATFORM_HASH_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace easeio::platform {
+
+// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  void Update(std::string_view data);
+  // Finalizes and returns the 32-byte digest. The object must not be reused after.
+  std::array<uint8_t, 32> Digest();
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  std::array<uint32_t, 8> state_;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+// One-shot convenience: lowercase hex digest of `data`.
+std::string Sha256Hex(std::string_view data);
+
+// One-shot convenience: the 32-byte digest of `data`.
+std::array<uint8_t, 32> Sha256Digest(std::string_view data);
+
+// Finalizer-strength 64-bit bit mixer (splitmix64's): every input bit affects every
+// output bit. Used to turn cheap word sums into table probes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Fast non-cryptographic 64-bit hash of a byte range (FNV-1a folded through Mix64).
+// Strictly a probe: collisions are expected to be resolved by the caller with a real
+// comparison. `seed` chains ranges.
+inline uint64_t HashBytes64(const void* data, size_t n, uint64_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p + i, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
+  }
+  uint64_t tail = 0;
+  for (size_t k = 0; i < n; ++i, ++k) {
+    tail |= static_cast<uint64_t>(p[i]) << (8 * k);
+  }
+  h = (h ^ tail ^ n) * 0x100000001b3ULL;
+  return Mix64(h);
+}
+
+}  // namespace easeio::platform
+
+#endif  // EASEIO_PLATFORM_HASH_H_

@@ -252,6 +252,21 @@ class Memory {
   uint64_t pages_copied() const { return pages_copied_; }
   uint64_t pages_skipped() const { return pages_skipped_; }
 
+  // --- Dirty-page scan support (the chk state-dedup hasher) -----------------------------
+  // Read-only views plus the epoch handshake an external per-page cache needs to reuse
+  // the dirty stamps exactly as SnapshotInto does: a cached page is valid iff its
+  // recorded sync epoch is non-zero and >= page_stamp()[p]; a refreshed page records
+  // snap_epoch() as its sync; the scan ends with EndPageScan() so any later write
+  // stamps strictly newer than the syncs just recorded. Views are invalidated by
+  // nothing short of destruction (the arenas never reallocate).
+  const uint8_t* fram_data() const { return fram_.data(); }
+  uint32_t fram_used() const { return fram_used_; }
+  uint32_t sram_used() const { return sram_used_; }
+  uint64_t mem_uid() const { return mem_uid_; }
+  const std::vector<uint64_t>& page_stamps() const { return page_stamp_; }
+  uint64_t snap_epoch() const { return snap_epoch_; }
+  void EndPageScan() const { ++snap_epoch_; }
+
   // Returns the memory to its freshly constructed state without reallocating the
   // arenas: re-zeros only the *used* prefix of each arena and resets the cursors, the
   // epoch, and the allocation table. This is what makes per-worker stack reuse cheap —

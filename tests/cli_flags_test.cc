@@ -1,0 +1,73 @@
+// Tests for the shared CLI parsing helpers (tools/cli_flags.h), with the --exhaust
+// flag's contract as the motivating case: the value grammar must reject 0 (below the
+// minimum), values past the depth cap, sign prefixes, and trailing garbage, and the
+// deduper must reject a repeated flag regardless of its value.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cli_flags.h"
+
+namespace easeio {
+namespace {
+
+uint64_t MustParse(const char* s, uint64_t min, uint64_t max) {
+  uint64_t out = 0;
+  EXPECT_TRUE(tools::ParseUintFlag("test", "--flag", s, min, max, &out)) << s;
+  return out;
+}
+
+bool Rejects(const char* s, uint64_t min, uint64_t max) {
+  uint64_t out = 0;
+  return !tools::ParseUintFlag("test", "--flag", s, min, max, &out);
+}
+
+TEST(ParseUintFlag, AcceptsWholeStringInRange) {
+  EXPECT_EQ(MustParse("1", 1, 2), 1u);
+  EXPECT_EQ(MustParse("2", 1, 2), 2u);
+  EXPECT_EQ(MustParse("0", 0, 10), 0u);
+  EXPECT_EQ(MustParse("18446744073709551615", 0, UINT64_MAX), UINT64_MAX);
+}
+
+TEST(ParseUintFlag, RejectsTheExhaustEdgeCases) {
+  // --exhaust is ParseUintFlag(..., 1, 2, ...): 0 and anything past the depth cap
+  // are usage errors, not silently clamped.
+  EXPECT_TRUE(Rejects("0", 1, 2));
+  EXPECT_TRUE(Rejects("3", 1, 2));
+  EXPECT_TRUE(Rejects("", 1, 2));
+}
+
+TEST(ParseUintFlag, RejectsSignsGarbageAndOverflow) {
+  EXPECT_TRUE(Rejects("-1", 0, 10));
+  EXPECT_TRUE(Rejects("+1", 0, 10));
+  EXPECT_TRUE(Rejects("1junk", 0, 10));
+  EXPECT_TRUE(Rejects("junk", 0, 10));
+  EXPECT_TRUE(Rejects(" 1", 0, 10));
+  EXPECT_TRUE(Rejects("99999999999999999999999999", 0, UINT64_MAX));
+  EXPECT_TRUE(Rejects(nullptr, 0, 10));
+}
+
+TEST(ParseDoubleFlag, WholeStringNonNegative) {
+  double out = 0;
+  EXPECT_TRUE(tools::ParseDoubleFlag("test", "--d", "2.5", &out));
+  EXPECT_DOUBLE_EQ(out, 2.5);
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "-2.5", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "2.5x", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "", &out));
+}
+
+TEST(FlagDeduper, RejectsDuplicatesByFlagName) {
+  tools::FlagDeduper dedupe("test");
+  EXPECT_TRUE(dedupe.Note("--exhaust=1"));
+  // Same flag, different value: still a duplicate (the key is the name alone).
+  EXPECT_FALSE(dedupe.Note("--exhaust=2"));
+  // Valueless and valued spellings collide too.
+  EXPECT_TRUE(dedupe.Note("--no-snapshot"));
+  EXPECT_FALSE(dedupe.Note("--no-snapshot"));
+  // Distinct flags stay independent.
+  EXPECT_TRUE(dedupe.Note("--no-prune"));
+}
+
+}  // namespace
+}  // namespace easeio

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "daemon/cache.h"
-#include "daemon/hash.h"
+#include "platform/hash.h"
 #include "daemon/jobspec.h"
 #include "daemon/jsonin.h"
 #include "daemon/runner.h"
@@ -28,6 +28,9 @@
 
 namespace easeio::daemon {
 namespace {
+
+using platform::Sha256;
+using platform::Sha256Hex;
 
 namespace fs = std::filesystem;
 
@@ -168,6 +171,12 @@ TEST(JobSpecTest, EveryKeyComponentChangesTheHash) {
   changed.use_snapshot = false;
   EXPECT_NE(ContentHash(changed), h0) << "engine mode stays in the key";
   changed = base;
+  changed.use_pruning = false;
+  EXPECT_NE(ContentHash(changed), h0) << "pruning mode stays in the key";
+  changed = base;
+  changed.exhaust = 2;
+  EXPECT_NE(ContentHash(changed), h0) << "exhaust changes artifact bytes";
+  changed = base;
   changed.regional = false;
   EXPECT_NE(ContentHash(changed), h0) << "regional must be in the key";
   changed = base;
@@ -235,6 +244,7 @@ TEST(JobSpecTest, JsonRoundTripPreservesTheHash) {
   specs[1].depth = 1;
   specs[1].budget = 11;
   specs[1].use_snapshot = false;
+  specs[1].use_pruning = false;
   specs[2].kind = JobKind::kLint;
   specs[2].source = "task t1 { write \"x\\n\"; }";
   specs[2].source_name = "quote\"name.ec";
@@ -264,6 +274,8 @@ TEST(JobSpecTest, ParseRejectsUnknownAndOutOfRangeFields) {
       R"({"kind":"sweep","apps":["nope"]})",
       R"({"kind":"lint"})",  // lint requires source
       R"({"kind":"sweep","jobs":5000})",
+      R"({"kind":"explore","exhaust":3})",
+      R"({"kind":"explore","exhaust":1,"snapshot":false})",  // needs the snapshot engine
   };
   for (const char* text : kBad) {
     JsonValue v;

@@ -23,7 +23,9 @@ namespace easeio::tools {
 // On failure prints an error naming the tool and flag, and returns false.
 inline bool ParseUintFlag(const char* tool, const char* flag, const char* s,
                           uint64_t min, uint64_t max, uint64_t* out) {
-  bool ok = s != nullptr && *s != '\0' && *s != '-' && *s != '+';
+  // The first character must be a digit: strtoull itself would skip leading
+  // whitespace and accept sign prefixes, neither of which belongs in a flag value.
+  bool ok = s != nullptr && *s >= '0' && *s <= '9';
   char* end = nullptr;
   unsigned long long v = 0;
   if (ok) {

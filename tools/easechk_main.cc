@@ -22,6 +22,14 @@
 //   --no-regional   disable EaseIO regional DMA privatization (bug-hunting ablation)
 //   --no-snapshot   full-replay every depth-2 schedule instead of resuming from a
 //                   post-first-failure snapshot (cross-check; slower, same results)
+//   --no-prune      disable schedule-space pruning (state-hash dedup + idempotent-
+//                   region partial-order reduction); cross-check — identical verdicts
+//                   and non-timing JSON, more trials executed
+//   --exhaust=N     coverage mode: enumerate EVERY schedule of at most N failures
+//                   (N = 1 or 2) under the prunings instead of budget-subsampling,
+//                   and emit a coverage certificate per exploration in the JSON.
+//                   Overrides --depth, ignores --budget, and requires the snapshot
+//                   engine (conflicts with --no-snapshot; exit 2)
 //   --json      also write results as JSON to PATH
 //   --no-timing omit the host-dependent "timing" object from the JSON, making the
 //               document fully deterministic (byte-identical across machines and
@@ -66,8 +74,9 @@ void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: easechk [--app=NAME] [--runtime=NAME] [--depth=1|2] [--jobs=N]\n"
                "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
-               "               [--no-snapshot] [--json=PATH] [--no-timing]\n"
-               "               [--expect-clean] [--trace-failures=DIR]\n");
+               "               [--no-snapshot] [--no-prune] [--exhaust=1|2]\n"
+               "               [--json=PATH] [--no-timing] [--expect-clean]\n"
+               "               [--trace-failures=DIR]\n");
 }
 
 // Violation invariant names become path components; keep them portable.
@@ -147,8 +156,16 @@ int main(int argc, char** argv) {
       trace_failures = true;
     } else if (arg == "--no-regional") {
       base.easeio_regional_privatization = false;
+    } else if (const char* v = value("--exhaust=")) {
+      uint64_t exhaust = 0;
+      if (!ParseUintFlag("--exhaust", v, 1, 2, &exhaust)) {
+        return 2;
+      }
+      base.exhaust = static_cast<uint32_t>(exhaust);
     } else if (arg == "--no-snapshot") {
       base.use_snapshot = false;
+    } else if (arg == "--no-prune") {
+      base.use_pruning = false;
     } else if (arg == "--no-timing") {
       include_timing = false;
     } else if (arg == "--expect-clean") {
@@ -160,6 +177,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "easechk: unknown option '%s' (try --help)\n", arg.c_str());
       return 2;
     }
+  }
+
+  // Exhaust mode resumes every pair suffix from a snapshot; full replay has no way to
+  // honour the coverage accounting. Reject the combination whichever order the flags
+  // came in.
+  if (base.exhaust > 0 && !base.use_snapshot) {
+    std::fprintf(stderr, "easechk: --exhaust requires the snapshot engine (drop --no-snapshot)\n");
+    PrintUsage(stderr);
+    return 2;
   }
 
   // Validate the trace destination before burning exploration time: an empty path,

@@ -51,7 +51,7 @@ constexpr char kUsage[] =
     "  --app=NAME|unitask|all            app list (default: dma)\n"
     "  --runtime=NAME|all                runtime list (default: easeio)\n"
     "  --seed=N --runs=N --depth=1|2 --budget=N --off-us=N --jobs=N\n"
-    "  --no-snapshot --no-regional --priv-buffer=N --tick-us=N\n"
+    "  --no-snapshot --no-prune --exhaust=1|2 --no-regional --priv-buffer=N --tick-us=N\n"
     "  --source=FILE --source-name=NAME --witness      (lint)\n"
     "  --timeline --continuous --harvester-in=D --cap-sample-us=N  (trace)\n"
     "\n"
@@ -205,8 +205,13 @@ int ParseJobFlag(const std::string& arg, daemon::JobSpec* spec) {
   } else if (arg.rfind("--off-us=", 0) == 0) {
     if (!uint_flag("--off-us", 9, 0, UINT64_MAX)) return -1;
     spec->off_us = u;
+  } else if (arg.rfind("--exhaust=", 0) == 0) {
+    if (!uint_flag("--exhaust", 10, 1, 2)) return -1;
+    spec->exhaust = static_cast<uint32_t>(u);
   } else if (arg == "--no-snapshot") {
     spec->use_snapshot = false;
+  } else if (arg == "--no-prune") {
+    spec->use_pruning = false;
   } else if (arg == "--no-regional") {
     spec->regional = false;
   } else if (arg.rfind("--priv-buffer=", 0) == 0) {
@@ -328,6 +333,11 @@ int main(int argc, char** argv) {
       if (consumed == 0) {
         return UsageError(("unknown run flag '" + arg + "'").c_str());
       }
+    }
+    // The daemon rejects this combination in ParseJobSpec; `run` skips that parser,
+    // so mirror the check rather than tripping the engine's internal assertion.
+    if (spec.kind == daemon::JobKind::kExplore && spec.exhaust > 0 && !spec.use_snapshot) {
+      return UsageError("--exhaust requires the snapshot engine (drop --no-snapshot)");
     }
     const daemon::JobOutcome outcome = daemon::ExecuteSpec(spec);
     if (!outcome.ok) {
