@@ -38,7 +38,7 @@ const char* const kArtifacts[] = {
     "table5_dnn_buffers", "table6_memory",      "ablation_regional",
     "ablation_timekeeper", "sweep_failure_rate", "ext_samoyed",
     "ext_trace",         "daemon_throughput",   "micro_overheads",
-    "chk_throughput",    "chk_exhaust",
+    "chk_throughput",    "chk_exhaust",         "metrics_overhead",
 };
 
 bool Skipped(const std::vector<std::string>& skips, const char* artifact) {

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "cli_flags.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "report/experiment.h"
 #include "report/json.h"
 #include "report/table.h"
@@ -59,7 +61,20 @@ namespace internal {
 // Set by ParseBenchArgs; flags take precedence over the environment.
 inline int64_t g_runs_override = -1;
 inline int64_t g_jobs_override = -1;
+inline std::string g_metrics_path;
 }  // namespace internal
+
+// Process-wide metrics registry for bench binaries. BenchEmitter::Write() folds its
+// per-artifact counters in here and, when --metrics=PATH was given, dumps the whole
+// registry to PATH — so a binary that also instruments its workload (e.g. handing
+// the registry to chk::Explore) gets everything in one document.
+inline obs::Registry& BenchMetrics() {
+  static obs::Registry registry;
+  return registry;
+}
+
+// Dump destination from --metrics=PATH; empty when the flag was not given.
+inline const std::string& MetricsPath() { return internal::g_metrics_path; }
 
 // Sweep size per cell: --runs flag, else EASEIO_BENCH_RUNS, else `fallback`. An env
 // value that is not a clean integer in [1, 10^6] (e.g. "50x", "-4", "") is rejected
@@ -111,10 +126,12 @@ inline void ParseBenchArgs(int argc, char** argv) {
     const char* arg = argv[i];
     uint64_t v = 0;
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      std::printf("usage: %s [--runs=N] [--jobs=N]\n"
-                  "  --runs  sweep size per cell (env EASEIO_BENCH_RUNS)\n"
-                  "  --jobs  sweep worker threads, 0 = hardware concurrency "
-                  "(env EASEIO_BENCH_JOBS)\n",
+      std::printf("usage: %s [--runs=N] [--jobs=N] [--metrics=PATH]\n"
+                  "  --runs     sweep size per cell (env EASEIO_BENCH_RUNS)\n"
+                  "  --jobs     sweep worker threads, 0 = hardware concurrency "
+                  "(env EASEIO_BENCH_JOBS)\n"
+                  "  --metrics  dump the metrics registry to PATH at exit\n"
+                  "             (easeio-metrics/1 JSON; Prometheus text for .prom)\n",
                   argv[0]);
       std::exit(0);
     }
@@ -131,6 +148,12 @@ inline void ParseBenchArgs(int argc, char** argv) {
         std::exit(2);
       }
       internal::g_jobs_override = static_cast<int64_t>(v);
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      internal::g_metrics_path = arg + 10;
+      if (internal::g_metrics_path.empty()) {
+        std::fprintf(stderr, "%s: --metrics= requires a path\n", argv[0]);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], arg);
       std::exit(2);
@@ -296,6 +319,21 @@ class BenchEmitter {
                 artifact_.c_str(), path.string().c_str(),
                 static_cast<unsigned long long>(experiment_runs_), wall_s,
                 wall_s > 0 ? static_cast<double>(experiment_runs_) / wall_s : 0.0);
+
+    // Fold this artifact's totals into the shared registry and honour --metrics.
+    // Every bench binary gets a meaningful dump this way, even the ones whose
+    // workload has no registry of its own.
+    obs::Registry& reg = BenchMetrics();
+    const obs::Labels labels = {{"artifact", artifact_}};
+    reg.Add(reg.Counter("bench_cells", labels), cells_.size());
+    reg.Add(reg.Counter("bench_experiment_runs", labels), experiment_runs_);
+    if (!MetricsPath().empty()) {
+      std::string metrics_error;
+      if (!obs::WriteMetricsFile(reg, MetricsPath(), &metrics_error)) {
+        std::fprintf(stderr, "bench: %s\n", metrics_error.c_str());
+        return false;
+      }
+    }
     return true;
   }
 

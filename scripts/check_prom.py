@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Grammar checker for the Prometheus text exposition easeio emits.
+
+Validates the subset of the Prometheus text format that MetricsToPrometheus
+(src/obs/metrics_export.cc) produces, strictly:
+
+  * every non-comment line is `name[{labels}] value`;
+  * metric and label names match the Prometheus identifier grammars;
+  * label values are double-quoted with only \\ \" \n escapes;
+  * every sample name was declared by a preceding `# TYPE` line, each name is
+    declared exactly once, and histogram samples use only the _bucket/_sum/_count
+    suffixes of their declared name;
+  * per histogram label set: bucket counts are monotone nondecreasing over
+    increasing `le`, the final bucket is le="+Inf", and _count equals it;
+  * counter and histogram values are non-negative integers (easeio metrics are
+    integer-valued by design — DESIGN.md §15).
+
+Usage: check_prom.py FILE...   (exits non-zero on the first malformed file)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+UINT_RE = re.compile(r"^(?:0|[1-9][0-9]*)$")
+INT_RE = re.compile(r"^-?(?:0|[1-9][0-9]*)$")
+
+
+class Malformed(Exception):
+    pass
+
+
+def parse_labels(raw, lineno):
+    """Parses `{k="v",...}` (or empty string) into a dict; raises on bad grammar."""
+    if raw == "":
+        return {}
+    if not (raw.startswith("{") and raw.endswith("}")):
+        raise Malformed(f"line {lineno}: bad label block {raw!r}")
+    labels = {}
+    pos = 1
+    while pos < len(raw) - 1:
+        m = LABEL_NAME_RE.match(raw, pos)
+        if m is None:
+            raise Malformed(f"line {lineno}: bad label name at col {pos}")
+        name = m.group(0)
+        pos = m.end()
+        if raw[pos : pos + 2] != '="':
+            raise Malformed(f"line {lineno}: label {name} missing =\"")
+        pos += 2
+        value = []
+        while True:
+            if pos >= len(raw) - 1:
+                raise Malformed(f"line {lineno}: unterminated value for {name}")
+            c = raw[pos]
+            if c == "\\":
+                if raw[pos + 1] not in ('\\', '"', 'n'):
+                    raise Malformed(f"line {lineno}: bad escape \\{raw[pos + 1]}")
+                value.append(raw[pos : pos + 2])
+                pos += 2
+            elif c == '"':
+                pos += 1
+                break
+            elif c == "\n":
+                raise Malformed(f"line {lineno}: raw newline in value of {name}")
+            else:
+                value.append(c)
+                pos += 1
+        if name in labels:
+            raise Malformed(f"line {lineno}: duplicate label {name}")
+        labels[name] = "".join(value)
+        if pos < len(raw) - 1:
+            if raw[pos] != ",":
+                raise Malformed(f"line {lineno}: expected ',' at col {pos}")
+            pos += 1
+    return labels
+
+
+def base_name(name, types):
+    """Resolves a sample name to its `# TYPE` name, honoring histogram suffixes."""
+    if name in types and types[name] != "histogram":
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    if types.get(name) == "histogram":
+        raise Malformed(f"histogram {name} sampled without _bucket/_sum/_count")
+    raise Malformed(f"sample {name} has no preceding # TYPE line")
+
+
+def check(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if text and not text.endswith("\n"):
+        raise Malformed("missing trailing newline")
+
+    types = {}
+    # (name, frozen labels sans `le`) -> [(le, count)]; plus _sum/_count values.
+    buckets = {}
+    counts = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if m is None:
+                raise Malformed(f"line {lineno}: bad comment line {line!r}")
+            name, mtype = m.groups()
+            if name in types:
+                raise Malformed(f"line {lineno}: duplicate # TYPE for {name}")
+            types[name] = mtype
+            continue
+        if line == "":
+            raise Malformed(f"line {lineno}: blank line")
+
+        m = NAME_RE.match(line)
+        if m is None:
+            raise Malformed(f"line {lineno}: bad metric name in {line!r}")
+        name = m.group(0)
+        rest = line[m.end() :]
+        space = rest.rfind(" ")
+        if space < 0:
+            raise Malformed(f"line {lineno}: no value in {line!r}")
+        labels = parse_labels(rest[:space], lineno)
+        value = rest[space + 1 :]
+
+        stem = base_name(name, types)
+        mtype = types[stem]
+        number_re = INT_RE if mtype == "gauge" else UINT_RE
+        if number_re.match(value) is None:
+            raise Malformed(f"line {lineno}: bad {mtype} value {value!r}")
+
+        if mtype == "histogram":
+            key = (stem, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+            if name == stem + "_bucket":
+                if "le" not in labels:
+                    raise Malformed(f"line {lineno}: _bucket without le")
+                buckets.setdefault(key, []).append((labels["le"], int(value)))
+            elif name == stem + "_count":
+                counts[key] = int(value)
+
+    for key, series in buckets.items():
+        les = [le for le, _ in series]
+        if les[-1] != "+Inf":
+            raise Malformed(f"{key[0]}: final bucket is le={les[-1]!r}, not +Inf")
+        finite = les[:-1]
+        if any(UINT_RE.match(le) is None for le in finite):
+            raise Malformed(f"{key[0]}: non-integer finite bound in {finite}")
+        if [int(le) for le in finite] != sorted(int(le) for le in set(finite)):
+            raise Malformed(f"{key[0]}: bounds not strictly increasing: {finite}")
+        values = [count for _, count in series]
+        if values != sorted(values):
+            raise Malformed(f"{key[0]}: bucket counts not monotone: {values}")
+        if key not in counts:
+            raise Malformed(f"{key[0]}: histogram without _count sample")
+        if counts[key] != values[-1]:
+            raise Malformed(
+                f"{key[0]}: _count {counts[key]} != +Inf bucket {values[-1]}"
+            )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            check(path)
+        except Malformed as err:
+            print(f"check_prom: {path}: {err}", file=sys.stderr)
+            return 1
+        except OSError as err:
+            print(f"check_prom: {err}", file=sys.stderr)
+            return 1
+        print(f"check_prom: {path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

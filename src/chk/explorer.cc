@@ -9,12 +9,11 @@
 #include <sstream>
 #include <utility>
 
-#include <atomic>
-
 #include "chk/por.h"
 #include "chk/statehash.h"
 #include "chk/trace.h"
 #include "kernel/engine.h"
+#include "obs/metrics.h"
 #include "platform/check.h"
 #include "platform/parallel.h"
 #include "sim/failure.h"
@@ -57,6 +56,69 @@ bool IsSemanticRuntime(const ExploreConfig& cfg) {
   return cfg.runtime == apps::RuntimeKind::kEaseio ||
          cfg.runtime == apps::RuntimeKind::kEaseioOp;
 }
+
+// Metric handles for one exploration, registered up front — before any worker
+// shard exists, honouring the registry's register-before-concurrent-use contract.
+// Counters ALWAYS flow through a registry (a local throwaway when the caller
+// attached none): shard folds and per-chunk adds are exactly as cheap as the
+// ad-hoc atomics they replaced, so the registry is the single source of truth
+// and the legacy timing block is re-emitted from it. The clock-fed series —
+// per-phase nanosecond counters and the per-trial latency histogram — engage
+// only when an external registry is attached (`timed`), so the detached
+// explorer pays zero clock reads; bench_metrics_overhead measures this on/off
+// delta. Result fields read back as deltas from registration-time baselines,
+// so a long-lived external registry (sequential sweep cells, a CLI process)
+// never leaks earlier explorations into this result's timing block.
+struct ExploreMetrics {
+  enum Phase { kEnumerate = 0, kCapture, kResume, kReplay, kJudge, kNumPhases };
+
+  ExploreMetrics(obs::Registry* external, obs::Registry* local,
+                 const std::string& app, const std::string& runtime)
+      : reg(external != nullptr ? external : local), timed(external != nullptr) {
+    const obs::Labels labels = {{"app", app}, {"runtime", runtime}};
+    explorations = reg->Counter("easechk_explorations", labels);
+    snapshot_resumes = reg->Counter("easechk_snapshot_resumes", labels);
+    prefix_us_saved = reg->Counter("easechk_prefix_us_saved", labels);
+    pages_copied = reg->Counter("easechk_pages_copied", labels);
+    pool_hits = reg->Counter("easechk_pool_hits", labels);
+    trials_pruned = reg->Counter("easechk_trials_pruned", labels);
+    dedup_hits = reg->Counter("easechk_dedup_hits", labels);
+    static const char* const kPhaseNames[kNumPhases] = {
+        "enumerate", "snapshot-capture", "resume", "replay", "judge"};
+    for (int p = 0; p < kNumPhases; ++p) {
+      obs::Labels phase_labels = labels;
+      phase_labels.push_back({"phase", kPhaseNames[p]});
+      phase_ns[p] = reg->Counter("easechk_phase_ns", phase_labels);
+    }
+    trial_us = reg->Histogram(
+        "easechk_trial_us",
+        {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}, labels);
+    base_snapshot_resumes = reg->Value(snapshot_resumes);
+    base_prefix_us_saved = reg->Value(prefix_us_saved);
+    base_pages_copied = reg->Value(pages_copied);
+    base_pool_hits = reg->Value(pool_hits);
+    base_trials_pruned = reg->Value(trials_pruned);
+    base_dedup_hits = reg->Value(dedup_hits);
+  }
+
+  obs::Registry* reg;
+  bool timed;
+  obs::MetricId explorations = 0;
+  obs::MetricId snapshot_resumes = 0;
+  obs::MetricId prefix_us_saved = 0;
+  obs::MetricId pages_copied = 0;
+  obs::MetricId pool_hits = 0;
+  obs::MetricId trials_pruned = 0;
+  obs::MetricId dedup_hits = 0;
+  obs::MetricId phase_ns[kNumPhases] = {};
+  obs::MetricId trial_us = 0;
+  uint64_t base_snapshot_resumes = 0;
+  uint64_t base_prefix_us_saved = 0;
+  uint64_t base_pages_copied = 0;
+  uint64_t base_pool_hits = 0;
+  uint64_t base_trials_pruned = 0;
+  uint64_t base_dedup_hits = 0;
+};
 
 // Gathers the post-run facts and (when a golden reference is supplied) the invariant
 // verdicts. Shared by the fresh-stack, reused-stack, and resumed-suffix paths so the
@@ -139,17 +201,24 @@ TrialOutput RunTrial(const ExploreConfig& cfg, const std::vector<uint64_t>& sche
 // a resumed suffix needs before the snapshot is laid back over FRAM.
 class TrialStack {
  public:
-  explicit TrialStack(const ExploreConfig& cfg)
-      : cfg_(cfg), sched_({}, cfg.off_us), dev_(MakeDeviceConfig(cfg), sched_) {}
+  TrialStack(const ExploreConfig& cfg, ExploreMetrics* em)
+      : cfg_(cfg), em_(em), shard_(em->reg), sched_({}, cfg.off_us),
+        dev_(MakeDeviceConfig(cfg), sched_) {}
 
   // Full replay of one schedule, equivalent to RunTrial on a fresh stack.
   TrialOutput RunFull(const std::vector<uint64_t>& schedule, const GoldenFacts* golden,
                       GoldenFacts* golden_out) {
+    const uint64_t t0 = NowIfTimed();
     Prepare(schedule);
     kernel::Engine engine(kernel::RunConfig{cfg_.max_on_us});
     const kernel::RunResult run = engine.Run(dev_, *runtime_, *nv_, app_.graph, app_.entry);
-    return CollectOutput(cfg_, run, trace_.TakeEvents(), sched_.next_index(), schedule, app_,
-                         *runtime_, *nv_, dev_, golden, golden_out);
+    const uint64_t t1 = NowIfTimed();
+    AddPhase(ExploreMetrics::kReplay, t1 - t0);
+    TrialOutput out = CollectOutput(cfg_, run, trace_.TakeEvents(), sched_.next_index(),
+                                    schedule, app_, *runtime_, *nv_, dev_, golden,
+                                    golden_out);
+    FinishTrial(t0, t1);
+    return out;
   }
 
   // One captured would-be-failure point of a trunk run: everything a resumed trial
@@ -189,6 +258,7 @@ class TrialStack {
   // many captures were taken; callers fall back to full replay for the rest.
   size_t RunTrunk(bool has_t1, uint64_t t1, const std::vector<uint64_t>& capture_at,
                   std::vector<Capture>* out) {
+    const uint64_t trunk_t0 = NowIfTimed();
     std::vector<uint64_t> schedule;
     if (has_t1) {
       schedule.push_back(t1);
@@ -242,6 +312,7 @@ class TrialStack {
     kernel::Engine engine(run_config);
     engine.Run(dev_, *runtime_, *nv_, app_.graph, app_.entry);
     dev_.ClearCapturePlan();
+    AddPhase(ExploreMetrics::kCapture, NowIfTimed() - trunk_t0);
     return taken;
   }
 
@@ -262,6 +333,7 @@ class TrialStack {
   // construct and provably identical every time.
   TrialOutput ResumeFromCapture(Capture& c, std::vector<uint64_t> schedule,
                                 const GoldenFacts& golden) {
+    const uint64_t t0 = NowIfTimed();
     if (runtime_ == nullptr) {
       Prepare({});
     } else {
@@ -275,8 +347,13 @@ class TrialStack {
     const kernel::RunResult run =
         engine.Resume(dev_, *runtime_, *nv_, app_.graph, c.paused_task);
     const size_t fired = schedule.size();
-    return CollectOutput(cfg_, run, trace_.TakeEvents(), fired, std::move(schedule), app_,
-                         *runtime_, *nv_, dev_, &golden, nullptr, &c.scan);
+    const uint64_t t1 = NowIfTimed();
+    AddPhase(ExploreMetrics::kResume, t1 - t0);
+    TrialOutput out =
+        CollectOutput(cfg_, run, trace_.TakeEvents(), fired, std::move(schedule), app_,
+                      *runtime_, *nv_, dev_, &golden, nullptr, &c.scan);
+    FinishTrial(t0, t1);
+    return out;
   }
 
   // Hands a consumed trial's event buffer back for capacity reuse by the next trial
@@ -323,8 +400,33 @@ class TrialStack {
     return d;
   }
 
+  // Drains this worker's metric shard into the shared registry. The worker loop
+  // calls it once per chunk (so a live reader sees progress mid-exploration); the
+  // shard destructor folds whatever remains at worker teardown.
+  void FoldMetrics() { shard_.Fold(); }
+
  private:
+  // Clock reads happen only with an external registry attached (em_->timed):
+  // the detached explorer's trials pay nothing for the phase instrumentation.
+  uint64_t NowIfTimed() const { return em_->timed ? obs::MonotonicNanos() : 0; }
+  void AddPhase(ExploreMetrics::Phase phase, uint64_t ns) {
+    if (em_->timed) {
+      shard_.Add(em_->phase_ns[phase], ns);
+    }
+  }
+  // Judge phase (CollectOutput, between t1 and now) plus the whole-trial latency
+  // observation for the per-trial histogram.
+  void FinishTrial(uint64_t t0, uint64_t t1) {
+    if (em_->timed) {
+      const uint64_t t2 = obs::MonotonicNanos();
+      shard_.Add(em_->phase_ns[ExploreMetrics::kJudge], t2 - t1);
+      shard_.Observe(em_->trial_us, (t2 - t0) / 1000);
+    }
+  }
+
   const ExploreConfig cfg_;
+  ExploreMetrics* em_;
+  obs::Registry::Shard shard_;
   sim::ScriptedScheduler sched_;
   sim::Device dev_;
   TraceRecorder trace_;
@@ -467,6 +569,28 @@ ExploreResult Explore(const ExploreConfig& cfg) {
   res.seed = cfg.seed;
   res.depth = depth;
 
+  // All metric registration happens here, before any worker shard exists. With no
+  // external registry the local one is the accumulator of record — the timing
+  // block below reads back from it either way.
+  obs::Registry local_metrics;
+  ExploreMetrics em(cfg.metrics, &local_metrics, res.app, res.runtime);
+  obs::Registry& reg = *em.reg;
+  reg.Add(em.explorations, 1);
+  // Main-thread enumerate-phase timer (candidate extraction, subsampling, POR and
+  // pair-group assembly). Worker phases are timed inside TrialStack.
+  uint64_t enumerate_t0 = 0;
+  auto enumerate_begin = [&] {
+    if (em.timed) {
+      enumerate_t0 = obs::MonotonicNanos();
+    }
+  };
+  auto enumerate_end = [&] {
+    if (em.timed) {
+      reg.Add(em.phase_ns[ExploreMetrics::kEnumerate],
+              obs::MonotonicNanos() - enumerate_t0);
+    }
+  };
+
   // Phase 0: continuous-power golden run with the probe installed. Always a fresh
   // stack — one run amortizes nothing. It also settles the prune policy: the site
   // tables only exist on a built stack.
@@ -483,6 +607,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
   // second-order bugs hide, and (under the snapshot engine) where a schedule costs
   // only its suffix. Depth 1 keeps a quarter, spread uniformly over the run's
   // timeline (see TimeSubset). Exhaust mode keeps everything.
+  enumerate_begin();
   std::vector<uint64_t> d1 = CandidateInstants(g.events, g.run.on_us);
   res.candidate_instants = static_cast<uint32_t>(d1.size());
   const uint32_t budget = std::max<uint32_t>(cfg.budget, 1);
@@ -531,23 +656,21 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     std::lock_guard<std::mutex> lock(shared_dedup.mu);
     shared_dedup.table.Insert(key);
   };
-  std::atomic<uint64_t> trials_pruned_total{0};
-  std::atomic<uint64_t> dedup_hits_total{0};
   const bool d1_terminal = !want_depth2;
   // Standard mode fingerprints depth-1 captures even at depth 2: no substitution
   // there, but the inserted clean states serve the pair phase (commit points drain
   // runtime metadata back to the golden trajectory, so cross-depth twins do occur).
   const bool hash_d1 = prune && cfg.use_snapshot && (!exhaust || d1_terminal);
 
-  // Hot-path diagnostics, summed across workers. Plain integer sums are independent
-  // of scheduling order, so these land identical for any jobs value (they live in the
-  // strippable timing block regardless).
-  std::atomic<uint64_t> pages_copied_total{0};
-  std::atomic<uint64_t> pool_hits_total{0};
+  // Hot-path diagnostics, summed across workers into the registry. Plain integer
+  // sums are independent of scheduling order, so these land identical for any jobs
+  // value (they live in the strippable timing block regardless). Folding the
+  // worker's metric shard per chunk keeps a live registry reader current.
   auto drain_hot_path = [&](TrialStack& stack) {
     const TrialStack::HotPathDelta d = stack.TakeHotPathDelta();
-    pages_copied_total.fetch_add(d.pages_copied, std::memory_order_relaxed);
-    pool_hits_total.fetch_add(d.pool_hits, std::memory_order_relaxed);
+    reg.Add(em.pages_copied, d.pages_copied);
+    reg.Add(em.pool_hits, d.pool_hits);
+    stack.FoldMetrics();
   };
 
   struct Slot {
@@ -570,6 +693,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       }
     }
   };
+  enumerate_end();
   // Fixed chunk size (kD1Chunk above): determinism across jobs values requires the
   // chunk boundaries — and therefore which trunk serves which trial — to be pure
   // index arithmetic.
@@ -583,7 +707,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     platform::ParallelForWithState(
         cfg.jobs, n_chunks,
         [&] {
-          auto stack = std::make_unique<TrialStack>(cfg);
+          auto stack = std::make_unique<TrialStack>(cfg, &em);
           stack->set_hash_captures(hash_d1);
           return stack;
         },
@@ -639,8 +763,8 @@ ExploreResult Explore(const ExploreConfig& cfg) {
             }
             ++k;
           }
-          trials_pruned_total.fetch_add(pruned + deduped, std::memory_order_relaxed);
-          dedup_hits_total.fetch_add(deduped, std::memory_order_relaxed);
+          reg.Add(em.trials_pruned, pruned + deduped);
+          reg.Add(em.dedup_hits, deduped);
           drain_hot_path(*stack);
         });
   } else {
@@ -659,7 +783,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     for (size_t i = 0; i < d1.size(); ++i) {
       if (d1_rep[i] != i) {
         slots[i].completed = slots[d1_rep[i]].completed;
-        trials_pruned_total.fetch_add(1, std::memory_order_relaxed);
+        reg.Add(em.trials_pruned, 1);
       }
     }
   }
@@ -685,10 +809,10 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       }
     }
     if (resumed > 0) {
-      res.snapshot_resumes += resumed;
+      reg.Add(em.snapshot_resumes, resumed);
       // Each resumed trial skipped its own [0, d1[i]) prefix; the chunk paid for the
       // trunk's single [0, deepest] execution instead.
-      res.prefix_us_saved += saved - deepest;
+      reg.Add(em.prefix_us_saved, saved - deepest);
     }
   }
 
@@ -705,6 +829,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
   uint64_t pair_class_count = 0;
   uint64_t pair_total_selected = 0;
   if (want_depth2) {
+    enumerate_begin();
     struct PairGroup {
       uint64_t t1 = 0;
       std::vector<uint64_t> t2s;
@@ -790,6 +915,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       std::vector<Violation> violations;
     };
     std::vector<PairSlot> slots2(selected);
+    enumerate_end();
 
     if (cfg.use_snapshot) {
       // The group (not the pair) is the parallel work item: each group runs one trunk
@@ -801,7 +927,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
       platform::ParallelForWithState(
           cfg.jobs, groups.size(),
           [&] {
-            auto stack = std::make_unique<TrialStack>(cfg);
+            auto stack = std::make_unique<TrialStack>(cfg, &em);
             stack->set_hash_captures(prune);
             return stack;
           },
@@ -855,8 +981,8 @@ ExploreResult Explore(const ExploreConfig& cfg) {
               }
               ++kc;
             }
-            trials_pruned_total.fetch_add(pruned + deduped, std::memory_order_relaxed);
-            dedup_hits_total.fetch_add(deduped, std::memory_order_relaxed);
+            reg.Add(em.trials_pruned, pruned + deduped);
+            reg.Add(em.dedup_hits, deduped);
             drain_hot_path(*stack);
           });
 
@@ -872,10 +998,10 @@ ExploreResult Explore(const ExploreConfig& cfg) {
           }
         }
         if (resumed > 0) {
-          res.snapshot_resumes += resumed;
+          reg.Add(em.snapshot_resumes, resumed);
           // Full replay would execute [0, t2_k] per pair; the group paid for one trunk
           // reaching the deepest capture instead.
-          res.prefix_us_saved += saved - deepest;
+          reg.Add(em.prefix_us_saved, saved - deepest);
         }
       }
     } else {
@@ -903,7 +1029,7 @@ ExploreResult Explore(const ExploreConfig& cfg) {
           if (grp.rep_of[k] != k) {
             slots2[grp.slot_base + k].completed =
                 slots2[grp.slot_base + grp.rep_of[k]].completed;
-            trials_pruned_total.fetch_add(1, std::memory_order_relaxed);
+            reg.Add(em.trials_pruned, 1);
           }
         }
       }
@@ -929,8 +1055,11 @@ ExploreResult Explore(const ExploreConfig& cfg) {
     }
   }
 
-  res.trials_pruned = trials_pruned_total.load(std::memory_order_relaxed);
-  res.dedup_hits = dedup_hits_total.load(std::memory_order_relaxed);
+  // The timing block re-emits from the registry: each field is this exploration's
+  // delta against its registration-time baseline, so a shared long-lived registry
+  // reproduces exactly what the retired ad-hoc atomics reported.
+  res.trials_pruned = reg.Value(em.trials_pruned) - em.base_trials_pruned;
+  res.dedup_hits = reg.Value(em.dedup_hits) - em.base_dedup_hits;
   if (exhaust) {
     // The certificate restates the pruning as deterministic coverage accounting —
     // every count is a pure function of the spec (chunk/group-local dedup tables,
@@ -950,8 +1079,10 @@ ExploreResult Explore(const ExploreConfig& cfg) {
             ? static_cast<double>(cert.schedules_covered) / cert.trials_executed
             : 0.0;
   }
-  res.pages_copied = pages_copied_total.load(std::memory_order_relaxed);
-  res.pool_hits = pool_hits_total.load(std::memory_order_relaxed);
+  res.snapshot_resumes = reg.Value(em.snapshot_resumes) - em.base_snapshot_resumes;
+  res.prefix_us_saved = reg.Value(em.prefix_us_saved) - em.base_prefix_us_saved;
+  res.pages_copied = reg.Value(em.pages_copied) - em.base_pages_copied;
+  res.pool_hits = reg.Value(em.pool_hits) - em.base_pool_hits;
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   res.trials_per_sec =

@@ -23,6 +23,10 @@
 #include "kernel/io.h"
 #include "sim/probe.h"
 
+namespace easeio::obs {
+class Registry;
+}  // namespace easeio::obs
+
 namespace easeio::chk {
 
 // One (application, runtime) exploration.
@@ -61,6 +65,16 @@ struct ExploreConfig {
   // deterministic coverage certificate in the result. Overrides `depth` and ignores
   // `budget`; requires the snapshot engine (checked). 0 = off.
   uint32_t exhaust = 0;
+
+  // Optional metrics registry (obs/metrics.h). The exploration always folds its
+  // counters (snapshot_resumes, pool_hits, pages_copied, dedup_hits, trials_pruned)
+  // through a registry — a local throwaway one when this is null — and re-emits the
+  // legacy timing block from it, byte-compatibly. Attaching an external registry
+  // additionally enables the phase timers (enumerate / snapshot-capture / resume /
+  // replay / judge) and the per-trial latency histogram, which cost clock reads the
+  // detached mode never pays. Metrics are timing-class data: nothing in the
+  // non-timing result may depend on them.
+  obs::Registry* metrics = nullptr;
 };
 
 struct ExploreResult {

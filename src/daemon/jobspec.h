@@ -35,6 +35,7 @@
 namespace easeio::daemon {
 
 enum class JobKind : uint8_t { kSweep, kExplore, kLint, kTrace };
+inline constexpr size_t kNumJobKinds = 4;
 
 const char* ToString(JobKind kind);
 bool ParseJobKind(const std::string& name, JobKind* out);

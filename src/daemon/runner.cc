@@ -25,7 +25,28 @@ const char* ToString(JobState state) {
 }
 
 JobRunner::JobRunner(ResultCache* cache, Options options, EventSink sink)
-    : cache_(cache), options_(std::move(options)), sink_(std::move(sink)) {}
+    : cache_(cache), options_(std::move(options)), sink_(std::move(sink)) {
+  obs::Registry* reg = options_.metrics;
+  if (reg == nullptr) {
+    return;
+  }
+  // ExecuteSpec latencies span four-plus orders of magnitude (a cached lint vs a
+  // deep exploration), so the buckets are decade-ish up to 10s.
+  const std::vector<uint64_t> kDurationBoundsUs = {
+      1000, 5000, 10000, 50000, 100000, 500000, 1000000, 5000000, 10000000};
+  for (size_t k = 0; k < kNumJobKinds; ++k) {
+    const obs::Labels labels = {{"kind", ToString(static_cast<JobKind>(k))}};
+    kind_metrics_[k].submitted = reg->Counter("easeiod_jobs_submitted", labels);
+    kind_metrics_[k].done = reg->Counter("easeiod_jobs_done", labels);
+    kind_metrics_[k].failed = reg->Counter("easeiod_jobs_failed", labels);
+    kind_metrics_[k].cache_hits = reg->Counter("easeiod_job_cache_hits", labels);
+    kind_metrics_[k].duration_us =
+        reg->Histogram("easeiod_job_duration_us", kDurationBoundsUs, labels);
+  }
+  queue_depth_gauge_ = reg->Gauge("easeiod_queue_depth");
+  running_gauge_ = reg->Gauge("easeiod_jobs_running");
+  workers_gauge_ = reg->Gauge("easeiod_workers");
+}
 
 JobRunner::~JobRunner() { Stop(); }
 
@@ -41,10 +62,21 @@ void JobRunner::Start() {
   // also the re-execution order.
   LoadPersistedQueue();
   const uint32_t workers = platform::ResolveJobs(options_.workers, SIZE_MAX);
+  if (options_.metrics != nullptr) {
+    options_.metrics->Set(workers_gauge_, static_cast<int64_t>(workers));
+  }
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+void JobRunner::UpdateGaugesLocked() {
+  if (options_.metrics == nullptr) {
+    return;
+  }
+  options_.metrics->Set(queue_depth_gauge_, static_cast<int64_t>(queue_.size()));
+  options_.metrics->Set(running_gauge_, static_cast<int64_t>(running_));
 }
 
 void JobRunner::Emit(const JobInfo& job) {
@@ -84,6 +116,11 @@ JobRunner::SubmitResult JobRunner::Submit(const JobSpec& spec) {
   job.spec = spec;
   job.hash = hash;
   result.job_id = job.id;
+  obs::Registry* reg = options_.metrics;
+  const KindMetrics& km = kind_metrics_[static_cast<size_t>(spec.kind)];
+  if (reg != nullptr) {
+    reg->Add(km.submitted, 1);
+  }
 
   std::string artifact;
   if (cache_ != nullptr && cache_->Get(hash, &artifact)) {
@@ -96,6 +133,9 @@ JobRunner::SubmitResult JobRunner::Submit(const JobSpec& spec) {
       WriteFileAtomic(options_.results_dir + "/" + job.artifact_file, artifact);
     }
     result.cached = true;
+    if (reg != nullptr) {
+      reg->Add(km.cache_hits, 1);
+    }
     jobs_.emplace(job.id, job);
     Emit(jobs_.at(job.id));
     return result;
@@ -105,6 +145,7 @@ JobRunner::SubmitResult JobRunner::Submit(const JobSpec& spec) {
   jobs_.emplace(job.id, job);
   in_flight_.emplace(hash, job.id);
   queue_.push_back(job.id);
+  UpdateGaugesLocked();
   Emit(jobs_.at(job.id));
   cv_.notify_one();
   return result;
@@ -124,6 +165,7 @@ void JobRunner::WorkerLoop() {
       ++running_;
       JobInfo& job = jobs_.at(id);
       job.state = JobState::kRunning;
+      UpdateGaugesLocked();
       Emit(job);
     }
 
@@ -133,7 +175,14 @@ void JobRunner::WorkerLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       spec = jobs_.at(id).spec;
     }
+    obs::Registry* reg = options_.metrics;
+    const uint64_t exec_t0 = reg != nullptr ? obs::MonotonicNanos() : 0;
     const JobOutcome outcome = ExecuteSpec(spec);
+    if (reg != nullptr) {
+      const KindMetrics& km = kind_metrics_[static_cast<size_t>(spec.kind)];
+      reg->Observe(km.duration_us, (obs::MonotonicNanos() - exec_t0) / 1000);
+      reg->Add(outcome.ok ? km.done : km.failed, 1);
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
     JobInfo& job = jobs_.at(id);
@@ -154,6 +203,7 @@ void JobRunner::WorkerLoop() {
     }
     in_flight_.erase(job.hash);
     --running_;
+    UpdateGaugesLocked();
     Emit(job);
     cv_.notify_all();  // wakes Stop() waiting on running jobs
   }

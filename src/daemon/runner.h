@@ -38,6 +38,7 @@
 
 #include "daemon/cache.h"
 #include "daemon/jobspec.h"
+#include "obs/metrics.h"
 
 namespace easeio::daemon {
 
@@ -72,6 +73,11 @@ class JobRunner {
     uint32_t workers = 0;      // worker threads; 0 = hardware concurrency
     std::string results_dir;   // artifact export directory; empty = no export
     std::string queue_path;    // drain persistence file; empty = no persistence
+    // Optional metrics registry. When set, the runner registers (in the
+    // constructor — before any worker thread exists) per-kind submit/done/failed/
+    // cache-hit counters and job-duration histograms, plus queue-depth /
+    // running-jobs / worker-count gauges maintained at every state transition.
+    obs::Registry* metrics = nullptr;
   };
 
   // `sink` receives every JobEvent, serialized in seq order, from worker threads and
@@ -116,10 +122,28 @@ class JobRunner {
   void Emit(const JobInfo& job);
   void PersistQueueLocked();
   void LoadPersistedQueue();
+  // Callers hold mu_. Refreshes the queue-depth / running gauges. No-op without
+  // a registry.
+  void UpdateGaugesLocked();
 
   ResultCache* const cache_;
   const Options options_;
   const EventSink sink_;
+
+  // Per-kind metric handles, indexed by static_cast<size_t>(JobKind). JobKind is
+  // a closed enum, so all four kinds register upfront — no registration ever
+  // happens after Start(), per the registry's concurrency contract.
+  struct KindMetrics {
+    obs::MetricId submitted = 0;
+    obs::MetricId done = 0;      // executed to completion (excludes cache hits)
+    obs::MetricId failed = 0;
+    obs::MetricId cache_hits = 0;
+    obs::MetricId duration_us = 0;  // ExecuteSpec latency histogram
+  };
+  KindMetrics kind_metrics_[kNumJobKinds];
+  obs::MetricId queue_depth_gauge_ = 0;
+  obs::MetricId running_gauge_ = 0;
+  obs::MetricId workers_gauge_ = 0;
 
   std::mutex mu_;
   std::condition_variable cv_;

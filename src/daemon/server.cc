@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics_export.h"
 #include "report/json.h"
 
 namespace easeio::daemon {
@@ -63,7 +64,33 @@ std::string EventFrame(const JobEvent& event) {
 }  // namespace
 
 Server::Server(JobRunner* runner, ResultCache* cache, Options options)
-    : runner_(runner), cache_(cache), options_(std::move(options)) {}
+    : runner_(runner), cache_(cache), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    // Gauges mirroring the cache's own counters at read time; the cache keeps the
+    // authoritative totals, the registry only exposes them. Registered here so no
+    // registration happens once worker threads exist.
+    static const char* const kNames[7] = {
+        "easeiod_cache_hits",    "easeiod_cache_misses",  "easeiod_cache_puts",
+        "easeiod_cache_evictions", "easeiod_cache_entries", "easeiod_cache_bytes",
+        "easeiod_cache_cap_bytes"};
+    for (int i = 0; i < 7; ++i) {
+      cache_gauges_[i] = options_.metrics->Gauge(kNames[i]);
+    }
+  }
+}
+
+void Server::RefreshCacheMetrics() {
+  if (options_.metrics == nullptr || cache_ == nullptr) {
+    return;
+  }
+  const CacheStats stats = cache_->Stats();
+  const uint64_t values[7] = {stats.hits,    stats.misses,  stats.puts,
+                              stats.evictions, stats.entries, stats.bytes,
+                              stats.cap_bytes};
+  for (int i = 0; i < 7; ++i) {
+    options_.metrics->Set(cache_gauges_[i], static_cast<int64_t>(values[i]));
+  }
+}
 
 Server::~Server() {
   for (Client& client : clients_) {
@@ -135,19 +162,36 @@ void Server::WakeLoop() {
 }
 
 bool Server::FlushClient(Client& client) {
-  while (!client.outbuf.empty()) {
-    const ssize_t n = write(client.fd, client.outbuf.data(), client.outbuf.size());
+  // send(MSG_NOSIGNAL) instead of write(): a peer that closed mid-flush must
+  // surface as EPIPE here, not as a process-killing SIGPIPE — the server can be
+  // embedded (tests, other hosts) without easeiod_main's signal(SIGPIPE, SIG_IGN).
+  bool blocked = false;
+  while (client.out_off < client.outbuf.size()) {
+    const ssize_t n = send(client.fd, client.outbuf.data() + client.out_off,
+                           client.outbuf.size() - client.out_off, MSG_NOSIGNAL);
     if (n > 0) {
-      client.outbuf.erase(0, static_cast<size_t>(n));
+      client.out_off += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return true;  // poll for POLLOUT
+      blocked = true;  // poll for POLLOUT
+      break;
     }
     if (n < 0 && errno == EINTR) {
       continue;
     }
     return false;  // peer gone
+  }
+  if (!blocked) {
+    client.outbuf.clear();
+    client.out_off = 0;
+  } else if (client.out_off >= 1 << 20 &&
+             client.out_off * 2 >= client.outbuf.size()) {
+    // Compact once the sent prefix dominates: keeps a many-megabyte response from
+    // pinning twice its size while a slow reader drains it, without reintroducing
+    // the per-write erase(0, n) quadratic cost this cursor replaced.
+    client.outbuf.erase(0, client.out_off);
+    client.out_off = 0;
   }
   return true;
 }
@@ -282,6 +326,38 @@ void Server::HandleFrame(Client& client, const std::string& frame) {
     w.Key("artifact").String(artifact);
     w.EndObject();
     reply(w.TakeString());
+  } else if (op == "metrics") {
+    if (options_.metrics == nullptr) {
+      reply(ErrorReply("metrics: registry not enabled"));
+      return;
+    }
+    std::string format = "json";
+    if (const JsonValue* format_field = doc.Find("format")) {
+      if (!format_field->is_string()) {
+        reply(ErrorReply("metrics: \"format\" must be a string"));
+        return;
+      }
+      format = format_field->AsString();
+    }
+    if (format != "json" && format != "prometheus") {
+      reply(ErrorReply("metrics: unknown format '" + format +
+                       "' (expected json or prometheus)"));
+      return;
+    }
+    RefreshCacheMetrics();
+    report::JsonWriter w;
+    w.BeginObject();
+    w.Key("ok").Bool(true);
+    w.Key("op").String("metrics");
+    if (format == "prometheus") {
+      w.Key("format").String("prometheus");
+      w.Key("text").String(obs::MetricsToPrometheus(*options_.metrics));
+    } else {
+      // The easeio-metrics/1 document is already canonical JSON; embed it raw.
+      w.Key("metrics").Raw(obs::MetricsToJson(*options_.metrics));
+    }
+    w.EndObject();
+    reply(w.TakeString());
   } else if (op == "cache-stats") {
     report::JsonWriter w;
     w.BeginObject();
@@ -301,6 +377,9 @@ void Server::HandleFrame(Client& client, const std::string& frame) {
 }
 
 void Server::Run() {
+  const uint64_t metrics_period_ns = options_.metrics_period_ms * 1'000'000ull;
+  const bool periodic_metrics = options_.metrics != nullptr && metrics_period_ns > 0;
+  uint64_t last_metrics_ns = periodic_metrics ? obs::MonotonicNanos() : 0;
   while (!shutdown_requested_) {
     if (options_.shutdown_flag != nullptr &&
         options_.shutdown_flag->load(std::memory_order_relaxed)) {
@@ -310,15 +389,28 @@ void Server::Run() {
     std::vector<pollfd> fds;
     fds.push_back({wake_read_fd_, POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
+    bool any_watcher = false;
     for (const Client& client : clients_) {
       short events = POLLIN;
-      if (!client.outbuf.empty()) {
+      if (PendingOutput(client) > 0) {
         events |= POLLOUT;
       }
       fds.push_back({client.fd, events, 0});
+      any_watcher = any_watcher || (client.watching && !client.closing);
     }
 
-    if (poll(fds.data(), fds.size(), -1) < 0) {
+    // The loop sleeps indefinitely unless periodic metrics frames are owed to a
+    // watch subscriber, in which case it wakes at the period boundary. A timeout
+    // expiry leaves every revents zero, which the code below handles naturally.
+    int timeout_ms = -1;
+    if (periodic_metrics && any_watcher) {
+      const uint64_t since = obs::MonotonicNanos() - last_metrics_ns;
+      const uint64_t remaining_ns =
+          since >= metrics_period_ns ? 0 : metrics_period_ns - since;
+      timeout_ms = static_cast<int>(remaining_ns / 1'000'000ull) + 1;
+    }
+
+    if (poll(fds.data(), fds.size(), timeout_ms) < 0) {
       if (errno == EINTR) {
         continue;
       }
@@ -343,6 +435,27 @@ void Server::Run() {
       }
     }
 
+    // Periodic metrics frames for watch subscribers: one shared exposition per
+    // tick, appended to every subscriber's buffer. Consumers that only understand
+    // job events skip frames without an "event" key, so this is backward
+    // compatible on the existing stream.
+    if (periodic_metrics && obs::MonotonicNanos() - last_metrics_ns >= metrics_period_ns) {
+      std::string frame;
+      for (Client& client : clients_) {
+        if (!client.watching || client.closing) {
+          continue;
+        }
+        if (frame.empty()) {
+          RefreshCacheMetrics();
+          frame = "{\"metrics\":" + obs::MetricsToJson(*options_.metrics) + "}\n";
+        }
+        client.outbuf += frame;
+      }
+      // Reset even with no subscribers, so the first tick after one arrives is a
+      // full period out, not an immediate burst.
+      last_metrics_ns = obs::MonotonicNanos();
+    }
+
     if (fds[1].revents & POLLIN) {
       for (;;) {
         const int fd = accept(listen_fd_, nullptr, nullptr);
@@ -350,6 +463,10 @@ void Server::Run() {
           break;
         }
         SetNonBlocking(fd);
+        if (options_.sndbuf_bytes > 0) {
+          const int bytes = static_cast<int>(options_.sndbuf_bytes);
+          setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+        }
         Client client;
         client.fd = fd;
         clients_.push_back(std::move(client));
@@ -391,10 +508,14 @@ void Server::Run() {
       }
     }
 
-    // Flush everyone with output owed; drop dead peers and drained closers.
+    // Flush everyone with output owed; drop dead peers, drained closers, and
+    // stalled clients whose unsent backlog exceeded the cap (a watcher that
+    // stopped reading must not grow the daemon's memory without bound — and must
+    // not wedge this loop, which never blocks on any one client).
     for (size_t i = 0; i < clients_.size();) {
-      const bool alive = FlushClient(clients_[i]);
-      if (!alive || (clients_[i].closing && clients_[i].outbuf.empty())) {
+      const bool alive = FlushClient(clients_[i]) &&
+                         PendingOutput(clients_[i]) <= options_.max_client_outbuf;
+      if (!alive || (clients_[i].closing && PendingOutput(clients_[i]) == 0)) {
         close(clients_[i].fd);
         clients_.erase(clients_.begin() + static_cast<long>(i));
       } else {
@@ -408,11 +529,11 @@ void Server::Run() {
   for (int attempt = 0; attempt < 50; ++attempt) {
     bool owed = false;
     for (Client& client : clients_) {
-      if (!client.outbuf.empty()) {
+      if (PendingOutput(client) > 0) {
         pollfd pfd{client.fd, POLLOUT, 0};
         poll(&pfd, 1, 100);
         FlushClient(client);
-        owed = owed || !client.outbuf.empty();
+        owed = owed || PendingOutput(client) > 0;
       }
     }
     if (!owed) {

@@ -40,9 +40,27 @@ class Server {
     // Per-frame and per-connection input cap. A lint source rides inside one frame,
     // so this bounds it too.
     size_t max_frame_bytes = 8 * 1024 * 1024;
+    // Per-connection output cap. A stalled client (a watcher that stops reading
+    // while events and periodic metrics frames accumulate) is dropped once its
+    // unsent output exceeds this, so one dead peer cannot grow the daemon's
+    // memory without bound. Slow-but-reading clients are unaffected: the buffer
+    // drains as they read.
+    size_t max_client_outbuf = 64 * 1024 * 1024;
+    // When nonzero, SO_SNDBUF for every accepted connection. 0 keeps the kernel
+    // default. Tests shrink this to force short writes / EAGAIN on large replies;
+    // production leaves it alone.
+    size_t sndbuf_bytes = 0;
     // Set by a signal handler (together with a WakeLoop() poke) to request the same
     // graceful exit as the shutdown op. May be null.
     const std::atomic<bool>* shutdown_flag = nullptr;
+    // Optional metrics registry served by the `metrics` op. The server registers
+    // its cache-mirror gauges in the constructor, so construct the server before
+    // JobRunner::Start() spawns workers (registration must precede concurrent use).
+    obs::Registry* metrics = nullptr;
+    // With a registry attached and at least one watch subscriber, the poll loop
+    // wakes at this period and streams a {"metrics":{...}} frame to every
+    // subscriber. 0 disables periodic metrics events.
+    uint64_t metrics_period_ms = 0;
   };
 
   Server(JobRunner* runner, ResultCache* cache, Options options);
@@ -68,15 +86,26 @@ class Server {
   struct Client {
     int fd = -1;
     std::string inbuf;
+    // Reply bytes owed to the client. `out_off` is the write cursor: bytes before
+    // it were already sent. Advancing a cursor instead of erase(0, n) keeps large
+    // responses (metrics documents, artifact payloads) linear instead of
+    // quadratic under short writes; FlushClient compacts opportunistically.
     std::string outbuf;
+    size_t out_off = 0;
     bool watching = false;
     uint64_t watch_sent_seq = 0;  // newest event seq already written to this client
     bool closing = false;         // flush outbuf, then close
   };
+  static size_t PendingOutput(const Client& client) {
+    return client.outbuf.size() - client.out_off;
+  }
 
   void HandleFrame(Client& client, const std::string& frame);
   void SendEvents(Client& client);
   bool FlushClient(Client& client);  // false when the connection is dead
+  // Mirrors the cache's counters into the registry gauges; called just before
+  // every registry exposition so `easectl metrics` sees current values.
+  void RefreshCacheMetrics();
 
   JobRunner* const runner_;
   ResultCache* const cache_;
@@ -87,6 +116,9 @@ class Server {
   int wake_write_fd_ = -1;
   bool shutdown_requested_ = false;
   std::vector<Client> clients_;
+
+  // Cache-mirror gauges (registered in the constructor when metrics are on).
+  obs::MetricId cache_gauges_[7] = {};
 
   std::mutex event_mu_;
   std::deque<JobEvent> pending_events_;

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace easeio::obs {
+
+namespace {
+
+[[noreturn]] void Die(const char* what, const std::string& name) {
+  std::fprintf(stderr, "easeio metrics: %s (metric '%s')\n", what, name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+MetricId Registry::RegisterLocked(const std::string& name, MetricType type,
+                                  std::vector<uint64_t> bounds, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name && defs_[i].labels == labels) {
+      if (defs_[i].type != type || defs_[i].bounds != bounds) {
+        Die("re-registered with a different type or buckets", name);
+      }
+      return static_cast<MetricId>(i);
+    }
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      Die("histogram bounds must be strictly increasing", name);
+    }
+  }
+  MetricDef def;
+  def.name = name;
+  def.type = type;
+  def.labels = std::move(labels);
+  def.bounds = std::move(bounds);
+  def.first_slot = static_cast<uint32_t>(cells_.size());
+  def.num_slots = type == MetricType::kHistogram
+                      ? static_cast<uint32_t>(def.bounds.size() + 3)
+                      : 1u;
+  for (uint32_t i = 0; i < def.num_slots; ++i) {
+    cells_.emplace_back(0);
+  }
+  defs_.push_back(std::move(def));
+  return static_cast<MetricId>(defs_.size() - 1);
+}
+
+MetricId Registry::Counter(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(name, MetricType::kCounter, {}, std::move(labels));
+}
+
+MetricId Registry::Gauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(name, MetricType::kGauge, {}, std::move(labels));
+}
+
+MetricId Registry::Histogram(const std::string& name, std::vector<uint64_t> bounds,
+                             Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(name, MetricType::kHistogram, std::move(bounds),
+                        std::move(labels));
+}
+
+uint32_t Registry::BucketSlot(const MetricDef& def, uint64_t value) const {
+  // First finite bucket whose inclusive upper bound admits the value; the +Inf
+  // bucket (index bounds.size()) otherwise. Bounds counts are small (<=32), so a
+  // linear scan beats binary search in practice and is branch-predictable.
+  uint32_t i = 0;
+  while (i < def.bounds.size() && value > def.bounds[i]) {
+    ++i;
+  }
+  return def.first_slot + i;
+}
+
+void Registry::Add(MetricId id, uint64_t delta) {
+  const MetricDef& def = defs_[id];
+  cells_[def.first_slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::Set(MetricId id, int64_t value) {
+  const MetricDef& def = defs_[id];
+  cells_[def.first_slot].store(static_cast<uint64_t>(value),
+                               std::memory_order_relaxed);
+}
+
+void Registry::Observe(MetricId id, uint64_t value) {
+  const MetricDef& def = defs_[id];
+  const uint32_t n = static_cast<uint32_t>(def.bounds.size());
+  cells_[BucketSlot(def, value)].fetch_add(1, std::memory_order_relaxed);
+  cells_[def.first_slot + n + 1].fetch_add(value, std::memory_order_relaxed);  // sum
+  cells_[def.first_slot + n + 2].fetch_add(1, std::memory_order_relaxed);      // count
+}
+
+uint64_t Registry::Value(MetricId id) const {
+  const MetricDef& def = defs_[id];
+  if (def.type == MetricType::kHistogram) {
+    const uint32_t n = static_cast<uint32_t>(def.bounds.size());
+    return cells_[def.first_slot + n + 2].load(std::memory_order_relaxed);
+  }
+  return cells_[def.first_slot].load(std::memory_order_relaxed);
+}
+
+int64_t Registry::GaugeValue(MetricId id) const {
+  return static_cast<int64_t>(Value(id));
+}
+
+std::vector<Sample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(defs_.size());
+  for (const MetricDef& def : defs_) {
+    Sample s;
+    s.name = def.name;
+    s.type = def.type;
+    s.labels = def.labels;
+    if (def.type == MetricType::kHistogram) {
+      const uint32_t n = static_cast<uint32_t>(def.bounds.size());
+      s.bounds = def.bounds;
+      s.cumulative.resize(n + 1);
+      uint64_t running = 0;
+      for (uint32_t i = 0; i <= n; ++i) {
+        running += cells_[def.first_slot + i].load(std::memory_order_relaxed);
+        s.cumulative[i] = running;
+      }
+      s.sum = cells_[def.first_slot + n + 1].load(std::memory_order_relaxed);
+      s.count = cells_[def.first_slot + n + 2].load(std::memory_order_relaxed);
+    } else {
+      s.value = cells_[def.first_slot].load(std::memory_order_relaxed);
+      s.gauge_value = static_cast<int64_t>(s.value);
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
+  return out;
+}
+
+Registry::Shard::Shard(Registry* registry) : registry_(registry) {
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  local_.assign(registry_->cells_.size(), 0);
+}
+
+void Registry::Shard::Add(MetricId id, uint64_t delta) {
+  local_[registry_->defs_[id].first_slot] += delta;
+}
+
+void Registry::Shard::Observe(MetricId id, uint64_t value) {
+  const MetricDef& def = registry_->defs_[id];
+  const uint32_t n = static_cast<uint32_t>(def.bounds.size());
+  local_[registry_->BucketSlot(def, value)] += 1;
+  local_[def.first_slot + n + 1] += value;
+  local_[def.first_slot + n + 2] += 1;
+}
+
+void Registry::Shard::Fold() {
+  for (size_t i = 0; i < local_.size(); ++i) {
+    if (local_[i] != 0) {
+      registry_->cells_[i].fetch_add(local_[i], std::memory_order_relaxed);
+      local_[i] = 0;
+    }
+  }
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace easeio::obs

@@ -1,0 +1,139 @@
+// Low-overhead metrics registry: monotonic counters, gauges, and fixed-bucket
+// histograms, exposed deterministically.
+//
+// Design constraints, in order:
+//   1. Hot paths (the chk explorer's trial loop, the daemon's job runner) must pay
+//      at most one uncontended atomic add per event — and for the explorer's
+//      per-worker loops, not even that: workers accumulate into a plain-uint64
+//      `Registry::Shard` and fold into the shared atomics once per chunk, the same
+//      per-worker-state idiom as platform/parallel's ParallelForWithState.
+//   2. Read-side output must be deterministic. All values are integers (durations
+//      are accumulated in nanoseconds or observed in microseconds, never floats),
+//      integer addition commutes so shard fold order cannot change totals, and
+//      Snapshot() orders samples by (name, labels). The same work always produces
+//      the same exposition bytes regardless of jobs count or scheduling.
+//   3. Metrics are timing-class data: they are excluded from every byte-identity
+//      check in CI, exactly like the explorer's legacy "timing" JSON block. Nothing
+//      in a non-timing artifact may depend on registry contents.
+//
+// Concurrency contract: all registration (Counter/Gauge/Histogram) happens before
+// any concurrent use of the returned ids. Registration takes a mutex and is
+// idempotent on (name, labels) — re-registering returns the existing id, so the
+// explorer can re-run against a long-lived daemon registry. After registration,
+// Add/Set/Observe/Value are lock-free atomics on stable cells (std::deque storage
+// never relocates), and Shards may be created and folded freely from any thread.
+
+#ifndef EASEIO_OBS_METRICS_H_
+#define EASEIO_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace easeio::obs {
+
+// Stable handle for a registered metric. Valid for the registry's lifetime.
+using MetricId = uint32_t;
+
+enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
+
+// Sorted-by-key label set; the registry sorts on registration so callers may pass
+// labels in any order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// One metric's read-time view, produced by Registry::Snapshot().
+struct Sample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  // kCounter: the count. kGauge: bit pattern of the int64 (use gauge_value).
+  uint64_t value = 0;
+  int64_t gauge_value = 0;
+  // kHistogram only. `bounds` are the inclusive upper bounds of the finite
+  // buckets; `cumulative` has bounds.size()+1 entries (the last is the +Inf
+  // bucket, equal to `count`). Buckets are cumulative, Prometheus-style.
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> cumulative;
+  uint64_t sum = 0;
+  uint64_t count = 0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- Registration (mutex-protected, idempotent on name+labels). ---
+  MetricId Counter(const std::string& name, Labels labels = {});
+  MetricId Gauge(const std::string& name, Labels labels = {});
+  // `bounds` are strictly increasing inclusive upper bounds for the finite
+  // buckets; an implicit +Inf bucket is appended.
+  MetricId Histogram(const std::string& name, std::vector<uint64_t> bounds,
+                     Labels labels = {});
+
+  // --- Hot-path updates (lock-free after registration). ---
+  void Add(MetricId id, uint64_t delta);    // counters
+  void Set(MetricId id, int64_t value);     // gauges
+  void Observe(MetricId id, uint64_t value);  // histograms
+
+  // --- Reads. ---
+  uint64_t Value(MetricId id) const;       // counter total / histogram count
+  int64_t GaugeValue(MetricId id) const;
+  // Deterministic read-time merge: samples sorted by (name, labels).
+  std::vector<Sample> Snapshot() const;
+
+  // Per-worker mirror of the registry's counters and histograms. Adds/Observes
+  // go to plain (non-atomic) local slots; Fold() — also run by the destructor —
+  // drains them into the shared atomics. Because everything is an integer sum,
+  // totals are independent of fold order and worker count. Create after all
+  // registration is done (a shard sizes itself to the registry at construction).
+  class Shard {
+   public:
+    explicit Shard(Registry* registry);
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    ~Shard() { Fold(); }
+
+    void Add(MetricId id, uint64_t delta);
+    void Observe(MetricId id, uint64_t value);
+    void Fold();
+
+   private:
+    Registry* registry_;
+    std::vector<uint64_t> local_;  // one slot per registry cell, mostly zero
+  };
+
+ private:
+  struct MetricDef {
+    std::string name;
+    MetricType type;
+    Labels labels;
+    std::vector<uint64_t> bounds;  // histograms only
+    uint32_t first_slot = 0;
+    uint32_t num_slots = 0;
+  };
+
+  // Histogram slot layout: bounds.size()+1 per-bucket (NON-cumulative) counts
+  // with the +Inf bucket last, then sum, then count.
+  uint32_t BucketSlot(const MetricDef& def, uint64_t value) const;
+  MetricId RegisterLocked(const std::string& name, MetricType type,
+                          std::vector<uint64_t> bounds, Labels labels);
+
+  mutable std::mutex mu_;                       // registration + snapshot only
+  std::vector<MetricDef> defs_;                 // grow-only, indexed by MetricId
+  std::deque<std::atomic<uint64_t>> cells_;     // grow-only, stable addresses
+  friend class Shard;
+};
+
+// Monotonic wall/thread-independent clock for phase timers, kept here so callers
+// don't each reinvent the steady_clock boilerplate. Returns nanoseconds.
+uint64_t MonotonicNanos();
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_METRICS_H_

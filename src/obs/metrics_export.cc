@@ -1,0 +1,238 @@
+#include "obs/metrics_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace easeio::obs {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  const int n =
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+// JSON string escaping. Metric and label names are controlled identifiers, but
+// label values may carry arbitrary job fields, so escape fully.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+void AppendPromLabelValue(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '"': out->append("\\\""); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+void AppendPromLabels(std::string* out, const Labels& labels,
+                      const char* extra_key = nullptr,
+                      const std::string& extra_value = "") {
+  if (labels.empty() && extra_key == nullptr) {
+    return;
+  }
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(k);
+    out->push_back('=');
+    AppendPromLabelValue(out, v);
+  }
+  if (extra_key != nullptr) {
+    if (!first) out->push_back(',');
+    out->append(extra_key);
+    out->push_back('=');
+    AppendPromLabelValue(out, extra_value);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string MetricsToJson(const Registry& registry) {
+  const std::vector<Sample> samples = registry.Snapshot();
+  std::string out;
+  out.reserve(256 + samples.size() * 96);
+  out.append("{\"schema\":\"easeio-metrics/1\",\"metrics\":[");
+  bool first = true;
+  for (const Sample& s : samples) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, s.name);
+    out.append(",\"type\":\"");
+    out.append(TypeName(s.type));
+    out.append("\",\"labels\":{");
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out.push_back(',');
+      first_label = false;
+      AppendJsonString(&out, k);
+      out.push_back(':');
+      AppendJsonString(&out, v);
+    }
+    out.push_back('}');
+    switch (s.type) {
+      case MetricType::kCounter:
+        out.append(",\"value\":");
+        AppendUint(&out, s.value);
+        break;
+      case MetricType::kGauge:
+        out.append(",\"value\":");
+        AppendInt(&out, s.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        out.append(",\"buckets\":[");
+        for (size_t i = 0; i < s.cumulative.size(); ++i) {
+          if (i != 0) out.push_back(',');
+          out.append("{\"le\":");
+          if (i < s.bounds.size()) {
+            AppendUint(&out, s.bounds[i]);
+          } else {
+            out.append("\"+Inf\"");
+          }
+          out.append(",\"count\":");
+          AppendUint(&out, s.cumulative[i]);
+          out.push_back('}');
+        }
+        out.append("],\"sum\":");
+        AppendUint(&out, s.sum);
+        out.append(",\"count\":");
+        AppendUint(&out, s.count);
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string MetricsToPrometheus(const Registry& registry) {
+  const std::vector<Sample> samples = registry.Snapshot();
+  std::string out;
+  out.reserve(256 + samples.size() * 128);
+  std::string last_typed_name;
+  for (const Sample& s : samples) {
+    if (s.name != last_typed_name) {
+      out.append("# TYPE ");
+      out.append(s.name);
+      out.push_back(' ');
+      out.append(TypeName(s.type));
+      out.push_back('\n');
+      last_typed_name = s.name;
+    }
+    switch (s.type) {
+      case MetricType::kCounter: {
+        out.append(s.name);
+        AppendPromLabels(&out, s.labels);
+        out.push_back(' ');
+        AppendUint(&out, s.value);
+        out.push_back('\n');
+        break;
+      }
+      case MetricType::kGauge: {
+        out.append(s.name);
+        AppendPromLabels(&out, s.labels);
+        out.push_back(' ');
+        AppendInt(&out, s.gauge_value);
+        out.push_back('\n');
+        break;
+      }
+      case MetricType::kHistogram: {
+        for (size_t i = 0; i < s.cumulative.size(); ++i) {
+          out.append(s.name);
+          out.append("_bucket");
+          std::string le;
+          if (i < s.bounds.size()) {
+            AppendUint(&le, s.bounds[i]);
+          } else {
+            le = "+Inf";
+          }
+          AppendPromLabels(&out, s.labels, "le", le);
+          out.push_back(' ');
+          AppendUint(&out, s.cumulative[i]);
+          out.push_back('\n');
+        }
+        out.append(s.name);
+        out.append("_sum");
+        AppendPromLabels(&out, s.labels);
+        out.push_back(' ');
+        AppendUint(&out, s.sum);
+        out.push_back('\n');
+        out.append(s.name);
+        out.append("_count");
+        AppendPromLabels(&out, s.labels);
+        out.push_back(' ');
+        AppendUint(&out, s.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool WriteMetricsFile(const Registry& registry, const std::string& path,
+                      std::string* error) {
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string body =
+      prom ? MetricsToPrometheus(registry) : MetricsToJson(registry) + "\n";
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << body)) {
+    if (error != nullptr) {
+      *error = "cannot write metrics to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace easeio::obs

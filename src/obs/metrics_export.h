@@ -1,0 +1,37 @@
+// Exposition formats for the metrics registry (obs/metrics.h).
+//
+// Two formats, both rendered from the same deterministic Snapshot():
+//   * `easeio-metrics/1` — a canonical JSON document in the house schema style
+//     (like easeio-lint/1 and easeio-profile/1): integers only, keys in fixed
+//     order, samples sorted by (name, labels). Identical registry state always
+//     yields identical bytes.
+//   * Prometheus text exposition (version 0.0.4) — `# TYPE` comments, cumulative
+//     `_bucket{le=...}` histogram series with a `+Inf` bucket, `_sum`/`_count`.
+//
+// This module is deliberately self-contained (no report/ JsonWriter): the metrics
+// target sits below chk in the link order, and report links chk.
+
+#ifndef EASEIO_OBS_METRICS_EXPORT_H_
+#define EASEIO_OBS_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace easeio::obs {
+
+// Renders the registry as the canonical `easeio-metrics/1` JSON document.
+std::string MetricsToJson(const Registry& registry);
+
+// Renders the registry in Prometheus text exposition format.
+std::string MetricsToPrometheus(const Registry& registry);
+
+// Dumps the registry to `path` for the CLIs' `--metrics=PATH` flag: Prometheus
+// text when the path ends in ".prom", the easeio-metrics/1 JSON document
+// otherwise. Returns false (and fills *error if non-null) on I/O failure.
+bool WriteMetricsFile(const Registry& registry, const std::string& path,
+                      std::string* error = nullptr);
+
+}  // namespace easeio::obs
+
+#endif  // EASEIO_OBS_METRICS_EXPORT_H_

@@ -48,13 +48,39 @@ TEST(ParseUintFlag, RejectsSignsGarbageAndOverflow) {
   EXPECT_TRUE(Rejects(nullptr, 0, 10));
 }
 
+TEST(ParseUintFlag, RejectsTrailingWhitespace) {
+  // A quoted shell value like "--runs=20 " must not silently parse as 20:
+  // whitespace after the digits is trailing garbage like any other.
+  EXPECT_TRUE(Rejects("1 ", 0, 10));
+  EXPECT_TRUE(Rejects("1\t", 0, 10));
+  EXPECT_TRUE(Rejects("1\n", 0, 10));
+  EXPECT_TRUE(Rejects("1 2", 0, 10));
+}
+
 TEST(ParseDoubleFlag, WholeStringNonNegative) {
   double out = 0;
   EXPECT_TRUE(tools::ParseDoubleFlag("test", "--d", "2.5", &out));
   EXPECT_DOUBLE_EQ(out, 2.5);
+  EXPECT_TRUE(tools::ParseDoubleFlag("test", "--d", ".5", &out));
+  EXPECT_DOUBLE_EQ(out, 0.5);
+  EXPECT_TRUE(tools::ParseDoubleFlag("test", "--d", "1e3", &out));
+  EXPECT_DOUBLE_EQ(out, 1000.0);
   EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "-2.5", &out));
   EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "2.5x", &out));
   EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", nullptr, &out));
+}
+
+TEST(ParseDoubleFlag, RejectsWhitespaceWordsAndHex) {
+  // strtod on its own would take all of these; the flag grammar must not.
+  double out = 0;
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", " 2.5", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "2.5 ", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "+2.5", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "inf", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "nan", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "0x10", &out));
+  EXPECT_FALSE(tools::ParseDoubleFlag("test", "--d", "1e999", &out));  // overflow
 }
 
 TEST(FlagDeduper, RejectsDuplicatesByFlagName) {

@@ -25,6 +25,7 @@
 #include "daemon/jsonin.h"
 #include "daemon/runner.h"
 #include "daemon/server.h"
+#include "obs/metrics.h"
 
 namespace easeio::daemon {
 namespace {
@@ -93,6 +94,18 @@ class TestClient {
     }
   }
 
+  // Waits for the server to close the connection WITHOUT consuming buffered
+  // frames — the caller is simulating a reader that stalled for good, and reading
+  // here would drain the very backlog that must trip the outbuf cap. POLLRDHUP
+  // sees the close behind the unread bytes.
+  bool WaitForCloseUnread(int timeout_ms = 30000) {
+    pollfd pfd{fd_, POLLRDHUP, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      return false;
+    }
+    return (pfd.revents & (POLLRDHUP | POLLHUP | POLLERR)) != 0;
+  }
+
   // True when the server terminates the connection (EOF or reset) within the
   // timeout, discarding any frames still in flight.
   bool WaitForClose(int timeout_ms = 30000) {
@@ -125,10 +138,20 @@ class TestClient {
   std::string buf_;
 };
 
+// Knobs for the daemon-under-test beyond the worker count; the metrics / buffer
+// fields mirror the Server::Options of the same names.
+struct DaemonTuning {
+  uint32_t workers = 2;
+  bool metrics = false;  // attach a registry to both the runner and the server
+  uint64_t metrics_period_ms = 0;
+  size_t max_client_outbuf = 64 * 1024 * 1024;
+  size_t sndbuf_bytes = 0;
+};
+
 // One daemon instance (cache + runner + server + loop thread) in a fresh temp dir.
 class DaemonFixture {
  public:
-  explicit DaemonFixture(const char* tag, uint32_t workers = 2) {
+  explicit DaemonFixture(const char* tag, DaemonTuning tuning = {}) {
     static std::atomic<int> counter{0};
     dir_ = fs::temp_directory_path() /
            (std::string("easeiod-srv-test-") + tag + "-" + std::to_string(::getpid()) +
@@ -137,14 +160,23 @@ class DaemonFixture {
     fs::create_directories(dir_);
     cache_ = std::make_unique<ResultCache>((dir_ / "cache").string(), 0);
     JobRunner::Options roptions;
-    roptions.workers = workers;
+    roptions.workers = tuning.workers;
     roptions.queue_path = (dir_ / "queue.json").string();
+    if (tuning.metrics) {
+      roptions.metrics = &metrics_;
+    }
     runner_ = std::make_unique<JobRunner>(
         cache_.get(), roptions,
         [this](const JobEvent& event) { server_->OnJobEvent(event); });
     Server::Options soptions;
     soptions.socket_path = (dir_ / "sock").string();
     soptions.shutdown_flag = &shutdown_flag_;
+    if (tuning.metrics) {
+      soptions.metrics = &metrics_;
+    }
+    soptions.metrics_period_ms = tuning.metrics_period_ms;
+    soptions.max_client_outbuf = tuning.max_client_outbuf;
+    soptions.sndbuf_bytes = tuning.sndbuf_bytes;
     server_ = std::make_unique<Server>(runner_.get(), cache_.get(), soptions);
     std::string error;
     listening_ = server_->Listen(&error);
@@ -175,9 +207,12 @@ class DaemonFixture {
   ResultCache& cache() { return *cache_; }
   JobRunner& runner() { return *runner_; }
 
+  obs::Registry& metrics() { return metrics_; }
+
  private:
   fs::path dir_;
   std::atomic<bool> shutdown_flag_{false};
+  obs::Registry metrics_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<JobRunner> runner_;
   std::unique_ptr<Server> server_;
@@ -289,7 +324,7 @@ TEST(ServerTest, MalformedFramesGetErrorRepliesWithoutClosing) {
 }
 
 TEST(ServerTest, ConcurrentWatchersSeeOrderedEvents) {
-  DaemonFixture daemon("watchers", /*workers=*/1);
+  DaemonFixture daemon("watchers", {.workers = 1});
 
   // Two watchers subscribe before any work exists; a third client submits two jobs.
   TestClient watcher_a(daemon.socket_path());
@@ -365,7 +400,7 @@ TEST(ServerTest, ConcurrentWatchersSeeOrderedEvents) {
 }
 
 TEST(ServerTest, SigtermDrainsWithoutLosingJobs) {
-  DaemonFixture daemon("drain", /*workers=*/1);
+  DaemonFixture daemon("drain", {.workers = 1});
   TestClient client(daemon.socket_path());
 
   // Three distinct ~100ms jobs through one worker: the first is reliably still
@@ -434,6 +469,191 @@ TEST(ServerTest, SigtermDrainsWithoutLosingJobs) {
   for (const std::string& hash : hashes) {
     EXPECT_TRUE(daemon.cache().Contains(hash)) << "job lost across drain + resume";
   }
+}
+
+// Satellite (a) regression: a reply far larger than the connection's send buffer
+// must arrive intact through the short-write / EAGAIN path, and a reader that
+// delays while the server's outbuf is owed must not wedge the loop for anyone else.
+TEST(ServerTest, LargeReplySurvivesShortWritesToADelayedReader) {
+  // 4 KiB SO_SNDBUF against a ~80 KiB artifact: FlushClient is guaranteed to hit
+  // EAGAIN mid-reply many times over.
+  DaemonFixture daemon("shortwrite", {.sndbuf_bytes = 4096});
+
+  const char kTimelineJob[] =
+      R"({"op":"submit","job":{"kind":"trace","apps":["weather"],"runtimes":["easeio"],"timeline":true}})";
+  TestClient submitter(daemon.socket_path());
+  const JsonValue submit = submitter.SendAndParse(kTimelineJob);
+  ASSERT_TRUE(submit.Find("ok")->AsBool());
+  uint64_t id = 0;
+  ASSERT_TRUE(submit.Find("id")->GetUint(&id));
+  std::string artifact;
+  for (int i = 0; i < 4000 && !daemon.runner().GetArtifact(id, &artifact); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(artifact.size(), 32u * 1024) << "artifact too small to force short writes";
+
+  // Request the artifact but do not read for a while: the kernel buffer fills, the
+  // server's send blocks with EAGAIN, and the rest of the reply waits in outbuf.
+  TestClient reader(daemon.socket_path());
+  reader.Send(R"({"op":"results","id":)" + std::to_string(id) + "}");
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The loop is not wedged on the delayed reader: a second client round-trips.
+  TestClient prober(daemon.socket_path());
+  const JsonValue status = prober.SendAndParse(R"({"op":"status"})");
+  EXPECT_TRUE(status.Find("ok")->AsBool());
+
+  // Now drain the reply; every byte of the artifact must have survived.
+  JsonValue reply;
+  std::string error;
+  ASSERT_TRUE(ParseJson(reader.ReadFrame(), &reply, &error)) << error;
+  ASSERT_TRUE(reply.Find("ok")->AsBool());
+  EXPECT_EQ(reply.Find("artifact")->AsString(), artifact);
+
+  // The connection is still healthy after the marathon reply.
+  const JsonValue again = reader.SendAndParse(R"({"op":"cache-stats"})");
+  EXPECT_TRUE(again.Find("ok")->AsBool());
+}
+
+// Satellite (c): a watch subscriber that stops reading while periodic metrics
+// frames accumulate must neither wedge the poll loop nor grow the daemon's memory
+// without bound — it is dropped once its unsent backlog exceeds the cap, while
+// every reading client stays served.
+TEST(ServerTest, StalledWatcherUnderPeriodicMetricsIsDroppedNotWedging) {
+  DaemonFixture daemon("slowwatch", {.metrics = true,
+                                     .metrics_period_ms = 10,
+                                     .max_client_outbuf = 64 * 1024,
+                                     .sndbuf_bytes = 4096});
+
+  // A healthy watcher proves the periodic stream works: after the ack it receives
+  // a {"metrics":{...}} frame (no job events exist yet, so the first frames are
+  // all metrics).
+  TestClient healthy(daemon.socket_path());
+  ASSERT_TRUE(healthy.SendAndParse(R"({"op":"watch"})").Find("ok")->AsBool());
+  JsonValue frame;
+  std::string error;
+  ASSERT_TRUE(ParseJson(healthy.ReadFrame(), &frame, &error)) << error;
+  const JsonValue* metrics_doc = frame.Find("metrics");
+  ASSERT_NE(metrics_doc, nullptr);
+  EXPECT_EQ(metrics_doc->Find("schema")->AsString(), "easeio-metrics/1");
+
+  // From here on a drainer thread keeps the healthy watcher reading and counts
+  // the frames it receives; draining is what distinguishes it from the stalled
+  // peer, whose backlog only ever grows.
+  std::atomic<uint64_t> healthy_frames{0};
+  std::atomic<bool> healthy_closed{false};
+  std::atomic<bool> stop_drainer{false};
+  std::thread drainer([&] {
+    while (!stop_drainer.load()) {
+      pollfd pfd{healthy.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 50) <= 0) {
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(healthy.fd(), chunk, sizeof chunk);
+      if (n <= 0) {
+        healthy_closed.store(true);
+        return;
+      }
+      for (ssize_t i = 0; i < n; ++i) {
+        if (chunk[i] == '\n') {
+          healthy_frames.fetch_add(1);
+        }
+      }
+    }
+  });
+  // An ASSERT below returns early; the drainer must still be joined.
+  struct Joiner {
+    std::thread& thread;
+    std::atomic<bool>& stop;
+    ~Joiner() {
+      stop.store(true);
+      thread.join();
+    }
+  } joiner{drainer, stop_drainer};
+
+  // The stalled watcher subscribes and never reads again. Metrics frames are a
+  // few KiB each at a 10ms period against a 64 KiB cap and a 4 KiB socket buffer:
+  // the backlog overflows within a few hundred milliseconds.
+  TestClient stalled(daemon.socket_path());
+  stalled.Send(R"({"op":"watch"})");
+
+  // Meanwhile the daemon keeps serving everyone else, round after round.
+  TestClient prober(daemon.socket_path());
+  for (int i = 0; i < 10; ++i) {
+    const JsonValue status = prober.SendAndParse(R"({"op":"status"})");
+    ASSERT_TRUE(status.Find("ok")->AsBool());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // The stalled client is eventually dropped (close, not a wedged loop). The wait
+  // must not read: consuming the backlog would un-stall the client.
+  EXPECT_TRUE(stalled.WaitForCloseUnread()) << "stalled watcher was never dropped";
+
+  // And the healthy watcher keeps receiving frames after the eviction.
+  const uint64_t before = healthy_frames.load();
+  for (int i = 0; i < 400 && healthy_frames.load() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(healthy_frames.load(), before);
+  EXPECT_FALSE(healthy_closed.load());
+}
+
+// The metrics op: live registry contents in both exposition formats.
+TEST(ServerTest, MetricsOpServesLiveRegistry) {
+  DaemonFixture daemon("metrics-op", {.metrics = true});
+  TestClient client(daemon.socket_path());
+
+  // Run one quick job so the counters are visibly live, then wait for "done".
+  const JsonValue submit = client.SendAndParse(kQuickTraceJob);
+  ASSERT_TRUE(submit.Find("ok")->AsBool());
+  uint64_t id = 0;
+  ASSERT_TRUE(submit.Find("id")->GetUint(&id));
+  std::string artifact;
+  for (int i = 0; i < 4000 && !daemon.runner().GetArtifact(id, &artifact); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const JsonValue reply = client.SendAndParse(R"({"op":"metrics"})");
+  ASSERT_TRUE(reply.Find("ok")->AsBool());
+  const JsonValue* doc = reply.Find("metrics");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->Find("schema")->AsString(), "easeio-metrics/1");
+  // The per-kind counters reflect the finished job and the cache mirror is live.
+  uint64_t trace_done = 0, cache_puts = 0;
+  for (const JsonValue& metric : doc->Find("metrics")->Items()) {
+    const std::string name = metric.Find("name")->AsString();
+    if (name == "easeiod_jobs_done" &&
+        metric.Find("labels")->Find("kind")->AsString() == "trace") {
+      ASSERT_TRUE(metric.Find("value")->GetUint(&trace_done));
+    } else if (name == "easeiod_cache_puts") {
+      ASSERT_TRUE(metric.Find("value")->GetUint(&cache_puts));
+    }
+  }
+  EXPECT_EQ(trace_done, 1u);
+  EXPECT_EQ(cache_puts, 1u);
+
+  // Prometheus exposition rides the same op with format=prometheus.
+  const JsonValue prom =
+      client.SendAndParse(R"({"op":"metrics","format":"prometheus"})");
+  ASSERT_TRUE(prom.Find("ok")->AsBool());
+  const std::string text = prom.Find("text")->AsString();
+  EXPECT_NE(text.find("# TYPE easeiod_jobs_done counter"), std::string::npos);
+  EXPECT_NE(text.find("easeiod_jobs_done{kind=\"trace\"} 1"), std::string::npos);
+
+  // Unknown formats are an error; the connection survives.
+  const JsonValue bad = client.SendAndParse(R"({"op":"metrics","format":"xml"})");
+  EXPECT_FALSE(bad.Find("ok")->AsBool());
+  EXPECT_TRUE(client.SendAndParse(R"({"op":"status"})").Find("ok")->AsBool());
+}
+
+// Without a registry attached, the metrics op reports a clean error.
+TEST(ServerTest, MetricsOpWithoutRegistryIsAnError) {
+  DaemonFixture daemon("metrics-off");
+  TestClient client(daemon.socket_path());
+  const JsonValue reply = client.SendAndParse(R"({"op":"metrics"})");
+  EXPECT_FALSE(reply.Find("ok")->AsBool());
+  EXPECT_TRUE(client.SendAndParse(R"({"op":"status"})").Find("ok")->AsBool());
 }
 
 TEST(ServerTest, ShutdownOpAcknowledgesThenExits) {

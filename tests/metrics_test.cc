@@ -1,0 +1,187 @@
+// Tests for the obs metrics registry and its exposition formats: registration
+// idempotence, histogram bucket math, per-worker shard folding determinism
+// (integer sums commute, so totals cannot depend on worker count or fold order),
+// and exact expected bytes for the easeio-metrics/1 JSON document and the
+// Prometheus text format — byte-level determinism is the whole contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
+
+namespace easeio {
+namespace {
+
+TEST(MetricsRegistry, CounterAddAndValue) {
+  obs::Registry reg;
+  const obs::MetricId c = reg.Counter("requests_total");
+  EXPECT_EQ(reg.Value(c), 0u);
+  reg.Add(c, 3);
+  reg.Add(c, 4);
+  EXPECT_EQ(reg.Value(c), 7u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentAndLabelOrderInsensitive) {
+  obs::Registry reg;
+  const obs::MetricId a = reg.Counter("hits", {{"app", "dma"}, {"engine", "snap"}});
+  const obs::MetricId b = reg.Counter("hits", {{"engine", "snap"}, {"app", "dma"}});
+  EXPECT_EQ(a, b);
+  const obs::MetricId c = reg.Counter("hits", {{"app", "temp"}, {"engine", "snap"}});
+  EXPECT_NE(a, c);
+  reg.Add(a, 5);
+  EXPECT_EQ(reg.Value(b), 5u);
+  EXPECT_EQ(reg.Value(c), 0u);
+}
+
+TEST(MetricsRegistry, GaugeHoldsSignedValues) {
+  obs::Registry reg;
+  const obs::MetricId g = reg.Gauge("queue_depth");
+  reg.Set(g, 42);
+  EXPECT_EQ(reg.GaugeValue(g), 42);
+  reg.Set(g, -7);
+  EXPECT_EQ(reg.GaugeValue(g), -7);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulativeWithInfLast) {
+  obs::Registry reg;
+  const obs::MetricId h = reg.Histogram("latency_us", {10, 100, 1000});
+  reg.Observe(h, 5);     // bucket le=10
+  reg.Observe(h, 10);    // inclusive upper bound: still le=10
+  reg.Observe(h, 11);    // le=100
+  reg.Observe(h, 5000);  // +Inf
+  const std::vector<obs::Sample> samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  const obs::Sample& s = samples[0];
+  ASSERT_EQ(s.cumulative.size(), 4u);
+  EXPECT_EQ(s.cumulative[0], 2u);
+  EXPECT_EQ(s.cumulative[1], 3u);
+  EXPECT_EQ(s.cumulative[2], 3u);
+  EXPECT_EQ(s.cumulative[3], 4u);  // +Inf == count
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 5u + 10u + 11u + 5000u);
+  EXPECT_EQ(reg.Value(h), 4u);  // histogram Value() is the observation count
+}
+
+TEST(MetricsRegistry, ShardsFoldDeterministicallyAcrossWorkerCounts) {
+  // The same logical work split across 1, 2, or 7 shards must produce identical
+  // registry state — this is what makes metrics jobs-count-independent.
+  std::vector<std::string> expositions;
+  for (const int workers : {1, 2, 7}) {
+    obs::Registry reg;
+    const obs::MetricId c = reg.Counter("trials_total");
+    const obs::MetricId h = reg.Histogram("trial_us", {50, 500});
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        obs::Registry::Shard shard(&reg);
+        for (int i = w; i < 1000; i += workers) {
+          shard.Add(c, 1);
+          shard.Observe(h, static_cast<uint64_t>(i));
+        }
+        // Fold happens in the shard destructor, mirroring per-worker state
+        // teardown in platform/parallel.
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(reg.Value(c), 1000u);
+    expositions.push_back(obs::MetricsToJson(reg));
+  }
+  EXPECT_EQ(expositions[0], expositions[1]);
+  EXPECT_EQ(expositions[0], expositions[2]);
+}
+
+TEST(MetricsRegistry, ExplicitFoldDrainsAndResets) {
+  obs::Registry reg;
+  const obs::MetricId c = reg.Counter("n");
+  obs::Registry::Shard shard(&reg);
+  shard.Add(c, 5);
+  EXPECT_EQ(reg.Value(c), 0u);  // not yet folded
+  shard.Fold();
+  EXPECT_EQ(reg.Value(c), 5u);
+  shard.Fold();  // second fold must not double-count
+  EXPECT_EQ(reg.Value(c), 5u);
+}
+
+TEST(MetricsExport, JsonDocumentIsCanonical) {
+  obs::Registry reg;
+  reg.Set(reg.Gauge("b_gauge"), -3);
+  reg.Add(reg.Counter("a_counter", {{"k", "v"}}), 7);
+  const obs::MetricId h = reg.Histogram("c_hist", {10});
+  reg.Observe(h, 4);
+  reg.Observe(h, 40);
+  EXPECT_EQ(obs::MetricsToJson(reg),
+            "{\"schema\":\"easeio-metrics/1\",\"metrics\":["
+            "{\"name\":\"a_counter\",\"type\":\"counter\",\"labels\":{\"k\":\"v\"},"
+            "\"value\":7},"
+            "{\"name\":\"b_gauge\",\"type\":\"gauge\",\"labels\":{},\"value\":-3},"
+            "{\"name\":\"c_hist\",\"type\":\"histogram\",\"labels\":{},"
+            "\"buckets\":[{\"le\":10,\"count\":1},{\"le\":\"+Inf\",\"count\":2}],"
+            "\"sum\":44,\"count\":2}"
+            "]}");
+}
+
+TEST(MetricsExport, PrometheusTextFormat) {
+  obs::Registry reg;
+  reg.Add(reg.Counter("jobs_total", {{"kind", "sweep"}}), 2);
+  reg.Add(reg.Counter("jobs_total", {{"kind", "lint"}}), 1);
+  reg.Set(reg.Gauge("queue_depth"), 4);
+  const obs::MetricId h = reg.Histogram("job_us", {100}, {{"kind", "sweep"}});
+  reg.Observe(h, 50);
+  reg.Observe(h, 5000);
+  EXPECT_EQ(obs::MetricsToPrometheus(reg),
+            "# TYPE job_us histogram\n"
+            "job_us_bucket{kind=\"sweep\",le=\"100\"} 1\n"
+            "job_us_bucket{kind=\"sweep\",le=\"+Inf\"} 2\n"
+            "job_us_sum{kind=\"sweep\"} 5050\n"
+            "job_us_count{kind=\"sweep\"} 2\n"
+            "# TYPE jobs_total counter\n"
+            "jobs_total{kind=\"lint\"} 1\n"
+            "jobs_total{kind=\"sweep\"} 2\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 4\n");
+}
+
+TEST(MetricsExport, PrometheusEscapesLabelValues) {
+  obs::Registry reg;
+  reg.Add(reg.Counter("c", {{"path", "a\"b\\c\nd"}}), 1);
+  EXPECT_EQ(obs::MetricsToPrometheus(reg),
+            "# TYPE c counter\n"
+            "c{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(MetricsExport, WriteMetricsFilePicksFormatByExtension) {
+  obs::Registry reg;
+  reg.Add(reg.Counter("n"), 1);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "easeio_metrics_test";
+  std::filesystem::create_directories(dir);
+  const std::string json_path = (dir / "m.json").string();
+  const std::string prom_path = (dir / "m.prom").string();
+  ASSERT_TRUE(obs::WriteMetricsFile(reg, json_path));
+  ASSERT_TRUE(obs::WriteMetricsFile(reg, prom_path));
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(json_path), obs::MetricsToJson(reg) + "\n");
+  EXPECT_EQ(slurp(prom_path), obs::MetricsToPrometheus(reg));
+  std::string error;
+  EXPECT_FALSE(obs::WriteMetricsFile(reg, (dir / "no/such/dir.json").string(),
+                                     &error));
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easeio

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 
@@ -44,12 +45,23 @@ inline bool ParseUintFlag(const char* tool, const char* flag, const char* s,
   return true;
 }
 
-// Parses a non-negative decimal number occupying the whole string.
+// Parses a non-negative, finite decimal number occupying the whole string.
 inline bool ParseDoubleFlag(const char* tool, const char* flag, const char* s,
                             double* out) {
+  // The first character must be a digit or '.': strtod itself would skip leading
+  // whitespace and accept sign prefixes plus the "inf"/"nan" words, none of which
+  // belongs in a flag value. Hex floats ("0x10") pass that test, so 'x' is banned
+  // outright; overflow ("1e999") surfaces as ERANGE.
+  bool ok = s != nullptr && ((*s >= '0' && *s <= '9') || *s == '.') &&
+            std::strpbrk(s, "xX") == nullptr;
   char* end = nullptr;
-  const double v = s != nullptr ? std::strtod(s, &end) : 0.0;
-  if (s == nullptr || *s == '\0' || end == s || *end != '\0' || v < 0) {
+  double v = 0.0;
+  if (ok) {
+    errno = 0;
+    v = std::strtod(s, &end);
+    ok = errno == 0 && end != s && *end == '\0' && v >= 0;
+  }
+  if (!ok) {
     std::fprintf(stderr, "%s: invalid %s value '%s'\n", tool, flag,
                  s == nullptr ? "" : s);
     return false;

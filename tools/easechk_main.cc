@@ -31,6 +31,11 @@
 //                   Overrides --depth, ignores --budget, and requires the snapshot
 //                   engine (conflicts with --no-snapshot; exit 2)
 //   --json      also write results as JSON to PATH
+//   --metrics   dump the metrics registry (phase timers, trial latency histogram,
+//               engine counters) to PATH at exit — easeio-metrics/1 JSON, or
+//               Prometheus text if PATH ends in .prom. Attaching the registry
+//               also enables the per-phase clocks; the checking results are
+//               byte-identical either way (metrics are timing-class)
 //   --no-timing omit the host-dependent "timing" object from the JSON, making the
 //               document fully deterministic (byte-identical across machines and
 //               engine modes — the form the easeiod result cache stores)
@@ -57,6 +62,8 @@
 
 #include "cli_flags.h"
 #include "obs/capture.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/timeline.h"
 #include "report/jobs.h"
 #include "report/table.h"
@@ -76,7 +83,7 @@ void PrintUsage(std::FILE* out) {
                "               [--budget=N] [--seed=N] [--off-us=N] [--no-regional]\n"
                "               [--no-snapshot] [--no-prune] [--exhaust=1|2]\n"
                "               [--json=PATH] [--no-timing] [--expect-clean]\n"
-               "               [--trace-failures=DIR]\n");
+               "               [--metrics=PATH] [--trace-failures=DIR]\n");
 }
 
 // Violation invariant names become path components; keep them portable.
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
   job.runtimes = {apps::RuntimeKind::kEaseio};
   chk::ExploreConfig& base = job.base;
   std::string json_path;
+  std::string metrics_path;
   std::string trace_dir;
   bool trace_failures = false;
   bool expect_clean = false;
@@ -151,6 +159,12 @@ int main(int argc, char** argv) {
       }
     } else if (const char* v = value("--json=")) {
       json_path = v;
+    } else if (const char* v = value("--metrics=")) {
+      metrics_path = v;
+      if (metrics_path.empty()) {
+        std::fprintf(stderr, "easechk: --metrics= requires a path\n");
+        return 2;
+      }
     } else if (const char* v = value("--trace-failures=")) {
       trace_dir = v;
       trace_failures = true;
@@ -215,6 +229,14 @@ int main(int argc, char** argv) {
     std::filesystem::remove(probe_path, ec);
   }
 
+  // The registry outlives every exploration; attaching it turns on the per-phase
+  // clocks inside the explorer (detached counters still accumulate, they just have
+  // nowhere visible to go).
+  obs::Registry metrics;
+  if (!metrics_path.empty()) {
+    base.metrics = &metrics;
+  }
+
   const report::ExploreJobResult exploration = report::ExecuteExploreJob(job);
   const std::vector<chk::ExploreResult>& results = exploration.results;
   const std::vector<chk::ExploreConfig>& configs = exploration.configs;
@@ -275,6 +297,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << chk::ToJson(results, include_timing) << "\n";
+  }
+
+  if (!metrics_path.empty()) {
+    std::string metrics_error;
+    if (!obs::WriteMetricsFile(metrics, metrics_path, &metrics_error)) {
+      std::fprintf(stderr, "easechk: %s\n", metrics_error.c_str());
+      return 2;
+    }
   }
 
   if (total_violations == 0) {

@@ -43,6 +43,8 @@ constexpr char kUsage[] =
     "  watch        stream job events until interrupted (--after=N to skip history)\n"
     "  results      print a finished job's artifact (--id=N, --out=FILE)\n"
     "  cache-stats  print result-cache counters\n"
+    "  metrics      print the live metrics registry (easeio-metrics/1 JSON;\n"
+    "               --prom for Prometheus text exposition)\n"
     "  shutdown     ask the daemon to drain and exit\n"
     "  run          execute one job locally, no daemon (same code path as a worker)\n"
     "\n"
@@ -457,6 +459,47 @@ int main(int argc, char** argv) {
       return 1;
     }
     return FetchResults(fetch, id, out_path);
+  }
+
+  if (command == "metrics") {
+    bool prom = false;
+    for (const std::string& arg : rest) {
+      if (arg == "--prom") {
+        prom = true;
+      } else {
+        return UsageError(("unknown metrics flag '" + arg + "'").c_str());
+      }
+    }
+    daemon::JsonValue reply;
+    std::string raw;
+    const std::string request =
+        prom ? "{\"op\":\"metrics\",\"format\":\"prometheus\"}" : "{\"op\":\"metrics\"}";
+    if (!RoundTrip(conn, request, &reply, &error, &raw)) {
+      std::fprintf(stderr, "easectl: %s\n", error.c_str());
+      return 1;
+    }
+    if (prom) {
+      const daemon::JsonValue* text = reply.Find("text");
+      if (text == nullptr || !text->is_string()) {
+        std::fprintf(stderr, "easectl: bad metrics reply\n");
+        return 1;
+      }
+      std::fwrite(text->AsString().data(), 1, text->AsString().size(), stdout);
+      return 0;
+    }
+    // The reply embeds the canonical easeio-metrics/1 document verbatim as the
+    // last member: {"ok":true,"op":"metrics","metrics":<doc>}. Print just the
+    // document, so the output matches a --metrics file dump byte for byte.
+    constexpr char kKey[] = "\"metrics\":";
+    const size_t pos = raw.find(kKey);
+    if (pos == std::string::npos || raw.empty() || raw.back() != '}') {
+      std::fprintf(stderr, "easectl: bad metrics reply\n");
+      return 1;
+    }
+    const std::string doc = raw.substr(pos + sizeof(kKey) - 1,
+                                       raw.size() - (pos + sizeof(kKey) - 1) - 1);
+    std::printf("%s\n", doc.c_str());
+    return 0;
   }
 
   if (command == "status" || command == "cache-stats" || command == "shutdown") {

@@ -17,6 +17,8 @@
 #include "daemon/cache.h"
 #include "daemon/runner.h"
 #include "daemon/server.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 
 namespace {
 
@@ -28,6 +30,11 @@ constexpr char kUsage[] =
     "  --cache-cap-bytes=N    LRU eviction threshold; 0 = unbounded (default: 256 MiB)\n"
     "  --workers=N            worker threads; 0 = hardware concurrency (default: 0)\n"
     "  --results-dir=DIR      also export finished artifacts here (default: off)\n"
+    "  --metrics-period-ms=N  stream {\"metrics\":...} frames to watch subscribers\n"
+    "                         every N ms; 0 = on request only (default: 0)\n"
+    "  --metrics=PATH         also dump the registry to PATH at exit\n"
+    "                         (easeio-metrics/1 JSON, or Prometheus text if PATH\n"
+    "                         ends in .prom)\n"
     "\n"
     "Clients connect with easectl. SIGTERM drains: in-flight jobs finish, queued\n"
     "jobs persist to <cache-dir>/queue.json and resume on the next start.\n";
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
   uint64_t cache_cap_bytes = 256ull * 1024 * 1024;
   uint64_t workers = 0;
   std::string results_dir;
+  uint64_t metrics_period_ms = 0;
+  std::string metrics_path;
 
   tools::FlagDeduper dedupe("easeiod");
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +88,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--results-dir=", 0) == 0) {
       results_dir = arg.substr(14);
+    } else if (arg.rfind("--metrics-period-ms=", 0) == 0) {
+      if (!tools::ParseUintFlag("easeiod", "--metrics-period-ms", arg.c_str() + 20, 0,
+                                3'600'000, &metrics_period_ms)) {
+        return 2;
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+      if (metrics_path.empty()) {
+        std::fprintf(stderr, "easeiod: --metrics= requires a path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "easeiod: unknown argument '%s'\n%s", arg.c_str(), kUsage);
       return 2;
@@ -91,14 +111,21 @@ int main(int argc, char** argv) {
 
   daemon::ResultCache cache(cache_dir, cache_cap_bytes);
 
+  // One registry for the daemon's lifetime. All registration happens in the
+  // runner and server constructors, before Start() spawns workers.
+  obs::Registry metrics;
+
   daemon::JobRunner::Options runner_options;
   runner_options.workers = static_cast<uint32_t>(workers);
   runner_options.results_dir = results_dir;
   runner_options.queue_path = cache_dir + "/queue.json";
+  runner_options.metrics = &metrics;
 
   daemon::Server::Options server_options;
   server_options.socket_path = socket_path;
   server_options.shutdown_flag = &g_shutdown;
+  server_options.metrics = &metrics;
+  server_options.metrics_period_ms = metrics_period_ms;
 
   // The server must exist before the runner starts: a resubmitted persisted queue
   // emits events immediately and the sink forwards them to the server's queue.
@@ -134,6 +161,13 @@ int main(int argc, char** argv) {
                runner.RunningCount(), runner.QueuedCount());
   runner.Stop();
   g_server = nullptr;
+  if (!metrics_path.empty()) {
+    std::string metrics_error;
+    if (!obs::WriteMetricsFile(metrics, metrics_path, &metrics_error)) {
+      std::fprintf(stderr, "easeiod: %s\n", metrics_error.c_str());
+      return 1;
+    }
+  }
   std::fprintf(stderr, "easeiod: shut down cleanly\n");
   return 0;
 }

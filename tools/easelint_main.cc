@@ -19,6 +19,8 @@
 //   --off-us=<n>      default dark time per injected failure (default 700)
 //   --priv-buffer=<n> DMA privatization budget in bytes (default 4096; 0 disables
 //                     the compile-time check)
+//   --metrics=<path>  dump run/finding counters to <path> at exit (easeio-metrics/1
+//                     JSON, or Prometheus text when the path ends in .prom)
 //
 // Exit status: 0 = no findings above advisory, 1 = errors or warnings remain,
 // 2 = usage error or the program failed to compile.
@@ -35,6 +37,8 @@
 
 #include "cli_flags.h"
 #include "easec/lint/run.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 
 namespace {
 
@@ -43,7 +47,7 @@ using namespace easeio;
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
                "usage: easelint [--json[=PATH]] [--witness] [--seed=N] [--off-us=N]\n"
-               "                [--priv-buffer=N] <source.ec | ->\n");
+               "                [--priv-buffer=N] [--metrics=PATH] <source.ec | ->\n");
 }
 
 }  // namespace
@@ -51,6 +55,7 @@ void PrintUsage(std::FILE* out) {
 int main(int argc, char** argv) {
   bool json_stdout = false;
   std::string json_path;
+  std::string metrics_path;
   std::string input_path;
   easec::lint::LintJob job;
   easec::CompileOptions& compile_options = job.compile_options;
@@ -71,6 +76,12 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
       if (json_path.empty()) {
         std::fprintf(stderr, "easelint: --json= requires a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+      if (metrics_path.empty()) {
+        std::fprintf(stderr, "easelint: --metrics= requires a path\n");
         return 2;
       }
     } else if (arg == "--witness") {
@@ -144,6 +155,21 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path, std::ios::binary);
     if (!out || !(out << result.json << "\n")) {
       std::fprintf(stderr, "easelint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_path.empty()) {
+    obs::Registry metrics;
+    metrics.Add(metrics.Counter("easelint_runs"), 1);
+    metrics.Add(metrics.Counter("easelint_findings", {{"severity", "error"}}),
+                result.lint.errors);
+    metrics.Add(metrics.Counter("easelint_findings", {{"severity", "warning"}}),
+                result.lint.warnings);
+    metrics.Add(metrics.Counter("easelint_findings", {{"severity", "advisory"}}),
+                result.lint.advisories);
+    std::string metrics_error;
+    if (!obs::WriteMetricsFile(metrics, metrics_path, &metrics_error)) {
+      std::fprintf(stderr, "easelint: %s\n", metrics_error.c_str());
       return 2;
     }
   }

@@ -26,6 +26,9 @@
 //                   0 disables the track)
 //   --no-regional   disable EaseIO regional DMA privatization (ablation)
 //   --tick-us       persistent-timekeeper tick (default: 100)
+//   --metrics       dump run counters (failures, commits, on/off time, events) to
+//                   PATH at exit — easeio-metrics/1 JSON, or Prometheus text when
+//                   PATH ends in .prom
 //
 // At least one of --trace-out/--profile-out is required. Each flag may appear at
 // most once. Observation is free: the run is bit-identical to an uninstrumented one.
@@ -37,6 +40,8 @@
 #include <string>
 
 #include "cli_flags.h"
+#include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/trace_job.h"
 #include "report/jobs.h"
 
@@ -58,7 +63,7 @@ void PrintUsage(std::FILE* out) {
                "usage: easetrace [--app=NAME] [--runtime=NAME] [--seed=N]\n"
                "                 [--trace-out=PATH] [--profile-out=PATH] [--continuous]\n"
                "                 [--harvester-in=INCHES] [--cap-sample-us=N]\n"
-               "                 [--no-regional] [--tick-us=N]\n"
+               "                 [--no-regional] [--tick-us=N] [--metrics=PATH]\n"
                "At least one of --trace-out/--profile-out is required.\n");
 }
 
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
   config.cap_sample_period_us = 1000;
   std::string trace_path;
   std::string profile_path;
+  std::string metrics_path;
 
   tools::FlagDeduper dedupe("easetrace");
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +117,12 @@ int main(int argc, char** argv) {
       trace_path = v;
     } else if (const char* v = value("--profile-out=")) {
       profile_path = v;
+    } else if (const char* v = value("--metrics=")) {
+      metrics_path = v;
+      if (metrics_path.empty()) {
+        std::fprintf(stderr, "easetrace: --metrics= requires a path\n");
+        return 2;
+      }
     } else if (const char* v = value("--cap-sample-us=")) {
       if (!ParseUintFlag("--cap-sample-us", v, 0, UINT64_MAX,
                          &config.cap_sample_period_us)) {
@@ -178,6 +190,24 @@ int main(int argc, char** argv) {
   if (!profile_path.empty()) {
     std::printf("easetrace: profile written to %s (schema easeio-profile/1)\n",
                 profile_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::Registry metrics;
+    const obs::Labels labels = {{"app", run.app}, {"runtime", run.runtime}};
+    metrics.Add(metrics.Counter("easetrace_runs", labels), 1);
+    metrics.Add(metrics.Counter("easetrace_power_failures", labels),
+                stats.power_failures);
+    metrics.Add(metrics.Counter("easetrace_tasks_committed", labels),
+                stats.tasks_committed);
+    metrics.Add(metrics.Counter("easetrace_on_us", labels), run.result.run.on_us);
+    metrics.Add(metrics.Counter("easetrace_off_us", labels), run.result.run.off_us);
+    metrics.Add(metrics.Counter("easetrace_events_captured", labels),
+                run.events.size());
+    std::string metrics_error;
+    if (!obs::WriteMetricsFile(metrics, metrics_path, &metrics_error)) {
+      std::fprintf(stderr, "easetrace: %s\n", metrics_error.c_str());
+      return 2;
+    }
   }
   return run.result.run.completed ? 0 : 1;
 }
