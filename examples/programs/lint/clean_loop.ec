@@ -1,0 +1,26 @@
+/* Lint fixture: loop control that is safe under both schemas.
+ *
+ * `total` reads before it writes textually, so the baseline WAR table already
+ * privatizes it — the fixpoint's exposed-read query must not re-report it. The
+ * sensor pair produces and consumes within one iteration, textually in order, so
+ * the forward solution already covers the flow and no loop-carried finding fires.
+ * Both easelint and easelint --lint-v2 must exit clean.
+ *
+ *   build/tools/easelint --lint-v2 examples/programs/lint/clean_loop.ec
+ */
+
+__nv int16 total;
+__nv int16 pkt[2];
+
+task accumulate() {
+  int16 t = 0;
+  int16 i = 0;
+  while (i < 8) {
+    t = _call_IO(Temp(), "Timely", 5);
+    pkt[0] = t;
+    _call_IO(Send(pkt, 4), "Single");
+    total = total + 1;
+    i = i + 1;
+  }
+  end_task;
+}

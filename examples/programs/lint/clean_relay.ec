@@ -1,0 +1,26 @@
+/* Lint fixture: the POR-collapsible control. Two straight-line tasks, a Single
+ * read staged through SRAM scratch only — no durable store, no Timely window,
+ * no sensed branch, no cross-region taint. The fixpoint proves every region
+ * condition absent, so `--certify` may fold failure instants that follow pure
+ * events (task begins, skips) onto their durable predecessors: the report must
+ * show por_collapsed=true with collapsed_instants > 0 and stay clean-certified.
+ *
+ *   build/tools/easelint --lint-v2 --certify examples/programs/lint/clean_relay.ec
+ */
+
+__sram int16 scratch[2];
+__sram int16 report[2];
+
+task relay() {
+  int16 t = _call_IO(Temp(), "Single");
+  scratch[0] = t;
+  _call_IO(Send(scratch, 2), "Single");
+  next_task(ship);
+}
+
+task ship() {
+  int16 p = _call_IO(Pres(), "Single");
+  report[0] = p;
+  _call_IO(Send(report, 2), "Single");
+  end_task;
+}

@@ -1,0 +1,27 @@
+/* Lint fixture: loop-carried taint through a local (easeio-lint/2 only).
+ *
+ * Each iteration consumes `last` at the top of the body and re-samples it at the
+ * bottom: the Timely(5 ms) reading a Single consumer folds in was produced in the
+ * *previous* iteration, across the loop back edge. A linear table pass walks the
+ * body once in textual order — consumer before producer — and sees no flow at all;
+ * only the back-edge fixpoint carries the taint around (taint-loop-carried). The
+ * window is generous, so the lap itself is feasible: /1 must stay silent.
+ *
+ *   build/tools/easelint examples/programs/lint/loop_taint.ec            # clean
+ *   build/tools/easelint --lint-v2 --witness examples/programs/lint/loop_taint.ec
+ */
+
+__nv int16 reading;
+
+task monitor() {
+  int16 last = 0;
+  int16 avg = 0;
+  int16 i = 0;
+  while (i < 4) {
+    avg = last + _call_IO(Humd(), "Single");
+    reading = avg;
+    last = _call_IO(Temp(), "Timely", 5);
+    i = i + 1;
+  }
+  end_task;
+}

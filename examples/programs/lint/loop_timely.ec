@@ -1,0 +1,29 @@
+/* Lint fixture: Timely window provably too small for the loop lap (easeio-lint/2).
+ *
+ * Same shape as loop_taint — consume at the top, re-sample at the bottom — but an
+ * 8 ms settling delay opens every iteration, so the cheapest path from the Timely
+ * (2 ms) producer around the back edge to the consumer costs over 8000 cycles:
+ * every cross-iteration consumption is already stale (timely-loop-stale, on top of
+ * the underlying taint-loop-carried). The v1 cost walk only bounds the call-to-
+ * commit tail, which is tiny here — the staleness lives entirely on the loop lap,
+ * which no linear walk prices.
+ *
+ *   build/tools/easelint examples/programs/lint/loop_timely.ec           # clean
+ *   build/tools/easelint --lint-v2 --witness examples/programs/lint/loop_timely.ec
+ */
+
+__nv int16 reading;
+
+task monitor() {
+  int16 last = 0;
+  int16 avg = 0;
+  int16 i = 0;
+  while (i < 3) {
+    delay(8000);          /* sensor settling dominates the lap */
+    avg = last + _call_IO(Humd(), "Single");
+    reading = avg;
+    last = _call_IO(Temp(), "Timely", 2);
+    i = i + 1;
+  }
+  end_task;
+}

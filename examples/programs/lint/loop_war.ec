@@ -1,0 +1,30 @@
+/* Lint fixture: loop-carried WAR invisible to textual order (easeio-lint/2 only).
+ *
+ * `cache` is written under a branch and read unconditionally afterwards. Textually
+ * the write comes first, so the baseline compilers' read-before-write scan never
+ * privatizes it — but on an iteration whose branch is not taken the read is
+ * exposed, and the *next* iteration's write lands after it: a reboot between that
+ * write and commit re-executes the exposed read against the new value
+ * (war-path-divergent). `trend` carries the same loop shape but reads before it
+ * writes textually, so the table privatizes it and the fixpoint stays silent.
+ *
+ *   build/tools/easelint examples/programs/lint/loop_war.ec              # clean
+ *   build/tools/easelint --lint-v2 --witness examples/programs/lint/loop_war.ec
+ */
+
+__nv int16 cache;
+__nv int16 trend;
+
+task trend_track() {
+  int16 fresh = 0;
+  int16 i = 0;
+  while (i < 4) {
+    fresh = _call_IO(Temp(), "Always");
+    if (fresh > 80) {
+      cache = fresh;
+    }
+    trend = trend + cache;
+    i = i + 1;
+  }
+  end_task;
+}

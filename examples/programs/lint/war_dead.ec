@@ -1,0 +1,33 @@
+/* Lint fixture: branch-divergent WAR on a dynamically dead path (easeio-lint/2).
+ *
+ * The else branch reads `floor` with no write before it on that path, and the
+ * trailing statement writes it: textually the then-branch write comes first, so
+ * the baseline WAR table never privatizes `floor`, and the fixpoint flags the
+ * divergent path (war-path-divergent). But `mode` is pinned to 0 in boot, so the
+ * read path never executes: the witness replay cannot demonstrate the hazard and
+ * the finding must be downgraded to an advisory — the corpus case for the
+ * refuted-witness path.
+ *
+ *   build/tools/easelint examples/programs/lint/war_dead.ec              # clean
+ *   build/tools/easelint --lint-v2 --witness examples/programs/lint/war_dead.ec
+ */
+
+__nv int16 mode;
+__nv int16 floor;
+__nv int16 drop;
+
+task boot() {
+  mode = 0;
+  floor = 40;
+  next_task(filter);
+}
+
+task filter() {
+  if (mode < 1) {
+    floor = 70;
+  } else {
+    drop = floor;       /* exposed read: statically live, dynamically dead */
+  }
+  floor = floor - 5;
+  end_task;
+}

@@ -34,6 +34,7 @@ ProgramReplayOutput ReplaySchedule(const easec::CompileResult& compiled,
   out.events = trace.TakeEvents();
   out.site_ids = prog.site_ids;
   out.dma_ids = prog.dma_ids;
+  out.nv_ids = prog.nv_slots;
 
   out.nv_final.resize(compiled.ast.nv_decls.size());
   for (uint32_t i = 0; i < compiled.ast.nv_decls.size(); ++i) {

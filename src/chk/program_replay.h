@@ -38,6 +38,9 @@ struct ProgramReplayOutput {
   // easec analysis index -> runtime registration id, as Instantiate assigned them.
   std::vector<kernel::IoSiteId> site_ids;
   std::vector<kernel::DmaSiteId> dma_ids;
+  // easec __nv declaration index -> kernel NV slot (kNoSlot for __sram / unused
+  // declarations). kNvWrite probe events carry the slot as their id.
+  std::vector<kernel::NvSlotId> nv_ids;
   // Final committed values per __nv declaration (empty for __sram variables, whose
   // contents are volatile and meaningless after the run).
   std::vector<std::vector<int16_t>> nv_final;

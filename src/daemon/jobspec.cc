@@ -32,7 +32,7 @@ const char* SchemaTag(const JobSpec& spec) {
     case JobKind::kExplore:
       return "easeio-chk/1";
     case JobKind::kLint:
-      return "easeio-lint/1";
+      return spec.lint_v2 ? "easeio-lint/2" : "easeio-lint/1";
     case JobKind::kTrace:
       return spec.timeline ? "easeio-trace/1" : "easeio-profile/1";
   }
@@ -134,6 +134,7 @@ std::string CanonicalKey(const JobSpec& spec) {
       key += "source_sha256=" + Sha256Hex(spec.source) + "\n";
       key += "source_name=" + QuoteJsonString(spec.source_name) + "\n";
       key += "witness=" + std::to_string(spec.witness ? 1 : 0) + "\n";
+      key += "lint_v2=" + std::to_string(spec.lint_v2 ? 1 : 0) + "\n";
       key += "off_us=" + std::to_string(spec.off_us) + "\n";
       key += "priv_buffer=" + std::to_string(spec.priv_buffer_bytes) + "\n";
       break;
@@ -190,6 +191,7 @@ std::string ToJson(const JobSpec& spec) {
       w.Key("source").String(spec.source);
       w.Key("source_name").String(spec.source_name);
       w.Key("witness").Bool(spec.witness);
+      w.Key("lint_v2").Bool(spec.lint_v2);
       w.Key("off_us").UInt(spec.off_us);
       break;
     case JobKind::kTrace:
@@ -318,6 +320,8 @@ bool ParseJobSpec(const JsonValue& value, JobSpec* out, std::string* error) {
       if (!ReadString(v, key, &out->source_name, error)) return false;
     } else if (key == "witness") {
       if (!ReadBool(v, key, &out->witness, error)) return false;
+    } else if (key == "lint_v2") {
+      if (!ReadBool(v, key, &out->lint_v2, error)) return false;
     } else if (key == "timeline") {
       if (!ReadBool(v, key, &out->timeline, error)) return false;
     } else if (key == "continuous") {
@@ -408,6 +412,7 @@ JobOutcome ExecuteSpec(const JobSpec& spec) {
       job.witness_options.off_us = spec.off_us;
       job.witness_options.priv_buffer_bytes = spec.priv_buffer_bytes;
       job.confirm_witnesses = spec.witness;
+      job.lint_v2 = spec.lint_v2;
       const easec::lint::LintJobResult result = easec::lint::ExecuteLintJob(job);
       if (!result.compiled) {
         out.error = "compile failed: " + result.compile_errors;

@@ -70,6 +70,7 @@ struct JobSpec {
   std::string source;              // program text, sent inline (content-hashed)
   std::string source_name = "<daemon>";
   bool witness = false;            // replay suggested schedules (easelint --witness)
+  bool lint_v2 = false;            // full-fixpoint queries + easeio-lint/2 artifact
 
   // trace
   bool timeline = false;           // artifact: Chrome trace instead of easeio-profile/1

@@ -1,0 +1,245 @@
+#include "easec/lint/certify.h"
+
+#include <algorithm>
+#include <set>
+
+#include "chk/program_replay.h"
+#include "easec/lint/dataflow/engine.h"
+#include "platform/parallel.h"
+#include "report/json.h"
+
+namespace easeio::easec::lint {
+namespace {
+
+using sim::ProbeEvent;
+using sim::ProbeKind;
+
+// Events that cannot have mutated durable state: a failure right after one is
+// interchangeable with a failure right after the last durable event before it.
+// Everything not listed (commits, lock records, NV stores, DMA transfers, block
+// ends, privatization copies, ...) is conservatively a barrier.
+bool PureEvent(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::kTaskBegin:
+    case ProbeKind::kIoSkip:
+    case ProbeKind::kDmaSkip:
+    case ProbeKind::kBlockBegin:
+    case ProbeKind::kCapSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Depth-1 failure candidates from an event stream: the canonical representative
+// after each event in (after, end), plus the opening instant when `after` == 0.
+// When `collapse` holds (the fixpoint proved every region condition absent),
+// representatives following a pure event fold onto their durable predecessor's;
+// `collapsed` counts the instants retired that way.
+std::vector<uint64_t> Candidates(const std::vector<ProbeEvent>& events, uint64_t after,
+                                 uint64_t end, bool collapse, uint64_t* collapsed) {
+  std::set<uint64_t> kept;
+  std::set<uint64_t> pure;
+  if (after == 0 && end > 1) {
+    kept.insert(1);  // before the first event fires
+  }
+  for (const ProbeEvent& e : events) {
+    const uint64_t instant = chk::RepresentativeAfter(e.on_us);
+    if (instant <= after || instant >= end) {
+      continue;
+    }
+    (collapse && PureEvent(e.kind) ? pure : kept).insert(instant);
+  }
+  // A pure event's representative folds onto its durable predecessor's — unless a
+  // durable event shares the instant, in which case the representative stays anyway.
+  for (uint64_t instant : pure) {
+    if (kept.count(instant) == 0 && collapsed != nullptr) {
+      ++*collapsed;
+    }
+  }
+  return {kept.begin(), kept.end()};
+}
+
+struct TrialOutcome {
+  bool violated = false;
+  std::vector<ProbeEvent> events;  // kept only when pair seeds are still needed
+  uint64_t end_on_us = 0;
+};
+
+}  // namespace
+
+CertifyReport Certify(const CompileResult& compiled, const CertifyOptions& options,
+                      const LintResult* witnessed) {
+  CertifyReport report;
+
+  // Static side: the witnessed lint verdict and the region conditions.
+  if (witnessed != nullptr) {
+    report.lint = *witnessed;
+  } else {
+    LintOptions lint_options;
+    lint_options.v2 = options.v2;
+    report.lint = Lint(compiled, lint_options);
+    ConfirmWitnesses(compiled, report.lint, options.witness);
+  }
+  for (const Finding& f : report.lint.findings) {
+    report.confirmed_findings += f.witness == WitnessState::kConfirmed;
+    report.downgraded_findings += f.witness == WitnessState::kUnconfirmed;
+  }
+
+  const dataflow::DataflowResult df =
+      dataflow::Analyze(compiled.ast, compiled.analysis);
+  report.conditions = df.program_conditions;
+  report.por_collapsed = chk::CollapsibleRegion(df.program_conditions);
+
+  // Oracle support: __nv declarations with no I/O provenance at all must commit the
+  // same bytes under every failure schedule. Tainted slots legitimately diverge —
+  // sensors are time-dependent — so they only feed the completion check.
+  std::vector<uint32_t> untainted;
+  for (uint32_t i = 0; i < compiled.ast.nv_decls.size(); ++i) {
+    if (!compiled.ast.nv_decls[i].sram && df.taint_full.guarded_nv[i].empty() &&
+        df.taint_full.always_nv[i].empty()) {
+      untainted.push_back(i);
+    }
+  }
+
+  chk::ProgramReplayConfig config;
+  config.runtime = options.runtime == "alpaca"      ? apps::RuntimeKind::kAlpaca
+                   : options.runtime == "ink"       ? apps::RuntimeKind::kInk
+                   : options.runtime == "samoyed"   ? apps::RuntimeKind::kSamoyed
+                   : options.runtime == "easeio-op" ? apps::RuntimeKind::kEaseioOp
+                                                    : apps::RuntimeKind::kEaseio;
+  config.seed = options.witness.seed;
+  config.off_us = options.witness.off_us;
+  config.max_on_us = options.witness.max_on_us;
+  config.easeio_priv_buffer_bytes = options.witness.priv_buffer_bytes;
+
+  const chk::ProgramReplayOutput golden = chk::ReplaySchedule(compiled, config, {});
+
+  auto judge = [&](const chk::ProgramReplayOutput& trial) {
+    if (!trial.run.completed) {
+      return true;  // livelock / non-termination under the guard
+    }
+    for (uint32_t nv : untainted) {
+      if (trial.nv_final[nv] != golden.nv_final[nv]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const std::vector<uint64_t> d1 =
+      Candidates(golden.events, 0, golden.run.on_us, report.por_collapsed,
+                 &report.collapsed_instants);
+  report.candidate_instants = d1.size();
+
+  const uint32_t jobs = platform::ResolveJobs(options.jobs, d1.size());
+  const bool want_pairs = options.exhaust >= 2;
+  std::vector<TrialOutcome> d1_out = platform::ParallelMap<TrialOutcome>(
+      jobs, d1.size(), [&](size_t i) {
+        const chk::ProgramReplayOutput trial =
+            chk::ReplaySchedule(compiled, config, {d1[i]});
+        TrialOutcome out;
+        out.violated = judge(trial);
+        out.end_on_us = trial.run.on_us;
+        if (want_pairs) {
+          out.events = trial.events;
+        }
+        return out;
+      });
+
+  report.trials = d1.size();
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (d1_out[i].violated) {
+      ++report.violations;
+      if (report.violating_schedules.size() < 8) {
+        report.violating_schedules.push_back({d1[i]});
+      }
+    }
+  }
+
+  if (want_pairs) {
+    // Every second failure placement seeded from the first trial's own trace — the
+    // post-reboot world, not the golden one, decides where instants can land.
+    std::vector<std::vector<uint64_t>> pairs;
+    for (size_t i = 0; i < d1.size(); ++i) {
+      for (uint64_t t2 :
+           Candidates(d1_out[i].events, d1[i], d1_out[i].end_on_us,
+                      report.por_collapsed, &report.collapsed_instants)) {
+        pairs.push_back({d1[i], t2});
+      }
+    }
+    report.pair_schedules = pairs.size();
+    report.trials += pairs.size();
+
+    const uint32_t pair_jobs = platform::ResolveJobs(options.jobs, pairs.size());
+    std::vector<TrialOutcome> pair_out = platform::ParallelMap<TrialOutcome>(
+        pair_jobs, pairs.size(), [&](size_t i) {
+          const chk::ProgramReplayOutput trial =
+              chk::ReplaySchedule(compiled, config, pairs[i]);
+          TrialOutcome out;
+          out.violated = judge(trial);
+          return out;
+        });
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (pair_out[i].violated) {
+        ++report.violations;
+        if (report.violating_schedules.size() < 8) {
+          report.violating_schedules.push_back(pairs[i]);
+        }
+      }
+    }
+  }
+
+  const uint32_t hard_findings = report.lint.errors + report.lint.warnings;
+  if (hard_findings > 0) {
+    report.verdict = "findings-witnessed";
+  } else if (report.violations > 0) {
+    report.verdict = "unsound";
+  } else {
+    report.verdict = "clean-certified";
+  }
+  return report;
+}
+
+std::string RenderCertifyJson(const CertifyReport& report,
+                              const std::string& source_name) {
+  report::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("easeio-lint-certify/1");
+  w.Key("source").String(source_name);
+  w.Key("verdict").String(report.verdict);
+  w.Key("findings").BeginObject();
+  w.Key("error").UInt(report.lint.errors);
+  w.Key("warning").UInt(report.lint.warnings);
+  w.Key("advisory").UInt(report.lint.advisories);
+  w.Key("confirmed").UInt(report.confirmed_findings);
+  w.Key("downgraded").UInt(report.downgraded_findings);
+  w.EndObject();
+  w.Key("coverage").BeginObject();
+  w.Key("candidate_instants").UInt(report.candidate_instants);
+  w.Key("collapsed_instants").UInt(report.collapsed_instants);
+  w.Key("pair_schedules").UInt(report.pair_schedules);
+  w.Key("trials").UInt(report.trials);
+  w.Key("violations").UInt(report.violations);
+  w.EndObject();
+  w.Key("violating_schedules").BeginArray();
+  for (const std::vector<uint64_t>& schedule : report.violating_schedules) {
+    w.BeginArray();
+    for (uint64_t instant : schedule) {
+      w.UInt(instant);
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("conditions").BeginObject();
+  w.Key("war_hazard").Bool(report.conditions.war_hazard);
+  w.Key("io_taint_crossing").Bool(report.conditions.io_taint_crossing);
+  w.Key("value_steered").Bool(report.conditions.value_steered);
+  w.Key("timely_window").Bool(report.conditions.timely_window);
+  w.Key("por_collapsed").Bool(report.por_collapsed);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace easeio::easec::lint

@@ -1,0 +1,84 @@
+// Cross-certification of easelint's static verdicts against exhaustive dynamic
+// failure-schedule coverage (easelint --certify).
+//
+// The static and dynamic sides of the repository make claims about the same object —
+// where a power failure can land and what it may corrupt — from opposite directions:
+// the lint fixpoint proves hazards absent over the CFG, the chk-style exhaust replay
+// enumerates every failure placement and watches for corruption. Certify runs both
+// and demands they agree:
+//
+//   * A lint-clean program (no error/warning after the witness pass) must survive
+//     every enumerated schedule: any violating trial means the fixpoint missed a
+//     hazard and the report's verdict is "unsound".
+//   * A program with findings must carry a simulator-confirmed counterexample for
+//     every refutable finding (ConfirmWitnesses downgrades the rest to advisory);
+//     the verdict is "findings-witnessed".
+//   * Otherwise the verdict is "clean-certified".
+//
+// Schedule enumeration follows chk::por's idempotent-region rule, driven by the
+// *static* region conditions the dataflow engine derived: when CollapsibleRegion
+// holds program-wide, only gaps ending at a durable barrier keep a representative
+// instant — the same pruning the explorer applies dynamically, justified here by the
+// fixpoint instead of the trace. Trials run through platform::ParallelMap, so the
+// report is byte-identical for any --jobs value.
+
+#ifndef EASEIO_EASEC_LINT_CERTIFY_H_
+#define EASEIO_EASEC_LINT_CERTIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/por.h"
+#include "easec/lint/lint.h"
+#include "easec/lint/witness.h"
+#include "easec/program.h"
+
+namespace easeio::easec::lint {
+
+struct CertifyOptions {
+  uint32_t exhaust = 1;  // schedules of at most this many failures (1 or 2)
+  uint32_t jobs = 1;     // trial workers; 0 = hardware concurrency
+  bool v2 = true;        // include the full-fixpoint /2 queries in the lint pass
+  std::string runtime = "easeio";  // runtime the exhaust trials execute under
+  WitnessOptions witness;          // shared replay config (seed, dark time, budget)
+};
+
+struct CertifyReport {
+  std::string verdict;  // "clean-certified" | "findings-witnessed" | "unsound"
+
+  // The witnessed lint result the verdict is based on (after ConfirmWitnesses).
+  LintResult lint;
+  uint32_t confirmed_findings = 0;   // witness == confirmed
+  uint32_t downgraded_findings = 0;  // witness == unconfirmed (now advisory)
+
+  // Coverage accounting. candidate_instants counts depth-1 representatives actually
+  // replayed; collapsed_instants counts the enumerated instants the static region
+  // rule proved interchangeable with a kept representative.
+  uint64_t candidate_instants = 0;
+  uint64_t collapsed_instants = 0;
+  uint64_t pair_schedules = 0;  // depth-2 trials (exhaust == 2 only)
+  uint64_t trials = 0;          // replays executed (golden excluded)
+  uint64_t violations = 0;      // trials failing the oracle
+  // Up to the first eight violating schedules, in enumeration order.
+  std::vector<std::vector<uint64_t>> violating_schedules;
+
+  // The static region conditions the pruning decision was made from.
+  chk::RegionConditions conditions;
+  bool por_collapsed = false;  // whether the region rule was allowed to prune
+};
+
+// Lints (and witness-confirms) the program, then exhausts failure schedules under
+// `options` and cross-validates the two verdicts. `compiled` must have ok == true.
+// Callers that already hold a witness-confirmed LintResult for the same program and
+// options pass it as `witnessed` to skip the duplicate lint + replay pass.
+CertifyReport Certify(const CompileResult& compiled, const CertifyOptions& options,
+                      const LintResult* witnessed = nullptr);
+
+// Stable JSON rendering (easeio-lint-certify/1; fixed field order, no timing data —
+// byte-identical across jobs counts and runs).
+std::string RenderCertifyJson(const CertifyReport& report, const std::string& source_name);
+
+}  // namespace easeio::easec::lint
+
+#endif  // EASEIO_EASEC_LINT_CERTIFY_H_

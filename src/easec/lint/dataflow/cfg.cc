@@ -1,0 +1,150 @@
+#include "easec/lint/dataflow/cfg.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace easeio::easec::lint::dataflow {
+
+TaskCfg::TaskCfg(const Analysis& a, uint32_t task) : task_(task) {
+  first_ = 0;
+  end_ = 0;
+  bool found = false;
+  for (uint32_t i = 0; i < a.def_use.size(); ++i) {
+    if (a.def_use[i].task == task) {
+      if (!found) {
+        first_ = i;
+        found = true;
+      }
+      end_ = i + 1;
+    }
+  }
+  if (!found) {
+    first_ = end_ = static_cast<uint32_t>(a.def_use.size());
+  }
+
+  nodes_.resize(2 + (end_ - first_));
+  for (uint32_t s = first_; s < end_; ++s) {
+    nodes_[NodeForStmt(s)].stmt = s;
+  }
+
+  std::vector<uint32_t> tails = WireSeq(a, first_, end_, {kEntry});
+  for (uint32_t t : tails) {
+    AddEdge(t, kExit, /*back=*/false);  // falling off the end leaves the task
+  }
+  std::sort(back_edges_.begin(), back_edges_.end());
+}
+
+void TaskCfg::AddEdge(uint32_t from, uint32_t to, bool back) {
+  nodes_[from].succ.push_back(to);
+  nodes_[to].pred.push_back(from);
+  ++edge_count_;
+  if (back) {
+    back_edges_.emplace_back(from, to);
+  }
+}
+
+bool TaskCfg::IsBackEdge(uint32_t from, uint32_t to) const {
+  return std::binary_search(back_edges_.begin(), back_edges_.end(),
+                            std::make_pair(from, to));
+}
+
+std::vector<uint32_t> TaskCfg::WireSeq(const Analysis& a, uint32_t b, uint32_t e,
+                                       std::vector<uint32_t> incoming) {
+  uint32_t s = b;
+  while (s < e) {
+    const uint32_t node = NodeForStmt(s);
+    for (uint32_t in : incoming) {
+      AddEdge(in, node, /*back=*/false);
+    }
+    incoming = WireStmt(a, s);
+    s = a.def_use[s].subtree_end;
+  }
+  return incoming;
+}
+
+std::vector<uint32_t> TaskCfg::WireStmt(const Analysis& a, uint32_t s) {
+  const StmtDefUse& e = a.def_use[s];
+  const uint32_t node = NodeForStmt(s);
+  switch (e.kind) {
+    case StmtKind::kIf: {
+      // [s+1, else_begin) is the then-body, [else_begin, subtree_end) the else-body.
+      std::vector<uint32_t> exits;
+      for (const auto& range :
+           {std::make_pair(s + 1, e.else_begin), std::make_pair(e.else_begin, e.subtree_end)}) {
+        if (range.first >= range.second) {
+          exits.push_back(node);  // empty branch: the condition falls through
+        } else {
+          std::vector<uint32_t> tails = WireSeq(a, range.first, range.second, {node});
+          exits.insert(exits.end(), tails.begin(), tails.end());
+        }
+      }
+      return exits;
+    }
+    case StmtKind::kWhile:
+    case StmtKind::kRepeat: {
+      // The header evaluates the condition / trip count; body exits loop back to it.
+      // Leaving via the header models the zero-iteration path — the same sound
+      // under-constraint the cost lower bound uses.
+      if (s + 1 < e.subtree_end) {
+        std::vector<uint32_t> tails = WireSeq(a, s + 1, e.subtree_end, {node});
+        for (uint32_t t : tails) {
+          AddEdge(t, node, /*back=*/true);
+        }
+      }
+      return {node};
+    }
+    case StmtKind::kIoBlock: {
+      std::vector<uint32_t> exits;
+      if (s + 1 < e.subtree_end) {
+        std::vector<uint32_t> tails = WireSeq(a, s + 1, e.subtree_end, {node});
+        exits.insert(exits.end(), tails.begin(), tails.end());
+      } else {
+        exits.push_back(node);
+      }
+      // A non-Always block may be elided on re-execution: keep a skip edge so the
+      // may-analyses see the body-less path too. The block id is not on the kIoBlock
+      // entry itself (sema records the *enclosing* block there) — read it off the
+      // first body statement, whose innermost block is this one.
+      bool always = false;
+      if (s + 1 < e.subtree_end && a.def_use[s + 1].block != UINT32_MAX) {
+        always = a.blocks[a.def_use[s + 1].block].sem == kernel::IoSemantic::kAlways;
+      }
+      if (!always && s + 1 < e.subtree_end) {
+        exits.push_back(node);
+      }
+      return exits;
+    }
+    case StmtKind::kNextTask:
+    case StmtKind::kEndTask:
+      AddEdge(node, kExit, /*back=*/false);
+      return {};
+    default:
+      return {node};
+  }
+}
+
+uint64_t MinPathCost(const TaskCfg& cfg, const std::vector<uint64_t>& cost,
+                     uint32_t from, uint32_t to) {
+  std::vector<uint64_t> dist(cfg.node_count(), UINT64_MAX);
+  using Item = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[from] = 0;
+  queue.emplace(0, from);
+  while (!queue.empty()) {
+    const auto [d, n] = queue.top();
+    queue.pop();
+    if (d != dist[n]) {
+      continue;
+    }
+    for (uint32_t m : cfg.node(n).succ) {
+      const uint64_t step = m == to ? 0 : cost[m];
+      if (dist[m] == UINT64_MAX || d + step < dist[m]) {
+        dist[m] = d + step;
+        queue.emplace(dist[m], m);
+      }
+    }
+  }
+  return dist[to];
+}
+
+}  // namespace easeio::easec::lint::dataflow

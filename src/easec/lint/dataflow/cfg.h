@@ -1,0 +1,94 @@
+// Per-task control-flow graph over EaseC statements.
+//
+// sema.h flattens every task body into a pre-order def/use table; the subtree_end /
+// else_begin extents it records are exactly the structured-control-flow information a
+// CFG needs, so the graph is reconstructed here without re-walking the AST. One node
+// per def/use entry plus a synthetic entry and exit:
+//
+//   * sequences chain each statement's fallthrough exits to the next statement;
+//   * kIf forks to its then/else ranges and joins their exits (an empty branch makes
+//     the condition node itself a fallthrough);
+//   * kWhile and kRepeat loop their body exits back to the header — those edges are
+//     recorded as *back edges*, so a client can solve over the acyclic forward graph
+//     (the straight-line approximation the original table-based lint embodied) or the
+//     full graph (the fixpoint that sees loop-carried flows);
+//   * a non-Always kIoBlock gets a skip edge (the runtime may elide the body on
+//     re-execution), an Always block always runs it;
+//   * kNextTask and kEndTask edge straight to the exit node.
+//
+// The builder is pure structure: no lattices, no costs. MinPathCost runs a
+// node-weighted Dijkstra over the graph (back edges included), which the
+// timely-loop-stale query uses to lower-bound the dynamic separation of a producer
+// and a consumer across loop iterations.
+
+#ifndef EASEIO_EASEC_LINT_DATAFLOW_CFG_H_
+#define EASEIO_EASEC_LINT_DATAFLOW_CFG_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "easec/sema.h"
+
+namespace easeio::easec::lint::dataflow {
+
+struct CfgNode {
+  uint32_t stmt = UINT32_MAX;  // def/use index; UINT32_MAX for entry/exit
+  std::vector<uint32_t> succ;
+  std::vector<uint32_t> pred;
+};
+
+class TaskCfg {
+ public:
+  static constexpr uint32_t kEntry = 0;
+  static constexpr uint32_t kExit = 1;
+
+  // Builds the CFG of `task` from the def/use table. The task's entries must be
+  // contiguous in a.def_use (sema appends them that way).
+  TaskCfg(const Analysis& a, uint32_t task);
+
+  uint32_t task() const { return task_; }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t edge_count() const { return edge_count_; }
+  const CfgNode& node(uint32_t id) const { return nodes_[id]; }
+
+  // First / one-past-last def/use index of the task.
+  uint32_t first_stmt() const { return first_; }
+  uint32_t end_stmt() const { return end_; }
+
+  // Node id of a def/use entry (entry must be in [first_stmt, end_stmt)).
+  uint32_t NodeForStmt(uint32_t stmt) const { return stmt - first_ + 2; }
+
+  bool IsBackEdge(uint32_t from, uint32_t to) const;
+  const std::vector<std::pair<uint32_t, uint32_t>>& back_edges() const {
+    return back_edges_;
+  }
+
+ private:
+  void AddEdge(uint32_t from, uint32_t to, bool back);
+  // Wires the statement subtree rooted at def/use index `s`; returns the nodes whose
+  // control falls through to whatever follows the statement.
+  std::vector<uint32_t> WireStmt(const Analysis& a, uint32_t s);
+  // Wires the statement sequence covering def/use range [b, e) given the nodes that
+  // fall through into it; returns the fallthrough exits of the whole sequence.
+  std::vector<uint32_t> WireSeq(const Analysis& a, uint32_t b, uint32_t e,
+                                std::vector<uint32_t> incoming);
+
+  uint32_t task_ = 0;
+  uint32_t first_ = 0;
+  uint32_t end_ = 0;
+  uint32_t edge_count_ = 0;
+  std::vector<CfgNode> nodes_;
+  std::vector<std::pair<uint32_t, uint32_t>> back_edges_;  // sorted (from, to)
+};
+
+// Minimum total weight over CFG paths from `from` to `to` (node ids), where entering
+// node v costs cost[v]; neither endpoint's own cost is charged. Back edges are legal
+// path segments — that is the point: the query asks how soon after `from` the program
+// can reach `to` *around* a loop. Returns UINT64_MAX when unreachable.
+uint64_t MinPathCost(const TaskCfg& cfg, const std::vector<uint64_t>& cost,
+                     uint32_t from, uint32_t to);
+
+}  // namespace easeio::easec::lint::dataflow
+
+#endif  // EASEIO_EASEC_LINT_DATAFLOW_CFG_H_

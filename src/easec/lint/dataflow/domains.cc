@@ -1,0 +1,151 @@
+#include "easec/lint/dataflow/domains.h"
+
+namespace easeio::easec::lint::dataflow {
+
+kernel::IoSemantic EffectiveSem(const Analysis& a, const IoSiteInfo& site) {
+  uint32_t b = site.block;
+  if (b == UINT32_MAX) {
+    return site.sem;
+  }
+  while (a.blocks[b].parent != UINT32_MAX) {
+    b = a.blocks[b].parent;
+  }
+  return a.blocks[b].sem;
+}
+
+bool UnionInto(std::set<uint32_t>& into, const std::set<uint32_t>& from) {
+  bool changed = false;
+  for (uint32_t v : from) {
+    changed |= into.insert(v).second;
+  }
+  return changed;
+}
+
+void TaintGens(const Analysis& a, const StmtDefUse& e, std::set<uint32_t>& guarded,
+               std::set<uint32_t>& always) {
+  for (uint32_t s : e.io_sites) {
+    const IoSiteInfo& site = a.sites[s];
+    if (IsGuardedSem(site.sem)) {
+      guarded.insert(s);
+    }
+    if (EffectiveSem(a, site) == kernel::IoSemantic::kAlways) {
+      always.insert(s);
+    }
+  }
+}
+
+namespace {
+
+bool JoinLocalMap(std::map<int32_t, std::set<uint32_t>>& into,
+                  const std::map<int32_t, std::set<uint32_t>>& from) {
+  bool changed = false;
+  for (const auto& [slot, sites] : from) {
+    changed |= UnionInto(into[slot], sites);
+  }
+  return changed;
+}
+
+}  // namespace
+
+bool TaintDomain::Join(State& into, const State& from) {
+  bool changed = JoinLocalMap(into.guarded, from.guarded);
+  changed |= JoinLocalMap(into.always, from.always);
+  return changed;
+}
+
+void TaintDomain::InSets(uint32_t stmt, const State& state, std::set<uint32_t>& guarded_in,
+                         std::set<uint32_t>& always_in) const {
+  const StmtDefUse& e = a_.def_use[stmt];
+  for (int32_t l : e.local_uses) {
+    auto git = state.guarded.find(l);
+    if (git != state.guarded.end()) {
+      UnionInto(guarded_in, git->second);
+    }
+    auto ait = state.always.find(l);
+    if (ait != state.always.end()) {
+      UnionInto(always_in, ait->second);
+    }
+  }
+  for (uint32_t nv : e.nv_uses) {
+    UnionInto(guarded_in, guarded_nv_[nv]);
+    UnionInto(always_in, always_nv_[nv]);
+  }
+}
+
+void TaintDomain::Transfer(uint32_t stmt, State& state) {
+  const StmtDefUse& e = a_.def_use[stmt];
+
+  std::set<uint32_t> guarded_out;
+  std::set<uint32_t> always_out;
+  InSets(stmt, state, guarded_out, always_out);
+
+  for (uint32_t s : e.io_sites) {
+    const IoSiteInfo& site = a_.sites[s];
+    // Capture fills its __nv buffer from the peripheral: the buffer carries the
+    // site's contract regardless of what the statement's own value flow does.
+    if (site.fn == IoFn::kCapture && site.buffer_nv >= 0) {
+      if (IsGuardedSem(site.sem)) {
+        nv_changed_ |= UnionInto(guarded_nv_[site.buffer_nv], {s});
+      }
+      if (EffectiveSem(a_, site) == kernel::IoSemantic::kAlways) {
+        nv_changed_ |= UnionInto(always_nv_[site.buffer_nv], {s});
+      }
+    }
+  }
+  TaintGens(a_, e, guarded_out, always_out);
+
+  // Weak updates: stores add taint, never clear it.
+  for (int32_t l : e.local_defs) {
+    UnionInto(state.guarded[l], guarded_out);
+    UnionInto(state.always[l], always_out);
+  }
+  for (uint32_t nv : e.nv_defs) {
+    nv_changed_ |= UnionInto(guarded_nv_[nv], guarded_out);
+    nv_changed_ |= UnionInto(always_nv_[nv], always_out);
+  }
+
+  // A DMA copies whatever taint its source holds into its destination.
+  if (e.dma != UINT32_MAX) {
+    const DmaInfo& d = a_.dmas[e.dma];
+    if (d.src_nv >= 0 && d.dst_nv >= 0) {
+      nv_changed_ |= UnionInto(guarded_nv_[d.dst_nv], guarded_nv_[d.src_nv]);
+      nv_changed_ |= UnionInto(always_nv_[d.dst_nv], always_nv_[d.src_nv]);
+    }
+  }
+}
+
+bool WarDomain::Join(State& into, const State& from) {
+  if (!from.reached) {
+    return false;
+  }
+  if (!into.reached) {
+    into = from;
+    return true;
+  }
+  bool changed = UnionInto(into.may_read, from.may_read);
+  changed |= UnionInto(into.exposed, from.exposed);
+  // must_written is an intersection: drop anything not written on the new path.
+  for (auto it = into.must_written.begin(); it != into.must_written.end();) {
+    if (from.must_written.count(*it) == 0) {
+      it = into.must_written.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+void WarDomain::Transfer(uint32_t stmt, State& state) {
+  const StmtDefUse& e = a_.def_use[stmt];
+  state.reached = true;
+  for (uint32_t nv : e.nv_uses) {
+    state.may_read.insert(nv);
+    if (state.must_written.count(nv) == 0) {
+      state.exposed.insert(nv);  // reads happen before the statement's own writes
+    }
+  }
+  state.must_written.insert(e.nv_defs.begin(), e.nv_defs.end());
+}
+
+}  // namespace easeio::easec::lint::dataflow

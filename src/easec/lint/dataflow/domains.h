@@ -1,0 +1,125 @@
+// Abstract domains for the easelint fixpoint.
+//
+// Two lattices run over the task CFGs:
+//
+//   * TaintDomain — I/O provenance. A value's abstract state is the set of I/O sites
+//     that may have produced it, split into the `guarded` (Single/Timely) and
+//     `always` (effective-Always) maps the finding queries distinguish. Task locals
+//     are flow-sensitive (they live in the per-node State); __nv variables are
+//     flow-insensitive program-wide maps held by the domain itself — an __nv slot is
+//     durable and cross-task, so any store anywhere may be the value a read observes
+//     after an arbitrary reboot/reentry history. That split is exactly the
+//     abstraction the original table-based pass computed by iterating linear sweeps;
+//     re-expressing it over the CFG keeps the /1 queries byte-identical on
+//     straight-line programs while the back-edge solution adds the loop-carried
+//     local flows the sweeps could never see. All updates are weak (union-only): an
+//     untainted overwrite does not clear taint — a deliberate over-approximation for
+//     a lint whose job is to surface candidate flows.
+//
+//   * WarDomain — first-read/first-write per __nv variable. `may_read` unions the
+//     variables the CPU may have read on some path to the node; `must_written`
+//     intersects the variables written on every path. A write (CPU or DMA) to a
+//     variable in may_read \ must_written is a candidate WAR hazard at that point;
+//     comparing the back-edge solution against the forward one isolates the hazards
+//     only a loop can realize — the ones the baseline compilers' textual-order WAR
+//     tables provably miss.
+//
+// Both lattices are finite powersets, so the fixpoint terminates without widening
+// (Widen reports no coarsening; the solver still counts its invocations).
+
+#ifndef EASEIO_EASEC_LINT_DATAFLOW_DOMAINS_H_
+#define EASEIO_EASEC_LINT_DATAFLOW_DOMAINS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "easec/program.h"
+
+namespace easeio::easec::lint::dataflow {
+
+inline bool IsGuardedSem(kernel::IoSemantic sem) {
+  return sem == kernel::IoSemantic::kSingle || sem == kernel::IoSemantic::kTimely;
+}
+
+// Scope precedence (Section 3.3.1): the outermost enclosing block decides how a site
+// re-executes.
+kernel::IoSemantic EffectiveSem(const Analysis& a, const IoSiteInfo& site);
+
+// Unions `from` into `into`; true when `into` grew.
+bool UnionInto(std::set<uint32_t>& into, const std::set<uint32_t>& from);
+
+// The per-statement gen sets: sites this statement evaluates, split by contract.
+void TaintGens(const Analysis& a, const StmtDefUse& e, std::set<uint32_t>& guarded,
+               std::set<uint32_t>& always);
+
+class TaintDomain {
+ public:
+  struct State {
+    std::map<int32_t, std::set<uint32_t>> guarded;  // local slot -> producer sites
+    std::map<int32_t, std::set<uint32_t>> always;
+  };
+
+  TaintDomain(const Program& ast, const Analysis& a)
+      : ast_(ast), a_(a), guarded_nv_(ast.nv_decls.size()), always_nv_(ast.nv_decls.size()) {}
+
+  bool Join(State& into, const State& from);
+  void Transfer(uint32_t stmt, State& state);
+  static bool Widen(State&) { return false; }  // finite lattice
+
+  // Whether any Transfer since the last call grew the flow-insensitive __nv maps —
+  // the engine's outer fixpoint re-solves every task until this settles.
+  bool TakeNvChanged() {
+    const bool changed = nv_changed_;
+    nv_changed_ = false;
+    return changed;
+  }
+
+  const std::vector<std::set<uint32_t>>& guarded_nv() const { return guarded_nv_; }
+  const std::vector<std::set<uint32_t>>& always_nv() const { return always_nv_; }
+
+  // Consumer-visible IN sets of a statement: the union of the taint of everything it
+  // reads (flow-sensitive locals from `state`, flow-insensitive __nv maps).
+  void InSets(uint32_t stmt, const State& state, std::set<uint32_t>& guarded_in,
+              std::set<uint32_t>& always_in) const;
+
+ private:
+  const Program& ast_;
+  const Analysis& a_;
+  std::vector<std::set<uint32_t>> guarded_nv_;
+  std::vector<std::set<uint32_t>> always_nv_;
+  bool nv_changed_ = false;
+};
+
+class WarDomain {
+ public:
+  struct State {
+    bool reached = false;  // bottom until a path arrives (must-info needs it)
+    std::set<uint32_t> may_read;
+    std::set<uint32_t> must_written;
+    // Variables with an *exposed* read on some path: a read not preceded by a write
+    // of the same variable on that path. A later write of such a variable is the WAR
+    // shape regional privatization exists for; a first-write-then-read is not.
+    std::set<uint32_t> exposed;
+  };
+
+  explicit WarDomain(const Analysis& a) : a_(a) {}
+
+  bool Join(State& into, const State& from);
+  void Transfer(uint32_t stmt, State& state);
+  static bool Widen(State&) { return false; }  // finite lattice
+
+  static State EntryState() {
+    State s;
+    s.reached = true;
+    return s;
+  }
+
+ private:
+  const Analysis& a_;
+};
+
+}  // namespace easeio::easec::lint::dataflow
+
+#endif  // EASEIO_EASEC_LINT_DATAFLOW_DOMAINS_H_

@@ -1,0 +1,187 @@
+#include "easec/lint/dataflow/engine.h"
+
+#include "sim/costs.h"
+
+namespace easeio::easec::lint::dataflow {
+namespace {
+
+// Re-queue budget per node before the solver calls Widen. The shipped lattices are
+// finite powersets, so this is a safety valve, not a correctness requirement.
+constexpr uint32_t kWidenThreshold = 64;
+
+// Cycle lower bound a site's execution always pays: effective-Always calls run their
+// peripheral latency every time; Single/Timely calls may be skipped, so zero keeps
+// the bound sound (mirrors the /1 cost walk).
+uint64_t SiteExecCostLb(const Analysis& a, uint32_t s) {
+  const IoSiteInfo& site = a.sites[s];
+  if (EffectiveSem(a, site) != kernel::IoSemantic::kAlways) {
+    return 0;
+  }
+  switch (site.fn) {
+    case IoFn::kTemp:
+      return sim::kTempSensorCost.latency_cycles;
+    case IoFn::kHumd:
+      return sim::kHumiditySensorCost.latency_cycles;
+    case IoFn::kPres:
+      return sim::kPressureSensorCost.latency_cycles;
+    case IoFn::kSend:
+      return sim::kRadioWakeCost.latency_cycles +
+             sim::kRadioCyclesPerByte * site.buffer_bytes;
+    case IoFn::kCapture:
+      return sim::kCameraCaptureCost.latency_cycles;
+  }
+  return 0;
+}
+
+// Solves the taint lattice over every task CFG, re-solving until the
+// flow-insensitive __nv maps reach their program-wide fixpoint (they couple the
+// tasks: a store in one task is visible to reads in every other). Terminates because
+// the maps only grow and the universe of sites is finite.
+TaintSolution SolveTaint(const Program& ast, const Analysis& a,
+                         const std::vector<TaskCfg>& cfgs, bool include_back_edges,
+                         SolveStats& stats) {
+  TaintDomain dom(ast, a);
+  std::vector<std::vector<TaintDomain::State>> in_per_task;
+  do {
+    in_per_task.clear();
+    for (const TaskCfg& cfg : cfgs) {
+      in_per_task.push_back(Solve(cfg, dom, TaintDomain::State{}, include_back_edges,
+                                  kWidenThreshold, &stats));
+    }
+  } while (dom.TakeNvChanged());
+
+  TaintSolution out;
+  out.stmt_in.resize(a.def_use.size());
+  for (uint32_t t = 0; t < cfgs.size(); ++t) {
+    const TaskCfg& cfg = cfgs[t];
+    for (uint32_t s = cfg.first_stmt(); s < cfg.end_stmt(); ++s) {
+      StmtTaint& rec = out.stmt_in[s];
+      dom.InSets(s, in_per_task[t][cfg.NodeForStmt(s)], rec.guarded, rec.always);
+    }
+  }
+  out.guarded_nv = dom.guarded_nv();
+  out.always_nv = dom.always_nv();
+  return out;
+}
+
+WarSolution SolveWar(const Analysis& a, const std::vector<TaskCfg>& cfgs,
+                     bool include_back_edges, SolveStats& stats) {
+  WarSolution out;
+  out.may_read_in.resize(a.def_use.size());
+  out.must_written_in.resize(a.def_use.size());
+  out.exposed_in.resize(a.def_use.size());
+  WarDomain dom(a);
+  for (const TaskCfg& cfg : cfgs) {
+    const std::vector<WarDomain::State> in = Solve(
+        cfg, dom, WarDomain::EntryState(), include_back_edges, kWidenThreshold, &stats);
+    for (uint32_t s = cfg.first_stmt(); s < cfg.end_stmt(); ++s) {
+      const WarDomain::State& state = in[cfg.NodeForStmt(s)];
+      out.may_read_in[s] = state.may_read;
+      out.must_written_in[s] = state.must_written;
+      out.exposed_in[s] = state.exposed;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> DataflowResult::NodeCosts(const TaskCfg& cfg) const {
+  std::vector<uint64_t> cost(cfg.node_count(), 0);
+  for (uint32_t n = 2; n < cfg.node_count(); ++n) {
+    cost[n] = stmt_cost_lb[cfg.node(n).stmt];
+  }
+  return cost;
+}
+
+DataflowResult Analyze(const Program& ast, const Analysis& a) {
+  DataflowResult r;
+  r.cfgs.reserve(a.tasks.size());
+  for (uint32_t t = 0; t < a.tasks.size(); ++t) {
+    r.cfgs.emplace_back(a, t);
+    r.stats.nodes += r.cfgs.back().node_count();
+    r.stats.edges += r.cfgs.back().edge_count();
+  }
+
+  r.taint_fwd = SolveTaint(ast, a, r.cfgs, /*include_back_edges=*/false, r.stats);
+  r.taint_full = SolveTaint(ast, a, r.cfgs, /*include_back_edges=*/true, r.stats);
+  r.war_fwd = SolveWar(a, r.cfgs, /*include_back_edges=*/false, r.stats);
+  r.war_full = SolveWar(a, r.cfgs, /*include_back_edges=*/true, r.stats);
+
+  // Site -> evaluating statement, and the per-statement cycle lower bound.
+  r.site_stmt.assign(a.sites.size(), UINT32_MAX);
+  r.stmt_cost_lb.assign(a.def_use.size(), 0);
+  for (uint32_t i = 0; i < a.def_use.size(); ++i) {
+    const StmtDefUse& e = a.def_use[i];
+    uint64_t cost = 1;  // every statement compiles to at least one instruction
+    cost += e.delay_cycles;
+    if (e.dma != UINT32_MAX) {
+      cost += sim::kDmaSetupCycles;
+      if (a.dmas[e.dma].bytes_literal) {
+        cost += sim::kDmaCyclesPerWord * (a.dmas[e.dma].bytes / 2);
+      }
+    }
+    for (uint32_t s : e.io_sites) {
+      r.site_stmt[s] = i;
+      cost += SiteExecCostLb(a, s);
+    }
+    r.stmt_cost_lb[i] = cost;
+  }
+
+  // Region-condition summaries (the chk::por shared vocabulary), from the full
+  // solution — the dynamic exploration the conditions gate sees loop iterations too.
+  r.region_conditions.resize(a.tasks.size());
+  for (uint32_t t = 0; t < a.tasks.size(); ++t) {
+    r.region_conditions[t].resize(a.tasks[t].regions.size());
+  }
+  auto conditions_of = [&](uint32_t task, uint32_t region) -> chk::RegionConditions& {
+    if (region >= r.region_conditions[task].size()) {
+      r.region_conditions[task].resize(region + 1);
+    }
+    return r.region_conditions[task][region];
+  };
+  for (uint32_t i = 0; i < a.def_use.size(); ++i) {
+    const StmtDefUse& e = a.def_use[i];
+    chk::RegionConditions& c = conditions_of(e.task, e.region);
+    for (uint32_t nv : e.nv_defs) {
+      if (!ast.nv_decls[nv].sram) {
+        c.war_hazard = true;  // a durable def lands inside the region
+      }
+    }
+    const StmtTaint& in = r.taint_full.stmt_in[i];
+    if ((e.kind == StmtKind::kIf || e.kind == StmtKind::kWhile) &&
+        (!in.guarded.empty() || !in.always.empty())) {
+      c.value_steered = true;  // sensed values steer control flow
+    }
+    for (uint32_t p : in.guarded) {
+      const uint32_t ps = r.site_stmt[p];
+      if (ps != UINT32_MAX &&
+          (a.def_use[ps].task != e.task || a.def_use[ps].region != e.region)) {
+        c.io_taint_crossing = true;
+        if (a.def_use[ps].task == e.task) {
+          conditions_of(e.task, a.def_use[ps].region).io_taint_crossing = true;
+        }
+      }
+    }
+  }
+  for (uint32_t s = 0; s < a.sites.size(); ++s) {
+    const IoSiteInfo& site = a.sites[s];
+    if ((site.sem == kernel::IoSemantic::kTimely ||
+         EffectiveSem(a, site) == kernel::IoSemantic::kTimely) &&
+        r.site_stmt[s] != UINT32_MAX) {
+      const StmtDefUse& e = a.def_use[r.site_stmt[s]];
+      conditions_of(e.task, e.region).timely_window = true;
+    }
+  }
+  for (const auto& task_regions : r.region_conditions) {
+    for (const chk::RegionConditions& c : task_regions) {
+      r.program_conditions.war_hazard |= c.war_hazard;
+      r.program_conditions.io_taint_crossing |= c.io_taint_crossing;
+      r.program_conditions.value_steered |= c.value_steered;
+      r.program_conditions.timely_window |= c.timely_window;
+    }
+  }
+  return r;
+}
+
+}  // namespace easeio::easec::lint::dataflow

@@ -1,0 +1,77 @@
+// The easelint dataflow engine: per-task CFGs + worklist fixpoints over the taint and
+// WAR lattices, solved twice —
+//
+//   * `fwd`  — back edges excluded. The acyclic forward solution is exactly as strong
+//     as the original straight-line table pass, so the easeio-lint/1 queries run over
+//     it and stay byte-identical on the existing corpus.
+//   * `full` — back edges included. The genuine fixpoint: loop-carried local flows,
+//     iteration-order WAR hazards, cross-iteration freshness. The easeio-lint/2
+//     queries fire on facts present here but absent from `fwd` — each such finding is
+//     by construction invisible to the table pass.
+//
+// The engine also derives the region-condition summaries lint shares with chk::por:
+// for every (task, region) it fills a chk::RegionConditions from the fixpoint — a
+// durable def in the region (war_hazard), taint produced in one region consumed in
+// another (io_taint_crossing), a branch steered by tainted values (value_steered), a
+// Timely contract in scope (timely_window) — and aggregates them program-wide. The
+// certify harness feeds the aggregate into chk's CollapsibleRegion before collapsing
+// failure-instant classes, so the static and dynamic sides prune by the same rule.
+
+#ifndef EASEIO_EASEC_LINT_DATAFLOW_ENGINE_H_
+#define EASEIO_EASEC_LINT_DATAFLOW_ENGINE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "chk/por.h"
+#include "easec/lint/dataflow/cfg.h"
+#include "easec/lint/dataflow/domains.h"
+#include "easec/lint/dataflow/solver.h"
+#include "easec/program.h"
+
+namespace easeio::easec::lint::dataflow {
+
+struct StmtTaint {
+  std::set<uint32_t> guarded;  // producer sites with a Single/Timely contract
+  std::set<uint32_t> always;   // producer sites that re-execute silently
+};
+
+struct TaintSolution {
+  std::vector<StmtTaint> stmt_in;              // per def/use entry, consumer-visible
+  std::vector<std::set<uint32_t>> guarded_nv;  // per __nv declaration
+  std::vector<std::set<uint32_t>> always_nv;
+};
+
+struct WarSolution {
+  std::vector<std::set<uint32_t>> may_read_in;      // per def/use entry
+  std::vector<std::set<uint32_t>> must_written_in;  // per def/use entry
+  std::vector<std::set<uint32_t>> exposed_in;       // read-before-write on some path
+};
+
+struct DataflowResult {
+  std::vector<TaskCfg> cfgs;  // one per task, task index order
+
+  TaintSolution taint_fwd;
+  TaintSolution taint_full;
+  WarSolution war_fwd;
+  WarSolution war_full;
+
+  // chk::por's shared vocabulary, derived statically: [task][region].
+  std::vector<std::vector<chk::RegionConditions>> region_conditions;
+  chk::RegionConditions program_conditions;
+
+  SolveStats stats;  // aggregated over every solve (both solutions, all rounds)
+
+  std::vector<uint32_t> site_stmt;     // io site -> def/use entry evaluating it
+  std::vector<uint64_t> stmt_cost_lb;  // per def/use entry: cycle lower bound
+
+  // Per-node cost vector for MinPathCost over `cfg`.
+  std::vector<uint64_t> NodeCosts(const TaskCfg& cfg) const;
+};
+
+DataflowResult Analyze(const Program& ast, const Analysis& a);
+
+}  // namespace easeio::easec::lint::dataflow
+
+#endif  // EASEIO_EASEC_LINT_DATAFLOW_ENGINE_H_

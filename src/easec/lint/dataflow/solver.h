@@ -1,0 +1,104 @@
+// Generic worklist fixpoint solver over a TaskCfg.
+//
+// A Domain supplies:
+//
+//   using State = ...;                            // default-constructed == bottom
+//   bool Join(State& into, const State& from);    // least upper bound; true if grew
+//   void Transfer(uint32_t stmt, State& state);   // in-place gen/kill for a def/use
+//                                                 // entry (may also fold facts into
+//                                                 // flow-insensitive domain storage)
+//   bool Widen(State& state);                     // jump toward top; true if it did
+//                                                 // anything (finite lattices: false)
+//
+// The solver propagates forward from the entry node, maintaining an IN state per
+// node; a node is re-queued when a predecessor's OUT grows its IN. Termination: every
+// shipped domain is a finite powerset lattice (sets over the program's sites / __nv
+// indices) with union-monotone transfer functions, so the chain of IN states is
+// finite and the worklist drains. Widen is the safety valve for domains that are not:
+// after `widen_threshold` growing joins at one node the solver invokes it, and counts
+// how often it actually coarsened — a number the CLI exports, because a nonzero
+// widening count means the analysis traded precision for termination.
+//
+// `include_back_edges` = false solves the acyclic forward restriction — the exact
+// strength of the original straight-line table pass, used by the easeio-lint/1
+// queries; true solves the full graph the /2 loop queries need.
+
+#ifndef EASEIO_EASEC_LINT_DATAFLOW_SOLVER_H_
+#define EASEIO_EASEC_LINT_DATAFLOW_SOLVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "easec/lint/dataflow/cfg.h"
+
+namespace easeio::easec::lint::dataflow {
+
+struct SolveStats {
+  uint64_t nodes = 0;       // filled by the engine: Σ node_count over the task CFGs
+  uint64_t edges = 0;       // filled by the engine: Σ edge_count over the task CFGs
+  uint64_t iterations = 0;  // node visits popped off the worklist
+  uint64_t joins = 0;       // edge propagations that grew a successor's IN
+  uint64_t widenings = 0;   // joins where Domain::Widen reported coarsening
+};
+
+template <typename Domain>
+std::vector<typename Domain::State> Solve(const TaskCfg& cfg, Domain& dom,
+                                          typename Domain::State entry_state,
+                                          bool include_back_edges,
+                                          uint32_t widen_threshold, SolveStats* stats) {
+  std::vector<typename Domain::State> in(cfg.node_count());
+  std::vector<uint32_t> grow_count(cfg.node_count(), 0);
+  std::vector<bool> queued(cfg.node_count(), false);
+  std::vector<bool> visited(cfg.node_count(), false);
+  std::deque<uint32_t> worklist;
+
+  in[TaskCfg::kEntry] = std::move(entry_state);
+  worklist.push_back(TaskCfg::kEntry);
+  queued[TaskCfg::kEntry] = true;
+
+  while (!worklist.empty()) {
+    const uint32_t n = worklist.front();
+    worklist.pop_front();
+    queued[n] = false;
+    visited[n] = true;
+    if (stats != nullptr) {
+      ++stats->iterations;
+    }
+
+    typename Domain::State out = in[n];
+    if (cfg.node(n).stmt != UINT32_MAX) {
+      dom.Transfer(cfg.node(n).stmt, out);
+    }
+
+    for (uint32_t m : cfg.node(n).succ) {
+      if (!include_back_edges && cfg.IsBackEdge(n, m)) {
+        continue;
+      }
+      // A successor runs when its IN grew — and at least once even if it never
+      // does: a bottom IN still feeds a Transfer whose gen sets (or side effects
+      // into flow-insensitive storage) matter.
+      const bool grew = dom.Join(in[m], out);
+      if (grew) {
+        if (stats != nullptr) {
+          ++stats->joins;
+        }
+        if (++grow_count[m] > widen_threshold) {
+          grow_count[m] = 0;
+          if (dom.Widen(in[m]) && stats != nullptr) {
+            ++stats->widenings;
+          }
+        }
+      }
+      if ((grew || !visited[m]) && !queued[m]) {
+        queued[m] = true;
+        worklist.push_back(m);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace easeio::easec::lint::dataflow
+
+#endif  // EASEIO_EASEC_LINT_DATAFLOW_SOLVER_H_

@@ -4,30 +4,17 @@
 #include <map>
 #include <set>
 
+#include "easec/lint/dataflow/engine.h"
 #include "report/json.h"
 #include "sim/costs.h"
 
 namespace easeio::easec::lint {
 namespace {
 
+using dataflow::EffectiveSem;
 using kernel::IoSemantic;
 
-bool IsGuarded(IoSemantic sem) {
-  return sem == IoSemantic::kSingle || sem == IoSemantic::kTimely;
-}
-
-// Scope precedence (Section 3.3.1): the outermost enclosing block decides how a site
-// re-executes. Returns the semantic that actually governs the site at run time.
-IoSemantic EffectiveSem(const Analysis& a, const IoSiteInfo& site) {
-  uint32_t b = site.block;
-  if (b == UINT32_MAX) {
-    return site.sem;
-  }
-  while (a.blocks[b].parent != UINT32_MAX) {
-    b = a.blocks[b].parent;
-  }
-  return a.blocks[b].sem;
-}
+bool IsGuarded(IoSemantic sem) { return dataflow::IsGuardedSem(sem); }
 
 // Static task-graph reachability over next_task edges (conditional edges count).
 std::vector<std::vector<bool>> Reachability(const Analysis& a) {
@@ -73,9 +60,9 @@ void SiteLinesInStmts(const std::vector<StmtPtr>& stmts, std::map<uint32_t, int>
 struct Context {
   const Program& ast;
   const Analysis& a;
+  const dataflow::DataflowResult& df;  // the solved fixpoints the queries read
   std::vector<std::vector<bool>> reach;
   std::map<uint32_t, int> site_lines;
-  // Per-statement taint-in sets, filled by the taint fixpoint's recording pass.
   std::vector<Finding>* findings;
 
   const char* NvName(uint32_t nv) const { return ast.nv_decls[nv].name.c_str(); }
@@ -86,31 +73,38 @@ struct Context {
   }
 };
 
-// --- I/O taint propagation ----------------------------------------------------------
+// --- I/O taint queries --------------------------------------------------------------
 //
-// Two monotone taint maps over __nv variables (including __sram staging buffers), run
-// to fixpoint across the task list so cross-task flows converge:
-//   * guarded:  values produced by Single/Timely-annotated sites — the freshness /
-//     once-only contract the annotation states;
-//   * always:   values produced by effective-Always sites — values that are silently
-//     re-produced on every re-execution.
-// Locals are tracked flow-sensitively within each task pass (fresh per invocation).
-// Updates are weak (union-only): an untainted overwrite does not clear taint, which
-// over-approximates — acceptable for a lint whose job is to surface candidate flows.
-class TaintEngine {
+// The propagation itself lives in the dataflow engine (TaintDomain): guarded /
+// always producer-site sets over flow-sensitive locals and flow-insensitive __nv
+// maps, solved to fixpoint over every task CFG. This class only *queries* the solved
+// facts, walking the def/use table in pre-order so findings surface in source order.
+// The /1 queries read the forward (back-edge-excluded) solution — the strength of the
+// original linear table pass, which keeps the report byte-identical on programs that
+// pass handled.
+class TaintQueries {
  public:
-  explicit TaintEngine(Context& ctx)
-      : ctx_(ctx),
-        guarded_nv_(ctx.ast.nv_decls.size()),
-        always_nv_(ctx.ast.nv_decls.size()) {}
+  explicit TaintQueries(Context& ctx) : ctx_(ctx), sol_(ctx.df.taint_fwd) {}
 
   void Run() {
-    for (int iter = 0; iter < 8; ++iter) {
-      if (!Pass(/*record=*/false)) {
-        break;
+    // First execution region of each guarded site within its task (for the
+    // region-escape check), discovered in pre-order.
+    std::map<uint32_t, uint32_t> site_region;
+
+    for (uint32_t i = 0; i < ctx_.a.def_use.size(); ++i) {
+      const StmtDefUse& e = ctx_.a.def_use[i];
+      const dataflow::StmtTaint& in = sol_.stmt_in[i];
+      for (uint32_t s : e.io_sites) {
+        site_region.emplace(s, e.region);
+        CheckConsumer(s, in.guarded, in.always);
+      }
+      std::set<uint32_t> guarded_out = in.guarded;
+      std::set<uint32_t> always_out = in.always;
+      dataflow::TaintGens(ctx_.a, e, guarded_out, always_out);
+      for (uint32_t nv : e.nv_defs) {
+        CheckRegionEscape(e, nv, guarded_out, site_region);
       }
     }
-    Pass(/*record=*/true);
   }
 
  private:
@@ -118,87 +112,6 @@ class TaintEngine {
     bool changed = false;
     for (uint32_t v : from) {
       changed |= into.insert(v).second;
-    }
-    return changed;
-  }
-
-  bool Pass(bool record) {
-    bool changed = false;
-    std::map<int32_t, std::set<uint32_t>> guarded_local;
-    std::map<int32_t, std::set<uint32_t>> always_local;
-    // First execution region of each guarded site within its task (for the
-    // region-escape check), discovered on the fly.
-    std::map<uint32_t, uint32_t> site_region;
-    uint32_t cur_task = UINT32_MAX;
-
-    for (const StmtDefUse& e : ctx_.a.def_use) {
-      if (e.task != cur_task) {
-        cur_task = e.task;
-        guarded_local.clear();
-        always_local.clear();
-      }
-
-      std::set<uint32_t> guarded_in;
-      std::set<uint32_t> always_in;
-      for (int32_t l : e.local_uses) {
-        Union(guarded_in, guarded_local[l]);
-        Union(always_in, always_local[l]);
-      }
-      for (uint32_t nv : e.nv_uses) {
-        Union(guarded_in, guarded_nv_[nv]);
-        Union(always_in, always_nv_[nv]);
-      }
-
-      std::set<uint32_t> guarded_gen;
-      std::set<uint32_t> always_gen;
-      for (uint32_t s : e.io_sites) {
-        const IoSiteInfo& site = ctx_.a.sites[s];
-        if (IsGuarded(site.sem)) {
-          guarded_gen.insert(s);
-        }
-        if (EffectiveSem(ctx_.a, site) == IoSemantic::kAlways) {
-          always_gen.insert(s);
-        }
-        // Capture fills its __nv buffer from the peripheral.
-        if (site.fn == IoFn::kCapture && site.buffer_nv >= 0) {
-          if (IsGuarded(site.sem)) {
-            changed |= Union(guarded_nv_[site.buffer_nv], {s});
-          }
-          if (EffectiveSem(ctx_.a, site) == IoSemantic::kAlways) {
-            changed |= Union(always_nv_[site.buffer_nv], {s});
-          }
-        }
-        if (record) {
-          site_region.emplace(s, e.region);
-          CheckConsumer(s, guarded_in, always_in);
-        }
-      }
-
-      std::set<uint32_t> guarded_out = guarded_in;
-      std::set<uint32_t> always_out = always_in;
-      Union(guarded_out, guarded_gen);
-      Union(always_out, always_gen);
-
-      for (int32_t l : e.local_defs) {
-        Union(guarded_local[l], guarded_out);
-        Union(always_local[l], always_out);
-      }
-      for (uint32_t nv : e.nv_defs) {
-        changed |= Union(guarded_nv_[nv], guarded_out);
-        changed |= Union(always_nv_[nv], always_out);
-        if (record) {
-          CheckRegionEscape(e, nv, guarded_out, site_region);
-        }
-      }
-
-      // A DMA copies whatever taint its source holds into its destination.
-      if (e.dma != UINT32_MAX) {
-        const DmaInfo& d = ctx_.a.dmas[e.dma];
-        if (d.src_nv >= 0 && d.dst_nv >= 0) {
-          changed |= Union(guarded_nv_[d.dst_nv], guarded_nv_[d.src_nv]);
-          changed |= Union(always_nv_[d.dst_nv], always_nv_[d.src_nv]);
-        }
-      }
     }
     return changed;
   }
@@ -214,8 +127,8 @@ class TaintEngine {
     std::set<uint32_t> guarded = guarded_in;
     std::set<uint32_t> always = always_in;
     if (c.fn == IoFn::kSend && c.buffer_nv >= 0) {
-      Union(guarded, guarded_nv_[c.buffer_nv]);
-      Union(always, always_nv_[c.buffer_nv]);
+      Union(guarded, sol_.guarded_nv[c.buffer_nv]);
+      Union(always, sol_.always_nv[c.buffer_nv]);
     }
     const std::set<uint32_t> deps(c.depends_on.begin(), c.depends_on.end());
 
@@ -329,8 +242,7 @@ class TaintEngine {
   }
 
   Context& ctx_;
-  std::vector<std::set<uint32_t>> guarded_nv_;
-  std::vector<std::set<uint32_t>> always_nv_;
+  const dataflow::TaintSolution& sol_;
   std::set<std::pair<uint32_t, uint32_t>> seen_cross_;
   std::set<std::pair<uint32_t, uint32_t>> seen_stale_;
   std::set<std::pair<uint32_t, uint32_t>> seen_escape_;
@@ -599,43 +511,42 @@ class CostWalk {
 
 void WarDmaInvisible(Context& ctx) {
   const Analysis& a = ctx.a;
-  uint32_t cur_task = UINT32_MAX;
-  std::set<uint32_t> read_so_far;
-  for (const StmtDefUse& e : a.def_use) {
-    if (e.task != cur_task) {
-      cur_task = e.task;
-      read_so_far.clear();
+  for (uint32_t i = 0; i < a.def_use.size(); ++i) {
+    const StmtDefUse& e = a.def_use[i];
+    if (e.dma == UINT32_MAX) {
+      continue;
     }
-    if (e.dma != UINT32_MAX) {
-      const DmaInfo& d = a.dmas[e.dma];
-      if (d.dst_nv >= 0 && !d.dst_sram &&
-          read_so_far.count(static_cast<uint32_t>(d.dst_nv)) != 0) {
-        const TaskInfo& task = a.tasks[e.task];
-        const bool in_war =
-            std::find(task.war.begin(), task.war.end(),
-                      static_cast<uint32_t>(d.dst_nv)) != task.war.end();
-        if (!in_war) {
-          Finding f;
-          f.code = "war-dma-invisible";
-          f.severity = Severity::kWarning;
-          f.line = e.line;
-          f.subject = ctx.NvName(d.dst_nv);
-          f.message = "task '" + std::string(ctx.TaskName(e.task)) + "' reads '" +
-                      std::string(ctx.NvName(d.dst_nv)) +
-                      "' before this _DMA_copy overwrites it; DMA operands are "
-                      "invisible to the baseline compilers' WAR analysis, so the "
-                      "variable is not privatized and a re-execution reads the new "
-                      "value";
-          f.fixit = "stage the copy through a __sram buffer, or touch '" +
+    const DmaInfo& d = a.dmas[e.dma];
+    // DMA statements are top-level, so every textually earlier read of the task is on
+    // some path into them: the full solution's may-read IN set at the statement is
+    // exactly the linear "read so far" table the original pass kept.
+    const std::set<uint32_t>& read_before = ctx.df.war_full.may_read_in[i];
+    if (d.dst_nv >= 0 && !d.dst_sram &&
+        read_before.count(static_cast<uint32_t>(d.dst_nv)) != 0) {
+      const TaskInfo& task = a.tasks[e.task];
+      const bool in_war =
+          std::find(task.war.begin(), task.war.end(),
+                    static_cast<uint32_t>(d.dst_nv)) != task.war.end();
+      if (!in_war) {
+        Finding f;
+        f.code = "war-dma-invisible";
+        f.severity = Severity::kWarning;
+        f.line = e.line;
+        f.subject = ctx.NvName(d.dst_nv);
+        f.message = "task '" + std::string(ctx.TaskName(e.task)) + "' reads '" +
                     std::string(ctx.NvName(d.dst_nv)) +
-                    "' with a CPU write so the WAR set sees it";
-          f.witness_runtime = "alpaca";
-          f.anchor_dma = e.dma;
-          ctx.findings->push_back(std::move(f));
-        }
+                    "' before this _DMA_copy overwrites it; DMA operands are "
+                    "invisible to the baseline compilers' WAR analysis, so the "
+                    "variable is not privatized and a re-execution reads the new "
+                    "value";
+        f.fixit = "stage the copy through a __sram buffer, or touch '" +
+                  std::string(ctx.NvName(d.dst_nv)) +
+                  "' with a CPU write so the WAR set sees it";
+        f.witness_runtime = "alpaca";
+        f.anchor_dma = e.dma;
+        ctx.findings->push_back(std::move(f));
       }
     }
-    read_so_far.insert(e.nv_uses.begin(), e.nv_uses.end());
   }
 }
 
@@ -665,6 +576,159 @@ void ScopeDemotion(Context& ctx) {
     ctx.findings->push_back(std::move(f));
   }
 }
+
+// --- Full-fixpoint queries (easeio-lint/2) ------------------------------------------
+//
+// Everything below fires only on facts the forward solution (and therefore the
+// original table pass) cannot contain: flows that exist solely across a loop back
+// edge, and read-before-write pairs textual order hides. Gated behind
+// LintOptions::v2 so the /1 report stays frozen.
+class V2Queries {
+ public:
+  explicit V2Queries(Context& ctx) : ctx_(ctx) {}
+
+  void Run() {
+    TaintLoopCarried();
+    WarPathDivergent();
+  }
+
+ private:
+  // Producer sites visible to consumer site `c` evaluated by statement `i` under
+  // `sol`: the statement's guarded IN plus, for Send, the transmitted buffer's map.
+  std::set<uint32_t> GuardedProducers(const dataflow::TaintSolution& sol, uint32_t i,
+                                      const IoSiteInfo& c) const {
+    std::set<uint32_t> g = sol.stmt_in[i].guarded;
+    if (c.fn == IoFn::kSend && c.buffer_nv >= 0) {
+      g.insert(sol.guarded_nv[c.buffer_nv].begin(), sol.guarded_nv[c.buffer_nv].end());
+    }
+    return g;
+  }
+
+  void TaintLoopCarried() {
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (uint32_t i = 0; i < ctx_.a.def_use.size(); ++i) {
+      const StmtDefUse& e = ctx_.a.def_use[i];
+      for (uint32_t s : e.io_sites) {
+        const IoSiteInfo& c = ctx_.a.sites[s];
+        if (!IsGuarded(c.sem)) {
+          continue;
+        }
+        const std::set<uint32_t> fwd = GuardedProducers(ctx_.df.taint_fwd, i, c);
+        const std::set<uint32_t> deps(c.depends_on.begin(), c.depends_on.end());
+        for (uint32_t p : GuardedProducers(ctx_.df.taint_full, i, c)) {
+          if (p == s || fwd.count(p) != 0 || deps.count(p) != 0 ||
+              !seen.insert({s, p}).second) {
+            continue;
+          }
+          const IoSiteInfo& prod = ctx_.a.sites[p];
+          Finding f;
+          f.code = "taint-loop-carried";
+          f.severity = Severity::kWarning;
+          f.line = ctx_.SiteLine(s);
+          f.subject = c.fn_name;
+          f.message = std::string(kernel::ToString(prod.sem)) + " result of " +
+                      prod.fn_name + "() reaches " +
+                      std::string(kernel::ToString(c.sem)) + " " + c.fn_name +
+                      "() only across a loop back edge: the consumed value was "
+                      "produced in an earlier iteration, and the dependence rule "
+                      "never spans iterations, so the freshness contract silently "
+                      "covers the stale prior round";
+          f.fixit = "re-sample " + prod.fn_name +
+                    "() before the consumer inside the loop body so producer and "
+                    "consumer share an iteration";
+          f.witness_runtime = "easeio";
+          f.anchor_site = p;
+          f.anchor_consumer = s;
+          if (prod.sem == IoSemantic::kTimely && prod.window_us > 0) {
+            f.anchor_window_us = prod.window_us;
+          }
+          ctx_.findings->push_back(std::move(f));
+          TimelyLoopStale(i, s, p);
+        }
+      }
+    }
+  }
+
+  // For a loop-carried Timely flow, lower-bound the dynamic separation: the cheapest
+  // path from the producer's statement around the loop to the consumer. If even that
+  // exceeds the window, every cross-iteration consumption is provably stale.
+  void TimelyLoopStale(uint32_t consumer_stmt, uint32_t consumer_site, uint32_t p) {
+    const IoSiteInfo& prod = ctx_.a.sites[p];
+    if (prod.sem != IoSemantic::kTimely || prod.window_us == 0) {
+      return;
+    }
+    const uint32_t ps = ctx_.df.site_stmt[p];
+    if (ps == UINT32_MAX || ps == consumer_stmt ||
+        ctx_.a.def_use[ps].task != ctx_.a.def_use[consumer_stmt].task) {
+      return;  // cross-task separation is not bounded by one task's CFG
+    }
+    const dataflow::TaskCfg& cfg = ctx_.df.cfgs[ctx_.a.def_use[ps].task];
+    const uint64_t cycles =
+        dataflow::MinPathCost(cfg, ctx_.df.NodeCosts(cfg), cfg.NodeForStmt(ps),
+                              cfg.NodeForStmt(consumer_stmt));
+    if (cycles == UINT64_MAX || cycles <= prod.window_us) {
+      return;
+    }
+    const IoSiteInfo& c = ctx_.a.sites[consumer_site];
+    Finding f;
+    f.code = "timely-loop-stale";
+    f.severity = Severity::kWarning;
+    f.line = ctx_.SiteLine(consumer_site);
+    f.subject = c.fn_name;
+    f.message = "Timely window of " + std::to_string(prod.window_us) +
+                " us can never span the loop: the cheapest path from " +
+                prod.fn_name + "() around the back edge to this " + c.fn_name +
+                "() costs at least " + std::to_string(cycles) +
+                " cycles, so every cross-iteration consumption is already stale";
+    f.fixit = "widen the window to at least " + std::to_string((cycles + 999) / 1000) +
+              " ms or consume the reading in the iteration that produced it";
+    f.witness_runtime = "easeio";
+    f.anchor_site = p;
+    f.anchor_consumer = consumer_site;
+    f.anchor_window_us = prod.window_us;
+    ctx_.findings->push_back(std::move(f));
+  }
+
+  void WarPathDivergent() {
+    std::set<std::pair<uint32_t, uint32_t>> seen;  // (task, nv)
+    for (uint32_t i = 0; i < ctx_.a.def_use.size(); ++i) {
+      const StmtDefUse& e = ctx_.a.def_use[i];
+      for (uint32_t nv : e.nv_defs) {
+        if (ctx_.ast.nv_decls[nv].sram ||
+            ctx_.df.war_full.exposed_in[i].count(nv) == 0) {
+          continue;
+        }
+        const TaskInfo& task = ctx_.a.tasks[e.task];
+        if (std::find(task.war.begin(), task.war.end(), nv) != task.war.end()) {
+          continue;  // the textual table already privatizes it
+        }
+        if (!seen.insert({e.task, nv}).second) {
+          continue;
+        }
+        Finding f;
+        f.code = "war-path-divergent";
+        f.severity = Severity::kWarning;
+        f.line = e.line;
+        f.subject = ctx_.NvName(nv);
+        f.message = "task '" + std::string(ctx_.TaskName(e.task)) + "' can read '" +
+                    std::string(ctx_.NvName(nv)) +
+                    "' before this write along a path textual order hides (a loop "
+                    "back edge or a divergent branch); the baseline compilers' "
+                    "textual WAR tables do not privatize it, so a reboot between "
+                    "the write and task commit re-executes the read against the "
+                    "new value";
+        f.fixit = "stage '" + std::string(ctx_.NvName(nv)) +
+                  "' through a local for the whole task, or restructure so the "
+                  "first read precedes the first write textually";
+        f.witness_runtime = "alpaca";
+        f.anchor_nv = nv;
+        ctx_.findings->push_back(std::move(f));
+      }
+    }
+  }
+
+  Context& ctx_;
+};
 
 }  // namespace
 
@@ -709,22 +773,34 @@ void Recount(LintResult& result) {
   }
 }
 
-LintResult Lint(const CompileResult& compiled, const LintOptions&) {
+LintResult Lint(const CompileResult& compiled, const LintOptions& options) {
   LintResult result;
   if (!compiled.ok) {
     return result;
   }
-  Context ctx{compiled.ast, compiled.analysis, Reachability(compiled.analysis), {},
-              &result.findings};
+  const dataflow::DataflowResult df =
+      dataflow::Analyze(compiled.ast, compiled.analysis);
+  result.analysis.cfg_nodes = df.stats.nodes;
+  result.analysis.cfg_edges = df.stats.edges;
+  result.analysis.fixpoint_iterations = df.stats.iterations;
+  result.analysis.fixpoint_joins = df.stats.joins;
+  result.analysis.lattice_widenings = df.stats.widenings;
+
+  Context ctx{compiled.ast, compiled.analysis,       df,
+              Reachability(compiled.analysis), {}, &result.findings};
   for (const TaskDecl& task : compiled.ast.tasks) {
     SiteLinesInStmts(task.body, ctx.site_lines);
   }
 
-  TaintEngine(ctx).Run();
+  TaintQueries(ctx).Run();
   DmaAudit(ctx);
   CostWalk(ctx).Run();
   WarDmaInvisible(ctx);
   ScopeDemotion(ctx);
+  if (options.v2) {
+    result.schema_version = 2;
+    V2Queries(ctx).Run();
+  }
 
   std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) {
@@ -770,7 +846,7 @@ std::string RenderText(const LintResult& result, const std::string& source_name)
 std::string RenderJson(const LintResult& result, const std::string& source_name) {
   report::JsonWriter w;
   w.BeginObject();
-  w.Key("schema").String("easeio-lint/1");
+  w.Key("schema").String(result.schema_version >= 2 ? "easeio-lint/2" : "easeio-lint/1");
   w.Key("source").String(source_name);
   w.Key("findings").BeginArray();
   for (const Finding& f : result.findings) {
@@ -798,6 +874,15 @@ std::string RenderJson(const LintResult& result, const std::string& source_name)
   w.Key("warning").UInt(result.warnings);
   w.Key("advisory").UInt(result.advisories);
   w.EndObject();
+  if (result.schema_version >= 2) {
+    w.Key("analysis").BeginObject();
+    w.Key("cfg_nodes").UInt(result.analysis.cfg_nodes);
+    w.Key("cfg_edges").UInt(result.analysis.cfg_edges);
+    w.Key("fixpoint_iterations").UInt(result.analysis.fixpoint_iterations);
+    w.Key("fixpoint_joins").UInt(result.analysis.fixpoint_joins);
+    w.Key("lattice_widenings").UInt(result.analysis.lattice_widenings);
+    w.EndObject();
+  }
   w.EndObject();
   return w.TakeString();
 }

@@ -47,6 +47,32 @@
 //                            operands, so the variable is not privatized and a
 //                            re-execution reads the new value.
 //
+// All of the taint / WAR classes above are queries over the CFG-based fixpoint engine
+// (easec/lint/dataflow/), restricted to its *forward* (back-edge-excluded) solution —
+// exactly the strength of the linear table pass this analysis grew out of, which keeps
+// the easeio-lint/1 report byte-identical on programs the old pass handled. Opting in
+// to v2 (LintOptions::v2, `easelint --lint-v2`) additionally runs the queries that
+// need the full fixpoint — facts that only hold once loop back edges flow:
+//
+//   taint-loop-carried       a Single/Timely result produced in one loop iteration is
+//                            consumed by a Single/Timely site in a *later* iteration
+//                            (the flow exists only across a back edge); no dependence
+//                            edge spans iterations, so the consumer's freshness
+//                            contract silently covers a stale prior-round value.
+//   timely-loop-stale        a Timely result is consumed loop-carried and the minimum
+//                            cycle cost of the shortest path around the loop already
+//                            exceeds the window: every cross-iteration consumption is
+//                            provably stale.
+//   war-path-divergent       an __nv variable has a read-before-write on some
+//                            execution path ending in a CPU write, but textual order
+//                            hides the pair (write appears first), so the baseline
+//                            WAR tables do not privatize it; a reboot between the
+//                            write and commit re-executes the read against the new
+//                            value. Findings of this class are derived from facts
+//                            absent from the forward solution or the sema tables —
+//                            each one is a hazard the table-based pass provably
+//                            cannot report.
+//
 // Refutable findings carry a suggested failure schedule plus the runtime to replay it
 // under; witness.h replays them through chk::ReplaySchedule and either attaches a
 // confirmed counterexample or downgrades the finding to advisory.
@@ -88,6 +114,7 @@ struct Finding {
   uint32_t anchor_site = UINT32_MAX;      // producer / flagged site
   uint32_t anchor_consumer = UINT32_MAX;  // consumer site (taint findings)
   uint32_t anchor_dma = UINT32_MAX;       // flagged DMA (war-dma-invisible)
+  uint32_t anchor_nv = UINT32_MAX;        // flagged __nv variable (war-path-divergent)
   uint64_t anchor_window_us = 0;          // freshness window the witness must exceed
 };
 
@@ -95,6 +122,19 @@ struct LintOptions {
   // Privatization budget mirrored from CompileOptions so the DMA audit agrees with
   // the compile-time check.
   uint32_t dma_priv_buffer_bytes = 4096;
+  // Enables the full-fixpoint (loop/branch) finding classes and switches the JSON
+  // report to the easeio-lint/2 schema, which adds the `analysis` counters.
+  bool v2 = false;
+};
+
+// Fixpoint-engine counters, surfaced in the easeio-lint/2 report and through the
+// metrics registry (`easelint --metrics`).
+struct AnalysisStats {
+  uint64_t cfg_nodes = 0;
+  uint64_t cfg_edges = 0;
+  uint64_t fixpoint_iterations = 0;
+  uint64_t fixpoint_joins = 0;
+  uint64_t lattice_widenings = 0;
 };
 
 struct LintResult {
@@ -103,6 +143,8 @@ struct LintResult {
   uint32_t errors = 0;
   uint32_t warnings = 0;
   uint32_t advisories = 0;
+  uint32_t schema_version = 1;  // 2 when LintOptions::v2 ran
+  AnalysisStats analysis;
 };
 
 // Runs every analysis over a successfully compiled program. Pure and deterministic:

@@ -13,11 +13,23 @@ LintJobResult ExecuteLintJob(const LintJob& job) {
 
   LintOptions lint_options;
   lint_options.dma_priv_buffer_bytes = job.compile_options.dma_priv_buffer_bytes;
+  lint_options.v2 = job.lint_v2;
   out.lint = Lint(compiled, lint_options);
-  if (job.confirm_witnesses) {
+  if (job.confirm_witnesses || job.certify_exhaust > 0) {
     ConfirmWitnesses(compiled, out.lint, job.witness_options);
   } else {
     SuggestSchedules(compiled, out.lint, job.witness_options);
+  }
+
+  if (job.certify_exhaust > 0) {
+    CertifyOptions certify_options;
+    certify_options.exhaust = job.certify_exhaust;
+    certify_options.jobs = job.certify_jobs;
+    certify_options.v2 = job.lint_v2;
+    certify_options.witness = job.witness_options;
+    out.certify = Certify(compiled, certify_options, &out.lint);
+    out.certify_json = RenderCertifyJson(out.certify, job.source_name);
+    out.has_certify = true;
   }
 
   out.text = RenderText(out.lint, job.source_name);

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "easec/lint/certify.h"
 #include "easec/lint/lint.h"
 #include "easec/lint/witness.h"
 #include "easec/program.h"
@@ -22,6 +23,14 @@ struct LintJob {
   // false: fill suggested schedules only; true: also replay each suggestion in the
   // simulator and confirm/downgrade (easelint --witness).
   bool confirm_witnesses = false;
+  // Runs the full-fixpoint loop/branch queries and emits the easeio-lint/2 report
+  // (easelint --lint-v2).
+  bool lint_v2 = false;
+  // Cross-certify the static verdict against exhaustive failure-schedule replay
+  // (easelint --certify[=N]; 0 = off, 1-2 = max failures per schedule). Implies the
+  // witness-confirm pass: the certify verdict is defined over confirmed findings.
+  uint32_t certify_exhaust = 0;
+  uint32_t certify_jobs = 1;  // trial workers for the exhaust replays
 };
 
 struct LintJobResult {
@@ -36,6 +45,11 @@ struct LintJobResult {
 
   // True when any finding above advisory remains (CLI exit 1).
   bool has_findings = false;
+
+  // Present when LintJob::certify_exhaust > 0.
+  bool has_certify = false;
+  CertifyReport certify;
+  std::string certify_json;  // RenderCertifyJson output
 };
 
 LintJobResult ExecuteLintJob(const LintJob& job);

@@ -81,6 +81,17 @@ std::optional<uint64_t> FirstOn(const std::vector<ProbeEvent>& events, ProbeKind
   return std::nullopt;
 }
 
+std::optional<uint64_t> LastOn(const std::vector<ProbeEvent>& events, ProbeKind kind,
+                               uint32_t id) {
+  std::optional<uint64_t> on;
+  for (const ProbeEvent& e : events) {
+    if (e.kind == kind && e.id == id) {
+      on = e.on_us;
+    }
+  }
+  return on;
+}
+
 size_t CountExecs(const std::vector<ProbeEvent>& events, uint32_t site) {
   size_t n = 0;
   for (const ProbeEvent& e : events) {
@@ -90,17 +101,26 @@ size_t CountExecs(const std::vector<ProbeEvent>& events, uint32_t site) {
 }
 
 // Largest producer-reading age any consumer execution observed, in wall-clock us.
+// `count_skips` also treats a skipped consumer call (a locked Single/Timely site
+// restoring its private copy) as a consumption: the statement still ran and folded
+// the producer's value in. The loop-carried codes need this — a Single consumer
+// inside a loop executes once and then skips every later iteration, which is
+// precisely where the cross-iteration staleness lives. The /1 codes keep the
+// exec-only reading so their witness reports stay byte-stable.
 std::optional<uint64_t> MaxConsumerAge(const chk::ProgramReplayOutput& run,
-                                       uint32_t producer_site, uint32_t consumer_site) {
+                                       uint32_t producer_site, uint32_t consumer_site,
+                                       bool count_skips = false) {
   const std::vector<uint64_t> wall = WallTimes(run.events);
   std::optional<uint64_t> last_producer;
   std::optional<uint64_t> max_age;
   for (size_t i = 0; i < run.events.size(); ++i) {
     const ProbeEvent& e = run.events[i];
-    if (e.kind != ProbeKind::kIoExec) {
+    const bool consumes =
+        e.kind == ProbeKind::kIoExec || (count_skips && e.kind == ProbeKind::kIoSkip);
+    if (!consumes) {
       continue;
     }
-    if (e.id == producer_site) {
+    if (e.kind == ProbeKind::kIoExec && e.id == producer_site) {
       last_producer = wall[i];
     } else if (e.id == consumer_site && last_producer.has_value()) {
       const uint64_t age = wall[i] - *last_producer;
@@ -164,6 +184,23 @@ void Suggest(const CompileResult& compiled, Finding& f, GoldenCache& cache) {
     if (auto on = FirstOn(events, ProbeKind::kDmaExec, golden.dma_ids[f.anchor_dma])) {
       f.suggested_schedule = {chk::RepresentativeAfter(*on)};
     }
+  } else if ((f.code == "taint-loop-carried" || f.code == "timely-loop-stale") &&
+             f.anchor_site != UINT32_MAX) {
+    // Park a reboot right after the producer ran: the dark time ages the reading, and
+    // the consumer that picks it up lives in the *next* iteration, past the reboot.
+    if (auto on = FirstOn(events, ProbeKind::kIoExec, golden.site_ids[f.anchor_site])) {
+      f.suggested_schedule = {chk::RepresentativeAfter(*on)};
+      if (f.anchor_window_us > 0) {
+        f.suggested_off_us = std::max(f.suggested_off_us, f.anchor_window_us + 1000);
+      }
+    }
+  } else if (f.code == "war-path-divergent" && f.anchor_nv != UINT32_MAX &&
+             golden.nv_ids[f.anchor_nv] != kernel::kNoSlot) {
+    // Fail after the variable's last write: re-execution replays the path-hidden read
+    // against the committed new value, and the baseline never privatized it.
+    if (auto on = LastOn(events, ProbeKind::kNvWrite, golden.nv_ids[f.anchor_nv])) {
+      f.suggested_schedule = {chk::RepresentativeAfter(*on)};
+    }
   }
 }
 
@@ -220,7 +257,32 @@ void ConfirmWitnesses(const CompileResult& compiled, LintResult& result,
         detail = "consumer transmitted a reading " + std::to_string(*age) +
                  " us old (window " + std::to_string(f.anchor_window_us) + " us)";
       }
-    } else if (f.code == "stale-always-into-single" || f.code == "war-dma-invisible") {
+    } else if (f.code == "timely-loop-stale") {
+      const auto age =
+          MaxConsumerAge(replay, golden.site_ids[f.anchor_site],
+                         golden.site_ids[f.anchor_consumer], /*count_skips=*/true);
+      confirmed = age.has_value() && *age > f.anchor_window_us;
+      if (confirmed) {
+        detail = "consumer folded in a reading " + std::to_string(*age) +
+                 " us old (window " + std::to_string(f.anchor_window_us) + " us)";
+      }
+    } else if (f.code == "taint-loop-carried") {
+      // The hazard claim is cross-iteration staleness: the replay must widen the
+      // producer-to-consumer age beyond anything the continuous-power run exhibits.
+      const auto golden_age =
+          MaxConsumerAge(golden, golden.site_ids[f.anchor_site],
+                         golden.site_ids[f.anchor_consumer], /*count_skips=*/true);
+      const auto age =
+          MaxConsumerAge(replay, golden.site_ids[f.anchor_site],
+                         golden.site_ids[f.anchor_consumer], /*count_skips=*/true);
+      confirmed = age.has_value() && golden_age.has_value() && *age > *golden_age;
+      if (confirmed) {
+        detail = "consumer observed a reading " + std::to_string(*age) +
+                 " us old vs " + std::to_string(*golden_age) +
+                 " us under continuous power";
+      }
+    } else if (f.code == "stale-always-into-single" || f.code == "war-dma-invisible" ||
+               f.code == "war-path-divergent") {
       confirmed = NvDiverges(compiled.ast, replay, golden, &detail);
     } else if (f.code == "scope-demotion" || f.code == "timely-infeasible") {
       const size_t golden_execs =

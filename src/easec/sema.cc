@@ -298,6 +298,10 @@ class TaskAnalyzer {
     cur_ = &rec;
     AnalyzeStmtBody(stmt, top_level);
     cur_ = saved;
+    rec.subtree_end = static_cast<uint32_t>(analysis_.def_use.size());
+    if (rec.else_begin == 0) {
+      rec.else_begin = rec.subtree_end;  // kIf fills it between the two bodies
+    }
     analysis_.def_use[entry_index] = std::move(rec);
   }
 
@@ -354,6 +358,9 @@ class TaskAnalyzer {
       case StmtKind::kIf:
         AnalyzeExpr(*stmt.value, /*allow_call_io=*/true);
         AnalyzeStmts(stmt.then_body, /*top_level=*/false);
+        if (cur_ != nullptr) {
+          cur_->else_begin = static_cast<uint32_t>(analysis_.def_use.size());
+        }
         AnalyzeStmts(stmt.else_body, /*top_level=*/false);
         break;
       case StmtKind::kWhile:

@@ -102,6 +102,12 @@ struct StmtDefUse {
   uint32_t region = 0;                // region index the statement executes in
   uint32_t repeat_lanes = 1;          // product of enclosing repeat counts
   uint32_t target_task = UINT32_MAX;  // kNextTask: successor task index
+  // Pre-order subtree extent: def_use indices [index + 1, subtree_end) are this
+  // statement's descendants. For kIf, [index + 1, else_begin) is the then-body and
+  // [else_begin, subtree_end) the else-body. These delimit the structured control
+  // flow the lint CFG builder (easec/lint/dataflow/cfg.h) reconstructs edges from.
+  uint32_t subtree_end = 0;
+  uint32_t else_begin = 0;
   std::vector<int32_t> local_uses;
   std::vector<int32_t> local_defs;
   std::vector<uint32_t> nv_uses;      // CPU reads (incl. __sram)

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "easec/lint/certify.h"
 #include "easec/lint/lint.h"
 #include "easec/lint/witness.h"
 #include "easec/program.h"
@@ -229,6 +230,258 @@ TEST(Easelint, LintRejectsNothingOnFailedCompile) {
   ASSERT_FALSE(bad.ok);
   const LintResult result = Lint(bad);
   EXPECT_TRUE(result.findings.empty());
+}
+
+// ---- easeio-lint/2: the full-fixpoint loop/branch classes ----
+
+LintOptions V2() {
+  LintOptions options;
+  options.v2 = true;
+  return options;
+}
+
+// The loop fixtures are the acceptance bar for the fixpoint: each carries a hazard
+// the straight-line table pass provably cannot report, so under the default (v1)
+// schema every one of them must be silent.
+TEST(EaselintV2, LoopFixturesAreSilentUnderV1) {
+  const char* kLoopFixtures[] = {
+      "examples/programs/lint/loop_taint.ec",
+      "examples/programs/lint/loop_timely.ec",
+      "examples/programs/lint/loop_war.ec",
+      "examples/programs/lint/war_dead.ec",
+  };
+  for (const char* path : kLoopFixtures) {
+    const LintResult result = Lint(CompileFixture(path));
+    EXPECT_TRUE(result.findings.empty())
+        << path << " fired under v1: " << RenderText(result, path);
+    EXPECT_EQ(result.schema_version, 1u);
+  }
+}
+
+TEST(EaselintV2, LoopFixturesFireUnderV2) {
+  {
+    const LintResult result =
+        Lint(CompileFixture("examples/programs/lint/loop_taint.ec"), V2());
+    EXPECT_EQ(Codes(result), (std::vector<std::string>{"taint-loop-carried"}));
+    EXPECT_EQ(result.schema_version, 2u);
+  }
+  {
+    const LintResult result =
+        Lint(CompileFixture("examples/programs/lint/loop_timely.ec"), V2());
+    EXPECT_EQ(Codes(result), (std::vector<std::string>{"taint-loop-carried",
+                                                       "timely-loop-stale"}));
+    const Finding* stale = FindCode(result, "timely-loop-stale");
+    ASSERT_NE(stale, nullptr);
+    EXPECT_EQ(stale->severity, Severity::kWarning);
+    EXPECT_EQ(stale->anchor_window_us, 2000u);
+  }
+  {
+    const LintResult result =
+        Lint(CompileFixture("examples/programs/lint/loop_war.ec"), V2());
+    EXPECT_EQ(Codes(result), (std::vector<std::string>{"war-path-divergent"}));
+    EXPECT_EQ(result.findings[0].subject, "cache");
+  }
+  {
+    const LintResult result =
+        Lint(CompileFixture("examples/programs/lint/war_dead.ec"), V2());
+    EXPECT_EQ(Codes(result), (std::vector<std::string>{"war-path-divergent"}));
+    EXPECT_EQ(result.findings[0].subject, "floor");
+  }
+}
+
+TEST(EaselintV2, CleanLoopsStayCleanUnderBothSchemas) {
+  const char* kClean[] = {
+      "examples/programs/lint/clean_loop.ec",
+      "examples/programs/lint/clean_relay.ec",
+  };
+  for (const char* path : kClean) {
+    EXPECT_TRUE(Lint(CompileFixture(path)).findings.empty()) << path;
+    EXPECT_TRUE(Lint(CompileFixture(path), V2()).findings.empty()) << path;
+  }
+}
+
+TEST(EaselintV2, WitnessConfirmsLoopFindings) {
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_taint.ec");
+    LintResult result = Lint(compiled, V2());
+    ConfirmWitnesses(compiled, result);
+    const Finding* carried = FindCode(result, "taint-loop-carried");
+    ASSERT_NE(carried, nullptr);
+    EXPECT_EQ(carried->witness, WitnessState::kConfirmed) << carried->witness_detail;
+    EXPECT_EQ(carried->severity, Severity::kWarning);
+  }
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_timely.ec");
+    LintResult result = Lint(compiled, V2());
+    ConfirmWitnesses(compiled, result);
+    EXPECT_EQ(FindCode(result, "timely-loop-stale")->witness,
+              WitnessState::kConfirmed);
+  }
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_war.ec");
+    LintResult result = Lint(compiled, V2());
+    ConfirmWitnesses(compiled, result);
+    EXPECT_EQ(FindCode(result, "war-path-divergent")->witness,
+              WitnessState::kConfirmed);
+  }
+}
+
+// war_dead.ec: the flagged read sits on a branch the boot task pins dead, so the
+// replay cannot demonstrate the hazard — the finding must downgrade to advisory (the
+// program exits 0) and do so deterministically.
+TEST(EaselintV2, RefutedWitnessDowngradesDeterministically) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/war_dead.ec");
+  std::string first_json;
+  for (int round = 0; round < 2; ++round) {
+    LintResult result = Lint(compiled, V2());
+    ConfirmWitnesses(compiled, result);
+    const Finding* divergent = FindCode(result, "war-path-divergent");
+    ASSERT_NE(divergent, nullptr);
+    EXPECT_EQ(divergent->witness, WitnessState::kUnconfirmed);
+    EXPECT_EQ(divergent->severity, Severity::kAdvisory);
+    EXPECT_EQ(result.errors + result.warnings, 0u);
+    EXPECT_EQ(result.advisories, 1u);
+    const std::string json = RenderJson(result, "war_dead");
+    if (round == 0) {
+      first_json = json;
+    } else {
+      EXPECT_EQ(json, first_json);
+    }
+  }
+}
+
+// ---- golden corpus: CI compares these bytes; keep the unit test in lockstep ----
+
+struct GoldenCase {
+  const char* name;
+  bool v2;
+};
+
+TEST(EaselintGolden, ReportsMatchTheCheckedInGoldenBytes) {
+  const GoldenCase kCases[] = {
+      {"clean_control", false}, {"stale_always", false}, {"taint_cross_task", false},
+      {"timely_window", false}, {"war_dma", false},      {"dma_audit", false},
+      {"clean_loop", true},     {"clean_relay", true},   {"loop_taint", true},
+      {"loop_timely", true},    {"loop_war", true},      {"war_dead", true},
+  };
+  for (const GoldenCase& c : kCases) {
+    const std::string source_name =
+        std::string("examples/programs/lint/") + c.name + ".ec";
+    const CompileResult compiled = CompileFixture(source_name);
+    LintOptions options;
+    options.v2 = c.v2;
+
+    LintResult suggested = Lint(compiled, options);
+    SuggestSchedules(compiled, suggested);
+    EXPECT_EQ(RenderJson(suggested, source_name) + "\n",
+              ReadFixture("examples/programs/lint/golden/" + std::string(c.name) +
+                          ".lint.json"))
+        << c.name;
+
+    LintResult witnessed = Lint(compiled, options);
+    ConfirmWitnesses(compiled, witnessed);
+    EXPECT_EQ(RenderJson(witnessed, source_name) + "\n",
+              ReadFixture("examples/programs/lint/golden/" + std::string(c.name) +
+                          ".witness.json"))
+        << c.name;
+  }
+}
+
+// ---- --certify: static verdicts cross-validated against exhaust replay ----
+
+TEST(EaselintCertify, CleanProgramsCertify) {
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/clean_control.ec");
+    const CertifyReport report = Certify(compiled, CertifyOptions{});
+    EXPECT_EQ(report.verdict, "clean-certified");
+    EXPECT_EQ(report.violations, 0u);
+    EXPECT_GT(report.trials, 0u);
+    EXPECT_FALSE(report.por_collapsed);  // durable defs: war_hazard holds
+  }
+  {
+    // All four region conditions proved absent: the static rule may prune, and at
+    // depth 2 the post-reboot traces contain pure skip events it actually folds.
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/clean_relay.ec");
+    CertifyOptions options;
+    options.exhaust = 2;
+    const CertifyReport report = Certify(compiled, options);
+    EXPECT_EQ(report.verdict, "clean-certified");
+    EXPECT_EQ(report.violations, 0u);
+    EXPECT_TRUE(report.por_collapsed);
+    EXPECT_GT(report.collapsed_instants, 0u);
+    EXPECT_GT(report.pair_schedules, 0u);
+  }
+}
+
+TEST(EaselintCertify, FindingFixturesAreWitnessed) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/war_dma.ec");
+  const CertifyReport report = Certify(compiled, CertifyOptions{});
+  EXPECT_EQ(report.verdict, "findings-witnessed");
+  EXPECT_GE(report.confirmed_findings, 1u);
+  // The WAR hazard is real: some depth-1 schedules corrupt the untainted slots.
+  EXPECT_GT(report.violations, 0u);
+  EXPECT_FALSE(report.violating_schedules.empty());
+}
+
+TEST(EaselintCertify, DowngradedFindingStillCertifiesClean) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/war_dead.ec");
+  CertifyOptions options;
+  options.v2 = true;
+  const CertifyReport report = Certify(compiled, options);
+  EXPECT_EQ(report.verdict, "clean-certified");  // advisory only after downgrade
+  EXPECT_EQ(report.downgraded_findings, 1u);
+  EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(EaselintCertify, ReportIsByteIdenticalAcrossJobsCounts) {
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/war_dma.ec");
+    CertifyOptions one;
+    one.jobs = 1;
+    CertifyOptions four;
+    four.jobs = 4;
+    const std::string a = RenderCertifyJson(Certify(compiled, one), "fixture");
+    const std::string b = RenderCertifyJson(Certify(compiled, four), "fixture");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"schema\":\"easeio-lint-certify/1\""), std::string::npos);
+  }
+  {
+    // The downgrade path too: the refuted-witness advisory must render the same
+    // certify bytes at any worker count.
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/war_dead.ec");
+    CertifyOptions one;
+    one.v2 = true;
+    one.jobs = 1;
+    CertifyOptions four = one;
+    four.jobs = 4;
+    const std::string a = RenderCertifyJson(Certify(compiled, one), "fixture");
+    const std::string b = RenderCertifyJson(Certify(compiled, four), "fixture");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"downgraded\":1"), std::string::npos);
+  }
+}
+
+TEST(EaselintCertify, RenderCoversTheUnsoundShape) {
+  CertifyReport report;
+  report.verdict = "unsound";
+  report.candidate_instants = 3;
+  report.trials = 3;
+  report.violations = 2;
+  report.violating_schedules = {{1500}, {1500, 4200}};
+  const std::string json = RenderCertifyJson(report, "crafted");
+  EXPECT_NE(json.find("\"verdict\":\"unsound\""), std::string::npos);
+  EXPECT_NE(json.find("\"violating_schedules\":[[1500],[1500,4200]]"),
+            std::string::npos);
 }
 
 }  // namespace

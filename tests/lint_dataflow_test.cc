@@ -1,0 +1,433 @@
+// The easelint fixpoint engine: CFG reconstruction from sema's pre-order extents,
+// worklist solver behavior (first-reach visits, join counting, the widening valve),
+// the fwd/full solution split the byte-identity guarantee rests on, and the static
+// region conditions shared with chk::por.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chk/por.h"
+#include "easec/lint/dataflow/cfg.h"
+#include "easec/lint/dataflow/domains.h"
+#include "easec/lint/dataflow/engine.h"
+#include "easec/lint/dataflow/solver.h"
+#include "easec/program.h"
+
+namespace easeio::easec::lint::dataflow {
+namespace {
+
+std::string ReadFixture(const std::string& relative) {
+  const std::string path = std::string(EASEIO_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+CompileResult CompileFixture(const std::string& relative) {
+  CompileResult result = Compile(ReadFixture(relative));
+  EXPECT_TRUE(result.ok) << relative << " failed to compile:\n" << result.errors;
+  return result;
+}
+
+CompileResult CompileSource(const std::string& source) {
+  CompileResult result = Compile(source);
+  EXPECT_TRUE(result.ok) << "inline program failed to compile:\n" << result.errors;
+  return result;
+}
+
+uint32_t NvIndex(const Program& ast, const std::string& name) {
+  for (uint32_t i = 0; i < ast.nv_decls.size(); ++i) {
+    if (ast.nv_decls[i].name == name) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "no __nv declaration named " << name;
+  return UINT32_MAX;
+}
+
+// First def/use entry of `kind` in the task's range.
+uint32_t FindStmt(const Analysis& a, const TaskCfg& cfg, StmtKind kind) {
+  for (uint32_t s = cfg.first_stmt(); s < cfg.end_stmt(); ++s) {
+    if (a.def_use[s].kind == kind) {
+      return s;
+    }
+  }
+  ADD_FAILURE() << "no statement of the requested kind";
+  return UINT32_MAX;
+}
+
+bool HasEdge(const TaskCfg& cfg, uint32_t from, uint32_t to) {
+  for (uint32_t m : cfg.node(from).succ) {
+    if (m == to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(LintCfg, LinearTaskChainsEntryToExit) {
+  const CompileResult compiled = CompileSource(
+      "task t() { int16 a = 1; int16 b = a; end_task; }");
+  const TaskCfg cfg(compiled.analysis, 0);
+
+  ASSERT_EQ(cfg.node_count(), 5u);  // entry, exit, three statements
+  EXPECT_EQ(cfg.edge_count(), 4u);
+  EXPECT_TRUE(cfg.back_edges().empty());
+
+  const uint32_t s0 = cfg.NodeForStmt(cfg.first_stmt());
+  const uint32_t s1 = cfg.NodeForStmt(cfg.first_stmt() + 1);
+  const uint32_t s2 = cfg.NodeForStmt(cfg.first_stmt() + 2);
+  EXPECT_TRUE(HasEdge(cfg, TaskCfg::kEntry, s0));
+  EXPECT_TRUE(HasEdge(cfg, s0, s1));
+  EXPECT_TRUE(HasEdge(cfg, s1, s2));
+  EXPECT_TRUE(HasEdge(cfg, s2, TaskCfg::kExit));  // end_task
+  EXPECT_EQ(cfg.node(s1).pred, (std::vector<uint32_t>{s0}));
+}
+
+TEST(LintCfg, IfForksAndJoins) {
+  const CompileResult compiled = CompileSource(
+      "task t() {\n"
+      "  int16 a = 1;\n"
+      "  if (a > 0) { a = 2; } else { a = 3; }\n"
+      "  a = 4;\n"
+      "  end_task;\n"
+      "}");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+
+  const uint32_t if_stmt = FindStmt(a, cfg, StmtKind::kIf);
+  const uint32_t cond = cfg.NodeForStmt(if_stmt);
+  const uint32_t then_head = cfg.NodeForStmt(if_stmt + 1);
+  const uint32_t else_head = cfg.NodeForStmt(a.def_use[if_stmt].else_begin);
+  const uint32_t join = cfg.NodeForStmt(a.def_use[if_stmt].subtree_end);
+
+  ASSERT_EQ(cfg.node(cond).succ.size(), 2u);
+  EXPECT_TRUE(HasEdge(cfg, cond, then_head));
+  EXPECT_TRUE(HasEdge(cfg, cond, else_head));
+  EXPECT_TRUE(HasEdge(cfg, then_head, join));
+  EXPECT_TRUE(HasEdge(cfg, else_head, join));
+  EXPECT_FALSE(HasEdge(cfg, cond, join));  // both branches nonempty
+  EXPECT_TRUE(cfg.back_edges().empty());
+}
+
+TEST(LintCfg, EmptyElseMakesTheConditionFallThrough) {
+  const CompileResult compiled = CompileSource(
+      "task t() {\n"
+      "  int16 a = 1;\n"
+      "  if (a > 0) { a = 2; }\n"
+      "  a = 4;\n"
+      "  end_task;\n"
+      "}");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+
+  const uint32_t if_stmt = FindStmt(a, cfg, StmtKind::kIf);
+  const uint32_t cond = cfg.NodeForStmt(if_stmt);
+  const uint32_t then_head = cfg.NodeForStmt(if_stmt + 1);
+  const uint32_t join = cfg.NodeForStmt(a.def_use[if_stmt].subtree_end);
+
+  EXPECT_TRUE(HasEdge(cfg, cond, then_head));
+  EXPECT_TRUE(HasEdge(cfg, cond, join));  // the not-taken path
+  EXPECT_TRUE(HasEdge(cfg, then_head, join));
+}
+
+TEST(LintCfg, WhileRecordsTheBackEdge) {
+  const CompileResult compiled = CompileSource(
+      "task t() { int16 i = 0; while (i < 3) { i = i + 1; } end_task; }");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+
+  const uint32_t while_stmt = FindStmt(a, cfg, StmtKind::kWhile);
+  const uint32_t header = cfg.NodeForStmt(while_stmt);
+  const uint32_t body = cfg.NodeForStmt(while_stmt + 1);
+  const uint32_t after = cfg.NodeForStmt(a.def_use[while_stmt].subtree_end);
+
+  EXPECT_TRUE(HasEdge(cfg, header, body));
+  EXPECT_TRUE(HasEdge(cfg, header, after));  // loop exit
+  EXPECT_TRUE(HasEdge(cfg, body, header));
+  ASSERT_EQ(cfg.back_edges().size(), 1u);
+  EXPECT_TRUE(cfg.IsBackEdge(body, header));
+  EXPECT_FALSE(cfg.IsBackEdge(header, body));
+}
+
+TEST(LintCfg, NonAlwaysIoBlockGetsASkipEdge) {
+  const CompileResult compiled = CompileSource(
+      "__nv int16 out;\n"
+      "task t() {\n"
+      "  int16 v;\n"
+      "  _IO_block_begin(\"Single\");\n"
+      "  v = _call_IO(Temp(), \"Always\");\n"
+      "  _IO_block_end;\n"
+      "  out = v;\n"
+      "  end_task;\n"
+      "}");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+
+  const uint32_t block_stmt = FindStmt(a, cfg, StmtKind::kIoBlock);
+  const uint32_t block = cfg.NodeForStmt(block_stmt);
+  const uint32_t after = cfg.NodeForStmt(a.def_use[block_stmt].subtree_end);
+  // The runtime may elide a locked non-Always block body on re-execution.
+  EXPECT_TRUE(HasEdge(cfg, block, after));
+  EXPECT_TRUE(HasEdge(cfg, block, cfg.NodeForStmt(block_stmt + 1)));
+}
+
+TEST(LintCfg, MinPathCostWalksBackEdgesAndReportsUnreachable) {
+  const CompileResult compiled = CompileSource(
+      "task t() {\n"
+      "  int16 i = 0;\n"
+      "  while (i < 3) { int16 x = i; i = i + 1; }\n"
+      "  end_task;\n"
+      "}");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+  const std::vector<uint64_t> unit(cfg.node_count(), 1);
+
+  const uint32_t while_stmt = FindStmt(a, cfg, StmtKind::kWhile);
+  const uint32_t header = cfg.NodeForStmt(while_stmt);
+  const uint32_t body_a = cfg.NodeForStmt(while_stmt + 1);
+  const uint32_t body_b = cfg.NodeForStmt(while_stmt + 2);
+
+  // Forward within the iteration: a -> b is one hop, endpoints uncharged.
+  EXPECT_EQ(MinPathCost(cfg, unit, body_a, body_b), 0u);
+  // b -> a exists only around the loop: b -> header -> a charges the header. This
+  // is the lap cost the timely-loop-stale query lower-bounds.
+  EXPECT_EQ(MinPathCost(cfg, unit, body_b, body_a), 1u);
+  // Straight line: entry -> s0 -> header charges s0.
+  EXPECT_EQ(MinPathCost(cfg, unit, TaskCfg::kEntry, header), 1u);
+  // Control never flows back out of the exit node.
+  EXPECT_EQ(MinPathCost(cfg, unit, TaskCfg::kExit, TaskCfg::kEntry), UINT64_MAX);
+}
+
+// A domain whose states never grow: Join always reports no growth. The solver must
+// still run every reachable node's Transfer exactly once — the first-reach rule. (A
+// solver that only queues growing successors silently skips the whole graph for
+// bottom-preserving domains; the taint domain's flow-insensitive __nv maps depend on
+// every Transfer running.)
+struct CountingDomain {
+  struct State {};
+  explicit CountingDomain(size_t stmts) : transfers(stmts, 0) {}
+  bool Join(State&, const State&) { return false; }
+  void Transfer(uint32_t stmt, State&) { ++transfers[stmt]; }
+  static bool Widen(State&) { return false; }
+  std::vector<uint32_t> transfers;
+};
+
+TEST(LintSolver, VisitsEveryReachableNodeAtLeastOnce) {
+  const CompileResult compiled = CompileSource(
+      "task t() {\n"
+      "  int16 a = 1;\n"
+      "  if (a > 0) { a = 2; } else { a = 3; }\n"
+      "  a = 4;\n"
+      "  end_task;\n"
+      "}");
+  const Analysis& a = compiled.analysis;
+  const TaskCfg cfg(a, 0);
+
+  CountingDomain dom(a.def_use.size());
+  SolveStats stats;
+  Solve(cfg, dom, CountingDomain::State{}, /*include_back_edges=*/true,
+        /*widen_threshold=*/64, &stats);
+
+  for (uint32_t s = cfg.first_stmt(); s < cfg.end_stmt(); ++s) {
+    EXPECT_EQ(dom.transfers[s], 1u) << "statement " << s;
+  }
+  EXPECT_EQ(stats.iterations, cfg.node_count());  // acyclic: each node pops once
+  EXPECT_EQ(stats.joins, 0u);                     // nothing ever grew
+}
+
+// An unbounded counter lattice: every trip around the loop grows the header's IN, so
+// only the widening valve terminates the solve.
+struct CounterDomain {
+  static constexpr uint64_t kTop = 1u << 20;
+  struct State {
+    uint64_t n = 0;
+  };
+  bool Join(State& into, const State& from) {
+    if (from.n > into.n) {
+      into.n = from.n;
+      return true;
+    }
+    return false;
+  }
+  void Transfer(uint32_t, State& s) {
+    if (s.n < kTop) {
+      ++s.n;
+    }
+  }
+  static bool Widen(State& s) {
+    if (s.n >= kTop) {
+      return false;
+    }
+    s.n = kTop;
+    return true;
+  }
+};
+
+TEST(LintSolver, WideningTerminatesAnUnboundedLattice) {
+  const CompileResult compiled = CompileSource(
+      "task t() { int16 i = 0; while (i < 3) { i = i + 1; } end_task; }");
+  const TaskCfg cfg(compiled.analysis, 0);
+
+  CounterDomain dom;
+  SolveStats stats;
+  const auto in = Solve(cfg, dom, CounterDomain::State{}, /*include_back_edges=*/true,
+                        /*widen_threshold=*/4, &stats);
+
+  EXPECT_GE(stats.widenings, 1u);
+  EXPECT_LT(stats.iterations, 200u);  // not ~kTop laps
+  EXPECT_EQ(in[TaskCfg::kExit].n, CounterDomain::kTop);
+}
+
+TEST(LintSolver, ShippedLatticesNeverWiden) {
+  const DataflowResult df = [&] {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_taint.ec");
+    return Analyze(compiled.ast, compiled.analysis);
+  }();
+  EXPECT_EQ(df.stats.widenings, 0u);  // finite powerset lattices
+  EXPECT_GT(df.stats.nodes, 0u);
+  EXPECT_GT(df.stats.edges, 0u);
+  EXPECT_GE(df.stats.iterations, df.stats.nodes);
+  EXPECT_GT(df.stats.joins, 0u);
+}
+
+// The relation the easeio-lint/1 byte-identity guarantee rests on: on programs the
+// straight-line table pass handled, the forward solution's flow-insensitive __nv
+// taint maps equal the full fixpoint's — back edges add nothing the /1 queries could
+// see. In general the full solution may only *grow* them (a local carrying
+// loop-carried taint stored to __nv), never disagree otherwise.
+TEST(LintEngine, NvTaintMapsAreMonotoneAcrossSolutions) {
+  const char* kStraightLine[] = {
+      "examples/programs/lint/clean_control.ec",
+      "examples/programs/lint/taint_cross_task.ec",
+      "examples/programs/lint/stale_always.ec",
+  };
+  for (const char* path : kStraightLine) {
+    const CompileResult compiled = CompileFixture(path);
+    const DataflowResult df = Analyze(compiled.ast, compiled.analysis);
+    EXPECT_EQ(df.taint_fwd.guarded_nv, df.taint_full.guarded_nv) << path;
+    EXPECT_EQ(df.taint_fwd.always_nv, df.taint_full.always_nv) << path;
+  }
+
+  const char* kLoops[] = {
+      "examples/programs/lint/loop_taint.ec",
+      "examples/programs/lint/loop_timely.ec",
+      "examples/programs/lint/clean_loop.ec",
+  };
+  for (const char* path : kLoops) {
+    const CompileResult compiled = CompileFixture(path);
+    const DataflowResult df = Analyze(compiled.ast, compiled.analysis);
+    ASSERT_EQ(df.taint_fwd.guarded_nv.size(), df.taint_full.guarded_nv.size());
+    for (size_t i = 0; i < df.taint_fwd.guarded_nv.size(); ++i) {
+      EXPECT_TRUE(std::includes(
+          df.taint_full.guarded_nv[i].begin(), df.taint_full.guarded_nv[i].end(),
+          df.taint_fwd.guarded_nv[i].begin(), df.taint_fwd.guarded_nv[i].end()))
+          << path << " nv " << i;
+      EXPECT_TRUE(std::includes(
+          df.taint_full.always_nv[i].begin(), df.taint_full.always_nv[i].end(),
+          df.taint_fwd.always_nv[i].begin(), df.taint_fwd.always_nv[i].end()))
+          << path << " nv " << i;
+    }
+  }
+}
+
+// The loop-carried flow only the full fixpoint sees: in loop_taint.ec the Timely
+// reading reaches the next iteration's consumer through a local, around the back
+// edge. The forward solution — the table pass's strength — must not contain it.
+TEST(LintEngine, LoopCarriedLocalFlowNeedsBackEdges) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/loop_taint.ec");
+  const Analysis& a = compiled.analysis;
+  const DataflowResult df = Analyze(compiled.ast, a);
+
+  uint32_t timely_site = UINT32_MAX;
+  uint32_t single_site = UINT32_MAX;
+  for (uint32_t s = 0; s < a.sites.size(); ++s) {
+    if (a.sites[s].sem == kernel::IoSemantic::kTimely) {
+      timely_site = s;
+    } else if (a.sites[s].sem == kernel::IoSemantic::kSingle) {
+      single_site = s;
+    }
+  }
+  ASSERT_NE(timely_site, UINT32_MAX);
+  ASSERT_NE(single_site, UINT32_MAX);
+
+  const uint32_t consumer = df.site_stmt[single_site];
+  ASSERT_NE(consumer, UINT32_MAX);
+  EXPECT_EQ(df.taint_fwd.stmt_in[consumer].guarded.count(timely_site), 0u);
+  EXPECT_EQ(df.taint_full.stmt_in[consumer].guarded.count(timely_site), 1u);
+}
+
+// war-path-divergent's defining fact pattern in loop_war.ec: `cache` is written
+// before it is read in textual order (so sema's WAR table omits it), but the
+// not-taken branch path carries last iteration's read to this iteration's write.
+TEST(LintEngine, PathDivergentExposureNeedsBackEdges) {
+  const CompileResult compiled =
+      CompileFixture("examples/programs/lint/loop_war.ec");
+  const Analysis& a = compiled.analysis;
+  const DataflowResult df = Analyze(compiled.ast, a);
+
+  const uint32_t cache = NvIndex(compiled.ast, "cache");
+  const uint32_t trend = NvIndex(compiled.ast, "trend");
+
+  uint32_t task_id = UINT32_MAX;
+  uint32_t write_stmt = UINT32_MAX;
+  for (uint32_t s = 0; s < a.def_use.size(); ++s) {
+    for (uint32_t nv : a.def_use[s].nv_defs) {
+      if (nv == cache) {
+        task_id = a.def_use[s].task;
+        write_stmt = s;
+      }
+    }
+  }
+  ASSERT_NE(write_stmt, UINT32_MAX);
+
+  // Textual order hides the pair from the sema table...
+  const TaskInfo& task = a.tasks[task_id];
+  EXPECT_EQ(std::count(task.war.begin(), task.war.end(), cache), 0);
+  EXPECT_EQ(std::count(task.war.begin(), task.war.end(), trend), 1);
+  // ...and only the back-edge solution carries the exposed read to the write.
+  EXPECT_EQ(df.war_fwd.exposed_in[write_stmt].count(cache), 0u);
+  EXPECT_EQ(df.war_full.exposed_in[write_stmt].count(cache), 1u);
+}
+
+TEST(LintEngine, RegionConditionsSummarizeTheProgram) {
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/clean_relay.ec");
+    const DataflowResult df = Analyze(compiled.ast, compiled.analysis);
+    EXPECT_FALSE(df.program_conditions.war_hazard);
+    EXPECT_FALSE(df.program_conditions.io_taint_crossing);
+    EXPECT_FALSE(df.program_conditions.value_steered);
+    EXPECT_FALSE(df.program_conditions.timely_window);
+    EXPECT_TRUE(chk::CollapsibleRegion(df.program_conditions));
+  }
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_war.ec");
+    const DataflowResult df = Analyze(compiled.ast, compiled.analysis);
+    EXPECT_TRUE(df.program_conditions.war_hazard);     // durable defs in the loop
+    EXPECT_TRUE(df.program_conditions.value_steered);  // branch on the sensed value
+    EXPECT_FALSE(df.program_conditions.timely_window);
+    EXPECT_FALSE(chk::CollapsibleRegion(df.program_conditions));
+  }
+  {
+    const CompileResult compiled =
+        CompileFixture("examples/programs/lint/loop_timely.ec");
+    const DataflowResult df = Analyze(compiled.ast, compiled.analysis);
+    EXPECT_TRUE(df.program_conditions.timely_window);
+  }
+}
+
+}  // namespace
+}  // namespace easeio::easec::lint::dataflow

@@ -14,7 +14,17 @@
 // Options:
 //   --json[=PATH]     emit the machine-readable easeio-lint/1 document instead of
 //                     (bare --json) or in addition to (--json=PATH) the text report
+//   --lint-v2         also run the full-fixpoint loop/branch finding classes
+//                     (taint-loop-carried, timely-loop-stale, war-path-divergent)
+//                     and emit the easeio-lint/2 document
 //   --witness         replay every suggested failure schedule and record the verdict
+//   --certify[=N]     cross-validate the static verdict against exhaustive failure
+//                     schedules of at most N failures (default 1, max 2); implies
+//                     the witness pass. Exit 1 when the verdict is "unsound".
+//   --certify-out=P   write the easeio-lint-certify/1 document to P (default:
+//                     printed to stdout after the report when certifying)
+//   --jobs=<n>        worker threads for certify trials (0 = hardware concurrency;
+//                     the report is byte-identical for any value)
 //   --seed=<n>        simulator seed for schedule suggestion / replay (default 1)
 //   --off-us=<n>      default dark time per injected failure (default 700)
 //   --priv-buffer=<n> DMA privatization budget in bytes (default 4096; 0 disables
@@ -46,7 +56,8 @@ using namespace easeio;
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: easelint [--json[=PATH]] [--witness] [--seed=N] [--off-us=N]\n"
+               "usage: easelint [--json[=PATH]] [--lint-v2] [--witness] [--certify[=N]]\n"
+               "                [--certify-out=PATH] [--jobs=N] [--seed=N] [--off-us=N]\n"
                "                [--priv-buffer=N] [--metrics=PATH] <source.ec | ->\n");
 }
 
@@ -55,6 +66,7 @@ void PrintUsage(std::FILE* out) {
 int main(int argc, char** argv) {
   bool json_stdout = false;
   std::string json_path;
+  std::string certify_path;
   std::string metrics_path;
   std::string input_path;
   easec::lint::LintJob job;
@@ -84,6 +96,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "easelint: --metrics= requires a path\n");
         return 2;
       }
+    } else if (arg == "--lint-v2") {
+      job.lint_v2 = true;
+    } else if (arg == "--certify") {
+      job.certify_exhaust = 1;
+    } else if (arg.rfind("--certify=", 0) == 0) {
+      uint64_t exhaust = 0;
+      if (!tools::ParseUintFlag("easelint", "--certify", arg.c_str() + 10, 1, 2,
+                                &exhaust)) {
+        return 2;
+      }
+      job.certify_exhaust = static_cast<uint32_t>(exhaust);
+    } else if (arg.rfind("--certify-out=", 0) == 0) {
+      certify_path = arg.substr(14);
+      if (certify_path.empty()) {
+        std::fprintf(stderr, "easelint: --certify-out= requires a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      uint64_t jobs = 0;
+      if (!tools::ParseUintFlag("easelint", "--jobs", arg.c_str() + 7, 0, 512, &jobs)) {
+        return 2;
+      }
+      job.certify_jobs = static_cast<uint32_t>(jobs);
     } else if (arg == "--witness") {
       job.confirm_witnesses = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -122,6 +157,10 @@ int main(int argc, char** argv) {
     PrintUsage(stderr);
     return 2;
   }
+  if (!certify_path.empty() && job.certify_exhaust == 0) {
+    std::fprintf(stderr, "easelint: --certify-out requires --certify\n");
+    return 2;
+  }
 
   job.source_name = input_path;
   if (input_path == "-") {
@@ -158,6 +197,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (result.has_certify) {
+    if (certify_path.empty()) {
+      std::printf("%s\n", result.certify_json.c_str());
+    } else {
+      std::ofstream out(certify_path, std::ios::binary);
+      if (!out || !(out << result.certify_json << "\n")) {
+        std::fprintf(stderr, "easelint: cannot write %s\n", certify_path.c_str());
+        return 2;
+      }
+    }
+  }
   if (!metrics_path.empty()) {
     obs::Registry metrics;
     metrics.Add(metrics.Counter("easelint_runs"), 1);
@@ -167,11 +217,30 @@ int main(int argc, char** argv) {
                 result.lint.warnings);
     metrics.Add(metrics.Counter("easelint_findings", {{"severity", "advisory"}}),
                 result.lint.advisories);
+    metrics.Add(metrics.Counter("easelint_cfg_nodes"), result.lint.analysis.cfg_nodes);
+    metrics.Add(metrics.Counter("easelint_cfg_edges"), result.lint.analysis.cfg_edges);
+    metrics.Add(metrics.Counter("easelint_fixpoint_iterations"),
+                result.lint.analysis.fixpoint_iterations);
+    metrics.Add(metrics.Counter("easelint_fixpoint_joins"),
+                result.lint.analysis.fixpoint_joins);
+    metrics.Add(metrics.Counter("easelint_lattice_widenings"),
+                result.lint.analysis.lattice_widenings);
+    if (result.has_certify) {
+      metrics.Add(metrics.Counter("easelint_certify_trials"), result.certify.trials);
+      metrics.Add(metrics.Counter("easelint_certify_violations"),
+                  result.certify.violations);
+      metrics.Add(
+          metrics.Counter("easelint_certify_verdicts", {{"verdict", result.certify.verdict}}),
+          1);
+    }
     std::string metrics_error;
     if (!obs::WriteMetricsFile(metrics, metrics_path, &metrics_error)) {
       std::fprintf(stderr, "easelint: %s\n", metrics_error.c_str());
       return 2;
     }
+  }
+  if (result.has_certify && result.certify.verdict == "unsound") {
+    return 1;  // the static analysis missed a hazard the exhaust run demonstrated
   }
   return result.has_findings ? 1 : 0;
 }
